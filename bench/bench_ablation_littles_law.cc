@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Ablation (paper Section V-D): Little's Law vs the DES model for
+ * sizing the L1->L2 eviction buffer.
+ *
+ * Little's Law with steady-state rates says the mean number of
+ * in-flight evictions is (arrival rate) x (service time) =
+ * (1 / (tuplesPerLine * cyclesPerTuple)) * tuplesPerLine =
+ * 1 / cyclesPerTuple < 1 — a single-entry buffer "suffices". The DES
+ * model replays real traces and finds the burst-driven requirement: the
+ * smallest capacity with zero core stalls.
+ */
+
+#include "bench/bench_common.h"
+#include "src/sim/eviction_des.h"
+
+using namespace cobra;
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+    printMachineBanner(runner);
+
+    Table t("Ablation: eviction-buffer sizing — Little's Law estimate "
+            "vs DES requirement (Neighbor-Populate)");
+    t.header({"Input", "Little's-Law mean occupancy",
+              "DES: smallest zero-stall capacity",
+              "stall% at capacity/2"});
+
+    for (const std::string gname : {"KRON", "URND", "ROAD"}) {
+        const GraphInput &g = wb.inputs().graph(gname);
+        std::vector<uint32_t> trace;
+        trace.reserve(g.edges.size());
+        for (const Edge &e : g.edges)
+            trace.push_back(e.src);
+
+        EvictionDesConfig cfg;
+        cfg.numIndices = g.nodes;
+        cfg.tuplesPerLine = 8;
+
+        const double littles =
+            1.0 / static_cast<double>(cfg.coreCyclesPerTuple);
+
+        uint32_t needed = 0;
+        for (uint32_t cap = 1; cap <= 256; cap *= 2) {
+            cfg.fifo1Capacity = cap;
+            if (runEvictionDes(cfg, trace).coreStallCycles == 0) {
+                needed = cap;
+                break;
+            }
+        }
+        double half_stall = 0.0;
+        if (needed > 1) {
+            cfg.fifo1Capacity = needed / 2;
+            half_stall = runEvictionDes(cfg, trace).stallFraction();
+        }
+        t.row({gname, Table::num(littles, 2),
+               needed ? std::to_string(needed) : ">256",
+               Table::num(100.0 * half_stall, 3) + "%"});
+    }
+    t.print(std::cout);
+    std::cout << "Paper: Little's Law underestimates (steady-state "
+                 "assumption); bursts of synchronized C-Buffer fills set "
+                 "the real requirement (32 entries in the paper).\n";
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: robustness of the reproduction's conclusions to the core
+ * cost model's coefficients.
+ *
+ * The OoO cost model (src/sim/core_model.h) stands in for Sniper with
+ * four load-bearing knobs: issue width, branch penalty, per-level MLP
+ * overlap, and the store discount. If the paper's orderings
+ * (baseline < PB < COBRA; Binning speedup > Accumulate speedup) held
+ * only for one knob setting, the reproduction would be fragile. This
+ * bench re-runs the headline comparison under a latency-pessimistic
+ * ("narrow") and a latency-optimistic ("wide") model and reports the
+ * orderings next to the default.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cobra;
+
+namespace {
+
+MachineConfig
+narrowMachine()
+{
+    MachineConfig mc;
+    mc.core.issueWidth = 2.0;
+    mc.core.branchPenalty = 20.0;
+    mc.core.mlpL2 = 1.5;
+    mc.core.mlpLLC = 2.0;
+    mc.core.mlpDRAM = 2.0; // little overlap: latency dominates
+    mc.core.storeFactor = 0.6;
+    return mc;
+}
+
+MachineConfig
+wideMachine()
+{
+    MachineConfig mc;
+    mc.core.issueWidth = 6.0;
+    mc.core.branchPenalty = 10.0;
+    mc.core.mlpL2 = 3.0;
+    mc.core.mlpLLC = 5.0;
+    mc.core.mlpDRAM = 8.0; // deep MSHRs: latency mostly hidden
+    mc.core.storeFactor = 0.2;
+    return mc;
+}
+
+} // namespace
+
+int
+main()
+{
+    Workbench wb;
+    const GraphInput &g = wb.inputs().graph("KRON");
+
+    Table t("Ablation: conclusion robustness across core-model "
+            "coefficients (Neighbor-Populate @ KRON)");
+    t.header({"Model", "PB speedup", "COBRA speedup", "COBRA/PB",
+              "Binning spd", "Accum spd", "ordering holds"});
+
+    struct Named { const char *name; MachineConfig mc; };
+    for (const Named &m : {Named{"narrow (latency-bound)",
+                                 narrowMachine()},
+                           Named{"default (Table II)", MachineConfig{}},
+                           Named{"wide (overlap-rich)", wideMachine()}}) {
+        Runner runner(m.mc);
+        NeighborPopulateKernel k(g.nodes, &g.edges);
+        RunResult base = runner.run(k, Technique::Baseline);
+        RunResult pb =
+            runner.sweepPb(k, Workbench::binLadder()).best;
+        RunResult cobra = runner.run(k, Technique::Cobra);
+        double sp = speedup(base, pb);
+        double sc = speedup(base, cobra);
+        double sbin = pb.binning.cycles / cobra.binning.cycles;
+        double sacc = pb.accumulate.cycles / cobra.accumulate.cycles;
+        bool holds = sp > 1.0 && sc > sp && sbin > 1.0 && sacc > 1.0 &&
+            sbin > sacc;
+        t.row({m.name, Table::num(sp) + "x", Table::num(sc) + "x",
+               Table::num(sc / sp) + "x", Table::num(sbin) + "x",
+               Table::num(sacc) + "x", holds ? "yes" : "NO"});
+    }
+    t.print(std::cout);
+    std::cout << "Expected: every ordering the paper reports survives "
+                 "both pessimistic and optimistic core models — the "
+                 "conclusions come from the cache behaviour, not the "
+                 "cost coefficients.\n";
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation (paper Section V-E, "Need for Static Cache Partitioning"):
+ * COBRA without way partitioning.
+ *
+ * Without reserved ways, C-Buffer lines live in the regular cache and
+ * their residency is at the mercy of the replacement policy and the
+ * kernel's other accesses. The paper's claim: because every non-C-Buffer
+ * Binning access is streaming, the baseline policies (Bit-PLRU / DRRIP)
+ * keep the C-Buffer miss rate under 1%.
+ *
+ * Model: replay Neighbor-Populate's Binning through the normal
+ * hierarchy, giving every L1 C-Buffer a synthetic cache-line address and
+ * issuing a store to it per binupdate, interleaved with the real
+ * streaming edge loads. No ways are reserved. We report the C-Buffer
+ * access miss rate per input class.
+ */
+
+#include "bench/bench_common.h"
+#include "src/pb/bin_range.h"
+
+using namespace cobra;
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+    printMachineBanner(runner);
+
+    Table t("Ablation: C-Buffer miss rate without static cache "
+            "partitioning (Neighbor-Populate Binning)");
+    t.header({"Input", "L1 C-Buffers", "C-Buffer accesses",
+              "C-Buffer L1 misses", "miss rate"});
+
+    for (const std::string gname : {"KRON", "URND", "ROAD"}) {
+        const GraphInput &g = wb.inputs().graph(gname);
+        MachineConfig mc;
+        MemoryHierarchy hier(mc.hierarchy);
+
+        // Same L1 C-Buffer geometry COBRA would pick with 7 ways, but
+        // nothing is pinned: buffers compete with all other data.
+        const uint32_t num_buffers = 7 * mc.hierarchy.l1.numSets();
+        BinningPlan plan = BinningPlan::forMaxBins(g.nodes, num_buffers);
+
+        // Synthetic, dedicated address range for C-Buffer lines.
+        std::vector<uint8_t> cbuf_backing(size_t{plan.numBins} *
+                                          kLineSize);
+        const Addr base = reinterpret_cast<Addr>(cbuf_backing.data());
+
+        uint64_t accesses = 0, misses = 0;
+        for (const Edge &e : g.edges) {
+            // The streaming side of Binning: edge reads.
+            hier.access(reinterpret_cast<Addr>(&e), AccessType::Load);
+            // The C-Buffer insertion, as a plain store.
+            Addr line = base +
+                static_cast<Addr>(plan.binOf(e.src)) * kLineSize;
+            uint64_t m0 = hier.l1().stats().storeMisses;
+            hier.access(line, AccessType::Store);
+            ++accesses;
+            misses += hier.l1().stats().storeMisses - m0;
+        }
+        t.row({gname, std::to_string(plan.numBins),
+               std::to_string(accesses), std::to_string(misses),
+               Table::num(100.0 * static_cast<double>(misses) /
+                              static_cast<double>(accesses),
+                          2) +
+                   "%"});
+    }
+    t.print(std::cout);
+    std::cout << "Paper claim: <1% C-Buffer miss rate without "
+                 "partitioning, because competing accesses are "
+                 "streaming.\n";
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (paper Section VII-A): PINV with a medium number of LLC
+ * C-Buffers.
+ *
+ * The paper found PINV to be the one workload where more bins did not
+ * improve Accumulate (on their 16-core runs, parallelism artifacts
+ * overshadowed locality) and ran a COBRA variant with a medium LLC
+ * C-Buffer count. This bench sweeps the llcBuffersOverride knob for
+ * PINV and a control kernel (Neighbor-Populate) so the sensitivity of
+ * each is visible on the single-core model.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cobra;
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+    printMachineBanner(runner);
+
+    Table t("Ablation: COBRA total cycles vs LLC C-Buffer cap "
+            "(0 = no cap, paper default)");
+    t.header({"Kernel", "cap", "bins used", "Binning M", "Accum M",
+              "Total M"});
+
+    PinvKernel pinv(wb.inputs().permutation.get());
+    const GraphInput &g = wb.inputs().graph("KRON");
+    NeighborPopulateKernel np(g.nodes, &g.edges);
+
+    for (Kernel *k : {static_cast<Kernel *>(&pinv),
+                      static_cast<Kernel *>(&np)}) {
+        for (uint32_t cap : {0u, 256u, 1024u, 4096u}) {
+            RunOptions o;
+            o.cobra.llcBuffersOverride = cap;
+            RunResult r = runner.run(*k, Technique::Cobra, o);
+            // Bins used == LLC C-Buffer count; recompute for display.
+            t.row({k->name(), cap ? std::to_string(cap) : "none",
+                   "<=cap",
+                   Table::num(r.binning.cycles / 1e6, 2),
+                   Table::num(r.accumulate.cycles / 1e6, 2),
+                   Table::num(r.total.cycles / 1e6, 2)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "Paper: with a medium LLC C-Buffer count, COBRA's mean "
+                 "gain rose to 1.94x over PB (PINV-specific); on a "
+                 "single simulated core the parallelism artifact is "
+                 "absent, so expect milder sensitivity.\n";
+    return 0;
+}

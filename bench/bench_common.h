@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared scaffolding for the paper-figure benchmark binaries.
+ *
+ * Each bench binary regenerates one table or figure of the paper
+ * (DESIGN.md per-experiment index). They all build the standard input
+ * suite, instantiate the nine evaluation kernels on representative
+ * inputs, and print paper-style rows through util/table.h.
+ */
+
+#ifndef COBRA_BENCH_BENCH_COMMON_H
+#define COBRA_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+#include "src/harness/inputs.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/int_sort.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/kernels/pagerank.h"
+#include "src/kernels/pinv.h"
+#include "src/kernels/radii.h"
+#include "src/kernels/spmv.h"
+#include "src/kernels/symperm.h"
+#include "src/kernels/transpose.h"
+#include "src/util/table.h"
+
+namespace cobra {
+
+/** A named kernel instance bound to a concrete input. */
+struct NamedKernel
+{
+    std::string label; ///< "Kernel@Input"
+    std::unique_ptr<Kernel> kernel;
+};
+
+/** Owns the input suite plus kernels built over it. */
+class Workbench
+{
+  public:
+    Workbench() : suite(InputSuite::standard()) {}
+
+    const InputSuite &inputs() const { return suite; }
+
+    /** Graph kernels on @p graph_name plus the sort/sparse kernels. */
+    std::vector<NamedKernel>
+    allKernels(const std::string &graph_name = "KRON")
+    {
+        std::vector<NamedKernel> ks;
+        const GraphInput &g = suite.graph(graph_name);
+        ks.push_back({"DegreeCount@" + g.name,
+                      std::make_unique<DegreeCountKernel>(g.nodes,
+                                                          &g.edges)});
+        ks.push_back({"NeighborPop@" + g.name,
+                      std::make_unique<NeighborPopulateKernel>(g.nodes,
+                                                               &g.edges)});
+        ks.push_back({"Pagerank@" + g.name,
+                      std::make_unique<PagerankKernel>(&g.out, &g.in)});
+        ks.push_back({"Radii@" + g.name,
+                      std::make_unique<RadiiKernel>(&g.out, 5, 3)});
+        const KeysInput &keys = *suite.keySets.front();
+        ks.push_back({"IntSort@" + keys.name,
+                      std::make_unique<IntSortKernel>(&keys.keys,
+                                                      keys.maxKey)});
+        const MatrixInput &scat = suite.matrix("SCAT");
+        ks.push_back({"SpMV@" + scat.name,
+                      std::make_unique<SpmvKernel>(&scat.a, &scat.at,
+                                                   suite.vecX.get())});
+        ks.push_back({"PINV@PERM",
+                      std::make_unique<PinvKernel>(
+                          suite.permutation.get())});
+        ks.push_back({"Transpose@" + scat.name,
+                      std::make_unique<TransposeKernel>(&scat.a)});
+        const MatrixInput &sym = suite.matrix("SYMM");
+        ks.push_back({"SymPerm@" + sym.name,
+                      std::make_unique<SympermKernel>(
+                          &sym.a, suite.permutationM.get())});
+        return ks;
+    }
+
+    /** Just the four graph kernels, on @p graph_name. */
+    std::vector<NamedKernel>
+    graphKernels(const std::string &graph_name)
+    {
+        std::vector<NamedKernel> ks;
+        const GraphInput &g = suite.graph(graph_name);
+        ks.push_back({"DegreeCount@" + g.name,
+                      std::make_unique<DegreeCountKernel>(g.nodes,
+                                                          &g.edges)});
+        ks.push_back({"NeighborPop@" + g.name,
+                      std::make_unique<NeighborPopulateKernel>(g.nodes,
+                                                               &g.edges)});
+        ks.push_back({"Pagerank@" + g.name,
+                      std::make_unique<PagerankKernel>(&g.out, &g.in)});
+        ks.push_back({"Radii@" + g.name,
+                      std::make_unique<RadiiKernel>(&g.out, 5, 3)});
+        return ks;
+    }
+
+    /** Default PB bin-count sweep for headline figures. */
+    static std::vector<uint32_t>
+    binLadder()
+    {
+        return {256, 2048, 16384};
+    }
+
+  private:
+    InputSuite suite;
+};
+
+/** Print the simulated-machine banner (paper Table II). */
+inline void
+printMachineBanner(const Runner &runner)
+{
+    runner.machine().print(std::cout);
+    std::cout << "(shapes, not absolute numbers, are the reproduction "
+                 "target; see EXPERIMENTS.md)\n";
+}
+
+} // namespace cobra
+
+#endif // COBRA_BENCH_BENCH_COMMON_H

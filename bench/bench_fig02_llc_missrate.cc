@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Paper Figure 2: LLC miss rates of the baseline (unoptimized)
+ * executions of all nine irregular-update kernels.
+ *
+ * Expected shape: every kernel shows a high LLC miss rate because the
+ * irregularly-updated data exceeds the LLC slice. ROAD (bounded-degree,
+ * high index locality) is the moderate outlier, as in the paper.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cobra;
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+    printMachineBanner(runner);
+
+    Table t("Figure 2: LLC miss rate of baseline irregular updates");
+    t.header({"Kernel@Input", "LLC accesses", "LLC misses",
+              "LLC miss rate", "DRAM lines"});
+
+    for (const std::string gname : {"KRON", "URND", "ROAD"}) {
+        const GraphInput &g = wb.inputs().graph(gname);
+        DegreeCountKernel dc(g.nodes, &g.edges);
+        RunResult r = runner.run(dc, Technique::Baseline);
+        t.row({"DegreeCount@" + gname,
+               std::to_string(r.total.llcAccesses),
+               std::to_string(r.total.llcMisses),
+               Table::num(100.0 * r.total.llcMissRate(), 1) + "%",
+               std::to_string(r.total.dramLines)});
+    }
+    for (auto &nk : wb.allKernels("KRON")) {
+        if (nk.label.rfind("DegreeCount", 0) == 0)
+            continue; // covered across inputs above
+        RunResult r = runner.run(*nk.kernel, Technique::Baseline);
+        t.row({nk.label, std::to_string(r.total.llcAccesses),
+               std::to_string(r.total.llcMisses),
+               Table::num(100.0 * r.total.llcMissRate(), 1) + "%",
+               std::to_string(r.total.dramLines)});
+    }
+    t.print(std::cout);
+    std::cout << "Paper shape: all kernels suffer high LLC miss rates on "
+                 "irregular updates;\nbounded-degree/local inputs (ROAD) "
+                 "are the mildest.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Paper Figure 10 — the headline result: speedups of PB-SW,
+ * PB-SW-IDEAL, and COBRA over the unoptimized baseline, for all nine
+ * kernels, plus geomeans.
+ *
+ * Paper numbers: PB-SW 1.81x, PB-SW-IDEAL ~1.2x over PB, COBRA 3.16x
+ * over baseline / 1.74x over PB (means). The reproduction targets the
+ * ordering baseline < PB-SW <= PB-SW-IDEAL <= COBRA and comparable
+ * ratios.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cobra;
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+    printMachineBanner(runner);
+
+    Table t("Figure 10: speedup over baseline");
+    t.header({"Kernel@Input", "PB-SW", "PB-SW-IDEAL", "COBRA",
+              "COBRA/PB", "verified"});
+
+    std::vector<double> s_pb, s_ideal, s_cobra, s_rel;
+    auto ladder = Workbench::binLadder();
+
+    // The paper's figure shows per-input bars: graph kernels run on all
+    // three input classes; sort/sparse kernels have one input each.
+    std::vector<NamedKernel> kernels = wb.allKernels("KRON");
+    for (const char *gname : {"URND", "ROAD"})
+        for (auto &nk : wb.graphKernels(gname))
+            kernels.push_back(std::move(nk));
+
+    for (auto &nk : kernels) {
+        RunResult base = runner.run(*nk.kernel, Technique::Baseline);
+        Runner::PbSweep sweep = runner.sweepPb(*nk.kernel, ladder);
+        const RunResult &pb = sweep.best;
+        const RunResult &ideal = sweep.ideal;
+        RunResult cobra = runner.run(*nk.kernel, Technique::Cobra);
+
+        double sp = speedup(base, pb);
+        double si = speedup(base, ideal);
+        double sc = speedup(base, cobra);
+        s_pb.push_back(sp);
+        s_ideal.push_back(si);
+        s_cobra.push_back(sc);
+        s_rel.push_back(sc / sp);
+        bool ok = base.verified && pb.verified && cobra.verified;
+        t.row({nk.label, Table::num(sp) + "x", Table::num(si) + "x",
+               Table::num(sc) + "x", Table::num(sc / sp) + "x",
+               ok ? "yes" : "NO"});
+    }
+    t.row({"geomean", Table::num(geoMean(s_pb)) + "x",
+           Table::num(geoMean(s_ideal)) + "x",
+           Table::num(geoMean(s_cobra)) + "x",
+           Table::num(geoMean(s_rel)) + "x", ""});
+    t.print(std::cout);
+    std::cout << "Paper means: PB-SW 1.81x, COBRA 3.16x over baseline "
+                 "(1.74x over PB).\n";
+    return 0;
+}

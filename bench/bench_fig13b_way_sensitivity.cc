@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Paper Figure 13b: sensitivity of COBRA's Binning performance to the
+ * number of cache ways reserved for C-Buffers at each level.
+ *
+ * Expected shape: L1 and LLC reservation barely matter (<=10%) because
+ * non-C-Buffer Binning accesses are streaming; L2 reservation matters
+ * more because the stream prefetcher uses L2 capacity — hence the
+ * default of a single reserved L2 way.
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cobra;
+
+namespace {
+
+double
+binningCycles(Runner &runner, Kernel &k, const CobraConfig &cfg)
+{
+    RunOptions o;
+    o.cobra = cfg;
+    RunResult r = runner.run(k, Technique::Cobra, o);
+    return r.binning.cycles;
+}
+
+} // namespace
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+    printMachineBanner(runner);
+
+    const GraphInput &g = wb.inputs().graph("KRON");
+    NeighborPopulateKernel np(g.nodes, &g.edges);
+    const MatrixInput &sym = wb.inputs().matrix("SYMM");
+    SympermKernel sp(&sym.a, wb.inputs().permutationM.get());
+
+    Table t("Figure 13b: Binning cycles vs ways reserved for C-Buffers "
+            "(normalized to default config)");
+    t.header({"Kernel", "Level swept", "ways",
+              "normalized Binning time"});
+
+    // Two workload classes: Neighbor-Populate's non-C-Buffer Binning
+    // accesses are purely streaming (the paper's common case — expect
+    // insensitivity); SymPerm additionally issues irregular perm[]
+    // loads during Binning, the case where reserved ways actually cost
+    // capacity.
+    struct Named { const char *name; Kernel *k; };
+    for (Named kk : {Named{"NeighborPop", &np}, Named{"SymPerm", &sp}}) {
+        const double ref = binningCycles(runner, *kk.k, CobraConfig{});
+        for (uint32_t w : {1u, 3u, 5u, 7u}) {
+            CobraConfig cfg;
+            cfg.l1ReservedWays = w;
+            t.row({kk.name, "L1 (8-way)", std::to_string(w),
+                   Table::num(binningCycles(runner, *kk.k, cfg) / ref,
+                              3)});
+        }
+        for (uint32_t w : {1u, 3u, 5u, 7u}) {
+            CobraConfig cfg;
+            cfg.l2ReservedWays = w;
+            t.row({kk.name, "L2 (8-way)", std::to_string(w),
+                   Table::num(binningCycles(runner, *kk.k, cfg) / ref,
+                              3)});
+        }
+        for (uint32_t w : {3u, 7u, 11u, 15u}) {
+            CobraConfig cfg;
+            cfg.llcReservedWays = w;
+            t.row({kk.name, "LLC (16-way)", std::to_string(w),
+                   Table::num(binningCycles(runner, *kk.k, cfg) / ref,
+                              3)});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "Paper shape: robust (<~10%) when Binning's other "
+                 "accesses are streaming (Neighbor-Populate); capacity-"
+                 "hungry Binning (SymPerm's irregular perm loads) shows "
+                 "the cost of reserving too many ways.\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Native (real-machine, wall-clock) microbenchmarks of software PB vs
+ * direct irregular updates, via google-benchmark.
+ *
+ * This is the real-system half of the paper's methodology (Sections II,
+ * III, VII-D ran on a Xeon): PB is a pure-software optimization, so its
+ * benefit is directly measurable on the host. Expect PB to win once the
+ * index namespace outgrows the host LLC; on this machine's cache sizes
+ * the crossover point will differ from the simulated machine — that is
+ * the point of having both.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+
+#include "src/graph/generators.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/sim/phase_recorder.h"
+
+namespace cobra {
+namespace {
+
+struct NativeInput
+{
+    NodeId nodes;
+    EdgeList edges;
+
+    explicit NativeInput(NodeId n) : nodes(n)
+    {
+        edges = generateUniform(n, 4ull * n, 123);
+    }
+};
+
+NativeInput &
+input(int64_t n)
+{
+    static std::map<int64_t, std::unique_ptr<NativeInput>> cache;
+    auto &slot = cache[n];
+    if (!slot)
+        slot = std::make_unique<NativeInput>(static_cast<NodeId>(n));
+    return *slot;
+}
+
+void
+BM_DegreeCountBaseline(benchmark::State &state)
+{
+    NativeInput &in = input(state.range(0));
+    DegreeCountKernel k(in.nodes, &in.edges);
+    ExecCtx ctx;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        k.runBaseline(ctx, rec);
+        benchmark::DoNotOptimize(k.degrees().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
+void
+BM_DegreeCountPb(benchmark::State &state)
+{
+    NativeInput &in = input(state.range(0));
+    DegreeCountKernel k(in.nodes, &in.edges);
+    ExecCtx ctx;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        k.runPb(ctx, rec, static_cast<uint32_t>(state.range(1)));
+        benchmark::DoNotOptimize(k.degrees().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
+void
+BM_NeighborPopulateBaseline(benchmark::State &state)
+{
+    NativeInput &in = input(state.range(0));
+    NeighborPopulateKernel k(in.nodes, &in.edges);
+    ExecCtx ctx;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        k.runBaseline(ctx, rec);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
+void
+BM_NeighborPopulatePb(benchmark::State &state)
+{
+    NativeInput &in = input(state.range(0));
+    NeighborPopulateKernel k(in.nodes, &in.edges);
+    ExecCtx ctx;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        k.runPb(ctx, rec, static_cast<uint32_t>(state.range(1)));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
+BENCHMARK(BM_DegreeCountBaseline)->Arg(1 << 18)->Arg(1 << 21);
+BENCHMARK(BM_DegreeCountPb)
+    ->Args({1 << 18, 512})
+    ->Args({1 << 21, 512})
+    ->Args({1 << 21, 4096});
+BENCHMARK(BM_NeighborPopulateBaseline)->Arg(1 << 18)->Arg(1 << 21);
+BENCHMARK(BM_NeighborPopulatePb)
+    ->Args({1 << 18, 512})
+    ->Args({1 << 21, 512})
+    ->Args({1 << 21, 4096});
+
+} // namespace
+} // namespace cobra
+
+BENCHMARK_MAIN();

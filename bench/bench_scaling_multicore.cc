@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multicore scaling study (extension of the paper's evaluation; Table
+ * II simulates a 16-core CMP but the paper reports aggregate speedups).
+ *
+ * Runs Neighbor-Populate under Baseline / PB / COBRA on 1..16 simulated
+ * cores with per-core private hierarchies, barrier semantics at phase
+ * boundaries, and a shared DRAM bandwidth floor.
+ *
+ * Expected shape: the baseline saturates shared DRAM bandwidth first
+ * (its irregular updates move the most lines), so PB and especially
+ * COBRA — which both move fewer DRAM lines per update — keep scaling
+ * after the baseline flattens.
+ */
+
+#include "bench/bench_common.h"
+#include "src/harness/parallel.h"
+
+using namespace cobra;
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+    printMachineBanner(runner);
+
+    const GraphInput &g = wb.inputs().graph("URND");
+
+    Table t("Multicore scaling: Neighbor-Populate total Mcycles "
+            "(barrier + shared-bandwidth model)");
+    t.header({"Cores", "Baseline", "PB-SW(2048)", "COBRA",
+              "COBRA(cap 2048)", "Baseline speedup", "PB speedup",
+              "COBRA speedup"});
+
+    // Per-thread bins/C-Buffers are duplicated per core, so a core's
+    // fine fan-out must amortize against its update share; at this
+    // input scale the full LLC fan-out stops amortizing at high core
+    // counts, so a capped variant is shown too (at paper-scale inputs
+    // — 30x more updates per core — the default amortizes fine).
+    CobraConfig capped;
+    capped.llcBuffersOverride = 2048;
+
+    double base1 = 0, pb1 = 0, cobra1 = 0;
+    for (uint32_t cores : {1u, 2u, 4u, 8u, 16u}) {
+        MulticoreConfig mc;
+        mc.numCores = cores;
+        ParallelSim sim(mc);
+        auto base = sim.neighborPopulateBaseline(g.nodes, g.edges);
+        auto pb = sim.neighborPopulatePb(g.nodes, g.edges, 2048);
+        auto cobra = sim.neighborPopulateCobra(g.nodes, g.edges);
+        auto cobra_cap =
+            sim.neighborPopulateCobra(g.nodes, g.edges, capped);
+        COBRA_FATAL_IF(!base.verified || !pb.verified ||
+                           !cobra.verified || !cobra_cap.verified,
+                       "parallel run produced wrong results");
+        if (cores == 1) {
+            base1 = base.totalCycles();
+            pb1 = pb.totalCycles();
+            cobra1 = cobra.totalCycles();
+        }
+        t.row({std::to_string(cores),
+               Table::num(base.totalCycles() / 1e6, 2),
+               Table::num(pb.totalCycles() / 1e6, 2),
+               Table::num(cobra.totalCycles() / 1e6, 2),
+               Table::num(cobra_cap.totalCycles() / 1e6, 2),
+               Table::num(base1 / base.totalCycles()) + "x",
+               Table::num(pb1 / pb.totalCycles()) + "x",
+               Table::num(cobra1 / cobra.totalCycles()) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << "Expected shape: the baseline hits the shared-bandwidth "
+                 "wall first; PB/COBRA keep scaling because they move "
+                 "fewer DRAM lines per update. COBRA's per-core C-Buffer "
+                 "fan-out must amortize against its update share (see "
+                 "capped column).\n";
+    return 0;
+}

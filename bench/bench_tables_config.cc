@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Paper Tables II and III: the simulated machine parameters and the
+ * input suite (our scaled stand-ins; DESIGN.md Section 5 maps each
+ * generator to the paper's input classes).
+ */
+
+#include "bench/bench_common.h"
+
+using namespace cobra;
+
+int
+main()
+{
+    Workbench wb;
+    Runner runner;
+
+    std::cout << "== Table II ==\n";
+    printMachineBanner(runner);
+
+    Table t("Table III: input graphs and matrices (generated stand-ins)");
+    t.header({"Name", "Class (paper analog)", "Nodes/Rows",
+              "Edges/NNZ", "Max degree"});
+    for (const auto &g : wb.inputs().graphs) {
+        EdgeOffset maxd = 0;
+        for (NodeId v = 0; v < g->out.numNodes(); ++v)
+            maxd = std::max(maxd, g->out.degree(v));
+        std::string analog = g->name == "KRON"
+            ? "power-law (KRON/TWIT/DBPD)"
+            : g->name == "URND" ? "uniform random (URND)"
+                                : "bounded-degree local (ROAD/EURO)";
+        t.row({g->name, analog, std::to_string(g->out.numNodes()),
+               std::to_string(g->out.numEdges()), std::to_string(maxd)});
+    }
+    for (const auto &m : wb.inputs().matrices) {
+        std::string analog = m->name == "SCAT"
+            ? "scattered (optimization)"
+            : m->name == "BAND" ? "banded stencil (HPCG-like)"
+                                : "symmetric (Cholesky input)";
+        t.row({m->name, analog, std::to_string(m->a.numRows()),
+               std::to_string(m->a.nnz()), "-"});
+    }
+    const auto &keys = *wb.inputs().keySets.front();
+    t.row({keys.name, "uniform sort keys (NAS IS-like)",
+           std::to_string(keys.maxKey), std::to_string(keys.keys.size()),
+           "-"});
+    t.print(std::cout);
+    return 0;
+}

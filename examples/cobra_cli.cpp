@@ -1,0 +1,273 @@
+/**
+ * @file
+ * cobra_cli — command-line driver for the library.
+ *
+ * Run any evaluation kernel on a generated or file-loaded graph, under
+ * any technique, natively or on the simulated Table II machine:
+ *
+ *   cobra_cli --kernel np --input kron --nodes 1048576 --edges 4194304 \
+ *             --technique cobra
+ *   cobra_cli --kernel pagerank --graph-file my.el --technique pb \
+ *             --bins 2048
+ *   cobra_cli --kernel degree --input urnd --native
+ *
+ * Kernels: degree, np, pagerank, radii, sort
+ * Inputs:  kron, urnd, road (generated) or --graph-file <path.el|.bel>
+ * Techniques: baseline, pb, ideal, cobra, comm, phi
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+#include "src/graph/stats.h"
+#include "src/harness/experiment.h"
+#include "src/harness/inputs.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/int_sort.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/kernels/pagerank.h"
+#include "src/kernels/radii.h"
+#include "src/pb/auto_tune.h"
+#include "src/sim/trace.h"
+#include "src/util/json.h"
+#include "src/util/table.h"
+#include "src/util/timer.h"
+
+using namespace cobra;
+
+namespace {
+
+struct Options
+{
+    std::string kernel = "np";
+    std::string input = "kron";
+    std::string graphFile;
+    std::string technique = "cobra";
+    NodeId nodes = 1 << 20;
+    uint64_t edges = 4ull << 20;
+    uint32_t bins = 2048;
+    bool native = false;
+    bool stats = false;
+    bool json = false;       ///< machine-readable output
+    bool autoBins = false;   ///< pick bins with the PB auto-tuner
+    std::string dumpTrace;   ///< write the update-index trace here
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--kernel degree|np|pagerank|radii|sort]\n"
+           "       [--input kron|urnd|road | --graph-file path]\n"
+           "       [--technique baseline|pb|ideal|cobra|comm|phi]\n"
+           "       [--nodes N] [--edges M] [--bins B|--auto-bins]\n"
+           "       [--native] [--stats] [--json]\n"
+           "       [--dump-trace out.trc]\n";
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    std::map<std::string, std::string *> str_flags{
+        {"--kernel", &o.kernel},
+        {"--input", &o.input},
+        {"--graph-file", &o.graphFile},
+        {"--technique", &o.technique},
+        {"--dump-trace", &o.dumpTrace},
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto need = [&](int i2) {
+            if (i2 >= argc)
+                usage(argv[0]);
+            return std::string(argv[i2]);
+        };
+        if (auto it = str_flags.find(a); it != str_flags.end()) {
+            *it->second = need(++i);
+        } else if (a == "--nodes") {
+            o.nodes = static_cast<NodeId>(std::atoll(need(++i).c_str()));
+        } else if (a == "--edges") {
+            o.edges = static_cast<uint64_t>(
+                std::atoll(need(++i).c_str()));
+        } else if (a == "--bins") {
+            o.bins = static_cast<uint32_t>(
+                std::atoll(need(++i).c_str()));
+        } else if (a == "--native") {
+            o.native = true;
+        } else if (a == "--stats") {
+            o.stats = true;
+        } else if (a == "--json") {
+            o.json = true;
+        } else if (a == "--auto-bins") {
+            o.autoBins = true;
+        } else {
+            std::cerr << "unknown flag: " << a << "\n";
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    // --- input ---
+    std::unique_ptr<GraphInput> g;
+    if (!o.graphFile.empty()) {
+        g = std::make_unique<GraphInput>();
+        g->name = o.graphFile;
+        NodeId n = 0;
+        if (o.graphFile.size() > 4 &&
+            o.graphFile.substr(o.graphFile.size() - 4) == ".bel")
+            g->edges = loadEdgeListBinary(o.graphFile, &n);
+        else
+            g->edges = loadEdgeListText(o.graphFile, &n);
+        g->nodes = n;
+        g->out = CsrGraph::build(n, g->edges);
+        g->in = CsrGraph::buildTranspose(n, g->edges);
+    } else {
+        std::string cls = o.input == "kron"
+            ? "KRON"
+            : o.input == "urnd" ? "URND"
+                                : o.input == "road" ? "ROAD" : "";
+        if (cls.empty())
+            usage(argv[0]);
+        g = makeGraphInput(cls, o.nodes, o.edges);
+    }
+    if (o.stats)
+        computeGraphStats(g->out).print(std::cout, g->name);
+    if (o.autoBins) {
+        o.bins = autoTunePbBins(g->nodes);
+        std::cout << "auto-tuned PB bins: " << o.bins << "\n";
+    }
+    if (!o.dumpTrace.empty()) {
+        // Neighbor-Populate-style update-index trace (one per edge).
+        UpdateTrace tr;
+        tr.numIndices = g->nodes;
+        tr.indices.reserve(g->edges.size());
+        for (const Edge &e : g->edges)
+            tr.indices.push_back(e.src);
+        saveTrace(o.dumpTrace, tr);
+        std::cout << "wrote " << tr.indices.size() << "-tuple trace to "
+                  << o.dumpTrace << "\n";
+    }
+
+    // --- kernel ---
+    std::unique_ptr<Kernel> kernel;
+    std::vector<uint32_t> keys;
+    if (o.kernel == "degree") {
+        kernel = std::make_unique<DegreeCountKernel>(g->nodes,
+                                                     &g->edges);
+    } else if (o.kernel == "np") {
+        kernel = std::make_unique<NeighborPopulateKernel>(g->nodes,
+                                                          &g->edges);
+    } else if (o.kernel == "pagerank") {
+        kernel = std::make_unique<PagerankKernel>(&g->out, &g->in);
+    } else if (o.kernel == "radii") {
+        kernel = std::make_unique<RadiiKernel>(&g->out, 5, 3);
+    } else if (o.kernel == "sort") {
+        keys = generateKeys(o.edges, g->nodes, 77);
+        kernel = std::make_unique<IntSortKernel>(&keys, g->nodes);
+    } else {
+        usage(argv[0]);
+    }
+
+    // --- native run: wall clock only ---
+    if (o.native) {
+        ExecCtx ctx;
+        PhaseRecorder rec;
+        Timer t;
+        if (o.technique == "baseline")
+            kernel->runBaseline(ctx, rec);
+        else if (o.technique == "pb")
+            kernel->runPb(ctx, rec, o.bins);
+        else if (o.technique == "phi")
+            kernel->runPhi(ctx, rec, o.bins);
+        else {
+            std::cerr << "--native supports baseline|pb|phi (COBRA "
+                         "needs the simulator)\n";
+            return 2;
+        }
+        std::cout << o.kernel << "/" << o.technique << " on "
+                  << g->name << ": " << t.millis() << " ms, "
+                  << (kernel->verify() ? "verified" : "WRONG!") << "\n";
+        return kernel->verify() ? 0 : 1;
+    }
+
+    // --- simulated run ---
+    Runner runner;
+    RunOptions ro;
+    ro.pbBins = o.bins;
+    RunResult r;
+    if (o.technique == "baseline")
+        r = runner.run(*kernel, Technique::Baseline);
+    else if (o.technique == "pb")
+        r = runner.run(*kernel, Technique::PbSw, ro);
+    else if (o.technique == "ideal")
+        r = runner.pbIdeal(*kernel, Runner::defaultBinLadder(
+                                        kernel->numIndices()));
+    else if (o.technique == "cobra")
+        r = runner.run(*kernel, Technique::Cobra, ro);
+    else if (o.technique == "comm")
+        r = runner.run(*kernel, Technique::CobraComm, ro);
+    else if (o.technique == "phi")
+        r = runner.run(*kernel, Technique::Phi, ro);
+    else
+        usage(argv[0]);
+
+    if (o.json) {
+        JsonWriter w(std::cout);
+        w.beginObject()
+            .kv("kernel", o.kernel)
+            .kv("input", g->name)
+            .kv("technique", o.technique)
+            .kv("bins", static_cast<uint64_t>(r.pbBins))
+            .kv("verified", r.verified);
+        auto phase_obj = [&](const char *name, const PhaseStats &p) {
+            w.key(name).beginObject()
+                .kv("cycles", p.cycles)
+                .kv("instructions", p.instructions)
+                .kv("branches", p.branches)
+                .kv("mispredicts", p.mispredicts)
+                .kv("l1_misses", p.l1Misses)
+                .kv("llc_misses", p.llcMisses)
+                .kv("dram_lines", p.dramLines)
+                .end();
+        };
+        phase_obj("init", r.init);
+        phase_obj("binning", r.binning);
+        phase_obj("accumulate", r.accumulate);
+        phase_obj("total", r.total);
+        w.end();
+        std::cout << "\n";
+        return r.verified ? 0 : 1;
+    }
+
+    Table t(o.kernel + "/" + o.technique + " on " + g->name);
+    t.header({"Phase", "Mcycles", "Minstr", "DRAM Mlines"});
+    auto row = [&](const char *name, const PhaseStats &p) {
+        if (p.cycles == 0 && p.instructions == 0)
+            return;
+        t.row({name, Table::num(p.cycles / 1e6, 2),
+               Table::num(p.instructions / 1e6, 2),
+               Table::num(p.dramLines / 1e6, 3)});
+    };
+    row("init", r.init);
+    row("binning", r.binning);
+    row("accumulate", r.accumulate);
+    row("TOTAL", r.total);
+    t.print(std::cout);
+    std::cout << "verified: " << (r.verified ? "yes" : "NO") << "\n";
+    return r.verified ? 0 : 1;
+}

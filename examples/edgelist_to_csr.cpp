@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Parallel Edgelist-to-CSR conversion with Propagation Blocking — the
+ * Graph500-motivated preprocessing pipeline of the paper (Degree-Count
+ * + Neighbor-Populate), parallelized with per-thread binners exactly as
+ * paper Section III-A prescribes (every thread owns duplicates of all
+ * bins and coalescing buffers; Binning needs no synchronization).
+ *
+ *   ./examples/edgelist_to_csr [num_vertices] [num_edges] [threads]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/graph/builder.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/pb/pb_binner.h"
+#include "src/util/prefix_sum.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+using namespace cobra;
+
+namespace {
+
+/** Serial direct conversion (the baseline). */
+CsrGraph
+directBuild(NodeId n, const EdgeList &el)
+{
+    return CsrGraph::build(n, el);
+}
+
+/** Parallel PB conversion: per-thread binners, shared accumulate. */
+CsrGraph
+pbBuild(NodeId n, const EdgeList &el, ThreadPool &pool, uint32_t bins)
+{
+    const size_t nt = pool.numThreads();
+    BinningPlan plan = BinningPlan::forMaxBins(n, bins);
+    ExecCtx native;
+
+    // Phase 0 (Init): each thread counts its shard's tuples.
+    std::vector<std::unique_ptr<PbBinner<NodeId>>> binners(nt);
+    for (auto &b : binners)
+        b = std::make_unique<PbBinner<NodeId>>(plan);
+    pool.parallelFor(el.size(), [&](size_t t, size_t lo, size_t hi) {
+        ExecCtx ctx;
+        for (size_t i = lo; i < hi; ++i)
+            binners[t]->initCount(ctx, el[i].src);
+    });
+    for (auto &b : binners)
+        b->finalizeInit(native);
+
+    // Phase 1 (Binning): no synchronization — per-thread buffers/bins.
+    pool.parallelFor(el.size(), [&](size_t t, size_t lo, size_t hi) {
+        ExecCtx ctx;
+        for (size_t i = lo; i < hi; ++i)
+            binners[t]->insert(ctx, el[i].src, el[i].dst);
+        binners[t]->flush(ctx);
+    });
+
+    // Degrees and offsets (streaming; cheap).
+    std::vector<EdgeOffset> degrees = countDegreesRef(n, el);
+    std::vector<EdgeOffset> offsets = exclusivePrefixSum(degrees);
+    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<NodeId> neighs(el.size());
+
+    // Phase 2 (Accumulate): bins are range-disjoint, so different bins
+    // touch disjoint cursor/neighbor ranges — parallel over bins.
+    pool.parallelFor(plan.numBins, [&](size_t, size_t lo, size_t hi) {
+        ExecCtx ctx;
+        for (size_t b = lo; b < hi; ++b) {
+            for (size_t t = 0; t < nt; ++t) {
+                binners[t]->forEachInBin(
+                    ctx, static_cast<uint32_t>(b),
+                    [&](const BinTuple<NodeId> &tp) {
+                        neighs[cursor[tp.index]++] = tp.payload;
+                    });
+            }
+        }
+    });
+    return CsrGraph(std::move(offsets), std::move(neighs));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoll(argv[1]))
+                              : (1u << 20);
+    const uint64_t m = argc > 2
+        ? static_cast<uint64_t>(std::atoll(argv[2]))
+        : 8ull * n;
+    const size_t threads = argc > 3
+        ? static_cast<size_t>(std::atoll(argv[3]))
+        : 0;
+
+    std::cout << "Generating " << m << " edges over " << n
+              << " vertices...\n";
+    EdgeList el = generateUniform(n, m, 99);
+    ThreadPool pool(threads);
+    std::cout << "Using " << pool.numThreads() << " threads.\n";
+
+    Timer t;
+    CsrGraph direct = directBuild(n, el);
+    std::cout << "direct (serial) build:  " << t.millis() << " ms\n";
+
+    t.reset();
+    CsrGraph via_pb = pbBuild(n, el, pool, 2048);
+    std::cout << "PB parallel build:      " << t.millis() << " ms\n";
+
+    bool ok = sortNeighborhoods(direct) == sortNeighborhoods(via_pb);
+    std::cout << "results match: " << (ok ? "yes" : "NO") << "\n";
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Driving the COBRA architecture model directly: run Neighbor-Populate
+ * under baseline / PB / COBRA on the simulated Table II machine and
+ * dump the full phase and C-Buffer statistics — the programmatic
+ * counterpart of the bench/ figure harnesses.
+ *
+ *   ./examples/simulate_cobra [num_vertices] [num_edges]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "src/harness/experiment.h"
+#include "src/harness/inputs.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/util/table.h"
+
+using namespace cobra;
+
+int
+main(int argc, char **argv)
+{
+    const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoll(argv[1]))
+                              : (1u << 18);
+    const uint64_t m = argc > 2
+        ? static_cast<uint64_t>(std::atoll(argv[2]))
+        : 3ull * n;
+
+    auto g = makeGraphInput("KRON", n, m, 5);
+    NeighborPopulateKernel kernel(g->nodes, &g->edges);
+    Runner runner;
+    runner.machine().print(std::cout);
+
+    Table t("Neighbor-Populate on the simulated machine");
+    t.header({"Technique", "Mcycles", "Minstr", "IPC", "L1 miss%",
+              "LLC miss%", "DRAM Mlines", "verified"});
+    auto row = [&](const char *name, const RunResult &r) {
+        double mr_l1 = r.total.l1Accesses
+            ? 100.0 * r.total.l1Misses / r.total.l1Accesses
+            : 0.0;
+        t.row({name, Table::num(r.total.cycles / 1e6, 2),
+               Table::num(r.total.instructions / 1e6, 2),
+               Table::num(r.total.instructions / r.total.cycles, 2),
+               Table::num(mr_l1, 1),
+               Table::num(100.0 * r.total.llcMissRate(), 1),
+               Table::num(r.total.dramLines / 1e6, 3),
+               r.verified ? "yes" : "NO"});
+    };
+
+    row("Baseline", runner.run(kernel, Technique::Baseline));
+    RunOptions o;
+    o.pbBins = runner.bestPbBins(kernel, {256, 1024, 4096});
+    row(("PB-SW (" + std::to_string(o.pbBins) + " bins)").c_str(),
+        runner.run(kernel, Technique::PbSw, o));
+    row("COBRA", runner.run(kernel, Technique::Cobra));
+    t.print(std::cout);
+
+    std::cout << "Per-phase cycles come from bench_fig11_phase_speedups; "
+                 "every paper figure has a bench/ binary.\n";
+    return 0;
+}

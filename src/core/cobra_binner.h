@@ -1,0 +1,496 @@
+/**
+ * @file
+ * The COBRA architecture model (paper Sections IV-V).
+ *
+ * COBRA replaces software PB's single set of coalescing buffers with a
+ * *hierarchy* of hardware-managed C-Buffers: each cache level pins its
+ * own set of cacheline-sized C-Buffers in reserved ways, with a per-level
+ * power-of-two bin range. The core only ever touches the L1 C-Buffers
+ * (via the binupdate instruction — one instruction, no branches); full
+ * buffers are evicted through FIFO eviction buffers and scattered by
+ * fixed-function binning engines into the next level's C-Buffers; full
+ * LLC C-Buffers spill 64B lines straight to in-memory bins through
+ * cursors kept in repurposed tag bits.
+ *
+ * This model is *functional + timed*: it really moves tuples (so kernels
+ * verify bit-for-bit against their baselines) while accounting
+ *  - one retired instruction per binupdate (no buffer-full branch),
+ *  - way reservation's effect on regular data (through the shared
+ *    MemoryHierarchy),
+ *  - DRAM line writes for LLC spills (partial lines waste bandwidth),
+ *  - core stalls when eviction bursts fill FIFO1, via the same tandem-
+ *    queue timing used by the standalone DES model (Section V-D).
+ */
+
+#ifndef COBRA_CORE_COBRA_BINNER_H
+#define COBRA_CORE_COBRA_BINNER_H
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+#include "src/core/cobra_config.h"
+#include "src/pb/bin_storage.h"
+#include "src/util/bitops.h"
+
+namespace cobra {
+
+/** Per-cache-level C-Buffer geometry chosen by bininit. */
+struct CobraLevelInfo
+{
+    uint32_t numBuffers = 0; ///< C-Buffers pinned at this level
+    uint32_t rangeShift = 0; ///< per-level bin range == 1 << rangeShift
+
+    uint32_t
+    bufferOf(uint32_t index) const
+    {
+        uint32_t b = index >> rangeShift;
+        return b < numBuffers ? b : numBuffers - 1;
+    }
+};
+
+/** COBRA binner for one core. @p Payload as in BinTuple. */
+template <typename Payload>
+class CobraBinner
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+    /** Commutative reduction for COBRA-COMM; absorbs src into dst. */
+    using Reducer = void (*)(Payload &dst, const Payload &src);
+
+    static constexpr uint32_t kTuplesPerLine =
+        kLineSize / static_cast<uint32_t>(sizeof(Tuple));
+
+    /**
+     * bininit (paper Section V-A): reserve ways at each level of @p ctx's
+     * hierarchy (if simulated) and compute per-level bin ranges. The
+     * geometry falls back to @p fallback when the context is native.
+     */
+    CobraBinner(ExecCtx &ctx, const CobraConfig &config,
+                uint64_t num_indices, Reducer reducer = nullptr,
+                const HierarchyConfig &fallback = HierarchyConfig{})
+        : cfg(config), reduce(reducer),
+          store(makeLlcPlan(config, num_indices,
+                            ctx.simulated() ? ctx.hierarchy()->config()
+                                            : fallback))
+    {
+        COBRA_FATAL_IF(cfg.coalesceAtLlc && reduce == nullptr,
+                       "COBRA-COMM requires a commutative reducer");
+        COBRA_FATAL_IF(cfg.hierarchyDepth < 1 || cfg.hierarchyDepth > 3,
+                       "hierarchyDepth must be 1, 2, or 3");
+        const HierarchyConfig &h =
+            ctx.simulated() ? ctx.hierarchy()->config() : fallback;
+        levels[0] = makeLevel(num_indices,
+                              reservedLines(h.l1, cfg.l1ReservedWays), 0);
+        levels[1] = makeLevel(num_indices,
+                              reservedLines(h.l2, cfg.l2ReservedWays), 0);
+        levels[2] = makeLevel(num_indices,
+                              reservedLines(h.llc, cfg.llcReservedWays),
+                              cfg.llcBuffersOverride);
+        COBRA_PANIC_IF(levels[2].numBuffers != store.numBins(),
+                       "LLC C-Buffer count disagrees with bin storage");
+
+        l1Data.assign(size_t{levels[0].numBuffers} * kTuplesPerLine,
+                      Tuple{});
+        l2Data.assign(size_t{levels[1].numBuffers} * kTuplesPerLine,
+                      Tuple{});
+        llcData.assign(size_t{levels[2].numBuffers} * kTuplesPerLine,
+                       Tuple{});
+        l1Count.assign(levels[0].numBuffers, 0);
+        l2Count.assign(levels[1].numBuffers, 0);
+        llcCount.assign(levels[2].numBuffers, 0);
+
+        stat.numL1Buffers = levels[0].numBuffers;
+        stat.numL2Buffers = levels[1].numBuffers;
+        stat.numLlcBuffers = levels[2].numBuffers;
+    }
+
+    /**
+     * Execute the bininit instructions: reserve the configured ways at
+     * every cache level, pinning the C-Buffers for the duration of
+     * Binning (paper Section V-A). Called at the start of the Binning
+     * phase — the Init counting pass runs with the full cache.
+     */
+    void
+    beginBinning(ExecCtx &ctx)
+    {
+        if (ctx.simulated()) {
+            MemoryHierarchy *hier = ctx.hierarchy();
+            hier->reserveWays(CacheLevel::L1, cfg.l1ReservedWays);
+            hier->reserveWays(CacheLevel::L2, cfg.l2ReservedWays);
+            hier->reserveWays(CacheLevel::LLC, cfg.llcReservedWays);
+        }
+        // One bininit instruction per level (CISC-like; constant work).
+        ctx.instr(3 * 4);
+    }
+
+    /** Release the reserved ways (end of the PB region). */
+    void
+    releaseWays(ExecCtx &ctx)
+    {
+        if (ctx.simulated()) {
+            MemoryHierarchy *hier = ctx.hierarchy();
+            hier->reserveWays(CacheLevel::L1, 0);
+            hier->reserveWays(CacheLevel::L2, 0);
+            hier->reserveWays(CacheLevel::LLC, 0);
+        }
+    }
+
+    BinStorage<Payload> &storage() { return store; }
+    uint32_t numBins() const { return store.numBins(); }
+    const CobraLevelInfo &level(CacheLevel l) const
+    {
+        return levels[static_cast<uint32_t>(l)];
+    }
+    const CobraStats &stats() const { return stat; }
+
+    /** Init phase: identical role to software PB's counting pass. */
+    void initCount(ExecCtx &ctx, uint32_t index)
+    {
+        store.countInsert(ctx, index);
+    }
+
+    /**
+     * Finish Init: build bin offsets and initialize the LLC C-Buffer tag
+     * cursors (one ISA instruction per LLC C-Buffer, paper Section V-E).
+     */
+    void
+    finalizeInit(ExecCtx &ctx)
+    {
+        store.finalizeInit(ctx);
+        ctx.instr(levels[2].numBuffers);
+    }
+
+    /**
+     * binupdate (paper Section V-B): one instruction; fixed-function
+     * logic appends the tuple to its L1 C-Buffer.
+     */
+    void
+    update(ExecCtx &ctx, uint32_t index, const Payload &payload)
+    {
+        ctx.instr(1);
+        ++stat.binUpdates;
+        coreTime += cfg.coreCyclesPerUpdate;
+
+        const uint32_t b = levels[0].bufferOf(index);
+        Tuple *buf = &l1Data[size_t{b} * kTuplesPerLine];
+        buf[l1Count[b]++] = makeTuple<Payload>(index, payload);
+        if (l1Count[b] == kTuplesPerLine) {
+            l1Count[b] = 0;
+            evictL1Line(ctx, buf, kTuplesPerLine);
+        }
+    }
+
+    /** Alias so generic code can treat PbBinner and CobraBinner alike. */
+    void
+    insert(ExecCtx &ctx, uint32_t index, const Payload &payload)
+    {
+        update(ctx, index, payload);
+    }
+
+    /**
+     * binflush (paper Section V-E): serially walk L1, then L2, then LLC
+     * C-Buffers, forcing evictions of non-empty (partially filled) lines
+     * so every tuple reaches its in-memory bin.
+     */
+    void
+    flush(ExecCtx &ctx)
+    {
+        // Controller walk: one check per C-Buffer line per active level.
+        uint64_t walk = levels[0].numBuffers;
+        if (cfg.hierarchyDepth >= 3)
+            walk += levels[1].numBuffers;
+        if (cfg.hierarchyDepth >= 2)
+            walk += levels[2].numBuffers;
+        ctx.instr(walk);
+
+        for (uint32_t b = 0; b < levels[0].numBuffers; ++b) {
+            if (l1Count[b]) {
+                scatterToL2(ctx, &l1Data[size_t{b} * kTuplesPerLine],
+                            l1Count[b]);
+                l1Count[b] = 0;
+            }
+        }
+        for (uint32_t b = 0; b < levels[1].numBuffers; ++b) {
+            if (l2Count[b]) {
+                scatterToLlc(ctx, &l2Data[size_t{b} * kTuplesPerLine],
+                             l2Count[b]);
+                l2Count[b] = 0;
+            }
+        }
+        for (uint32_t b = 0; b < levels[2].numBuffers; ++b) {
+            if (llcCount[b]) {
+                spillLlcBuffer(ctx, b, /*partial=*/true);
+            }
+        }
+        // Whatever queueing stalls accumulated are charged here.
+        drainStalls(ctx);
+    }
+
+    /**
+     * Worst-case context-switch model (paper Fig 13c): another process
+     * evicts every LLC C-Buffer line; partially-filled lines waste DRAM
+     * bandwidth because DRAM transfers whole 64B lines.
+     */
+    void
+    contextSwitchEvict(ExecCtx &ctx)
+    {
+        for (uint32_t b = 0; b < levels[2].numBuffers; ++b)
+            if (llcCount[b])
+                spillLlcBuffer(ctx, b, /*partial=*/true);
+    }
+
+    /** Accumulate-phase streaming, same contract as PbBinner. */
+    template <typename Fn>
+    void
+    forEachInBin(ExecCtx &ctx, uint32_t bin, Fn &&fn)
+    {
+        auto tuples = store.bin(bin);
+        for (const Tuple &t : tuples) {
+            ctx.load(&t, sizeof(Tuple));
+            ctx.instr(1);
+            fn(t);
+        }
+        ctx.branch(branch_site::kAccumulateLoop, !tuples.empty());
+    }
+
+  private:
+    static uint32_t
+    reservedLines(const CacheConfig &c, uint32_t ways)
+    {
+        COBRA_FATAL_IF(ways >= c.ways,
+                       c.name << ": cannot reserve all ways for C-Buffers");
+        return ways * c.numSets();
+    }
+
+    static CobraLevelInfo
+    makeLevel(uint64_t num_indices, uint32_t reserved_lines,
+              uint32_t override_buffers)
+    {
+        COBRA_FATAL_IF(reserved_lines == 0,
+                       "a level must reserve at least one line");
+        uint32_t max_bufs = reserved_lines;
+        if (override_buffers)
+            max_bufs = std::min(max_bufs, override_buffers);
+        BinningPlan p = BinningPlan::forMaxBins(num_indices, max_bufs);
+        return CobraLevelInfo{p.numBins, p.rangeShift};
+    }
+
+    static BinningPlan
+    makeLlcPlan(const CobraConfig &cfg, uint64_t num_indices,
+                const HierarchyConfig &h)
+    {
+        uint32_t lines = reservedLines(h.llc, cfg.llcReservedWays);
+        if (cfg.llcBuffersOverride)
+            lines = std::min(lines, cfg.llcBuffersOverride);
+        return BinningPlan::forMaxBins(num_indices, lines);
+    }
+
+    // ---- eviction pipeline (timing + functional scatter) ----
+
+    void
+    evictL1Line(ExecCtx &ctx, const Tuple *tuples, uint32_t n)
+    {
+        ++stat.l1Evictions;
+        // FIFO1 admission: stall the core if no slot is free.
+        drainFifo(fifo1, coreTime);
+        if (fifo1.size() >= cfg.fifo1Capacity) {
+            uint64_t at = fifo1.front();
+            stat.coreStallCycles += at - coreTime;
+            coreTime = at;
+            drainFifo(fifo1, coreTime);
+        }
+        uint64_t completion = scatterToL2Timed(ctx, tuples, n, coreTime);
+        fifo1.push_back(completion);
+    }
+
+    /** L1->L2 binning engine with FIFO2 backpressure; returns completion. */
+    uint64_t
+    scatterToL2Timed(ExecCtx &ctx, const Tuple *tuples, uint32_t n,
+                     uint64_t ready)
+    {
+        if (cfg.hierarchyDepth == 1) {
+            // Ablation: no intermediate levels — the engine writes the
+            // evicted line's tuples straight to in-memory bins.
+            uint64_t cur = std::max(ready, engine1Free) + n;
+            spillDirect(ctx, tuples, n);
+            engine1Free = cur;
+            return cur;
+        }
+        if (cfg.hierarchyDepth == 2) {
+            // Ablation: skip the L2 level.
+            uint64_t cur = std::max(ready, engine1Free) + n;
+            scatterToLlc(ctx, tuples, n);
+            engine1Free = cur;
+            return cur;
+        }
+        uint64_t cur = std::max(ready, engine1Free);
+        for (uint32_t i = 0; i < n; ++i) {
+            cur += 1;
+            const uint32_t b = levels[1].bufferOf(tuples[i].index);
+            Tuple *dst = &l2Data[size_t{b} * kTuplesPerLine];
+            dst[l2Count[b]++] = tuples[i];
+            if (l2Count[b] == kTuplesPerLine) {
+                l2Count[b] = 0;
+                ++stat.l2Evictions;
+                drainFifo(fifo2, cur);
+                if (fifo2.size() >= cfg.fifo2Capacity) {
+                    uint64_t at = fifo2.front();
+                    stat.engineStallCycles += at - cur;
+                    cur = at;
+                    drainFifo(fifo2, cur);
+                }
+                fifo2.push_back(
+                    scatterToLlcTimed(ctx, dst, kTuplesPerLine, cur));
+            }
+        }
+        engine1Free = cur;
+        return cur;
+    }
+
+    /** Untimed variant used by binflush (latency not core-critical). */
+    void
+    scatterToL2(ExecCtx &ctx, const Tuple *tuples, uint32_t n)
+    {
+        if (cfg.hierarchyDepth == 1) {
+            spillDirect(ctx, tuples, n);
+            return;
+        }
+        if (cfg.hierarchyDepth == 2) {
+            scatterToLlc(ctx, tuples, n);
+            return;
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            const uint32_t b = levels[1].bufferOf(tuples[i].index);
+            Tuple *dst = &l2Data[size_t{b} * kTuplesPerLine];
+            dst[l2Count[b]++] = tuples[i];
+            if (l2Count[b] == kTuplesPerLine) {
+                l2Count[b] = 0;
+                ++stat.l2Evictions;
+                scatterToLlc(ctx, dst, kTuplesPerLine);
+            }
+        }
+    }
+
+    uint64_t
+    scatterToLlcTimed(ExecCtx &ctx, const Tuple *tuples, uint32_t n,
+                      uint64_t ready)
+    {
+        uint64_t cur = std::max(ready, engine2Free);
+        cur += n; // one tuple per cycle; memory absorbs spills
+        scatterToLlc(ctx, tuples, n);
+        engine2Free = cur;
+        return cur;
+    }
+
+    void
+    scatterToLlc(ExecCtx &ctx, const Tuple *tuples, uint32_t n)
+    {
+        for (uint32_t i = 0; i < n; ++i) {
+            const uint32_t b = levels[2].bufferOf(tuples[i].index);
+            Tuple *dst = &llcData[size_t{b} * kTuplesPerLine];
+            if (cfg.coalesceAtLlc) {
+                // COBRA-COMM: the LLC reduction unit probes the C-Buffer
+                // for a matching index and coalesces in place.
+                bool coalesced = false;
+                for (uint32_t j = 0; j < llcCount[b]; ++j) {
+                    if (dst[j].index == tuples[i].index) {
+                        if constexpr (!std::is_same_v<Payload, NoPayload>)
+                            reduce(dst[j].payload, tuples[i].payload);
+                        ++stat.coalescedTuples;
+                        coalesced = true;
+                        break;
+                    }
+                }
+                if (coalesced)
+                    continue;
+            }
+            dst[llcCount[b]++] = tuples[i];
+            if (llcCount[b] == kTuplesPerLine)
+                spillLlcBuffer(ctx, b, /*partial=*/false);
+        }
+    }
+
+    /**
+     * Depth-1 ablation spill: the tuples of one evicted L1 line scatter
+     * across bins; each same-bin group costs one (mostly partial) DRAM
+     * line write — the waste hierarchical buffering exists to avoid.
+     */
+    void
+    spillDirect(ExecCtx &ctx, const Tuple *tuples, uint32_t n)
+    {
+        bool done[kLineSize / sizeof(Tuple)] = {};
+        for (uint32_t i = 0; i < n; ++i) {
+            if (done[i])
+                continue;
+            const uint32_t b = levels[2].bufferOf(tuples[i].index);
+            uint32_t group = 0;
+            for (uint32_t j = i; j < n; ++j) {
+                if (!done[j] &&
+                    levels[2].bufferOf(tuples[j].index) == b) {
+                    done[j] = true;
+                    Tuple *dst = store.appendRaw(b, 1);
+                    *dst = tuples[j];
+                    ++group;
+                }
+            }
+            ctx.dramWriteLine(group *
+                              static_cast<uint32_t>(sizeof(Tuple)));
+            ++stat.directSpillLines;
+        }
+    }
+
+    void
+    spillLlcBuffer(ExecCtx &ctx, uint32_t b, bool partial)
+    {
+        const uint32_t n = llcCount[b];
+        COBRA_PANIC_IF(n == 0, "spilling empty LLC C-Buffer");
+        Tuple *src = &llcData[size_t{b} * kTuplesPerLine];
+        Tuple *dst = store.appendRaw(b, n);
+        std::memcpy(dst, src, n * sizeof(Tuple));
+        // One 64B line write to the bin at the tag-resident cursor; the
+        // cursor bump is fixed-function logic (no instructions).
+        ctx.dramWriteLine(n * static_cast<uint32_t>(sizeof(Tuple)));
+        if (partial)
+            ++stat.flushLines;
+        else
+            ++stat.llcEvictions;
+        llcCount[b] = 0;
+    }
+
+    static void
+    drainFifo(std::deque<uint64_t> &fifo, uint64_t t)
+    {
+        while (!fifo.empty() && fifo.front() <= t)
+            fifo.pop_front();
+    }
+
+    void
+    drainStalls(ExecCtx &ctx)
+    {
+        ctx.stall(static_cast<double>(stat.coreStallCycles) -
+                  stallsCharged);
+        stallsCharged = static_cast<double>(stat.coreStallCycles);
+    }
+
+    CobraConfig cfg;
+    Reducer reduce;
+    BinStorage<Payload> store;
+    CobraLevelInfo levels[3];
+    CobraStats stat;
+
+    std::vector<Tuple> l1Data, l2Data, llcData;
+    std::vector<uint32_t> l1Count, l2Count, llcCount;
+
+    // Tandem-queue timing state (paper Section V-D).
+    std::deque<uint64_t> fifo1, fifo2;
+    uint64_t coreTime = 0;
+    uint64_t engine1Free = 0;
+    uint64_t engine2Free = 0;
+    double stallsCharged = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_CORE_COBRA_BINNER_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * COBRA architecture configuration (paper Sections IV-V).
+ */
+
+#ifndef COBRA_CORE_COBRA_CONFIG_H
+#define COBRA_CORE_COBRA_CONFIG_H
+
+#include <cstdint>
+
+namespace cobra {
+
+/**
+ * Static configuration of the COBRA extensions for one core.
+ *
+ * Default way reservation follows paper Section V-A: all but one way in
+ * the L1 and LLC, and a single way in the L2 (the stream prefetcher puts
+ * the remaining L2 capacity to better use). FIFO eviction-buffer sizes
+ * follow the DES study of Section V-D / Fig 13a.
+ */
+struct CobraConfig
+{
+    uint32_t l1ReservedWays = 7;
+    uint32_t l2ReservedWays = 1;
+    uint32_t llcReservedWays = 15;
+
+    uint32_t fifo1Capacity = 32; ///< L1 -> L2 eviction buffer entries
+    uint32_t fifo2Capacity = 8;  ///< L2 -> LLC eviction buffer entries
+
+    /**
+     * Core cycles per binupdate for the eviction-timing model: Binning
+     * interleaves updates with streaming loads, so the sustained
+     * insertion rate is below one per cycle (see EvictionDesConfig).
+     */
+    uint32_t coreCyclesPerUpdate = 3;
+
+    /**
+     * COBRA-COMM (paper Section VII-C): coalesce commutative updates in
+     * LLC C-Buffers using an atomic reduction unit. Only legal when the
+     * kernel supplies a reducer.
+     */
+    bool coalesceAtLlc = false;
+
+    /**
+     * Number of C-Buffer levels: 3 (full L1->L2->LLC hierarchy, the
+     * COBRA design), 2 (L1->LLC, skipping L2), or 1 (L1 C-Buffers spill
+     * straight to in-memory bins). Depth 1 demonstrates *why* the
+     * hierarchy exists: an evicted L1 line's tuples scatter across many
+     * bins, so writing them without intermediate re-coalescing produces
+     * a partial DRAM line per tuple group (paper Section IV's key
+     * insight, as an ablation).
+     */
+    uint32_t hierarchyDepth = 3;
+
+    /**
+     * Cap the number of LLC C-Buffers (and hence in-memory bins) below
+     * what the reserved ways would allow. 0 = no cap. Used by the PINV
+     * medium-bin variant the paper discusses in Section VII-A and by the
+     * sensitivity studies.
+     */
+    uint32_t llcBuffersOverride = 0;
+};
+
+/** Runtime statistics of one COBRA Binning execution. */
+struct CobraStats
+{
+    uint64_t binUpdates = 0;      ///< binupdate instructions executed
+    uint64_t l1Evictions = 0;     ///< full L1 C-Buffer lines evicted
+    uint64_t l2Evictions = 0;     ///< full L2 C-Buffer lines evicted
+    uint64_t llcEvictions = 0;    ///< full LLC C-Buffer lines -> memory
+    uint64_t flushLines = 0;      ///< partial lines written by binflush
+    uint64_t directSpillLines = 0; ///< depth-1 ablation: lines written
+                                   ///< straight from L1 evictions
+    uint64_t coalescedTuples = 0; ///< tuples absorbed by COBRA-COMM
+    uint64_t coreStallCycles = 0; ///< core blocked on full FIFO1
+    uint64_t engineStallCycles = 0; ///< L1 engine blocked on full FIFO2
+
+    uint32_t numL1Buffers = 0;
+    uint32_t numL2Buffers = 0;
+    uint32_t numLlcBuffers = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_CORE_COBRA_CONFIG_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The COBRA ISA extension, as architectural documentation (paper
+ * Sections V-A, V-B, V-E).
+ *
+ * Three instructions are added to a commodity multicore ISA. In this
+ * reproduction they are "executed" through CobraBinner's methods; this
+ * header records their architectural contracts in one place and provides
+ * the descriptor types used by tests to check operand validity rules.
+ *
+ *   bininit  level, ways, numIndices, tupleBytes
+ *     Reserve `ways` at cache `level` for C-Buffers, compute the smallest
+ *     power-of-two bin range whose C-Buffers fit in the reserved ways,
+ *     and latch it in a per-level bin-range register. Executed once per
+ *     cache level before Binning.
+ *
+ *   binupdate  index, value
+ *     Append the tuple (index, value) to the L1 C-Buffer selected by
+ *     index >> log2(L1BinRange). Retires only at ROB head (writes the
+ *     data cache like a store) but needs no address-generation port: L1
+ *     C-Buffers are directly addressed from the operand value.
+ *
+ *   binflush
+ *     Serially walk all C-Buffer lines L1 -> L2 -> LLC, forcing eviction
+ *     of non-empty lines so every buffered tuple reaches its in-memory
+ *     bin. Invoked at the end of Binning (and on page-out of bin pages).
+ *
+ *   bintaginit  bufferId, binOffset        (Section V-E)
+ *     Store a starting bin cursor in the repurposed tag entry of an LLC
+ *     C-Buffer line. Executed once per LLC C-Buffer after the Init phase.
+ */
+
+#ifndef COBRA_CORE_ISA_H
+#define COBRA_CORE_ISA_H
+
+#include <cstdint>
+
+#include "src/mem/types.h"
+#include "src/util/bitops.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** Operands of a bininit instruction. */
+struct BinInitOp
+{
+    CacheLevel level;
+    uint32_t ways;
+    uint64_t numIndices;
+    uint32_t tupleBytes;
+
+    /** Architectural validity per Section V-A. */
+    bool
+    valid(uint32_t level_assoc) const
+    {
+        return ways > 0 && ways < level_assoc && numIndices > 0 &&
+            tupleBytes > 0 && isPow2(tupleBytes) &&
+            tupleBytes <= kLineSize;
+    }
+
+    /** Tuples per 64B C-Buffer line. */
+    uint32_t tuplesPerLine() const { return kLineSize / tupleBytes; }
+
+    /**
+     * Offset-counter width needed to track a line's tuples; must fit in
+     * the repurposed metadata bits (paper claims 4 bits suffice: 1 PLRU +
+     * 1 dirty + 2 MESI for 8-tuple lines; 16-tuple lines need 4).
+     */
+    uint32_t counterBits() const { return ceilLog2(tuplesPerLine()); }
+};
+
+/** Metadata bits available for repurposing per L1/L2 line (Section V-C). */
+constexpr uint32_t kRepurposableMetadataBits = 4; // 1 PLRU + 1 dirty + 2 MESI
+
+} // namespace cobra
+
+#endif // COBRA_CORE_ISA_H

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Idealized PHI model (Mukkara et al., MICRO'19) for the Section VII-C
+ * comparison (paper Fig 14).
+ *
+ * PHI adds reduction units at private caches and an atomic reduction unit
+ * at the LLC so that *commutative* updates destined to the same index
+ * coalesce hierarchically before ever reaching memory; surviving updates
+ * are batched into software-PB-style bins (PHI keeps software PB's bin
+ * count, which is why its Accumulate working set — and hence its L1 miss
+ * rate — is worse than COBRA's, Fig 14b). Following the paper (footnote
+ * 4), the model is idealized: PHI pays zero instructions for managing PB
+ * data; only its memory traffic is modeled.
+ *
+ * Capacity model: each level coalesces within the same cache space COBRA
+ * would reserve there; eviction is FIFO (insertion order), which slightly
+ * favors PHI for streaming-reuse patterns — a conservative choice for the
+ * COBRA-vs-PHI comparison.
+ */
+
+#ifndef COBRA_CORE_PHI_H
+#define COBRA_CORE_PHI_H
+
+#include <deque>
+#include <unordered_map>
+
+#include "src/core/cobra_config.h"
+#include "src/pb/bin_storage.h"
+
+namespace cobra {
+
+/** Hierarchically-coalescing update buffer model. */
+template <typename Payload>
+class PhiModel
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+    using Reducer = void (*)(Payload &dst, const Payload &src);
+
+    static constexpr uint32_t kTuplesPerLine =
+        kLineSize / static_cast<uint32_t>(sizeof(Tuple));
+
+    struct Stats
+    {
+        uint64_t updates = 0;
+        uint64_t coalescedL1 = 0;
+        uint64_t coalescedL2 = 0;
+        uint64_t coalescedLlc = 0;
+        uint64_t tuplesToMemory = 0;
+
+        uint64_t
+        coalesced() const
+        {
+            return coalescedL1 + coalescedL2 + coalescedLlc;
+        }
+    };
+
+    /**
+     * @param pb_plan software PB's binning plan (PHI batches surviving
+     *        updates into this many bins)
+     * @param reducer the commutative reduction (required)
+     */
+    PhiModel(ExecCtx &ctx, const BinningPlan &pb_plan, Reducer reducer,
+             const CobraConfig &space = CobraConfig{},
+             const HierarchyConfig &fallback = HierarchyConfig{})
+        : reduce(reducer), store(pb_plan),
+          lineBytes(pb_plan.numBins, 0)
+    {
+        COBRA_FATAL_IF(reduce == nullptr, "PHI requires commutativity");
+        const HierarchyConfig &h =
+            ctx.simulated() ? ctx.hierarchy()->config() : fallback;
+        levelCap[0] = space.l1ReservedWays * h.l1.numSets() *
+            kTuplesPerLine;
+        levelCap[1] = space.l2ReservedWays * h.l2.numSets() *
+            kTuplesPerLine;
+        levelCap[2] = space.llcReservedWays * h.llc.numSets() *
+            kTuplesPerLine;
+        for (int l = 0; l < 3; ++l)
+            table[l].reserve(levelCap[l] * 2);
+    }
+
+    BinStorage<Payload> &storage() { return store; }
+    const Stats &stats() const { return stat; }
+
+    void initCount(ExecCtx &ctx, uint32_t index)
+    {
+        store.countInsert(ctx, index);
+    }
+
+    void finalizeInit(ExecCtx &ctx) { store.finalizeInit(ctx); }
+
+    /** One update; idealized — a single instruction, like binupdate. */
+    void
+    update(ExecCtx &ctx, uint32_t index, const Payload &payload)
+    {
+        ctx.instr(1);
+        ++stat.updates;
+        insertAt(ctx, 0, index, payload);
+    }
+
+    /** Drain every level into the in-memory bins. */
+    void
+    flush(ExecCtx &ctx)
+    {
+        for (int l = 0; l < 3; ++l) {
+            for (uint32_t idx : fifo[l]) {
+                auto it = table[l].find(idx);
+                if (it == table[l].end())
+                    continue; // already migrated
+                Payload p = it->second;
+                table[l].erase(it);
+                if (l < 2)
+                    insertAt(ctx, l + 1, idx, p);
+                else
+                    emitToBin(ctx, idx, p);
+            }
+            fifo[l].clear();
+            table[l].clear();
+        }
+        // Final partial bin lines.
+        for (uint32_t b = 0; b < store.numBins(); ++b) {
+            if (lineBytes[b]) {
+                ctx.dramWriteLine(lineBytes[b]);
+                lineBytes[b] = 0;
+            }
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEachInBin(ExecCtx &ctx, uint32_t bin, Fn &&fn)
+    {
+        auto tuples = store.bin(bin);
+        for (const Tuple &t : tuples) {
+            ctx.load(&t, sizeof(Tuple));
+            ctx.instr(1);
+            fn(t);
+        }
+        ctx.branch(branch_site::kAccumulateLoop, !tuples.empty());
+    }
+
+  private:
+    void
+    insertAt(ExecCtx &ctx, int l, uint32_t index, const Payload &payload)
+    {
+        auto it = table[l].find(index);
+        if (it != table[l].end()) {
+            reduce(it->second, payload);
+            if (l == 0)
+                ++stat.coalescedL1;
+            else if (l == 1)
+                ++stat.coalescedL2;
+            else
+                ++stat.coalescedLlc;
+            return;
+        }
+        if (table[l].size() >= levelCap[l])
+            evictOldest(ctx, l);
+        table[l].emplace(index, payload);
+        fifo[l].push_back(index);
+    }
+
+    void
+    evictOldest(ExecCtx &ctx, int l)
+    {
+        while (!fifo[l].empty()) {
+            uint32_t victim = fifo[l].front();
+            fifo[l].pop_front();
+            auto it = table[l].find(victim);
+            if (it == table[l].end())
+                continue; // stale FIFO entry
+            Payload p = it->second;
+            table[l].erase(it);
+            if (l < 2)
+                insertAt(ctx, l + 1, victim, p);
+            else
+                emitToBin(ctx, victim, p);
+            return;
+        }
+        COBRA_PANIC_IF(true, "PHI eviction from empty level");
+    }
+
+    void
+    emitToBin(ExecCtx &ctx, uint32_t index, const Payload &payload)
+    {
+        ++stat.tuplesToMemory;
+        uint32_t b = store.binningPlan().binOf(index);
+        Tuple *dst = store.appendRaw(b, 1);
+        *dst = makeTuple<Payload>(index, payload);
+        // Batch into 64B lines per bin before spending a DRAM write.
+        lineBytes[b] += static_cast<uint32_t>(sizeof(Tuple));
+        if (lineBytes[b] >= kLineSize) {
+            ctx.dramWriteLine(kLineSize);
+            lineBytes[b] -= kLineSize;
+        }
+    }
+
+    Reducer reduce;
+    BinStorage<Payload> store;
+    std::unordered_map<uint32_t, Payload> table[3];
+    std::deque<uint32_t> fifo[3];
+    uint64_t levelCap[3] = {0, 0, 0};
+    std::vector<uint32_t> lineBytes; ///< partial-line bytes per bin
+    Stats stat;
+};
+
+} // namespace cobra
+
+#endif // COBRA_CORE_PHI_H

@@ -1,0 +1,39 @@
+#include "src/graph/builder.h"
+
+#include <algorithm>
+
+namespace cobra {
+
+std::vector<EdgeOffset>
+countDegreesRef(NodeId num_nodes, const EdgeList &el)
+{
+    std::vector<EdgeOffset> degrees(num_nodes, 0);
+    for (const Edge &e : el)
+        ++degrees[e.src];
+    return degrees;
+}
+
+std::vector<NodeId>
+populateNeighborsRef(const std::vector<EdgeOffset> &offsets,
+                     const EdgeList &el)
+{
+    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<NodeId> neighs(el.size());
+    for (const Edge &e : el)
+        neighs[cursor[e.src]++] = e.dst;
+    return neighs;
+}
+
+CsrGraph
+sortNeighborhoods(const CsrGraph &g)
+{
+    std::vector<NodeId> neighs = g.neighborsArray();
+    for (NodeId v = 0; v < g.numNodes(); ++v) {
+        auto begin = neighs.begin() + static_cast<ptrdiff_t>(g.offset(v));
+        auto end = begin + static_cast<ptrdiff_t>(g.degree(v));
+        std::sort(begin, end);
+    }
+    return CsrGraph(g.offsetsArray(), std::move(neighs));
+}
+
+} // namespace cobra

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Reference Edgelist-to-CSR pipeline pieces.
+ *
+ * Edgelist-to-CSR conversion is dominated by two irregular-update kernels
+ * (paper Section VI): Degree-Counting (commutative increments) and
+ * Neighbor-Populate (non-commutative cursor bumps, paper Algorithm 1).
+ * The instrumented baseline/PB/COBRA versions live in src/kernels; the
+ * functions here are the trusted serial references used for verification.
+ */
+
+#ifndef COBRA_GRAPH_BUILDER_H
+#define COBRA_GRAPH_BUILDER_H
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+
+namespace cobra {
+
+/** degrees[v] = out-degree of v. */
+std::vector<EdgeOffset> countDegreesRef(NodeId num_nodes,
+                                        const EdgeList &el);
+
+/**
+ * Paper Algorithm 1: given the offsets array (exclusive prefix sum of
+ * degrees), place each edge's dst into the neighbors array, bumping the
+ * per-source cursor. Consumes a copy of @p offsets (the kernel mutates
+ * it). Returns the neighbors array.
+ */
+std::vector<NodeId> populateNeighborsRef(const std::vector<EdgeOffset>
+                                             &offsets,
+                                         const EdgeList &el);
+
+/**
+ * Canonicalize a CSR's per-vertex neighbor lists by sorting them —
+ * Neighbor-Populate permits any intra-neighborhood order (that is what
+ * makes it unordered-parallel), so equality checks compare sorted forms.
+ */
+CsrGraph sortNeighborhoods(const CsrGraph &g);
+
+} // namespace cobra
+
+#endif // COBRA_GRAPH_BUILDER_H

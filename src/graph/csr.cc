@@ -1,0 +1,57 @@
+#include "src/graph/csr.h"
+
+#include "src/util/error.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+namespace {
+
+CsrGraph
+buildImpl(NodeId num_nodes, const EdgeList &el, bool transpose)
+{
+    std::vector<EdgeOffset> degrees(num_nodes, 0);
+    for (const Edge &e : el) {
+        NodeId s = transpose ? e.dst : e.src;
+        COBRA_FATAL_IF(s >= num_nodes || (transpose ? e.src : e.dst) >=
+                           num_nodes,
+                       "edge endpoint out of range");
+        ++degrees[s];
+    }
+    std::vector<EdgeOffset> offsets = exclusivePrefixSum(degrees);
+    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<NodeId> neighs(el.size());
+    for (const Edge &e : el) {
+        NodeId s = transpose ? e.dst : e.src;
+        NodeId d = transpose ? e.src : e.dst;
+        neighs[cursor[s]++] = d;
+    }
+    return CsrGraph(std::move(offsets), std::move(neighs));
+}
+
+} // namespace
+
+CsrGraph
+CsrGraph::build(NodeId num_nodes, const EdgeList &el)
+{
+    return buildImpl(num_nodes, el, /*transpose=*/false);
+}
+
+CsrGraph
+CsrGraph::buildTranspose(NodeId num_nodes, const EdgeList &el)
+{
+    return buildImpl(num_nodes, el, /*transpose=*/true);
+}
+
+EdgeList
+toEdgeList(const CsrGraph &g)
+{
+    EdgeList el;
+    el.reserve(g.numEdges());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        for (NodeId n : g.neighbors(v))
+            el.push_back(Edge{v, n});
+    return el;
+}
+
+} // namespace cobra

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Compressed Sparse Row graph (paper Figure 1).
+ *
+ * Two arrays represent the outgoing edges sorted by source: the Offsets
+ * Array (OA) stores, for each vertex, the start of its neighborhood in
+ * the Neighbors Array (NA), which stores all neighbor IDs contiguously.
+ * Traversing the NA and indexing a second array by its contents is the
+ * canonical irregular-update pattern this whole library is about.
+ */
+
+#ifndef COBRA_GRAPH_CSR_H
+#define COBRA_GRAPH_CSR_H
+
+#include <span>
+#include <vector>
+
+#include "src/graph/types.h"
+
+namespace cobra {
+
+/** CSR (out-edges) or CSC (in-edges, via buildTranspose) graph. */
+class CsrGraph
+{
+  public:
+    CsrGraph() = default;
+
+    /** Adopt prebuilt arrays; offsets.size() must be numNodes()+1. */
+    CsrGraph(std::vector<EdgeOffset> offsets_, std::vector<NodeId> neighs_)
+        : offsets(std::move(offsets_)), neighs(std::move(neighs_))
+    {
+    }
+
+    /**
+     * Reference (serial, trusted) builder from an edgelist; the PB and
+     * COBRA Edgelist-to-CSR kernels are verified against this.
+     */
+    static CsrGraph build(NodeId num_nodes, const EdgeList &el);
+
+    /** Build the transpose (CSC): edge (s,d) becomes (d,s). */
+    static CsrGraph buildTranspose(NodeId num_nodes, const EdgeList &el);
+
+    NodeId
+    numNodes() const
+    {
+        return offsets.empty() ? 0 : static_cast<NodeId>(offsets.size() - 1);
+    }
+
+    EdgeOffset numEdges() const { return offsets.empty() ? 0 : offsets.back(); }
+
+    EdgeOffset offset(NodeId v) const { return offsets[v]; }
+
+    EdgeOffset
+    degree(NodeId v) const
+    {
+        return offsets[v + 1] - offsets[v];
+    }
+
+    std::span<const NodeId>
+    neighbors(NodeId v) const
+    {
+        return {neighs.data() + offsets[v],
+                static_cast<size_t>(degree(v))};
+    }
+
+    const std::vector<EdgeOffset> &offsetsArray() const { return offsets; }
+    const std::vector<NodeId> &neighborsArray() const { return neighs; }
+
+    /** Equality of structure (useful in kernel-correctness tests). */
+    bool
+    operator==(const CsrGraph &o) const
+    {
+        return offsets == o.offsets && neighs == o.neighs;
+    }
+
+  private:
+    std::vector<EdgeOffset> offsets; ///< OA, numNodes+1 entries
+    std::vector<NodeId> neighs;      ///< NA, numEdges entries
+};
+
+/** Flatten a CSR back to an edgelist (test helper). */
+EdgeList toEdgeList(const CsrGraph &g);
+
+} // namespace cobra
+
+#endif // COBRA_GRAPH_CSR_H

@@ -1,0 +1,120 @@
+#include "src/graph/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/bitops.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+
+EdgeList
+generateUniform(NodeId num_nodes, uint64_t num_edges, uint64_t seed)
+{
+    COBRA_FATAL_IF(num_nodes == 0, "empty graph");
+    Rng rng(seed);
+    EdgeList el;
+    el.reserve(num_edges);
+    for (uint64_t i = 0; i < num_edges; ++i) {
+        NodeId s = static_cast<NodeId>(rng.below(num_nodes));
+        NodeId d = static_cast<NodeId>(rng.below(num_nodes));
+        el.push_back(Edge{s, d});
+    }
+    return el;
+}
+
+EdgeList
+generateRmat(NodeId num_nodes, uint64_t num_edges, uint64_t seed, double a,
+             double b, double c)
+{
+    COBRA_FATAL_IF(num_nodes == 0, "empty graph");
+    COBRA_FATAL_IF(a + b + c >= 1.0, "RMAT probabilities must sum < 1");
+    const uint32_t levels = ceilLog2(num_nodes);
+    Rng rng(seed);
+    EdgeList el;
+    el.reserve(num_edges);
+    while (el.size() < num_edges) {
+        NodeId s = 0, d = 0;
+        for (uint32_t l = 0; l < levels; ++l) {
+            double p = rng.uniform();
+            // Add a little per-level noise so the degree distribution is
+            // smoother than pure Kronecker (standard practice).
+            double aa = a + 0.05 * (rng.uniform() - 0.5);
+            double bb = b, cc = c;
+            s <<= 1;
+            d <<= 1;
+            if (p < aa) {
+                // top-left quadrant: no bits set
+            } else if (p < aa + bb) {
+                d |= 1;
+            } else if (p < aa + bb + cc) {
+                s |= 1;
+            } else {
+                s |= 1;
+                d |= 1;
+            }
+        }
+        if (s < num_nodes && d < num_nodes)
+            el.push_back(Edge{s, d});
+    }
+    return el;
+}
+
+EdgeList
+generateRoad(NodeId num_nodes, uint32_t degree, NodeId locality,
+             uint64_t seed)
+{
+    COBRA_FATAL_IF(num_nodes < 2 * locality + 2, "road graph too small");
+    Rng rng(seed);
+    EdgeList el;
+    el.reserve(static_cast<uint64_t>(num_nodes) * degree);
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        for (uint32_t k = 0; k < degree; ++k) {
+            // Destination within +-locality of v (never v itself).
+            int64_t delta =
+                static_cast<int64_t>(rng.below(2 * locality)) - locality;
+            if (delta >= 0)
+                ++delta;
+            int64_t d = static_cast<int64_t>(v) + delta;
+            d = (d % num_nodes + num_nodes) % num_nodes;
+            el.push_back(Edge{v, static_cast<NodeId>(d)});
+        }
+    }
+    return el;
+}
+
+void
+shuffleVertexIds(EdgeList &el, NodeId num_nodes, uint64_t seed)
+{
+    std::vector<NodeId> perm(num_nodes);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (NodeId i = num_nodes; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+    for (Edge &e : el) {
+        e.src = perm[e.src];
+        e.dst = perm[e.dst];
+    }
+}
+
+void
+shuffleEdgeOrder(EdgeList &el, uint64_t seed)
+{
+    Rng rng(seed);
+    for (size_t i = el.size(); i > 1; --i)
+        std::swap(el[i - 1], el[rng.below(i)]);
+}
+
+std::vector<uint32_t>
+generateKeys(uint64_t num_keys, uint32_t max_key, uint64_t seed)
+{
+    COBRA_FATAL_IF(max_key == 0, "max_key must be nonzero");
+    Rng rng(seed);
+    std::vector<uint32_t> keys(num_keys);
+    for (auto &k : keys)
+        k = static_cast<uint32_t>(rng.below(max_key));
+    return keys;
+}
+
+} // namespace cobra

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthetic graph generators covering the paper's three input classes
+ * (Table III): power-law (KRON/TWIT/DBPD-like), uniform-random (URND),
+ * and bounded-degree/high-locality (ROAD/EURO-like). Degree distribution
+ * and index-locality class are what drive PB and COBRA behaviour, so
+ * generators parameterized over these classes stand in for the paper's
+ * public inputs (DESIGN.md Section 5).
+ */
+
+#ifndef COBRA_GRAPH_GENERATORS_H
+#define COBRA_GRAPH_GENERATORS_H
+
+#include <cstdint>
+
+#include "src/graph/types.h"
+
+namespace cobra {
+
+/** Uniform-random directed multigraph: m edges with iid endpoints. */
+EdgeList generateUniform(NodeId num_nodes, uint64_t num_edges,
+                         uint64_t seed = 1);
+
+/**
+ * RMAT/Kronecker power-law generator (Graph500 parameters a=0.57,
+ * b=c=0.19 by default). @p num_nodes is rounded up to a power of two by
+ * the recursion but returned edges only use [0, num_nodes).
+ */
+EdgeList generateRmat(NodeId num_nodes, uint64_t num_edges,
+                      uint64_t seed = 1, double a = 0.57, double b = 0.19,
+                      double c = 0.19);
+
+/**
+ * Bounded-degree, high-locality "road network" analog: vertices on a
+ * ring, each connected to @p degree neighbors within a window of
+ * @p locality positions. Mimics EURO/ROAD's bounded degree distribution
+ * and short-range index locality.
+ */
+EdgeList generateRoad(NodeId num_nodes, uint32_t degree = 4,
+                      NodeId locality = 16, uint64_t seed = 1);
+
+/**
+ * Random permutation of vertex IDs applied to an edgelist — used to
+ * destroy the locality that generators can accidentally introduce
+ * (public-graph vertex orderings are arbitrary).
+ */
+void shuffleVertexIds(EdgeList &el, NodeId num_nodes, uint64_t seed = 7);
+
+/**
+ * Randomly permute the *order* of edges (not the vertex IDs) — edge
+ * files on disk are rarely sorted by source, and a sorted edgelist would
+ * give src-indexed kernels artificial streaming locality.
+ */
+void shuffleEdgeOrder(EdgeList &el, uint64_t seed = 5);
+
+/** Uniformly random sort keys in [0, max_key) (Integer Sort input). */
+std::vector<uint32_t> generateKeys(uint64_t num_keys, uint32_t max_key,
+                                   uint64_t seed = 1);
+
+} // namespace cobra
+
+#endif // COBRA_GRAPH_GENERATORS_H

@@ -1,0 +1,144 @@
+#include "src/graph/io.h"
+
+#include <cstdint>
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+namespace {
+
+constexpr uint64_t kBelMagic = 0x434F425241424531ULL; // "COBRABE1"
+constexpr uint64_t kCsrMagic = 0x434F425241435231ULL; // "COBRACR1"
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &v)
+{
+    os.write(reinterpret_cast<const char *>(&v), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is, const std::string &path)
+{
+    T v{};
+    is.read(reinterpret_cast<char *>(&v), sizeof(T));
+    COBRA_FATAL_IF(!is, path << ": truncated file");
+    return v;
+}
+
+} // namespace
+
+EdgeList
+loadEdgeListText(const std::string &path, NodeId *num_nodes)
+{
+    std::ifstream in(path);
+    COBRA_FATAL_IF(!in, "cannot open " << path);
+    EdgeList el;
+    NodeId max_node = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#' || line[0] == '%')
+            continue;
+        std::istringstream ls(line);
+        uint64_t s, d;
+        if (!(ls >> s >> d))
+            COBRA_FATAL_IF(true, path << ": malformed line: " << line);
+        COBRA_FATAL_IF(s > ~NodeId{0} || d > ~NodeId{0},
+                       path << ": vertex id exceeds 32 bits");
+        el.push_back(Edge{static_cast<NodeId>(s),
+                          static_cast<NodeId>(d)});
+        max_node = std::max({max_node, static_cast<NodeId>(s),
+                             static_cast<NodeId>(d)});
+    }
+    if (num_nodes)
+        *num_nodes = el.empty() ? 0 : max_node + 1;
+    return el;
+}
+
+void
+saveEdgeListText(const std::string &path, const EdgeList &el)
+{
+    std::ofstream out(path);
+    COBRA_FATAL_IF(!out, "cannot open " << path << " for writing");
+    out << "# src dst (cobra edgelist)\n";
+    for (const Edge &e : el)
+        out << e.src << " " << e.dst << "\n";
+    COBRA_FATAL_IF(!out, "write to " << path << " failed");
+}
+
+EdgeList
+loadEdgeListBinary(const std::string &path, NodeId *num_nodes)
+{
+    std::ifstream in(path, std::ios::binary);
+    COBRA_FATAL_IF(!in, "cannot open " << path);
+    COBRA_FATAL_IF(readPod<uint64_t>(in, path) != kBelMagic,
+                   path << ": not a cobra binary edgelist");
+    const uint64_t n = readPod<uint64_t>(in, path);
+    const uint64_t m = readPod<uint64_t>(in, path);
+    EdgeList el(m);
+    in.read(reinterpret_cast<char *>(el.data()),
+            static_cast<std::streamsize>(m * sizeof(Edge)));
+    COBRA_FATAL_IF(!in, path << ": truncated edge data");
+    if (num_nodes)
+        *num_nodes = static_cast<NodeId>(n);
+    return el;
+}
+
+void
+saveEdgeListBinary(const std::string &path, NodeId num_nodes,
+                   const EdgeList &el)
+{
+    std::ofstream out(path, std::ios::binary);
+    COBRA_FATAL_IF(!out, "cannot open " << path << " for writing");
+    writePod(out, kBelMagic);
+    writePod(out, static_cast<uint64_t>(num_nodes));
+    writePod(out, static_cast<uint64_t>(el.size()));
+    out.write(reinterpret_cast<const char *>(el.data()),
+              static_cast<std::streamsize>(el.size() * sizeof(Edge)));
+    COBRA_FATAL_IF(!out, "write to " << path << " failed");
+}
+
+CsrGraph
+loadCsrBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    COBRA_FATAL_IF(!in, "cannot open " << path);
+    COBRA_FATAL_IF(readPod<uint64_t>(in, path) != kCsrMagic,
+                   path << ": not a cobra binary CSR");
+    const uint64_t n = readPod<uint64_t>(in, path);
+    const uint64_t m = readPod<uint64_t>(in, path);
+    std::vector<EdgeOffset> offsets(n + 1);
+    std::vector<NodeId> neighs(m);
+    in.read(reinterpret_cast<char *>(offsets.data()),
+            static_cast<std::streamsize>((n + 1) * sizeof(EdgeOffset)));
+    in.read(reinterpret_cast<char *>(neighs.data()),
+            static_cast<std::streamsize>(m * sizeof(NodeId)));
+    COBRA_FATAL_IF(!in, path << ": truncated CSR data");
+    COBRA_FATAL_IF(offsets.back() != m,
+                   path << ": inconsistent CSR (offsets.back != m)");
+    return CsrGraph(std::move(offsets), std::move(neighs));
+}
+
+void
+saveCsrBinary(const std::string &path, const CsrGraph &g)
+{
+    std::ofstream out(path, std::ios::binary);
+    COBRA_FATAL_IF(!out, "cannot open " << path << " for writing");
+    writePod(out, kCsrMagic);
+    writePod(out, static_cast<uint64_t>(g.numNodes()));
+    writePod(out, static_cast<uint64_t>(g.numEdges()));
+    out.write(reinterpret_cast<const char *>(g.offsetsArray().data()),
+              static_cast<std::streamsize>((g.numNodes() + 1) *
+                                           sizeof(EdgeOffset)));
+    out.write(reinterpret_cast<const char *>(g.neighborsArray().data()),
+              static_cast<std::streamsize>(g.numEdges() *
+                                           sizeof(NodeId)));
+    COBRA_FATAL_IF(!out, "write to " << path << " failed");
+}
+
+} // namespace cobra

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Graph file I/O: text edgelists (the GAP/Graph500 ".el" convention),
+ * a compact binary edgelist format, and binary CSR serialization so a
+ * once-converted graph loads without re-running Edgelist-to-CSR.
+ */
+
+#ifndef COBRA_GRAPH_IO_H
+#define COBRA_GRAPH_IO_H
+
+#include <string>
+
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+
+namespace cobra {
+
+/**
+ * Read a text edgelist: one "src dst" pair per line; '#' or '%' lines
+ * are comments (SNAP / Matrix-Market-ish headers). Returns the edges;
+ * @p num_nodes is set to 1 + the largest endpoint seen.
+ */
+EdgeList loadEdgeListText(const std::string &path, NodeId *num_nodes);
+
+/** Write a text edgelist. */
+void saveEdgeListText(const std::string &path, const EdgeList &el);
+
+/**
+ * Binary edgelist (".bel"): little-endian header {magic, numNodes,
+ * numEdges} followed by numEdges (u32 src, u32 dst) pairs.
+ */
+EdgeList loadEdgeListBinary(const std::string &path, NodeId *num_nodes);
+void saveEdgeListBinary(const std::string &path, NodeId num_nodes,
+                        const EdgeList &el);
+
+/**
+ * Binary CSR (".csr"): header {magic, numNodes, numEdges}, then
+ * numNodes+1 u64 offsets, then numEdges u32 neighbors.
+ */
+CsrGraph loadCsrBinary(const std::string &path);
+void saveCsrBinary(const std::string &path, const CsrGraph &g);
+
+} // namespace cobra
+
+#endif // COBRA_GRAPH_IO_H

@@ -1,0 +1,78 @@
+#include "src/graph/stats.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace cobra {
+
+GraphStats
+computeGraphStats(const CsrGraph &g)
+{
+    GraphStats s;
+    s.numNodes = g.numNodes();
+    s.numEdges = g.numEdges();
+    if (s.numNodes == 0)
+        return s;
+    s.avgDegree = static_cast<double>(s.numEdges) / s.numNodes;
+
+    std::vector<EdgeOffset> degrees(s.numNodes);
+    uint64_t zero = 0;
+    for (NodeId v = 0; v < s.numNodes; ++v) {
+        degrees[v] = g.degree(v);
+        s.maxDegree = std::max(s.maxDegree, degrees[v]);
+        zero += degrees[v] == 0 ? 1 : 0;
+    }
+    s.zeroDegreeShare = static_cast<double>(zero) / s.numNodes;
+
+    std::sort(degrees.begin(), degrees.end());
+    // Top-1% edge share.
+    const size_t top = std::max<size_t>(1, degrees.size() / 100);
+    uint64_t top_edges = 0;
+    for (size_t i = degrees.size() - top; i < degrees.size(); ++i)
+        top_edges += degrees[i];
+    s.top1PercentEdgeShare = s.numEdges
+        ? static_cast<double>(top_edges) / s.numEdges
+        : 0.0;
+
+    // Gini coefficient from the sorted distribution:
+    // G = (2 * sum(i * d_i) / (n * sum(d))) - (n + 1) / n.
+    if (s.numEdges > 0) {
+        long double weighted = 0;
+        for (size_t i = 0; i < degrees.size(); ++i)
+            weighted += static_cast<long double>(i + 1) * degrees[i];
+        long double n = degrees.size();
+        s.degreeGini = static_cast<double>(
+            2.0L * weighted / (n * static_cast<long double>(s.numEdges)) -
+            (n + 1) / n);
+    }
+
+    // Mean normalized ring distance between edge endpoints.
+    if (s.numEdges > 0) {
+        long double acc = 0;
+        for (NodeId v = 0; v < s.numNodes; ++v) {
+            for (NodeId u : g.neighbors(v)) {
+                uint64_t d = v > u ? v - u : u - v;
+                d = std::min<uint64_t>(d, s.numNodes - d);
+                acc += d;
+            }
+        }
+        s.meanIndexDistance = static_cast<double>(
+            acc / static_cast<long double>(s.numEdges) /
+            (static_cast<long double>(s.numNodes) / 2.0L));
+    }
+    return s;
+}
+
+void
+GraphStats::print(std::ostream &os, const std::string &name) const
+{
+    os << name << ": n=" << numNodes << " m=" << numEdges
+       << " avg_deg=" << avgDegree << " max_deg=" << maxDegree
+       << " top1%share=" << top1PercentEdgeShare
+       << " gini=" << degreeGini
+       << " locality=" << meanIndexDistance
+       << " zero_deg=" << zeroDegreeShare << "\n";
+}
+
+} // namespace cobra

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Graph characterization: the degree-distribution and index-locality
+ * metrics that determine PB/COBRA behaviour (DESIGN.md Section 5) —
+ * used to validate that the generated inputs occupy the same classes as
+ * the paper's Table III graphs.
+ */
+
+#ifndef COBRA_GRAPH_STATS_H
+#define COBRA_GRAPH_STATS_H
+
+#include <ostream>
+
+#include "src/graph/csr.h"
+
+namespace cobra {
+
+/** Summary of a graph's degree distribution and index locality. */
+struct GraphStats
+{
+    NodeId numNodes = 0;
+    EdgeOffset numEdges = 0;
+    EdgeOffset maxDegree = 0;
+    double avgDegree = 0;
+    /** Fraction of edges owned by the top 1% highest-degree vertices —
+     * the skew metric distinguishing KRON-like from URND-like inputs. */
+    double top1PercentEdgeShare = 0;
+    /** Gini coefficient of the degree distribution in [0, 1]. */
+    double degreeGini = 0;
+    /** Mean ring distance |src-dst| normalized by n/2 in [0, 1]; small
+     * values = ROAD-like index locality. */
+    double meanIndexDistance = 0;
+    /** Fraction of vertices with zero out-degree. */
+    double zeroDegreeShare = 0;
+
+    void print(std::ostream &os, const std::string &name) const;
+};
+
+/** Compute stats over an out-CSR (uses its edges for locality). */
+GraphStats computeGraphStats(const CsrGraph &g);
+
+} // namespace cobra
+
+#endif // COBRA_GRAPH_STATS_H

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Basic graph types (GAP-benchmark-style CSR building blocks).
+ */
+
+#ifndef COBRA_GRAPH_TYPES_H
+#define COBRA_GRAPH_TYPES_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cobra {
+
+/** Vertex identifier (32-bit, as in the paper's 4B tuple indices). */
+using NodeId = uint32_t;
+
+/** Edge count / CSR offset type. */
+using EdgeOffset = uint64_t;
+
+/** A directed edge. */
+struct Edge
+{
+    NodeId src;
+    NodeId dst;
+
+    bool
+    operator==(const Edge &o) const
+    {
+        return src == o.src && dst == o.dst;
+    }
+};
+
+/** Edgelist: the raw input representation (Graph500 / GAP convention). */
+using EdgeList = std::vector<Edge>;
+
+} // namespace cobra
+
+#endif // COBRA_GRAPH_TYPES_H

@@ -1,0 +1,129 @@
+#include "src/harness/experiment.h"
+
+#include <cmath>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+RunResult
+Runner::run(Kernel &kernel, Technique technique,
+            const RunOptions &opts) const
+{
+    // A fresh machine per run: no warm state leaks across techniques.
+    MemoryHierarchy hier(mc.hierarchy);
+    CoreModel core(mc.core);
+    BranchPredictor bp(mc.branch);
+    ExecCtx ctx(&hier, &core, &bp);
+    PhaseRecorder rec;
+
+    RunResult res;
+    res.technique = technique;
+    switch (technique) {
+      case Technique::Baseline:
+        kernel.runBaseline(ctx, rec);
+        break;
+      case Technique::PbSw:
+        res.pbBins = opts.pbBins;
+        kernel.runPb(ctx, rec, opts.pbBins);
+        break;
+      case Technique::Cobra:
+        kernel.runCobra(ctx, rec, opts.cobra);
+        break;
+      case Technique::CobraComm: {
+        CobraConfig cfg = opts.cobra;
+        cfg.coalesceAtLlc = true;
+        kernel.runCobra(ctx, rec, cfg);
+        break;
+      }
+      case Technique::Phi:
+        res.pbBins = opts.pbBins;
+        kernel.runPhi(ctx, rec, opts.pbBins);
+        break;
+    }
+
+    res.init = rec.phase(phase::kInit);
+    res.binning = rec.phase(phase::kBinning);
+    res.accumulate = rec.phase(phase::kAccumulate);
+    if (technique == Technique::Baseline) {
+        res.total = rec.phase(phase::kCompute);
+    } else {
+        res.total = rec.total();
+    }
+    res.verified = kernel.verify();
+    return res;
+}
+
+Runner::PbSweep
+Runner::sweepPb(Kernel &kernel,
+                const std::vector<uint32_t> &candidates) const
+{
+    COBRA_FATAL_IF(candidates.empty(), "empty bin-count sweep");
+    PbSweep sweep;
+    for (uint32_t bins : candidates) {
+        RunOptions o;
+        o.pbBins = bins;
+        sweep.runs.push_back(run(kernel, Technique::PbSw, o));
+    }
+    sweep.best = sweep.runs.front();
+    sweep.ideal = sweep.runs.front();
+    for (const RunResult &r : sweep.runs) {
+        if (r.cycles() < sweep.best.cycles())
+            sweep.best = r;
+        // PB-SW-IDEAL: best Binning (with its Init) and best Accumulate,
+        // chosen independently (paper Fig 5).
+        if (r.init.cycles + r.binning.cycles <
+            sweep.ideal.init.cycles + sweep.ideal.binning.cycles) {
+            sweep.ideal.init = r.init;
+            sweep.ideal.binning = r.binning;
+        }
+        if (r.accumulate.cycles < sweep.ideal.accumulate.cycles)
+            sweep.ideal.accumulate = r.accumulate;
+    }
+    sweep.ideal.total = PhaseStats{};
+    sweep.ideal.total.name = "total";
+    sweep.ideal.total += sweep.ideal.init;
+    sweep.ideal.total += sweep.ideal.binning;
+    sweep.ideal.total += sweep.ideal.accumulate;
+    sweep.ideal.pbBins = 0; // composite: no single bin count
+    return sweep;
+}
+
+uint32_t
+Runner::bestPbBins(Kernel &kernel,
+                   const std::vector<uint32_t> &candidates) const
+{
+    return sweepPb(kernel, candidates).best.pbBins;
+}
+
+RunResult
+Runner::pbIdeal(Kernel &kernel,
+                const std::vector<uint32_t> &candidates) const
+{
+    return sweepPb(kernel, candidates).ideal;
+}
+
+std::vector<uint32_t>
+Runner::defaultBinLadder(uint64_t num_indices)
+{
+    std::vector<uint32_t> ladder;
+    for (uint32_t b = 16; b <= num_indices / 16 && b <= (1u << 16);
+         b *= 4)
+        ladder.push_back(b);
+    if (ladder.empty())
+        ladder.push_back(16);
+    return ladder;
+}
+
+double
+geoMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::log(x);
+    return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+} // namespace cobra

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Experiment runner: executes a kernel under a technique on a fresh
+ * simulated machine and collects the metrics the paper's tables and
+ * figures report.
+ */
+
+#ifndef COBRA_HARNESS_EXPERIMENT_H
+#define COBRA_HARNESS_EXPERIMENT_H
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+#include "src/sim/machine_config.h"
+#include "src/sim/phase_recorder.h"
+
+namespace cobra {
+
+/** Everything measured in one kernel execution. */
+struct RunResult
+{
+    Technique technique = Technique::Baseline;
+    uint32_t pbBins = 0;       ///< bins used (PB/PHI)
+    PhaseStats init;           ///< bin sizing (empty for baseline)
+    PhaseStats binning;
+    PhaseStats accumulate;
+    PhaseStats total;
+    bool verified = false;
+
+    double cycles() const { return total.cycles; }
+};
+
+/** Options for one run. */
+struct RunOptions
+{
+    uint32_t pbBins = 1024;      ///< PB/PHI bin-count cap
+    CobraConfig cobra{};         ///< COBRA configuration
+};
+
+/**
+ * Runs kernels on freshly-constructed simulated machines (per Table II
+ * unless overridden).
+ */
+class Runner
+{
+  public:
+    explicit Runner(const MachineConfig &machine = MachineConfig{})
+        : mc(machine)
+    {
+    }
+
+    const MachineConfig &machine() const { return mc; }
+
+    /** Execute @p kernel under @p technique and verify the output. */
+    RunResult run(Kernel &kernel, Technique technique,
+                  const RunOptions &opts = RunOptions{}) const;
+
+    /** Results of one bin-count sweep, computed from single runs. */
+    struct PbSweep
+    {
+        std::vector<RunResult> runs; ///< one per candidate, in order
+        RunResult best;              ///< minimum-total-cycles run
+        RunResult ideal;             ///< PB-SW-IDEAL composition
+    };
+
+    /**
+     * Run PB once per candidate bin count and derive both the best run
+     * (the paper's per-workload/input bin-range selection) and the
+     * PB-SW-IDEAL composition — without re-running anything.
+     */
+    PbSweep sweepPb(Kernel &kernel,
+                    const std::vector<uint32_t> &candidates) const;
+
+    /**
+     * Sweep @p candidates and return the bin count minimizing total PB
+     * cycles (the paper's per-workload/input best-bin-range selection).
+     */
+    uint32_t bestPbBins(Kernel &kernel,
+                        const std::vector<uint32_t> &candidates) const;
+
+    /**
+     * PB-SW-IDEAL (paper Figs 5, 10): the unrealizable execution that
+     * uses the best bin count for Binning and, independently, the best
+     * bin count for Accumulate. Composed from sweep results: minimal
+     * init+binning cycles plus minimal accumulate cycles.
+     */
+    RunResult pbIdeal(Kernel &kernel,
+                      const std::vector<uint32_t> &candidates) const;
+
+    /** Default bin-count sweep ladder for an index namespace size. */
+    static std::vector<uint32_t> defaultBinLadder(uint64_t num_indices);
+
+  private:
+    MachineConfig mc;
+};
+
+/** speedup of @p opt over @p base (>1 means opt is faster). */
+inline double
+speedup(const RunResult &base, const RunResult &opt)
+{
+    return opt.cycles() > 0 ? base.cycles() / opt.cycles() : 0.0;
+}
+
+/** Geometric mean helper for "mean speedup" rows. */
+double geoMean(const std::vector<double> &xs);
+
+} // namespace cobra
+
+#endif // COBRA_HARNESS_EXPERIMENT_H

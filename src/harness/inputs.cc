@@ -1,0 +1,121 @@
+#include "src/harness/inputs.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/graph/generators.h"
+#include "src/sparse/generators.h"
+#include "src/sparse/reference.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+double
+InputSuite::scaleFromEnv()
+{
+    const char *s = std::getenv("COBRA_SCALE");
+    if (!s)
+        return 1.0;
+    double v = std::atof(s);
+    return std::clamp(v, 0.01, 64.0);
+}
+
+std::unique_ptr<GraphInput>
+makeGraphInput(const std::string &name, NodeId nodes, uint64_t edges,
+               uint64_t seed)
+{
+    auto g = std::make_unique<GraphInput>();
+    g->name = name;
+    g->nodes = nodes;
+    if (name == "KRON") {
+        g->edges = generateRmat(nodes, edges, seed);
+        shuffleVertexIds(g->edges, nodes, seed + 1);
+    } else if (name == "URND") {
+        g->edges = generateUniform(nodes, edges, seed);
+    } else if (name == "ROAD") {
+        // Bounded degree, high locality; IDs deliberately not shuffled.
+        uint32_t degree = static_cast<uint32_t>(
+            std::max<uint64_t>(1, edges / nodes));
+        g->edges = generateRoad(nodes, degree, 32, seed);
+        shuffleEdgeOrder(g->edges, seed + 2);
+    } else {
+        COBRA_FATAL_IF(true, "unknown graph class: " << name);
+    }
+    g->out = CsrGraph::build(nodes, g->edges);
+    g->in = CsrGraph::buildTranspose(nodes, g->edges);
+    return g;
+}
+
+InputSuite
+InputSuite::standard(double scale)
+{
+    InputSuite s;
+    // Defaults: 1M vertices (vertex data = 2x the 2MB LLC slice, the
+    // working-set-exceeds-cache regime the paper studies) and 3M edges;
+    // COBRA_SCALE scales everything.
+    const NodeId gn = static_cast<NodeId>(1024.0 * 1024.0 * scale);
+    const uint64_t ge = static_cast<uint64_t>(3.0 * 1024 * 1024 * scale);
+
+    s.graphs.push_back(makeGraphInput("KRON", gn, ge, 11));
+    s.graphs.push_back(makeGraphInput("URND", gn, ge, 22));
+    s.graphs.push_back(makeGraphInput("ROAD", gn, ge, 33));
+
+    const uint32_t mn = static_cast<uint32_t>(512.0 * 1024.0 * scale);
+    {
+        auto m = std::make_unique<MatrixInput>();
+        m->name = "SCAT"; // scattered "optimization" pattern
+        m->a = CsrMatrix::fromCoo(generateScatteredMatrix(mn, 4, 44));
+        m->at = transposeRef(m->a);
+        s.matrices.push_back(std::move(m));
+    }
+    {
+        auto m = std::make_unique<MatrixInput>();
+        m->name = "BAND"; // banded "simulation"/HPCG-like pattern
+        m->a = CsrMatrix::fromCoo(generateBandedMatrix(mn, 6, 0.5, 55));
+        m->at = transposeRef(m->a);
+        s.matrices.push_back(std::move(m));
+    }
+    {
+        auto m = std::make_unique<MatrixInput>();
+        m->name = "SYMM"; // symmetric pattern for SymPerm
+        m->a = CsrMatrix::fromCoo(generateSymmetricMatrix(mn, 4, 66));
+        m->at = transposeRef(m->a);
+        m->symmetric = true;
+        s.matrices.push_back(std::move(m));
+    }
+
+    {
+        auto k = std::make_unique<KeysInput>();
+        k->name = "KEYS";
+        k->maxKey = gn;
+        k->keys = generateKeys(ge, k->maxKey, 77);
+        s.keySets.push_back(std::move(k));
+    }
+
+    s.permutation = std::make_unique<std::vector<uint32_t>>(
+        generatePermutation(gn, 88));
+    s.permutationM = std::make_unique<std::vector<uint32_t>>(
+        generatePermutation(mn, 89));
+    s.vecX = std::make_unique<std::vector<double>>(generateVector(mn, 99));
+    return s;
+}
+
+const GraphInput &
+InputSuite::graph(const std::string &name) const
+{
+    for (const auto &g : graphs)
+        if (g->name == name)
+            return *g;
+    COBRA_FATAL_IF(true, "no such graph input: " << name);
+}
+
+const MatrixInput &
+InputSuite::matrix(const std::string &name) const
+{
+    for (const auto &m : matrices)
+        if (m->name == name)
+            return *m;
+    COBRA_FATAL_IF(true, "no such matrix input: " << name);
+}
+
+} // namespace cobra

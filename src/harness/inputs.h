@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The standard input suite (scaled stand-in for paper Table III).
+ *
+ * Three graph classes drive PB/COBRA behaviour: power-law (KRON-like),
+ * uniform random (URND-like), and bounded-degree/high-locality
+ * (ROAD/EURO-like). Matrices cover scattered ("optimization") and banded
+ * ("simulation"/HPCG-like) patterns plus a symmetric one for SymPerm.
+ * Sizes are scaled so the irregularly-updated vertex data is a small
+ * multiple of the simulated 2MB LLC slice — the same
+ * working-set-exceeds-LLC regime the paper evaluates (DESIGN.md
+ * Section 5). Scale with COBRA_SCALE env var (default 1.0).
+ */
+
+#ifndef COBRA_HARNESS_INPUTS_H
+#define COBRA_HARNESS_INPUTS_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+#include "src/sparse/csr_matrix.h"
+
+namespace cobra {
+
+/** A named graph with edgelist and both CSR orientations. */
+struct GraphInput
+{
+    std::string name;
+    NodeId nodes = 0;
+    EdgeList edges;
+    CsrGraph out; ///< out-edge CSR
+    CsrGraph in;  ///< transpose (in-edge CSR)
+};
+
+/** A named matrix with its transpose. */
+struct MatrixInput
+{
+    std::string name;
+    CsrMatrix a;
+    CsrMatrix at;
+    bool symmetric = false;
+};
+
+/** Integer-sort input. */
+struct KeysInput
+{
+    std::string name;
+    std::vector<uint32_t> keys;
+    uint32_t maxKey = 0;
+};
+
+/** Lazily-built standard suite. */
+class InputSuite
+{
+  public:
+    /** @param scale multiplies default node/edge/nnz counts. */
+    static InputSuite standard(double scale = scaleFromEnv());
+
+    /** COBRA_SCALE env var, default 1.0 (clamped to [0.01, 64]). */
+    static double scaleFromEnv();
+
+    std::vector<std::unique_ptr<GraphInput>> graphs;
+    std::vector<std::unique_ptr<MatrixInput>> matrices;
+    std::vector<std::unique_ptr<KeysInput>> keySets;
+    std::unique_ptr<std::vector<uint32_t>> permutation;  ///< PINV input
+    std::unique_ptr<std::vector<uint32_t>> permutationM; ///< matrix-sized
+    std::unique_ptr<std::vector<double>> vecX; ///< SpMV input vector
+
+    const GraphInput &graph(const std::string &name) const;
+    const MatrixInput &matrix(const std::string &name) const;
+};
+
+/** Build a single graph input by class name ("KRON", "URND", "ROAD"). */
+std::unique_ptr<GraphInput> makeGraphInput(const std::string &name,
+                                           NodeId nodes, uint64_t edges,
+                                           uint64_t seed = 1);
+
+} // namespace cobra
+
+#endif // COBRA_HARNESS_INPUTS_H

@@ -1,0 +1,406 @@
+#include "src/harness/parallel.h"
+
+#include <algorithm>
+
+#include "src/core/cobra_binner.h"
+#include "src/graph/builder.h"
+#include "src/pb/pb_binner.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+namespace {
+
+/** One simulated core: private hierarchy, core model, predictor. */
+struct SimCore
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx;
+
+    explicit SimCore(const MachineConfig &mc)
+        : hier(mc.hierarchy), core(mc.core), bp(mc.branch),
+          ctx(&hier, &core, &bp)
+    {
+    }
+
+    double cycles() const { return core.cycles().total(); }
+    uint64_t dramLines() const { return hier.dram().totalLines(); }
+};
+
+/** Per-core contiguous shard of [0, n). */
+struct Shard
+{
+    size_t begin, end;
+};
+
+std::vector<Shard>
+makeShards(size_t n, uint32_t cores)
+{
+    std::vector<Shard> shards(cores);
+    size_t chunk = (n + cores - 1) / cores;
+    for (uint32_t c = 0; c < cores; ++c) {
+        shards[c].begin = std::min(n, c * chunk);
+        shards[c].end = std::min(n, (c + 1) * chunk);
+    }
+    return shards;
+}
+
+/** Bulk-synchronous phase accounting across cores. */
+class PhaseTracker
+{
+  public:
+    explicit PhaseTracker(std::vector<std::unique_ptr<SimCore>> &cores_,
+                          double dram_bytes_per_cycle)
+        : cores(cores_), bw(dram_bytes_per_cycle)
+    {
+        markCycles.assign(cores.size(), 0.0);
+        markDram.assign(cores.size(), 0);
+    }
+
+    void
+    begin()
+    {
+        for (size_t c = 0; c < cores.size(); ++c) {
+            markCycles[c] = cores[c]->cycles();
+            markDram[c] = cores[c]->dramLines();
+        }
+    }
+
+    /** Barrier: max core time, floored by shared DRAM bandwidth. */
+    double
+    end(uint64_t *dram_lines_out = nullptr)
+    {
+        double max_cycles = 0;
+        uint64_t dram = 0;
+        for (size_t c = 0; c < cores.size(); ++c) {
+            max_cycles = std::max(max_cycles,
+                                  cores[c]->cycles() - markCycles[c]);
+            dram += cores[c]->dramLines() - markDram[c];
+        }
+        if (dram_lines_out)
+            *dram_lines_out += dram;
+        const double bw_floor = static_cast<double>(dram) * kLineSize / bw;
+        return std::max(max_cycles, bw_floor);
+    }
+
+  private:
+    std::vector<std::unique_ptr<SimCore>> &cores;
+    double bw;
+    std::vector<double> markCycles;
+    std::vector<uint64_t> markDram;
+};
+
+/** NoC cost (cycles) for core @p c to read @p bytes from core @p t. */
+double
+remoteReadCost(const MulticoreConfig &cfg, const MeshNoc &noc,
+               uint32_t c, uint32_t t, uint64_t bytes)
+{
+    if (!cfg.modelNoc || c == t || bytes == 0)
+        return 0.0;
+    uint64_t lines = divCeil(bytes, kLineSize);
+    return noc.transferCycles(lines, noc.hops(c, t)) / cfg.nocOverlap;
+}
+
+std::vector<std::unique_ptr<SimCore>>
+makeCores(const MulticoreConfig &cfg)
+{
+    std::vector<std::unique_ptr<SimCore>> cores;
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        cores.push_back(std::make_unique<SimCore>(cfg.perCore));
+    return cores;
+}
+
+} // namespace
+
+ParallelRunResult
+ParallelSim::neighborPopulateBaseline(NodeId num_nodes,
+                                      const EdgeList &el) const
+{
+    auto degrees = countDegreesRef(num_nodes, el);
+    auto offsets = exclusivePrefixSum(degrees);
+    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<NodeId> neighs(el.size());
+
+    auto cores = makeCores(cfg);
+    auto shards = makeShards(el.size(), cfg.numCores);
+    PhaseTracker phase(cores, cfg.dramBytesPerCycle);
+
+    ParallelRunResult res;
+    res.cores = cfg.numCores;
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            const Edge &e = el[i];
+            ctx.load(&e, sizeof(Edge));
+            ctx.instr(3); // atomic fetch-add costs extra vs plain add
+            ctx.load(&cursor[e.src], 8);
+            EdgeOffset pos = cursor[e.src]++;
+            ctx.store(&cursor[e.src], 8);
+            neighs[pos] = e.dst;
+            ctx.store(&neighs[pos], 4);
+        }
+    }
+    res.accumulateCycles = 0;
+    res.binningCycles = phase.end(&res.dramLines);
+    res.verified = sortNeighborhoods(CsrGraph(offsets, neighs)) ==
+        sortNeighborhoods(CsrGraph::build(num_nodes, el));
+    return res;
+}
+
+ParallelRunResult
+ParallelSim::neighborPopulatePb(NodeId num_nodes, const EdgeList &el,
+                                uint32_t max_bins) const
+{
+    auto degrees = countDegreesRef(num_nodes, el);
+    auto offsets = exclusivePrefixSum(degrees);
+    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<NodeId> neighs(el.size());
+
+    auto cores = makeCores(cfg);
+    auto shards = makeShards(el.size(), cfg.numCores);
+    PhaseTracker phase(cores, cfg.dramBytesPerCycle);
+
+    BinningPlan plan = BinningPlan::forMaxBins(num_nodes, max_bins);
+    std::vector<std::unique_ptr<PbBinner<NodeId>>> binners;
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        binners.push_back(std::make_unique<PbBinner<NodeId>>(plan));
+
+    ParallelRunResult res;
+    res.cores = cfg.numCores;
+
+    // Init: per-core counting of its shard.
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            ctx.load(&el[i].src, 4);
+            ctx.instr(1);
+            binners[c]->initCount(ctx, el[i].src);
+        }
+        binners[c]->finalizeInit(ctx);
+    }
+    res.initCycles = phase.end(&res.dramLines);
+
+    // Binning: synchronization-free, per-core binners.
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            const Edge &e = el[i];
+            ctx.load(&e, sizeof(Edge));
+            ctx.instr(1);
+            binners[c]->insert(ctx, e.src, e.dst);
+        }
+        binners[c]->flush(ctx);
+    }
+    res.binningCycles = phase.end(&res.dramLines);
+
+    // Accumulate: bins round-robin across cores; each core drains every
+    // thread's copy of its bins (paper Algorithm 2, lines 6-11); remote
+    // copies cross the mesh NoC.
+    MeshNoc noc(cfg.numCores, cfg.noc);
+    phase.begin();
+    for (uint32_t b = 0; b < plan.numBins; ++b) {
+        const uint32_t c = b % cfg.numCores;
+        ExecCtx &ctx = cores[c]->ctx;
+        for (uint32_t t = 0; t < cfg.numCores; ++t) {
+            ctx.stall(remoteReadCost(
+                cfg, noc, c, t,
+                binners[t]->storage().bin(b).size() *
+                    sizeof(BinTuple<NodeId>)));
+            binners[t]->forEachInBin(
+                ctx, b, [&](const BinTuple<NodeId> &tp) {
+                    ctx.instr(1);
+                    ctx.load(&cursor[tp.index], 8);
+                    EdgeOffset pos = cursor[tp.index]++;
+                    ctx.store(&cursor[tp.index], 8);
+                    neighs[pos] = tp.payload;
+                    ctx.store(&neighs[pos], 4);
+                });
+        }
+    }
+    res.accumulateCycles = phase.end(&res.dramLines);
+
+    res.verified = sortNeighborhoods(CsrGraph(offsets, neighs)) ==
+        sortNeighborhoods(CsrGraph::build(num_nodes, el));
+    return res;
+}
+
+ParallelRunResult
+ParallelSim::neighborPopulateCobra(NodeId num_nodes, const EdgeList &el,
+                                   const CobraConfig &cc) const
+{
+    auto degrees = countDegreesRef(num_nodes, el);
+    auto offsets = exclusivePrefixSum(degrees);
+    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<NodeId> neighs(el.size());
+
+    auto cores = makeCores(cfg);
+    auto shards = makeShards(el.size(), cfg.numCores);
+    PhaseTracker phase(cores, cfg.dramBytesPerCycle);
+
+    std::vector<std::unique_ptr<CobraBinner<NodeId>>> binners;
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        binners.push_back(std::make_unique<CobraBinner<NodeId>>(
+            cores[c]->ctx, cc, num_nodes));
+
+    ParallelRunResult res;
+    res.cores = cfg.numCores;
+
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            ctx.load(&el[i].src, 4);
+            ctx.instr(1);
+            binners[c]->initCount(ctx, el[i].src);
+        }
+        binners[c]->finalizeInit(ctx);
+    }
+    res.initCycles = phase.end(&res.dramLines);
+
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        binners[c]->beginBinning(ctx);
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            const Edge &e = el[i];
+            ctx.load(&e, sizeof(Edge));
+            ctx.instr(1);
+            binners[c]->update(ctx, e.src, e.dst);
+        }
+        binners[c]->flush(ctx);
+        binners[c]->releaseWays(ctx);
+    }
+    res.binningCycles = phase.end(&res.dramLines);
+
+    MeshNoc noc(cfg.numCores, cfg.noc);
+    phase.begin();
+    const uint32_t num_bins = binners[0]->numBins();
+    for (uint32_t b = 0; b < num_bins; ++b) {
+        const uint32_t c = b % cfg.numCores;
+        ExecCtx &ctx = cores[c]->ctx;
+        for (uint32_t t = 0; t < cfg.numCores; ++t) {
+            ctx.stall(remoteReadCost(
+                cfg, noc, c, t,
+                binners[t]->storage().bin(b).size() *
+                    sizeof(BinTuple<NodeId>)));
+            binners[t]->forEachInBin(
+                ctx, b, [&](const BinTuple<NodeId> &tp) {
+                    ctx.instr(1);
+                    ctx.load(&cursor[tp.index], 8);
+                    EdgeOffset pos = cursor[tp.index]++;
+                    ctx.store(&cursor[tp.index], 8);
+                    neighs[pos] = tp.payload;
+                    ctx.store(&neighs[pos], 4);
+                });
+        }
+    }
+    res.accumulateCycles = phase.end(&res.dramLines);
+
+    res.verified = sortNeighborhoods(CsrGraph(offsets, neighs)) ==
+        sortNeighborhoods(CsrGraph::build(num_nodes, el));
+    return res;
+}
+
+ParallelRunResult
+ParallelSim::degreeCountBaseline(NodeId num_nodes,
+                                 const EdgeList &el) const
+{
+    std::vector<uint32_t> deg(num_nodes, 0);
+    auto cores = makeCores(cfg);
+    auto shards = makeShards(el.size(), cfg.numCores);
+    PhaseTracker phase(cores, cfg.dramBytesPerCycle);
+
+    ParallelRunResult res;
+    res.cores = cfg.numCores;
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            const Edge &e = el[i];
+            ctx.load(&e, sizeof(Edge));
+            ctx.instr(3); // atomic increment
+            ctx.load(&deg[e.src], 4);
+            ++deg[e.src];
+            ctx.store(&deg[e.src], 4);
+        }
+    }
+    res.binningCycles = phase.end(&res.dramLines);
+
+    auto ref = countDegreesRef(num_nodes, el);
+    res.verified = std::equal(ref.begin(), ref.end(), deg.begin());
+    return res;
+}
+
+ParallelRunResult
+ParallelSim::degreeCountPb(NodeId num_nodes, const EdgeList &el,
+                           uint32_t max_bins) const
+{
+    std::vector<uint32_t> deg(num_nodes, 0);
+    auto cores = makeCores(cfg);
+    auto shards = makeShards(el.size(), cfg.numCores);
+    PhaseTracker phase(cores, cfg.dramBytesPerCycle);
+
+    BinningPlan plan = BinningPlan::forMaxBins(num_nodes, max_bins);
+    std::vector<std::unique_ptr<PbBinner<NoPayload>>> binners;
+    for (uint32_t c = 0; c < cfg.numCores; ++c)
+        binners.push_back(std::make_unique<PbBinner<NoPayload>>(plan));
+
+    ParallelRunResult res;
+    res.cores = cfg.numCores;
+
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            ctx.load(&el[i].src, 4);
+            ctx.instr(1);
+            binners[c]->initCount(ctx, el[i].src);
+        }
+        binners[c]->finalizeInit(ctx);
+    }
+    res.initCycles = phase.end(&res.dramLines);
+
+    phase.begin();
+    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+        ExecCtx &ctx = cores[c]->ctx;
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
+            ctx.load(&el[i], sizeof(Edge));
+            ctx.instr(1);
+            binners[c]->insert(ctx, el[i].src, NoPayload{});
+        }
+        binners[c]->flush(ctx);
+    }
+    res.binningCycles = phase.end(&res.dramLines);
+
+    MeshNoc noc(cfg.numCores, cfg.noc);
+    phase.begin();
+    for (uint32_t b = 0; b < plan.numBins; ++b) {
+        const uint32_t c = b % cfg.numCores;
+        ExecCtx &ctx = cores[c]->ctx;
+        for (uint32_t t = 0; t < cfg.numCores; ++t) {
+            ctx.stall(remoteReadCost(
+                cfg, noc, c, t,
+                binners[t]->storage().bin(b).size() *
+                    sizeof(BinTuple<NoPayload>)));
+            binners[t]->forEachInBin(
+                ctx, b, [&](const BinTuple<NoPayload> &tp) {
+                    ctx.instr(1);
+                    ctx.load(&deg[tp.index], 4);
+                    ++deg[tp.index];
+                    ctx.store(&deg[tp.index], 4);
+                });
+        }
+    }
+    res.accumulateCycles = phase.end(&res.dramLines);
+
+    auto ref = countDegreesRef(num_nodes, el);
+    res.verified = std::equal(ref.begin(), ref.end(), deg.begin());
+    return res;
+}
+
+} // namespace cobra

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Multicore simulation of parallel PB / COBRA executions.
+ *
+ * The paper's machine is a 16-core CMP (Table II) and parallel PB is
+ * built for it: every thread owns private bins and C-Buffers, so
+ * Binning is synchronization-free, and Accumulate partitions bins
+ * (disjoint index ranges) across threads (paper Section III-A).
+ *
+ * Model: each simulated core gets its own private L1/L2, local LLC
+ * NUCA slice, core model, and branch predictor; work is sharded
+ * contiguously; a phase ends at a barrier, so its time is the maximum
+ * over cores — and the whole phase is additionally bounded from below
+ * by shared DRAM bandwidth (total lines x 64B / bytes-per-cycle), the
+ * resource that actually limits irregular kernels at scale.
+ *
+ * Simplification (conservative *against* PB/COBRA): the baseline's
+ * cross-core coherence traffic on shared irregularly-written lines is
+ * not modeled, which can only make the baseline look better than it
+ * would on real hardware. PB and COBRA never share written lines during
+ * Binning, and Accumulate's bin ranges are disjoint, so they are
+ * unaffected by the simplification.
+ */
+
+#ifndef COBRA_HARNESS_PARALLEL_H
+#define COBRA_HARNESS_PARALLEL_H
+
+#include <memory>
+#include <vector>
+
+#include "src/core/cobra_config.h"
+#include "src/graph/types.h"
+#include "src/sim/machine_config.h"
+#include "src/sim/noc.h"
+
+namespace cobra {
+
+/** Multicore machine description. */
+struct MulticoreConfig
+{
+    uint32_t numCores = 16;
+    MachineConfig perCore{};
+    /** Shared DRAM bandwidth in bytes per core-clock cycle (aggregate);
+     * ~42GB/s at 2.66GHz, a typical value for the paper's era. */
+    double dramBytesPerCycle = 16.0;
+
+    /** Model the 4x4-mesh NoC cost of reading remote cores' bins during
+     * Accumulate (Table II). */
+    bool modelNoc = true;
+    MeshNoc::Config noc{};
+    /** Outstanding-transfer overlap: remote reads pipeline behind
+     * compute, exposing only a fraction of the raw transfer latency. */
+    double nocOverlap = 4.0;
+};
+
+/** Result of one parallel execution. */
+struct ParallelRunResult
+{
+    uint32_t cores = 0;
+    double initCycles = 0;
+    double binningCycles = 0;
+    double accumulateCycles = 0;
+    uint64_t dramLines = 0;
+    bool verified = false;
+
+    double
+    totalCycles() const
+    {
+        return initCycles + binningCycles + accumulateCycles;
+    }
+};
+
+/** Parallel simulations of the flagship kernels. */
+class ParallelSim
+{
+  public:
+    explicit ParallelSim(const MulticoreConfig &config = MulticoreConfig{})
+        : cfg(config)
+    {
+    }
+
+    const MulticoreConfig &config() const { return cfg; }
+
+    /** Baseline: cores directly apply their shard's irregular updates. */
+    ParallelRunResult neighborPopulateBaseline(NodeId num_nodes,
+                                               const EdgeList &el) const;
+
+    /** Parallel software PB with per-core binners. */
+    ParallelRunResult neighborPopulatePb(NodeId num_nodes,
+                                         const EdgeList &el,
+                                         uint32_t max_bins) const;
+
+    /** Parallel COBRA with per-core C-Buffer hierarchies. */
+    ParallelRunResult neighborPopulateCobra(NodeId num_nodes,
+                                            const EdgeList &el,
+                                            const CobraConfig &cc =
+                                                CobraConfig{}) const;
+
+    ParallelRunResult degreeCountBaseline(NodeId num_nodes,
+                                          const EdgeList &el) const;
+    ParallelRunResult degreeCountPb(NodeId num_nodes, const EdgeList &el,
+                                    uint32_t max_bins) const;
+
+  private:
+    MulticoreConfig cfg;
+};
+
+} // namespace cobra
+
+#endif // COBRA_HARNESS_PARALLEL_H

@@ -1,0 +1,167 @@
+#include "src/kernels/degree_count.h"
+
+#include "src/graph/builder.h"
+#include "src/kernels/pipelines.h"
+
+namespace cobra {
+
+namespace {
+
+void
+addCounts(uint32_t &dst, const uint32_t &src)
+{
+    dst += src;
+}
+
+} // namespace
+
+DegreeCountKernel::DegreeCountKernel(NodeId num_nodes, const EdgeList *el)
+    : nodes(num_nodes), edges(el), deg(num_nodes, 0)
+{
+    auto r = countDegreesRef(num_nodes, *el);
+    ref.assign(r.begin(), r.end());
+}
+
+void
+DegreeCountKernel::resetOutput()
+{
+    deg.assign(nodes, 0);
+}
+
+void
+DegreeCountKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    resetOutput();
+    rec.begin(ctx, phase::kCompute);
+    for (const Edge &e : *edges) {
+        ctx.load(&e, sizeof(Edge)); // streaming edge read
+        ctx.instr(2);               // address arithmetic + loop
+        ctx.load(&deg[e.src], 4);   // irregular read-modify-write
+        ++deg[e.src];
+        ctx.store(&deg[e.src], 4);
+    }
+    rec.end(ctx);
+}
+
+void
+DegreeCountKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec,
+                         uint32_t max_bins)
+{
+    resetOutput();
+    BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
+    runPbPipeline<NoPayload>(
+        ctx, rec, plan,
+        [&](auto &&emit) {
+            for (const Edge &e : *edges) {
+                ctx.load(&e.src, 4);
+                ctx.instr(1);
+                emit(e.src);
+            }
+        },
+        [&](auto &&emit) {
+            for (const Edge &e : *edges) {
+                ctx.load(&e.src, 4);
+                ctx.instr(1);
+                emit(e.src, NoPayload{});
+            }
+        },
+        [&](const BinTuple<NoPayload> &t) {
+            ctx.instr(1);
+            ctx.load(&deg[t.index], 4);
+            ++deg[t.index];
+            ctx.store(&deg[t.index], 4);
+        });
+}
+
+void
+DegreeCountKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                            const CobraConfig &cfg)
+{
+    resetOutput();
+    if (cfg.coalesceAtLlc) {
+        // COBRA-COMM: 8B (index, count) tuples coalesced at the LLC.
+        runCobraPipeline<uint32_t>(
+            ctx, rec, cfg, nodes, &addCounts,
+            [&](auto &&emit) {
+                for (const Edge &e : *edges) {
+                    ctx.load(&e.src, 4);
+                    ctx.instr(1);
+                    emit(e.src);
+                }
+            },
+            [&](auto &&emit) {
+                for (const Edge &e : *edges) {
+                    ctx.load(&e.src, 4);
+                    ctx.instr(1);
+                    emit(e.src, 1u);
+                }
+            },
+            [&](const BinTuple<uint32_t> &t) {
+                ctx.instr(1);
+                ctx.load(&deg[t.index], 4);
+                deg[t.index] += t.payload;
+                ctx.store(&deg[t.index], 4);
+            });
+        return;
+    }
+    runCobraPipeline<NoPayload>(
+        ctx, rec, cfg, nodes, nullptr,
+        [&](auto &&emit) {
+            for (const Edge &e : *edges) {
+                ctx.load(&e.src, 4);
+                ctx.instr(1);
+                emit(e.src);
+            }
+        },
+        [&](auto &&emit) {
+            for (const Edge &e : *edges) {
+                ctx.load(&e.src, 4);
+                ctx.instr(1);
+                emit(e.src, NoPayload{});
+            }
+        },
+        [&](const BinTuple<NoPayload> &t) {
+            ctx.instr(1);
+            ctx.load(&deg[t.index], 4);
+            ++deg[t.index];
+            ctx.store(&deg[t.index], 4);
+        });
+}
+
+void
+DegreeCountKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec,
+                          uint32_t max_bins)
+{
+    resetOutput();
+    BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
+    runPhiPipeline<uint32_t>(
+        ctx, rec, plan, &addCounts,
+        [&](auto &&emit) {
+            for (const Edge &e : *edges) {
+                ctx.load(&e.src, 4);
+                ctx.instr(1);
+                emit(e.src);
+            }
+        },
+        [&](auto &&emit) {
+            for (const Edge &e : *edges) {
+                ctx.load(&e.src, 4);
+                ctx.instr(1);
+                emit(e.src, 1u);
+            }
+        },
+        [&](const BinTuple<uint32_t> &t) {
+            ctx.instr(1);
+            ctx.load(&deg[t.index], 4);
+            deg[t.index] += t.payload;
+            ctx.store(&deg[t.index], 4);
+        });
+}
+
+bool
+DegreeCountKernel::verify() const
+{
+    return deg == ref;
+}
+
+} // namespace cobra

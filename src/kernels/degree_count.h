@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Degree-Counting kernel: the first half of Edgelist-to-CSR conversion
+ * (paper Section VI; the commutative sibling of Neighbor-Populate).
+ *
+ * Baseline streams the edgelist and increments degrees[e.src] — a
+ * textbook irregular commutative update. Because increments commute,
+ * this kernel is also the paper's vehicle for the COBRA-COMM / PHI
+ * comparison (Fig 14): coalesced variants carry a count payload (two +1
+ * updates to the same vertex merge into one +2), so their tuples are 8B
+ * where plain COBRA/PB use 4B index-only tuples.
+ */
+
+#ifndef COBRA_KERNELS_DEGREE_COUNT_H
+#define COBRA_KERNELS_DEGREE_COUNT_H
+
+#include <vector>
+
+#include "src/graph/types.h"
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+/** Degree-Counting over an edgelist. */
+class DegreeCountKernel : public Kernel
+{
+  public:
+    DegreeCountKernel(NodeId num_nodes, const EdgeList *el);
+
+    std::string name() const override { return "DegreeCount"; }
+    bool commutative() const override { return true; }
+    uint32_t tupleBytes() const override { return 4; }
+    uint64_t numIndices() const override { return nodes; }
+    uint64_t numUpdates() const override { return edges->size(); }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
+                uint32_t max_bins) override;
+    bool verify() const override;
+
+    const std::vector<uint32_t> &degrees() const { return deg; }
+
+  private:
+    void resetOutput();
+
+    NodeId nodes;
+    const EdgeList *edges;
+    std::vector<uint32_t> deg;
+    std::vector<uint32_t> ref;
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_DEGREE_COUNT_H

@@ -1,0 +1,155 @@
+#include "src/kernels/int_sort.h"
+
+#include <algorithm>
+
+#include "src/core/cobra_binner.h"
+#include "src/pb/pb_binner.h"
+
+namespace cobra {
+
+IntSortKernel::IntSortKernel(const std::vector<uint32_t> *keys,
+                             uint32_t max_key)
+    : input(keys), maxKey(max_key)
+{
+    ref = *keys;
+    std::sort(ref.begin(), ref.end());
+    COBRA_FATAL_IF(!ref.empty() && ref.back() >= max_key,
+                   "key exceeds max_key");
+}
+
+void
+IntSortKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    output.assign(input->size(), 0);
+    rec.begin(ctx, phase::kCompute);
+    // Global histogram: irregular updates across the full key range.
+    std::vector<uint32_t> hist(maxKey, 0);
+    for (uint32_t k : *input) {
+        ctx.load(&k, 4);
+        ctx.instr(1);
+        ctx.load(&hist[k], 4);
+        ++hist[k];
+        ctx.store(&hist[k], 4);
+    }
+    // Streaming reconstruction.
+    uint64_t pos = 0;
+    for (uint32_t k = 0; k < maxKey; ++k) {
+        ctx.load(&hist[k], 4);
+        ctx.instr(1);
+        for (uint32_t c = 0; c < hist[k]; ++c) {
+            output[pos] = k;
+            ctx.store(&output[pos], 4);
+            ctx.instr(1);
+            ++pos;
+        }
+    }
+    rec.end(ctx);
+}
+
+template <typename Binner>
+void
+IntSortKernel::accumulateSort(ExecCtx &ctx, Binner &binner)
+{
+    // Per-bin counting sort: the bin's key range is small enough that
+    // its local histogram (and the tuples being re-read) live in the
+    // upper cache — the Accumulate locality PB is about.
+    const BinningPlan &plan = binner.storage().binningPlan();
+    std::vector<uint32_t> local(plan.binRange(), 0);
+    uint64_t pos = 0;
+    for (uint32_t b = 0; b < binner.numBins(); ++b) {
+        const uint32_t base = static_cast<uint32_t>(plan.binStartIndex(b));
+        binner.forEachInBin(ctx, b, [&](const BinTuple<NoPayload> &t) {
+            ctx.instr(2);
+            uint32_t k = t.index - base;
+            ctx.load(&local[k], 4);
+            ++local[k];
+            ctx.store(&local[k], 4);
+        });
+        const uint64_t range = std::min<uint64_t>(plan.binRange(),
+                                                  maxKey - base);
+        for (uint64_t k = 0; k < range; ++k) {
+            ctx.load(&local[k], 4);
+            ctx.instr(1);
+            for (uint32_t c = 0; c < local[k]; ++c) {
+                output[pos] = base + static_cast<uint32_t>(k);
+                ctx.store(&output[pos], 4);
+                ctx.instr(1);
+                ++pos;
+            }
+            local[k] = 0;
+        }
+    }
+}
+
+void
+IntSortKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    output.assign(input->size(), 0);
+    BinningPlan plan = BinningPlan::forMaxBins(maxKey, max_bins);
+    PbBinner<NoPayload> binner(plan);
+
+    rec.begin(ctx, phase::kInit);
+    for (uint32_t k : *input) {
+        ctx.load(&k, 4);
+        ctx.instr(1);
+        binner.initCount(ctx, k);
+    }
+    binner.finalizeInit(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kBinning);
+    for (uint32_t k : *input) {
+        ctx.load(&k, 4);
+        ctx.instr(1);
+        binner.insert(ctx, k, NoPayload{});
+    }
+    binner.flush(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kAccumulate);
+    accumulateSort(ctx, binner);
+    rec.end(ctx);
+}
+
+void
+IntSortKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                        const CobraConfig &cfg)
+{
+    output.assign(input->size(), 0);
+    COBRA_FATAL_IF(cfg.coalesceAtLlc,
+                   "Integer Sort keys cannot be coalesced");
+    CobraBinner<NoPayload> binner(ctx, cfg, maxKey);
+
+    rec.begin(ctx, phase::kInit);
+    for (uint32_t k : *input) {
+        ctx.load(&k, 4);
+        ctx.instr(1);
+        binner.initCount(ctx, k);
+    }
+    binner.finalizeInit(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kBinning);
+    binner.beginBinning(ctx);
+    for (uint32_t k : *input) {
+        ctx.load(&k, 4);
+        ctx.instr(1);
+        binner.update(ctx, k, NoPayload{});
+    }
+    binner.flush(ctx);
+    rec.end(ctx);
+
+    binner.releaseWays(ctx);
+
+    rec.begin(ctx, phase::kAccumulate);
+    accumulateSort(ctx, binner);
+    rec.end(ctx);
+}
+
+bool
+IntSortKernel::verify() const
+{
+    return output == ref;
+}
+
+} // namespace cobra

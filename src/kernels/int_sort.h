@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Integer Sort kernel (paper Section VI): a parallel counting sort whose
+ * histogram updates are the irregular pattern.
+ *
+ * Baseline builds a global histogram (counts[key]++ across the full key
+ * range — irregular) and reconstructs the sorted output by a streaming
+ * sweep. The PB/COBRA versions first *partition* keys into bins by key
+ * range, then sort each bin with a bin-local (cache-resident) histogram —
+ * radix partitioning, of which PB is an instance (paper footnote 2). The
+ * paper classifies Integer Sort as non-commutative: the binned artifacts
+ * are the keys themselves, which cannot be coalesced.
+ */
+
+#ifndef COBRA_KERNELS_INT_SORT_H
+#define COBRA_KERNELS_INT_SORT_H
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+/** Counting sort of uniformly random keys. */
+class IntSortKernel : public Kernel
+{
+  public:
+    /** @param keys input keys in [0, max_key). */
+    IntSortKernel(const std::vector<uint32_t> *keys, uint32_t max_key);
+
+    std::string name() const override { return "IntSort"; }
+    bool commutative() const override { return false; }
+    uint32_t tupleBytes() const override { return 4; }
+    uint64_t numIndices() const override { return maxKey; }
+    uint64_t numUpdates() const override { return input->size(); }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    bool verify() const override;
+
+    const std::vector<uint32_t> &sorted() const { return output; }
+
+  private:
+    template <typename Binner>
+    void accumulateSort(ExecCtx &ctx, Binner &binner);
+
+    const std::vector<uint32_t> *input;
+    uint32_t maxKey;
+    std::vector<uint32_t> output;
+    std::vector<uint32_t> ref;
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_INT_SORT_H

@@ -1,0 +1,18 @@
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+std::string
+to_string(Technique t)
+{
+    switch (t) {
+      case Technique::Baseline: return "Baseline";
+      case Technique::PbSw: return "PB-SW";
+      case Technique::Cobra: return "COBRA";
+      case Technique::CobraComm: return "COBRA-COMM";
+      case Technique::Phi: return "PHI";
+    }
+    return "?";
+}
+
+} // namespace cobra

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The workload-kernel interface.
+ *
+ * Each of the paper's nine evaluation kernels (Section VI) implements
+ * this interface. A kernel owns its input and output data and can execute
+ * under any technique; after any run, verify() checks the output against
+ * the kernel's trusted serial reference. Phase boundaries are reported
+ * through the PhaseRecorder so the harness can reproduce the paper's
+ * phase-level figures.
+ */
+
+#ifndef COBRA_KERNELS_KERNEL_H
+#define COBRA_KERNELS_KERNEL_H
+
+#include <memory>
+#include <string>
+
+#include "src/core/cobra_config.h"
+#include "src/sim/exec_ctx.h"
+#include "src/sim/phase_recorder.h"
+
+namespace cobra {
+
+/** Execution technique (the paper's comparison axes). */
+enum class Technique
+{
+    Baseline,  ///< direct irregular updates
+    PbSw,      ///< software Propagation Blocking (Section III)
+    Cobra,     ///< COBRA architecture (Sections IV-V)
+    CobraComm, ///< COBRA-COMM: LLC coalescing (Section VII-C)
+    Phi,       ///< idealized PHI (Section VII-C)
+};
+
+std::string to_string(Technique t);
+
+/** Canonical phase names. */
+namespace phase {
+inline const std::string kCompute = "compute";       // baseline
+inline const std::string kInit = "init";             // bin sizing
+inline const std::string kBinning = "binning";
+inline const std::string kAccumulate = "accumulate";
+} // namespace phase
+
+/** One of the paper's evaluation workloads. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Whether the kernel's irregular updates commute (Section III-B). */
+    virtual bool commutative() const = 0;
+
+    /** Update-tuple size in bytes (paper Section VI: 4, 8, or 16). */
+    virtual uint32_t tupleBytes() const = 0;
+
+    /** Size of the irregularly-updated index namespace. */
+    virtual uint64_t numIndices() const = 0;
+
+    /** Number of irregular updates one execution performs. */
+    virtual uint64_t numUpdates() const = 0;
+
+    /** Unoptimized execution: direct irregular updates. */
+    virtual void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) = 0;
+
+    /** Software PB with at most @p max_bins bins. */
+    virtual void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+                       uint32_t max_bins) = 0;
+
+    /** COBRA (COBRA-COMM when cfg.coalesceAtLlc and commutative()). */
+    virtual void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                          const CobraConfig &cfg) = 0;
+
+    /** Idealized PHI; only valid for commutative kernels. */
+    virtual void
+    runPhi(ExecCtx &, PhaseRecorder &, uint32_t)
+    {
+        COBRA_FATAL_IF(true, name() << ": PHI requires commutative "
+                                       "updates (paper Section III-B)");
+    }
+
+    /** Check the most recent run's output against the reference. */
+    virtual bool verify() const = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_KERNEL_H

@@ -1,0 +1,122 @@
+#include "src/kernels/neighbor_populate.h"
+
+#include "src/graph/builder.h"
+#include "src/kernels/pipelines.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+NeighborPopulateKernel::NeighborPopulateKernel(NodeId num_nodes,
+                                               const EdgeList *el)
+    : nodes(num_nodes), edges(el)
+{
+    auto degrees = countDegreesRef(num_nodes, *el);
+    baseOffsets = exclusivePrefixSum(degrees);
+    neighs.assign(el->size(), 0);
+    refSorted = sortNeighborhoods(CsrGraph::build(num_nodes, *el));
+}
+
+void
+NeighborPopulateKernel::resetOutput()
+{
+    cursor.assign(baseOffsets.begin(), baseOffsets.end() - 1);
+    neighs.assign(edges->size(), 0);
+}
+
+void
+NeighborPopulateKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    resetOutput();
+    rec.begin(ctx, phase::kCompute);
+    // Paper Algorithm 1 (lines 2-4).
+    for (const Edge &e : *edges) {
+        ctx.load(&e, sizeof(Edge));
+        ctx.instr(2);
+        ctx.load(&cursor[e.src], 8);   // offsets[e.src]
+        EdgeOffset pos = cursor[e.src]++;
+        ctx.store(&cursor[e.src], 8);  // AtomicAdd(offsets[e.src], 1)
+        neighs[pos] = e.dst;
+        ctx.store(&neighs[pos], 4);    // neighs[offsets[e.src]] = e.dst
+    }
+    rec.end(ctx);
+}
+
+template <typename Fn>
+void
+NeighborPopulateKernel::forEachIndexImpl(ExecCtx &ctx, Fn &&emit)
+{
+    for (const Edge &e : *edges) {
+        ctx.load(&e.src, 4);
+        ctx.instr(1);
+        emit(e.src);
+    }
+}
+
+void
+NeighborPopulateKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec,
+                              uint32_t max_bins)
+{
+    resetOutput();
+    BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
+    runPbPipeline<NodeId>(
+        ctx, rec, plan,
+        [&](auto &&emit) { forEachIndexImpl(ctx, emit); },
+        [&](auto &&emit) {
+            // Paper Algorithm 2 lines 2-5: bin the whole edge.
+            for (const Edge &e : *edges) {
+                ctx.load(&e, sizeof(Edge));
+                ctx.instr(1);
+                emit(e.src, e.dst);
+            }
+        },
+        [&](const BinTuple<NodeId> &t) {
+            // Paper Algorithm 2 lines 9-11.
+            ctx.instr(1);
+            ctx.load(&cursor[t.index], 8);
+            EdgeOffset pos = cursor[t.index]++;
+            ctx.store(&cursor[t.index], 8);
+            neighs[pos] = t.payload;
+            ctx.store(&neighs[pos], 4);
+        });
+}
+
+void
+NeighborPopulateKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                                 const CobraConfig &cfg)
+{
+    resetOutput();
+    COBRA_FATAL_IF(cfg.coalesceAtLlc,
+                   "Neighbor-Populate updates do not commute");
+    runCobraPipeline<NodeId>(
+        ctx, rec, cfg, nodes, nullptr,
+        [&](auto &&emit) { forEachIndexImpl(ctx, emit); },
+        [&](auto &&emit) {
+            for (const Edge &e : *edges) {
+                ctx.load(&e, sizeof(Edge));
+                ctx.instr(1);
+                emit(e.src, e.dst);
+            }
+        },
+        [&](const BinTuple<NodeId> &t) {
+            ctx.instr(1);
+            ctx.load(&cursor[t.index], 8);
+            EdgeOffset pos = cursor[t.index]++;
+            ctx.store(&cursor[t.index], 8);
+            neighs[pos] = t.payload;
+            ctx.store(&neighs[pos], 4);
+        });
+}
+
+CsrGraph
+NeighborPopulateKernel::result() const
+{
+    return CsrGraph(baseOffsets, neighs);
+}
+
+bool
+NeighborPopulateKernel::verify() const
+{
+    return sortNeighborhoods(result()) == refSorted;
+}
+
+} // namespace cobra

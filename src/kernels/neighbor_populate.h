@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Neighbor-Populate kernel (paper Algorithms 1 & 2): the second half of
+ * Edgelist-to-CSR conversion and the paper's flagship *non-commutative*
+ * irregular-update kernel.
+ *
+ * Each edge bumps a per-source cursor in the offsets array and writes the
+ * destination into the neighbors array — the order of updates to a given
+ * cursor decides where each neighbor lands, so updates cannot be
+ * coalesced; yet any interleaving yields a valid CSR (neighbors may be
+ * listed in any order), which is the unordered parallelism PB exploits.
+ */
+
+#ifndef COBRA_KERNELS_NEIGHBOR_POPULATE_H
+#define COBRA_KERNELS_NEIGHBOR_POPULATE_H
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/graph/types.h"
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+/** Neighbor-Populate over an edgelist (offsets given). */
+class NeighborPopulateKernel : public Kernel
+{
+  public:
+    NeighborPopulateKernel(NodeId num_nodes, const EdgeList *el);
+
+    std::string name() const override { return "NeighborPopulate"; }
+    bool commutative() const override { return false; }
+    uint32_t tupleBytes() const override { return 8; }
+    uint64_t numIndices() const override { return nodes; }
+    uint64_t numUpdates() const override { return edges->size(); }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    bool verify() const override;
+
+    /** The produced CSR (valid after any run). */
+    CsrGraph result() const;
+
+  private:
+    void resetOutput();
+
+    template <typename Fn> void forEachIndexImpl(ExecCtx &ctx, Fn &&emit);
+
+    NodeId nodes;
+    const EdgeList *edges;
+    std::vector<EdgeOffset> baseOffsets; ///< exclusive prefix of degrees
+    std::vector<EdgeOffset> cursor;      ///< mutated copy (Algorithm 1)
+    std::vector<NodeId> neighs;
+    CsrGraph refSorted; ///< canonical reference CSR
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_NEIGHBOR_POPULATE_H

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Pagerank kernel (GAP-style), paper Section VI.
+ *
+ * Baseline is the pull formulation over the transpose graph: each vertex
+ * gathers contrib[u] from its in-neighbors — irregular *loads* spanning
+ * the full vertex range. The PB/COBRA versions use the push formulation
+ * over the out-graph ("making the PB versions process the transpose
+ * representation"): streaming edge reads emit (dst, contrib) update
+ * tuples whose float additions commute. One iteration is simulated
+ * (paper: constant per-iteration runtime); convergence helpers support
+ * the Fig 15 tiling comparison.
+ */
+
+#ifndef COBRA_KERNELS_PAGERANK_H
+#define COBRA_KERNELS_PAGERANK_H
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+/** One Pagerank iteration under the paper's techniques. */
+class PagerankKernel : public Kernel
+{
+  public:
+    /** @param out out-edge CSR; @param in its transpose (in-edges). */
+    PagerankKernel(const CsrGraph *out, const CsrGraph *in);
+
+    std::string name() const override { return "Pagerank"; }
+    bool commutative() const override { return true; }
+    uint32_t tupleBytes() const override { return 8; }
+    uint64_t numIndices() const override { return outG->numNodes(); }
+    uint64_t numUpdates() const override { return outG->numEdges(); }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
+                uint32_t max_bins) override;
+    bool verify() const override;
+
+    const std::vector<float> &scores() const { return next; }
+
+    static constexpr float kDamping = 0.85f;
+
+  private:
+    void computeContrib(ExecCtx &ctx);
+    void finalizeScores(ExecCtx &ctx);
+    void resetOutput();
+
+    const CsrGraph *outG;
+    const CsrGraph *inG;
+    std::vector<float> contrib;
+    std::vector<float> sums;
+    std::vector<float> next;
+    std::vector<double> refNext; ///< double-precision reference iteration
+};
+
+/**
+ * Fig 15 helpers: run Pagerank to convergence (L1 norm < @p tol, capped
+ * at @p max_iters) under pull-baseline / software-PB / CSR-Segmenting,
+ * returning per-phase wall seconds when @p ctx is native or cycles when
+ * simulated. Defined in pagerank.cc; used by bench_fig15 and examples.
+ */
+struct PagerankRunResult
+{
+    uint32_t iterations = 0;
+    double initCost = 0;    ///< one-time setup (bins / per-segment CSRs)
+    double iterCost = 0;    ///< summed per-iteration cost
+    std::vector<float> scores;
+};
+
+PagerankRunResult pagerankPullToConvergence(ExecCtx &ctx,
+                                            const CsrGraph &in,
+                                            const CsrGraph &out,
+                                            double tol, uint32_t max_iters);
+
+PagerankRunResult pagerankPbToConvergence(ExecCtx &ctx, const CsrGraph &out,
+                                          uint32_t max_bins, double tol,
+                                          uint32_t max_iters);
+
+PagerankRunResult pagerankTiledToConvergence(ExecCtx &ctx,
+                                             const CsrGraph &in,
+                                             const CsrGraph &out,
+                                             NodeId segment_vertices,
+                                             double tol,
+                                             uint32_t max_iters);
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_PAGERANK_H

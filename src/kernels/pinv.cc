@@ -1,0 +1,93 @@
+#include "src/kernels/pinv.h"
+
+#include "src/kernels/pipelines.h"
+#include "src/sparse/reference.h"
+
+namespace cobra {
+
+PinvKernel::PinvKernel(const std::vector<uint32_t> *perm) : perm_(perm)
+{
+    ref = pinvRef(*perm);
+}
+
+void
+PinvKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    out.assign(perm_->size(), 0);
+    rec.begin(ctx, phase::kCompute);
+    for (uint32_t i = 0; i < perm_->size(); ++i) {
+        ctx.load(&(*perm_)[i], 4);
+        ctx.instr(1);
+        out[(*perm_)[i]] = i; // irregular scatter
+        ctx.store(&out[(*perm_)[i]], 4);
+    }
+    rec.end(ctx);
+}
+
+void
+PinvKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    out.assign(perm_->size(), 0);
+    const uint64_t n = perm_->size();
+    BinningPlan plan = BinningPlan::forMaxBins(n, max_bins);
+    runPbPipeline<uint64_t>(
+        ctx, rec, plan,
+        [&](auto &&emit) {
+            for (uint32_t i = 0; i < n; ++i) {
+                ctx.load(&(*perm_)[i], 4);
+                ctx.instr(1);
+                emit((*perm_)[i]);
+            }
+        },
+        [&](auto &&emit) {
+            for (uint32_t i = 0; i < n; ++i) {
+                ctx.load(&(*perm_)[i], 4);
+                ctx.instr(1);
+                emit((*perm_)[i], static_cast<uint64_t>(i));
+            }
+        },
+        [&](const BinTuple<uint64_t> &t) {
+            ctx.instr(1);
+            out[t.index] = static_cast<uint32_t>(t.payload);
+            ctx.store(&out[t.index], 4);
+        });
+}
+
+void
+PinvKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                     const CobraConfig &cfg)
+{
+    out.assign(perm_->size(), 0);
+    COBRA_FATAL_IF(cfg.coalesceAtLlc,
+                   "PINV writes cannot be coalesced");
+    const uint64_t n = perm_->size();
+    runCobraPipeline<uint64_t>(
+        ctx, rec, cfg, n, nullptr,
+        [&](auto &&emit) {
+            for (uint32_t i = 0; i < n; ++i) {
+                ctx.load(&(*perm_)[i], 4);
+                ctx.instr(1);
+                emit((*perm_)[i]);
+            }
+        },
+        [&](auto &&emit) {
+            for (uint32_t i = 0; i < n; ++i) {
+                ctx.load(&(*perm_)[i], 4);
+                ctx.instr(1);
+                emit((*perm_)[i], static_cast<uint64_t>(i));
+            }
+        },
+        [&](const BinTuple<uint64_t> &t) {
+            ctx.instr(1);
+            out[t.index] = static_cast<uint32_t>(t.payload);
+            ctx.store(&out[t.index], 4);
+        });
+}
+
+bool
+PinvKernel::verify() const
+{
+    return out == ref;
+}
+
+} // namespace cobra

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PINV kernel (SuiteSparse cs_pinv), paper Section VI: computing the
+ * inverse of a row/column permutation.
+ *
+ * pinv[perm[i]] = i is a pure irregular scatter: every target is written
+ * exactly once, so there is nothing to coalesce (the paper classifies
+ * PINV as non-commutative) but any update order is fine — unordered
+ * parallelism again. The paper also singles PINV out as the one workload
+ * where more bins did not help Accumulate (a parallelism artifact on
+ * their 16-core runs); the CobraConfig::llcBuffersOverride knob exists to
+ * reproduce their medium-bin COBRA variant.
+ */
+
+#ifndef COBRA_KERNELS_PINV_H
+#define COBRA_KERNELS_PINV_H
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+/** Inverse-permutation scatter. */
+class PinvKernel : public Kernel
+{
+  public:
+    explicit PinvKernel(const std::vector<uint32_t> *perm);
+
+    std::string name() const override { return "PINV"; }
+    bool commutative() const override { return false; }
+    uint32_t tupleBytes() const override { return 16; }
+    uint64_t numIndices() const override { return perm_->size(); }
+    uint64_t numUpdates() const override { return perm_->size(); }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    bool verify() const override;
+
+    const std::vector<uint32_t> &pinv() const { return out; }
+
+  private:
+    const std::vector<uint32_t> *perm_;
+    std::vector<uint32_t> out;
+    std::vector<uint32_t> ref;
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_PINV_H

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Generic three-phase PB/COBRA/PHI pipeline drivers.
+ *
+ * Every kernel's optimized execution has the same skeleton (paper
+ * Algorithm 2): Init (size the bins), Binning (stream inputs, emit
+ * (index, payload) tuples), Accumulate (apply each bin's tuples). A
+ * kernel supplies three callables:
+ *
+ *   for_each_index(emit)  — stream the inputs, calling emit(index) for
+ *                           every future update (the cheap counting pass);
+ *   for_each_update(emit) — stream the inputs, calling
+ *                           emit(index, payload) for every update;
+ *   apply(tuple)          — apply one update with full instrumentation.
+ *
+ * The drivers own phase bracketing so every technique reports identical
+ * phase structure to the harness.
+ */
+
+#ifndef COBRA_KERNELS_PIPELINES_H
+#define COBRA_KERNELS_PIPELINES_H
+
+#include "src/core/cobra_binner.h"
+#include "src/core/phi.h"
+#include "src/kernels/kernel.h"
+#include "src/pb/pb_binner.h"
+
+namespace cobra {
+
+/** Software PB (paper Algorithm 2). */
+template <typename Payload, typename ForEachIndex, typename ForEachUpdate,
+          typename Apply>
+void
+runPbPipeline(ExecCtx &ctx, PhaseRecorder &rec, const BinningPlan &plan,
+              ForEachIndex &&for_each_index,
+              ForEachUpdate &&for_each_update, Apply &&apply)
+{
+    PbBinner<Payload> binner(plan);
+
+    rec.begin(ctx, phase::kInit);
+    for_each_index([&](uint32_t idx) { binner.initCount(ctx, idx); });
+    binner.finalizeInit(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kBinning);
+    for_each_update([&](uint32_t idx, const Payload &p) {
+        binner.insert(ctx, idx, p);
+    });
+    binner.flush(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kAccumulate);
+    for (uint32_t b = 0; b < binner.numBins(); ++b)
+        binner.forEachInBin(ctx, b, apply);
+    rec.end(ctx);
+}
+
+/** COBRA (paper Sections IV-V); returns the run's CobraStats. */
+template <typename Payload, typename ForEachIndex, typename ForEachUpdate,
+          typename Apply>
+CobraStats
+runCobraPipeline(ExecCtx &ctx, PhaseRecorder &rec, const CobraConfig &cfg,
+                 uint64_t num_indices,
+                 typename CobraBinner<Payload>::Reducer reducer,
+                 ForEachIndex &&for_each_index,
+                 ForEachUpdate &&for_each_update, Apply &&apply)
+{
+    CobraBinner<Payload> binner(ctx, cfg, num_indices, reducer);
+
+    rec.begin(ctx, phase::kInit);
+    for_each_index([&](uint32_t idx) { binner.initCount(ctx, idx); });
+    binner.finalizeInit(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kBinning);
+    binner.beginBinning(ctx);
+    for_each_update([&](uint32_t idx, const Payload &p) {
+        binner.update(ctx, idx, p);
+    });
+    binner.flush(ctx);
+    rec.end(ctx);
+
+    // Binning is over: C-Buffer ways go back to regular data so the
+    // Accumulate phase enjoys the full cache (paper Section V-A notes
+    // bininit records the ways for later reclamation).
+    binner.releaseWays(ctx);
+
+    rec.begin(ctx, phase::kAccumulate);
+    for (uint32_t b = 0; b < binner.numBins(); ++b)
+        binner.forEachInBin(ctx, b, apply);
+    rec.end(ctx);
+
+    return binner.stats();
+}
+
+/** Idealized PHI (paper Section VII-C); commutative kernels only. */
+template <typename Payload, typename ForEachIndex, typename ForEachUpdate,
+          typename Apply>
+typename PhiModel<Payload>::Stats
+runPhiPipeline(ExecCtx &ctx, PhaseRecorder &rec, const BinningPlan &pb_plan,
+               typename PhiModel<Payload>::Reducer reducer,
+               ForEachIndex &&for_each_index,
+               ForEachUpdate &&for_each_update, Apply &&apply)
+{
+    PhiModel<Payload> phi(ctx, pb_plan, reducer);
+
+    rec.begin(ctx, phase::kInit);
+    for_each_index([&](uint32_t idx) { phi.initCount(ctx, idx); });
+    phi.finalizeInit(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kBinning);
+    for_each_update([&](uint32_t idx, const Payload &p) {
+        phi.update(ctx, idx, p);
+    });
+    phi.flush(ctx);
+    rec.end(ctx);
+
+    rec.begin(ctx, phase::kAccumulate);
+    for (uint32_t b = 0; b < phi.storage().numBins(); ++b)
+        phi.forEachInBin(ctx, b, apply);
+    rec.end(ctx);
+
+    return phi.stats();
+}
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_PIPELINES_H

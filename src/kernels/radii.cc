@@ -1,0 +1,204 @@
+#include "src/kernels/radii.h"
+
+#include "src/kernels/pipelines.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+
+namespace {
+
+void
+orWords(uint64_t &dst, const uint64_t &src)
+{
+    dst |= src;
+}
+
+} // namespace
+
+RadiiKernel::RadiiKernel(const CsrGraph *out, uint32_t max_rounds,
+                         uint32_t sample_round, uint64_t seed)
+    : graph(out), maxRounds(max_rounds), sampleRound(sample_round)
+{
+    COBRA_FATAL_IF(sample_round == 0 || sample_round >= max_rounds,
+                   "sample round must be in [1, max_rounds)");
+    Rng rng(seed);
+    const NodeId n = graph->numNodes();
+    for (int k = 0; k < 64; ++k)
+        sources.push_back(static_cast<NodeId>(rng.below(n)));
+
+    // Reference: run all rounds serially.
+    resetState();
+    ExecCtx native;
+    std::vector<NodeId> frontier(sources.begin(), sources.end());
+    for (uint32_t round = 1; round < maxRounds && !frontier.empty();
+         ++round) {
+        roundDirect(native, frontier);
+        frontier.clear();
+        for (NodeId v = 0; v < n; ++v) {
+            if (nextVisited[v] != visited[v]) {
+                rad[v] = static_cast<int32_t>(round);
+                visited[v] = nextVisited[v];
+                frontier.push_back(v);
+            }
+        }
+        if (round == sampleRound) {
+            sampledUpdates = 0;
+            for (NodeId u : frontier)
+                sampledUpdates += graph->degree(u);
+        }
+    }
+    refRadii = rad;
+}
+
+void
+RadiiKernel::resetState()
+{
+    const NodeId n = graph->numNodes();
+    visited.assign(n, 0);
+    nextVisited.assign(n, 0);
+    rad.assign(n, -1);
+    for (size_t k = 0; k < sources.size(); ++k) {
+        visited[sources[k]] |= uint64_t{1} << k;
+        nextVisited[sources[k]] |= uint64_t{1} << k;
+        rad[sources[k]] = 0;
+    }
+}
+
+void
+RadiiKernel::roundDirect(ExecCtx &, const std::vector<NodeId> &frontier)
+{
+    for (NodeId u : frontier) {
+        const uint64_t word = visited[u];
+        for (NodeId v : graph->neighbors(u))
+            nextVisited[v] |= word;
+    }
+}
+
+void
+RadiiKernel::run(ExecCtx &ctx, PhaseRecorder &rec, Mode mode,
+                 uint32_t max_bins, const CobraConfig &cfg)
+{
+    resetState();
+    ExecCtx native;
+    const NodeId n = graph->numNodes();
+    std::vector<NodeId> frontier(sources.begin(), sources.end());
+
+    for (uint32_t round = 1; round < maxRounds && !frontier.empty();
+         ++round) {
+        if (round != sampleRound) {
+            roundDirect(native, frontier);
+        } else {
+            // Instrumented round (paper's iteration sampling).
+            auto for_each_index = [&](auto &&emit) {
+                for (NodeId u : frontier) {
+                    ctx.load(&u, 4);
+                    ctx.load(&graph->offsetsArray()[u], 8);
+                    for (NodeId v : graph->neighbors(u)) {
+                        ctx.load(&v, 4);
+                        ctx.instr(1);
+                        emit(v);
+                    }
+                }
+            };
+            auto for_each_update = [&](auto &&emit) {
+                for (NodeId u : frontier) {
+                    ctx.load(&u, 4);
+                    ctx.load(&visited[u], 8);
+                    ctx.load(&graph->offsetsArray()[u], 8);
+                    const uint64_t word = visited[u];
+                    for (NodeId v : graph->neighbors(u)) {
+                        ctx.load(&v, 4);
+                        ctx.instr(1);
+                        emit(v, word);
+                    }
+                }
+            };
+            auto apply = [&](const BinTuple<uint64_t> &t) {
+                ctx.instr(1);
+                ctx.load(&nextVisited[t.index], 8);
+                nextVisited[t.index] |= t.payload;
+                ctx.store(&nextVisited[t.index], 8);
+            };
+
+            switch (mode) {
+              case Mode::Baseline:
+                rec.begin(ctx, phase::kCompute);
+                for (NodeId u : frontier) {
+                    ctx.load(&u, 4);
+                    ctx.load(&visited[u], 8);
+                    ctx.load(&graph->offsetsArray()[u], 8);
+                    const uint64_t word = visited[u];
+                    for (NodeId v : graph->neighbors(u)) {
+                        ctx.load(&v, 4);
+                        ctx.instr(1);
+                        ctx.load(&nextVisited[v], 8); // irregular RMW
+                        nextVisited[v] |= word;
+                        ctx.store(&nextVisited[v], 8);
+                    }
+                }
+                rec.end(ctx);
+                break;
+              case Mode::Pb:
+                runPbPipeline<uint64_t>(
+                    ctx, rec,
+                    BinningPlan::forMaxBins(n, max_bins),
+                    for_each_index, for_each_update, apply);
+                break;
+              case Mode::Cobra:
+                runCobraPipeline<uint64_t>(
+                    ctx, rec, cfg, n,
+                    cfg.coalesceAtLlc ? &orWords : nullptr,
+                    for_each_index, for_each_update, apply);
+                break;
+              case Mode::Phi:
+                runPhiPipeline<uint64_t>(
+                    ctx, rec,
+                    BinningPlan::forMaxBins(n, max_bins), &orWords,
+                    for_each_index, for_each_update, apply);
+                break;
+            }
+        }
+
+        frontier.clear();
+        for (NodeId v = 0; v < n; ++v) {
+            if (nextVisited[v] != visited[v]) {
+                rad[v] = static_cast<int32_t>(round);
+                visited[v] = nextVisited[v];
+                frontier.push_back(v);
+            }
+        }
+    }
+}
+
+void
+RadiiKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    run(ctx, rec, Mode::Baseline, 0, CobraConfig{});
+}
+
+void
+RadiiKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    run(ctx, rec, Mode::Pb, max_bins, CobraConfig{});
+}
+
+void
+RadiiKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                      const CobraConfig &cfg)
+{
+    run(ctx, rec, Mode::Cobra, 0, cfg);
+}
+
+void
+RadiiKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    run(ctx, rec, Mode::Phi, max_bins, CobraConfig{});
+}
+
+bool
+RadiiKernel::verify() const
+{
+    return rad == refRadii;
+}
+
+} // namespace cobra

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Radii estimation kernel (Ligra-style multi-source BFS), paper
+ * Section VI: representative of graph applications that touch only a
+ * subset of vertices per iteration.
+ *
+ * K = 64 random sources run BFS simultaneously; visited sets are 64-bit
+ * words (one bit per source) and the irregular update is the commutative
+ * bitwise OR nextVisited[v] |= visited[u] pushed along out-edges of
+ * frontier vertices. Following the paper's iteration sampling, only one
+ * designated round is instrumented; the remaining rounds run natively so
+ * the kernel still produces (and verifies) complete radii.
+ */
+
+#ifndef COBRA_KERNELS_RADII_H
+#define COBRA_KERNELS_RADII_H
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+/** Multi-source-BFS radii estimation. */
+class RadiiKernel : public Kernel
+{
+  public:
+    /**
+     * @param out out-edge CSR
+     * @param max_rounds cap on BFS rounds (estimation quality knob)
+     * @param sample_round the round executed under instrumentation
+     */
+    RadiiKernel(const CsrGraph *out, uint32_t max_rounds = 4,
+                uint32_t sample_round = 2, uint64_t seed = 13);
+
+    std::string name() const override { return "Radii"; }
+    bool commutative() const override { return true; }
+    uint32_t tupleBytes() const override { return 16; }
+    uint64_t numIndices() const override { return graph->numNodes(); }
+    uint64_t numUpdates() const override { return sampledUpdates; }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
+                uint32_t max_bins) override;
+    bool verify() const override;
+
+    const std::vector<int32_t> &radii() const { return rad; }
+
+  private:
+    enum class Mode { Baseline, Pb, Cobra, Phi };
+    void run(ExecCtx &ctx, PhaseRecorder &rec, Mode mode,
+             uint32_t max_bins, const CobraConfig &cfg);
+    void resetState();
+    /** Advance the non-sampled rounds without instrumentation. */
+    void roundDirect(ExecCtx &ctx, const std::vector<NodeId> &frontier);
+
+    const CsrGraph *graph;
+    uint32_t maxRounds;
+    uint32_t sampleRound;
+    std::vector<NodeId> sources;
+    std::vector<uint64_t> visited;
+    std::vector<uint64_t> nextVisited;
+    std::vector<int32_t> rad;
+    std::vector<int32_t> refRadii;
+    uint64_t sampledUpdates = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_RADII_H

@@ -1,0 +1,151 @@
+#include "src/kernels/spmv.h"
+
+#include <cmath>
+
+#include "src/kernels/pipelines.h"
+#include "src/sparse/reference.h"
+
+namespace cobra {
+
+namespace {
+
+void
+addDoubles(double &dst, const double &src)
+{
+    dst += src;
+}
+
+} // namespace
+
+SpmvKernel::SpmvKernel(const CsrMatrix *a, const CsrMatrix *at,
+                       const std::vector<double> *x)
+    : a_(a), at_(at), x_(x)
+{
+    refY = spmvRef(*a, *x);
+}
+
+void
+SpmvKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    y.assign(a_->numRows(), 0.0);
+    rec.begin(ctx, phase::kCompute);
+    const auto &col_idx = a_->colIdxArray();
+    const auto &vals = a_->valsArray();
+    for (uint32_t r = 0; r < a_->numRows(); ++r) {
+        ctx.load(&a_->rowPtrArray()[r], 8);
+        double acc = 0.0;
+        for (uint64_t i = a_->rowStart(r); i < a_->rowEnd(r); ++i) {
+            ctx.load(&col_idx[i], 4);
+            ctx.load(&vals[i], 8);
+            ctx.load(&(*x_)[col_idx[i]], 8); // irregular load of x
+            ctx.instr(2);
+            acc += vals[i] * (*x_)[col_idx[i]];
+        }
+        y[r] = acc;
+        ctx.instr(1);
+        ctx.store(&y[r], 8);
+    }
+    rec.end(ctx);
+}
+
+namespace {
+
+/** Binning streams A^T: one update per nonzero, payload = v * x[col]. */
+template <typename Emit>
+void
+forEachSpmvUpdate(ExecCtx &ctx, const CsrMatrix &at,
+                  const std::vector<double> &x, Emit &&emit)
+{
+    const auto &col_idx = at.colIdxArray();
+    const auto &vals = at.valsArray();
+    for (uint32_t c = 0; c < at.numRows(); ++c) {
+        ctx.load(&at.rowPtrArray()[c], 8);
+        ctx.load(&x[c], 8); // streaming: x is swept in order
+        const double xc = x[c];
+        for (uint64_t i = at.rowStart(c); i < at.rowEnd(c); ++i) {
+            ctx.load(&col_idx[i], 4);
+            ctx.load(&vals[i], 8);
+            ctx.instr(2);
+            emit(col_idx[i], vals[i] * xc);
+        }
+    }
+}
+
+template <typename Emit>
+void
+forEachSpmvIndex(ExecCtx &ctx, const CsrMatrix &at, Emit &&emit)
+{
+    const auto &col_idx = at.colIdxArray();
+    for (uint64_t i = 0; i < at.nnz(); ++i) {
+        ctx.load(&col_idx[i], 4);
+        ctx.instr(1);
+        emit(col_idx[i]);
+    }
+}
+
+} // namespace
+
+void
+SpmvKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    y.assign(a_->numRows(), 0.0);
+    BinningPlan plan = BinningPlan::forMaxBins(a_->numRows(), max_bins);
+    runPbPipeline<double>(
+        ctx, rec, plan,
+        [&](auto &&emit) { forEachSpmvIndex(ctx, *at_, emit); },
+        [&](auto &&emit) { forEachSpmvUpdate(ctx, *at_, *x_, emit); },
+        [&](const BinTuple<double> &t) {
+            ctx.instr(1);
+            ctx.load(&y[t.index], 8);
+            y[t.index] += t.payload;
+            ctx.store(&y[t.index], 8);
+        });
+}
+
+void
+SpmvKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                     const CobraConfig &cfg)
+{
+    y.assign(a_->numRows(), 0.0);
+    runCobraPipeline<double>(
+        ctx, rec, cfg, a_->numRows(),
+        cfg.coalesceAtLlc ? &addDoubles : nullptr,
+        [&](auto &&emit) { forEachSpmvIndex(ctx, *at_, emit); },
+        [&](auto &&emit) { forEachSpmvUpdate(ctx, *at_, *x_, emit); },
+        [&](const BinTuple<double> &t) {
+            ctx.instr(1);
+            ctx.load(&y[t.index], 8);
+            y[t.index] += t.payload;
+            ctx.store(&y[t.index], 8);
+        });
+}
+
+void
+SpmvKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    y.assign(a_->numRows(), 0.0);
+    BinningPlan plan = BinningPlan::forMaxBins(a_->numRows(), max_bins);
+    runPhiPipeline<double>(
+        ctx, rec, plan, &addDoubles,
+        [&](auto &&emit) { forEachSpmvIndex(ctx, *at_, emit); },
+        [&](auto &&emit) { forEachSpmvUpdate(ctx, *at_, *x_, emit); },
+        [&](const BinTuple<double> &t) {
+            ctx.instr(1);
+            ctx.load(&y[t.index], 8);
+            y[t.index] += t.payload;
+            ctx.store(&y[t.index], 8);
+        });
+}
+
+bool
+SpmvKernel::verify() const
+{
+    for (uint32_t r = 0; r < a_->numRows(); ++r) {
+        double err = std::abs(y[r] - refY[r]);
+        if (err > 1e-9 + 1e-9 * std::abs(refY[r]))
+            return false;
+    }
+    return true;
+}
+
+} // namespace cobra

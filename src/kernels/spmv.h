@@ -1,0 +1,58 @@
+/**
+ * @file
+ * SpMV kernel (HPCG-style), paper Section VI.
+ *
+ * Baseline is CSR SpMV: y[r] = sum vals[i] * x[colIdx[i]] — irregular
+ * loads of x. The PB/COBRA versions process the transpose representation
+ * (paper: "making the PB versions process the transpose representation
+ * of the input graph/matrix"): streaming over A^T's rows (A's columns)
+ * emits (row, value * x[col]) update tuples; the double payload makes
+ * tuples 16B and the float additions commute.
+ */
+
+#ifndef COBRA_KERNELS_SPMV_H
+#define COBRA_KERNELS_SPMV_H
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+#include "src/sparse/csr_matrix.h"
+
+namespace cobra {
+
+/** y = A x with PB-optimizable update structure. */
+class SpmvKernel : public Kernel
+{
+  public:
+    /** @param a matrix; @param at its transpose; @param x input vector. */
+    SpmvKernel(const CsrMatrix *a, const CsrMatrix *at,
+               const std::vector<double> *x);
+
+    std::string name() const override { return "SpMV"; }
+    bool commutative() const override { return true; }
+    uint32_t tupleBytes() const override { return 16; }
+    uint64_t numIndices() const override { return a_->numRows(); }
+    uint64_t numUpdates() const override { return a_->nnz(); }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
+                uint32_t max_bins) override;
+    bool verify() const override;
+
+    const std::vector<double> &result() const { return y; }
+
+  private:
+    const CsrMatrix *a_;
+    const CsrMatrix *at_;
+    const std::vector<double> *x_;
+    std::vector<double> y;
+    std::vector<double> refY;
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_SPMV_H

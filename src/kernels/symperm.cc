@@ -1,0 +1,156 @@
+#include "src/kernels/symperm.h"
+
+#include <algorithm>
+
+#include "src/kernels/pipelines.h"
+#include "src/sparse/reference.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+namespace {
+constexpr uint64_t kUpperBranchSite = branch_site::kKernelBase + 0x40;
+} // namespace
+
+SympermKernel::SympermKernel(const CsrMatrix *a,
+                             const std::vector<uint32_t> *perm)
+    : a_(a), perm_(perm)
+{
+    COBRA_FATAL_IF(a->numRows() != a->numCols(),
+                   "SymPerm requires a square matrix");
+    COBRA_FATAL_IF(perm->size() != a->numRows(),
+                   "permutation size must match the matrix dimension");
+    // Destination row counts (given, as with Transpose).
+    std::vector<uint64_t> counts(a->numRows(), 0);
+    for (uint32_t r = 0; r < a->numRows(); ++r) {
+        for (uint32_t c : a->rowCols(r)) {
+            if (c < r)
+                continue;
+            ++counts[std::min((*perm)[r], (*perm)[c])];
+            ++upperNnz;
+        }
+    }
+    baseOffsets = exclusivePrefixSum(counts);
+    refC = sympermRef(*a, *perm).canonical();
+}
+
+void
+SympermKernel::resetOutput()
+{
+    cursor.assign(baseOffsets.begin(), baseOffsets.end() - 1);
+    outCol.assign(upperNnz, 0);
+    outVal.assign(upperNnz, 0.0);
+}
+
+template <typename Emit>
+void
+SympermKernel::forEachUpdateImpl(ExecCtx &ctx, Emit &&emit)
+{
+    const auto &col_idx = a_->colIdxArray();
+    const auto &vals = a_->valsArray();
+    for (uint32_t r = 0; r < a_->numRows(); ++r) {
+        ctx.load(&a_->rowPtrArray()[r], 8);
+        ctx.load(&(*perm_)[r], 4);
+        const uint32_t pr = (*perm_)[r];
+        for (uint64_t i = a_->rowStart(r); i < a_->rowEnd(r); ++i) {
+            const uint32_t c = col_idx[i];
+            ctx.load(&col_idx[i], 4);
+            ctx.instr(1);
+            // The data-dependent upper-triangle test (paper: SymPerm's
+            // residual branch misses come from exactly this search).
+            ctx.branch(kUpperBranchSite, c >= r);
+            if (c < r)
+                continue;
+            ctx.load(&vals[i], 8);
+            ctx.load(&(*perm_)[c], 4);
+            ctx.instr(3);
+            const uint32_t pc = (*perm_)[c];
+            emit(std::min(pr, pc),
+                 IdxValPayload::make(std::max(pr, pc), vals[i]));
+        }
+    }
+}
+
+void
+SympermKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    resetOutput();
+    rec.begin(ctx, phase::kCompute);
+    forEachUpdateImpl(ctx, [&](uint32_t dr, const IdxValPayload &p) {
+        ctx.load(&cursor[dr], 8); // irregular cursor bump
+        uint64_t pos = cursor[dr]++;
+        ctx.store(&cursor[dr], 8);
+        outCol[pos] = p.other;
+        outVal[pos] = p.value();
+        ctx.store(&outCol[pos], 4);
+        ctx.store(&outVal[pos], 8);
+    });
+    rec.end(ctx);
+}
+
+void
+SympermKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    resetOutput();
+    BinningPlan plan = BinningPlan::forMaxBins(a_->numRows(), max_bins);
+    runPbPipeline<IdxValPayload>(
+        ctx, rec, plan,
+        [&](auto &&emit) {
+            forEachUpdateImpl(ctx, [&](uint32_t dr, const IdxValPayload &) {
+                emit(dr);
+            });
+        },
+        [&](auto &&emit) { forEachUpdateImpl(ctx, emit); },
+        [&](const BinTuple<IdxValPayload> &t) {
+            ctx.instr(1);
+            ctx.load(&cursor[t.index], 8);
+            uint64_t pos = cursor[t.index]++;
+            ctx.store(&cursor[t.index], 8);
+            outCol[pos] = t.payload.other;
+            outVal[pos] = t.payload.value();
+            ctx.store(&outCol[pos], 4);
+            ctx.store(&outVal[pos], 8);
+        });
+}
+
+void
+SympermKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                        const CobraConfig &cfg)
+{
+    resetOutput();
+    COBRA_FATAL_IF(cfg.coalesceAtLlc,
+                   "SymPerm cursor bumps do not commute");
+    runCobraPipeline<IdxValPayload>(
+        ctx, rec, cfg, a_->numRows(), nullptr,
+        [&](auto &&emit) {
+            forEachUpdateImpl(ctx, [&](uint32_t dr, const IdxValPayload &) {
+                emit(dr);
+            });
+        },
+        [&](auto &&emit) { forEachUpdateImpl(ctx, emit); },
+        [&](const BinTuple<IdxValPayload> &t) {
+            ctx.instr(1);
+            ctx.load(&cursor[t.index], 8);
+            uint64_t pos = cursor[t.index]++;
+            ctx.store(&cursor[t.index], 8);
+            outCol[pos] = t.payload.other;
+            outVal[pos] = t.payload.value();
+            ctx.store(&outCol[pos], 4);
+            ctx.store(&outVal[pos], 8);
+        });
+}
+
+CsrMatrix
+SympermKernel::result() const
+{
+    return CsrMatrix(a_->numRows(), a_->numCols(), baseOffsets, outCol,
+                     outVal);
+}
+
+bool
+SympermKernel::verify() const
+{
+    return result().canonical() == refC;
+}
+
+} // namespace cobra

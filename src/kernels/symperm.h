@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SymPerm kernel (SuiteSparse cs_symperm), paper Section VI: symmetric
+ * permutation of a matrix's upper triangle, a Cholesky-factorization
+ * subroutine.
+ *
+ * Entry (r, c), c >= r, of the symmetric input lands at
+ * (min(p[r], p[c]), max(p[r], p[c])) of the output — a non-commutative
+ * cursor-bump scatter like Transpose, but with a data-dependent
+ * upper-triangle test per nonzero. That test is the branch the paper
+ * blames for SymPerm's residual branch misses under COBRA (Section
+ * VII-B footnote), and the triangle restriction halves the update count,
+ * which the paper says limits SymPerm's locality headroom.
+ */
+
+#ifndef COBRA_KERNELS_SYMPERM_H
+#define COBRA_KERNELS_SYMPERM_H
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+#include "src/pb/tuple.h"
+#include "src/sparse/csr_matrix.h"
+
+namespace cobra {
+
+/** Upper-triangle symmetric permutation. */
+class SympermKernel : public Kernel
+{
+  public:
+    SympermKernel(const CsrMatrix *a, const std::vector<uint32_t> *perm);
+
+    std::string name() const override { return "SymPerm"; }
+    bool commutative() const override { return false; }
+    uint32_t tupleBytes() const override
+    {
+        return sizeof(BinTuple<IdxValPayload>);
+    }
+    uint64_t numIndices() const override { return a_->numRows(); }
+    uint64_t numUpdates() const override { return upperNnz; }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    bool verify() const override;
+
+    CsrMatrix result() const;
+
+  private:
+    void resetOutput();
+    template <typename Emit> void forEachUpdateImpl(ExecCtx &ctx,
+                                                    Emit &&emit);
+
+    const CsrMatrix *a_;
+    const std::vector<uint32_t> *perm_;
+    uint64_t upperNnz = 0;
+    std::vector<uint64_t> baseOffsets; ///< destination row offsets
+    std::vector<uint64_t> cursor;
+    std::vector<uint32_t> outCol;
+    std::vector<double> outVal;
+    CsrMatrix refC; ///< canonical reference result
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_SYMPERM_H

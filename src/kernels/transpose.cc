@@ -1,0 +1,143 @@
+#include "src/kernels/transpose.h"
+
+#include "src/kernels/pipelines.h"
+#include "src/sparse/reference.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+TransposeKernel::TransposeKernel(const CsrMatrix *a) : a_(a)
+{
+    // Destination row offsets: column counts of A (given, like
+    // Neighbor-Populate's offsets; Degree-Count covers the counting
+    // pattern separately).
+    std::vector<uint64_t> col_counts(a->numCols(), 0);
+    for (uint32_t c : a->colIdxArray())
+        ++col_counts[c];
+    baseOffsets = exclusivePrefixSum(col_counts);
+    refT = transposeRef(*a).canonical();
+}
+
+void
+TransposeKernel::resetOutput()
+{
+    cursor.assign(baseOffsets.begin(), baseOffsets.end() - 1);
+    outCol.assign(a_->nnz(), 0);
+    outVal.assign(a_->nnz(), 0.0);
+}
+
+template <typename Emit>
+void
+TransposeKernel::forEachUpdateImpl(ExecCtx &ctx, Emit &&emit)
+{
+    const auto &col_idx = a_->colIdxArray();
+    const auto &vals = a_->valsArray();
+    for (uint32_t r = 0; r < a_->numRows(); ++r) {
+        ctx.load(&a_->rowPtrArray()[r], 8);
+        for (uint64_t i = a_->rowStart(r); i < a_->rowEnd(r); ++i) {
+            ctx.load(&col_idx[i], 4);
+            ctx.load(&vals[i], 8);
+            ctx.instr(2);
+            emit(col_idx[i], IdxValPayload::make(r, vals[i]));
+        }
+    }
+}
+
+void
+TransposeKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    resetOutput();
+    rec.begin(ctx, phase::kCompute);
+    const auto &col_idx = a_->colIdxArray();
+    const auto &vals = a_->valsArray();
+    for (uint32_t r = 0; r < a_->numRows(); ++r) {
+        ctx.load(&a_->rowPtrArray()[r], 8);
+        for (uint64_t i = a_->rowStart(r); i < a_->rowEnd(r); ++i) {
+            const uint32_t c = col_idx[i];
+            ctx.load(&col_idx[i], 4);
+            ctx.load(&vals[i], 8);
+            ctx.instr(2);
+            ctx.load(&cursor[c], 8); // irregular cursor bump
+            uint64_t pos = cursor[c]++;
+            ctx.store(&cursor[c], 8);
+            outCol[pos] = r;
+            outVal[pos] = vals[i];
+            ctx.store(&outCol[pos], 4);
+            ctx.store(&outVal[pos], 8);
+        }
+    }
+    rec.end(ctx);
+}
+
+void
+TransposeKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
+{
+    resetOutput();
+    BinningPlan plan = BinningPlan::forMaxBins(a_->numCols(), max_bins);
+    runPbPipeline<IdxValPayload>(
+        ctx, rec, plan,
+        [&](auto &&emit) {
+            const auto &col_idx = a_->colIdxArray();
+            for (uint64_t i = 0; i < a_->nnz(); ++i) {
+                ctx.load(&col_idx[i], 4);
+                ctx.instr(1);
+                emit(col_idx[i]);
+            }
+        },
+        [&](auto &&emit) { forEachUpdateImpl(ctx, emit); },
+        [&](const BinTuple<IdxValPayload> &t) {
+            ctx.instr(1);
+            ctx.load(&cursor[t.index], 8);
+            uint64_t pos = cursor[t.index]++;
+            ctx.store(&cursor[t.index], 8);
+            outCol[pos] = t.payload.other;
+            outVal[pos] = t.payload.value();
+            ctx.store(&outCol[pos], 4);
+            ctx.store(&outVal[pos], 8);
+        });
+}
+
+void
+TransposeKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                          const CobraConfig &cfg)
+{
+    resetOutput();
+    COBRA_FATAL_IF(cfg.coalesceAtLlc,
+                   "Transpose cursor bumps do not commute");
+    runCobraPipeline<IdxValPayload>(
+        ctx, rec, cfg, a_->numCols(), nullptr,
+        [&](auto &&emit) {
+            const auto &col_idx = a_->colIdxArray();
+            for (uint64_t i = 0; i < a_->nnz(); ++i) {
+                ctx.load(&col_idx[i], 4);
+                ctx.instr(1);
+                emit(col_idx[i]);
+            }
+        },
+        [&](auto &&emit) { forEachUpdateImpl(ctx, emit); },
+        [&](const BinTuple<IdxValPayload> &t) {
+            ctx.instr(1);
+            ctx.load(&cursor[t.index], 8);
+            uint64_t pos = cursor[t.index]++;
+            ctx.store(&cursor[t.index], 8);
+            outCol[pos] = t.payload.other;
+            outVal[pos] = t.payload.value();
+            ctx.store(&outCol[pos], 4);
+            ctx.store(&outVal[pos], 8);
+        });
+}
+
+CsrMatrix
+TransposeKernel::result() const
+{
+    return CsrMatrix(a_->numCols(), a_->numRows(), baseOffsets, outCol,
+                     outVal);
+}
+
+bool
+TransposeKernel::verify() const
+{
+    return result().canonical() == refT;
+}
+
+} // namespace cobra

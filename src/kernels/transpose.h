@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sparse Transpose kernel (SuiteSparse cs_transpose scatter phase),
+ * paper Section VI.
+ *
+ * Given the destination row offsets (the exclusive prefix sum of A's
+ * column counts), each nonzero (r, c, v) of A is scattered to
+ * (c, r, v) of A^T through a per-destination-row cursor — exactly
+ * Neighbor-Populate's non-commutative cursor-bump pattern, with a 16B
+ * tuple carrying (destination row; source row, value).
+ */
+
+#ifndef COBRA_KERNELS_TRANSPOSE_H
+#define COBRA_KERNELS_TRANSPOSE_H
+
+#include <vector>
+
+#include "src/kernels/kernel.h"
+#include "src/pb/tuple.h"
+#include "src/sparse/csr_matrix.h"
+
+namespace cobra {
+
+/** CSR transpose construction. */
+class TransposeKernel : public Kernel
+{
+  public:
+    explicit TransposeKernel(const CsrMatrix *a);
+
+    std::string name() const override { return "Transpose"; }
+    bool commutative() const override { return false; }
+    uint32_t tupleBytes() const override
+    {
+        return sizeof(BinTuple<IdxValPayload>);
+    }
+    uint64_t numIndices() const override { return a_->numCols(); }
+    uint64_t numUpdates() const override { return a_->nnz(); }
+
+    void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
+    void runPb(ExecCtx &ctx, PhaseRecorder &rec,
+               uint32_t max_bins) override;
+    void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
+                  const CobraConfig &cfg) override;
+    bool verify() const override;
+
+    CsrMatrix result() const;
+
+  private:
+    void resetOutput();
+    template <typename Emit> void forEachUpdateImpl(ExecCtx &ctx,
+                                                    Emit &&emit);
+
+    const CsrMatrix *a_;
+    std::vector<uint64_t> baseOffsets; ///< A^T row offsets (given)
+    std::vector<uint64_t> cursor;
+    std::vector<uint32_t> outCol;
+    std::vector<double> outVal;
+    CsrMatrix refT; ///< canonical reference transpose
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_TRANSPOSE_H

@@ -1,0 +1,214 @@
+#include "src/mem/cache.h"
+
+#include "src/util/bitops.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+Cache::Cache(const CacheConfig &config) : cfg(config), numSets(0)
+{
+    COBRA_FATAL_IF(cfg.ways == 0 || cfg.ways > 64,
+                   cfg.name << ": associativity must be in [1, 64]");
+    numSets = config.numSets();
+    COBRA_FATAL_IF(cfg.sizeBytes % (kLineSize * cfg.ways) != 0,
+                   cfg.name << ": size must be a multiple of ways*64B");
+    COBRA_FATAL_IF(!isPow2(numSets),
+                   cfg.name << ": number of sets must be a power of two");
+    lines.assign(static_cast<size_t>(numSets) * cfg.ways, Line{});
+    repl.reserve(numSets);
+    for (uint32_t s = 0; s < numSets; ++s)
+        repl.emplace_back(cfg.policy, cfg.ways, s, numSets, &shared);
+}
+
+std::vector<Addr>
+Cache::reserveWays(uint32_t n)
+{
+    COBRA_FATAL_IF(n >= cfg.ways,
+                   cfg.name << ": cannot reserve all " << cfg.ways
+                            << " ways");
+    reserved = n;
+    // Reserved ways are the top ways [ways-n, ways); drop whatever regular
+    // data was resident there and report dirty victims so the hierarchy
+    // can account for the writeback traffic.
+    std::vector<Addr> dirty;
+    for (uint32_t s = 0; s < numSets; ++s) {
+        for (uint32_t w = cfg.ways - n; w < cfg.ways; ++w) {
+            Line &l = lines[static_cast<size_t>(s) * cfg.ways + w];
+            if (l.valid) {
+                if (l.dirty)
+                    dirty.push_back((l.tag << kLineShift));
+                l = Line{};
+                ++stat.evictions;
+            }
+        }
+    }
+    stat.writebacks += dirty.size();
+    return dirty;
+}
+
+AccessOutcome
+Cache::access(Addr addr, bool write, bool demand)
+{
+    AccessOutcome out;
+    const uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.ways];
+    const uint32_t avail = availableWays();
+
+    // Hit path.
+    for (uint32_t w = 0; w < avail; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            out.hit = true;
+            if (demand) {
+                repl[set].onHit(w);
+                if (write) {
+                    l.dirty = true;
+                    ++stat.storeHits;
+                } else {
+                    ++stat.loadHits;
+                }
+                if (l.wasPrefetch) {
+                    ++stat.prefetchHits;
+                    l.wasPrefetch = false;
+                }
+            }
+            return out;
+        }
+    }
+
+    if (!demand) {
+        // Prefetch fill: install the line.
+        ++stat.prefetchFills;
+    } else {
+        repl[set].onMiss();
+        if (write)
+            ++stat.storeMisses;
+        else
+            ++stat.loadMisses;
+    }
+
+    // Fill path: prefer an invalid way.
+    uint32_t victim_way = avail;
+    for (uint32_t w = 0; w < avail; ++w) {
+        if (!base[w].valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == avail) {
+        victim_way = repl[set].victim(candidateMask());
+        Line &v = base[victim_way];
+        out.victimValid = true;
+        out.victimDirty = v.dirty;
+        out.victimAddr = v.tag << kLineShift;
+        ++stat.evictions;
+        if (v.dirty)
+            ++stat.writebacks;
+    }
+
+    Line &l = base[victim_way];
+    l.tag = tag;
+    l.valid = true;
+    l.dirty = demand && write;
+    l.wasPrefetch = !demand;
+    repl[set].onFill(victim_way, demand);
+    return out;
+}
+
+AccessOutcome
+Cache::writebackInstall(Addr addr)
+{
+    AccessOutcome out;
+    const uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.ways];
+    const uint32_t avail = availableWays();
+
+    for (uint32_t w = 0; w < avail; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            l.dirty = true;
+            repl[set].onHit(w);
+            out.hit = true;
+            return out;
+        }
+    }
+
+    uint32_t victim_way = avail;
+    for (uint32_t w = 0; w < avail; ++w) {
+        if (!base[w].valid) {
+            victim_way = w;
+            break;
+        }
+    }
+    if (victim_way == avail) {
+        victim_way = repl[set].victim(candidateMask());
+        Line &v = base[victim_way];
+        out.victimValid = true;
+        out.victimDirty = v.dirty;
+        out.victimAddr = v.tag << kLineShift;
+        ++stat.evictions;
+        if (v.dirty)
+            ++stat.writebacks;
+    }
+    Line &l = base[victim_way];
+    l.tag = tag;
+    l.valid = true;
+    l.dirty = true;
+    l.wasPrefetch = false;
+    repl[set].onFill(victim_way, /*demand=*/true);
+    return out;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    const uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    const Line *base = &lines[static_cast<size_t>(set) * cfg.ways];
+    for (uint32_t w = 0; w < availableWays(); ++w)
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    return false;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    const uint32_t set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines[static_cast<size_t>(set) * cfg.ways];
+    for (uint32_t w = 0; w < cfg.ways; ++w) {
+        Line &l = base[w];
+        if (l.valid && l.tag == tag) {
+            bool was_dirty = l.dirty;
+            l = Line{};
+            return was_dirty;
+        }
+    }
+    return false;
+}
+
+std::vector<Addr>
+Cache::flushAll()
+{
+    std::vector<Addr> dirty;
+    for (auto &l : lines) {
+        if (l.valid && l.dirty)
+            dirty.push_back(l.tag << kLineShift);
+        l = Line{};
+    }
+    return dirty;
+}
+
+uint64_t
+Cache::linesValid() const
+{
+    uint64_t n = 0;
+    for (const auto &l : lines)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+} // namespace cobra

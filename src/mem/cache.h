@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Set-associative cache model with way partitioning.
+ *
+ * This is the building block of the three-level hierarchy that stands in
+ * for the paper's Sniper/Pin memory models. It is a tag-only functional
+ * model: it tracks presence, dirtiness, and replacement state, and reports
+ * hits/misses plus dirty victims for writeback accounting.
+ *
+ * Way partitioning (Intel CAT-style, paper Section V-A): COBRA reserves
+ * ways for C-Buffers. Reserved ways are removed from the candidate mask of
+ * every fill/victim decision, shrinking the capacity available to regular
+ * data. The C-Buffers themselves are modeled separately (src/core) and by
+ * construction never miss, so they are not stored here; reserving the ways
+ * is the entire interaction with regular data.
+ */
+
+#ifndef COBRA_MEM_CACHE_H
+#define COBRA_MEM_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mem/replacement.h"
+#include "src/mem/types.h"
+
+namespace cobra {
+
+/** Static configuration of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 32 * 1024;
+    uint32_t ways = 8;
+    ReplPolicy policy = ReplPolicy::BitPLRU;
+    uint32_t loadToUse = 3; ///< load-to-use latency in cycles
+
+    uint32_t numSets() const
+    {
+        return static_cast<uint32_t>(sizeBytes / (kLineSize * ways));
+    }
+};
+
+/** Hit/miss counters for one cache level. */
+struct CacheStats
+{
+    uint64_t loadHits = 0;
+    uint64_t loadMisses = 0;
+    uint64_t storeHits = 0;
+    uint64_t storeMisses = 0;
+    uint64_t writebacks = 0;     ///< dirty lines evicted
+    uint64_t evictions = 0;      ///< all valid lines evicted
+    uint64_t prefetchFills = 0;  ///< lines installed by the prefetcher
+    uint64_t prefetchHits = 0;   ///< demand hits on prefetched lines
+
+    uint64_t hits() const { return loadHits + storeHits; }
+    uint64_t misses() const { return loadMisses + storeMisses; }
+    uint64_t accesses() const { return hits() + misses(); }
+
+    double
+    missRate() const
+    {
+        uint64_t a = accesses();
+        return a ? static_cast<double>(misses()) / static_cast<double>(a)
+                 : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = CacheStats{};
+    }
+};
+
+/** Result of a single cache access. */
+struct AccessOutcome
+{
+    bool hit = false;
+    bool victimValid = false; ///< a valid line was evicted to make room
+    bool victimDirty = false; ///< ... and it was dirty (writeback needed)
+    Addr victimAddr = 0;      ///< line address of the evicted line
+};
+
+/** One level of set-associative cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    const CacheConfig &config() const { return cfg; }
+    CacheStats &stats() { return stat; }
+    const CacheStats &stats() const { return stat; }
+
+    /**
+     * Reserve @p n ways for C-Buffers (0 <= n < ways). Regular data is
+     * restricted to the remaining ways; any resident lines in reserved
+     * ways are invalidated (dirty ones are reported via flushReserved's
+     * return, but reservation at Binning start simply drops them — COBRA
+     * flushes before reserving in practice, and for traffic accounting the
+     * hierarchy performs the writebacks).
+     */
+    std::vector<Addr> reserveWays(uint32_t n);
+
+    /** Number of currently reserved ways. */
+    uint32_t reservedWays() const { return reserved; }
+
+    /** Ways available to regular data. */
+    uint32_t availableWays() const { return cfg.ways - reserved; }
+
+    /** Bytes available to regular data. */
+    uint64_t
+    availableBytes() const
+    {
+        return static_cast<uint64_t>(availableWays()) * numSets * kLineSize;
+    }
+
+    /**
+     * Access one cache line.
+     * @param addr any address within the line
+     * @param write true for stores (marks the line dirty)
+     * @param demand false for prefetch fills
+     */
+    AccessOutcome access(Addr addr, bool write, bool demand = true);
+
+    /**
+     * Install (or update) a line as dirty without touching demand hit/miss
+     * counters — the path a writeback from an upper level takes. Returns
+     * the eviction outcome so the caller can propagate dirty victims.
+     */
+    AccessOutcome writebackInstall(Addr addr);
+
+    /** True iff the line is present (no state update). */
+    bool probe(Addr addr) const;
+
+    /** Invalidate a line if present; returns true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    /**
+     * Invalidate everything, returning dirty line addresses (context
+     * switch / flush modeling).
+     */
+    std::vector<Addr> flushAll();
+
+    uint64_t linesValid() const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        bool wasPrefetch = false;
+    };
+
+    uint32_t setIndex(Addr addr) const
+    {
+        return static_cast<uint32_t>((addr >> kLineShift) & (numSets - 1));
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> kLineShift; }
+
+    /** Candidate mask covering only non-reserved ways. */
+    uint64_t candidateMask() const
+    {
+        return (availableWays() >= 64)
+            ? ~uint64_t{0}
+            : (uint64_t{1} << availableWays()) - 1;
+    }
+
+    CacheConfig cfg;
+    uint32_t numSets;
+    uint32_t reserved = 0;
+    CacheStats stat;
+    ReplShared shared;
+    std::vector<Line> lines;            // numSets * ways
+    std::vector<SetReplState> repl;     // one per set
+};
+
+} // namespace cobra
+
+#endif // COBRA_MEM_CACHE_H

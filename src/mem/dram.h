@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Main-memory traffic and latency accounting.
+ *
+ * DRAM is always accessed at cache-line (64B) granularity; partially
+ * useful line transfers therefore waste bandwidth — the effect behind the
+ * context-switch experiment (paper Fig 13c) and the traffic comparisons in
+ * Fig 14a.
+ */
+
+#ifndef COBRA_MEM_DRAM_H
+#define COBRA_MEM_DRAM_H
+
+#include <cstdint>
+
+#include "src/mem/types.h"
+
+namespace cobra {
+
+/** DRAM model: fixed access latency plus line-granularity traffic stats. */
+class Dram
+{
+  public:
+    struct Config
+    {
+        uint32_t accessLatency = 200; ///< cycles (80ns @ 2.66GHz, Table II)
+    };
+
+    Dram() : Dram(Config{}) {}
+    explicit Dram(const Config &config) : cfg(config) {}
+
+    const Config &config() const { return cfg; }
+
+    void readLine() { ++readLines_; }
+    void writeLine() { ++writeLines_; }
+
+    /** Record a write of @p bytes useful payload within one line. */
+    void
+    writePartialLine(uint32_t useful_bytes)
+    {
+        ++writeLines_;
+        if (useful_bytes < kLineSize)
+            wastedBytes_ += kLineSize - useful_bytes;
+    }
+
+    uint64_t readLines() const { return readLines_; }
+    uint64_t writeLines() const { return writeLines_; }
+    uint64_t totalLines() const { return readLines_ + writeLines_; }
+    uint64_t totalBytes() const { return totalLines() * kLineSize; }
+    uint64_t wastedBytes() const { return wastedBytes_; }
+
+    void
+    reset()
+    {
+        readLines_ = 0;
+        writeLines_ = 0;
+        wastedBytes_ = 0;
+    }
+
+  private:
+    Config cfg;
+    uint64_t readLines_ = 0;
+    uint64_t writeLines_ = 0;
+    uint64_t wastedBytes_ = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_MEM_DRAM_H

@@ -1,0 +1,168 @@
+#include "src/mem/hierarchy.h"
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig &config)
+    : cfg(config),
+      l1_(std::make_unique<Cache>(cfg.l1)),
+      l2_(std::make_unique<Cache>(cfg.l2)),
+      llc_(std::make_unique<Cache>(cfg.llc)),
+      pf(cfg.prefetcher),
+      dram_(cfg.dram)
+{
+}
+
+Cache &
+MemoryHierarchy::level(CacheLevel lvl)
+{
+    switch (lvl) {
+      case CacheLevel::L1: return *l1_;
+      case CacheLevel::L2: return *l2_;
+      case CacheLevel::LLC: return *llc_;
+    }
+    COBRA_PANIC_IF(true, "bad cache level");
+}
+
+uint32_t
+MemoryHierarchy::latency(HitLevel level) const
+{
+    switch (level) {
+      case HitLevel::L1: return cfg.l1.loadToUse;
+      case HitLevel::L2: return cfg.l2.loadToUse;
+      case HitLevel::LLC: return cfg.llc.loadToUse;
+      case HitLevel::DRAM: return cfg.dram.accessLatency;
+    }
+    return 0;
+}
+
+void
+MemoryHierarchy::writebackTo(Cache &c, Addr addr, bool to_llc)
+{
+    AccessOutcome out = c.writebackInstall(addr);
+    if (out.victimValid && out.victimDirty) {
+        if (to_llc)
+            dram_.writeLine();
+        else
+            writebackTo(*llc_, out.victimAddr, /*to_llc=*/true);
+    }
+}
+
+HitLevel
+MemoryHierarchy::access(Addr addr, AccessType type)
+{
+    if (type == AccessType::NonTemporalStore) {
+        ntStore(addr, kLineSize);
+        return HitLevel::DRAM;
+    }
+    const bool write = (type == AccessType::Store);
+
+    AccessOutcome r1 = l1_->access(addr, write);
+    if (r1.hit)
+        return HitLevel::L1;
+    if (r1.victimValid && r1.victimDirty)
+        writebackTo(*l2_, r1.victimAddr, /*to_llc=*/false);
+
+    // L2 demand access; feed the stream prefetcher on the L2 access
+    // stream (i.e., on L1 misses).
+    AccessOutcome r2 = l2_->access(addr, write);
+    if (r2.victimValid && r2.victimDirty)
+        writebackTo(*llc_, r2.victimAddr, /*to_llc=*/true);
+
+    for (Addr pf_line : pf.observe(addr)) {
+        if (l2_->probe(pf_line))
+            continue;
+        AccessOutcome rp = l2_->access(pf_line, /*write=*/false,
+                                       /*demand=*/false);
+        if (rp.victimValid && rp.victimDirty)
+            writebackTo(*llc_, rp.victimAddr, /*to_llc=*/true);
+        // Prefetch data comes from LLC or DRAM.
+        if (!llc_->probe(pf_line)) {
+            AccessOutcome rl = llc_->access(pf_line, /*write=*/false,
+                                            /*demand=*/false);
+            if (rl.victimValid && rl.victimDirty)
+                dram_.writeLine();
+            dram_.readLine();
+        }
+    }
+
+    if (r2.hit)
+        return HitLevel::L2;
+
+    AccessOutcome r3 = llc_->access(addr, write);
+    if (r3.victimValid && r3.victimDirty)
+        dram_.writeLine();
+    if (r3.hit)
+        return HitLevel::LLC;
+
+    dram_.readLine();
+    return HitLevel::DRAM;
+}
+
+void
+MemoryHierarchy::ntStore(Addr addr, uint32_t bytes)
+{
+    // Invalidate stale cached copies (coherence with WC stores), then
+    // write combined lines to DRAM.
+    const Addr first = lineAddr(addr);
+    const Addr last = lineAddr(addr + bytes - 1);
+    for (Addr a = first; a <= last; a += kLineSize) {
+        l1_->invalidate(a);
+        l2_->invalidate(a);
+        llc_->invalidate(a);
+        uint32_t lo = static_cast<uint32_t>(a < addr ? addr - a : 0);
+        Addr line_end = a + kLineSize;
+        Addr data_end = addr + bytes;
+        uint32_t hi = static_cast<uint32_t>(
+            line_end > data_end ? line_end - data_end : 0);
+        dram_.writePartialLine(kLineSize - lo - hi);
+    }
+}
+
+void
+MemoryHierarchy::dramWriteLine(uint32_t useful_bytes)
+{
+    dram_.writePartialLine(useful_bytes);
+}
+
+void
+MemoryHierarchy::dramReadLine()
+{
+    dram_.readLine();
+}
+
+void
+MemoryHierarchy::reserveWays(CacheLevel lvl, uint32_t n)
+{
+    Cache &c = level(lvl);
+    std::vector<Addr> dirty = c.reserveWays(n);
+    for (Addr a : dirty) {
+        if (&c == l1_.get())
+            writebackTo(*l2_, a, /*to_llc=*/false);
+        else if (&c == l2_.get())
+            writebackTo(*llc_, a, /*to_llc=*/true);
+        else
+            dram_.writeLine();
+    }
+}
+
+void
+MemoryHierarchy::invalidateAll()
+{
+    l1_->flushAll();
+    l2_->flushAll();
+    llc_->flushAll();
+    pf.reset();
+}
+
+void
+MemoryHierarchy::resetStats()
+{
+    l1_->stats().reset();
+    l2_->stats().reset();
+    llc_->stats().reset();
+    dram_.reset();
+}
+
+} // namespace cobra

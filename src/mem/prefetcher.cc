@@ -1,0 +1,78 @@
+#include "src/mem/prefetcher.h"
+
+namespace cobra {
+
+StreamPrefetcher::StreamPrefetcher(const Config &config) : cfg(config)
+{
+    streams.assign(cfg.numStreams, Stream{});
+}
+
+void
+StreamPrefetcher::reset()
+{
+    for (auto &s : streams)
+        s = Stream{};
+    tick = 0;
+    numIssued = 0;
+}
+
+std::vector<Addr>
+StreamPrefetcher::observe(Addr addr)
+{
+    std::vector<Addr> out;
+    if (!cfg.enabled)
+        return out;
+
+    ++tick;
+    const Addr line = lineAddr(addr);
+
+    // Match an existing stream expecting this line (or a line already
+    // covered by its prefetch window).
+    for (auto &s : streams) {
+        if (!s.valid)
+            continue;
+        if (line == s.nextLine ||
+            (line > s.nextLine - kLineSize && line <= s.prefetchedUpTo)) {
+            s.lastUse = tick;
+            if (line >= s.nextLine)
+                s.nextLine = line + kLineSize;
+            if (s.confidence < cfg.trainThreshold) {
+                ++s.confidence;
+                return out;
+            }
+            // Trained: run the prefetch window `degree` lines past the
+            // demand stream.
+            Addr target = s.nextLine +
+                static_cast<Addr>(cfg.degree - 1) * kLineSize;
+            Addr from = s.prefetchedUpTo > s.nextLine ? s.prefetchedUpTo
+                                                      : s.nextLine;
+            for (Addr a = from; a <= target; a += kLineSize) {
+                out.push_back(a);
+                ++numIssued;
+            }
+            if (target > s.prefetchedUpTo)
+                s.prefetchedUpTo = target;
+            return out;
+        }
+    }
+
+    // Check whether this access extends a potential new stream: allocate
+    // a tracker expecting the next sequential line. Victim = LRU tracker.
+    Stream *victim = &streams[0];
+    for (auto &s : streams) {
+        if (!s.valid) {
+            victim = &s;
+            break;
+        }
+        if (s.lastUse < victim->lastUse)
+            victim = &s;
+    }
+    victim->valid = true;
+    victim->nextLine = line + kLineSize;
+    victim->prefetchedUpTo = line;
+    victim->confidence = 0;
+    victim->lastUse = tick;
+    return out;
+}
+
+} // namespace cobra

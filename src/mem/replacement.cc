@@ -1,0 +1,215 @@
+#include "src/mem/replacement.h"
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+namespace {
+
+constexpr uint8_t kRrpvMax = 3;     // 2-bit RRPV
+constexpr uint8_t kRrpvLong = 2;    // SRRIP insertion
+constexpr uint32_t kPselMax = 1023; // 10-bit PSEL
+constexpr uint32_t kDuelPeriod = 32; // every 32nd set is a leader
+
+} // namespace
+
+ReplPolicy
+replPolicyFromString(const std::string &name)
+{
+    if (name == "bitplru")
+        return ReplPolicy::BitPLRU;
+    if (name == "drrip")
+        return ReplPolicy::DRRIP;
+    if (name == "lru")
+        return ReplPolicy::LRU;
+    if (name == "random")
+        return ReplPolicy::Random;
+    COBRA_FATAL_IF(true, "unknown replacement policy: " << name);
+}
+
+std::string
+to_string(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::BitPLRU: return "bitplru";
+      case ReplPolicy::DRRIP: return "drrip";
+      case ReplPolicy::LRU: return "lru";
+      case ReplPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+SetReplState::SetReplState(ReplPolicy policy, uint32_t num_ways,
+                           uint32_t set_index, uint32_t num_sets,
+                           ReplShared *shared)
+    : pol(policy), ways(num_ways), shr(shared)
+{
+    COBRA_PANIC_IF(num_ways == 0 || num_ways > 64, "bad associativity");
+    switch (pol) {
+      case ReplPolicy::DRRIP:
+        rrpv.assign(ways, kRrpvMax);
+        // Standard set dueling: dedicate a sparse subset of sets to each
+        // of the two competing insertion policies.
+        if (num_sets >= 2 * kDuelPeriod) {
+            if (set_index % kDuelPeriod == 0)
+                duelRole = 1; // SRRIP leader
+            else if (set_index % kDuelPeriod == kDuelPeriod / 2)
+                duelRole = 2; // BRRIP leader
+        }
+        break;
+      case ReplPolicy::LRU:
+        stamp.assign(ways, 0);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+SetReplState::onHit(uint32_t way)
+{
+    switch (pol) {
+      case ReplPolicy::BitPLRU:
+        mruBits |= uint64_t{1} << way;
+        // When every way is MRU, reset all other bits (Bit-PLRU rule).
+        if (mruBits == (ways >= 64 ? ~uint64_t{0}
+                                   : (uint64_t{1} << ways) - 1))
+            mruBits = uint64_t{1} << way;
+        break;
+      case ReplPolicy::DRRIP:
+        rrpv[way] = 0; // hit promotion
+        break;
+      case ReplPolicy::LRU:
+        stamp[way] = ++clock;
+        break;
+      case ReplPolicy::Random:
+        break;
+    }
+}
+
+void
+SetReplState::onFill(uint32_t way, bool demand)
+{
+    switch (pol) {
+      case ReplPolicy::BitPLRU:
+        onHit(way);
+        break;
+      case ReplPolicy::DRRIP: {
+        bool use_brrip;
+        if (duelRole == 1)
+            use_brrip = false;
+        else if (duelRole == 2)
+            use_brrip = true;
+        else
+            use_brrip = shr && shr->psel > kPselMax / 2;
+        if (!demand) {
+            // Prefetch fills insert at distant RRPV so useless prefetches
+            // leave quickly.
+            rrpv[way] = kRrpvMax;
+        } else if (use_brrip) {
+            // BRRIP: insert at RRPV max, occasionally (1/32) at long.
+            bool rare = shr && (shr->nextRand() & 31) == 0;
+            rrpv[way] = rare ? kRrpvLong : kRrpvMax;
+        } else {
+            rrpv[way] = kRrpvLong; // SRRIP
+        }
+        break;
+      }
+      case ReplPolicy::LRU:
+        stamp[way] = ++clock;
+        break;
+      case ReplPolicy::Random:
+        break;
+    }
+}
+
+void
+SetReplState::onMiss()
+{
+    if (pol != ReplPolicy::DRRIP || !shr)
+        return;
+    // Leader-set misses steer PSEL: a miss in an SRRIP leader votes for
+    // BRRIP and vice versa.
+    if (duelRole == 1 && shr->psel < kPselMax)
+        ++shr->psel;
+    else if (duelRole == 2 && shr->psel > 0)
+        --shr->psel;
+}
+
+uint32_t
+SetReplState::victim(uint64_t candidates)
+{
+    COBRA_PANIC_IF(candidates == 0, "victim() with empty candidate mask");
+    switch (pol) {
+      case ReplPolicy::BitPLRU:
+        return victimPLRU(candidates);
+      case ReplPolicy::DRRIP:
+        return victimDRRIP(candidates);
+      case ReplPolicy::LRU:
+        return victimLRU(candidates);
+      case ReplPolicy::Random: {
+        // Pick a uniformly random candidate way.
+        uint32_t n = static_cast<uint32_t>(__builtin_popcountll(candidates));
+        uint32_t k = shr ? static_cast<uint32_t>(shr->nextRand() % n) : 0;
+        for (uint32_t w = 0; w < ways; ++w) {
+            if ((candidates >> w) & 1) {
+                if (k == 0)
+                    return w;
+                --k;
+            }
+        }
+        break;
+      }
+    }
+    COBRA_PANIC_IF(true, "victim selection failed");
+}
+
+uint32_t
+SetReplState::victimPLRU(uint64_t candidates)
+{
+    // First candidate way whose MRU bit is clear; if the candidate subset
+    // is fully MRU (possible under way partitioning), fall back to the
+    // first candidate.
+    for (uint32_t w = 0; w < ways; ++w)
+        if (((candidates >> w) & 1) && !((mruBits >> w) & 1))
+            return w;
+    for (uint32_t w = 0; w < ways; ++w)
+        if ((candidates >> w) & 1)
+            return w;
+    COBRA_PANIC_IF(true, "PLRU victim failed");
+}
+
+uint32_t
+SetReplState::victimDRRIP(uint64_t candidates)
+{
+    // SRRIP victim search: find RRPV==max among candidates, aging the
+    // candidate subset until one appears.
+    for (;;) {
+        for (uint32_t w = 0; w < ways; ++w)
+            if (((candidates >> w) & 1) && rrpv[w] == kRrpvMax)
+                return w;
+        for (uint32_t w = 0; w < ways; ++w)
+            if (((candidates >> w) & 1) && rrpv[w] < kRrpvMax)
+                ++rrpv[w];
+    }
+}
+
+uint32_t
+SetReplState::victimLRU(uint64_t candidates)
+{
+    uint32_t best = 64;
+    uint64_t best_stamp = ~uint64_t{0};
+    for (uint32_t w = 0; w < ways; ++w) {
+        if (((candidates >> w) & 1) && stamp[w] <= best_stamp) {
+            // <= so later ways with stamp 0 don't mask way 0
+            if (stamp[w] < best_stamp || best == 64) {
+                best = w;
+                best_stamp = stamp[w];
+            }
+        }
+    }
+    COBRA_PANIC_IF(best == 64, "LRU victim failed");
+    return best;
+}
+
+} // namespace cobra

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Replacement policies for the set-associative cache model.
+ *
+ * The simulated machine (paper Table II) uses Bit-PLRU in the L1/L2 and
+ * DRRIP in the LLC. LRU and Random are provided for tests and ablations.
+ * DRRIP follows Jaleel et al. (ISCA'10): 2-bit RRPVs, SRRIP/BRRIP set
+ * dueling with a PSEL counter shared across the cache.
+ */
+
+#ifndef COBRA_MEM_REPLACEMENT_H
+#define COBRA_MEM_REPLACEMENT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+enum class ReplPolicy
+{
+    BitPLRU,
+    DRRIP,
+    LRU,
+    Random,
+};
+
+/** Parse a policy name ("bitplru", "drrip", "lru", "random"). */
+ReplPolicy replPolicyFromString(const std::string &name);
+std::string to_string(ReplPolicy p);
+
+/** Shared (cross-set) state for policies that need it; DRRIP's PSEL. */
+struct ReplShared
+{
+    /// 10-bit PSEL policy-selection counter; >512 favors BRRIP. Starts
+    /// at 0: SRRIP until the leader sets prove BRRIP better.
+    uint32_t psel = 0;
+    /// Random state for BRRIP's epsilon insertions and Random policy.
+    uint64_t rng = 0x2545F4914F6CDD1DULL;
+
+    uint64_t
+    nextRand()
+    {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    }
+};
+
+/**
+ * Per-set replacement state. One instance per cache set; stateless about
+ * tags — the cache tells it about hits and fills by way index and asks for
+ * victims among a mask of candidate ways (way partitioning restricts the
+ * mask, paper Section V-A).
+ */
+class SetReplState
+{
+  public:
+    SetReplState(ReplPolicy policy, uint32_t num_ways, uint32_t set_index,
+                 uint32_t num_sets, ReplShared *shared);
+
+    /** Record a demand hit on @p way. */
+    void onHit(uint32_t way);
+
+    /** Record a fill into @p way; @p is_miss_fill false for prefetch. */
+    void onFill(uint32_t way, bool demand);
+
+    /**
+     * Choose a victim among ways where (candidates >> way) & 1. Invalid
+     * ways are preferred by the cache before this is consulted.
+     */
+    uint32_t victim(uint64_t candidates);
+
+    /** DRRIP set-dueling: record a miss in this set (updates PSEL). */
+    void onMiss();
+
+  private:
+    uint32_t victimPLRU(uint64_t candidates);
+    uint32_t victimDRRIP(uint64_t candidates);
+    uint32_t victimLRU(uint64_t candidates);
+
+    ReplPolicy pol;
+    uint32_t ways;
+    ReplShared *shr;
+
+    /// Bit-PLRU: MRU bit per way.
+    uint64_t mruBits = 0;
+    /// DRRIP: 2-bit re-reference prediction value per way.
+    std::vector<uint8_t> rrpv;
+    /// LRU: per-way timestamps.
+    std::vector<uint64_t> stamp;
+    uint64_t clock = 0;
+
+    /// DRRIP set dueling: 0 = follower, 1 = SRRIP leader, 2 = BRRIP leader.
+    uint8_t duelRole = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_MEM_REPLACEMENT_H

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared types for the memory-system model.
+ */
+
+#ifndef COBRA_MEM_TYPES_H
+#define COBRA_MEM_TYPES_H
+
+#include <cstdint>
+
+namespace cobra {
+
+/** Byte address in the simulated (== host) address space. */
+using Addr = uint64_t;
+
+/** Cache line size used throughout the model (paper assumes 64B lines). */
+constexpr uint32_t kLineSize = 64;
+constexpr uint32_t kLineShift = 6;
+
+/** Line-align an address. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineSize - 1);
+}
+
+/** Kind of memory access issued by a kernel or by internal machinery. */
+enum class AccessType
+{
+    Load,             ///< demand load
+    Store,            ///< demand store (write-allocate)
+    NonTemporalStore, ///< streaming store bypassing the hierarchy
+    Prefetch,         ///< hardware prefetch fill (L2 stream prefetcher)
+};
+
+/** Where an access was satisfied; used by the core cost model. */
+enum class HitLevel
+{
+    L1,
+    L2,
+    LLC,
+    DRAM,
+};
+
+/** Names a level of the hierarchy (operand of bininit, paper Section V-A). */
+enum class CacheLevel : uint32_t
+{
+    L1 = 0,
+    L2 = 1,
+    LLC = 2,
+};
+
+constexpr uint32_t kNumCacheLevels = 3;
+
+} // namespace cobra
+
+#endif // COBRA_MEM_TYPES_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Analytic bin-count selection for software PB.
+ *
+ * The paper selects the best bin range per workload/input by sweeping
+ * (Section VI). Sweeping costs a full execution per candidate; this
+ * helper encodes the mechanism behind the sweep's answer instead: the
+ * Binning phase performs well while the C-Buffer working set (one 64B
+ * buffer plus a 4B counter per bin) stays resident in the upper caches,
+ * and Accumulate wants every bin it can get — so pick the largest
+ * power-of-two bin count whose C-Buffer footprint fits a target capacity
+ * (default: half the L2, leaving room for the streamed input).
+ *
+ * This is a heuristic, not an oracle: tests assert it lands within a
+ * small factor of the swept optimum, not on it.
+ */
+
+#ifndef COBRA_PB_AUTO_TUNE_H
+#define COBRA_PB_AUTO_TUNE_H
+
+#include "src/mem/hierarchy.h"
+#include "src/pb/bin_range.h"
+
+namespace cobra {
+
+/** Per-bin Binning-phase footprint: coalescing buffer + counter. */
+constexpr uint64_t kPbBytesPerBin = kLineSize + sizeof(uint32_t);
+
+/**
+ * Suggest a PB bin count for @p num_indices on machine @p h.
+ * @param capacity_fraction fraction of L2 to budget for C-Buffers.
+ */
+inline uint32_t
+autoTunePbBins(uint64_t num_indices,
+               const HierarchyConfig &h = HierarchyConfig{},
+               double capacity_fraction = 0.5)
+{
+    COBRA_FATAL_IF(num_indices == 0, "empty index namespace");
+    COBRA_FATAL_IF(capacity_fraction <= 0.0 || capacity_fraction > 1.0,
+                   "capacity fraction must be in (0, 1]");
+    const double budget =
+        static_cast<double>(h.l2.sizeBytes) * capacity_fraction;
+    uint64_t bins = static_cast<uint64_t>(budget / kPbBytesPerBin);
+    bins = std::max<uint64_t>(16, floorPow2(std::max<uint64_t>(1, bins)));
+    // Never more bins than indices (the plan would clamp anyway).
+    bins = std::min<uint64_t>(bins, ceilPow2(num_indices));
+    return static_cast<uint32_t>(bins);
+}
+
+/** The binning plan the heuristic implies. */
+inline BinningPlan
+autoTunePlan(uint64_t num_indices,
+             const HierarchyConfig &h = HierarchyConfig{})
+{
+    return BinningPlan::forMaxBins(num_indices,
+                                   autoTunePbBins(num_indices, h));
+}
+
+} // namespace cobra
+
+#endif // COBRA_PB_AUTO_TUNE_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bin-range arithmetic.
+ *
+ * A binning plan partitions the index namespace [0, numIndices) into bins
+ * of a power-of-two range so that mapping an index to its bin is a single
+ * shift (paper Section V-A: "a cache level's bin range must be a power of
+ * two, which makes binning a tuple cheap"). Given a desired bin count the
+ * plan picks the smallest power-of-two range that needs at most that many
+ * bins, then reports the bin count actually used.
+ */
+
+#ifndef COBRA_PB_BIN_RANGE_H
+#define COBRA_PB_BIN_RANGE_H
+
+#include <cstdint>
+
+#include "src/util/bitops.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** A power-of-two partition of the index namespace. */
+struct BinningPlan
+{
+    uint64_t numIndices = 0;
+    uint32_t numBins = 0;    ///< bins actually used (== ceil(n / range))
+    uint32_t rangeShift = 0; ///< bin range == 1 << rangeShift
+
+    uint64_t binRange() const { return uint64_t{1} << rangeShift; }
+
+    /** Bin of @p index (no bounds check beyond the plan's own clamp). */
+    uint32_t
+    binOf(uint32_t index) const
+    {
+        uint32_t b = index >> rangeShift;
+        return b < numBins ? b : numBins - 1;
+    }
+
+    /** First index covered by @p bin. */
+    uint64_t
+    binStartIndex(uint32_t bin) const
+    {
+        return static_cast<uint64_t>(bin) << rangeShift;
+    }
+
+    /**
+     * Plan with at most @p max_bins bins: the smallest power-of-two range
+     * such that ceil(numIndices / range) <= max_bins.
+     */
+    static BinningPlan
+    forMaxBins(uint64_t num_indices, uint32_t max_bins)
+    {
+        COBRA_FATAL_IF(num_indices == 0, "empty index namespace");
+        COBRA_FATAL_IF(max_bins == 0, "need at least one bin");
+        BinningPlan p;
+        p.numIndices = num_indices;
+        uint64_t range = ceilPow2(divCeil(num_indices, max_bins));
+        p.rangeShift = floorLog2(range);
+        p.numBins = static_cast<uint32_t>(divCeil(num_indices, range));
+        return p;
+    }
+};
+
+} // namespace cobra
+
+#endif // COBRA_PB_BIN_RANGE_H

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * In-memory bins with the paper's sequential layout.
+ *
+ * To avoid dynamic allocation during Binning, PB precomputes the number
+ * of tuples per bin (the Init phase of Table I), lays all bins out
+ * contiguously, and appends through per-bin cursors — the BinOffset array
+ * of paper Section V-E. Both software PB and COBRA spill into this
+ * structure; COBRA additionally stores the cursors in repurposed LLC tag
+ * bits (modeled as zero extra storage).
+ */
+
+#ifndef COBRA_PB_BIN_STORAGE_H
+#define COBRA_PB_BIN_STORAGE_H
+
+#include <span>
+#include <vector>
+
+#include "src/pb/bin_range.h"
+#include "src/pb/tuple.h"
+#include "src/sim/exec_ctx.h"
+#include "src/util/error.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+/** Static instrumentation sites (branch "PCs" fed to the gshare model). */
+namespace branch_site {
+constexpr uint64_t kPbBufferFull = 0x1000;
+constexpr uint64_t kPbFlushLoop = 0x1040;
+constexpr uint64_t kAccumulateLoop = 0x1080;
+constexpr uint64_t kKernelBase = 0x8000;
+} // namespace branch_site
+
+/** Contiguous per-bin tuple storage with append cursors. */
+template <typename Payload>
+class BinStorage
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+
+    explicit BinStorage(const BinningPlan &plan_)
+        : plan(plan_), counts(plan_.numBins, 0)
+    {
+    }
+
+    const BinningPlan &binningPlan() const { return plan; }
+    uint32_t numBins() const { return plan.numBins; }
+
+    /**
+     * Init phase: count one future tuple for @p index. Models the
+     * streaming counting pass (one increment of a counter array that
+     * comfortably fits in cache for realistic bin counts).
+     */
+    void
+    countInsert(ExecCtx &ctx, uint32_t index)
+    {
+        uint32_t b = plan.binOf(index);
+        ctx.instr(1);
+        ctx.load(&counts[b], 4);
+        ++counts[b];
+        ctx.store(&counts[b], 4);
+    }
+
+    /** Init phase: prefix-sum the counts and allocate the bin memory. */
+    void
+    finalizeInit(ExecCtx &ctx)
+    {
+        COBRA_PANIC_IF(finalized, "finalizeInit called twice");
+        std::vector<uint64_t> wide(counts.begin(), counts.end());
+        starts = exclusivePrefixSum(wide);
+        cursors.assign(starts.begin(), starts.end() - 1);
+        data.resize(starts.back());
+        // Prefix-sum cost: one load+add+store per bin.
+        for (uint32_t b = 0; b < numBins(); ++b) {
+            ctx.instr(1);
+            ctx.load(&counts[b], 4);
+            ctx.store(&starts[b], 8);
+        }
+        finalized = true;
+    }
+
+    /**
+     * Reserve space for @p n tuples in @p bin and bump its cursor
+     * (BinOffset). Returns the destination; the caller copies tuples and
+     * accounts the store traffic (software PB uses non-temporal stores,
+     * COBRA writes full lines on LLC C-Buffer eviction).
+     */
+    Tuple *
+    appendRaw(uint32_t bin, uint32_t n)
+    {
+        COBRA_PANIC_IF(!finalized, "appendRaw before finalizeInit");
+        uint64_t pos = cursors[bin];
+        COBRA_PANIC_IF(pos + n > starts[bin + 1],
+                       "bin " << bin << " overflow: init undercounted");
+        cursors[bin] += n;
+        return data.data() + pos;
+    }
+
+    /** Tuples actually present in @p bin (may be < capacity after
+     * commutative coalescing). */
+    std::span<const Tuple>
+    bin(uint32_t b) const
+    {
+        return {data.data() + starts[b],
+                static_cast<size_t>(cursors[b] - starts[b])};
+    }
+
+    /** Address of the BinOffset cursor (for instrumentation). */
+    const uint64_t *cursorAddr(uint32_t b) const { return &cursors[b]; }
+
+    uint64_t
+    totalTuples() const
+    {
+        uint64_t n = 0;
+        for (uint32_t b = 0; b < numBins(); ++b)
+            n += cursors[b] - starts[b];
+        return n;
+    }
+
+    uint64_t capacityTuples() const { return data.size(); }
+
+    /** Rewind cursors so Binning can run again (multi-iteration kernels). */
+    void
+    resetCursors()
+    {
+        COBRA_PANIC_IF(!finalized, "resetCursors before finalizeInit");
+        cursors.assign(starts.begin(), starts.end() - 1);
+    }
+
+  private:
+    BinningPlan plan;
+    std::vector<uint32_t> counts; ///< 4B counters keep the pass compact
+    std::vector<uint64_t> starts;  ///< per-bin base offsets (+ total)
+    std::vector<uint64_t> cursors; ///< BinOffset array
+    std::vector<Tuple> data;
+    bool finalized = false;
+};
+
+} // namespace cobra
+
+#endif // COBRA_PB_BIN_STORAGE_H

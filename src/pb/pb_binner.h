@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Software Propagation Blocking binner (paper Section III).
+ *
+ * The Binning phase buffers update tuples through per-bin, cacheline-
+ * sized coalescing buffers (C-Buffers) so that in-memory bins are only
+ * written in 64B bulk non-temporal stores. Everything here is plain
+ * software: the C-Buffer bookkeeping executes real (counted) instructions
+ * including the buffer-full check branch after every insertion — the two
+ * overheads COBRA eliminates (paper Sections III-C, IV).
+ *
+ * A PbBinner is a per-thread structure (parallel PB duplicates all bins
+ * and C-Buffers per thread; no synchronization during Binning).
+ */
+
+#ifndef COBRA_PB_PB_BINNER_H
+#define COBRA_PB_PB_BINNER_H
+
+#include <cstring>
+
+#include "src/pb/bin_storage.h"
+#include "src/util/aligned_array.h"
+
+namespace cobra {
+
+/** Software PB binner for one thread. */
+template <typename Payload>
+class PbBinner
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+    static constexpr uint32_t kTuplesPerBuffer =
+        kLineSize / static_cast<uint32_t>(sizeof(Tuple));
+
+    explicit PbBinner(const BinningPlan &plan)
+        : store(plan),
+          cbufs(static_cast<size_t>(plan.numBins) * kTuplesPerBuffer),
+          counts(plan.numBins)
+    {
+    }
+
+    BinStorage<Payload> &storage() { return store; }
+    const BinningPlan &plan() const { return store.binningPlan(); }
+    uint32_t numBins() const { return store.numBins(); }
+
+    /** Bytes of C-Buffer + counter state (the Binning working set). */
+    uint64_t
+    cbufFootprintBytes() const
+    {
+        return static_cast<uint64_t>(numBins()) * kLineSize +
+            static_cast<uint64_t>(numBins()) * sizeof(uint32_t);
+    }
+
+    /** Init phase: see BinStorage. */
+    void initCount(ExecCtx &ctx, uint32_t index)
+    {
+        store.countInsert(ctx, index);
+    }
+
+    void finalizeInit(ExecCtx &ctx) { store.finalizeInit(ctx); }
+
+    /**
+     * Binning phase: insert one update tuple (paper Algorithm 2, lines
+     * 3-5, plus the C-Buffer management of Section III-C).
+     */
+    void
+    insert(ExecCtx &ctx, uint32_t index, const Payload &payload)
+    {
+        const uint32_t b = plan().binOf(index);
+        ctx.instr(2); // shift + buffer address arithmetic
+
+        uint32_t &cnt = counts[b];
+        ctx.load(&cnt, sizeof(cnt));
+
+        Tuple *buf = &cbufs[static_cast<size_t>(b) * kTuplesPerBuffer];
+        buf[cnt] = makeTuple<Payload>(index, payload);
+        ctx.store(&buf[cnt], sizeof(Tuple));
+
+        ++cnt;
+        ctx.instr(1);
+        ctx.store(&cnt, sizeof(cnt));
+
+        const bool full = cnt == kTuplesPerBuffer;
+        ctx.branch(branch_site::kPbBufferFull, full);
+        if (full)
+            drainBuffer(ctx, b);
+    }
+
+    /** End of Binning: flush every non-empty C-Buffer (partial lines). */
+    void
+    flush(ExecCtx &ctx)
+    {
+        for (uint32_t b = 0; b < numBins(); ++b) {
+            ctx.load(&counts[b], sizeof(uint32_t));
+            ctx.branch(branch_site::kPbFlushLoop, counts[b] != 0);
+            if (counts[b] != 0)
+                drainBuffer(ctx, b);
+        }
+    }
+
+    /**
+     * Accumulate phase: stream the tuples of @p bin in order, invoking
+     * fn(tuple) for each (paper Algorithm 2, lines 6-11 drive this).
+     */
+    template <typename Fn>
+    void
+    forEachInBin(ExecCtx &ctx, uint32_t bin, Fn &&fn)
+    {
+        auto tuples = store.bin(bin);
+        for (const Tuple &t : tuples) {
+            ctx.load(&t, sizeof(Tuple));
+            ctx.instr(1); // loop increment
+            fn(t);
+        }
+        ctx.branch(branch_site::kAccumulateLoop, !tuples.empty());
+    }
+
+    uint64_t tuplesBinned() const { return store.totalTuples(); }
+
+  private:
+    void
+    drainBuffer(ExecCtx &ctx, uint32_t b)
+    {
+        const uint32_t n = counts[b];
+        Tuple *src = &cbufs[static_cast<size_t>(b) * kTuplesPerBuffer];
+        Tuple *dst = store.appendRaw(b, n);
+        std::memcpy(dst, src, n * sizeof(Tuple));
+        // Bulk transfer: cursor update + one WC non-temporal store of the
+        // buffer line (the reason C-Buffers exist).
+        ctx.instr(2);
+        ctx.load(store.cursorAddr(b), 8);
+        ctx.store(store.cursorAddr(b), 8);
+        ctx.ntStore(dst, n * static_cast<uint32_t>(sizeof(Tuple)));
+        counts[b] = 0;
+        ctx.store(&counts[b], sizeof(uint32_t));
+    }
+
+    BinStorage<Payload> store;
+    AlignedArray<Tuple> cbufs;      ///< numBins cacheline-sized C-Buffers
+    AlignedArray<uint32_t> counts;  ///< per-C-Buffer occupancy
+};
+
+} // namespace cobra
+
+#endif // COBRA_PB_PB_BINNER_H

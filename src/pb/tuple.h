@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Update-tuple types shared by software PB and COBRA.
+ *
+ * An update tuple is an (index, payload) pair: the index names the
+ * irregularly-accessed element and the payload carries whatever the
+ * update needs (paper Section III-A). Payload-free kernels
+ * (Degree-Counting, Integer Sort) use 4B tuples; Neighbor-Populate and
+ * Pagerank use 8B; the sparse kernels use 16B (paper Section VI).
+ */
+
+#ifndef COBRA_PB_TUPLE_H
+#define COBRA_PB_TUPLE_H
+
+#include <cstdint>
+#include <type_traits>
+
+namespace cobra {
+
+/** Marker for tuples that are just an index. */
+struct NoPayload
+{
+    bool operator==(const NoPayload &) const { return true; }
+};
+
+/** Generic update tuple. */
+template <typename Payload>
+struct BinTuple
+{
+    uint32_t index;
+    Payload payload;
+};
+
+/** Payload-free specialization: 4-byte tuples. */
+template <>
+struct BinTuple<NoPayload>
+{
+    uint32_t index;
+};
+
+static_assert(sizeof(BinTuple<NoPayload>) == 4);
+static_assert(sizeof(BinTuple<uint32_t>) == 8);
+static_assert(sizeof(BinTuple<float>) == 8);
+static_assert(sizeof(BinTuple<double>) == 16);
+
+/**
+ * Payload carrying a second index plus a double value, packed to 12B so
+ * the full tuple is exactly 16B (the paper's sparse-kernel tuple size).
+ * Used by Transpose (source row, value) and SymPerm (dest column, value).
+ */
+struct IdxValPayload
+{
+    uint32_t other;
+    uint32_t lo;
+    uint32_t hi;
+
+    static IdxValPayload
+    make(uint32_t other_index, double v)
+    {
+        uint64_t bits;
+        __builtin_memcpy(&bits, &v, 8);
+        return IdxValPayload{other_index, static_cast<uint32_t>(bits),
+                             static_cast<uint32_t>(bits >> 32)};
+    }
+
+    double
+    value() const
+    {
+        uint64_t bits = (static_cast<uint64_t>(hi) << 32) | lo;
+        double v;
+        __builtin_memcpy(&v, &bits, 8);
+        return v;
+    }
+};
+
+static_assert(sizeof(BinTuple<IdxValPayload>) == 16);
+
+/** Construct a tuple uniformly for any payload type. */
+template <typename Payload>
+inline BinTuple<Payload>
+makeTuple(uint32_t index, const Payload &payload)
+{
+    if constexpr (std::is_same_v<Payload, NoPayload>)
+        return BinTuple<Payload>{index};
+    else
+        return BinTuple<Payload>{index, payload};
+}
+
+} // namespace cobra
+
+#endif // COBRA_PB_TUPLE_H

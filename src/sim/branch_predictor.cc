@@ -1,0 +1,43 @@
+#include "src/sim/branch_predictor.h"
+
+#include <cstddef>
+
+namespace cobra {
+
+BranchPredictor::BranchPredictor(const Config &config) : cfg(config)
+{
+    table.assign(size_t{1} << cfg.tableBits, 1); // weakly not-taken
+}
+
+void
+BranchPredictor::reset()
+{
+    table.assign(table.size(), 1);
+    history = 0;
+    numBranches = 0;
+    numMispredicts = 0;
+}
+
+bool
+BranchPredictor::predict(uint64_t pc, bool taken)
+{
+    const uint64_t hist_mask = (uint64_t{1} << cfg.historyBits) - 1;
+    const uint64_t idx =
+        ((pc >> 2) ^ (history & hist_mask)) & (table.size() - 1);
+    uint8_t &ctr = table[idx];
+    const bool predicted_taken = ctr >= 2;
+    const bool correct = predicted_taken == taken;
+
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+
+    history = ((history << 1) | (taken ? 1 : 0));
+    ++numBranches;
+    if (!correct)
+        ++numMispredicts;
+    return correct;
+}
+
+} // namespace cobra

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Gshare branch predictor model.
+ *
+ * Software PB's Binning phase executes a buffer-full check after every
+ * tuple insertion; those data-dependent branches mispredict and erode ILP
+ * (paper Section III-C, Fig 12 bottom). COBRA eliminates them entirely.
+ * The kernels report every conditional branch to this model through the
+ * execution context so that PB and COBRA variants see faithful relative
+ * misprediction rates.
+ */
+
+#ifndef COBRA_SIM_BRANCH_PREDICTOR_H
+#define COBRA_SIM_BRANCH_PREDICTOR_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cobra {
+
+/** Gshare: global history XOR PC indexes a table of 2-bit counters. */
+class BranchPredictor
+{
+  public:
+    struct Config
+    {
+        uint32_t historyBits = 12;
+        uint32_t tableBits = 14;
+    };
+
+    BranchPredictor() : BranchPredictor(Config{}) {}
+    explicit BranchPredictor(const Config &config);
+
+    /**
+     * Predict-and-update for a branch at site @p pc with outcome
+     * @p taken; returns true if the prediction was correct.
+     */
+    bool predict(uint64_t pc, bool taken);
+
+    uint64_t branches() const { return numBranches; }
+    uint64_t mispredicts() const { return numMispredicts; }
+
+    double
+    missRate() const
+    {
+        return numBranches
+            ? static_cast<double>(numMispredicts) /
+                  static_cast<double>(numBranches)
+            : 0.0;
+    }
+
+    void reset();
+
+  private:
+    Config cfg;
+    std::vector<uint8_t> table; ///< 2-bit saturating counters
+    uint64_t history = 0;
+    uint64_t numBranches = 0;
+    uint64_t numMispredicts = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SIM_BRANCH_PREDICTOR_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * The paper refines its Little's-Law eviction-buffer estimate with a DES
+ * model that accounts for eviction bursts (Section V-D, Fig 13a). The
+ * eviction-buffer model in eviction_des.h runs on this kernel; it is also
+ * reusable for other queueing studies (tests exercise it standalone).
+ */
+
+#ifndef COBRA_SIM_DES_H
+#define COBRA_SIM_DES_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace cobra {
+
+/** Simulation time in cycles. */
+using SimTime = uint64_t;
+
+/** Event-driven simulator: schedule callbacks at absolute times. */
+class DesKernel
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule @p cb at absolute time @p when (>= now()). */
+    void
+    schedule(SimTime when, Callback cb)
+    {
+        events.push(Event{when, seq++, std::move(cb)});
+    }
+
+    /** Schedule @p cb @p delay cycles from now. */
+    void
+    scheduleAfter(SimTime delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    SimTime now() const { return now_; }
+
+    /** Run until the event queue drains; returns final time. */
+    SimTime
+    run()
+    {
+        while (!events.empty()) {
+            Event ev = events.top();
+            events.pop();
+            now_ = ev.when;
+            ev.cb();
+        }
+        return now_;
+    }
+
+    bool empty() const { return events.empty(); }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        uint64_t order; ///< FIFO tie-break for same-cycle events
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : order > o.order;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+    SimTime now_ = 0;
+    uint64_t seq = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SIM_DES_H

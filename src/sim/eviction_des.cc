@@ -1,0 +1,155 @@
+#include "src/sim/eviction_des.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/bitops.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+namespace {
+
+/** Shift s such that index >> s maps [0, numIndices) onto numBuffers. */
+uint32_t
+rangeShift(uint64_t num_indices, uint32_t num_buffers)
+{
+    uint64_t range = ceilPow2(divCeil(num_indices, num_buffers));
+    return floorLog2(range);
+}
+
+/**
+ * Bounded FIFO tracked by job completion times. Completions are monotone
+ * (single FIFO server), so occupancy at time t is the count of queued
+ * completions > t.
+ */
+class Fifo
+{
+  public:
+    explicit Fifo(uint32_t capacity) : cap(capacity) {}
+
+    /** Release slots whose jobs completed at or before @p t. */
+    void
+    drain(uint64_t t)
+    {
+        while (!completions.empty() && completions.front() <= t)
+            completions.pop_front();
+    }
+
+    /**
+     * Block the producer until a slot is free at time @p t; returns the
+     * (possibly advanced) time at which a slot is available.
+     */
+    uint64_t
+    waitForSlot(uint64_t t)
+    {
+        drain(t);
+        if (completions.size() >= cap) {
+            t = completions.front();
+            drain(t);
+        }
+        return t;
+    }
+
+    void push(uint64_t completion) { completions.push_back(completion); }
+
+  private:
+    uint32_t cap;
+    std::deque<uint64_t> completions;
+};
+
+} // namespace
+
+EvictionDesResult
+runEvictionDes(const EvictionDesConfig &cfg,
+               const std::vector<uint32_t> &trace)
+{
+    COBRA_FATAL_IF(cfg.tuplesPerLine == 0, "tuplesPerLine must be nonzero");
+    COBRA_FATAL_IF(cfg.fifo1Capacity == 0 || cfg.fifo2Capacity == 0,
+                   "eviction buffers need at least one entry");
+
+    const uint32_t s1 = rangeShift(cfg.numIndices, cfg.numL1Buffers);
+    const uint32_t s2 = rangeShift(cfg.numIndices, cfg.numL2Buffers);
+    const uint32_t s3 = rangeShift(cfg.numIndices, cfg.numLlcBuffers);
+    const uint32_t k = cfg.tuplesPerLine;
+
+    EvictionDesResult res;
+
+    // Per-level C-Buffer state. L1 buffers remember their tuple indices
+    // (needed to scatter across L2 buffers); L2 likewise for the LLC.
+    std::vector<std::vector<uint32_t>> l1_buf(cfg.numL1Buffers);
+    std::vector<std::vector<uint32_t>> l2_buf(cfg.numL2Buffers);
+    std::vector<uint32_t> llc_count(cfg.numLlcBuffers, 0);
+    for (auto &b : l1_buf)
+        b.reserve(k);
+    for (auto &b : l2_buf)
+        b.reserve(k);
+
+    Fifo fifo1(cfg.fifo1Capacity);
+    Fifo fifo2(cfg.fifo2Capacity);
+
+    uint64_t t = 0;             // core clock
+    uint64_t engine1_free = 0;  // L1->L2 binning engine availability
+    uint64_t engine2_free = 0;  // L2->LLC binning engine availability
+
+    // Serve one L2->LLC job (a full L2 C-Buffer) starting no earlier than
+    // @p ready; returns completion time.
+    auto serve2 = [&](uint64_t ready, const std::vector<uint32_t> &tuples) {
+        uint64_t cur = std::max(ready, engine2_free);
+        for (uint32_t idx : tuples) {
+            cur += 1;
+            uint32_t b = std::min<uint32_t>(idx >> s3,
+                                            cfg.numLlcBuffers - 1);
+            if (++llc_count[b] == k) {
+                llc_count[b] = 0;
+                ++res.llcEvictions; // memory accepts lines without stalling
+            }
+        }
+        engine2_free = cur;
+        return cur;
+    };
+
+    // Serve one L1->L2 job starting no earlier than @p ready.
+    auto serve1 = [&](uint64_t ready, const std::vector<uint32_t> &tuples) {
+        uint64_t cur = std::max(ready, engine1_free);
+        for (uint32_t idx : tuples) {
+            cur += 1;
+            uint32_t b = std::min<uint32_t>(idx >> s2,
+                                            cfg.numL2Buffers - 1);
+            auto &dst = l2_buf[b];
+            dst.push_back(idx);
+            if (dst.size() == k) {
+                // L2 C-Buffer filled: push to FIFO2, stalling this engine
+                // if FIFO2 is full.
+                uint64_t at = fifo2.waitForSlot(cur);
+                res.engineStallCycles += at - cur;
+                cur = at;
+                fifo2.push(serve2(cur, dst));
+                ++res.l2Evictions;
+                dst.clear();
+            }
+        }
+        engine1_free = cur;
+        return cur;
+    };
+
+    for (uint32_t idx : trace) {
+        t += cfg.coreCyclesPerTuple;
+        uint32_t b = std::min<uint32_t>(idx >> s1, cfg.numL1Buffers - 1);
+        auto &buf = l1_buf[b];
+        buf.push_back(idx);
+        if (buf.size() == k) {
+            uint64_t at = fifo1.waitForSlot(t);
+            res.coreStallCycles += at - t;
+            t = at;
+            fifo1.push(serve1(t, buf));
+            ++res.l1Evictions;
+            buf.clear();
+        }
+    }
+
+    res.totalCycles = std::max({t, engine1_free, engine2_free});
+    return res;
+}
+
+} // namespace cobra

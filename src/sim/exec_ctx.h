@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Execution context: the bridge between kernels and the simulator.
+ *
+ * Every kernel (src/kernels) performs its *functional* computation on real
+ * host memory while reporting each memory access, instruction group, and
+ * conditional branch to an ExecCtx. A default-constructed ("native")
+ * context ignores the reports — the kernel runs at full host speed for
+ * wall-clock experiments and correctness tests. A context wired to a
+ * MemoryHierarchy / CoreModel / BranchPredictor replays the same dynamic
+ * stream through the simulated machine (DESIGN.md, execution-context
+ * pattern).
+ *
+ * Conventions:
+ *  - load()/store() model one instruction each and touch every cache line
+ *    their byte range spans (ranges are normally <= 8B);
+ *  - instr(n) accounts n ALU/address-generation instructions;
+ *  - branch() accounts one instruction plus a prediction;
+ *  - ntStore() models a write-combining non-temporal store (PB's bulk
+ *    C-Buffer-to-bin transfers; added to Sniper by the paper's authors).
+ */
+
+#ifndef COBRA_SIM_EXEC_CTX_H
+#define COBRA_SIM_EXEC_CTX_H
+
+#include <cstdint>
+
+#include "src/mem/hierarchy.h"
+#include "src/sim/branch_predictor.h"
+#include "src/sim/core_model.h"
+
+namespace cobra {
+
+/** Kernel-to-simulator bridge; null members = native (uninstrumented). */
+class ExecCtx
+{
+  public:
+    /** Native context: all reports are no-ops. */
+    ExecCtx() = default;
+
+    /** Simulation context. */
+    ExecCtx(MemoryHierarchy *hierarchy, CoreModel *core_model,
+            BranchPredictor *branch_predictor)
+        : hier(hierarchy), core(core_model), bp(branch_predictor)
+    {
+    }
+
+    bool simulated() const { return hier != nullptr; }
+
+    MemoryHierarchy *hierarchy() { return hier; }
+    CoreModel *coreModel() { return core; }
+    BranchPredictor *branchPredictor() { return bp; }
+
+    /** One load instruction covering [p, p+bytes). */
+    void
+    load(const void *p, uint32_t bytes)
+    {
+        if (hier)
+            simAccess(p, bytes, AccessType::Load);
+    }
+
+    /** One store instruction covering [p, p+bytes). */
+    void
+    store(const void *p, uint32_t bytes)
+    {
+        if (hier)
+            simAccess(p, bytes, AccessType::Store);
+    }
+
+    /** Non-temporal (write-combining) store of @p bytes. */
+    void
+    ntStore(const void *p, uint32_t bytes)
+    {
+        if (hier) {
+            core->retire(bytes / 8 ? bytes / 8 : 1);
+            hier->ntStore(reinterpret_cast<Addr>(p), bytes);
+        }
+    }
+
+    /** @p n non-memory instructions. */
+    void
+    instr(uint64_t n)
+    {
+        if (core)
+            core->retire(n);
+    }
+
+    /** Conditional branch at static site @p site with outcome @p taken. */
+    void
+    branch(uint64_t site, bool taken)
+    {
+        if (bp) {
+            bool correct = bp->predict(site, taken);
+            core->retire(1);
+            core->branch(!correct);
+        }
+    }
+
+    /**
+     * Direct DRAM line write carrying @p useful_bytes of payload — the
+     * LLC C-Buffer spill path (COBRA writes full 64B lines to in-memory
+     * bins without passing through the cache hierarchy). Partial lines
+     * waste bandwidth, which the DRAM model tracks.
+     */
+    void
+    dramWriteLine(uint32_t useful_bytes)
+    {
+        if (hier)
+            hier->dramWriteLine(useful_bytes);
+    }
+
+    /** Explicit stall cycles (COBRA eviction-buffer backpressure). */
+    void
+    stall(double cycles)
+    {
+        if (core)
+            core->stall(cycles);
+    }
+
+    /** Current cycle estimate (0 when native). */
+    double
+    cycles() const
+    {
+        return core ? core->cycles().total() : 0.0;
+    }
+
+  private:
+    void
+    simAccess(const void *p, uint32_t bytes, AccessType type)
+    {
+        core->retire(1);
+        const Addr a = reinterpret_cast<Addr>(p);
+        const Addr first = lineAddr(a);
+        const Addr last = lineAddr(a + (bytes ? bytes - 1 : 0));
+        for (Addr line = first; line <= last; line += kLineSize) {
+            HitLevel lvl = hier->access(line, type);
+            core->memAccess(lvl, type == AccessType::Store);
+        }
+    }
+
+    MemoryHierarchy *hier = nullptr;
+    CoreModel *core = nullptr;
+    BranchPredictor *bp = nullptr;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SIM_EXEC_CTX_H

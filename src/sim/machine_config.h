@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The simulated machine (paper Table II), bundled.
+ *
+ * One simulated core of the 16-core machine: 4-wide OoO at 2.66GHz,
+ * 32KB/8-way Bit-PLRU L1D, 256KB/8-way Bit-PLRU L2 with a stream
+ * prefetcher, the core's local 2MB/16-way DRRIP NUCA LLC slice, 80ns
+ * DRAM. PB/COBRA state is core-private by construction, so single-slice
+ * simulation preserves per-core behaviour (DESIGN.md Section 5).
+ */
+
+#ifndef COBRA_SIM_MACHINE_CONFIG_H
+#define COBRA_SIM_MACHINE_CONFIG_H
+
+#include <ostream>
+
+#include "src/mem/hierarchy.h"
+#include "src/sim/branch_predictor.h"
+#include "src/sim/core_model.h"
+
+namespace cobra {
+
+/** Full per-core machine description. */
+struct MachineConfig
+{
+    HierarchyConfig hierarchy{};
+    CoreModelConfig core{};
+    BranchPredictor::Config branch{};
+
+    /** The paper's default machine (Table II). */
+    static MachineConfig
+    defaultMachine()
+    {
+        return MachineConfig{};
+    }
+
+    void
+    print(std::ostream &os) const
+    {
+        os << "Simulated machine (per core; paper Table II):\n"
+           << "  core: " << core.issueWidth << "-wide OoO issue, "
+           << core.branchPenalty << "-cycle branch penalty\n"
+           << "  L1D:  " << hierarchy.l1.sizeBytes / 1024 << "KB "
+           << hierarchy.l1.ways << "-way "
+           << to_string(hierarchy.l1.policy)
+           << ", load-to-use " << hierarchy.l1.loadToUse << "\n"
+           << "  L2:   " << hierarchy.l2.sizeBytes / 1024 << "KB "
+           << hierarchy.l2.ways << "-way "
+           << to_string(hierarchy.l2.policy)
+           << ", load-to-use " << hierarchy.l2.loadToUse
+           << ", stream prefetcher\n"
+           << "  LLC:  " << hierarchy.llc.sizeBytes / (1024 * 1024)
+           << "MB slice, " << hierarchy.llc.ways << "-way "
+           << to_string(hierarchy.llc.policy)
+           << ", load-to-use " << hierarchy.llc.loadToUse << "\n"
+           << "  DRAM: " << hierarchy.dram.accessLatency
+           << "-cycle access latency\n";
+    }
+};
+
+} // namespace cobra
+
+#endif // COBRA_SIM_MACHINE_CONFIG_H

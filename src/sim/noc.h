@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Mesh network-on-chip model (paper Table II: 4x4 mesh, 2-cycle hop
+ * latency, 64 bits/cycle link bandwidth).
+ *
+ * Used by the multicore simulation: during Accumulate, a core reading a
+ * *remote* core's bins pulls the lines across the mesh; the transfer
+ * cost is hop latency plus per-line serialization at the link width.
+ * Requests pipeline, so the per-message latency is discounted by an
+ * overlap factor in the caller.
+ */
+
+#ifndef COBRA_SIM_NOC_H
+#define COBRA_SIM_NOC_H
+
+#include <cstdint>
+
+#include "src/mem/types.h"
+#include "src/util/bitops.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** 2D mesh with XY routing. */
+class MeshNoc
+{
+  public:
+    struct Config
+    {
+        uint32_t hopLatency = 2;      ///< cycles per hop (Table II)
+        uint32_t linkBytesPerCycle = 8; ///< 64 bits/cycle (Table II)
+    };
+
+    /** @param num_cores laid out on the most-square grid possible. */
+    explicit MeshNoc(uint32_t num_cores)
+        : MeshNoc(num_cores, Config{})
+    {
+    }
+
+    MeshNoc(uint32_t num_cores, const Config &config)
+        : cfg(config), cores(num_cores)
+    {
+        COBRA_FATAL_IF(num_cores == 0, "empty mesh");
+        // Widest factor <= sqrt(n) keeps the grid near-square.
+        width = 1;
+        for (uint32_t w = 1; w * w <= num_cores; ++w)
+            if (num_cores % w == 0)
+                width = num_cores / w;
+        height = num_cores / width;
+    }
+
+    uint32_t numCores() const { return cores; }
+    uint32_t gridWidth() const { return width; }
+    uint32_t gridHeight() const { return height; }
+
+    /** Manhattan (XY-routed) hop count between two cores. */
+    uint32_t
+    hops(uint32_t a, uint32_t b) const
+    {
+        COBRA_PANIC_IF(a >= cores || b >= cores, "core id out of range");
+        uint32_t ax = a % width, ay = a / width;
+        uint32_t bx = b % width, by = b / width;
+        uint32_t dx = ax > bx ? ax - bx : bx - ax;
+        uint32_t dy = ay > by ? ay - by : by - ay;
+        return dx + dy;
+    }
+
+    /** Mean hop distance from core @p a to every other core. */
+    double
+    meanHops(uint32_t a) const
+    {
+        if (cores <= 1)
+            return 0.0;
+        uint64_t total = 0;
+        for (uint32_t b = 0; b < cores; ++b)
+            total += hops(a, b);
+        return static_cast<double>(total) / (cores - 1);
+    }
+
+    /**
+     * Cycles to move @p lines cache lines over @p hop_count hops: head
+     * latency once per message plus per-line serialization at the link
+     * width (wormhole pipelining across hops).
+     */
+    double
+    transferCycles(uint64_t lines, uint32_t hop_count) const
+    {
+        if (lines == 0)
+            return 0.0;
+        const double head =
+            static_cast<double>(hop_count) * cfg.hopLatency;
+        const double serialize = static_cast<double>(lines) *
+            (static_cast<double>(kLineSize) / cfg.linkBytesPerCycle);
+        return head + serialize;
+    }
+
+  private:
+    Config cfg;
+    uint32_t cores;
+    uint32_t width = 1;
+    uint32_t height = 1;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SIM_NOC_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Per-phase statistics recorder.
+ *
+ * The paper's evaluation is phase-oriented: Table I breaks PB runtime
+ * into Init/Binning/Accumulate, Fig 11 reports per-phase speedups, and
+ * Fig 14 aggregates traffic across Binning+Accumulate. Kernels bracket
+ * their phases with begin()/end(); the recorder snapshots the simulated
+ * counters (and a wall clock, for native runs) and stores deltas.
+ */
+
+#ifndef COBRA_SIM_PHASE_RECORDER_H
+#define COBRA_SIM_PHASE_RECORDER_H
+
+#include <string>
+#include <vector>
+
+#include "src/sim/exec_ctx.h"
+#include "src/util/error.h"
+#include "src/util/timer.h"
+
+namespace cobra {
+
+/** Counter deltas over one phase. */
+struct PhaseStats
+{
+    std::string name;
+    double cycles = 0;
+    double seconds = 0; ///< wall clock (native runs)
+    uint64_t instructions = 0;
+    uint64_t branches = 0;
+    uint64_t mispredicts = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l1Accesses = 0;
+    uint64_t l2Misses = 0;
+    uint64_t llcMisses = 0;
+    uint64_t llcAccesses = 0;
+    uint64_t dramLines = 0;
+    uint64_t dramWastedBytes = 0;
+
+    PhaseStats &
+    operator+=(const PhaseStats &o)
+    {
+        cycles += o.cycles;
+        seconds += o.seconds;
+        instructions += o.instructions;
+        branches += o.branches;
+        mispredicts += o.mispredicts;
+        l1Misses += o.l1Misses;
+        l1Accesses += o.l1Accesses;
+        l2Misses += o.l2Misses;
+        llcMisses += o.llcMisses;
+        llcAccesses += o.llcAccesses;
+        dramLines += o.dramLines;
+        dramWastedBytes += o.dramWastedBytes;
+        return *this;
+    }
+
+    double
+    branchMissRate() const
+    {
+        return branches ? static_cast<double>(mispredicts) /
+                static_cast<double>(branches)
+                        : 0.0;
+    }
+
+    double
+    llcMissRate() const
+    {
+        return llcAccesses ? static_cast<double>(llcMisses) /
+                static_cast<double>(llcAccesses)
+                           : 0.0;
+    }
+};
+
+/** Brackets kernel phases and stores per-phase counter deltas. */
+class PhaseRecorder
+{
+  public:
+    void
+    begin(ExecCtx &ctx, const std::string &phase)
+    {
+        COBRA_PANIC_IF(open, "phase " << current.name << " still open");
+        open = true;
+        current = PhaseStats{};
+        current.name = phase;
+        mark = snapshot(ctx);
+        timer.reset();
+    }
+
+    void
+    end(ExecCtx &ctx)
+    {
+        COBRA_PANIC_IF(!open, "end() without begin()");
+        open = false;
+        PhaseStats now = snapshot(ctx);
+        current.cycles = now.cycles - mark.cycles;
+        current.seconds = timer.seconds();
+        current.instructions = now.instructions - mark.instructions;
+        current.branches = now.branches - mark.branches;
+        current.mispredicts = now.mispredicts - mark.mispredicts;
+        current.l1Misses = now.l1Misses - mark.l1Misses;
+        current.l1Accesses = now.l1Accesses - mark.l1Accesses;
+        current.l2Misses = now.l2Misses - mark.l2Misses;
+        current.llcMisses = now.llcMisses - mark.llcMisses;
+        current.llcAccesses = now.llcAccesses - mark.llcAccesses;
+        current.dramLines = now.dramLines - mark.dramLines;
+        current.dramWastedBytes = now.dramWastedBytes -
+            mark.dramWastedBytes;
+        phases.push_back(current);
+    }
+
+    const std::vector<PhaseStats> &all() const { return phases; }
+
+    /** Sum of the named phase across occurrences (0-stats if absent). */
+    PhaseStats
+    phase(const std::string &name) const
+    {
+        PhaseStats sum;
+        sum.name = name;
+        for (const auto &p : phases)
+            if (p.name == name)
+                sum += p;
+        return sum;
+    }
+
+    PhaseStats
+    total() const
+    {
+        PhaseStats sum;
+        sum.name = "total";
+        for (const auto &p : phases)
+            sum += p;
+        return sum;
+    }
+
+    void clear() { phases.clear(); }
+
+  private:
+    static PhaseStats
+    snapshot(ExecCtx &ctx)
+    {
+        PhaseStats s;
+        if (!ctx.simulated())
+            return s;
+        s.cycles = ctx.coreModel()->cycles().total();
+        s.instructions = ctx.coreModel()->instructions();
+        s.branches = ctx.branchPredictor()->branches();
+        s.mispredicts = ctx.branchPredictor()->mispredicts();
+        const auto &h = *ctx.hierarchy();
+        s.l1Misses = h.l1().stats().misses();
+        s.l1Accesses = h.l1().stats().accesses();
+        s.l2Misses = h.l2().stats().misses();
+        s.llcMisses = h.llc().stats().misses();
+        s.llcAccesses = h.llc().stats().accesses();
+        s.dramLines = h.dram().totalLines();
+        s.dramWastedBytes = h.dram().wastedBytes();
+        return s;
+    }
+
+    std::vector<PhaseStats> phases;
+    PhaseStats current;
+    PhaseStats mark;
+    Timer timer;
+    bool open = false;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SIM_PHASE_RECORDER_H

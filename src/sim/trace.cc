@@ -1,0 +1,47 @@
+#include "src/sim/trace.h"
+
+#include <fstream>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+namespace {
+constexpr uint64_t kTraceMagic = 0x434F425241545231ULL; // "COBRATR1"
+} // namespace
+
+void
+saveTrace(const std::string &path, const UpdateTrace &trace)
+{
+    std::ofstream out(path, std::ios::binary);
+    COBRA_FATAL_IF(!out, "cannot open " << path << " for writing");
+    const uint64_t count = trace.indices.size();
+    out.write(reinterpret_cast<const char *>(&kTraceMagic), 8);
+    out.write(reinterpret_cast<const char *>(&trace.numIndices), 8);
+    out.write(reinterpret_cast<const char *>(&count), 8);
+    out.write(reinterpret_cast<const char *>(trace.indices.data()),
+              static_cast<std::streamsize>(count * sizeof(uint32_t)));
+    COBRA_FATAL_IF(!out, "write to " << path << " failed");
+}
+
+UpdateTrace
+loadTrace(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    COBRA_FATAL_IF(!in, "cannot open " << path);
+    uint64_t magic = 0, count = 0;
+    UpdateTrace t;
+    in.read(reinterpret_cast<char *>(&magic), 8);
+    COBRA_FATAL_IF(!in || magic != kTraceMagic,
+                   path << ": not a cobra trace");
+    in.read(reinterpret_cast<char *>(&t.numIndices), 8);
+    in.read(reinterpret_cast<char *>(&count), 8);
+    COBRA_FATAL_IF(!in, path << ": truncated header");
+    t.indices.resize(count);
+    in.read(reinterpret_cast<char *>(t.indices.data()),
+            static_cast<std::streamsize>(count * sizeof(uint32_t)));
+    COBRA_FATAL_IF(!in, path << ": truncated trace data");
+    return t;
+}
+
+} // namespace cobra

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Update-trace capture and replay.
+ *
+ * The paper's DES model "consumes a trace of update tuples" (Section
+ * V-D). These helpers persist such traces (the index stream of a
+ * Binning phase) so DES studies can replay the exact same workload
+ * across configurations or machines. Format: little-endian
+ * {magic, numIndices, count} header + count u32 indices.
+ */
+
+#ifndef COBRA_SIM_TRACE_H
+#define COBRA_SIM_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+/** An update-index trace with its namespace size. */
+struct UpdateTrace
+{
+    uint64_t numIndices = 0;
+    std::vector<uint32_t> indices;
+};
+
+/** Write @p trace to @p path (.trc). */
+void saveTrace(const std::string &path, const UpdateTrace &trace);
+
+/** Read a trace written by saveTrace. */
+UpdateTrace loadTrace(const std::string &path);
+
+} // namespace cobra
+
+#endif // COBRA_SIM_TRACE_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Coordinate-format sparse matrix (the "edgelist" of linear algebra).
+ */
+
+#ifndef COBRA_SPARSE_COO_H
+#define COBRA_SPARSE_COO_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cobra {
+
+/** COO triplet matrix; struct-of-arrays for streaming-friendly scans. */
+struct CooMatrix
+{
+    uint32_t numRows = 0;
+    uint32_t numCols = 0;
+    std::vector<uint32_t> row;
+    std::vector<uint32_t> col;
+    std::vector<double> val;
+
+    uint64_t nnz() const { return row.size(); }
+
+    void
+    add(uint32_t r, uint32_t c, double v)
+    {
+        row.push_back(r);
+        col.push_back(c);
+        val.push_back(v);
+    }
+};
+
+} // namespace cobra
+
+#endif // COBRA_SPARSE_COO_H

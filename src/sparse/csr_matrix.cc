@@ -1,0 +1,54 @@
+#include "src/sparse/csr_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/error.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+CsrMatrix
+CsrMatrix::fromCoo(const CooMatrix &coo)
+{
+    std::vector<uint64_t> degrees(coo.numRows, 0);
+    for (uint64_t i = 0; i < coo.nnz(); ++i) {
+        COBRA_FATAL_IF(coo.row[i] >= coo.numRows ||
+                           coo.col[i] >= coo.numCols,
+                       "COO entry out of range");
+        ++degrees[coo.row[i]];
+    }
+    std::vector<uint64_t> row_ptr = exclusivePrefixSum(degrees);
+    std::vector<uint64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    std::vector<uint32_t> col_idx(coo.nnz());
+    std::vector<double> vals(coo.nnz());
+    for (uint64_t i = 0; i < coo.nnz(); ++i) {
+        uint64_t pos = cursor[coo.row[i]]++;
+        col_idx[pos] = coo.col[i];
+        vals[pos] = coo.val[i];
+    }
+    return CsrMatrix(coo.numRows, coo.numCols, std::move(row_ptr),
+                     std::move(col_idx), std::move(vals));
+}
+
+CsrMatrix
+CsrMatrix::canonical() const
+{
+    std::vector<uint32_t> col_idx = colIdx;
+    std::vector<double> v = vals;
+    for (uint32_t r = 0; r < rows; ++r) {
+        const uint64_t b = rowPtr[r], e = rowPtr[r + 1];
+        std::vector<uint64_t> order(e - b);
+        std::iota(order.begin(), order.end(), 0);
+        std::sort(order.begin(), order.end(), [&](uint64_t x, uint64_t y) {
+            return colIdx[b + x] < colIdx[b + y];
+        });
+        for (uint64_t i = 0; i < order.size(); ++i) {
+            col_idx[b + i] = colIdx[b + order[i]];
+            v[b + i] = vals[b + order[i]];
+        }
+    }
+    return CsrMatrix(rows, cols, rowPtr, std::move(col_idx), std::move(v));
+}
+
+} // namespace cobra

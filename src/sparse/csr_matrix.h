@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Compressed-sparse-row matrix with values.
+ *
+ * The sparse kernels of the paper's evaluation (SpMV from HPCG; PINV,
+ * Transpose, SymPerm from SuiteSparse/CSparse) operate on this format.
+ */
+
+#ifndef COBRA_SPARSE_CSR_MATRIX_H
+#define COBRA_SPARSE_CSR_MATRIX_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/sparse/coo.h"
+
+namespace cobra {
+
+/** CSR matrix: rowPtr (numRows+1), colIdx, vals. */
+class CsrMatrix
+{
+  public:
+    CsrMatrix() = default;
+
+    CsrMatrix(uint32_t num_rows, uint32_t num_cols,
+              std::vector<uint64_t> row_ptr, std::vector<uint32_t> col_idx,
+              std::vector<double> vals_)
+        : rows(num_rows), cols(num_cols), rowPtr(std::move(row_ptr)),
+          colIdx(std::move(col_idx)), vals(std::move(vals_))
+    {
+    }
+
+    /** Reference serial conversion from COO. */
+    static CsrMatrix fromCoo(const CooMatrix &coo);
+
+    uint32_t numRows() const { return rows; }
+    uint32_t numCols() const { return cols; }
+    uint64_t nnz() const { return colIdx.size(); }
+
+    uint64_t rowStart(uint32_t r) const { return rowPtr[r]; }
+    uint64_t rowEnd(uint32_t r) const { return rowPtr[r + 1]; }
+
+    std::span<const uint32_t>
+    rowCols(uint32_t r) const
+    {
+        return {colIdx.data() + rowPtr[r],
+                static_cast<size_t>(rowPtr[r + 1] - rowPtr[r])};
+    }
+
+    std::span<const double>
+    rowVals(uint32_t r) const
+    {
+        return {vals.data() + rowPtr[r],
+                static_cast<size_t>(rowPtr[r + 1] - rowPtr[r])};
+    }
+
+    const std::vector<uint64_t> &rowPtrArray() const { return rowPtr; }
+    const std::vector<uint32_t> &colIdxArray() const { return colIdx; }
+    const std::vector<double> &valsArray() const { return vals; }
+
+    /**
+     * Canonical form: column indices (and matching values) sorted within
+     * each row — conversion kernels permit any intra-row order, so tests
+     * compare canonical forms.
+     */
+    CsrMatrix canonical() const;
+
+    bool
+    operator==(const CsrMatrix &o) const
+    {
+        return rows == o.rows && cols == o.cols && rowPtr == o.rowPtr &&
+            colIdx == o.colIdx && vals == o.vals;
+    }
+
+  private:
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    std::vector<uint64_t> rowPtr;
+    std::vector<uint32_t> colIdx;
+    std::vector<double> vals;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SPARSE_CSR_MATRIX_H

@@ -1,0 +1,95 @@
+#include "src/sparse/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+
+CooMatrix
+generateScatteredMatrix(uint32_t n, uint32_t nnz_per_row, uint64_t seed)
+{
+    COBRA_FATAL_IF(n == 0, "empty matrix");
+    Rng rng(seed);
+    CooMatrix m;
+    m.numRows = n;
+    m.numCols = n;
+    for (uint32_t r = 0; r < n; ++r) {
+        for (uint32_t k = 0; k < nnz_per_row; ++k) {
+            uint32_t c = static_cast<uint32_t>(rng.below(n));
+            m.add(r, c, rng.uniform() + 0.5);
+        }
+    }
+    return m;
+}
+
+CooMatrix
+generateBandedMatrix(uint32_t n, uint32_t half_band, double fill,
+                     uint64_t seed)
+{
+    COBRA_FATAL_IF(n == 0, "empty matrix");
+    Rng rng(seed);
+    CooMatrix m;
+    m.numRows = n;
+    m.numCols = n;
+    for (uint32_t r = 0; r < n; ++r) {
+        uint32_t lo = r > half_band ? r - half_band : 0;
+        uint32_t hi = std::min<uint64_t>(n - 1,
+                                         static_cast<uint64_t>(r) +
+                                             half_band);
+        for (uint32_t c = lo; c <= hi; ++c) {
+            if (c == r || rng.uniform() < fill)
+                m.add(r, c, rng.uniform() + 0.5);
+        }
+    }
+    return m;
+}
+
+CooMatrix
+generateSymmetricMatrix(uint32_t n, uint32_t nnz_per_row, uint64_t seed)
+{
+    COBRA_FATAL_IF(n == 0, "empty matrix");
+    Rng rng(seed);
+    CooMatrix m;
+    m.numRows = n;
+    m.numCols = n;
+    // Generate the strictly-upper pattern and mirror it, plus diagonal.
+    for (uint32_t r = 0; r < n; ++r) {
+        m.add(r, r, 1.0 + rng.uniform());
+        for (uint32_t k = 0; k < nnz_per_row / 2; ++k) {
+            uint32_t c = static_cast<uint32_t>(rng.below(n));
+            if (c == r)
+                continue;
+            uint32_t lo = std::min(r, c), hi = std::max(r, c);
+            double v = rng.uniform() + 0.5;
+            m.add(lo, hi, v);
+            m.add(hi, lo, v);
+        }
+    }
+    return m;
+}
+
+std::vector<uint32_t>
+generatePermutation(uint32_t n, uint64_t seed)
+{
+    std::vector<uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng rng(seed);
+    for (uint32_t i = n; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+    return perm;
+}
+
+std::vector<double>
+generateVector(uint32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform();
+    return v;
+}
+
+} // namespace cobra

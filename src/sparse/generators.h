@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Sparse matrix generators standing in for the paper's HPCG/SuiteSparse
+ * inputs (Table III: matrices "representative of simulation and
+ * optimization problems"). The two classes that matter to PB are banded/
+ * local patterns (simulation meshes — HPCG is a 27-point stencil) and
+ * scattered patterns (optimization problems), so both are provided.
+ */
+
+#ifndef COBRA_SPARSE_GENERATORS_H
+#define COBRA_SPARSE_GENERATORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sparse/coo.h"
+#include "src/sparse/csr_matrix.h"
+
+namespace cobra {
+
+/** Uniformly scattered pattern: @p nnz_per_row entries per row. */
+CooMatrix generateScatteredMatrix(uint32_t n, uint32_t nnz_per_row,
+                                  uint64_t seed = 1);
+
+/**
+ * Banded "simulation" pattern: entries within +-@p half_band of the
+ * diagonal, each present with probability @p fill, plus the diagonal.
+ */
+CooMatrix generateBandedMatrix(uint32_t n, uint32_t half_band, double fill,
+                               uint64_t seed = 1);
+
+/**
+ * Symmetric-pattern matrix (pattern of A + A^T with matching values) —
+ * SymPerm's contract requires symmetry.
+ */
+CooMatrix generateSymmetricMatrix(uint32_t n, uint32_t nnz_per_row,
+                                  uint64_t seed = 1);
+
+/** Random permutation of [0, n) (PINV / SymPerm input). */
+std::vector<uint32_t> generatePermutation(uint32_t n, uint64_t seed = 1);
+
+/** Dense vector with entries in [0, 1) (SpMV input). */
+std::vector<double> generateVector(uint32_t n, uint64_t seed = 1);
+
+} // namespace cobra
+
+#endif // COBRA_SPARSE_GENERATORS_H

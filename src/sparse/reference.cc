@@ -1,0 +1,98 @@
+#include "src/sparse/reference.h"
+
+#include <algorithm>
+
+#include "src/util/error.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+
+std::vector<double>
+spmvRef(const CsrMatrix &a, const std::vector<double> &x)
+{
+    COBRA_FATAL_IF(x.size() != a.numCols(), "dimension mismatch");
+    std::vector<double> y(a.numRows(), 0.0);
+    for (uint32_t r = 0; r < a.numRows(); ++r) {
+        double acc = 0.0;
+        auto cols = a.rowCols(r);
+        auto vals = a.rowVals(r);
+        for (size_t i = 0; i < cols.size(); ++i)
+            acc += vals[i] * x[cols[i]];
+        y[r] = acc;
+    }
+    return y;
+}
+
+CsrMatrix
+transposeRef(const CsrMatrix &a)
+{
+    std::vector<uint64_t> degrees(a.numCols(), 0);
+    for (uint32_t c : a.colIdxArray())
+        ++degrees[c];
+    std::vector<uint64_t> row_ptr = exclusivePrefixSum(degrees);
+    std::vector<uint64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    std::vector<uint32_t> col_idx(a.nnz());
+    std::vector<double> vals(a.nnz());
+    for (uint32_t r = 0; r < a.numRows(); ++r) {
+        auto cols = a.rowCols(r);
+        auto v = a.rowVals(r);
+        for (size_t i = 0; i < cols.size(); ++i) {
+            uint64_t pos = cursor[cols[i]]++;
+            col_idx[pos] = r;
+            vals[pos] = v[i];
+        }
+    }
+    return CsrMatrix(a.numCols(), a.numRows(), std::move(row_ptr),
+                     std::move(col_idx), std::move(vals));
+}
+
+std::vector<uint32_t>
+pinvRef(const std::vector<uint32_t> &perm)
+{
+    std::vector<uint32_t> pinv(perm.size());
+    for (uint32_t i = 0; i < perm.size(); ++i)
+        pinv[perm[i]] = i;
+    return pinv;
+}
+
+CsrMatrix
+sympermRef(const CsrMatrix &a, const std::vector<uint32_t> &perm)
+{
+    const uint32_t n = a.numRows();
+    COBRA_FATAL_IF(a.numCols() != n || perm.size() != n,
+                   "symperm requires square A and matching permutation");
+
+    // Pass 1: count entries per destination row (upper triangle only).
+    std::vector<uint64_t> degrees(n, 0);
+    for (uint32_t r = 0; r < n; ++r) {
+        for (uint32_t c : a.rowCols(r)) {
+            if (c < r)
+                continue; // use upper triangle of A only
+            ++degrees[std::min(perm[r], perm[c])];
+        }
+    }
+    std::vector<uint64_t> row_ptr = exclusivePrefixSum(degrees);
+    std::vector<uint64_t> cursor(row_ptr.begin(), row_ptr.end() - 1);
+    std::vector<uint32_t> col_idx(row_ptr.back());
+    std::vector<double> vals(row_ptr.back());
+
+    // Pass 2: scatter.
+    for (uint32_t r = 0; r < n; ++r) {
+        auto cols = a.rowCols(r);
+        auto v = a.rowVals(r);
+        for (size_t i = 0; i < cols.size(); ++i) {
+            uint32_t c = cols[i];
+            if (c < r)
+                continue;
+            uint32_t dr = std::min(perm[r], perm[c]);
+            uint32_t dc = std::max(perm[r], perm[c]);
+            uint64_t pos = cursor[dr]++;
+            col_idx[pos] = dc;
+            vals[pos] = v[i];
+        }
+    }
+    return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                     std::move(vals));
+}
+
+} // namespace cobra

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Trusted serial reference implementations of the sparse kernels
+ * (CSparse-style): SpMV, Transpose, PINV, SymPerm. The instrumented
+ * baseline/PB/COBRA kernel variants in src/kernels are verified against
+ * these.
+ */
+
+#ifndef COBRA_SPARSE_REFERENCE_H
+#define COBRA_SPARSE_REFERENCE_H
+
+#include <vector>
+
+#include "src/sparse/csr_matrix.h"
+
+namespace cobra {
+
+/** y = A * x. */
+std::vector<double> spmvRef(const CsrMatrix &a,
+                            const std::vector<double> &x);
+
+/** Return A^T in CSR (cs_transpose). */
+CsrMatrix transposeRef(const CsrMatrix &a);
+
+/** pinv[perm[i]] = i (cs_pinv). */
+std::vector<uint32_t> pinvRef(const std::vector<uint32_t> &perm);
+
+/**
+ * cs_symperm: C = P A P^T restricted to the upper triangle, where A is
+ * symmetric and only its upper triangle is read. Entry (i, j), j >= i,
+ * lands at (min(p[i], p[j]), max(p[i], p[j])).
+ */
+CsrMatrix sympermRef(const CsrMatrix &a,
+                     const std::vector<uint32_t> &perm);
+
+} // namespace cobra
+
+#endif // COBRA_SPARSE_REFERENCE_H

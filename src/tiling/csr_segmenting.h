@@ -1,0 +1,67 @@
+/**
+ * @file
+ * CSR-Segmenting: state-of-the-art 1D graph tiling (Zhang et al.,
+ * "Making caches work for graph analytics"), the software locality
+ * optimization the paper compares PB against in Section VII-D / Fig 15.
+ *
+ * The source-vertex range is split into segments whose vertex data fits
+ * in cache; a per-segment CSR (over destinations with in-neighbors in
+ * the segment) is built once as a preprocessing step. A pull iteration
+ * then processes one segment at a time: reads of segment-local source
+ * data hit cache, and writes sweep destinations in ascending order.
+ * Tiling's catch — and the paper's point — is the preprocessing cost of
+ * building all the per-segment CSRs, which PB does not pay.
+ */
+
+#ifndef COBRA_TILING_CSR_SEGMENTING_H
+#define COBRA_TILING_CSR_SEGMENTING_H
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/sim/exec_ctx.h"
+
+namespace cobra {
+
+/** A graph partitioned into source-range segments. */
+class SegmentedCsr
+{
+  public:
+    /** One segment: CSR over destinations with >= 1 in-segment edge. */
+    struct Segment
+    {
+        NodeId srcBegin = 0;
+        NodeId srcEnd = 0;
+        std::vector<NodeId> rows;        ///< destinations, ascending
+        std::vector<EdgeOffset> offsets; ///< rows.size()+1 entries
+        std::vector<NodeId> srcs;        ///< in-segment sources per row
+    };
+
+    /**
+     * Build from the transpose graph @p csc (csc.neighbors(v) = the
+     * in-neighbors of v). @p segment_vertices is the source-range width
+     * of each segment; the instrumentation on @p ctx charges the
+     * preprocessing cost that Fig 15 reports as Tiling's init overhead.
+     */
+    static SegmentedCsr build(ExecCtx &ctx, const CsrGraph &csc,
+                              NodeId segment_vertices);
+
+    size_t numSegments() const { return segments.size(); }
+    const Segment &segment(size_t s) const { return segments[s]; }
+    NodeId numNodes() const { return nodes; }
+
+    /**
+     * One segmented pull iteration: next[v] += sum of contrib[u] over
+     * in-segment in-neighbors u, one segment at a time.
+     */
+    void pullIteration(ExecCtx &ctx, const std::vector<float> &contrib,
+                       std::vector<float> &next) const;
+
+  private:
+    std::vector<Segment> segments;
+    NodeId nodes = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_TILING_CSR_SEGMENTING_H

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cache-line-aligned array.
+ *
+ * PB's coalescing buffers must be cacheline-sized and cacheline-aligned —
+ * a buffer straddling two lines would defeat the bulk-transfer trick and
+ * would distort the cache model. std::vector gives no alignment
+ * guarantee beyond alignof(T), so this wrapper over-aligns its storage.
+ */
+
+#ifndef COBRA_UTIL_ALIGNED_ARRAY_H
+#define COBRA_UTIL_ALIGNED_ARRAY_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+
+namespace cobra {
+
+/** Fixed-size array of trivially-destructible T, aligned to @p Align. */
+template <typename T, size_t Align = 64>
+class AlignedArray
+{
+  public:
+    AlignedArray() = default;
+
+    explicit AlignedArray(size_t n) : size_(n)
+    {
+        if (n) {
+            data_ = static_cast<T *>(
+                ::operator new(n * sizeof(T), std::align_val_t{Align}));
+            for (size_t i = 0; i < n; ++i)
+                new (data_ + i) T{};
+        }
+    }
+
+    ~AlignedArray() { release(); }
+
+    AlignedArray(const AlignedArray &) = delete;
+    AlignedArray &operator=(const AlignedArray &) = delete;
+
+    AlignedArray(AlignedArray &&o) noexcept
+        : data_(o.data_), size_(o.size_)
+    {
+        o.data_ = nullptr;
+        o.size_ = 0;
+    }
+
+    AlignedArray &
+    operator=(AlignedArray &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            data_ = o.data_;
+            size_ = o.size_;
+            o.data_ = nullptr;
+            o.size_ = 0;
+        }
+        return *this;
+    }
+
+    T &operator[](size_t i) { return data_[i]; }
+    const T &operator[](size_t i) const { return data_[i]; }
+    T *data() { return data_; }
+    const T *data() const { return data_; }
+    size_t size() const { return size_; }
+
+  private:
+    void
+    release()
+    {
+        if (data_) {
+            for (size_t i = 0; i < size_; ++i)
+                data_[i].~T();
+            ::operator delete(data_, std::align_val_t{Align});
+        }
+    }
+
+    T *data_ = nullptr;
+    size_t size_ = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_ALIGNED_ARRAY_H

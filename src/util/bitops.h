@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the cache and COBRA models.
+ *
+ * COBRA requires every bin range to be a power of two so that binning a
+ * tuple is a shift rather than a divide (paper Section V-A); these helpers
+ * centralize the power-of-two arithmetic.
+ */
+
+#ifndef COBRA_UTIL_BITOPS_H
+#define COBRA_UTIL_BITOPS_H
+
+#include <cstdint>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** True iff @p x is a (nonzero) power of two. */
+constexpr bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** floor(log2(x)); @p x must be nonzero. */
+constexpr uint32_t
+floorLog2(uint64_t x)
+{
+    uint32_t r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** ceil(log2(x)); @p x must be nonzero. */
+constexpr uint32_t
+ceilLog2(uint64_t x)
+{
+    return isPow2(x) ? floorLog2(x) : floorLog2(x) + 1;
+}
+
+/** Smallest power of two >= @p x (x >= 1). */
+constexpr uint64_t
+ceilPow2(uint64_t x)
+{
+    return uint64_t{1} << ceilLog2(x);
+}
+
+/** Largest power of two <= @p x (x >= 1). */
+constexpr uint64_t
+floorPow2(uint64_t x)
+{
+    return uint64_t{1} << floorLog2(x);
+}
+
+/** Integer ceiling division. */
+constexpr uint64_t
+divCeil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Extract bits [lo, lo+width) of @p x. */
+constexpr uint64_t
+bits(uint64_t x, uint32_t lo, uint32_t width)
+{
+    return (x >> lo) & ((width >= 64) ? ~uint64_t{0}
+                                      : ((uint64_t{1} << width) - 1));
+}
+
+static_assert(isPow2(64));
+static_assert(!isPow2(0));
+static_assert(!isPow2(96));
+static_assert(floorLog2(64) == 6);
+static_assert(ceilLog2(65) == 7);
+static_assert(ceilPow2(100) == 128);
+static_assert(floorPow2(100) == 64);
+static_assert(divCeil(7, 2) == 4);
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_BITOPS_H

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panicIf() is for internal invariant violations (bugs in this library);
+ * fatalIf() is for user errors (bad configuration, invalid arguments).
+ */
+
+#ifndef COBRA_UTIL_ERROR_H
+#define COBRA_UTIL_ERROR_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cobra {
+
+/** Terminate with an internal-bug diagnostic. Never returns. */
+[[noreturn]] inline void
+panic(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+/** Terminate with a user-error diagnostic. Never returns. */
+[[noreturn]] inline void
+fatal(const std::string &msg, const char *file, int line)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+/** Print a warning and continue. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+} // namespace cobra
+
+#define COBRA_PANIC_IF(cond, msg)                                            \
+    do {                                                                     \
+        if (cond) {                                                          \
+            std::ostringstream oss_;                                         \
+            oss_ << msg;                                                     \
+            ::cobra::panic(oss_.str(), __FILE__, __LINE__);                  \
+        }                                                                    \
+    } while (0)
+
+#define COBRA_FATAL_IF(cond, msg)                                            \
+    do {                                                                     \
+        if (cond) {                                                          \
+            std::ostringstream oss_;                                         \
+            oss_ << msg;                                                     \
+            ::cobra::fatal(oss_.str(), __FILE__, __LINE__);                  \
+        }                                                                    \
+    } while (0)
+
+#endif // COBRA_UTIL_ERROR_H

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Simple fixed-bucket histogram used by the DES model and input
+ * characterization (degree distributions, eviction-burst sizes).
+ */
+
+#ifndef COBRA_UTIL_HISTOGRAM_H
+#define COBRA_UTIL_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+/** Histogram over [0, numBuckets * bucketWidth); overflow goes last. */
+class Histogram
+{
+  public:
+    Histogram(size_t num_buckets, uint64_t bucket_width)
+        : counts(num_buckets + 1, 0), width(bucket_width)
+    {
+    }
+
+    void
+    add(uint64_t value, uint64_t weight = 1)
+    {
+        size_t b = static_cast<size_t>(value / width);
+        if (b >= counts.size() - 1)
+            b = counts.size() - 1;
+        counts[b] += weight;
+        total += weight;
+        sum += value * weight;
+        if (value > maxSeen)
+            maxSeen = value;
+    }
+
+    uint64_t bucket(size_t i) const { return counts.at(i); }
+    size_t numBuckets() const { return counts.size(); }
+    uint64_t count() const { return total; }
+    uint64_t max() const { return maxSeen; }
+
+    double
+    mean() const
+    {
+        return total ? static_cast<double>(sum) / static_cast<double>(total)
+                     : 0.0;
+    }
+
+    /** Smallest value v such that >= frac of samples are <= bucket(v). */
+    uint64_t
+    percentile(double frac) const
+    {
+        uint64_t target = static_cast<uint64_t>(frac *
+                                                static_cast<double>(total));
+        uint64_t acc = 0;
+        for (size_t i = 0; i < counts.size(); ++i) {
+            acc += counts[i];
+            if (acc >= target)
+                return (i + 1) * width - 1;
+        }
+        return maxSeen;
+    }
+
+  private:
+    std::vector<uint64_t> counts;
+    uint64_t width;
+    uint64_t total = 0;
+    uint64_t sum = 0;
+    uint64_t maxSeen = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_HISTOGRAM_H

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Minimal JSON writer for machine-readable experiment output
+ * (cobra_cli --json and ad-hoc tooling). Write-only, streaming, with
+ * correct string escaping; no parsing.
+ */
+
+#ifndef COBRA_UTIL_JSON_H
+#define COBRA_UTIL_JSON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** Streaming JSON writer with nesting checks. */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os_) : os(os_) {}
+
+    ~JsonWriter()
+    {
+        // Unbalanced output is a bug in the caller; flag loudly in
+        // debug-style fashion without throwing from a destructor.
+        if (!stack.empty())
+            warn("JsonWriter destroyed with open scopes");
+    }
+
+    JsonWriter &
+    beginObject()
+    {
+        prefix();
+        os << "{";
+        stack.push_back(Scope{'}', true});
+        return *this;
+    }
+
+    JsonWriter &
+    beginArray()
+    {
+        prefix();
+        os << "[";
+        stack.push_back(Scope{']', true});
+        return *this;
+    }
+
+    JsonWriter &
+    end()
+    {
+        COBRA_PANIC_IF(stack.empty(), "end() without open scope");
+        os << stack.back().closer;
+        stack.pop_back();
+        return *this;
+    }
+
+    JsonWriter &
+    key(const std::string &k)
+    {
+        COBRA_PANIC_IF(stack.empty() || stack.back().closer != '}',
+                       "key() outside an object");
+        prefix();
+        writeString(k);
+        os << ":";
+        pendingValue = true;
+        return *this;
+    }
+
+    JsonWriter &value(const std::string &v)
+    {
+        prefix();
+        writeString(v);
+        return *this;
+    }
+
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+
+    JsonWriter &
+    value(double v)
+    {
+        prefix();
+        if (std::isfinite(v))
+            os << v;
+        else
+            os << "null";
+        return *this;
+    }
+
+    JsonWriter &
+    value(uint64_t v)
+    {
+        prefix();
+        os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(int64_t v)
+    {
+        prefix();
+        os << v;
+        return *this;
+    }
+
+    JsonWriter &
+    value(bool v)
+    {
+        prefix();
+        os << (v ? "true" : "false");
+        return *this;
+    }
+
+    /** key + scalar in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    struct Scope
+    {
+        char closer;
+        bool first;
+    };
+
+    void
+    prefix()
+    {
+        if (pendingValue) {
+            pendingValue = false;
+            return; // the comma/space was handled by key()
+        }
+        if (!stack.empty()) {
+            if (!stack.back().first)
+                os << ",";
+            stack.back().first = false;
+        }
+    }
+
+    void
+    writeString(const std::string &s)
+    {
+        os << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': os << "\\\""; break;
+              case '\\': os << "\\\\"; break;
+              case '\n': os << "\\n"; break;
+              case '\t': os << "\\t"; break;
+              case '\r': os << "\\r"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+            }
+        }
+        os << '"';
+    }
+
+    std::ostream &os;
+    std::vector<Scope> stack;
+    bool pendingValue = false;
+};
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_JSON_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Parallel merge sort over a ThreadPool.
+ *
+ * Stands in for the paper's `__gnu_parallel::sort()` Integer Sort
+ * baseline on machines where parallel-mode STL is unavailable: sort
+ * per-thread chunks concurrently, then merge pairwise.
+ */
+
+#ifndef COBRA_UTIL_PARALLEL_SORT_H
+#define COBRA_UTIL_PARALLEL_SORT_H
+
+#include <algorithm>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+
+/** Sort @p v ascending using @p pool's workers. */
+template <typename T>
+void
+parallelSort(ThreadPool &pool, std::vector<T> &v)
+{
+    const size_t n = v.size();
+    const size_t nt = std::max<size_t>(1, pool.numThreads());
+    if (n < 4096 || nt == 1) {
+        std::sort(v.begin(), v.end());
+        return;
+    }
+
+    // Chunk boundaries (power-of-two count for clean pairwise merges).
+    size_t chunks = 1;
+    while (chunks * 2 <= nt)
+        chunks *= 2;
+    std::vector<size_t> bounds(chunks + 1);
+    for (size_t c = 0; c <= chunks; ++c)
+        bounds[c] = n * c / chunks;
+
+    pool.parallelFor(chunks, [&](size_t, size_t lo, size_t hi) {
+        for (size_t c = lo; c < hi; ++c)
+            std::sort(v.begin() + static_cast<ptrdiff_t>(bounds[c]),
+                      v.begin() + static_cast<ptrdiff_t>(bounds[c + 1]));
+    });
+
+    // Pairwise merges, halving the chunk count per round.
+    std::vector<T> tmp(n);
+    while (chunks > 1) {
+        const size_t pairs = chunks / 2;
+        pool.parallelFor(pairs, [&](size_t, size_t lo, size_t hi) {
+            for (size_t p = lo; p < hi; ++p) {
+                auto a0 = v.begin() +
+                    static_cast<ptrdiff_t>(bounds[2 * p]);
+                auto a1 = v.begin() +
+                    static_cast<ptrdiff_t>(bounds[2 * p + 1]);
+                auto a2 = v.begin() +
+                    static_cast<ptrdiff_t>(bounds[2 * p + 2]);
+                auto out = tmp.begin() +
+                    static_cast<ptrdiff_t>(bounds[2 * p]);
+                std::merge(a0, a1, a1, a2, out);
+            }
+        });
+        std::copy(tmp.begin(), tmp.end(), v.begin());
+        for (size_t c = 1; c <= pairs; ++c)
+            bounds[c] = bounds[2 * c];
+        bounds.resize(pairs + 1);
+        chunks = pairs;
+    }
+}
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_PARALLEL_SORT_H

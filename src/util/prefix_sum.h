@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Exclusive/inclusive prefix sums.
+ *
+ * Prefix sums underpin both CSR construction (offsets array from degrees,
+ * paper Algorithm 1 line 1) and PB bin sizing (BinOffset array, paper
+ * Section V-E / Table I "Init" phase).
+ */
+
+#ifndef COBRA_UTIL_PREFIX_SUM_H
+#define COBRA_UTIL_PREFIX_SUM_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cobra {
+
+/**
+ * Exclusive prefix sum: out[i] = sum of in[0..i-1]. Returns a vector with
+ * one extra trailing element holding the grand total, which is exactly the
+ * shape a CSR offsets array needs (offsets[n] == number of edges).
+ */
+template <typename T>
+std::vector<T>
+exclusivePrefixSum(const std::vector<T> &in)
+{
+    std::vector<T> out(in.size() + 1);
+    T acc{};
+    for (size_t i = 0; i < in.size(); ++i) {
+        out[i] = acc;
+        acc += in[i];
+    }
+    out[in.size()] = acc;
+    return out;
+}
+
+/** In-place inclusive prefix sum. */
+template <typename T>
+void
+inclusivePrefixSumInPlace(std::vector<T> &v)
+{
+    T acc{};
+    for (auto &x : v) {
+        acc += x;
+        x = acc;
+    }
+}
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_PREFIX_SUM_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harness to emit the rows and
+ * series of each paper table/figure in a uniform format.
+ */
+
+#ifndef COBRA_UTIL_TABLE_H
+#define COBRA_UTIL_TABLE_H
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+/** Column-aligned ASCII table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title_) : title(std::move(title_)) {}
+
+    Table &
+    header(std::vector<std::string> cols)
+    {
+        head = std::move(cols);
+        return *this;
+    }
+
+    Table &
+    row(std::vector<std::string> cells)
+    {
+        rows.push_back(std::move(cells));
+        return *this;
+    }
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string
+    num(double v, int prec = 2)
+    {
+        std::ostringstream oss;
+        oss << std::fixed << std::setprecision(prec) << v;
+        return oss.str();
+    }
+
+    void
+    print(std::ostream &os) const
+    {
+        std::vector<size_t> w(head.size(), 0);
+        auto widen = [&](const std::vector<std::string> &r) {
+            for (size_t i = 0; i < r.size() && i < w.size(); ++i)
+                if (r[i].size() > w[i])
+                    w[i] = r[i].size();
+        };
+        widen(head);
+        for (const auto &r : rows)
+            widen(r);
+
+        size_t total = 1;
+        for (size_t c : w)
+            total += c + 3;
+
+        os << "\n== " << title << " ==\n";
+        auto rule = [&] { os << std::string(total, '-') << "\n"; };
+        auto line = [&](const std::vector<std::string> &r) {
+            os << "|";
+            for (size_t i = 0; i < w.size(); ++i) {
+                std::string cell = i < r.size() ? r[i] : "";
+                os << " " << std::left << std::setw(static_cast<int>(w[i]))
+                   << cell << " |";
+            }
+            os << "\n";
+        };
+        rule();
+        line(head);
+        rule();
+        for (const auto &r : rows)
+            line(r);
+        rule();
+    }
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_TABLE_H

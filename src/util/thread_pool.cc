@@ -1,0 +1,85 @@
+#include "src/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cobra {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    size_t n = num_threads != 0 ? num_threads
+                                : std::max(1u, std::thread::hardware_concurrency());
+    workers.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cvTask.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        tasks.push(std::move(task));
+        ++inFlight;
+    }
+    cvTask.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mtx);
+    cvDone.wait(lk, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::parallelFor(size_t n,
+                        const std::function<void(size_t, size_t, size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    const size_t nt = std::min(numThreads(), n);
+    const size_t chunk = (n + nt - 1) / nt;
+    for (size_t t = 0; t < nt; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        if (begin >= end)
+            break;
+        enqueue([&fn, t, begin, end] { fn(t, begin, end); });
+    }
+    wait();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            cvTask.wait(lk, [this] { return stopping || !tasks.empty(); });
+            if (stopping && tasks.empty())
+                return;
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            if (--inFlight == 0)
+                cvDone.notify_all();
+        }
+    }
+}
+
+} // namespace cobra

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * A small fixed-size thread pool with a blocked-range parallelFor.
+ *
+ * Software PB is a parallel optimization: every thread owns private bins and
+ * coalescing buffers so Binning needs no synchronization (paper Section
+ * III-A). The native (wall-clock) PB runtime uses this pool; the simulated
+ * runs model a single core plus its NUCA slice and therefore execute
+ * sequentially (see DESIGN.md Section 5).
+ */
+
+#ifndef COBRA_UTIL_THREAD_POOL_H
+#define COBRA_UTIL_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace cobra {
+
+/** Fixed-size worker pool. Tasks are void() callables. */
+class ThreadPool
+{
+  public:
+    /** @param num_threads 0 means hardware_concurrency (at least 1). */
+    explicit ThreadPool(size_t num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    size_t numThreads() const { return workers.size(); }
+
+    /** Enqueue a task; returns immediately. */
+    void enqueue(std::function<void()> task);
+
+    /** Block until every enqueued task has finished. */
+    void wait();
+
+    /**
+     * Run fn(thread_id, begin, end) over [0, n) split into one contiguous
+     * block per worker. Blocks until all blocks complete.
+     */
+    void parallelFor(size_t n,
+                     const std::function<void(size_t, size_t, size_t)> &fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+    std::mutex mtx;
+    std::condition_variable cvTask;
+    std::condition_variable cvDone;
+    size_t inFlight = 0;
+    bool stopping = false;
+};
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_THREAD_POOL_H

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Wall-clock timer for the native (real-system) experiments.
+ */
+
+#ifndef COBRA_UTIL_TIMER_H
+#define COBRA_UTIL_TIMER_H
+
+#include <chrono>
+
+namespace cobra {
+
+/** Monotonic stopwatch reporting elapsed seconds. */
+class Timer
+{
+  public:
+    Timer() { reset(); }
+
+    void reset() { start = Clock::now(); }
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start).count();
+    }
+
+    double millis() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start;
+};
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_TIMER_H

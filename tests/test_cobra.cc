@@ -1,0 +1,432 @@
+/**
+ * @file
+ * Tests for the COBRA architecture model: bininit geometry, binupdate/
+ * binflush functional correctness, hierarchy interaction, eviction
+ * timing, COBRA-COMM coalescing, and the context-switch model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/core/cobra_binner.h"
+#include "src/core/isa.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+namespace {
+
+void
+addU32(uint32_t &dst, const uint32_t &src)
+{
+    dst += src;
+}
+
+TEST(CobraGeometry, DefaultLevelsMonotone)
+{
+    // Deeper levels hold more C-Buffers, hence smaller ranges (paper
+    // Figure 6: Y1 <= Y2 <= Y3).
+    ExecCtx ctx;
+    CobraBinner<uint32_t> b(ctx, CobraConfig{}, 1 << 20);
+    auto l1 = b.level(CacheLevel::L1);
+    auto l2 = b.level(CacheLevel::L2);
+    auto llc = b.level(CacheLevel::LLC);
+    EXPECT_LE(l1.numBuffers, l2.numBuffers);
+    EXPECT_LE(l2.numBuffers, llc.numBuffers);
+    EXPECT_GE(l1.rangeShift, l2.rangeShift);
+    EXPECT_GE(l2.rangeShift, llc.rangeShift);
+    // Bins in memory == LLC C-Buffers (paper Section IV).
+    EXPECT_EQ(b.numBins(), llc.numBuffers);
+}
+
+TEST(CobraGeometry, BuffersFitReservedLines)
+{
+    ExecCtx ctx;
+    HierarchyConfig h; // Table II: L1 32KB/8w, L2 256KB/8w, LLC 2MB/16w
+    CobraConfig cfg;
+    CobraBinner<uint32_t> b(ctx, cfg, 1 << 20, nullptr, h);
+    EXPECT_LE(b.level(CacheLevel::L1).numBuffers,
+              cfg.l1ReservedWays * h.l1.numSets());
+    EXPECT_LE(b.level(CacheLevel::L2).numBuffers,
+              cfg.l2ReservedWays * h.l2.numSets());
+    EXPECT_LE(b.level(CacheLevel::LLC).numBuffers,
+              cfg.llcReservedWays * h.llc.numSets());
+}
+
+TEST(CobraGeometry, LlcOverrideCapsBins)
+{
+    ExecCtx ctx;
+    CobraConfig cfg;
+    cfg.llcBuffersOverride = 128;
+    CobraBinner<uint32_t> b(ctx, cfg, 1 << 20);
+    EXPECT_LE(b.numBins(), 128u);
+}
+
+TEST(CobraGeometry, SmallNamespaceFewBuffers)
+{
+    ExecCtx ctx;
+    CobraBinner<uint32_t> b(ctx, CobraConfig{}, 100);
+    // 100 indices need at most 100 buffers anywhere.
+    EXPECT_LE(b.level(CacheLevel::LLC).numBuffers, 100u);
+}
+
+TEST(CobraIsa, BinInitValidity)
+{
+    BinInitOp op{CacheLevel::L1, 7, 1 << 20, 8};
+    EXPECT_TRUE(op.valid(8));
+    EXPECT_FALSE(op.valid(7)); // cannot reserve all ways
+    op.tupleBytes = 12;        // not a power of two
+    EXPECT_FALSE(op.valid(8));
+    op.tupleBytes = 8;
+    EXPECT_EQ(op.tuplesPerLine(), 8u);
+    EXPECT_EQ(op.counterBits(), 3u);
+    EXPECT_LE(op.counterBits(), kRepurposableMetadataBits);
+}
+
+TEST(CobraIsa, CounterBitsFitMetadataForAllTupleSizes)
+{
+    for (uint32_t tb : {4u, 8u, 16u}) {
+        BinInitOp op{CacheLevel::L1, 7, 1 << 20, tb};
+        EXPECT_LE(op.counterBits(), kRepurposableMetadataBits)
+            << "tuple size " << tb;
+    }
+}
+
+/** Full binning + flush round trip through all three C-Buffer levels. */
+template <typename Payload>
+void
+cobraRoundTrip(uint64_t num_indices, size_t n, const CobraConfig &cfg)
+{
+    ExecCtx ctx;
+    CobraBinner<Payload> binner(ctx, cfg, num_indices);
+    Rng rng(7);
+    std::vector<BinTuple<Payload>> tuples(n);
+    for (auto &t : tuples) {
+        t.index = static_cast<uint32_t>(rng.below(num_indices));
+        if constexpr (!std::is_same_v<Payload, NoPayload>)
+            t.payload = static_cast<Payload>(rng.below(1 << 20));
+    }
+    for (auto &t : tuples)
+        binner.initCount(ctx, t.index);
+    binner.finalizeInit(ctx);
+    for (auto &t : tuples) {
+        if constexpr (std::is_same_v<Payload, NoPayload>)
+            binner.update(ctx, t.index, NoPayload{});
+        else
+            binner.update(ctx, t.index, t.payload);
+    }
+    binner.flush(ctx);
+
+    std::multiset<uint64_t> want, got;
+    for (auto &t : tuples) {
+        uint64_t key = t.index;
+        if constexpr (!std::is_same_v<Payload, NoPayload>)
+            key |= static_cast<uint64_t>(t.payload) << 32;
+        want.insert(key);
+    }
+    const auto &plan = binner.storage().binningPlan();
+    for (uint32_t b = 0; b < binner.numBins(); ++b) {
+        for (const auto &t : binner.storage().bin(b)) {
+            EXPECT_EQ(plan.binOf(t.index), b);
+            uint64_t key = t.index;
+            if constexpr (!std::is_same_v<Payload, NoPayload>)
+                key |= static_cast<uint64_t>(t.payload) << 32;
+            got.insert(key);
+        }
+    }
+    EXPECT_EQ(want, got);
+    EXPECT_EQ(binner.stats().binUpdates, n);
+}
+
+TEST(CobraBinner, RoundTrip4BTuples)
+{
+    cobraRoundTrip<NoPayload>(1 << 16, 30000, CobraConfig{});
+}
+
+TEST(CobraBinner, RoundTrip8BTuples)
+{
+    cobraRoundTrip<uint32_t>(1 << 16, 30000, CobraConfig{});
+}
+
+TEST(CobraBinner, RoundTrip16BTuples)
+{
+    cobraRoundTrip<double>(1 << 16, 30000, CobraConfig{});
+}
+
+class CobraSweep : public ::testing::TestWithParam<
+                       std::tuple<uint64_t, uint32_t, uint32_t>>
+{
+};
+
+TEST_P(CobraSweep, RoundTripAcrossConfigs)
+{
+    auto [indices, fifo1, llc_override] = GetParam();
+    CobraConfig cfg;
+    cfg.fifo1Capacity = fifo1;
+    cfg.llcBuffersOverride = llc_override;
+    cobraRoundTrip<uint32_t>(indices, 12000, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CobraSweep,
+    ::testing::Combine(::testing::Values(uint64_t{1} << 10,
+                                         uint64_t{1} << 16,
+                                         uint64_t{1} << 20),
+                       ::testing::Values(1u, 8u, 32u),
+                       ::testing::Values(0u, 64u, 1024u)));
+
+TEST(CobraBinner, FlushOnEmptyIsSafe)
+{
+    ExecCtx ctx;
+    CobraBinner<uint32_t> b(ctx, CobraConfig{}, 1 << 12);
+    b.initCount(ctx, 0);
+    b.finalizeInit(ctx);
+    b.flush(ctx); // only one counted tuple was never inserted: fine
+    EXPECT_EQ(b.storage().totalTuples(), 0u);
+}
+
+TEST(CobraBinner, SingleInstructionPerUpdateNoBranches)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    CobraBinner<uint32_t> b(ctx, CobraConfig{}, 1 << 16);
+    for (uint32_t i = 0; i < 4096; ++i)
+        b.initCount(ctx, (i * 31) % (1 << 16));
+    b.finalizeInit(ctx);
+    uint64_t instr0 = core.instructions();
+    uint64_t branches0 = bp.branches();
+    for (uint32_t i = 0; i < 4096; ++i)
+        b.update(ctx, (i * 31) % (1 << 16), i);
+    // Exactly one instruction per binupdate, zero branches (paper
+    // Section V-B / Fig 12).
+    EXPECT_EQ(core.instructions() - instr0, 4096u);
+    EXPECT_EQ(bp.branches(), branches0);
+}
+
+TEST(CobraBinner, LlcSpillsProduceDramWrites)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    CobraConfig cfg;
+    cfg.llcBuffersOverride = 16; // tiny LLC level: spills happen fast
+    CobraBinner<uint32_t> b(ctx, cfg, 1 << 10);
+    for (uint32_t i = 0; i < 20000; ++i)
+        b.initCount(ctx, (i * 7) % (1 << 10));
+    b.finalizeInit(ctx);
+    for (uint32_t i = 0; i < 20000; ++i)
+        b.update(ctx, (i * 7) % (1 << 10), i);
+    b.flush(ctx);
+    EXPECT_GT(b.stats().llcEvictions, 0u);
+    EXPECT_GT(hier.dram().writeLines(), 0u);
+}
+
+TEST(CobraBinner, PartialFlushWastesBandwidth)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    CobraBinner<uint32_t> b(ctx, CobraConfig{}, 1 << 16);
+    // One tuple per distinct far-apart index: every LLC line flushed
+    // partially.
+    for (uint32_t i = 0; i < 64; ++i)
+        b.initCount(ctx, i * 991);
+    b.finalizeInit(ctx);
+    for (uint32_t i = 0; i < 64; ++i)
+        b.update(ctx, i * 991, i);
+    b.flush(ctx);
+    EXPECT_GT(b.stats().flushLines, 0u);
+    EXPECT_GT(hier.dram().wastedBytes(), 0u);
+}
+
+TEST(CobraBinner, WayReservationAppliedAndReleased)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    CobraConfig cfg;
+    CobraBinner<uint32_t> b(ctx, cfg, 1 << 16);
+    // Ways stay unreserved until Binning actually starts (the Init
+    // counting pass uses the full cache).
+    EXPECT_EQ(hier.l1().reservedWays(), 0u);
+    b.beginBinning(ctx);
+    EXPECT_EQ(hier.l1().reservedWays(), cfg.l1ReservedWays);
+    EXPECT_EQ(hier.l2().reservedWays(), cfg.l2ReservedWays);
+    EXPECT_EQ(hier.llc().reservedWays(), cfg.llcReservedWays);
+    b.releaseWays(ctx);
+    EXPECT_EQ(hier.l1().reservedWays(), 0u);
+    EXPECT_EQ(hier.llc().reservedWays(), 0u);
+}
+
+TEST(CobraComm, CoalescesAndPreservesSums)
+{
+    ExecCtx ctx;
+    CobraConfig cfg;
+    cfg.coalesceAtLlc = true;
+    cfg.llcBuffersOverride = 32;
+    const uint64_t n_idx = 256;
+    CobraBinner<uint32_t> b(ctx, cfg, n_idx, &addU32);
+    // Heavy reuse of a few hot indices -> lots of coalescing.
+    std::vector<uint64_t> want(n_idx, 0);
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i) {
+        uint32_t idx = static_cast<uint32_t>(rng.below(16)); // hot set
+        b.initCount(ctx, idx);
+    }
+    b.finalizeInit(ctx);
+    Rng rng2(5);
+    for (int i = 0; i < 50000; ++i) {
+        uint32_t idx = static_cast<uint32_t>(rng2.below(16));
+        b.update(ctx, idx, 1u);
+        want[idx] += 1;
+    }
+    b.flush(ctx);
+    EXPECT_GT(b.stats().coalescedTuples, 0u);
+    std::vector<uint64_t> got(n_idx, 0);
+    for (uint32_t bin = 0; bin < b.numBins(); ++bin)
+        for (const auto &t : b.storage().bin(bin))
+            got[t.index] += t.payload;
+    EXPECT_EQ(want, got);
+    // Fewer tuples written than updates issued.
+    EXPECT_LT(b.storage().totalTuples(), 50000u);
+}
+
+TEST(CobraComm, RequiresReducer)
+{
+    ExecCtx ctx;
+    CobraConfig cfg;
+    cfg.coalesceAtLlc = true;
+    EXPECT_EXIT((CobraBinner<uint32_t>(ctx, cfg, 100, nullptr)),
+                ::testing::ExitedWithCode(1), "reducer");
+}
+
+TEST(CobraBinner, TinyFifoCausesStalls)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    CobraConfig cfg;
+    cfg.fifo1Capacity = 1;
+    CobraBinner<uint32_t> b(ctx, cfg, 1 << 20);
+    // Synchronized burst: round-robin over 64 distinct L1 C-Buffers
+    // makes all of them fill on the same round, releasing 64
+    // back-to-back evictions that a 1-entry FIFO cannot absorb.
+    const uint32_t stride = (1 << 20) / 64;
+    for (uint32_t i = 0; i < 100000; ++i)
+        b.initCount(ctx, (i % 64) * stride);
+    b.finalizeInit(ctx);
+    for (uint32_t i = 0; i < 100000; ++i)
+        b.update(ctx, (i % 64) * stride, i);
+    b.flush(ctx);
+    EXPECT_GT(b.stats().coreStallCycles, 0u);
+    EXPECT_GT(core.cycles().stall, 0.0);
+}
+
+TEST(CobraBinner, DefaultFifoHidesStallsOnScatteredTraffic)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    CobraBinner<uint32_t> b(ctx, CobraConfig{}, 1 << 20);
+    Rng rng(3);
+    std::vector<uint32_t> idx(100000);
+    for (auto &x : idx)
+        x = static_cast<uint32_t>(rng.below(1 << 20));
+    for (uint32_t x : idx)
+        b.initCount(ctx, x);
+    b.finalizeInit(ctx);
+    for (uint32_t x : idx)
+        b.update(ctx, x, x);
+    b.flush(ctx);
+    // Paper Fig 13a: 32-entry FIFO1 hides eviction latency.
+    EXPECT_EQ(b.stats().coreStallCycles, 0u);
+}
+
+class HierarchyDepthTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(HierarchyDepthTest, AnyDepthIsFunctionallyCorrect)
+{
+    CobraConfig cfg;
+    cfg.hierarchyDepth = GetParam();
+    cobraRoundTrip<uint32_t>(1 << 16, 20000, cfg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, HierarchyDepthTest,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(CobraBinner, ShallowHierarchyWastesBandwidth)
+{
+    // The reason the hierarchy exists: depth-1 spills write mostly
+    // partial DRAM lines.
+    auto waste = [](uint32_t depth) {
+        MemoryHierarchy hier;
+        CoreModel core;
+        BranchPredictor bp;
+        ExecCtx ctx(&hier, &core, &bp);
+        CobraConfig cfg;
+        cfg.hierarchyDepth = depth;
+        CobraBinner<uint32_t> b(ctx, cfg, 1 << 18);
+        Rng rng(17);
+        std::vector<uint32_t> idx(60000);
+        for (auto &x : idx)
+            x = static_cast<uint32_t>(rng.below(1 << 18));
+        for (uint32_t x : idx)
+            b.initCount(ctx, x);
+        b.finalizeInit(ctx);
+        for (uint32_t x : idx)
+            b.update(ctx, x, x);
+        b.flush(ctx);
+        return hier.dram().wastedBytes();
+    };
+    uint64_t w1 = waste(1), w2 = waste(2), w3 = waste(3);
+    EXPECT_GT(w1, 4 * w3);
+    EXPECT_GE(w1, w2);
+    EXPECT_GE(w2, w3);
+}
+
+TEST(CobraBinner, InvalidDepthFatal)
+{
+    ExecCtx ctx;
+    CobraConfig cfg;
+    cfg.hierarchyDepth = 4;
+    EXPECT_EXIT((CobraBinner<uint32_t>(ctx, cfg, 100)),
+                ::testing::ExitedWithCode(1), "hierarchyDepth");
+}
+
+TEST(CobraBinner, ContextSwitchEvictionWastesBandwidth)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    CobraBinner<uint32_t> b(ctx, CobraConfig{}, 1 << 16);
+    Rng rng(4);
+    std::vector<uint32_t> idx(30000);
+    for (auto &x : idx)
+        x = static_cast<uint32_t>(rng.below(1 << 16));
+    for (uint32_t x : idx)
+        b.initCount(ctx, x);
+    b.finalizeInit(ctx);
+    uint64_t waste_before = hier.dram().wastedBytes();
+    for (size_t i = 0; i < idx.size(); ++i) {
+        b.update(ctx, idx[i], static_cast<uint32_t>(i));
+        if (i % 10000 == 9999)
+            b.contextSwitchEvict(ctx); // quantum expired
+    }
+    b.flush(ctx);
+    EXPECT_GT(hier.dram().wastedBytes(), waste_before);
+    // All tuples still reach memory despite forced evictions.
+    EXPECT_EQ(b.storage().totalTuples(), idx.size());
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Randomized differential testing: for random workloads and random
+ * configurations, software PB, two-pass PB, and COBRA must all deliver
+ * exactly the same multiset of tuples to exactly the right bins, and
+ * commutative accumulation over them must equal direct application.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/core/cobra_binner.h"
+#include "src/pb/pb_binner.h"
+#include "src/pb/two_pass_binner.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+namespace {
+
+struct Workload
+{
+    uint64_t numIndices;
+    std::vector<BinTuple<uint32_t>> tuples;
+    std::vector<uint64_t> directSums;
+};
+
+Workload
+makeWorkload(uint64_t seed)
+{
+    Rng rng(seed);
+    Workload w;
+    w.numIndices = 64 + rng.below(1 << 18);
+    size_t n = 1000 + rng.below(40000);
+    // Mix of uniform and hot-spot traffic, randomly weighted.
+    uint64_t hot_pct = rng.below(80);
+    uint64_t hot_set = 1 + rng.below(64);
+    w.tuples.resize(n);
+    w.directSums.assign(w.numIndices, 0);
+    for (auto &t : w.tuples) {
+        if (rng.below(100) < hot_pct)
+            t.index = static_cast<uint32_t>(rng.below(hot_set));
+        else
+            t.index = static_cast<uint32_t>(rng.below(w.numIndices));
+        t.payload = static_cast<uint32_t>(rng.below(1 << 16));
+        w.directSums[t.index] += t.payload;
+    }
+    return w;
+}
+
+/** Drive any binner through the full pipeline; validate placement and
+ * commutative sums. */
+template <typename Binner>
+void
+checkBinner(const Workload &w, Binner &binner, const BinningPlan &plan,
+            bool check_multiset = true)
+{
+    ExecCtx ctx;
+    for (const auto &t : w.tuples)
+        binner.initCount(ctx, t.index);
+    binner.finalizeInit(ctx);
+    for (const auto &t : w.tuples)
+        binner.insert(ctx, t.index, t.payload);
+    binner.flush(ctx);
+
+    std::vector<uint64_t> sums(w.numIndices, 0);
+    uint64_t seen = 0;
+    for (uint32_t b = 0; b < plan.numBins; ++b) {
+        binner.forEachInBin(ctx, b,
+                            [&](const BinTuple<uint32_t> &t) {
+                                ASSERT_EQ(plan.binOf(t.index), b);
+                                sums[t.index] += t.payload;
+                                ++seen;
+                            });
+    }
+    EXPECT_EQ(sums, w.directSums);
+    if (check_multiset)
+        EXPECT_EQ(seen, w.tuples.size());
+}
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(DifferentialTest, PbMatchesDirect)
+{
+    Workload w = makeWorkload(GetParam());
+    Rng rng(GetParam() ^ 0xb1);
+    uint32_t bins = 1u << rng.below(15);
+    BinningPlan plan = BinningPlan::forMaxBins(w.numIndices, bins);
+    PbBinner<uint32_t> binner(plan);
+    checkBinner(w, binner, plan);
+}
+
+TEST_P(DifferentialTest, TwoPassMatchesDirect)
+{
+    Workload w = makeWorkload(GetParam());
+    Rng rng(GetParam() ^ 0xb2);
+    uint32_t bins = 4u << rng.below(12);
+    BinningPlan plan = BinningPlan::forMaxBins(w.numIndices, bins);
+    TwoPassBinner<uint32_t> binner(
+        plan, static_cast<uint32_t>(1u << rng.below(6)));
+    checkBinner(w, binner, plan);
+}
+
+TEST_P(DifferentialTest, CobraMatchesDirectUnderRandomConfig)
+{
+    Workload w = makeWorkload(GetParam());
+    Rng rng(GetParam() ^ 0xb3);
+    CobraConfig cfg;
+    cfg.l1ReservedWays = 1 + static_cast<uint32_t>(rng.below(7));
+    cfg.l2ReservedWays = 1 + static_cast<uint32_t>(rng.below(7));
+    cfg.llcReservedWays = 1 + static_cast<uint32_t>(rng.below(15));
+    cfg.fifo1Capacity = 1 + static_cast<uint32_t>(rng.below(64));
+    cfg.fifo2Capacity = 1 + static_cast<uint32_t>(rng.below(16));
+    if (rng.below(2))
+        cfg.llcBuffersOverride =
+            16 + static_cast<uint32_t>(rng.below(4096));
+
+    ExecCtx ctx;
+    CobraBinner<uint32_t> binner(ctx, cfg, w.numIndices);
+    const BinningPlan &plan = binner.storage().binningPlan();
+    checkBinner(w, binner, plan);
+}
+
+TEST_P(DifferentialTest, CobraCommPreservesSums)
+{
+    Workload w = makeWorkload(GetParam());
+    CobraConfig cfg;
+    cfg.coalesceAtLlc = true;
+    ExecCtx ctx;
+    CobraBinner<uint32_t> binner(
+        ctx, cfg, w.numIndices,
+        [](uint32_t &d, const uint32_t &s) { d += s; });
+    const BinningPlan &plan = binner.storage().binningPlan();
+    // Coalescing shrinks the multiset but must preserve sums.
+    checkBinner(w, binner, plan, /*check_multiset=*/false);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests for the graph substrate: CSR construction, transpose, generators
+ * (degree distribution classes of Table III), and reference builders.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/graph/builder.h"
+#include "src/graph/csr.h"
+#include "src/graph/generators.h"
+#include "src/util/prefix_sum.h"
+
+namespace cobra {
+namespace {
+
+TEST(Csr, BuildTinyGraph)
+{
+    EdgeList el{{0, 1}, {0, 2}, {1, 2}, {2, 0}};
+    CsrGraph g = CsrGraph::build(3, el);
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+    auto n0 = g.neighbors(0);
+    EXPECT_EQ(std::set<NodeId>(n0.begin(), n0.end()),
+              (std::set<NodeId>{1, 2}));
+}
+
+TEST(Csr, TransposeReversesEdges)
+{
+    EdgeList el{{0, 1}, {0, 2}, {1, 2}};
+    CsrGraph t = CsrGraph::buildTranspose(3, el);
+    EXPECT_EQ(t.degree(0), 0u);
+    EXPECT_EQ(t.degree(1), 1u);
+    EXPECT_EQ(t.degree(2), 2u);
+    EXPECT_EQ(t.neighbors(1)[0], 0u);
+}
+
+TEST(Csr, RoundTripThroughEdgeList)
+{
+    EdgeList el = generateUniform(100, 500, 3);
+    CsrGraph g = CsrGraph::build(100, el);
+    EdgeList back = toEdgeList(g);
+    ASSERT_EQ(back.size(), el.size());
+    auto key = [](const Edge &e) {
+        return (static_cast<uint64_t>(e.src) << 32) | e.dst;
+    };
+    std::vector<uint64_t> a, b;
+    for (auto &e : el)
+        a.push_back(key(e));
+    for (auto &e : back)
+        b.push_back(key(e));
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+}
+
+TEST(Csr, EmptyGraph)
+{
+    CsrGraph g;
+    EXPECT_EQ(g.numNodes(), 0u);
+    EXPECT_EQ(g.numEdges(), 0u);
+}
+
+TEST(Generators, UniformBoundsAndCount)
+{
+    EdgeList el = generateUniform(1000, 5000, 1);
+    EXPECT_EQ(el.size(), 5000u);
+    for (const Edge &e : el) {
+        EXPECT_LT(e.src, 1000u);
+        EXPECT_LT(e.dst, 1000u);
+    }
+}
+
+TEST(Generators, UniformDeterministic)
+{
+    EXPECT_EQ(generateUniform(100, 100, 5), generateUniform(100, 100, 5));
+}
+
+TEST(Generators, RmatIsSkewed)
+{
+    const NodeId n = 1 << 12;
+    EdgeList el = generateRmat(n, 8 * n, 1);
+    auto deg = countDegreesRef(n, el);
+    std::sort(deg.begin(), deg.end(), std::greater<>());
+    // Top 1% of vertices should own a disproportionate share of edges.
+    uint64_t top = 0, total = 0;
+    for (size_t i = 0; i < deg.size(); ++i) {
+        total += deg[i];
+        if (i < deg.size() / 100)
+            top += deg[i];
+    }
+    EXPECT_GT(static_cast<double>(top) / total, 0.10);
+}
+
+TEST(Generators, UniformIsNotSkewed)
+{
+    const NodeId n = 1 << 12;
+    EdgeList el = generateUniform(n, 8 * n, 1);
+    auto deg = countDegreesRef(n, el);
+    uint64_t maxd = *std::max_element(deg.begin(), deg.end());
+    EXPECT_LT(maxd, 40u); // mean 8, uniform tail is tight
+}
+
+TEST(Generators, RoadBoundedDegreeAndLocal)
+{
+    const NodeId n = 4096;
+    EdgeList el = generateRoad(n, 4, 16, 1);
+    EXPECT_EQ(el.size(), static_cast<size_t>(n) * 4);
+    for (const Edge &e : el) {
+        int64_t d = std::abs(static_cast<int64_t>(e.src) -
+                             static_cast<int64_t>(e.dst));
+        d = std::min<int64_t>(d, n - d); // ring distance
+        EXPECT_LE(d, 17);
+        EXPECT_NE(e.src, e.dst);
+    }
+}
+
+TEST(Generators, ShuffleIsPermutation)
+{
+    EdgeList el = generateUniform(256, 1000, 2);
+    EdgeList copy = el;
+    shuffleVertexIds(copy, 256, 9);
+    // Degrees multiset preserved under relabeling.
+    auto d1 = countDegreesRef(256, el);
+    auto d2 = countDegreesRef(256, copy);
+    std::sort(d1.begin(), d1.end());
+    std::sort(d2.begin(), d2.end());
+    EXPECT_EQ(d1, d2);
+}
+
+TEST(Generators, KeysInRange)
+{
+    auto keys = generateKeys(10000, 321, 4);
+    EXPECT_EQ(keys.size(), 10000u);
+    for (uint32_t k : keys)
+        EXPECT_LT(k, 321u);
+}
+
+TEST(Builder, CountDegrees)
+{
+    EdgeList el{{0, 1}, {0, 2}, {2, 1}};
+    auto deg = countDegreesRef(4, el);
+    EXPECT_EQ(deg, (std::vector<EdgeOffset>{2, 0, 1, 0}));
+}
+
+TEST(Builder, PopulateMatchesCsrBuild)
+{
+    EdgeList el = generateRmat(512, 4096, 6);
+    auto deg = countDegreesRef(512, el);
+    auto offsets = exclusivePrefixSum(deg);
+    auto neighs = populateNeighborsRef(offsets, el);
+    CsrGraph via_populate(offsets, neighs);
+    EXPECT_EQ(sortNeighborhoods(via_populate),
+              sortNeighborhoods(CsrGraph::build(512, el)));
+}
+
+TEST(Builder, SortNeighborhoodsIdempotent)
+{
+    EdgeList el = generateUniform(64, 512, 7);
+    CsrGraph g = CsrGraph::build(64, el);
+    CsrGraph s1 = sortNeighborhoods(g);
+    EXPECT_EQ(s1, sortNeighborhoods(s1));
+    for (NodeId v = 0; v < s1.numNodes(); ++v) {
+        auto ns = s1.neighbors(v);
+        EXPECT_TRUE(std::is_sorted(ns.begin(), ns.end()));
+    }
+}
+
+class GeneratorClassTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GeneratorClassTest, CsrBothOrientationsConsistent)
+{
+    const std::string cls = GetParam();
+    const NodeId n = 2048;
+    EdgeList el;
+    if (cls == "KRON")
+        el = generateRmat(n, 4 * n, 3);
+    else if (cls == "URND")
+        el = generateUniform(n, 4 * n, 3);
+    else
+        el = generateRoad(n, 4, 16, 3);
+    CsrGraph out = CsrGraph::build(n, el);
+    CsrGraph in = CsrGraph::buildTranspose(n, el);
+    EXPECT_EQ(out.numEdges(), in.numEdges());
+    // Sum of in-degrees equals sum of out-degrees per construction;
+    // spot-check edge membership both ways.
+    for (size_t i = 0; i < el.size(); i += 97) {
+        const Edge &e = el[i];
+        auto on = out.neighbors(e.src);
+        EXPECT_NE(std::find(on.begin(), on.end(), e.dst), on.end());
+        auto inn = in.neighbors(e.dst);
+        EXPECT_NE(std::find(inn.begin(), inn.end(), e.src), inn.end());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, GeneratorClassTest,
+                         ::testing::Values("KRON", "URND", "ROAD"));
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for graph file I/O: text and binary edgelists, binary CSR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/graph/generators.h"
+#include "src/graph/io.h"
+
+namespace cobra {
+namespace {
+
+class GraphIoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tempPath(const std::string &suffix)
+    {
+        std::string p = ::testing::TempDir() + "cobra_io_" + suffix;
+        created.push_back(p);
+        return p;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &p : created)
+            std::remove(p.c_str());
+    }
+
+    std::vector<std::string> created;
+};
+
+TEST_F(GraphIoTest, TextRoundTrip)
+{
+    EdgeList el = generateUniform(100, 500, 3);
+    std::string path = tempPath("rt.el");
+    saveEdgeListText(path, el);
+    NodeId n = 0;
+    EdgeList back = loadEdgeListText(path, &n);
+    EXPECT_EQ(back, el);
+    EXPECT_LE(n, 100u);
+    EXPECT_GT(n, 0u);
+}
+
+TEST_F(GraphIoTest, TextSkipsCommentsAndBlankLines)
+{
+    std::string path = tempPath("comments.el");
+    {
+        std::ofstream out(path);
+        out << "# SNAP-style header\n% matrix-market-style\n\n"
+            << "0 1\n2 3\n";
+    }
+    NodeId n = 0;
+    EdgeList el = loadEdgeListText(path, &n);
+    ASSERT_EQ(el.size(), 2u);
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(el[0], (Edge{0, 1}));
+    EXPECT_EQ(el[1], (Edge{2, 3}));
+}
+
+TEST_F(GraphIoTest, TextMalformedLineFatal)
+{
+    std::string path = tempPath("bad.el");
+    {
+        std::ofstream out(path);
+        out << "0 not_a_number\n";
+    }
+    EXPECT_EXIT(loadEdgeListText(path, nullptr),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST_F(GraphIoTest, BinaryRoundTrip)
+{
+    EdgeList el = generateRmat(256, 2048, 4);
+    std::string path = tempPath("rt.bel");
+    saveEdgeListBinary(path, 256, el);
+    NodeId n = 0;
+    EdgeList back = loadEdgeListBinary(path, &n);
+    EXPECT_EQ(back, el);
+    EXPECT_EQ(n, 256u);
+}
+
+TEST_F(GraphIoTest, BinaryRejectsWrongMagic)
+{
+    std::string path = tempPath("junk.bel");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a cobra file at all............";
+    }
+    EXPECT_EXIT(loadEdgeListBinary(path, nullptr),
+                ::testing::ExitedWithCode(1), "not a cobra");
+}
+
+TEST_F(GraphIoTest, BinaryTruncatedFatal)
+{
+    EdgeList el = generateUniform(64, 100, 5);
+    std::string path = tempPath("trunc.bel");
+    saveEdgeListBinary(path, 64, el);
+    // Truncate the file to half.
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string data((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size() / 2));
+    }
+    EXPECT_EXIT(loadEdgeListBinary(path, nullptr),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST_F(GraphIoTest, CsrRoundTrip)
+{
+    EdgeList el = generateRmat(512, 4096, 6);
+    CsrGraph g = CsrGraph::build(512, el);
+    std::string path = tempPath("rt.csr");
+    saveCsrBinary(path, g);
+    CsrGraph back = loadCsrBinary(path);
+    EXPECT_TRUE(g == back);
+}
+
+TEST_F(GraphIoTest, CsrEmptyGraph)
+{
+    CsrGraph g(std::vector<EdgeOffset>{0}, {});
+    std::string path = tempPath("empty.csr");
+    saveCsrBinary(path, g);
+    CsrGraph back = loadCsrBinary(path);
+    EXPECT_EQ(back.numNodes(), 0u);
+    EXPECT_EQ(back.numEdges(), 0u);
+}
+
+TEST_F(GraphIoTest, MissingFileFatal)
+{
+    EXPECT_EXIT(loadEdgeListText("/nonexistent/xyz.el", nullptr),
+                ::testing::ExitedWithCode(1), "cannot open");
+    EXPECT_EXIT(loadCsrBinary("/nonexistent/xyz.csr"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace cobra

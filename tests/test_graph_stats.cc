@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Tests for graph characterization metrics — these are what certify
+ * that the generated inputs occupy the paper's Table III classes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/graph/stats.h"
+
+namespace cobra {
+namespace {
+
+GraphStats
+statsOf(const EdgeList &el, NodeId n)
+{
+    return computeGraphStats(CsrGraph::build(n, el));
+}
+
+TEST(GraphStats, BasicCounts)
+{
+    EdgeList el{{0, 1}, {0, 2}, {1, 0}};
+    GraphStats s = statsOf(el, 4);
+    EXPECT_EQ(s.numNodes, 4u);
+    EXPECT_EQ(s.numEdges, 3u);
+    EXPECT_EQ(s.maxDegree, 2u);
+    EXPECT_DOUBLE_EQ(s.avgDegree, 0.75);
+    EXPECT_DOUBLE_EQ(s.zeroDegreeShare, 0.5); // vertices 2 and 3
+}
+
+TEST(GraphStats, UniformDegreesLowGini)
+{
+    // A perfectly regular graph has Gini 0.
+    const NodeId n = 1024;
+    EdgeList el;
+    for (NodeId v = 0; v < n; ++v)
+        for (int k = 1; k <= 4; ++k)
+            el.push_back(Edge{v, static_cast<NodeId>((v + k) % n)});
+    GraphStats s = statsOf(el, n);
+    EXPECT_NEAR(s.degreeGini, 0.0, 1e-6);
+    EXPECT_NEAR(s.top1PercentEdgeShare, 0.01, 0.005);
+}
+
+TEST(GraphStats, StarGraphExtremeSkew)
+{
+    const NodeId n = 1000;
+    EdgeList el;
+    for (NodeId v = 1; v < n; ++v)
+        el.push_back(Edge{0, v});
+    GraphStats s = statsOf(el, n);
+    EXPECT_GT(s.degreeGini, 0.98);
+    EXPECT_DOUBLE_EQ(s.top1PercentEdgeShare, 1.0);
+}
+
+TEST(GraphStats, ClassesSeparateAsInTableIII)
+{
+    const NodeId n = 1 << 14;
+    GraphStats kron =
+        statsOf([&] {
+            EdgeList el = generateRmat(n, 8 * n, 1);
+            shuffleVertexIds(el, n, 2);
+            return el;
+        }(), n);
+    GraphStats urnd = statsOf(generateUniform(n, 8 * n, 1), n);
+    GraphStats road = statsOf(generateRoad(n, 8, 32, 1), n);
+
+    // Skew ordering: KRON >> URND ~ ROAD.
+    EXPECT_GT(kron.degreeGini, urnd.degreeGini + 0.15);
+    EXPECT_GT(kron.top1PercentEdgeShare,
+              3 * urnd.top1PercentEdgeShare);
+    EXPECT_LT(road.degreeGini, 0.2);
+
+    // Index locality: ROAD tiny, others ~uniform (mean ring distance of
+    // two uniform endpoints is ~n/4, i.e. 0.5 normalized).
+    EXPECT_LT(road.meanIndexDistance, 0.01);
+    EXPECT_GT(urnd.meanIndexDistance, 0.3);
+    EXPECT_GT(kron.meanIndexDistance, 0.2);
+}
+
+TEST(GraphStats, EmptyGraphSafe)
+{
+    GraphStats s = computeGraphStats(CsrGraph{});
+    EXPECT_EQ(s.numNodes, 0u);
+    EXPECT_DOUBLE_EQ(s.degreeGini, 0.0);
+}
+
+TEST(GraphStats, PrintDoesNotCrash)
+{
+    GraphStats s = statsOf(generateUniform(100, 400, 1), 100);
+    std::ostringstream oss;
+    s.print(oss, "test");
+    EXPECT_NE(oss.str().find("n=100"), std::string::npos);
+}
+
+} // namespace
+} // namespace cobra

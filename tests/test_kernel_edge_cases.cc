@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Edge-case and robustness tests for the workload kernels: degenerate
+ * graphs (dangling vertices, self-loops, duplicate edges, stars),
+ * degenerate matrices (empty rows/columns), extreme key distributions,
+ * and single-element inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/generators.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/int_sort.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/kernels/pagerank.h"
+#include "src/kernels/pinv.h"
+#include "src/kernels/spmv.h"
+#include "src/kernels/transpose.h"
+#include "src/sparse/reference.h"
+
+namespace cobra {
+namespace {
+
+void
+runAll(Kernel &k, uint32_t bins = 4)
+{
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runBaseline(ctx, rec);
+    EXPECT_TRUE(k.verify()) << k.name() << " baseline";
+    k.runPb(ctx, rec, bins);
+    EXPECT_TRUE(k.verify()) << k.name() << " PB";
+    k.runCobra(ctx, rec, CobraConfig{});
+    EXPECT_TRUE(k.verify()) << k.name() << " COBRA";
+}
+
+TEST(EdgeCases, StarGraphAllEdgesOneSource)
+{
+    // Maximum skew: every update hits the same index.
+    EdgeList el;
+    for (NodeId i = 1; i < 500; ++i)
+        el.push_back(Edge{0, i});
+    DegreeCountKernel dc(500, &el);
+    runAll(dc);
+    EXPECT_EQ(dc.degrees()[0], 499u);
+
+    NeighborPopulateKernel np(500, &el);
+    runAll(np);
+}
+
+TEST(EdgeCases, SelfLoopsAndDuplicates)
+{
+    EdgeList el{{1, 1}, {1, 1}, {2, 3}, {2, 3}, {3, 2}};
+    DegreeCountKernel dc(4, &el);
+    runAll(dc);
+    EXPECT_EQ(dc.degrees()[1], 2u);
+    EXPECT_EQ(dc.degrees()[2], 2u);
+    NeighborPopulateKernel np(4, &el);
+    runAll(np);
+}
+
+TEST(EdgeCases, DanglingVerticesPagerank)
+{
+    // Vertices with zero out-degree must not produce NaNs.
+    EdgeList el{{0, 1}, {0, 2}, {1, 2}};
+    CsrGraph out = CsrGraph::build(5, el); // vertices 3,4 dangling
+    CsrGraph in = CsrGraph::buildTranspose(5, el);
+    PagerankKernel pr(&out, &in);
+    runAll(pr);
+    for (float s : pr.scores())
+        EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(EdgeCases, SingleEdgeGraph)
+{
+    EdgeList el{{0, 1}};
+    DegreeCountKernel dc(2, &el);
+    runAll(dc, 1);
+    NeighborPopulateKernel np(2, &el);
+    runAll(np, 1);
+}
+
+TEST(EdgeCases, AllKeysIdentical)
+{
+    std::vector<uint32_t> keys(1000, 7);
+    IntSortKernel k(&keys, 16);
+    runAll(k);
+    EXPECT_EQ(k.sorted().front(), 7u);
+    EXPECT_EQ(k.sorted().back(), 7u);
+}
+
+TEST(EdgeCases, KeysAlreadySorted)
+{
+    std::vector<uint32_t> keys(1000);
+    for (uint32_t i = 0; i < 1000; ++i)
+        keys[i] = i / 2;
+    IntSortKernel k(&keys, 512);
+    runAll(k, 8);
+}
+
+TEST(EdgeCases, KeysReverseSorted)
+{
+    std::vector<uint32_t> keys(1000);
+    for (uint32_t i = 0; i < 1000; ++i)
+        keys[i] = 999 - i;
+    IntSortKernel k(&keys, 1000);
+    runAll(k, 8);
+}
+
+TEST(EdgeCases, SingleKey)
+{
+    std::vector<uint32_t> keys{3};
+    IntSortKernel k(&keys, 8);
+    runAll(k, 1);
+    EXPECT_EQ(k.sorted(), keys);
+}
+
+TEST(EdgeCases, MatrixWithEmptyRowsAndCols)
+{
+    CooMatrix coo;
+    coo.numRows = 6;
+    coo.numCols = 6;
+    coo.add(0, 5, 1.5);
+    coo.add(5, 0, 2.5);
+    coo.add(3, 3, 3.5);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    CsrMatrix at = transposeRef(a);
+    std::vector<double> x{1, 2, 3, 4, 5, 6};
+
+    SpmvKernel spmv(&a, &at, &x);
+    runAll(spmv, 2);
+
+    TransposeKernel tr(&a);
+    runAll(tr, 2);
+}
+
+TEST(EdgeCases, IdentityPermutationPinv)
+{
+    std::vector<uint32_t> perm(100);
+    for (uint32_t i = 0; i < 100; ++i)
+        perm[i] = i;
+    PinvKernel k(&perm);
+    runAll(k, 4);
+    EXPECT_EQ(k.pinv(), perm);
+}
+
+TEST(EdgeCases, ReversalPermutationPinv)
+{
+    std::vector<uint32_t> perm(100);
+    for (uint32_t i = 0; i < 100; ++i)
+        perm[i] = 99 - i;
+    PinvKernel k(&perm);
+    runAll(k, 4);
+    EXPECT_EQ(k.pinv(), perm); // reversal is its own inverse
+}
+
+TEST(EdgeCases, PbWithMoreBinsThanIndices)
+{
+    EdgeList el{{0, 1}, {1, 0}, {2, 0}, {3, 1}};
+    DegreeCountKernel dc(4, &el);
+    // Requesting far more bins than indices must clamp, not break.
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    dc.runPb(ctx, rec, 1 << 20);
+    EXPECT_TRUE(dc.verify());
+}
+
+TEST(EdgeCases, CobraTinyNamespace)
+{
+    EdgeList el{{0, 1}, {1, 0}, {1, 1}};
+    DegreeCountKernel dc(2, &el);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    dc.runCobra(ctx, rec, CobraConfig{});
+    EXPECT_TRUE(dc.verify());
+}
+
+TEST(EdgeCases, VerifyActuallyCatchesCorruption)
+{
+    // Paranoia check that verify() is not vacuous: a wrong result must
+    // be flagged. Uses DegreeCount's accessor to corrupt state by
+    // running PB on different data than the reference captured.
+    EdgeList el1{{0, 1}, {0, 2}};
+    EdgeList el2{{1, 0}, {2, 0}};
+    DegreeCountKernel dc(3, &el1);
+    // Rebind input: kernel holds pointer, so swap contents underneath.
+    EdgeList saved = el1;
+    el1 = el2;
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    dc.runBaseline(ctx, rec);
+    EXPECT_FALSE(dc.verify());
+    el1 = saved;
+    dc.runBaseline(ctx, rec);
+    EXPECT_TRUE(dc.verify());
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Mathematical properties of the workload kernels, independent of any
+ * execution technique: the invariants a domain user would rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/graph/generators.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/int_sort.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/kernels/pagerank.h"
+#include "src/kernels/pinv.h"
+#include "src/kernels/radii.h"
+#include "src/kernels/spmv.h"
+#include "src/kernels/symperm.h"
+#include "src/kernels/transpose.h"
+#include "src/sparse/generators.h"
+#include "src/sparse/reference.h"
+
+namespace cobra {
+namespace {
+
+struct Env
+{
+    NodeId n = 1 << 11;
+    EdgeList el;
+    CsrGraph out, in;
+
+    Env()
+    {
+        el = generateRmat(n, 6 * n, 99);
+        shuffleVertexIds(el, n, 98);
+        out = CsrGraph::build(n, el);
+        in = CsrGraph::buildTranspose(n, el);
+    }
+};
+
+Env &
+env()
+{
+    static Env e;
+    return e;
+}
+
+TEST(DegreeCountProps, DegreesSumToEdgeCount)
+{
+    DegreeCountKernel k(env().n, &env().el);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runPb(ctx, rec, 64);
+    uint64_t sum = std::accumulate(k.degrees().begin(),
+                                   k.degrees().end(), uint64_t{0});
+    EXPECT_EQ(sum, env().el.size());
+}
+
+TEST(NeighborPopulateProps, ResultIsValidCsr)
+{
+    NeighborPopulateKernel k(env().n, &env().el);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runCobra(ctx, rec, CobraConfig{});
+    CsrGraph g = k.result();
+    // Offsets monotone, edges preserved, all neighbors in range.
+    EXPECT_EQ(g.numEdges(), env().el.size());
+    for (NodeId v = 0; v + 1 < g.numNodes(); ++v)
+        EXPECT_LE(g.offset(v), g.offset(v + 1));
+    for (NodeId nb : g.neighborsArray())
+        EXPECT_LT(nb, env().n);
+}
+
+TEST(PagerankProps, ScoresFormDistribution)
+{
+    PagerankKernel k(&env().out, &env().in);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runPb(ctx, rec, 64);
+    double sum = 0;
+    for (float s : k.scores()) {
+        EXPECT_GE(s, 0.0f);
+        sum += s;
+    }
+    // One iteration from uniform: mass leaks only via dangling
+    // vertices, so the sum is in (0, 1].
+    EXPECT_GT(sum, 0.0);
+    EXPECT_LE(sum, 1.0 + 1e-3);
+}
+
+TEST(PagerankProps, BaseScoreIsLowerBound)
+{
+    PagerankKernel k(&env().out, &env().in);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runBaseline(ctx, rec);
+    const float base =
+        (1.0f - PagerankKernel::kDamping) / static_cast<float>(env().n);
+    for (float s : k.scores())
+        EXPECT_GE(s, base * 0.999f);
+}
+
+TEST(PagerankProps, SinkVertexKeepsBaseScore)
+{
+    // A vertex with no in-edges gets exactly the teleport mass.
+    EdgeList el{{0, 1}, {1, 2}, {2, 0}}; // vertex 3 isolated
+    CsrGraph out = CsrGraph::build(4, el);
+    CsrGraph in = CsrGraph::buildTranspose(4, el);
+    PagerankKernel k(&out, &in);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runPb(ctx, rec, 2);
+    EXPECT_NEAR(k.scores()[3], (1.0 - PagerankKernel::kDamping) / 4,
+                1e-6);
+}
+
+TEST(RadiiProps, SourcesHaveRadiusZeroAndReachablePositive)
+{
+    RadiiKernel k(&env().out, 4, 2, 7);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runBaseline(ctx, rec);
+    int32_t max_r = 0;
+    uint64_t reached = 0;
+    for (int32_t r : k.radii()) {
+        EXPECT_GE(r, -1);
+        max_r = std::max(max_r, r);
+        reached += r >= 0 ? 1 : 0;
+    }
+    EXPECT_LE(max_r, 3);   // capped at max_rounds - 1
+    EXPECT_GT(reached, 64u); // the BFS went somewhere
+}
+
+TEST(RadiiProps, MatchesSingleSourceBfsLowerBound)
+{
+    // Estimated radius of vertex v is a lower bound on its true
+    // in-eccentricity capped at the round limit; spot-check that every
+    // radius is consistent with *some* source's BFS distance.
+    RadiiKernel k(&env().out, 4, 2, 7);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runPb(ctx, rec, 64);
+    // Radii records the *last* round a vertex's visited word grew (the
+    // max-over-sources distance estimate, Ligra semantics). A vertex
+    // whose word grew in round r received the new bits from some
+    // in-neighbor that was in the round-(r-1) frontier — and that
+    // neighbor's recorded radius is >= r-1 (its last change is at least
+    // that round). Check via the transpose graph.
+    for (NodeId v = 0; v < env().n; ++v) {
+        int32_t r = k.radii()[v];
+        if (r <= 0)
+            continue;
+        bool has_parent = false;
+        for (NodeId u : env().in.neighbors(v)) {
+            if (k.radii()[u] >= r - 1) {
+                has_parent = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(has_parent) << "vertex " << v << " radius " << r;
+    }
+}
+
+TEST(IntSortProps, SortIsPermutationOfInput)
+{
+    auto keys = generateKeys(20000, 1 << 12, 3);
+    IntSortKernel k(&keys, 1 << 12);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runCobra(ctx, rec, CobraConfig{});
+    auto sorted = k.sorted();
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    auto expect = keys;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(sorted, expect);
+}
+
+TEST(SpmvProps, Linearity)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateScatteredMatrix(256, 4, 4));
+    CsrMatrix at = transposeRef(a);
+    auto x = generateVector(256, 5);
+    std::vector<double> x2(x.size());
+    for (size_t i = 0; i < x.size(); ++i)
+        x2[i] = 3.0 * x[i];
+
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    SpmvKernel k1(&a, &at, &x);
+    k1.runPb(ctx, rec, 8);
+    auto y1 = k1.result();
+    SpmvKernel k2(&a, &at, &x2);
+    k2.runPb(ctx, rec, 8);
+    auto y2 = k2.result();
+    for (size_t i = 0; i < y1.size(); ++i)
+        EXPECT_NEAR(y2[i], 3.0 * y1[i], 1e-9 + 1e-9 * std::abs(y1[i]));
+}
+
+TEST(SpmvProps, IdentityMatrix)
+{
+    CooMatrix coo;
+    coo.numRows = 64;
+    coo.numCols = 64;
+    for (uint32_t i = 0; i < 64; ++i)
+        coo.add(i, i, 1.0);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    CsrMatrix at = transposeRef(a);
+    auto x = generateVector(64, 6);
+    SpmvKernel k(&a, &at, &x);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runCobra(ctx, rec, CobraConfig{});
+    for (size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(k.result()[i], x[i], 1e-12);
+}
+
+TEST(TransposeProps, PreservesRowAndColumnSums)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateScatteredMatrix(200, 4, 8));
+    TransposeKernel k(&a);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runPb(ctx, rec, 16);
+    CsrMatrix t = k.result();
+    // Row sums of A^T equal column sums of A.
+    std::vector<double> col_sums(a.numCols(), 0.0);
+    for (uint32_t r = 0; r < a.numRows(); ++r)
+        for (size_t i = 0; i < a.rowCols(r).size(); ++i)
+            col_sums[a.rowCols(r)[i]] += a.rowVals(r)[i];
+    for (uint32_t r = 0; r < t.numRows(); ++r) {
+        double s = 0;
+        for (double v : t.rowVals(r))
+            s += v;
+        EXPECT_NEAR(s, col_sums[r], 1e-9);
+    }
+}
+
+TEST(PinvProps, ComposesToIdentity)
+{
+    auto perm = generatePermutation(5000, 12);
+    PinvKernel k(&perm);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runCobra(ctx, rec, CobraConfig{});
+    for (uint32_t i = 0; i < perm.size(); ++i)
+        EXPECT_EQ(k.pinv()[perm[i]], i);
+}
+
+TEST(SympermProps, ResultStaysUpperTriangular)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateSymmetricMatrix(300, 4, 13));
+    auto perm = generatePermutation(300, 14);
+    SympermKernel k(&a, &perm);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runPb(ctx, rec, 8);
+    CsrMatrix c = k.result();
+    for (uint32_t r = 0; r < c.numRows(); ++r)
+        for (uint32_t cc : c.rowCols(r))
+            EXPECT_GE(cc, r);
+}
+
+TEST(SympermProps, IdentityPermIsUpperExtraction)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateSymmetricMatrix(150, 4, 15));
+    std::vector<uint32_t> id(150);
+    std::iota(id.begin(), id.end(), 0);
+    SympermKernel k(&a, &id);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runCobra(ctx, rec, CobraConfig{});
+    EXPECT_TRUE(k.result().canonical() == sympermRef(a, id).canonical());
+}
+
+TEST(KernelMeta, DeclaredPropertiesConsistent)
+{
+    DegreeCountKernel dc(env().n, &env().el);
+    NeighborPopulateKernel np(env().n, &env().el);
+    PagerankKernel pr(&env().out, &env().in);
+    EXPECT_TRUE(dc.commutative());
+    EXPECT_FALSE(np.commutative());
+    EXPECT_TRUE(pr.commutative());
+    EXPECT_EQ(dc.tupleBytes(), 4u);
+    EXPECT_EQ(np.tupleBytes(), 8u);
+    EXPECT_EQ(pr.tupleBytes(), 8u);
+    EXPECT_EQ(dc.numUpdates(), env().el.size());
+    EXPECT_EQ(np.numIndices(), env().n);
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Kernel correctness tests: the central invariant of the reproduction is
+ * that Baseline, PB (any bin count), COBRA, COBRA-COMM, and PHI all
+ * produce the same result for every kernel (exact for integer kernels,
+ * toleranced for float accumulation). Runs use small inputs natively and
+ * one simulated smoke per kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/sim/machine_config.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/int_sort.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/kernels/pagerank.h"
+#include "src/kernels/pinv.h"
+#include "src/kernels/radii.h"
+#include "src/kernels/spmv.h"
+#include "src/kernels/symperm.h"
+#include "src/kernels/transpose.h"
+#include "src/sparse/generators.h"
+#include "src/sparse/reference.h"
+
+namespace cobra {
+namespace {
+
+struct Fixture
+{
+    NodeId n = 1 << 12;
+    EdgeList el;
+    CsrGraph out, in;
+    CsrMatrix a, at;
+    CsrMatrix sym, symT;
+    std::vector<uint32_t> perm;
+    std::vector<uint32_t> permHalf; ///< matches the n/2 matrices
+    std::vector<double> x;
+    std::vector<uint32_t> keys;
+
+    Fixture()
+    {
+        el = generateRmat(n, 4 * n, 17);
+        shuffleVertexIds(el, n, 18);
+        out = CsrGraph::build(n, el);
+        in = CsrGraph::buildTranspose(n, el);
+        a = CsrMatrix::fromCoo(generateScatteredMatrix(n / 2, 4, 19));
+        at = transposeRef(a);
+        sym = CsrMatrix::fromCoo(generateSymmetricMatrix(n / 2, 4, 20));
+        symT = transposeRef(sym);
+        perm = generatePermutation(n, 21);
+        permHalf = generatePermutation(n / 2, 24);
+        x = generateVector(n / 2, 22);
+        keys = generateKeys(4 * n, n, 23);
+    }
+};
+
+Fixture &
+fix()
+{
+    static Fixture f;
+    return f;
+}
+
+/** Run one technique natively and require verification. */
+void
+expectCorrect(Kernel &k, Technique tech, uint32_t bins = 64)
+{
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    CobraConfig cfg;
+    switch (tech) {
+      case Technique::Baseline: k.runBaseline(ctx, rec); break;
+      case Technique::PbSw: k.runPb(ctx, rec, bins); break;
+      case Technique::Cobra: k.runCobra(ctx, rec, cfg); break;
+      case Technique::CobraComm:
+        cfg.coalesceAtLlc = true;
+        k.runCobra(ctx, rec, cfg);
+        break;
+      case Technique::Phi: k.runPhi(ctx, rec, bins); break;
+    }
+    EXPECT_TRUE(k.verify()) << k.name() << " under " << to_string(tech);
+}
+
+// ---- per-kernel correctness across techniques ----
+
+TEST(DegreeCount, AllTechniquesCorrect)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 8);
+    expectCorrect(k, Technique::PbSw, 512);
+    expectCorrect(k, Technique::Cobra);
+    expectCorrect(k, Technique::CobraComm);
+    expectCorrect(k, Technique::Phi);
+}
+
+TEST(NeighborPopulate, AllTechniquesCorrect)
+{
+    NeighborPopulateKernel k(fix().n, &fix().el);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 8);
+    expectCorrect(k, Technique::PbSw, 1024);
+    expectCorrect(k, Technique::Cobra);
+}
+
+TEST(NeighborPopulate, RejectsCoalescing)
+{
+    NeighborPopulateKernel k(fix().n, &fix().el);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    CobraConfig cfg;
+    cfg.coalesceAtLlc = true;
+    EXPECT_EXIT(k.runCobra(ctx, rec, cfg), ::testing::ExitedWithCode(1),
+                "commute");
+}
+
+TEST(NeighborPopulate, PhiRejected)
+{
+    NeighborPopulateKernel k(fix().n, &fix().el);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    EXPECT_EXIT(k.runPhi(ctx, rec, 64), ::testing::ExitedWithCode(1),
+                "commutative");
+}
+
+TEST(Pagerank, AllTechniquesCorrect)
+{
+    PagerankKernel k(&fix().out, &fix().in);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 16);
+    expectCorrect(k, Technique::Cobra);
+    expectCorrect(k, Technique::CobraComm);
+    expectCorrect(k, Technique::Phi);
+}
+
+TEST(Radii, AllTechniquesCorrect)
+{
+    RadiiKernel k(&fix().out);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 32);
+    expectCorrect(k, Technique::Cobra);
+    expectCorrect(k, Technique::CobraComm);
+    expectCorrect(k, Technique::Phi);
+}
+
+TEST(IntSort, AllTechniquesCorrect)
+{
+    IntSortKernel k(&fix().keys, fix().n);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 8);
+    expectCorrect(k, Technique::PbSw, 256);
+    expectCorrect(k, Technique::Cobra);
+}
+
+TEST(IntSort, OutputActuallySorted)
+{
+    IntSortKernel k(&fix().keys, fix().n);
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    k.runPb(ctx, rec, 64);
+    EXPECT_TRUE(std::is_sorted(k.sorted().begin(), k.sorted().end()));
+    EXPECT_EQ(k.sorted().size(), fix().keys.size());
+}
+
+TEST(Spmv, AllTechniquesCorrect)
+{
+    SpmvKernel k(&fix().a, &fix().at, &fix().x);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 16);
+    expectCorrect(k, Technique::Cobra);
+    expectCorrect(k, Technique::CobraComm);
+    expectCorrect(k, Technique::Phi);
+}
+
+TEST(Pinv, AllTechniquesCorrect)
+{
+    PinvKernel k(&fix().perm);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 8);
+    expectCorrect(k, Technique::Cobra);
+}
+
+TEST(Transpose, AllTechniquesCorrect)
+{
+    TransposeKernel k(&fix().a);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 32);
+    expectCorrect(k, Technique::Cobra);
+}
+
+TEST(Symperm, AllTechniquesCorrect)
+{
+    SympermKernel k(&fix().sym, &fix().permHalf);
+    expectCorrect(k, Technique::Baseline);
+    expectCorrect(k, Technique::PbSw, 32);
+    expectCorrect(k, Technique::Cobra);
+}
+
+// ---- property sweep: PB correct at every bin count ----
+
+class PbBinSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(PbBinSweep, NeighborPopulateCorrectAtAnyBinCount)
+{
+    NeighborPopulateKernel k(fix().n, &fix().el);
+    expectCorrect(k, Technique::PbSw, GetParam());
+}
+
+TEST_P(PbBinSweep, DegreeCountCorrectAtAnyBinCount)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCorrect(k, Technique::PbSw, GetParam());
+}
+
+TEST_P(PbBinSweep, SpmvCorrectAtAnyBinCount)
+{
+    SpmvKernel k(&fix().a, &fix().at, &fix().x);
+    expectCorrect(k, Technique::PbSw, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(BinCounts, PbBinSweep,
+                         ::testing::Values(1u, 2u, 5u, 64u, 777u, 4096u));
+
+// ---- simulated smoke: instrumentation produces sane numbers ----
+
+TEST(SimulatedSmoke, NeighborPopulateBaselineVsPb)
+{
+    NeighborPopulateKernel k(fix().n, &fix().el);
+    MachineConfig mc;
+    // Baseline.
+    MemoryHierarchy h1(mc.hierarchy);
+    CoreModel c1(mc.core);
+    BranchPredictor b1(mc.branch);
+    ExecCtx ctx1(&h1, &c1, &b1);
+    PhaseRecorder r1;
+    k.runBaseline(ctx1, r1);
+    EXPECT_TRUE(k.verify());
+    double base_cycles = r1.total().cycles;
+    EXPECT_GT(base_cycles, 0.0);
+    EXPECT_GT(r1.total().instructions, fix().el.size());
+
+    // PB executes more instructions than baseline (paper Section III-C).
+    MemoryHierarchy h2(mc.hierarchy);
+    CoreModel c2(mc.core);
+    BranchPredictor b2(mc.branch);
+    ExecCtx ctx2(&h2, &c2, &b2);
+    PhaseRecorder r2;
+    k.runPb(ctx2, r2, 64);
+    EXPECT_TRUE(k.verify());
+    EXPECT_GT(r2.total().instructions, r1.total().instructions);
+}
+
+TEST(SimulatedSmoke, CobraExecutesFewerInstructionsThanPb)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    MachineConfig mc;
+    MemoryHierarchy h1(mc.hierarchy);
+    CoreModel c1(mc.core);
+    BranchPredictor b1(mc.branch);
+    ExecCtx ctx1(&h1, &c1, &b1);
+    PhaseRecorder r1;
+    k.runPb(ctx1, r1, 256);
+
+    MemoryHierarchy h2(mc.hierarchy);
+    CoreModel c2(mc.core);
+    BranchPredictor b2(mc.branch);
+    ExecCtx ctx2(&h2, &c2, &b2);
+    PhaseRecorder r2;
+    k.runCobra(ctx2, r2, CobraConfig{});
+
+    EXPECT_LT(r2.phase(phase::kBinning).instructions,
+              r1.phase(phase::kBinning).instructions);
+    // Binning branch misses near zero for COBRA (Fig 12 bottom).
+    EXPECT_LT(r2.phase(phase::kBinning).mispredicts,
+              r1.phase(phase::kBinning).mispredicts + 1);
+}
+
+} // namespace
+} // namespace cobra

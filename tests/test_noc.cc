@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests for the mesh NoC model and its integration into the multicore
+ * Accumulate path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/harness/parallel.h"
+#include "src/sim/noc.h"
+
+namespace cobra {
+namespace {
+
+TEST(MeshNoc, SquareGridFor16Cores)
+{
+    MeshNoc noc(16);
+    EXPECT_EQ(noc.gridWidth() * noc.gridHeight(), 16u);
+    EXPECT_EQ(noc.gridWidth(), 4u); // Table II: 4x4 mesh
+    EXPECT_EQ(noc.gridHeight(), 4u);
+}
+
+TEST(MeshNoc, HopsAreManhattan)
+{
+    MeshNoc noc(16); // 4x4, core id = y*4 + x
+    EXPECT_EQ(noc.hops(0, 0), 0u);
+    EXPECT_EQ(noc.hops(0, 1), 1u);
+    EXPECT_EQ(noc.hops(0, 4), 1u);
+    EXPECT_EQ(noc.hops(0, 5), 2u);
+    EXPECT_EQ(noc.hops(0, 15), 6u); // corner to corner
+    EXPECT_EQ(noc.hops(3, 12), 6u);
+    EXPECT_EQ(noc.hops(5, 10), 2u);
+}
+
+TEST(MeshNoc, HopsSymmetric)
+{
+    MeshNoc noc(16);
+    for (uint32_t a = 0; a < 16; ++a)
+        for (uint32_t b = 0; b < 16; ++b)
+            EXPECT_EQ(noc.hops(a, b), noc.hops(b, a));
+}
+
+TEST(MeshNoc, NonSquareCounts)
+{
+    MeshNoc noc8(8);
+    EXPECT_EQ(noc8.gridWidth() * noc8.gridHeight(), 8u);
+    MeshNoc noc1(1);
+    EXPECT_EQ(noc1.hops(0, 0), 0u);
+    EXPECT_DOUBLE_EQ(noc1.meanHops(0), 0.0);
+}
+
+TEST(MeshNoc, TransferCyclesScaleWithLinesAndHops)
+{
+    MeshNoc noc(16);
+    EXPECT_DOUBLE_EQ(noc.transferCycles(0, 6), 0.0);
+    // One line over one hop: 2 (hop) + 64/8 (serialize) = 10.
+    EXPECT_DOUBLE_EQ(noc.transferCycles(1, 1), 10.0);
+    // Serialization dominates for long transfers.
+    EXPECT_DOUBLE_EQ(noc.transferCycles(100, 1), 2.0 + 800.0);
+    EXPECT_GT(noc.transferCycles(10, 6), noc.transferCycles(10, 1));
+}
+
+TEST(MeshNoc, MeanHopsCenterLessThanCorner)
+{
+    MeshNoc noc(16);
+    EXPECT_LT(noc.meanHops(5), noc.meanHops(0)); // center vs corner
+}
+
+TEST(NocIntegration, ModelingNocCostsCycles)
+{
+    const NodeId n = 1 << 13;
+    EdgeList el = generateUniform(n, 4 * n, 77);
+
+    MulticoreConfig with;
+    with.numCores = 8;
+    with.modelNoc = true;
+    MulticoreConfig without = with;
+    without.modelNoc = false;
+
+    auto r_with = ParallelSim(with).neighborPopulatePb(n, el, 128);
+    auto r_without =
+        ParallelSim(without).neighborPopulatePb(n, el, 128);
+    EXPECT_TRUE(r_with.verified);
+    EXPECT_GT(r_with.accumulateCycles, r_without.accumulateCycles);
+    // NoC affects Accumulate only (Binning differs just by heap-layout
+    // noise in the cache model: allocations land on different sets).
+    EXPECT_NEAR(r_with.binningCycles, r_without.binningCycles,
+                0.02 * r_without.binningCycles);
+}
+
+TEST(NocIntegration, SingleCoreNocFree)
+{
+    const NodeId n = 1 << 12;
+    EdgeList el = generateUniform(n, 4 * n, 78);
+    MulticoreConfig with;
+    with.numCores = 1;
+    with.modelNoc = true;
+    MulticoreConfig without = with;
+    without.modelNoc = false;
+    auto a = ParallelSim(with).neighborPopulatePb(n, el, 64);
+    auto b = ParallelSim(without).neighborPopulatePb(n, el, 64);
+    EXPECT_NEAR(a.accumulateCycles, b.accumulateCycles,
+                0.02 * b.accumulateCycles);
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the multicore simulation: correctness at every core count,
+ * barrier/bandwidth accounting, and the scaling shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/harness/parallel.h"
+
+namespace cobra {
+namespace {
+
+struct ParallelFixture
+{
+    NodeId n = 1 << 14;
+    EdgeList el;
+
+    ParallelFixture()
+    {
+        el = generateUniform(n, 4 * n, 55);
+    }
+};
+
+ParallelFixture &
+fix()
+{
+    static ParallelFixture f;
+    return f;
+}
+
+class CoreCountTest : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(CoreCountTest, NeighborPopulateAllTechniquesVerify)
+{
+    MulticoreConfig mc;
+    mc.numCores = GetParam();
+    ParallelSim sim(mc);
+    EXPECT_TRUE(sim.neighborPopulateBaseline(fix().n, fix().el).verified);
+    EXPECT_TRUE(
+        sim.neighborPopulatePb(fix().n, fix().el, 256).verified);
+    EXPECT_TRUE(
+        sim.neighborPopulateCobra(fix().n, fix().el).verified);
+}
+
+TEST_P(CoreCountTest, DegreeCountVerifies)
+{
+    MulticoreConfig mc;
+    mc.numCores = GetParam();
+    ParallelSim sim(mc);
+    EXPECT_TRUE(sim.degreeCountBaseline(fix().n, fix().el).verified);
+    EXPECT_TRUE(sim.degreeCountPb(fix().n, fix().el, 256).verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreCountTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(Parallel, MoreCoresNotSlower)
+{
+    MulticoreConfig mc1, mc8;
+    mc1.numCores = 1;
+    mc8.numCores = 8;
+    auto r1 = ParallelSim(mc1).neighborPopulatePb(fix().n, fix().el,
+                                                  256);
+    auto r8 = ParallelSim(mc8).neighborPopulatePb(fix().n, fix().el,
+                                                  256);
+    EXPECT_LT(r8.totalCycles(), r1.totalCycles());
+    // But never superlinear beyond the core count.
+    EXPECT_GT(r8.totalCycles() * 10, r1.totalCycles());
+}
+
+TEST(Parallel, BandwidthFloorBinds)
+{
+    // With absurdly low shared bandwidth, adding cores cannot help:
+    // total time approaches traffic / bandwidth.
+    MulticoreConfig tight;
+    tight.numCores = 8;
+    tight.dramBytesPerCycle = 0.05;
+    MulticoreConfig loose = tight;
+    loose.dramBytesPerCycle = 1e9;
+    auto r_tight =
+        ParallelSim(tight).neighborPopulateBaseline(fix().n, fix().el);
+    auto r_loose =
+        ParallelSim(loose).neighborPopulateBaseline(fix().n, fix().el);
+    EXPECT_GT(r_tight.totalCycles(), 2 * r_loose.totalCycles());
+    // The floor is exactly lines * 64 / bw when binding.
+    double floor = static_cast<double>(r_tight.dramLines) * 64 / 0.05;
+    EXPECT_GE(r_tight.totalCycles(), floor * 0.99);
+}
+
+TEST(Parallel, PhaseCyclesAllPositiveForPb)
+{
+    MulticoreConfig mc;
+    mc.numCores = 4;
+    auto r = ParallelSim(mc).neighborPopulatePb(fix().n, fix().el, 256);
+    EXPECT_GT(r.initCycles, 0.0);
+    EXPECT_GT(r.binningCycles, 0.0);
+    EXPECT_GT(r.accumulateCycles, 0.0);
+    EXPECT_EQ(r.cores, 4u);
+}
+
+TEST(Parallel, PbScalesBetterThanBaselineUnderTightBandwidth)
+{
+    // The scaling story: with shared bandwidth as the bottleneck, PB's
+    // lower DRAM traffic means more headroom at high core counts.
+    MulticoreConfig mc;
+    mc.numCores = 16;
+    mc.dramBytesPerCycle = 4.0; // tight
+    ParallelSim sim(mc);
+    auto base = sim.neighborPopulateBaseline(fix().n, fix().el);
+    auto pb = sim.neighborPopulatePb(fix().n, fix().el, 256);
+    EXPECT_LT(pb.dramLines, base.dramLines);
+    EXPECT_LT(pb.totalCycles(), base.totalCycles());
+}
+
+} // namespace
+} // namespace cobra

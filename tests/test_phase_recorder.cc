@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the PhaseRecorder and the RunResult plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/machine_config.h"
+#include "src/sim/phase_recorder.h"
+
+namespace cobra {
+namespace {
+
+TEST(PhaseRecorder, NativePhasesRecordWallClockOnly)
+{
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    rec.begin(ctx, "a");
+    rec.end(ctx);
+    ASSERT_EQ(rec.all().size(), 1u);
+    EXPECT_EQ(rec.all()[0].name, "a");
+    EXPECT_DOUBLE_EQ(rec.all()[0].cycles, 0.0);
+    EXPECT_GE(rec.all()[0].seconds, 0.0);
+}
+
+TEST(PhaseRecorder, DeltasIsolatePhases)
+{
+    MachineConfig mc;
+    MemoryHierarchy hier(mc.hierarchy);
+    CoreModel core(mc.core);
+    BranchPredictor bp(mc.branch);
+    ExecCtx ctx(&hier, &core, &bp);
+    PhaseRecorder rec;
+
+    rec.begin(ctx, "p1");
+    ctx.instr(400);
+    rec.end(ctx);
+    rec.begin(ctx, "p2");
+    ctx.instr(800);
+    rec.end(ctx);
+
+    EXPECT_EQ(rec.phase("p1").instructions, 400u);
+    EXPECT_EQ(rec.phase("p2").instructions, 800u);
+    EXPECT_EQ(rec.total().instructions, 1200u);
+    EXPECT_DOUBLE_EQ(rec.phase("p2").cycles, 200.0); // 800 / 4-wide
+}
+
+TEST(PhaseRecorder, RepeatedPhaseNamesSum)
+{
+    MachineConfig mc;
+    MemoryHierarchy hier(mc.hierarchy);
+    CoreModel core(mc.core);
+    BranchPredictor bp(mc.branch);
+    ExecCtx ctx(&hier, &core, &bp);
+    PhaseRecorder rec;
+    for (int i = 0; i < 3; ++i) {
+        rec.begin(ctx, "loop");
+        ctx.instr(100);
+        rec.end(ctx);
+    }
+    EXPECT_EQ(rec.phase("loop").instructions, 300u);
+    EXPECT_EQ(rec.all().size(), 3u);
+}
+
+TEST(PhaseRecorder, MissingPhaseIsZero)
+{
+    PhaseRecorder rec;
+    EXPECT_EQ(rec.phase("nope").instructions, 0u);
+    EXPECT_DOUBLE_EQ(rec.phase("nope").cycles, 0.0);
+}
+
+TEST(PhaseRecorder, UnbalancedBeginPanics)
+{
+    MachineConfig mc;
+    MemoryHierarchy hier(mc.hierarchy);
+    CoreModel core(mc.core);
+    BranchPredictor bp(mc.branch);
+    ExecCtx ctx(&hier, &core, &bp);
+    PhaseRecorder rec;
+    rec.begin(ctx, "open");
+    EXPECT_DEATH(rec.begin(ctx, "again"), "still open");
+}
+
+TEST(PhaseRecorder, EndWithoutBeginPanics)
+{
+    ExecCtx ctx;
+    PhaseRecorder rec;
+    EXPECT_DEATH(rec.end(ctx), "without begin");
+}
+
+TEST(PhaseRecorder, MemoryCountersDelta)
+{
+    MachineConfig mc;
+    MemoryHierarchy hier(mc.hierarchy);
+    CoreModel core(mc.core);
+    BranchPredictor bp(mc.branch);
+    ExecCtx ctx(&hier, &core, &bp);
+    PhaseRecorder rec;
+
+    static char buf[4096];
+    rec.begin(ctx, "warm");
+    ctx.load(buf, 8);
+    rec.end(ctx);
+    rec.begin(ctx, "hit");
+    ctx.load(buf, 8); // now a hit
+    rec.end(ctx);
+    EXPECT_EQ(rec.phase("warm").l1Misses, 1u);
+    EXPECT_EQ(rec.phase("hit").l1Misses, 0u);
+    EXPECT_EQ(rec.phase("warm").dramLines, 1u);
+}
+
+TEST(PhaseStats, RatesAreSafeOnZero)
+{
+    PhaseStats s;
+    EXPECT_DOUBLE_EQ(s.branchMissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(s.llcMissRate(), 0.0);
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Tests for the core-model layer: branch predictor, cost model, DES
+ * kernel, eviction-buffer DES, prefetcher unit behaviour, exec context.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/mem/prefetcher.h"
+#include "src/sim/branch_predictor.h"
+#include "src/sim/core_model.h"
+#include "src/sim/des.h"
+#include "src/sim/eviction_des.h"
+#include "src/sim/exec_ctx.h"
+
+namespace cobra {
+namespace {
+
+TEST(BranchPredictor, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 20000; ++i)
+        bp.predict(0x400, true);
+    EXPECT_LT(bp.missRate(), 0.01);
+}
+
+TEST(BranchPredictor, LearnsAlternatingViaHistory)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 4000; ++i)
+        bp.predict(0x400, i % 2 == 0);
+    // Gshare captures the period-2 pattern through global history.
+    EXPECT_LT(bp.missRate(), 0.05);
+}
+
+TEST(BranchPredictor, RandomBranchesMispredictOften)
+{
+    BranchPredictor bp;
+    uint64_t s = 99;
+    for (int i = 0; i < 20000; ++i) {
+        s = s * 6364136223846793005ULL + 1;
+        bp.predict(0x400, (s >> 40) & 1);
+    }
+    EXPECT_GT(bp.missRate(), 0.3);
+}
+
+TEST(BranchPredictor, ResetClears)
+{
+    BranchPredictor bp;
+    bp.predict(1, true);
+    bp.reset();
+    EXPECT_EQ(bp.branches(), 0u);
+    EXPECT_EQ(bp.mispredicts(), 0u);
+}
+
+TEST(CoreModel, BaseCyclesIssueLimited)
+{
+    CoreModel cm;
+    cm.retire(4000);
+    EXPECT_DOUBLE_EQ(cm.cycles().base, 1000.0);
+    EXPECT_DOUBLE_EQ(cm.cycles().total(), 1000.0);
+}
+
+TEST(CoreModel, BranchPenaltyCharged)
+{
+    CoreModelConfig cfg;
+    CoreModel cm(cfg);
+    cm.branch(true);
+    cm.branch(false);
+    EXPECT_DOUBLE_EQ(cm.cycles().branch, cfg.branchPenalty);
+}
+
+TEST(CoreModel, MemoryLatencyDiscountedByMlp)
+{
+    CoreModelConfig cfg;
+    CoreModel cm(cfg);
+    cm.memAccess(HitLevel::DRAM, false);
+    EXPECT_DOUBLE_EQ(cm.cycles().dram, cfg.latDRAM / cfg.mlpDRAM);
+    cm.memAccess(HitLevel::DRAM, true); // store further discounted
+    EXPECT_DOUBLE_EQ(cm.cycles().dram,
+                     cfg.latDRAM / cfg.mlpDRAM *
+                         (1.0 + cfg.storeFactor));
+}
+
+TEST(CoreModel, L1HitsFree)
+{
+    CoreModel cm;
+    for (int i = 0; i < 100; ++i)
+        cm.memAccess(HitLevel::L1, false);
+    EXPECT_DOUBLE_EQ(cm.cycles().total(), 0.0);
+}
+
+TEST(CoreModel, StallsAdd)
+{
+    CoreModel cm;
+    cm.stall(123.5);
+    EXPECT_DOUBLE_EQ(cm.cycles().stall, 123.5);
+}
+
+TEST(DesKernel, OrdersByTimeThenFifo)
+{
+    DesKernel des;
+    std::vector<int> order;
+    des.schedule(10, [&] { order.push_back(2); });
+    des.schedule(5, [&] { order.push_back(1); });
+    des.schedule(10, [&] { order.push_back(3); });
+    des.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(des.now(), 10u);
+}
+
+TEST(DesKernel, ScheduleAfterFromCallback)
+{
+    DesKernel des;
+    int fired = 0;
+    des.schedule(1, [&] {
+        des.scheduleAfter(4, [&] { fired = static_cast<int>(des.now()); });
+    });
+    des.run();
+    EXPECT_EQ(fired, 5);
+}
+
+std::vector<uint32_t>
+roundRobinTrace(uint32_t num_indices, size_t n)
+{
+    std::vector<uint32_t> t(n);
+    for (size_t i = 0; i < n; ++i)
+        t[i] = static_cast<uint32_t>((i * 7919) % num_indices);
+    return t;
+}
+
+std::vector<uint32_t>
+burstyTrace(uint32_t num_indices, size_t n)
+{
+    // Perfect round-robin over B distinct L1 C-Buffers: all B buffers
+    // fill on the *same* round, releasing B back-to-back evictions — the
+    // synchronized burst that defeats Little's Law (paper Section V-D).
+    const uint32_t stride = num_indices / 64; // 64 distinct buffers
+    std::vector<uint32_t> t(n);
+    for (size_t i = 0; i < n; ++i)
+        t[i] = static_cast<uint32_t>((i % 64) * stride);
+    return t;
+}
+
+TEST(EvictionDes, LargeFifoNoStalls)
+{
+    EvictionDesConfig cfg;
+    cfg.numIndices = 1 << 16;
+    cfg.fifo1Capacity = 4096;
+    cfg.fifo2Capacity = 4096;
+    auto res = runEvictionDes(cfg, roundRobinTrace(1 << 16, 200000));
+    EXPECT_EQ(res.coreStallCycles, 0u);
+}
+
+TEST(EvictionDes, StallFractionMonotoneInCapacity)
+{
+    EvictionDesConfig cfg;
+    cfg.numIndices = 1 << 16;
+    auto trace = burstyTrace(1 << 16, 200000);
+    double prev = 1.1;
+    for (uint32_t cap : {1u, 2u, 8u, 32u, 128u}) {
+        cfg.fifo1Capacity = cap;
+        auto res = runEvictionDes(cfg, trace);
+        EXPECT_LE(res.stallFraction(), prev + 1e-12);
+        prev = res.stallFraction();
+    }
+}
+
+TEST(EvictionDes, ConservesTuples)
+{
+    EvictionDesConfig cfg;
+    cfg.numIndices = 1 << 14;
+    cfg.tuplesPerLine = 8;
+    auto trace = roundRobinTrace(1 << 14, 100000);
+    auto res = runEvictionDes(cfg, trace);
+    // Every L1 eviction moves exactly 8 tuples; bounded by trace size.
+    EXPECT_LE(res.l1Evictions * 8, trace.size());
+    EXPECT_GT(res.l1Evictions, 0u);
+    EXPECT_GE(res.l1Evictions, res.l2Evictions);
+    EXPECT_GE(res.l2Evictions, res.llcEvictions);
+    EXPECT_GE(res.totalCycles, trace.size());
+}
+
+TEST(EvictionDes, TinyFifoOneBurstyBufferStalls)
+{
+    EvictionDesConfig cfg;
+    cfg.numIndices = 1 << 16;
+    cfg.fifo1Capacity = 1;
+    auto res = runEvictionDes(cfg, burstyTrace(1 << 16, 200000));
+    EXPECT_GT(res.stallFraction(), 0.0);
+}
+
+TEST(Prefetcher, DetectsAscendingStream)
+{
+    StreamPrefetcher pf;
+    size_t prefetched = 0;
+    for (Addr a = 0; a < 64 * 64; a += 64)
+        prefetched += pf.observe(a).size();
+    EXPECT_GT(prefetched, 30u);
+}
+
+TEST(Prefetcher, IgnoresRandomAccesses)
+{
+    StreamPrefetcher pf;
+    uint64_t s = 5;
+    size_t prefetched = 0;
+    for (int i = 0; i < 1000; ++i) {
+        s = s * 6364136223846793005ULL + 1;
+        prefetched += pf.observe((s >> 20) & ~Addr{63}).size();
+    }
+    EXPECT_LT(prefetched, 50u);
+}
+
+TEST(Prefetcher, TracksMultipleStreams)
+{
+    StreamPrefetcher pf;
+    size_t prefetched = 0;
+    for (int i = 0; i < 64; ++i) {
+        prefetched += pf.observe(0x10000 + i * 64).size();
+        prefetched += pf.observe(0x90000 + i * 64).size();
+    }
+    EXPECT_GT(prefetched, 60u);
+}
+
+TEST(ExecCtx, NativeIsNoop)
+{
+    ExecCtx ctx;
+    EXPECT_FALSE(ctx.simulated());
+    ctx.load(nullptr, 8); // must not crash
+    ctx.instr(100);
+    ctx.branch(1, true);
+    EXPECT_DOUBLE_EQ(ctx.cycles(), 0.0);
+}
+
+TEST(ExecCtx, AccessSpanningTwoLines)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    alignas(64) static char buf[192];
+    ctx.load(buf + 60, 8); // straddles a line boundary
+    EXPECT_EQ(hier.l1().stats().accesses(), 2u);
+    EXPECT_EQ(core.instructions(), 1u);
+}
+
+TEST(ExecCtx, BranchFeedsPredictorAndCore)
+{
+    MemoryHierarchy hier;
+    CoreModel core;
+    BranchPredictor bp;
+    ExecCtx ctx(&hier, &core, &bp);
+    for (int i = 0; i < 100; ++i)
+        ctx.branch(0x10, true);
+    EXPECT_EQ(bp.branches(), 100u);
+    EXPECT_EQ(core.instructions(), 100u);
+}
+
+} // namespace
+} // namespace cobra

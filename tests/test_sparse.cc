@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the sparse substrate: COO->CSR, canonicalization, reference
+ * SpMV/transpose/pinv/symperm, and the matrix generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/sparse/generators.h"
+#include "src/sparse/reference.h"
+
+namespace cobra {
+namespace {
+
+CooMatrix
+tinyCoo()
+{
+    CooMatrix m;
+    m.numRows = 3;
+    m.numCols = 3;
+    m.add(0, 1, 2.0);
+    m.add(0, 0, 1.0);
+    m.add(2, 2, 5.0);
+    m.add(1, 0, 3.0);
+    return m;
+}
+
+TEST(CsrMatrix, FromCooShape)
+{
+    CsrMatrix a = CsrMatrix::fromCoo(tinyCoo());
+    EXPECT_EQ(a.numRows(), 3u);
+    EXPECT_EQ(a.nnz(), 4u);
+    EXPECT_EQ(a.rowCols(0).size(), 2u);
+    EXPECT_EQ(a.rowCols(1).size(), 1u);
+    EXPECT_EQ(a.rowCols(2).size(), 1u);
+}
+
+TEST(CsrMatrix, CanonicalSortsColumnsWithValues)
+{
+    CsrMatrix a = CsrMatrix::fromCoo(tinyCoo()).canonical();
+    EXPECT_EQ(a.rowCols(0)[0], 0u);
+    EXPECT_EQ(a.rowCols(0)[1], 1u);
+    EXPECT_DOUBLE_EQ(a.rowVals(0)[0], 1.0);
+    EXPECT_DOUBLE_EQ(a.rowVals(0)[1], 2.0);
+}
+
+TEST(SpmvRef, MatchesDense)
+{
+    CooMatrix coo = generateScatteredMatrix(64, 4, 1);
+    CsrMatrix a = CsrMatrix::fromCoo(coo);
+    auto x = generateVector(64, 2);
+    auto y = spmvRef(a, x);
+
+    // Dense recompute from the COO triplets.
+    std::vector<double> want(64, 0.0);
+    for (uint64_t i = 0; i < coo.nnz(); ++i)
+        want[coo.row[i]] += coo.val[i] * x[coo.col[i]];
+    for (uint32_t r = 0; r < 64; ++r)
+        EXPECT_NEAR(y[r], want[r], 1e-12);
+}
+
+TEST(TransposeRef, DoubleTransposeIsIdentity)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateScatteredMatrix(50, 3, 5)).canonical();
+    CsrMatrix att = transposeRef(transposeRef(a)).canonical();
+    EXPECT_TRUE(a == att);
+}
+
+TEST(TransposeRef, EntriesMoved)
+{
+    CsrMatrix a = CsrMatrix::fromCoo(tinyCoo());
+    CsrMatrix t = transposeRef(a).canonical();
+    // (0,1,2.0) -> (1,0,2.0)
+    EXPECT_EQ(t.rowCols(1).size(), 1u);
+    EXPECT_EQ(t.rowCols(1)[0], 0u);
+    EXPECT_DOUBLE_EQ(t.rowVals(1)[0], 2.0);
+}
+
+TEST(PinvRef, InvertsPermutation)
+{
+    auto p = generatePermutation(100, 3);
+    auto pi = pinvRef(p);
+    for (uint32_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(pi[p[i]], i);
+        EXPECT_EQ(p[pi[i]], i);
+    }
+}
+
+TEST(SympermRef, IdentityPermutationKeepsUpper)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateSymmetricMatrix(40, 4, 7));
+    std::vector<uint32_t> id(40);
+    for (uint32_t i = 0; i < 40; ++i)
+        id[i] = i;
+    CsrMatrix c = sympermRef(a, id).canonical();
+    // Every entry of c must satisfy col >= row; values match A's upper.
+    uint64_t upper_nnz = 0;
+    for (uint32_t r = 0; r < 40; ++r)
+        for (uint32_t cc : a.rowCols(r))
+            upper_nnz += cc >= r ? 1 : 0;
+    EXPECT_EQ(c.nnz(), upper_nnz);
+    for (uint32_t r = 0; r < 40; ++r)
+        for (uint32_t cc : c.rowCols(r))
+            EXPECT_GE(cc, r);
+}
+
+TEST(SympermRef, PermutationPreservesMultisetOfValues)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateSymmetricMatrix(40, 4, 8));
+    auto p = generatePermutation(40, 9);
+    CsrMatrix c = sympermRef(a, p);
+    std::vector<double> va, vc;
+    for (uint32_t r = 0; r < 40; ++r)
+        for (size_t i = 0; i < a.rowCols(r).size(); ++i)
+            if (a.rowCols(r)[i] >= r)
+                va.push_back(a.rowVals(r)[i]);
+    vc = c.valsArray();
+    std::sort(va.begin(), va.end());
+    std::sort(vc.begin(), vc.end());
+    ASSERT_EQ(va.size(), vc.size());
+    for (size_t i = 0; i < va.size(); ++i)
+        EXPECT_DOUBLE_EQ(va[i], vc[i]);
+}
+
+TEST(MatrixGenerators, BandedStaysInBand)
+{
+    CooMatrix m = generateBandedMatrix(100, 5, 0.5, 1);
+    for (uint64_t i = 0; i < m.nnz(); ++i) {
+        int64_t d = std::abs(static_cast<int64_t>(m.row[i]) -
+                             static_cast<int64_t>(m.col[i]));
+        EXPECT_LE(d, 5);
+    }
+    // Diagonal always present: nnz >= n.
+    EXPECT_GE(m.nnz(), 100u);
+}
+
+TEST(MatrixGenerators, SymmetricPatternIsSymmetric)
+{
+    CsrMatrix a =
+        CsrMatrix::fromCoo(generateSymmetricMatrix(64, 6, 2)).canonical();
+    CsrMatrix t = transposeRef(a).canonical();
+    EXPECT_TRUE(a == t);
+}
+
+TEST(MatrixGenerators, PermutationIsBijection)
+{
+    auto p = generatePermutation(1000, 5);
+    std::vector<bool> seen(1000, false);
+    for (uint32_t v : p) {
+        ASSERT_LT(v, 1000u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the thread pool used by native parallel PB.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+namespace {
+
+TEST(ThreadPool, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.enqueue([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange)
+{
+    ThreadPool pool(4);
+    std::vector<int> marks(1000, 0);
+    pool.parallelFor(marks.size(), [&](size_t, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            ++marks[i];
+    });
+    EXPECT_EQ(std::accumulate(marks.begin(), marks.end(), 0), 1000);
+    for (int m : marks)
+        EXPECT_EQ(m, 1);
+}
+
+TEST(ThreadPool, ParallelForEmpty)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    pool.parallelFor(0, [&](size_t, size_t, size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads)
+{
+    ThreadPool pool(8);
+    std::atomic<int> sum{0};
+    pool.parallelFor(3, [&](size_t, size_t b, size_t e) {
+        for (size_t i = b; i < e; ++i)
+            sum += static_cast<int>(i);
+    });
+    EXPECT_EQ(sum.load(), 0 + 1 + 2);
+}
+
+TEST(ThreadPool, ThreadIdsDisjoint)
+{
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> per_thread(4);
+    pool.parallelFor(400, [&](size_t t, size_t b, size_t e) {
+        per_thread[t] += static_cast<int>(e - b);
+    });
+    int total = 0;
+    for (auto &c : per_thread)
+        total += c.load();
+    EXPECT_EQ(total, 400);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    for (int wave = 0; wave < 5; ++wave) {
+        for (int i = 0; i < 10; ++i)
+            pool.enqueue([&count] { ++count; });
+        pool.wait();
+    }
+    EXPECT_EQ(count.load(), 50);
+}
+
+} // namespace
+} // namespace cobra

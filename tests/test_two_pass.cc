@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for the two-pass software radix partitioner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/pb/two_pass_binner.h"
+#include "src/sim/machine_config.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+namespace {
+
+template <typename Payload>
+void
+roundTrip(uint32_t num_indices, uint32_t fine_bins, size_t n,
+          uint32_t coarse_bins = 0)
+{
+    ExecCtx ctx;
+    BinningPlan plan = BinningPlan::forMaxBins(num_indices, fine_bins);
+    TwoPassBinner<Payload> binner(plan, coarse_bins);
+    EXPECT_LE(binner.numCoarseBins(), binner.numBins());
+
+    Rng rng(31);
+    std::vector<BinTuple<Payload>> tuples(n);
+    for (auto &t : tuples) {
+        t.index = static_cast<uint32_t>(rng.below(num_indices));
+        if constexpr (!std::is_same_v<Payload, NoPayload>)
+            t.payload = static_cast<Payload>(rng.below(1 << 20));
+    }
+    for (auto &t : tuples)
+        binner.initCount(ctx, t.index);
+    binner.finalizeInit(ctx);
+    for (auto &t : tuples) {
+        if constexpr (std::is_same_v<Payload, NoPayload>)
+            binner.insert(ctx, t.index, NoPayload{});
+        else
+            binner.insert(ctx, t.index, t.payload);
+    }
+    binner.flush(ctx);
+
+    EXPECT_EQ(binner.tuplesBinned(), n);
+    std::multiset<uint64_t> want, got;
+    for (auto &t : tuples) {
+        uint64_t key = t.index;
+        if constexpr (!std::is_same_v<Payload, NoPayload>)
+            key |= static_cast<uint64_t>(t.payload) << 32;
+        want.insert(key);
+    }
+    for (uint32_t b = 0; b < binner.numBins(); ++b) {
+        binner.forEachInBin(ctx, b, [&](const BinTuple<Payload> &t) {
+            EXPECT_EQ(plan.binOf(t.index), b);
+            uint64_t key = t.index;
+            if constexpr (!std::is_same_v<Payload, NoPayload>)
+                key |= static_cast<uint64_t>(t.payload) << 32;
+            got.insert(key);
+        });
+    }
+    EXPECT_EQ(want, got);
+}
+
+TEST(TwoPass, RoundTripU32)
+{
+    roundTrip<uint32_t>(1 << 16, 4096, 30000);
+}
+
+TEST(TwoPass, RoundTripNoPayload)
+{
+    roundTrip<NoPayload>(1 << 16, 4096, 30000);
+}
+
+TEST(TwoPass, DefaultCoarseIsAboutSqrt)
+{
+    BinningPlan plan = BinningPlan::forMaxBins(1 << 20, 16384);
+    TwoPassBinner<uint32_t> b(plan);
+    EXPECT_GE(b.numCoarseBins(), 64u);
+    EXPECT_LE(b.numCoarseBins(), 512u);
+}
+
+class TwoPassSweep : public ::testing::TestWithParam<
+                         std::tuple<uint32_t, uint32_t, uint32_t>>
+{
+};
+
+TEST_P(TwoPassSweep, RoundTripAcrossGeometries)
+{
+    auto [indices, fine, coarse] = GetParam();
+    roundTrip<uint32_t>(indices, fine, 10000, coarse);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, TwoPassSweep,
+    ::testing::Combine(::testing::Values(4096u, 1u << 18),
+                       ::testing::Values(64u, 1024u, 8192u),
+                       ::testing::Values(0u, 4u, 32u)));
+
+TEST(TwoPass, MovesTuplesTwice)
+{
+    // The defining cost: pass 1 NT-stores + pass 2 NT-stores roughly
+    // double the bin write traffic vs one-pass PB.
+    MachineConfig mc;
+    auto measure = [&](bool two_pass) {
+        MemoryHierarchy hier(mc.hierarchy);
+        CoreModel core(mc.core);
+        BranchPredictor bp(mc.branch);
+        ExecCtx ctx(&hier, &core, &bp);
+        BinningPlan plan = BinningPlan::forMaxBins(1 << 16, 4096);
+        Rng rng(7);
+        std::vector<uint32_t> idx(40000);
+        for (auto &x : idx)
+            x = static_cast<uint32_t>(rng.below(1 << 16));
+        auto run = [&](auto &binner) {
+            for (uint32_t x : idx)
+                binner.initCount(ctx, x);
+            binner.finalizeInit(ctx);
+            for (uint32_t x : idx)
+                binner.insert(ctx, x, x);
+            binner.flush(ctx);
+        };
+        if (two_pass) {
+            TwoPassBinner<uint32_t> b(plan);
+            run(b);
+        } else {
+            PbBinner<uint32_t> b(plan);
+            run(b);
+        }
+        return hier.dram().writeLines();
+    };
+    uint64_t one = measure(false);
+    uint64_t two = measure(true);
+    EXPECT_GT(two, one + one / 2); // ~2x, allow slack for partial lines
+}
+
+} // namespace
+} // namespace cobra

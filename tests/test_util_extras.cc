@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the auxiliary utilities: JSON writer, parallel sort, PB
+ * auto-tuner, and trace persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/pb/auto_tune.h"
+#include "src/sim/trace.h"
+#include "src/util/json.h"
+#include "src/util/parallel_sort.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+namespace {
+
+TEST(Json, ObjectWithScalars)
+{
+    std::ostringstream oss;
+    {
+        JsonWriter w(oss);
+        w.beginObject()
+            .kv("name", "cobra")
+            .kv("cycles", 12.5)
+            .kv("instr", uint64_t{42})
+            .kv("ok", true)
+            .end();
+    }
+    EXPECT_EQ(oss.str(),
+              "{\"name\":\"cobra\",\"cycles\":12.5,\"instr\":42,"
+              "\"ok\":true}");
+}
+
+TEST(Json, NestedArraysAndObjects)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss);
+    w.beginObject().key("runs").beginArray();
+    w.beginObject().kv("id", uint64_t{1}).end();
+    w.beginObject().kv("id", uint64_t{2}).end();
+    w.end().end();
+    EXPECT_EQ(oss.str(), "{\"runs\":[{\"id\":1},{\"id\":2}]}");
+}
+
+TEST(Json, StringEscaping)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss);
+    w.beginObject().kv("s", "a\"b\\c\nd\te").end();
+    EXPECT_EQ(oss.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\"}");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss);
+    w.beginArray().value(1.0 / 0.0).value(0.5).end();
+    EXPECT_EQ(oss.str(), "[null,0.5]");
+}
+
+TEST(Json, KeyOutsideObjectPanics)
+{
+    std::ostringstream oss;
+    JsonWriter w(oss);
+    w.beginArray();
+    EXPECT_DEATH(w.key("x"), "outside an object");
+    w.end();
+}
+
+TEST(ParallelSort, MatchesStdSort)
+{
+    ThreadPool pool(4);
+    Rng rng(5);
+    std::vector<uint32_t> v(100000);
+    for (auto &x : v)
+        x = static_cast<uint32_t>(rng.below(1 << 30));
+    std::vector<uint32_t> want = v;
+    std::sort(want.begin(), want.end());
+    parallelSort(pool, v);
+    EXPECT_EQ(v, want);
+}
+
+TEST(ParallelSort, SmallAndEmptyInputs)
+{
+    ThreadPool pool(4);
+    std::vector<int> empty;
+    parallelSort(pool, empty);
+    EXPECT_TRUE(empty.empty());
+    std::vector<int> tiny{3, 1, 2};
+    parallelSort(pool, tiny);
+    EXPECT_EQ(tiny, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParallelSort, AlreadySortedAndReverse)
+{
+    ThreadPool pool(3); // non-power-of-two workers
+    std::vector<uint32_t> v(50000);
+    for (uint32_t i = 0; i < v.size(); ++i)
+        v[i] = v.size() - i;
+    parallelSort(pool, v);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+    parallelSort(pool, v);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(AutoTune, PowerOfTwoWithinBudget)
+{
+    HierarchyConfig h;
+    uint32_t bins = autoTunePbBins(1 << 20, h, 0.5);
+    EXPECT_TRUE(isPow2(bins));
+    EXPECT_LE(static_cast<uint64_t>(bins) * kPbBytesPerBin,
+              h.l2.sizeBytes / 2);
+    // Roughly L2/2 / 68B ~ 1927 -> 1024.
+    EXPECT_EQ(bins, 1024u);
+}
+
+TEST(AutoTune, ClampsToNamespace)
+{
+    uint32_t bins = autoTunePbBins(100);
+    EXPECT_LE(bins, 128u); // ceilPow2(100)
+}
+
+TEST(AutoTune, ScalesWithBudget)
+{
+    HierarchyConfig h;
+    EXPECT_LT(autoTunePbBins(1 << 20, h, 0.25),
+              autoTunePbBins(1 << 20, h, 1.0));
+}
+
+TEST(AutoTune, PlanMatchesBins)
+{
+    BinningPlan p = autoTunePlan(1 << 20);
+    EXPECT_LE(p.numBins, autoTunePbBins(1 << 20));
+    EXPECT_TRUE(isPow2(p.binRange()));
+}
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    std::string path = ::testing::TempDir() + "cobra_test.trc";
+    void TearDown() override { std::remove(path.c_str()); }
+};
+
+TEST_F(TraceTest, RoundTrip)
+{
+    UpdateTrace t;
+    t.numIndices = 12345;
+    Rng rng(9);
+    t.indices.resize(10000);
+    for (auto &x : t.indices)
+        x = static_cast<uint32_t>(rng.below(12345));
+    saveTrace(path, t);
+    UpdateTrace back = loadTrace(path);
+    EXPECT_EQ(back.numIndices, t.numIndices);
+    EXPECT_EQ(back.indices, t.indices);
+}
+
+TEST_F(TraceTest, EmptyTrace)
+{
+    UpdateTrace t;
+    t.numIndices = 7;
+    saveTrace(path, t);
+    UpdateTrace back = loadTrace(path);
+    EXPECT_EQ(back.numIndices, 7u);
+    EXPECT_TRUE(back.indices.empty());
+}
+
+TEST_F(TraceTest, RejectsGarbage)
+{
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "garbage garbage garbage garbage";
+    }
+    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
+                "not a cobra trace");
+}
+
+} // namespace
+} // namespace cobra
