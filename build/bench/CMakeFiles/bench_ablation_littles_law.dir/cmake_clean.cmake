@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_littles_law.dir/bench_ablation_littles_law.cc.o"
+  "CMakeFiles/bench_ablation_littles_law.dir/bench_ablation_littles_law.cc.o.d"
+  "bench_ablation_littles_law"
+  "bench_ablation_littles_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_littles_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

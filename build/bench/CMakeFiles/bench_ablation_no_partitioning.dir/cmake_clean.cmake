@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_no_partitioning.dir/bench_ablation_no_partitioning.cc.o"
+  "CMakeFiles/bench_ablation_no_partitioning.dir/bench_ablation_no_partitioning.cc.o.d"
+  "bench_ablation_no_partitioning"
+  "bench_ablation_no_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_no_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

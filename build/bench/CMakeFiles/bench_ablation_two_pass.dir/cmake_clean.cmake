@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_two_pass.dir/bench_ablation_two_pass.cc.o"
+  "CMakeFiles/bench_ablation_two_pass.dir/bench_ablation_two_pass.cc.o.d"
+  "bench_ablation_two_pass"
+  "bench_ablation_two_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_two_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_llc_missrate.dir/bench_fig02_llc_missrate.cc.o"
+  "CMakeFiles/bench_fig02_llc_missrate.dir/bench_fig02_llc_missrate.cc.o.d"
+  "bench_fig02_llc_missrate"
+  "bench_fig02_llc_missrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_llc_missrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

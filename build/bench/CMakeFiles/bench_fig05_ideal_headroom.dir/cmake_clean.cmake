@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_ideal_headroom.dir/bench_fig05_ideal_headroom.cc.o"
+  "CMakeFiles/bench_fig05_ideal_headroom.dir/bench_fig05_ideal_headroom.cc.o.d"
+  "bench_fig05_ideal_headroom"
+  "bench_fig05_ideal_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_ideal_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

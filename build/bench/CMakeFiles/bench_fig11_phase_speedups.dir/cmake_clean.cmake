@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_phase_speedups.dir/bench_fig11_phase_speedups.cc.o"
+  "CMakeFiles/bench_fig11_phase_speedups.dir/bench_fig11_phase_speedups.cc.o.d"
+  "bench_fig11_phase_speedups"
+  "bench_fig11_phase_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_phase_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13a_eviction_buffers.dir/bench_fig13a_eviction_buffers.cc.o"
+  "CMakeFiles/bench_fig13a_eviction_buffers.dir/bench_fig13a_eviction_buffers.cc.o.d"
+  "bench_fig13a_eviction_buffers"
+  "bench_fig13a_eviction_buffers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13a_eviction_buffers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

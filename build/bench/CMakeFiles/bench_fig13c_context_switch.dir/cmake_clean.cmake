@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13c_context_switch.dir/bench_fig13c_context_switch.cc.o"
+  "CMakeFiles/bench_fig13c_context_switch.dir/bench_fig13c_context_switch.cc.o.d"
+  "bench_fig13c_context_switch"
+  "bench_fig13c_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13c_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

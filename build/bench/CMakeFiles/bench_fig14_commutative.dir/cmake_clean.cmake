@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_commutative.dir/bench_fig14_commutative.cc.o"
+  "CMakeFiles/bench_fig14_commutative.dir/bench_fig14_commutative.cc.o.d"
+  "bench_fig14_commutative"
+  "bench_fig14_commutative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_commutative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

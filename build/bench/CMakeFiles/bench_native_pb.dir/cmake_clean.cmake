@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_pb.dir/bench_native_pb.cc.o"
+  "CMakeFiles/bench_native_pb.dir/bench_native_pb.cc.o.d"
+  "bench_native_pb"
+  "bench_native_pb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_multicore.dir/bench_scaling_multicore.cc.o"
+  "CMakeFiles/bench_scaling_multicore.dir/bench_scaling_multicore.cc.o.d"
+  "bench_scaling_multicore"
+  "bench_scaling_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

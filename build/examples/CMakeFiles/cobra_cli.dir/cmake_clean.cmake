@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_cli.dir/cobra_cli.cpp.o"
+  "CMakeFiles/cobra_cli.dir/cobra_cli.cpp.o.d"
+  "cobra_cli"
+  "cobra_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edgelist_to_csr.dir/edgelist_to_csr.cpp.o"
+  "CMakeFiles/edgelist_to_csr.dir/edgelist_to_csr.cpp.o.d"
+  "edgelist_to_csr"
+  "edgelist_to_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edgelist_to_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

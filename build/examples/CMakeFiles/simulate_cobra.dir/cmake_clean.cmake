@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulate_cobra.dir/simulate_cobra.cpp.o"
+  "CMakeFiles/simulate_cobra.dir/simulate_cobra.cpp.o.d"
+  "simulate_cobra"
+  "simulate_cobra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulate_cobra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

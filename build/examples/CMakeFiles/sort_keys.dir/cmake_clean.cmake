@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_keys.dir/sort_keys.cpp.o"
+  "CMakeFiles/sort_keys.dir/sort_keys.cpp.o.d"
+  "sort_keys"
+  "sort_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_graph.dir/builder.cc.o"
+  "CMakeFiles/cobra_graph.dir/builder.cc.o.d"
+  "CMakeFiles/cobra_graph.dir/csr.cc.o"
+  "CMakeFiles/cobra_graph.dir/csr.cc.o.d"
+  "CMakeFiles/cobra_graph.dir/generators.cc.o"
+  "CMakeFiles/cobra_graph.dir/generators.cc.o.d"
+  "CMakeFiles/cobra_graph.dir/io.cc.o"
+  "CMakeFiles/cobra_graph.dir/io.cc.o.d"
+  "CMakeFiles/cobra_graph.dir/stats.cc.o"
+  "CMakeFiles/cobra_graph.dir/stats.cc.o.d"
+  "libcobra_graph.a"
+  "libcobra_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

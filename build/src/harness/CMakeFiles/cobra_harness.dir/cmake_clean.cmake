@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_harness.dir/experiment.cc.o"
+  "CMakeFiles/cobra_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/cobra_harness.dir/inputs.cc.o"
+  "CMakeFiles/cobra_harness.dir/inputs.cc.o.d"
+  "CMakeFiles/cobra_harness.dir/parallel.cc.o"
+  "CMakeFiles/cobra_harness.dir/parallel.cc.o.d"
+  "libcobra_harness.a"
+  "libcobra_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/degree_count.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/degree_count.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/degree_count.cc.o.d"
+  "/root/repo/src/kernels/int_sort.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/int_sort.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/int_sort.cc.o.d"
+  "/root/repo/src/kernels/kernel.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/kernel.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/kernel.cc.o.d"
+  "/root/repo/src/kernels/neighbor_populate.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/neighbor_populate.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/neighbor_populate.cc.o.d"
+  "/root/repo/src/kernels/pagerank.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/pagerank.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/pagerank.cc.o.d"
+  "/root/repo/src/kernels/pinv.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/pinv.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/pinv.cc.o.d"
+  "/root/repo/src/kernels/radii.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/radii.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/radii.cc.o.d"
+  "/root/repo/src/kernels/spmv.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/spmv.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/spmv.cc.o.d"
+  "/root/repo/src/kernels/symperm.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/symperm.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/symperm.cc.o.d"
+  "/root/repo/src/kernels/transpose.cc" "src/kernels/CMakeFiles/cobra_kernels.dir/transpose.cc.o" "gcc" "src/kernels/CMakeFiles/cobra_kernels.dir/transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tiling/CMakeFiles/cobra_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cobra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cobra_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cobra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

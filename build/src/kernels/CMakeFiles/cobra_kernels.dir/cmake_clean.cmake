@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_kernels.dir/degree_count.cc.o"
+  "CMakeFiles/cobra_kernels.dir/degree_count.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/int_sort.cc.o"
+  "CMakeFiles/cobra_kernels.dir/int_sort.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/kernel.cc.o"
+  "CMakeFiles/cobra_kernels.dir/kernel.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/neighbor_populate.cc.o"
+  "CMakeFiles/cobra_kernels.dir/neighbor_populate.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/pagerank.cc.o"
+  "CMakeFiles/cobra_kernels.dir/pagerank.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/pinv.cc.o"
+  "CMakeFiles/cobra_kernels.dir/pinv.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/radii.cc.o"
+  "CMakeFiles/cobra_kernels.dir/radii.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/spmv.cc.o"
+  "CMakeFiles/cobra_kernels.dir/spmv.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/symperm.cc.o"
+  "CMakeFiles/cobra_kernels.dir/symperm.cc.o.d"
+  "CMakeFiles/cobra_kernels.dir/transpose.cc.o"
+  "CMakeFiles/cobra_kernels.dir/transpose.cc.o.d"
+  "libcobra_kernels.a"
+  "libcobra_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_mem.dir/cache.cc.o"
+  "CMakeFiles/cobra_mem.dir/cache.cc.o.d"
+  "CMakeFiles/cobra_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/cobra_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/cobra_mem.dir/prefetcher.cc.o"
+  "CMakeFiles/cobra_mem.dir/prefetcher.cc.o.d"
+  "CMakeFiles/cobra_mem.dir/replacement.cc.o"
+  "CMakeFiles/cobra_mem.dir/replacement.cc.o.d"
+  "libcobra_mem.a"
+  "libcobra_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

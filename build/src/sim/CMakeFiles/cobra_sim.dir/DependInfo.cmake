@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cc" "src/sim/CMakeFiles/cobra_sim.dir/branch_predictor.cc.o" "gcc" "src/sim/CMakeFiles/cobra_sim.dir/branch_predictor.cc.o.d"
+  "/root/repo/src/sim/eviction_des.cc" "src/sim/CMakeFiles/cobra_sim.dir/eviction_des.cc.o" "gcc" "src/sim/CMakeFiles/cobra_sim.dir/eviction_des.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/cobra_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/cobra_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

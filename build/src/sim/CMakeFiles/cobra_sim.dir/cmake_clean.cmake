@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_sim.dir/branch_predictor.cc.o"
+  "CMakeFiles/cobra_sim.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/cobra_sim.dir/eviction_des.cc.o"
+  "CMakeFiles/cobra_sim.dir/eviction_des.cc.o.d"
+  "CMakeFiles/cobra_sim.dir/trace.cc.o"
+  "CMakeFiles/cobra_sim.dir/trace.cc.o.d"
+  "libcobra_sim.a"
+  "libcobra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/csr_matrix.cc" "src/sparse/CMakeFiles/cobra_sparse.dir/csr_matrix.cc.o" "gcc" "src/sparse/CMakeFiles/cobra_sparse.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/sparse/generators.cc" "src/sparse/CMakeFiles/cobra_sparse.dir/generators.cc.o" "gcc" "src/sparse/CMakeFiles/cobra_sparse.dir/generators.cc.o.d"
+  "/root/repo/src/sparse/reference.cc" "src/sparse/CMakeFiles/cobra_sparse.dir/reference.cc.o" "gcc" "src/sparse/CMakeFiles/cobra_sparse.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_sparse.dir/csr_matrix.cc.o"
+  "CMakeFiles/cobra_sparse.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/cobra_sparse.dir/generators.cc.o"
+  "CMakeFiles/cobra_sparse.dir/generators.cc.o.d"
+  "CMakeFiles/cobra_sparse.dir/reference.cc.o"
+  "CMakeFiles/cobra_sparse.dir/reference.cc.o.d"
+  "libcobra_sparse.a"
+  "libcobra_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_tiling.dir/csr_segmenting.cc.o"
+  "CMakeFiles/cobra_tiling.dir/csr_segmenting.cc.o.d"
+  "libcobra_tiling.a"
+  "libcobra_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cobra_util.dir/thread_pool.cc.o"
+  "CMakeFiles/cobra_util.dir/thread_pool.cc.o.d"
+  "libcobra_util.a"
+  "libcobra_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cobra_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cobra.dir/test_cobra.cc.o"
+  "CMakeFiles/test_cobra.dir/test_cobra.cc.o.d"
+  "test_cobra"
+  "test_cobra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cobra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_graph_io.cc" "tests/CMakeFiles/test_graph_io.dir/test_graph_io.cc.o" "gcc" "tests/CMakeFiles/test_graph_io.dir/test_graph_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cobra_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/cobra_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tiling/CMakeFiles/cobra_tiling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/cobra_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/cobra_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cobra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cobra_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cobra_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pb.dir/test_pb.cc.o"
+  "CMakeFiles/test_pb.dir/test_pb.cc.o.d"
+  "test_pb"
+  "test_pb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_recorder.dir/test_phase_recorder.cc.o"
+  "CMakeFiles/test_phase_recorder.dir/test_phase_recorder.cc.o.d"
+  "test_phase_recorder"
+  "test_phase_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

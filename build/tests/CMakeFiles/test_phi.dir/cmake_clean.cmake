@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phi.dir/test_phi.cc.o"
+  "CMakeFiles/test_phi.dir/test_phi.cc.o.d"
+  "test_phi"
+  "test_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_pass.dir/test_two_pass.cc.o"
+  "CMakeFiles/test_two_pass.dir/test_two_pass.cc.o.d"
+  "test_two_pass"
+  "test_two_pass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_pass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

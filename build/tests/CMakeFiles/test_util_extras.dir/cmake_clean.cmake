@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_extras.dir/test_util_extras.cc.o"
+  "CMakeFiles/test_util_extras.dir/test_util_extras.cc.o.d"
+  "test_util_extras"
+  "test_util_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
