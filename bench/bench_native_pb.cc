@@ -9,17 +9,25 @@
  * index namespace outgrows the host LLC; on this machine's cache sizes
  * the crossover point will differ from the simulated machine — that is
  * the point of having both.
+ *
+ * The *Parallel variants run the paper's parallel PB (Section III-A)
+ * for real on a ThreadPool: per-thread binners with NT-store drains,
+ * bin-partitioned Accumulate. The trailing benchmark argument is the
+ * pool's thread count (a host-thread sweep, reported in real time since
+ * the work happens on pool workers).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "src/graph/generators.h"
 #include "src/kernels/degree_count.h"
 #include "src/kernels/neighbor_populate.h"
 #include "src/sim/phase_recorder.h"
+#include "src/util/thread_pool.h"
 
 namespace cobra {
 namespace {
@@ -35,10 +43,15 @@ struct NativeInput
     }
 };
 
+/** Per-size input cache; mutex-guarded so google-benchmark's threaded
+ * modes (->Threads()) can share it safely. Generation happens at most
+ * once per size, under the lock. */
 NativeInput &
 input(int64_t n)
 {
+    static std::mutex mtx;
     static std::map<int64_t, std::unique_ptr<NativeInput>> cache;
+    std::lock_guard<std::mutex> lk(mtx);
     auto &slot = cache[n];
     if (!slot)
         slot = std::make_unique<NativeInput>(static_cast<NodeId>(n));
@@ -76,6 +89,21 @@ BM_DegreeCountPb(benchmark::State &state)
 }
 
 void
+BM_DegreeCountPbParallel(benchmark::State &state)
+{
+    NativeInput &in = input(state.range(0));
+    DegreeCountKernel k(in.nodes, &in.edges);
+    ThreadPool pool(static_cast<size_t>(state.range(2)));
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        k.runPbParallel(pool, rec, static_cast<uint32_t>(state.range(1)));
+        benchmark::DoNotOptimize(k.degrees().data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
+void
 BM_NeighborPopulateBaseline(benchmark::State &state)
 {
     NativeInput &in = input(state.range(0));
@@ -103,16 +131,44 @@ BM_NeighborPopulatePb(benchmark::State &state)
                             static_cast<int64_t>(in.edges.size()));
 }
 
+void
+BM_NeighborPopulatePbParallel(benchmark::State &state)
+{
+    NativeInput &in = input(state.range(0));
+    NeighborPopulateKernel k(in.nodes, &in.edges);
+    ThreadPool pool(static_cast<size_t>(state.range(2)));
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        k.runPbParallel(pool, rec, static_cast<uint32_t>(state.range(1)));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
 BENCHMARK(BM_DegreeCountBaseline)->Arg(1 << 18)->Arg(1 << 21);
 BENCHMARK(BM_DegreeCountPb)
     ->Args({1 << 18, 512})
     ->Args({1 << 21, 512})
     ->Args({1 << 21, 4096});
+// Host-thread sweep: {nodes, max_bins, pool threads}. Real time, since
+// the benchmark thread mostly waits on the pool.
+BENCHMARK(BM_DegreeCountPbParallel)
+    ->Args({1 << 21, 512, 1})
+    ->Args({1 << 21, 512, 2})
+    ->Args({1 << 21, 512, 4})
+    ->Args({1 << 21, 512, 8})
+    ->UseRealTime();
 BENCHMARK(BM_NeighborPopulateBaseline)->Arg(1 << 18)->Arg(1 << 21);
 BENCHMARK(BM_NeighborPopulatePb)
     ->Args({1 << 18, 512})
     ->Args({1 << 21, 512})
     ->Args({1 << 21, 4096});
+BENCHMARK(BM_NeighborPopulatePbParallel)
+    ->Args({1 << 21, 512, 1})
+    ->Args({1 << 21, 512, 2})
+    ->Args({1 << 21, 512, 4})
+    ->Args({1 << 21, 512, 8})
+    ->UseRealTime();
 
 } // namespace
 } // namespace cobra

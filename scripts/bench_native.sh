@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Run the native PB benchmarks (wall-clock, including the threaded
+# ParallelPbRunner sweep) and record the trajectory point at the repo
+# root as BENCH_native_pb.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ ! -x build/bench/bench_native_pb ]; then
+    cmake -B build -S .
+    cmake --build build -j "$(nproc)" --target bench_native_pb
+fi
+
+./build/bench/bench_native_pb \
+    --benchmark_format=json \
+    --benchmark_out=BENCH_native_pb.json \
+    --benchmark_out_format=json

@@ -1,6 +1,7 @@
 #include "src/harness/parallel.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "src/core/cobra_binner.h"
 #include "src/graph/builder.h"
@@ -68,7 +69,9 @@ class PhaseTracker
         }
     }
 
-    /** Barrier: max core time, floored by shared DRAM bandwidth. */
+    /** Barrier: max core time, floored by shared DRAM bandwidth.
+     * Runs on the calling thread after the phase's workers joined; the
+     * fixed c-ascending reduction order keeps it deterministic. */
     double
     end(uint64_t *dram_lines_out = nullptr)
     {
@@ -103,6 +106,44 @@ remoteReadCost(const MulticoreConfig &cfg, const MeshNoc &noc,
     return noc.transferCycles(lines, noc.hops(c, t)) / cfg.nocOverlap;
 }
 
+/**
+ * Page-aligned copy of @p v. Every array the simulated cores replay
+ * through ExecCtx is copied (or allocated) page-aligned so its in-page
+ * layout — and with it the per-core canonicalized address stream — is
+ * independent of the host allocator and of the caller's buffers.
+ */
+template <typename T>
+AlignedArray<T, kPageSize>
+pageAligned(const std::vector<T> &v)
+{
+    AlignedArray<T, kPageSize> out(v.size());
+    std::copy(v.begin(), v.end(), out.data());
+    return out;
+}
+
+/**
+ * Uninstrumented prescan of each core's shard so that every binner's bin
+ * memory is allocated here — on the calling thread, in core order —
+ * before any phase work is dispatched to host workers. Mid-phase
+ * allocation (the default finalizeInit path) would make each core's
+ * page-touch order depend on host scheduling; see
+ * BinStorage::preallocate.
+ */
+template <typename Binner>
+void
+preallocateBinners(const EdgeList &el, const std::vector<Shard> &shards,
+                   std::vector<std::unique_ptr<Binner>> &binners)
+{
+    std::vector<uint32_t> cnt;
+    for (size_t c = 0; c < binners.size(); ++c) {
+        const BinningPlan &plan = binners[c]->storage().binningPlan();
+        cnt.assign(plan.numBins, 0);
+        for (size_t i = shards[c].begin; i < shards[c].end; ++i)
+            ++cnt[plan.binOf(el[i].src)];
+        binners[c]->storage().preallocate(cnt);
+    }
+}
+
 std::vector<std::unique_ptr<SimCore>>
 makeCores(const MulticoreConfig &cfg)
 {
@@ -114,14 +155,52 @@ makeCores(const MulticoreConfig &cfg)
 
 } // namespace
 
+ParallelSim::ParallelSim(const MulticoreConfig &config) : cfg(config)
+{
+    const uint32_t threads = cfg.hostThreads != 0
+        ? cfg.hostThreads
+        : std::max(1u, std::thread::hardware_concurrency());
+    if (threads > 1)
+        pool = std::make_unique<ThreadPool>(threads);
+}
+
+void
+ParallelSim::forEachCore(const std::function<void(uint32_t)> &work) const
+{
+    if (!pool) {
+        for (uint32_t c = 0; c < cfg.numCores; ++c)
+            work(c);
+        return;
+    }
+    pool->parallelFor(cfg.numCores,
+                      [&work](size_t, size_t begin, size_t end) {
+                          for (size_t c = begin; c < end; ++c)
+                              work(static_cast<uint32_t>(c));
+                      });
+}
+
 ParallelRunResult
 ParallelSim::neighborPopulateBaseline(NodeId num_nodes,
                                       const EdgeList &el) const
 {
     auto degrees = countDegreesRef(num_nodes, el);
     auto offsets = exclusivePrefixSum(degrees);
-    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
-    std::vector<NodeId> neighs(el.size());
+    auto edges = pageAligned(el);
+    AlignedArray<EdgeOffset, kPageSize> cursor(num_nodes);
+    std::copy(offsets.begin(), offsets.end() - 1, cursor.data());
+    AlignedArray<NodeId, kPageSize> neighs(el.size());
+
+    // Presequence the interleave-dependent values: replaying the edges in
+    // order fixes each edge's neighbor slot to what the canonical
+    // core-0-first execution produces, so every core's address stream
+    // (and the output) is independent of host scheduling. The simulated
+    // cores still pay for the cursor read-modify-write below.
+    std::vector<EdgeOffset> pos(el.size());
+    {
+        std::vector<EdgeOffset> cur(offsets.begin(), offsets.end() - 1);
+        for (size_t i = 0; i < el.size(); ++i)
+            pos[i] = cur[el[i].src]++;
+    }
 
     auto cores = makeCores(cfg);
     auto shards = makeShards(el.size(), cfg.numCores);
@@ -130,22 +209,22 @@ ParallelSim::neighborPopulateBaseline(NodeId num_nodes,
     ParallelRunResult res;
     res.cores = cfg.numCores;
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            const Edge &e = el[i];
+            const Edge &e = edges[i];
             ctx.load(&e, sizeof(Edge));
             ctx.instr(3); // atomic fetch-add costs extra vs plain add
             ctx.load(&cursor[e.src], 8);
-            EdgeOffset pos = cursor[e.src]++;
             ctx.store(&cursor[e.src], 8);
-            neighs[pos] = e.dst;
-            ctx.store(&neighs[pos], 4);
+            neighs[pos[i]] = e.dst;
+            ctx.store(&neighs[pos[i]], 4);
         }
-    }
+    });
     res.accumulateCycles = 0;
     res.binningCycles = phase.end(&res.dramLines);
-    res.verified = sortNeighborhoods(CsrGraph(offsets, neighs)) ==
+    std::vector<NodeId> out(neighs.data(), neighs.data() + neighs.size());
+    res.verified = sortNeighborhoods(CsrGraph(offsets, out)) ==
         sortNeighborhoods(CsrGraph::build(num_nodes, el));
     return res;
 }
@@ -156,8 +235,10 @@ ParallelSim::neighborPopulatePb(NodeId num_nodes, const EdgeList &el,
 {
     auto degrees = countDegreesRef(num_nodes, el);
     auto offsets = exclusivePrefixSum(degrees);
-    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
-    std::vector<NodeId> neighs(el.size());
+    auto edges = pageAligned(el);
+    AlignedArray<EdgeOffset, kPageSize> cursor(num_nodes);
+    std::copy(offsets.begin(), offsets.end() - 1, cursor.data());
+    AlignedArray<NodeId, kPageSize> neighs(el.size());
 
     auto cores = makeCores(cfg);
     auto shards = makeShards(el.size(), cfg.numCores);
@@ -167,64 +248,68 @@ ParallelSim::neighborPopulatePb(NodeId num_nodes, const EdgeList &el,
     std::vector<std::unique_ptr<PbBinner<NodeId>>> binners;
     for (uint32_t c = 0; c < cfg.numCores; ++c)
         binners.push_back(std::make_unique<PbBinner<NodeId>>(plan));
+    preallocateBinners(el, shards, binners);
 
     ParallelRunResult res;
     res.cores = cfg.numCores;
 
     // Init: per-core counting of its shard.
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            ctx.load(&el[i].src, 4);
+            ctx.load(&edges[i].src, 4);
             ctx.instr(1);
-            binners[c]->initCount(ctx, el[i].src);
+            binners[c]->initCount(ctx, edges[i].src);
         }
         binners[c]->finalizeInit(ctx);
-    }
+    });
     res.initCycles = phase.end(&res.dramLines);
 
     // Binning: synchronization-free, per-core binners.
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            const Edge &e = el[i];
+            const Edge &e = edges[i];
             ctx.load(&e, sizeof(Edge));
             ctx.instr(1);
             binners[c]->insert(ctx, e.src, e.dst);
         }
         binners[c]->flush(ctx);
-    }
+    });
     res.binningCycles = phase.end(&res.dramLines);
 
     // Accumulate: bins round-robin across cores; each core drains every
     // thread's copy of its bins (paper Algorithm 2, lines 6-11); remote
-    // copies cross the mesh NoC.
+    // copies cross the mesh NoC. Bins cover disjoint index ranges, so
+    // cores never touch the same cursor/neighs entries.
     MeshNoc noc(cfg.numCores, cfg.noc);
     phase.begin();
-    for (uint32_t b = 0; b < plan.numBins; ++b) {
-        const uint32_t c = b % cfg.numCores;
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
-        for (uint32_t t = 0; t < cfg.numCores; ++t) {
-            ctx.stall(remoteReadCost(
-                cfg, noc, c, t,
-                binners[t]->storage().bin(b).size() *
-                    sizeof(BinTuple<NodeId>)));
-            binners[t]->forEachInBin(
-                ctx, b, [&](const BinTuple<NodeId> &tp) {
-                    ctx.instr(1);
-                    ctx.load(&cursor[tp.index], 8);
-                    EdgeOffset pos = cursor[tp.index]++;
-                    ctx.store(&cursor[tp.index], 8);
-                    neighs[pos] = tp.payload;
-                    ctx.store(&neighs[pos], 4);
-                });
+        for (uint32_t b = c; b < plan.numBins; b += cfg.numCores) {
+            for (uint32_t t = 0; t < cfg.numCores; ++t) {
+                ctx.stall(remoteReadCost(
+                    cfg, noc, c, t,
+                    binners[t]->storage().bin(b).size() *
+                        sizeof(BinTuple<NodeId>)));
+                binners[t]->forEachInBin(
+                    ctx, b, [&](const BinTuple<NodeId> &tp) {
+                        ctx.instr(1);
+                        ctx.load(&cursor[tp.index], 8);
+                        EdgeOffset pos = cursor[tp.index]++;
+                        ctx.store(&cursor[tp.index], 8);
+                        neighs[pos] = tp.payload;
+                        ctx.store(&neighs[pos], 4);
+                    });
+            }
         }
-    }
+    });
     res.accumulateCycles = phase.end(&res.dramLines);
 
-    res.verified = sortNeighborhoods(CsrGraph(offsets, neighs)) ==
+    std::vector<NodeId> out(neighs.data(), neighs.data() + neighs.size());
+    res.verified = sortNeighborhoods(CsrGraph(offsets, out)) ==
         sortNeighborhoods(CsrGraph::build(num_nodes, el));
     return res;
 }
@@ -235,8 +320,10 @@ ParallelSim::neighborPopulateCobra(NodeId num_nodes, const EdgeList &el,
 {
     auto degrees = countDegreesRef(num_nodes, el);
     auto offsets = exclusivePrefixSum(degrees);
-    std::vector<EdgeOffset> cursor(offsets.begin(), offsets.end() - 1);
-    std::vector<NodeId> neighs(el.size());
+    auto edges = pageAligned(el);
+    AlignedArray<EdgeOffset, kPageSize> cursor(num_nodes);
+    std::copy(offsets.begin(), offsets.end() - 1, cursor.data());
+    AlignedArray<NodeId, kPageSize> neighs(el.size());
 
     auto cores = makeCores(cfg);
     auto shards = makeShards(el.size(), cfg.numCores);
@@ -246,62 +333,65 @@ ParallelSim::neighborPopulateCobra(NodeId num_nodes, const EdgeList &el,
     for (uint32_t c = 0; c < cfg.numCores; ++c)
         binners.push_back(std::make_unique<CobraBinner<NodeId>>(
             cores[c]->ctx, cc, num_nodes));
+    preallocateBinners(el, shards, binners);
 
     ParallelRunResult res;
     res.cores = cfg.numCores;
 
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            ctx.load(&el[i].src, 4);
+            ctx.load(&edges[i].src, 4);
             ctx.instr(1);
-            binners[c]->initCount(ctx, el[i].src);
+            binners[c]->initCount(ctx, edges[i].src);
         }
         binners[c]->finalizeInit(ctx);
-    }
+    });
     res.initCycles = phase.end(&res.dramLines);
 
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         binners[c]->beginBinning(ctx);
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            const Edge &e = el[i];
+            const Edge &e = edges[i];
             ctx.load(&e, sizeof(Edge));
             ctx.instr(1);
             binners[c]->update(ctx, e.src, e.dst);
         }
         binners[c]->flush(ctx);
         binners[c]->releaseWays(ctx);
-    }
+    });
     res.binningCycles = phase.end(&res.dramLines);
 
     MeshNoc noc(cfg.numCores, cfg.noc);
     phase.begin();
     const uint32_t num_bins = binners[0]->numBins();
-    for (uint32_t b = 0; b < num_bins; ++b) {
-        const uint32_t c = b % cfg.numCores;
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
-        for (uint32_t t = 0; t < cfg.numCores; ++t) {
-            ctx.stall(remoteReadCost(
-                cfg, noc, c, t,
-                binners[t]->storage().bin(b).size() *
-                    sizeof(BinTuple<NodeId>)));
-            binners[t]->forEachInBin(
-                ctx, b, [&](const BinTuple<NodeId> &tp) {
-                    ctx.instr(1);
-                    ctx.load(&cursor[tp.index], 8);
-                    EdgeOffset pos = cursor[tp.index]++;
-                    ctx.store(&cursor[tp.index], 8);
-                    neighs[pos] = tp.payload;
-                    ctx.store(&neighs[pos], 4);
-                });
+        for (uint32_t b = c; b < num_bins; b += cfg.numCores) {
+            for (uint32_t t = 0; t < cfg.numCores; ++t) {
+                ctx.stall(remoteReadCost(
+                    cfg, noc, c, t,
+                    binners[t]->storage().bin(b).size() *
+                        sizeof(BinTuple<NodeId>)));
+                binners[t]->forEachInBin(
+                    ctx, b, [&](const BinTuple<NodeId> &tp) {
+                        ctx.instr(1);
+                        ctx.load(&cursor[tp.index], 8);
+                        EdgeOffset pos = cursor[tp.index]++;
+                        ctx.store(&cursor[tp.index], 8);
+                        neighs[pos] = tp.payload;
+                        ctx.store(&neighs[pos], 4);
+                    });
+            }
         }
-    }
+    });
     res.accumulateCycles = phase.end(&res.dramLines);
 
-    res.verified = sortNeighborhoods(CsrGraph(offsets, neighs)) ==
+    std::vector<NodeId> out(neighs.data(), neighs.data() + neighs.size());
+    res.verified = sortNeighborhoods(CsrGraph(offsets, out)) ==
         sortNeighborhoods(CsrGraph::build(num_nodes, el));
     return res;
 }
@@ -310,7 +400,8 @@ ParallelRunResult
 ParallelSim::degreeCountBaseline(NodeId num_nodes,
                                  const EdgeList &el) const
 {
-    std::vector<uint32_t> deg(num_nodes, 0);
+    auto edges = pageAligned(el);
+    AlignedArray<uint32_t, kPageSize> deg(num_nodes);
     auto cores = makeCores(cfg);
     auto shards = makeShards(el.size(), cfg.numCores);
     PhaseTracker phase(cores, cfg.dramBytesPerCycle);
@@ -318,21 +409,24 @@ ParallelSim::degreeCountBaseline(NodeId num_nodes,
     ParallelRunResult res;
     res.cores = cfg.numCores;
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            const Edge &e = el[i];
+            const Edge &e = edges[i];
             ctx.load(&e, sizeof(Edge));
             ctx.instr(3); // atomic increment
             ctx.load(&deg[e.src], 4);
-            ++deg[e.src];
+            // Increments commute: a relaxed atomic add keeps the shared
+            // functional update exact under host parallelism (the
+            // simulated cost is the instr(3) above, as before).
+            __atomic_fetch_add(&deg[e.src], 1u, __ATOMIC_RELAXED);
             ctx.store(&deg[e.src], 4);
         }
-    }
+    });
     res.binningCycles = phase.end(&res.dramLines);
 
     auto ref = countDegreesRef(num_nodes, el);
-    res.verified = std::equal(ref.begin(), ref.end(), deg.begin());
+    res.verified = std::equal(ref.begin(), ref.end(), deg.data());
     return res;
 }
 
@@ -340,7 +434,8 @@ ParallelRunResult
 ParallelSim::degreeCountPb(NodeId num_nodes, const EdgeList &el,
                            uint32_t max_bins) const
 {
-    std::vector<uint32_t> deg(num_nodes, 0);
+    auto edges = pageAligned(el);
+    AlignedArray<uint32_t, kPageSize> deg(num_nodes);
     auto cores = makeCores(cfg);
     auto shards = makeShards(el.size(), cfg.numCores);
     PhaseTracker phase(cores, cfg.dramBytesPerCycle);
@@ -349,57 +444,59 @@ ParallelSim::degreeCountPb(NodeId num_nodes, const EdgeList &el,
     std::vector<std::unique_ptr<PbBinner<NoPayload>>> binners;
     for (uint32_t c = 0; c < cfg.numCores; ++c)
         binners.push_back(std::make_unique<PbBinner<NoPayload>>(plan));
+    preallocateBinners(el, shards, binners);
 
     ParallelRunResult res;
     res.cores = cfg.numCores;
 
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            ctx.load(&el[i].src, 4);
+            ctx.load(&edges[i].src, 4);
             ctx.instr(1);
-            binners[c]->initCount(ctx, el[i].src);
+            binners[c]->initCount(ctx, edges[i].src);
         }
         binners[c]->finalizeInit(ctx);
-    }
+    });
     res.initCycles = phase.end(&res.dramLines);
 
     phase.begin();
-    for (uint32_t c = 0; c < cfg.numCores; ++c) {
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
         for (size_t i = shards[c].begin; i < shards[c].end; ++i) {
-            ctx.load(&el[i], sizeof(Edge));
+            ctx.load(&edges[i], sizeof(Edge));
             ctx.instr(1);
-            binners[c]->insert(ctx, el[i].src, NoPayload{});
+            binners[c]->insert(ctx, edges[i].src, NoPayload{});
         }
         binners[c]->flush(ctx);
-    }
+    });
     res.binningCycles = phase.end(&res.dramLines);
 
     MeshNoc noc(cfg.numCores, cfg.noc);
     phase.begin();
-    for (uint32_t b = 0; b < plan.numBins; ++b) {
-        const uint32_t c = b % cfg.numCores;
+    forEachCore([&](uint32_t c) {
         ExecCtx &ctx = cores[c]->ctx;
-        for (uint32_t t = 0; t < cfg.numCores; ++t) {
-            ctx.stall(remoteReadCost(
-                cfg, noc, c, t,
-                binners[t]->storage().bin(b).size() *
-                    sizeof(BinTuple<NoPayload>)));
-            binners[t]->forEachInBin(
-                ctx, b, [&](const BinTuple<NoPayload> &tp) {
-                    ctx.instr(1);
-                    ctx.load(&deg[tp.index], 4);
-                    ++deg[tp.index];
-                    ctx.store(&deg[tp.index], 4);
-                });
+        for (uint32_t b = c; b < plan.numBins; b += cfg.numCores) {
+            for (uint32_t t = 0; t < cfg.numCores; ++t) {
+                ctx.stall(remoteReadCost(
+                    cfg, noc, c, t,
+                    binners[t]->storage().bin(b).size() *
+                        sizeof(BinTuple<NoPayload>)));
+                binners[t]->forEachInBin(
+                    ctx, b, [&](const BinTuple<NoPayload> &tp) {
+                        ctx.instr(1);
+                        ctx.load(&deg[tp.index], 4);
+                        ++deg[tp.index];
+                        ctx.store(&deg[tp.index], 4);
+                    });
+            }
         }
-    }
+    });
     res.accumulateCycles = phase.end(&res.dramLines);
 
     auto ref = countDegreesRef(num_nodes, el);
-    res.verified = std::equal(ref.begin(), ref.end(), deg.begin());
+    res.verified = std::equal(ref.begin(), ref.end(), deg.data());
     return res;
 }
 

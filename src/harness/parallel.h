@@ -14,6 +14,21 @@
  * by shared DRAM bandwidth (total lines x 64B / bytes-per-cycle), the
  * resource that actually limits irregular kernels at scale.
  *
+ * Host-parallel execution: because every SimCore's state (hierarchy,
+ * core model, predictor) is private and phases are bulk-synchronous,
+ * the between-barrier work of the simulated cores is embarrassingly
+ * parallel on the host. ParallelSim dispatches each core's phase work
+ * onto a ThreadPool worker and performs the max-over-cores +
+ * DRAM-bandwidth-floor accounting at the barrier on the calling
+ * thread. Each core consumes exactly the same address/branch stream it
+ * would sequentially (cross-core-order-dependent values, e.g. the
+ * baseline's shared cursors, are presequenced deterministically; all
+ * replayed arrays are page-aligned and preallocated before dispatch so
+ * each core's page-touch order is fixed), and the hierarchy renames
+ * pages in first-touch order (MemoryHierarchy::canon), so results are
+ * bit-identical for every host thread count — and across runs, heaps,
+ * and ASLR. hostThreads only changes wall-clock time.
+ *
  * Simplification (conservative *against* PB/COBRA): the baseline's
  * cross-core coherence traffic on shared irregularly-written lines is
  * not modeled, which can only make the baseline look better than it
@@ -25,6 +40,7 @@
 #ifndef COBRA_HARNESS_PARALLEL_H
 #define COBRA_HARNESS_PARALLEL_H
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -32,6 +48,7 @@
 #include "src/graph/types.h"
 #include "src/sim/machine_config.h"
 #include "src/sim/noc.h"
+#include "src/util/thread_pool.h"
 
 namespace cobra {
 
@@ -51,6 +68,10 @@ struct MulticoreConfig
     /** Outstanding-transfer overlap: remote reads pipeline behind
      * compute, exposing only a fraction of the raw transfer latency. */
     double nocOverlap = 4.0;
+
+    /** Host threads simulating the cores: 0 = hardware_concurrency,
+     * 1 = run inline on the calling thread. Never affects results. */
+    uint32_t hostThreads = 0;
 };
 
 /** Result of one parallel execution. */
@@ -74,12 +95,12 @@ struct ParallelRunResult
 class ParallelSim
 {
   public:
-    explicit ParallelSim(const MulticoreConfig &config = MulticoreConfig{})
-        : cfg(config)
-    {
-    }
+    explicit ParallelSim(const MulticoreConfig &config = MulticoreConfig{});
 
     const MulticoreConfig &config() const { return cfg; }
+
+    /** Host threads actually used (1 means inline execution). */
+    size_t hostThreads() const { return pool ? pool->numThreads() : 1; }
 
     /** Baseline: cores directly apply their shard's irregular updates. */
     ParallelRunResult neighborPopulateBaseline(NodeId num_nodes,
@@ -102,7 +123,13 @@ class ParallelSim
                                     uint32_t max_bins) const;
 
   private:
+    /** Run work(c) once per simulated core, on the pool when present.
+     * Cores' work must touch only core-private (or presequenced) state. */
+    void forEachCore(const std::function<void(uint32_t)> &work) const;
+
     MulticoreConfig cfg;
+    /** Host execution pool; null when hostThreads resolves to 1. */
+    mutable std::unique_ptr<ThreadPool> pool;
 };
 
 } // namespace cobra

@@ -2,6 +2,7 @@
 
 #include "src/graph/builder.h"
 #include "src/kernels/pipelines.h"
+#include "src/pb/parallel_pb.h"
 
 namespace cobra {
 
@@ -71,6 +72,24 @@ DegreeCountKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec,
             ++deg[t.index];
             ctx.store(&deg[t.index], 4);
         });
+}
+
+void
+DegreeCountKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                                 uint32_t max_bins)
+{
+    resetOutput();
+    BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
+    ParallelPbRunner<NoPayload> runner(pool, plan);
+    const EdgeList &el = *edges;
+    runner.run(
+        el.size(), rec, [&el](size_t i) { return el[i].src; },
+        [&el](size_t i) {
+            return std::pair<uint32_t, NoPayload>(el[i].src, NoPayload{});
+        },
+        // Bin-partitioned Accumulate: deg[t.index] is touched only by
+        // the thread owning t.index's bin, so a plain increment is safe.
+        [this](const BinTuple<NoPayload> &t) { ++deg[t.index]; });
 }
 
 void

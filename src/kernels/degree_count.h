@@ -36,6 +36,8 @@ class DegreeCountKernel : public Kernel
     void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
     void runPb(ExecCtx &ctx, PhaseRecorder &rec,
                uint32_t max_bins) override;
+    void runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                       uint32_t max_bins) override;
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     void runPhi(ExecCtx &ctx, PhaseRecorder &rec,

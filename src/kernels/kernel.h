@@ -22,6 +22,8 @@
 
 namespace cobra {
 
+class ThreadPool;
+
 /** Execution technique (the paper's comparison axes). */
 enum class Technique
 {
@@ -68,6 +70,17 @@ class Kernel
     /** Software PB with at most @p max_bins bins. */
     virtual void runPb(ExecCtx &ctx, PhaseRecorder &rec,
                        uint32_t max_bins) = 0;
+
+    /**
+     * Native host-parallel software PB on @p pool (no simulation):
+     * per-thread binners over contiguous update shards, bin-partitioned
+     * Accumulate (src/pb/parallel_pb.h). Kernels opt in by overriding.
+     */
+    virtual void
+    runPbParallel(ThreadPool &, PhaseRecorder &, uint32_t)
+    {
+        COBRA_FATAL_IF(true, name() << ": no host-parallel PB runtime");
+    }
 
     /** COBRA (COBRA-COMM when cfg.coalesceAtLlc and commutative()). */
     virtual void runCobra(ExecCtx &ctx, PhaseRecorder &rec,

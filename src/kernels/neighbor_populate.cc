@@ -2,6 +2,7 @@
 
 #include "src/graph/builder.h"
 #include "src/kernels/pipelines.h"
+#include "src/pb/parallel_pb.h"
 #include "src/util/prefix_sum.h"
 
 namespace cobra {
@@ -77,6 +78,28 @@ NeighborPopulateKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec,
             ctx.store(&cursor[t.index], 8);
             neighs[pos] = t.payload;
             ctx.store(&neighs[pos], 4);
+        });
+}
+
+void
+NeighborPopulateKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                                      uint32_t max_bins)
+{
+    resetOutput();
+    BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
+    ParallelPbRunner<NodeId> runner(pool, plan);
+    const EdgeList &el = *edges;
+    runner.run(
+        el.size(), rec, [&el](size_t i) { return el[i].src; },
+        [&el](size_t i) {
+            return std::pair<uint32_t, NodeId>(el[i].src, el[i].dst);
+        },
+        // Bin-partitioned Accumulate: a bin's indices (and therefore the
+        // cursor entries and neighs slots they reach) belong to exactly
+        // one thread, so the non-commutative update needs no atomics.
+        [this](const BinTuple<NodeId> &t) {
+            EdgeOffset pos = cursor[t.index]++;
+            neighs[pos] = t.payload;
         });
 }
 

@@ -37,6 +37,8 @@ class NeighborPopulateKernel : public Kernel
     void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
     void runPb(ExecCtx &ctx, PhaseRecorder &rec,
                uint32_t max_bins) override;
+    void runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                       uint32_t max_bins) override;
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     bool verify() const override;

@@ -49,13 +49,28 @@ MemoryHierarchy::writebackTo(Cache &c, Addr addr, bool to_llc)
     }
 }
 
+Addr
+MemoryHierarchy::canon(Addr a)
+{
+    const Addr page = a >> kPageShift;
+    if (page != lastPage_) {
+        auto [it, fresh] = pageTable_.try_emplace(page, nextPage_);
+        if (fresh)
+            ++nextPage_;
+        lastPage_ = page;
+        lastCanon_ = it->second;
+    }
+    return (lastCanon_ << kPageShift) | (a & (kPageSize - 1));
+}
+
 HitLevel
 MemoryHierarchy::access(Addr addr, AccessType type)
 {
     if (type == AccessType::NonTemporalStore) {
-        ntStore(addr, kLineSize);
+        ntStore(addr, kLineSize); // canonicalized per line below
         return HitLevel::DRAM;
     }
+    addr = canon(addr);
     const bool write = (type == AccessType::Store);
 
     AccessOutcome r1 = l1_->access(addr, write);
@@ -108,9 +123,11 @@ MemoryHierarchy::ntStore(Addr addr, uint32_t bytes)
     const Addr first = lineAddr(addr);
     const Addr last = lineAddr(addr + bytes - 1);
     for (Addr a = first; a <= last; a += kLineSize) {
-        l1_->invalidate(a);
-        l2_->invalidate(a);
-        llc_->invalidate(a);
+        // Lines never span pages, so per-line renaming is exact.
+        const Addr ca = canon(a);
+        l1_->invalidate(ca);
+        l2_->invalidate(ca);
+        llc_->invalidate(ca);
         uint32_t lo = static_cast<uint32_t>(a < addr ? addr - a : 0);
         Addr line_end = a + kLineSize;
         Addr data_end = addr + bytes;

@@ -14,6 +14,7 @@
 
 #include <array>
 #include <memory>
+#include <unordered_map>
 
 #include "src/mem/cache.h"
 #include "src/mem/dram.h"
@@ -41,6 +42,13 @@ class MemoryHierarchy
     /**
      * Perform a demand access; returns the level that satisfied it.
      * NonTemporalStore always reports DRAM.
+     *
+     * Host virtual addresses are renamed through a first-touch page
+     * table (canon()) before they reach the caches, so set indexing,
+     * prefetching, and DRAM traffic depend only on the order in which
+     * this hierarchy touches pages — never on where the host allocator
+     * happened to place the data. This is what makes simulated cycle
+     * counts bit-identical across runs, host thread counts, and ASLR.
      */
     HitLevel access(Addr addr, AccessType type);
 
@@ -89,7 +97,20 @@ class MemoryHierarchy
     /** Install a writeback into @p c, propagating further dirty victims. */
     void writebackTo(Cache &c, Addr addr, bool to_llc);
 
+    /**
+     * Deterministic address canonicalization: rename the 4KB page of
+     * @p a to a dense id assigned in first-touch order, keeping the
+     * page offset. Sequentially streamed arrays keep contiguous pages
+     * (the stream prefetcher still sees a stream); the mapping persists
+     * across phases and is never reset with the stats.
+     */
+    Addr canon(Addr a);
+
     HierarchyConfig cfg;
+    std::unordered_map<Addr, Addr> pageTable_; ///< host page -> canon page
+    Addr nextPage_ = 0;
+    Addr lastPage_ = ~Addr{0}; ///< 1-entry memo (accesses are page-local)
+    Addr lastCanon_ = 0;
     std::unique_ptr<Cache> l1_;
     std::unique_ptr<Cache> l2_;
     std::unique_ptr<Cache> llc_;

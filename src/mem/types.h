@@ -10,12 +10,22 @@
 
 namespace cobra {
 
-/** Byte address in the simulated (== host) address space. */
+/** Byte address in the simulated address space. */
 using Addr = uint64_t;
 
 /** Cache line size used throughout the model (paper assumes 64B lines). */
 constexpr uint32_t kLineSize = 64;
 constexpr uint32_t kLineShift = 6;
+
+/**
+ * Page granularity of the hierarchy's deterministic address renaming
+ * (MemoryHierarchy::canon). Data structures whose accesses are replayed
+ * through the simulator should be page-aligned so their layout within a
+ * page — and therefore their simulated cache behavior — does not depend
+ * on the host allocator.
+ */
+constexpr uint32_t kPageSize = 4096;
+constexpr uint32_t kPageShift = 12;
 
 /** Line-align an address. */
 constexpr Addr

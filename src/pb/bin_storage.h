@@ -19,8 +19,8 @@
 #include "src/pb/bin_range.h"
 #include "src/pb/tuple.h"
 #include "src/sim/exec_ctx.h"
+#include "src/util/aligned_array.h"
 #include "src/util/error.h"
-#include "src/util/prefix_sum.h"
 
 namespace cobra {
 
@@ -40,7 +40,7 @@ class BinStorage
     using Tuple = BinTuple<Payload>;
 
     explicit BinStorage(const BinningPlan &plan_)
-        : plan(plan_), counts(plan_.numBins, 0)
+        : plan(plan_), counts(plan_.numBins)
     {
     }
 
@@ -62,15 +62,46 @@ class BinStorage
         ctx.store(&counts[b], 4);
     }
 
+    /**
+     * Pre-size starts/cursors/data from externally computed final counts
+     * so finalizeInit needs no allocation. The host-parallel simulator
+     * uses this: every address a simulated core will touch must be
+     * fixed before phase work is dispatched to workers, so that each
+     * core's page-touch order (which drives the hierarchy's address
+     * canonicalization) stays host-schedule-independent. Purely
+     * functional: no ExecCtx cost, and the Init phase still pays for
+     * its counting + prefix sum as usual.
+     */
+    void
+    preallocate(const std::vector<uint32_t> &final_counts)
+    {
+        COBRA_PANIC_IF(finalized, "preallocate after finalizeInit");
+        COBRA_PANIC_IF(final_counts.size() != counts.size(),
+                       "preallocate count size mismatch");
+        layOut(final_counts.data());
+        preallocated = true;
+    }
+
     /** Init phase: prefix-sum the counts and allocate the bin memory. */
     void
     finalizeInit(ExecCtx &ctx)
     {
         COBRA_PANIC_IF(finalized, "finalizeInit called twice");
-        std::vector<uint64_t> wide(counts.begin(), counts.end());
-        starts = exclusivePrefixSum(wide);
-        cursors.assign(starts.begin(), starts.end() - 1);
-        data.resize(starts.back());
+        if (preallocated) {
+            // Allocation-free replay: verify the prescan against the
+            // counted inserts and rebuild the cursors in place.
+            uint64_t run = 0;
+            for (uint32_t b = 0; b < numBins(); ++b) {
+                COBRA_PANIC_IF(starts[b] != run,
+                               "preallocate/init mismatch at bin " << b);
+                run += counts[b];
+                cursors[b] = starts[b];
+            }
+            COBRA_PANIC_IF(run != starts[numBins()],
+                           "preallocate/init total mismatch");
+        } else {
+            layOut(counts.data());
+        }
         // Prefix-sum cost: one load+add+store per bin.
         for (uint32_t b = 0; b < numBins(); ++b) {
             ctx.instr(1);
@@ -125,16 +156,37 @@ class BinStorage
     resetCursors()
     {
         COBRA_PANIC_IF(!finalized, "resetCursors before finalizeInit");
-        cursors.assign(starts.begin(), starts.end() - 1);
+        for (uint32_t b = 0; b < numBins(); ++b)
+            cursors[b] = starts[b];
     }
 
   private:
+    /** Build starts/cursors/data from @p final_counts (numBins values). */
+    void
+    layOut(const uint32_t *final_counts)
+    {
+        starts = AlignedArray<uint64_t, kPageSize>(numBins() + 1);
+        cursors = AlignedArray<uint64_t, kPageSize>(numBins());
+        uint64_t run = 0;
+        for (uint32_t b = 0; b < numBins(); ++b) {
+            starts[b] = cursors[b] = run;
+            run += final_counts[b];
+        }
+        starts[numBins()] = run;
+        data = AlignedArray<Tuple, kPageSize>(run);
+    }
+
+    // All four arrays are fed to ExecCtx::load/store, so they are page-
+    // aligned: their in-page layout (hence their simulated cache
+    // behavior under the hierarchy's page renaming) is independent of
+    // the host allocator. See kPageSize in src/mem/types.h.
     BinningPlan plan;
-    std::vector<uint32_t> counts; ///< 4B counters keep the pass compact
-    std::vector<uint64_t> starts;  ///< per-bin base offsets (+ total)
-    std::vector<uint64_t> cursors; ///< BinOffset array
-    std::vector<Tuple> data;
+    AlignedArray<uint32_t, kPageSize> counts; ///< 4B counters (compact)
+    AlignedArray<uint64_t, kPageSize> starts; ///< per-bin offsets (+ total)
+    AlignedArray<uint64_t, kPageSize> cursors; ///< BinOffset array
+    AlignedArray<Tuple, kPageSize> data;
     bool finalized = false;
+    bool preallocated = false;
 };
 
 } // namespace cobra

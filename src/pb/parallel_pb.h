@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Native host-parallel software PB runtime (paper Algorithm 2, Section
+ * III-A — the real-machine half of the methodology).
+ *
+ * Parallel PB needs no synchronization inside either hot phase:
+ *
+ *  - Binning: the update stream is sharded contiguously, one shard per
+ *    pool thread, and every thread owns a private PbBinner (bins +
+ *    C-Buffers), so threads never write shared state. C-Buffer drains use
+ *    real non-temporal stores (see stream_copy.h) followed by one fence
+ *    at the phase barrier.
+ *  - Accumulate: bins are partitioned contiguously across threads. A bin
+ *    covers a disjoint index range, so the thread that owns bin b applies
+ *    tuples from *every* thread's copy of bin b without racing any other
+ *    thread — the apply callback may freely mutate the indexed data.
+ *
+ * The phase barrier between Binning and Accumulate is the pool's wait();
+ * the PhaseRecorder brackets give the same Init/Binning/Accumulate
+ * structure as the sequential pipeline (runPbPipeline), so Table-I-style
+ * phase breakdowns work for threaded runs too.
+ */
+
+#ifndef COBRA_PB_PARALLEL_PB_H
+#define COBRA_PB_PARALLEL_PB_H
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/pb/pb_binner.h"
+#include "src/sim/phase_recorder.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+
+/**
+ * Runs the three PB phases for one kernel execution on a ThreadPool.
+ *
+ * The caller describes its update stream positionally:
+ *   index_of(i)  -> uint32_t                     (Init counting pass)
+ *   update_of(i) -> std::pair<uint32_t, Payload> (Binning pass)
+ *   apply(tuple)                                 (Accumulate pass)
+ * apply() runs concurrently on different threads but only ever for
+ * disjoint bins (disjoint index ranges); index_of/update_of must be
+ * safe to call concurrently for disjoint i (pure reads qualify).
+ */
+template <typename Payload>
+class ParallelPbRunner
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+
+    ParallelPbRunner(ThreadPool &pool, const BinningPlan &plan)
+        : pool_(pool), plan_(plan)
+    {
+    }
+
+    const BinningPlan &plan() const { return plan_; }
+
+    /** Shards (== per-thread binners) used by the last run(). */
+    size_t shards() const { return binners_.size(); }
+
+    /** Tuples binned across all shards in the last run(). */
+    uint64_t
+    tuplesBinned() const
+    {
+        uint64_t n = 0;
+        for (const auto &b : binners_)
+            n += b->tuplesBinned();
+        return n;
+    }
+
+    template <typename IndexOf, typename UpdateOf, typename Apply>
+    void
+    run(size_t num_updates, PhaseRecorder &rec, IndexOf &&index_of,
+        UpdateOf &&update_of, Apply &&apply)
+    {
+        ExecCtx native; // uninstrumented: full host speed
+        const size_t nshards =
+            std::max<size_t>(1, std::min(pool_.numThreads(), num_updates));
+        const size_t chunk = (num_updates + nshards - 1) / nshards;
+
+        // Init: per-thread counting of its own shard, then per-binner
+        // prefix sums — each thread sizes exactly the bins it will fill.
+        rec.begin(native, phase::kInit);
+        binners_.clear();
+        binners_.resize(nshards);
+        for (size_t t = 0; t < nshards; ++t) {
+            pool_.enqueue([this, t, chunk, num_updates, &index_of] {
+                ExecCtx ctx;
+                auto bn = std::make_unique<PbBinner<Payload>>(plan_);
+                const size_t begin = t * chunk;
+                const size_t end = std::min(num_updates, begin + chunk);
+                for (size_t i = begin; i < end; ++i)
+                    bn->initCount(ctx, index_of(i));
+                bn->finalizeInit(ctx);
+                binners_[t] = std::move(bn);
+            });
+        }
+        pool_.wait();
+        rec.end(native);
+
+        // Binning: synchronization-free, per-thread private binners.
+        rec.begin(native, phase::kBinning);
+        for (size_t t = 0; t < nshards; ++t) {
+            pool_.enqueue([this, t, chunk, num_updates, &update_of] {
+                ExecCtx ctx;
+                PbBinner<Payload> &bn = *binners_[t];
+                const size_t begin = t * chunk;
+                const size_t end = std::min(num_updates, begin + chunk);
+                for (size_t i = begin; i < end; ++i) {
+                    std::pair<uint32_t, Payload> u = update_of(i);
+                    bn.insert(ctx, u.first, u.second);
+                }
+                bn.flush(ctx); // fences the NT drains
+            });
+        }
+        pool_.wait(); // Binning/Accumulate barrier
+        rec.end(native);
+
+        // Accumulate: contiguous bin ranges per thread; the owner of bin
+        // b streams all threads' copies of b (Algorithm 2, lines 6-11).
+        rec.begin(native, phase::kAccumulate);
+        const size_t nbins = plan_.numBins;
+        const size_t bshards = std::max<size_t>(
+            1, std::min(pool_.numThreads(), nbins));
+        const size_t bchunk = (nbins + bshards - 1) / bshards;
+        for (size_t s = 0; s < bshards; ++s) {
+            pool_.enqueue([this, s, bchunk, nbins, &apply] {
+                ExecCtx ctx;
+                const size_t begin = s * bchunk;
+                const size_t end = std::min(nbins, begin + bchunk);
+                for (size_t b = begin; b < end; ++b)
+                    for (auto &bn : binners_)
+                        bn->forEachInBin(ctx, static_cast<uint32_t>(b),
+                                         apply);
+            });
+        }
+        pool_.wait();
+        rec.end(native);
+    }
+
+  private:
+    ThreadPool &pool_;
+    BinningPlan plan_;
+    std::vector<std::unique_ptr<PbBinner<Payload>>> binners_;
+};
+
+} // namespace cobra
+
+#endif // COBRA_PB_PARALLEL_PB_H

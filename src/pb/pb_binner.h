@@ -20,6 +20,7 @@
 
 #include "src/pb/bin_storage.h"
 #include "src/util/aligned_array.h"
+#include "src/util/stream_copy.h"
 
 namespace cobra {
 
@@ -96,6 +97,10 @@ class PbBinner
             if (counts[b] != 0)
                 drainBuffer(ctx, b);
         }
+        // Native drains used weakly-ordered NT stores: fence before the
+        // Binning/Accumulate barrier hands these bins to other threads.
+        if (!ctx.simulated())
+            streamFence();
     }
 
     /**
@@ -107,7 +112,17 @@ class PbBinner
     forEachInBin(ExecCtx &ctx, uint32_t bin, Fn &&fn)
     {
         auto tuples = store.bin(bin);
-        for (const Tuple &t : tuples) {
+        // Native fast path: the tuple stream defeats no prefetcher, but
+        // the bins live in DRAM after NT-store drains, so fetching a few
+        // lines ahead hides the cold-miss latency of each new line.
+        constexpr size_t kTuplesPerLine = kLineSize / sizeof(Tuple);
+        constexpr size_t kPrefetchAhead = 4 * kTuplesPerLine;
+        const bool native = !ctx.simulated();
+        const size_t n = tuples.size();
+        for (size_t i = 0; i < n; ++i) {
+            if (native && i % kTuplesPerLine == 0 && i + kPrefetchAhead < n)
+                __builtin_prefetch(&tuples[i + kPrefetchAhead], 0, 0);
+            const Tuple &t = tuples[i];
             ctx.load(&t, sizeof(Tuple));
             ctx.instr(1); // loop increment
             fn(t);
@@ -124,7 +139,13 @@ class PbBinner
         const uint32_t n = counts[b];
         Tuple *src = &cbufs[static_cast<size_t>(b) * kTuplesPerBuffer];
         Tuple *dst = store.appendRaw(b, n);
-        std::memcpy(dst, src, n * sizeof(Tuple));
+        // Native runs drain with real WC non-temporal stores; simulated
+        // runs keep memcpy (the ntStore() report below models the NT
+        // traffic) so counted results are unchanged.
+        if (ctx.simulated())
+            std::memcpy(dst, src, n * sizeof(Tuple));
+        else
+            streamCopy(dst, src, n * sizeof(Tuple));
         // Bulk transfer: cursor update + one WC non-temporal store of the
         // buffer line (the reason C-Buffers exist).
         ctx.instr(2);
@@ -135,9 +156,12 @@ class PbBinner
         ctx.store(&counts[b], sizeof(uint32_t));
     }
 
+    // Page-aligned (not just line-aligned): both arrays are replayed
+    // through ExecCtx, so their in-page layout must not depend on the
+    // host allocator (see the hierarchy's address canonicalization).
     BinStorage<Payload> store;
-    AlignedArray<Tuple> cbufs;      ///< numBins cacheline-sized C-Buffers
-    AlignedArray<uint32_t> counts;  ///< per-C-Buffer occupancy
+    AlignedArray<Tuple, kPageSize> cbufs; ///< numBins line-sized C-Buffers
+    AlignedArray<uint32_t, kPageSize> counts; ///< per-C-Buffer occupancy
 };
 
 } // namespace cobra

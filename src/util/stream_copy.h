@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Non-temporal (write-combining) memory copy for the native PB runtime.
+ *
+ * PB's Binning phase writes each in-memory bin strictly sequentially and
+ * never reads it back until Accumulate, so its C-Buffer drains are the
+ * textbook use for streaming stores: they bypass the cache hierarchy and
+ * avoid the read-for-ownership that a normal store would issue, halving
+ * the bin write traffic and keeping the bins from evicting the C-Buffer
+ * working set (paper Section III-C; the authors added the same
+ * non-temporal store modeling to Sniper).
+ *
+ * On non-x86 hosts (or without SSE2) everything degrades to memcpy, which
+ * keeps the native runtime portable; the simulated path never calls these
+ * helpers, so simulation results are identical on every host.
+ */
+
+#ifndef COBRA_UTIL_STREAM_COPY_H
+#define COBRA_UTIL_STREAM_COPY_H
+
+#include <cstdint>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace cobra {
+
+/**
+ * Copy @p bytes from @p src to @p dst, using non-temporal stores for the
+ * 16B-aligned body of the destination. Handles any alignment/size: the
+ * head (up to alignment) and the sub-16B tail fall back to plain stores
+ * (8B tail still streams via _mm_stream_si64 when the pointer allows).
+ */
+inline void
+streamCopy(void *dst, const void *src, size_t bytes)
+{
+#if defined(__SSE2__)
+    auto *d = static_cast<unsigned char *>(dst);
+    auto *s = static_cast<const unsigned char *>(src);
+    size_t head = (16 - (reinterpret_cast<uintptr_t>(d) & 15)) & 15;
+    if (head > bytes)
+        head = bytes;
+    if (head) {
+        std::memcpy(d, s, head);
+        d += head;
+        s += head;
+        bytes -= head;
+    }
+    while (bytes >= 16) {
+        __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i *>(s));
+        _mm_stream_si128(reinterpret_cast<__m128i *>(d), v);
+        d += 16;
+        s += 16;
+        bytes -= 16;
+    }
+#if defined(__x86_64__)
+    if (bytes >= 8) {
+        long long v;
+        std::memcpy(&v, s, 8);
+        _mm_stream_si64(reinterpret_cast<long long *>(d), v);
+        d += 8;
+        s += 8;
+        bytes -= 8;
+    }
+#endif
+    if (bytes)
+        std::memcpy(d, s, bytes);
+#else
+    std::memcpy(dst, src, bytes);
+#endif
+}
+
+/**
+ * Order all prior non-temporal stores before subsequent operations. Must
+ * run before bins written with streamCopy are handed to another thread
+ * (the Binning-to-Accumulate barrier); WC stores are weakly ordered.
+ */
+inline void
+streamFence()
+{
+#if defined(__SSE2__)
+    _mm_sfence();
+#endif
+}
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_STREAM_COPY_H

@@ -38,8 +38,15 @@ ThreadPool::enqueue(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::unique_lock<std::mutex> lk(mtx);
-    cvDone.wait(lk, [this] { return inFlight == 0; });
+    std::exception_ptr err;
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        cvDone.wait(lk, [this] { return inFlight == 0; });
+        err = firstError;
+        firstError = nullptr;
+    }
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void
@@ -48,6 +55,8 @@ ThreadPool::parallelFor(size_t n,
 {
     if (n == 0)
         return;
+    // Never more blocks than items: with n < numThreads() each block is a
+    // single item and no empty range is ever enqueued.
     const size_t nt = std::min(numThreads(), n);
     const size_t chunk = (n + nt - 1) / nt;
     for (size_t t = 0; t < nt; ++t) {
@@ -73,7 +82,13 @@ ThreadPool::workerLoop()
             task = std::move(tasks.front());
             tasks.pop();
         }
-        task();
+        try {
+            task();
+        } catch (...) {
+            std::unique_lock<std::mutex> lk(mtx);
+            if (!firstError)
+                firstError = std::current_exception();
+        }
         {
             std::unique_lock<std::mutex> lk(mtx);
             if (--inFlight == 0)

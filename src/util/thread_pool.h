@@ -4,9 +4,18 @@
  *
  * Software PB is a parallel optimization: every thread owns private bins and
  * coalescing buffers so Binning needs no synchronization (paper Section
- * III-A). The native (wall-clock) PB runtime uses this pool; the simulated
- * runs model a single core plus its NUCA slice and therefore execute
- * sequentially (see DESIGN.md Section 5).
+ * III-A). Two subsystems run on this pool:
+ *
+ *  - the native (wall-clock) parallel PB runtime (src/pb/parallel_pb.h),
+ *    which shards the update stream across per-thread PbBinners;
+ *  - the host-parallel multicore simulator (src/harness/parallel.h), which
+ *    dispatches each simulated core's between-barrier work onto a worker.
+ *    Per-core state is private, so the simulation is bit-identical for any
+ *    host thread count (see DESIGN.md Section 5).
+ *
+ * A task that throws does not take the process down: the pool captures the
+ * first exception and rethrows it from wait() (and therefore from
+ * parallelFor), after every in-flight task has finished.
  */
 
 #ifndef COBRA_UTIL_THREAD_POOL_H
@@ -14,6 +23,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -38,12 +48,17 @@ class ThreadPool
     /** Enqueue a task; returns immediately. */
     void enqueue(std::function<void()> task);
 
-    /** Block until every enqueued task has finished. */
+    /**
+     * Block until every enqueued task has finished. If any task threw, the
+     * first captured exception is rethrown here (and cleared, so the pool
+     * stays usable).
+     */
     void wait();
 
     /**
-     * Run fn(thread_id, begin, end) over [0, n) split into one contiguous
-     * block per worker. Blocks until all blocks complete.
+     * Run fn(block_id, begin, end) over [0, n) split into one contiguous
+     * block per worker (never more blocks than n, never an empty block).
+     * Blocks until all blocks complete; rethrows the first task exception.
      */
     void parallelFor(size_t n,
                      const std::function<void(size_t, size_t, size_t)> &fn);
@@ -56,6 +71,7 @@ class ThreadPool
     std::mutex mtx;
     std::condition_variable cvTask;
     std::condition_variable cvDone;
+    std::exception_ptr firstError;
     size_t inFlight = 0;
     bool stopping = false;
 };

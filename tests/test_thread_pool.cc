@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "src/util/thread_pool.h"
 
@@ -66,6 +67,52 @@ TEST(ThreadPool, ThreadIdsDisjoint)
     for (auto &c : per_thread)
         total += c.load();
     EXPECT_EQ(total, 400);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    pool.enqueue([] { throw std::runtime_error("boom"); });
+    for (int i = 0; i < 10; ++i)
+        pool.enqueue([&done] { ++done; });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // All non-throwing tasks still ran to completion before the rethrow.
+    EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, PoolUsableAfterException)
+{
+    ThreadPool pool(2);
+    pool.enqueue([] { throw std::logic_error("first"); });
+    EXPECT_THROW(pool.wait(), std::logic_error);
+    // The captured exception was cleared; the pool keeps working.
+    std::atomic<int> count{0};
+    pool.enqueue([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionPropagates)
+{
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i)
+        pool.enqueue([] { throw std::runtime_error("each task throws"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // Later captures were dropped, not deferred to the next wait().
+    pool.enqueue([] {});
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](size_t, size_t b, size_t) {
+                                      if (b == 0)
+                                          throw std::runtime_error("shard");
+                                  }),
+                 std::runtime_error);
 }
 
 TEST(ThreadPool, ReusableAcrossWaves)
