@@ -14,12 +14,24 @@
  * Kernels: degree, np, pagerank, radii, sort
  * Inputs:  kron, urnd, road (generated) or --graph-file <path.el|.bel>
  * Techniques: baseline, pb, ideal, cobra, comm, phi
+ *
+ * Robustness harness:
+ *   --check            run the differential oracle (element-level
+ *                      divergence report against the serial reference)
+ *   --inject SITE[:N[:SEED]]
+ *                      arm a fault at the named injection point for the
+ *                      run; pair with --check to watch the oracle
+ *                      localize it (see --inject help for site names)
  */
 
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
+
+#include "src/check/differential_oracle.h"
+#include "src/check/fault_injector.h"
 
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
@@ -55,6 +67,8 @@ struct Options
     bool json = false;       ///< machine-readable output
     bool autoBins = false;   ///< pick bins with the PB auto-tuner
     std::string dumpTrace;   ///< write the update-index trace here
+    bool check = false;      ///< run under the differential oracle
+    std::string inject;      ///< fault spec: SITE[:N[:SEED]]
 };
 
 [[noreturn]] void
@@ -67,8 +81,49 @@ usage(const char *argv0)
            "       [--technique baseline|pb|ideal|cobra|comm|phi]\n"
            "       [--nodes N] [--edges M] [--bins B|--auto-bins]\n"
            "       [--native] [--stats] [--json]\n"
-           "       [--dump-trace out.trc]\n";
+           "       [--dump-trace out.trc]\n"
+           "       [--check] [--inject SITE[:N[:SEED]]]\n"
+           "(--inject help lists the fault sites)\n";
     std::exit(2);
+}
+
+/**
+ * Parse "SITE[:N[:SEED]]" into an armed-but-inactive injector.
+ * Throws kInvalidArgument (listing all site names) on a bad spec.
+ */
+std::unique_ptr<FaultInjector>
+makeInjector(const std::string &spec)
+{
+    if (spec == "help" || spec == "list") {
+        std::cout << "fault sites:\n";
+        for (FaultSite s : allFaultSites())
+            std::cout << "  " << to_string(s) << "\n";
+        std::exit(0);
+    }
+    std::string name = spec;
+    uint64_t fire_at = 1;
+    uint64_t seed = 0x5eedfa17ULL;
+    if (auto c1 = spec.find(':'); c1 != std::string::npos) {
+        name = spec.substr(0, c1);
+        std::string rest = spec.substr(c1 + 1);
+        std::string n_str = rest;
+        if (auto c2 = rest.find(':'); c2 != std::string::npos) {
+            n_str = rest.substr(0, c2);
+            seed = std::strtoull(rest.substr(c2 + 1).c_str(), nullptr, 0);
+        }
+        fire_at = std::strtoull(n_str.c_str(), nullptr, 0);
+    }
+    auto site = faultSiteFromName(name);
+    if (!site) {
+        std::string known;
+        for (FaultSite s : allFaultSites())
+            known += std::string(" ") + to_string(s);
+        COBRA_THROW_IF(true, ErrorCode::kInvalidArgument,
+                       "unknown fault site '" << name
+                                              << "'; known sites:"
+                                              << known);
+    }
+    return std::make_unique<FaultInjector>(*site, fire_at, seed);
 }
 
 Options
@@ -107,6 +162,10 @@ parse(int argc, char **argv)
             o.json = true;
         } else if (a == "--auto-bins") {
             o.autoBins = true;
+        } else if (a == "--check") {
+            o.check = true;
+        } else if (a == "--inject") {
+            o.inject = need(++i);
         } else {
             std::cerr << "unknown flag: " << a << "\n";
             usage(argv[0]);
@@ -115,12 +174,15 @@ parse(int argc, char **argv)
     return o;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+runCli(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+
+    // Armed (but not yet active) fault injector, if requested.
+    std::unique_ptr<FaultInjector> fi;
+    if (!o.inject.empty())
+        fi = makeInjector(o.inject);
 
     // --- input ---
     std::unique_ptr<GraphInput> g;
@@ -188,20 +250,39 @@ main(int argc, char **argv)
         ExecCtx ctx;
         PhaseRecorder rec;
         Timer t;
-        if (o.technique == "baseline")
-            kernel->runBaseline(ctx, rec);
-        else if (o.technique == "pb")
-            kernel->runPb(ctx, rec, o.bins);
-        else if (o.technique == "phi")
-            kernel->runPhi(ctx, rec, o.bins);
-        else {
-            std::cerr << "--native supports baseline|pb|phi (COBRA "
-                         "needs the simulator)\n";
-            return 2;
+        {
+            std::optional<FaultInjector::Scope> scope;
+            if (fi)
+                scope.emplace(*fi);
+            if (o.technique == "baseline")
+                kernel->runBaseline(ctx, rec);
+            else if (o.technique == "pb")
+                kernel->runPb(ctx, rec, o.bins);
+            else if (o.technique == "phi")
+                kernel->runPhi(ctx, rec, o.bins);
+            else {
+                std::cerr << "--native supports baseline|pb|phi (COBRA "
+                             "needs the simulator)\n";
+                return 2;
+            }
         }
         std::cout << o.kernel << "/" << o.technique << " on "
                   << g->name << ": " << t.millis() << " ms, "
                   << (kernel->verify() ? "verified" : "WRONG!") << "\n";
+        if (o.check) {
+            // Element-level report (the Runner-based oracle drives
+            // simulated runs; natively we ask the kernel directly).
+            if (auto d = kernel->firstDivergence()) {
+                std::cout << "DIVERGED at element " << d->element
+                          << " (expected " << d->expected << ", got "
+                          << d->actual << ") — " << d->detail << "\n";
+                if (fi)
+                    std::cout << "injected fault: " << fi->provenance()
+                              << "\n";
+                return 1;
+            }
+            std::cout << "oracle: PASS\n";
+        }
         return kernel->verify() ? 0 : 1;
     }
 
@@ -209,22 +290,44 @@ main(int argc, char **argv)
     Runner runner;
     RunOptions ro;
     ro.pbBins = o.bins;
-    RunResult r;
-    if (o.technique == "baseline")
-        r = runner.run(*kernel, Technique::Baseline);
-    else if (o.technique == "pb")
-        r = runner.run(*kernel, Technique::PbSw, ro);
-    else if (o.technique == "ideal")
-        r = runner.pbIdeal(*kernel, Runner::defaultBinLadder(
-                                        kernel->numIndices()));
-    else if (o.technique == "cobra")
-        r = runner.run(*kernel, Technique::Cobra, ro);
-    else if (o.technique == "comm")
-        r = runner.run(*kernel, Technique::CobraComm, ro);
-    else if (o.technique == "phi")
-        r = runner.run(*kernel, Technique::Phi, ro);
-    else
+    std::map<std::string, Technique> tech_names{
+        {"baseline", Technique::Baseline}, {"pb", Technique::PbSw},
+        {"cobra", Technique::Cobra},       {"comm", Technique::CobraComm},
+        {"phi", Technique::Phi},
+    };
+    if (o.technique != "ideal" && !tech_names.count(o.technique))
         usage(argv[0]);
+
+    if (o.check) {
+        // Differential-oracle mode: single-technique runs only ("ideal"
+        // is a bin-ladder composite with no one run to localize).
+        COBRA_THROW_IF(o.technique == "ideal",
+                       ErrorCode::kInvalidArgument,
+                       "--check needs a single technique, not the "
+                       "'ideal' bin ladder");
+        DifferentialOracle oracle(runner);
+        OracleReport rep;
+        {
+            std::optional<FaultInjector::Scope> scope;
+            if (fi)
+                scope.emplace(*fi);
+            rep = oracle.check(*kernel, tech_names.at(o.technique), ro);
+        }
+        std::cout << rep.toString() << "\n";
+        return rep.passed ? 0 : 1;
+    }
+
+    RunResult r;
+    {
+        std::optional<FaultInjector::Scope> scope;
+        if (fi)
+            scope.emplace(*fi);
+        if (o.technique == "ideal")
+            r = runner.pbIdeal(*kernel, Runner::defaultBinLadder(
+                                            kernel->numIndices()));
+        else
+            r = runner.run(*kernel, tech_names.at(o.technique), ro);
+    }
 
     if (o.json) {
         JsonWriter w(std::cout);
@@ -270,4 +373,22 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "verified: " << (r.verified ? "yes" : "NO") << "\n";
     return r.verified ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Library code reports failures as cobra::Error; the CLI boundary is
+    // where they turn into a message and an exit code.
+    try {
+        return runCli(argc, argv);
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception &e) {
+        std::cerr << "internal error: " << e.what() << "\n";
+        return 1;
+    }
 }

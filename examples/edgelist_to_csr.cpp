@@ -86,7 +86,7 @@ pbBuild(NodeId n, const EdgeList &el, ThreadPool &pool, uint32_t bins)
 
 int
 main(int argc, char **argv)
-{
+try {
     const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoll(argv[1]))
                               : (1u << 20);
     const uint64_t m = argc > 2
@@ -113,4 +113,10 @@ main(int argc, char **argv)
     bool ok = sortNeighborhoods(direct) == sortNeighborhoods(via_pb);
     std::cout << "results match: " << (ok ? "yes" : "NO") << "\n";
     return ok ? 0 : 1;
+}
+catch (const std::exception &e) {
+    // Library failures surface as cobra::Error (a runtime_error); an
+    // example main is a terminating boundary, not a recovery point.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
 }

@@ -22,7 +22,7 @@ using namespace cobra;
 
 int
 main(int argc, char **argv)
-{
+try {
     const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoll(argv[1]))
                               : (1u << 20);
     const uint64_t m = argc > 2
@@ -57,4 +57,10 @@ main(int argc, char **argv)
                  "examples/simulate_cobra (the COBRA architecture "
                  "model),\nbench/ (every figure of the paper).\n";
     return 0;
+}
+catch (const std::exception &e) {
+    // Library failures surface as cobra::Error (a runtime_error); an
+    // example main is a terminating boundary, not a recovery point.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
 }

@@ -20,7 +20,7 @@ using namespace cobra;
 
 int
 main(int argc, char **argv)
-{
+try {
     const NodeId n = argc > 1 ? static_cast<NodeId>(std::atoll(argv[1]))
                               : (1u << 18);
     const uint64_t m = argc > 2
@@ -59,4 +59,10 @@ main(int argc, char **argv)
     std::cout << "Per-phase cycles come from bench_fig11_phase_speedups; "
                  "every paper figure has a bench/ binary.\n";
     return 0;
+}
+catch (const std::exception &e) {
+    // Library failures surface as cobra::Error (a runtime_error); an
+    // example main is a terminating boundary, not a recovery point.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
 }

@@ -19,7 +19,7 @@ using namespace cobra;
 
 int
 main(int argc, char **argv)
-{
+try {
     const uint64_t n = argc > 1
         ? static_cast<uint64_t>(std::atoll(argv[1]))
         : (16ull << 20);
@@ -55,4 +55,10 @@ main(int argc, char **argv)
                   << (k.verify() ? "verified" : "WRONG") << ")\n";
     }
     return 0;
+}
+catch (const std::exception &e) {
+    // Library failures surface as cobra::Error (a runtime_error); an
+    // example main is a terminating boundary, not a recovery point.
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
 }

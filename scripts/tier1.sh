@@ -1,8 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
+#
+#   scripts/tier1.sh             # normal Release build in build/
+#   scripts/tier1.sh --sanitize  # ASan+UBSan build in build-asan/
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j "$(nproc)"
-cd build && ctest --output-on-failure -j "$(nproc)"
+BUILD_DIR=build
+CMAKE_ARGS=()
+if [[ "${1:-}" == "--sanitize" ]]; then
+    BUILD_DIR=build-asan
+    CMAKE_ARGS+=(-DCOBRA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+fi
+
+cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"

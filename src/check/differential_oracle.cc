@@ -1,0 +1,105 @@
+#include "src/check/differential_oracle.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/check/fault_injector.h"
+#include "src/pb/bin_range.h"
+
+namespace cobra {
+
+namespace {
+
+/**
+ * Reconstruct the binning plan the run used for the divergent index,
+ * mirroring PbBinner (forMaxBins on the bin cap) and CobraBinner's LLC
+ * plan (reserved LLC lines, optionally capped). Baseline has no bins.
+ */
+std::optional<BinningPlan>
+planForRun(const Kernel &kernel, Technique technique,
+           const RunOptions &opts, const MachineConfig &mc)
+{
+    const uint64_t n = kernel.numIndices();
+    if (n == 0)
+        return std::nullopt;
+    switch (technique) {
+      case Technique::Baseline:
+        return std::nullopt;
+      case Technique::PbSw:
+      case Technique::Phi:
+        return BinningPlan::forMaxBins(n, std::max(1u, opts.pbBins));
+      case Technique::Cobra:
+      case Technique::CobraComm: {
+        uint32_t lines =
+            mc.hierarchy.llc.numSets() * opts.cobra.llcReservedWays;
+        if (opts.cobra.llcBuffersOverride)
+            lines = std::min(lines, opts.cobra.llcBuffersOverride);
+        if (lines == 0)
+            return std::nullopt;
+        return BinningPlan::forMaxBins(n, lines);
+      }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+OracleReport
+DifferentialOracle::check(Kernel &kernel, Technique technique,
+                          const RunOptions &opts) const
+{
+    OracleReport rep;
+    rep.kernel = kernel.name();
+    rep.technique = technique;
+    rep.run = runner_.run(kernel, technique, opts);
+
+    // The serial reference lives inside the kernel; firstDivergence()
+    // performs the actual differential comparison.
+    rep.divergence = kernel.firstDivergence();
+    rep.passed = !rep.divergence.has_value();
+
+    if (!rep.passed) {
+        auto plan = planForRun(kernel, technique, opts, runner_.machine());
+        if (plan && rep.divergence->element < plan->numIndices) {
+            const uint32_t idx =
+                static_cast<uint32_t>(rep.divergence->element);
+            rep.binKnown = true;
+            rep.bin = plan->binOf(idx);
+            rep.binFirstIndex = plan->binStartIndex(rep.bin);
+            rep.binLastIndex = std::min<uint64_t>(
+                plan->numIndices - 1,
+                rep.binFirstIndex + plan->binRange() - 1);
+        }
+    }
+
+    if (const FaultInjector *fi = FaultInjector::active(); fi)
+        rep.injection = fi->provenance();
+    return rep;
+}
+
+std::string
+OracleReport::toString() const
+{
+    std::ostringstream oss;
+    oss << kernel << "/" << to_string(technique) << ": ";
+    if (passed) {
+        oss << "output matches serial reference";
+        if (!injection.empty())
+            oss << " (injector armed: " << injection << ")";
+        return oss.str();
+    }
+    oss << "DIVERGED at element " << divergence->element;
+    if (!divergence->expected.empty() || !divergence->actual.empty())
+        oss << " (expected " << divergence->expected << ", got "
+            << divergence->actual << ")";
+    if (!divergence->detail.empty())
+        oss << " — " << divergence->detail;
+    if (binKnown)
+        oss << "; bin " << bin << " [indices " << binFirstIndex << ".."
+            << binLastIndex << "]";
+    if (!injection.empty())
+        oss << "; injected fault: " << injection;
+    return oss.str();
+}
+
+} // namespace cobra

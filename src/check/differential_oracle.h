@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Differential oracle: cross-checks every kernel execution against the
+ * kernel's serial golden reference and localizes the first divergence.
+ *
+ * Each kernel builds a trusted serial reference at construction (the
+ * same arrays verify() compares against); the oracle refines verify()'s
+ * boolean into element-level provenance: which output element diverged,
+ * which bin of the run's binning plan that element lived in, and — when
+ * a FaultInjector was armed — which injection site fired, at which
+ * opportunity, into which bin. The fault-injection tests assert that
+ * every FaultInjector site is caught here, which is what makes the
+ * injector's coverage claims checkable rather than aspirational.
+ */
+
+#ifndef COBRA_CHECK_DIFFERENTIAL_ORACLE_H
+#define COBRA_CHECK_DIFFERENTIAL_ORACLE_H
+
+#include <optional>
+#include <string>
+
+#include "src/harness/experiment.h"
+#include "src/kernels/kernel.h"
+
+namespace cobra {
+
+/** Everything the oracle learned from one cross-checked execution. */
+struct OracleReport
+{
+    std::string kernel;
+    Technique technique = Technique::Baseline;
+    bool passed = false;
+
+    /** First divergent output element (set when !passed). */
+    std::optional<Divergence> divergence;
+
+    /**
+     * Bin provenance of the divergent element under the run's binning
+     * plan (PB/PHI bin cap or the COBRA LLC plan). binKnown is false
+     * for baseline runs, which have no binning structure.
+     */
+    bool binKnown = false;
+    uint32_t bin = 0;
+    uint64_t binFirstIndex = 0; ///< first index the bin covers
+    uint64_t binLastIndex = 0;  ///< last index the bin covers
+
+    /** FaultInjector::provenance() if one was armed during the run. */
+    std::string injection;
+
+    /** The underlying timing/verification result. */
+    RunResult run;
+
+    /** Human-readable one-paragraph report. */
+    std::string toString() const;
+};
+
+/**
+ * Harness mode that runs kernels through Runner and diffs each output
+ * against the kernel's serial reference.
+ */
+class DifferentialOracle
+{
+  public:
+    explicit DifferentialOracle(const Runner &runner) : runner_(runner) {}
+
+    /**
+     * Execute @p kernel under @p technique and cross-check the output.
+     * Never throws on divergence — the report carries the verdict.
+     */
+    OracleReport check(Kernel &kernel, Technique technique,
+                       const RunOptions &opts = RunOptions{}) const;
+
+  private:
+    const Runner &runner_;
+};
+
+} // namespace cobra
+
+#endif // COBRA_CHECK_DIFFERENTIAL_ORACLE_H

@@ -30,6 +30,7 @@
 #include <deque>
 #include <vector>
 
+#include "src/check/fault_injector.h"
 #include "src/core/cobra_config.h"
 #include "src/pb/bin_storage.h"
 #include "src/util/bitops.h"
@@ -173,9 +174,22 @@ class CobraBinner
         ++stat.binUpdates;
         coreTime += cfg.coreCyclesPerUpdate;
 
-        const uint32_t b = levels[0].bufferOf(index);
+        Tuple t = makeTuple<Payload>(index, payload);
+        // Injection points: corrupt one binupdate operand in flight
+        // (disabled: one predicted null check).
+        if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+            if (fi->fire(FaultSite::kCobraCorruptIndex,
+                         levels[0].bufferOf(index)))
+                t.index = fi->corruptIndex(t.index);
+            if (fi->fire(FaultSite::kCobraCorruptPayload,
+                         levels[0].bufferOf(index)))
+                fi->corruptBytes(reinterpret_cast<uint8_t *>(&t) +
+                                     sizeof(t.index),
+                                 sizeof(Tuple) - sizeof(t.index));
+        }
+        const uint32_t b = levels[0].bufferOf(t.index);
         Tuple *buf = &l1Data[size_t{b} * kTuplesPerLine];
-        buf[l1Count[b]++] = makeTuple<Payload>(index, payload);
+        buf[l1Count[b]++] = t;
         if (l1Count[b] == kTuplesPerLine) {
             l1Count[b] = 0;
             evictL1Line(ctx, buf, kTuplesPerLine);
@@ -252,6 +266,9 @@ class CobraBinner
             ctx.instr(1);
             fn(t);
         }
+        // Degraded-mode tail (see BinStorage::appendRaw).
+        if (store.hasOverflow()) [[unlikely]]
+            store.forEachOverflowInBin(bin, fn);
         ctx.branch(branch_site::kAccumulateLoop, !tuples.empty());
     }
 
@@ -292,6 +309,17 @@ class CobraBinner
     void
     evictL1Line(ExecCtx &ctx, const Tuple *tuples, uint32_t n)
     {
+        // Injection points: a full L1 C-Buffer eviction is lost before
+        // reaching FIFO1, or is pushed twice.
+        if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+            const uint32_t b = n ? levels[0].bufferOf(tuples[0].index) : 0;
+            if (fi->fire(FaultSite::kCobraDropEviction, b))
+                return;
+            if (fi->fire(FaultSite::kCobraDuplicateEviction, b)) {
+                ++stat.l1Evictions;
+                scatterToL2(ctx, tuples, n);
+            }
+        }
         ++stat.l1Evictions;
         // FIFO1 admission: stall the core if no slot is free.
         drainFifo(fifo1, coreTime);
@@ -444,8 +472,14 @@ class CobraBinner
     void
     spillLlcBuffer(ExecCtx &ctx, uint32_t b, bool partial)
     {
-        const uint32_t n = llcCount[b];
+        uint32_t n = llcCount[b];
         COBRA_PANIC_IF(n == 0, "spilling empty LLC C-Buffer");
+        // Injection point: the 64B line write to the in-memory bin is
+        // truncated, losing the line's last tuple.
+        if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+            if (n > 1 && fi->fire(FaultSite::kCobraTruncateSpill, b))
+                --n;
+        }
         Tuple *src = &llcData[size_t{b} * kTuplesPerLine];
         Tuple *dst = store.appendRaw(b, n);
         std::memcpy(dst, src, n * sizeof(Tuple));

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "src/util/error.h"
@@ -13,6 +14,7 @@ namespace {
 
 constexpr uint64_t kBelMagic = 0x434F425241424531ULL; // "COBRABE1"
 constexpr uint64_t kCsrMagic = 0x434F425241435231ULL; // "COBRACR1"
+constexpr uint64_t kHeaderBytes = 3 * sizeof(uint64_t);
 
 template <typename T>
 void
@@ -27,8 +29,55 @@ readPod(std::istream &is, const std::string &path)
 {
     T v{};
     is.read(reinterpret_cast<char *>(&v), sizeof(T));
-    COBRA_FATAL_IF(!is, path << ": truncated file");
+    COBRA_THROW_IF(!is, ErrorCode::kCorruptFile, path << ": truncated file");
     return v;
+}
+
+/** Byte size of an open stream (position is restored to the start). */
+uint64_t
+streamSize(std::ifstream &in)
+{
+    in.seekg(0, std::ios::end);
+    const auto sz = in.tellg();
+    in.seekg(0, std::ios::beg);
+    return sz < 0 ? 0 : static_cast<uint64_t>(sz);
+}
+
+/**
+ * Validate that a declared element count is physically satisfiable:
+ * count * elem_bytes must not overflow and must fit in the bytes that
+ * remain after the header. Catches both truncation and a corrupt header
+ * whose count would drive a multi-GB allocation from a tiny file.
+ */
+void
+checkPayloadFits(const std::string &path, const char *what, uint64_t count,
+                 uint64_t elem_bytes, uint64_t payload_bytes)
+{
+    COBRA_THROW_IF(elem_bytes != 0 &&
+                       count > std::numeric_limits<uint64_t>::max() /
+                                   elem_bytes,
+                   ErrorCode::kCorruptFile,
+                   path << ": " << what << " count " << count
+                        << " overflows the payload size");
+    COBRA_THROW_IF(count * elem_bytes > payload_bytes,
+                   ErrorCode::kCorruptFile,
+                   path << ": truncated " << what << " data (need "
+                        << count * elem_bytes << " bytes, have "
+                        << payload_bytes << ")");
+}
+
+template <typename Fn>
+Status
+statusFrom(Fn &&fn) noexcept
+{
+    try {
+        fn();
+        return Status::Ok();
+    } catch (const Error &e) {
+        return Status::FromError(e);
+    } catch (const std::exception &e) {
+        return Status(ErrorCode::kInternal, e.what());
+    }
 }
 
 } // namespace
@@ -37,24 +86,31 @@ EdgeList
 loadEdgeListText(const std::string &path, NodeId *num_nodes)
 {
     std::ifstream in(path);
-    COBRA_FATAL_IF(!in, "cannot open " << path);
+    COBRA_THROW_IF(!in, ErrorCode::kIoError, "cannot open " << path);
     EdgeList el;
     NodeId max_node = 0;
     std::string line;
+    size_t lineno = 0;
     while (std::getline(in, line)) {
+        ++lineno;
         if (line.empty() || line[0] == '#' || line[0] == '%')
             continue;
         std::istringstream ls(line);
         uint64_t s, d;
-        if (!(ls >> s >> d))
-            COBRA_FATAL_IF(true, path << ": malformed line: " << line);
-        COBRA_FATAL_IF(s > ~NodeId{0} || d > ~NodeId{0},
-                       path << ": vertex id exceeds 32 bits");
+        COBRA_THROW_IF(!(ls >> s >> d), ErrorCode::kCorruptFile,
+                       path << ":" << lineno << ": malformed line: "
+                            << line);
+        COBRA_THROW_IF(s > ~NodeId{0} || d > ~NodeId{0},
+                       ErrorCode::kOutOfRange,
+                       path << ":" << lineno
+                            << ": vertex id exceeds 32 bits");
         el.push_back(Edge{static_cast<NodeId>(s),
                           static_cast<NodeId>(d)});
         max_node = std::max({max_node, static_cast<NodeId>(s),
                              static_cast<NodeId>(d)});
     }
+    COBRA_THROW_IF(in.bad(), ErrorCode::kIoError,
+                   path << ": read error mid-file");
     if (num_nodes)
         *num_nodes = el.empty() ? 0 : max_node + 1;
     return el;
@@ -64,26 +120,49 @@ void
 saveEdgeListText(const std::string &path, const EdgeList &el)
 {
     std::ofstream out(path);
-    COBRA_FATAL_IF(!out, "cannot open " << path << " for writing");
+    COBRA_THROW_IF(!out, ErrorCode::kIoError,
+                   "cannot open " << path << " for writing");
     out << "# src dst (cobra edgelist)\n";
     for (const Edge &e : el)
         out << e.src << " " << e.dst << "\n";
-    COBRA_FATAL_IF(!out, "write to " << path << " failed");
+    COBRA_THROW_IF(!out, ErrorCode::kIoError,
+                   "write to " << path << " failed");
 }
 
 EdgeList
 loadEdgeListBinary(const std::string &path, NodeId *num_nodes)
 {
     std::ifstream in(path, std::ios::binary);
-    COBRA_FATAL_IF(!in, "cannot open " << path);
-    COBRA_FATAL_IF(readPod<uint64_t>(in, path) != kBelMagic,
+    COBRA_THROW_IF(!in, ErrorCode::kIoError, "cannot open " << path);
+    const uint64_t bytes = streamSize(in);
+    COBRA_THROW_IF(bytes < kHeaderBytes, ErrorCode::kCorruptFile,
+                   path << ": too small for a cobra binary edgelist");
+    COBRA_THROW_IF(readPod<uint64_t>(in, path) != kBelMagic,
+                   ErrorCode::kCorruptFile,
                    path << ": not a cobra binary edgelist");
     const uint64_t n = readPod<uint64_t>(in, path);
     const uint64_t m = readPod<uint64_t>(in, path);
+    COBRA_THROW_IF(n > uint64_t{1} + ~NodeId{0}, ErrorCode::kCorruptFile,
+                   path << ": numNodes " << n << " exceeds 32-bit ids");
+    COBRA_THROW_IF(n == 0 && m != 0, ErrorCode::kCorruptFile,
+                   path << ": " << m << " edges declared over zero nodes");
+    checkPayloadFits(path, "edge", m, sizeof(Edge), bytes - kHeaderBytes);
+    COBRA_THROW_IF(bytes != kHeaderBytes + m * sizeof(Edge),
+                   ErrorCode::kCorruptFile,
+                   path << ": oversized file (" << bytes << " bytes, header"
+                        << " declares " << kHeaderBytes + m * sizeof(Edge)
+                        << ")");
     EdgeList el(m);
     in.read(reinterpret_cast<char *>(el.data()),
             static_cast<std::streamsize>(m * sizeof(Edge)));
-    COBRA_FATAL_IF(!in, path << ": truncated edge data");
+    COBRA_THROW_IF(!in, ErrorCode::kCorruptFile,
+                   path << ": truncated edge data");
+    for (size_t i = 0; i < el.size(); ++i)
+        COBRA_THROW_IF(el[i].src >= n || el[i].dst >= n,
+                       ErrorCode::kOutOfRange,
+                       path << ": edge " << i << " endpoint ("
+                            << el[i].src << "," << el[i].dst
+                            << ") outside declared " << n << " nodes");
     if (num_nodes)
         *num_nodes = static_cast<NodeId>(n);
     return el;
@@ -94,33 +173,65 @@ saveEdgeListBinary(const std::string &path, NodeId num_nodes,
                    const EdgeList &el)
 {
     std::ofstream out(path, std::ios::binary);
-    COBRA_FATAL_IF(!out, "cannot open " << path << " for writing");
+    COBRA_THROW_IF(!out, ErrorCode::kIoError,
+                   "cannot open " << path << " for writing");
     writePod(out, kBelMagic);
     writePod(out, static_cast<uint64_t>(num_nodes));
     writePod(out, static_cast<uint64_t>(el.size()));
     out.write(reinterpret_cast<const char *>(el.data()),
               static_cast<std::streamsize>(el.size() * sizeof(Edge)));
-    COBRA_FATAL_IF(!out, "write to " << path << " failed");
+    COBRA_THROW_IF(!out, ErrorCode::kIoError,
+                   "write to " << path << " failed");
 }
 
 CsrGraph
 loadCsrBinary(const std::string &path)
 {
     std::ifstream in(path, std::ios::binary);
-    COBRA_FATAL_IF(!in, "cannot open " << path);
-    COBRA_FATAL_IF(readPod<uint64_t>(in, path) != kCsrMagic,
+    COBRA_THROW_IF(!in, ErrorCode::kIoError, "cannot open " << path);
+    const uint64_t bytes = streamSize(in);
+    COBRA_THROW_IF(bytes < kHeaderBytes, ErrorCode::kCorruptFile,
+                   path << ": too small for a cobra binary CSR");
+    COBRA_THROW_IF(readPod<uint64_t>(in, path) != kCsrMagic,
+                   ErrorCode::kCorruptFile,
                    path << ": not a cobra binary CSR");
     const uint64_t n = readPod<uint64_t>(in, path);
     const uint64_t m = readPod<uint64_t>(in, path);
+    COBRA_THROW_IF(n > uint64_t{1} + ~NodeId{0}, ErrorCode::kCorruptFile,
+                   path << ": numNodes " << n << " exceeds 32-bit ids");
+    const uint64_t payload = bytes - kHeaderBytes;
+    checkPayloadFits(path, "offset", n + 1, sizeof(EdgeOffset), payload);
+    const uint64_t offset_bytes = (n + 1) * sizeof(EdgeOffset);
+    checkPayloadFits(path, "neighbor", m, sizeof(NodeId),
+                     payload - offset_bytes);
+    COBRA_THROW_IF(bytes != kHeaderBytes + offset_bytes +
+                                m * sizeof(NodeId),
+                   ErrorCode::kCorruptFile,
+                   path << ": oversized file (" << bytes
+                        << " bytes, header declares "
+                        << kHeaderBytes + offset_bytes + m * sizeof(NodeId)
+                        << ")");
     std::vector<EdgeOffset> offsets(n + 1);
     std::vector<NodeId> neighs(m);
     in.read(reinterpret_cast<char *>(offsets.data()),
-            static_cast<std::streamsize>((n + 1) * sizeof(EdgeOffset)));
+            static_cast<std::streamsize>(offset_bytes));
     in.read(reinterpret_cast<char *>(neighs.data()),
             static_cast<std::streamsize>(m * sizeof(NodeId)));
-    COBRA_FATAL_IF(!in, path << ": truncated CSR data");
-    COBRA_FATAL_IF(offsets.back() != m,
+    COBRA_THROW_IF(!in, ErrorCode::kCorruptFile,
+                   path << ": truncated CSR data");
+    COBRA_THROW_IF(offsets.front() != 0, ErrorCode::kCorruptFile,
+                   path << ": inconsistent CSR (offsets[0] != 0)");
+    COBRA_THROW_IF(offsets.back() != m, ErrorCode::kCorruptFile,
                    path << ": inconsistent CSR (offsets.back != m)");
+    for (uint64_t v = 0; v < n; ++v)
+        COBRA_THROW_IF(offsets[v] > offsets[v + 1],
+                       ErrorCode::kCorruptFile,
+                       path << ": inconsistent CSR (offsets decrease at "
+                            << v << ")");
+    for (uint64_t i = 0; i < m; ++i)
+        COBRA_THROW_IF(neighs[i] >= n, ErrorCode::kOutOfRange,
+                       path << ": neighbor " << i << " (" << neighs[i]
+                            << ") outside declared " << n << " nodes");
     return CsrGraph(std::move(offsets), std::move(neighs));
 }
 
@@ -128,7 +239,8 @@ void
 saveCsrBinary(const std::string &path, const CsrGraph &g)
 {
     std::ofstream out(path, std::ios::binary);
-    COBRA_FATAL_IF(!out, "cannot open " << path << " for writing");
+    COBRA_THROW_IF(!out, ErrorCode::kIoError,
+                   "cannot open " << path << " for writing");
     writePod(out, kCsrMagic);
     writePod(out, static_cast<uint64_t>(g.numNodes()));
     writePod(out, static_cast<uint64_t>(g.numEdges()));
@@ -138,7 +250,30 @@ saveCsrBinary(const std::string &path, const CsrGraph &g)
     out.write(reinterpret_cast<const char *>(g.neighborsArray().data()),
               static_cast<std::streamsize>(g.numEdges() *
                                            sizeof(NodeId)));
-    COBRA_FATAL_IF(!out, "write to " << path << " failed");
+    COBRA_THROW_IF(!out, ErrorCode::kIoError,
+                   "write to " << path << " failed");
+}
+
+Status
+tryLoadEdgeListText(const std::string &path, EdgeList *out,
+                    NodeId *num_nodes) noexcept
+{
+    return statusFrom(
+        [&] { *out = loadEdgeListText(path, num_nodes); });
+}
+
+Status
+tryLoadEdgeListBinary(const std::string &path, EdgeList *out,
+                      NodeId *num_nodes) noexcept
+{
+    return statusFrom(
+        [&] { *out = loadEdgeListBinary(path, num_nodes); });
+}
+
+Status
+tryLoadCsrBinary(const std::string &path, CsrGraph *out) noexcept
+{
+    return statusFrom([&] { *out = loadCsrBinary(path); });
 }
 
 } // namespace cobra

@@ -12,6 +12,7 @@
 
 #include "src/graph/csr.h"
 #include "src/graph/types.h"
+#include "src/util/error.h"
 
 namespace cobra {
 
@@ -39,6 +40,22 @@ void saveEdgeListBinary(const std::string &path, NodeId num_nodes,
  */
 CsrGraph loadCsrBinary(const std::string &path);
 void saveCsrBinary(const std::string &path, const CsrGraph &g);
+
+/**
+ * Error model: the loaders above throw cobra::Error —
+ *  - kIoError       file cannot be opened,
+ *  - kCorruptFile   bad magic, malformed line, truncated or oversized
+ *                   payload, header/payload inconsistency, or a
+ *                   numEdges/numNodes that cannot fit in the file,
+ *  - kOutOfRange    an edge endpoint or CSR neighbor >= numNodes.
+ * The tryLoad* forms below catch those and return a Status instead, for
+ * callers (tools, long-running services) that must not unwind.
+ */
+Status tryLoadEdgeListText(const std::string &path, EdgeList *out,
+                           NodeId *num_nodes) noexcept;
+Status tryLoadEdgeListBinary(const std::string &path, EdgeList *out,
+                             NodeId *num_nodes) noexcept;
+Status tryLoadCsrBinary(const std::string &path, CsrGraph *out) noexcept;
 
 } // namespace cobra
 

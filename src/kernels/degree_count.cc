@@ -183,4 +183,20 @@ DegreeCountKernel::verify() const
     return deg == ref;
 }
 
+std::optional<Divergence>
+DegreeCountKernel::firstDivergence() const
+{
+    for (NodeId v = 0; v < nodes; ++v) {
+        if (deg[v] != ref[v]) {
+            Divergence d;
+            d.element = v;
+            d.expected = std::to_string(ref[v]);
+            d.actual = std::to_string(deg[v]);
+            d.detail = "degree of vertex " + std::to_string(v);
+            return d;
+        }
+    }
+    return std::nullopt;
+}
+
 } // namespace cobra

@@ -152,4 +152,28 @@ IntSortKernel::verify() const
     return output == ref;
 }
 
+std::optional<Divergence>
+IntSortKernel::firstDivergence() const
+{
+    if (output.size() != ref.size()) {
+        Divergence d;
+        d.element = std::min(output.size(), ref.size());
+        d.expected = std::to_string(ref.size()) + " keys";
+        d.actual = std::to_string(output.size()) + " keys";
+        d.detail = "sorted output length differs from input length";
+        return d;
+    }
+    for (size_t i = 0; i < output.size(); ++i) {
+        if (output[i] != ref[i]) {
+            Divergence d;
+            d.element = i;
+            d.expected = std::to_string(ref[i]);
+            d.actual = std::to_string(output[i]);
+            d.detail = "sorted key at position " + std::to_string(i);
+            return d;
+        }
+    }
+    return std::nullopt;
+}
+
 } // namespace cobra

@@ -40,6 +40,7 @@ class IntSortKernel : public Kernel
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     bool verify() const override;
+    std::optional<Divergence> firstDivergence() const override;
 
     const std::vector<uint32_t> &sorted() const { return output; }
 

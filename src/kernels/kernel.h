@@ -14,6 +14,7 @@
 #define COBRA_KERNELS_KERNEL_H
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "src/core/cobra_config.h"
@@ -43,6 +44,18 @@ inline const std::string kInit = "init";             // bin sizing
 inline const std::string kBinning = "binning";
 inline const std::string kAccumulate = "accumulate";
 } // namespace phase
+
+/**
+ * First point where a kernel's output differs from its serial golden
+ * reference (the element-level refinement of verify()).
+ */
+struct Divergence
+{
+    uint64_t element = 0;  ///< index into the kernel's output namespace
+    std::string expected;  ///< reference value, printable
+    std::string actual;    ///< produced value, printable
+    std::string detail;    ///< kernel-specific context
+};
 
 /** One of the paper's evaluation workloads. */
 class Kernel
@@ -79,7 +92,8 @@ class Kernel
     virtual void
     runPbParallel(ThreadPool &, PhaseRecorder &, uint32_t)
     {
-        COBRA_FATAL_IF(true, name() << ": no host-parallel PB runtime");
+        COBRA_THROW_IF(true, ErrorCode::kUnimplemented,
+                       name() << ": no host-parallel PB runtime");
     }
 
     /** COBRA (COBRA-COMM when cfg.coalesceAtLlc and commutative()). */
@@ -90,12 +104,31 @@ class Kernel
     virtual void
     runPhi(ExecCtx &, PhaseRecorder &, uint32_t)
     {
-        COBRA_FATAL_IF(true, name() << ": PHI requires commutative "
-                                       "updates (paper Section III-B)");
+        COBRA_THROW_IF(true, ErrorCode::kUnimplemented,
+                       name() << ": PHI requires commutative "
+                                 "updates (paper Section III-B)");
     }
 
     /** Check the most recent run's output against the reference. */
     virtual bool verify() const = 0;
+
+    /**
+     * Element-level refinement of verify() for the DifferentialOracle:
+     * the first output element that disagrees with the serial golden
+     * reference, or nullopt when the run verified. Kernels without an
+     * element-level comparison fall back to a coarse report.
+     */
+    virtual std::optional<Divergence>
+    firstDivergence() const
+    {
+        if (verify())
+            return std::nullopt;
+        Divergence d;
+        d.detail = name() +
+            ": output differs from serial reference (no element-level "
+            "oracle for this kernel)";
+        return d;
+    }
 };
 
 } // namespace cobra

@@ -1,5 +1,7 @@
 #include "src/kernels/neighbor_populate.h"
 
+#include <algorithm>
+
 #include "src/graph/builder.h"
 #include "src/kernels/pipelines.h"
 #include "src/pb/parallel_pb.h"
@@ -140,6 +142,34 @@ bool
 NeighborPopulateKernel::verify() const
 {
     return sortNeighborhoods(result()) == refSorted;
+}
+
+std::optional<Divergence>
+NeighborPopulateKernel::firstDivergence() const
+{
+    // Neighborhood membership is the invariant (any order is a valid
+    // CSR), so divergence is reported per-vertex on the sorted form.
+    CsrGraph got = sortNeighborhoods(result());
+    for (NodeId v = 0; v < nodes; ++v) {
+        auto want = refSorted.neighbors(v);
+        auto have = got.neighbors(v);
+        if (std::equal(want.begin(), want.end(), have.begin(), have.end()))
+            continue;
+        Divergence d;
+        d.element = v;
+        d.expected = std::to_string(want.size()) + " neighbors";
+        d.actual = std::to_string(have.size()) + " neighbors";
+        for (size_t i = 0; i < std::min(want.size(), have.size()); ++i) {
+            if (want[i] != have[i]) {
+                d.expected = std::to_string(want[i]);
+                d.actual = std::to_string(have[i]);
+                break;
+            }
+        }
+        d.detail = "sorted neighborhood of vertex " + std::to_string(v);
+        return d;
+    }
+    return std::nullopt;
 }
 
 } // namespace cobra

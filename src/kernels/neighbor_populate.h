@@ -42,6 +42,7 @@ class NeighborPopulateKernel : public Kernel
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     bool verify() const override;
+    std::optional<Divergence> firstDivergence() const override;
 
     /** The produced CSR (valid after any run). */
     CsrGraph result() const;

@@ -224,14 +224,27 @@ PagerankKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
 bool
 PagerankKernel::verify() const
 {
+    return !firstDivergence().has_value();
+}
+
+std::optional<Divergence>
+PagerankKernel::firstDivergence() const
+{
     for (NodeId v = 0; v < outG->numNodes(); ++v) {
         double want = refNext[v];
         double got = next[v];
         double err = std::abs(got - want);
-        if (err > 1e-4 + 1e-3 * std::abs(want))
-            return false;
+        if (err > 1e-4 + 1e-3 * std::abs(want)) {
+            Divergence d;
+            d.element = v;
+            d.expected = std::to_string(want);
+            d.actual = std::to_string(got);
+            d.detail = "score of vertex " + std::to_string(v) +
+                " outside float-vs-double tolerance";
+            return d;
+        }
     }
-    return true;
+    return std::nullopt;
 }
 
 // ---- Fig 15 convergence helpers ----

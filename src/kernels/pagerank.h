@@ -43,6 +43,7 @@ class PagerankKernel : public Kernel
     void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
                 uint32_t max_bins) override;
     bool verify() const override;
+    std::optional<Divergence> firstDivergence() const override;
 
     const std::vector<float> &scores() const { return next; }
 

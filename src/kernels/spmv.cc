@@ -140,12 +140,25 @@ SpmvKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
 bool
 SpmvKernel::verify() const
 {
+    return !firstDivergence().has_value();
+}
+
+std::optional<Divergence>
+SpmvKernel::firstDivergence() const
+{
     for (uint32_t r = 0; r < a_->numRows(); ++r) {
         double err = std::abs(y[r] - refY[r]);
-        if (err > 1e-9 + 1e-9 * std::abs(refY[r]))
-            return false;
+        if (err > 1e-9 + 1e-9 * std::abs(refY[r])) {
+            Divergence d;
+            d.element = r;
+            d.expected = std::to_string(refY[r]);
+            d.actual = std::to_string(y[r]);
+            d.detail = "y[" + std::to_string(r) +
+                "] outside reassociation tolerance";
+            return d;
+        }
     }
-    return true;
+    return std::nullopt;
 }
 
 } // namespace cobra

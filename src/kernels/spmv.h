@@ -42,6 +42,7 @@ class SpmvKernel : public Kernel
     void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
                 uint32_t max_bins) override;
     bool verify() const override;
+    std::optional<Divergence> firstDivergence() const override;
 
     const std::vector<double> &result() const { return y; }
 

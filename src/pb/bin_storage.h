@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "src/check/fault_injector.h"
 #include "src/pb/bin_range.h"
 #include "src/pb/tuple.h"
 #include "src/sim/exec_ctx.h"
@@ -108,6 +109,13 @@ class BinStorage
             ctx.load(&counts[b], 4);
             ctx.store(&starts[b], 8);
         }
+        // Injection point: a BinOffset cursor comes out of Init off by
+        // one (models a corrupted tag-resident cursor, Section V-E).
+        if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+            for (uint32_t b = 0; b < numBins(); ++b)
+                if (fi->fire(FaultSite::kBinOffsetSkew, b))
+                    cursors[b] += fi->skewAmount();
+        }
         finalized = true;
     }
 
@@ -116,14 +124,21 @@ class BinStorage
      * (BinOffset). Returns the destination; the caller copies tuples and
      * accounts the store traffic (software PB uses non-temporal stores,
      * COBRA writes full lines on LLC C-Buffer eviction).
+     *
+     * If the bin is already at the capacity Init planned (possible only
+     * when the update stream was corrupted, replayed, or the cursors
+     * were skewed), the append degrades to the overflow region instead
+     * of aborting: the run completes, overflowTuples() exposes the spill
+     * for the oracle, and a warning is emitted once. The returned
+     * pointer is valid until the next appendRaw call.
      */
     Tuple *
     appendRaw(uint32_t bin, uint32_t n)
     {
         COBRA_PANIC_IF(!finalized, "appendRaw before finalizeInit");
         uint64_t pos = cursors[bin];
-        COBRA_PANIC_IF(pos + n > starts[bin + 1],
-                       "bin " << bin << " overflow: init undercounted");
+        if (pos + n > starts[bin + 1]) [[unlikely]]
+            return overflowAppend(bin, n);
         cursors[bin] += n;
         return data.data() + pos;
     }
@@ -143,13 +158,28 @@ class BinStorage
     uint64_t
     totalTuples() const
     {
-        uint64_t n = 0;
+        uint64_t n = overflowCount;
         for (uint32_t b = 0; b < numBins(); ++b)
             n += cursors[b] - starts[b];
         return n;
     }
 
     uint64_t capacityTuples() const { return data.size(); }
+
+    /** Tuples that missed their planned bin and spilled (0 when sane). */
+    uint64_t overflowTuples() const { return overflowCount; }
+    bool hasOverflow() const { return overflowCount != 0; }
+
+    /** Stream the spilled tuples of @p b (complements bin(b)). */
+    template <typename Fn>
+    void
+    forEachOverflowInBin(uint32_t b, Fn &&fn) const
+    {
+        for (const OverflowRun &r : overflowRuns)
+            if (r.bin == b)
+                for (uint32_t i = 0; i < r.count; ++i)
+                    fn(overflowData[r.offset + i]);
+    }
 
     /** Rewind cursors so Binning can run again (multi-iteration kernels). */
     void
@@ -158,9 +188,34 @@ class BinStorage
         COBRA_PANIC_IF(!finalized, "resetCursors before finalizeInit");
         for (uint32_t b = 0; b < numBins(); ++b)
             cursors[b] = starts[b];
+        overflowData.clear();
+        overflowRuns.clear();
+        overflowCount = 0;
     }
 
   private:
+    struct OverflowRun
+    {
+        uint32_t bin;
+        size_t offset; ///< into overflowData
+        uint32_t count;
+    };
+
+    /** Cold path of appendRaw: spill past-capacity tuples. */
+    Tuple *
+    overflowAppend(uint32_t bin, uint32_t n)
+    {
+        if (overflowRuns.empty())
+            warn("bin " + std::to_string(bin) +
+                 " exceeded its Init-planned capacity; spilling to the "
+                 "overflow region (corrupted or replayed update stream?)");
+        size_t off = overflowData.size();
+        overflowData.resize(off + n);
+        overflowRuns.push_back(OverflowRun{bin, off, n});
+        overflowCount += n;
+        return overflowData.data() + off;
+    }
+
     /** Build starts/cursors/data from @p final_counts (numBins values). */
     void
     layOut(const uint32_t *final_counts)
@@ -185,6 +240,11 @@ class BinStorage
     AlignedArray<uint64_t, kPageSize> starts; ///< per-bin offsets (+ total)
     AlignedArray<uint64_t, kPageSize> cursors; ///< BinOffset array
     AlignedArray<Tuple, kPageSize> data;
+    // Overflow region: never touched on sane runs (kept off the page-
+    // aligned replayed arrays; overflow traffic is not simulated).
+    std::vector<Tuple> overflowData;
+    std::vector<OverflowRun> overflowRuns;
+    uint64_t overflowCount = 0;
     bool finalized = false;
     bool preallocated = false;
 };

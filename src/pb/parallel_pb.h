@@ -71,6 +71,23 @@ class ParallelPbRunner
         return n;
     }
 
+    /** Tuples that spilled past their planned bin in the last run(). */
+    uint64_t
+    overflowTuples() const
+    {
+        uint64_t n = 0;
+        for (const auto &b : binners_)
+            n += b->storage().overflowTuples();
+        return n;
+    }
+
+    /**
+     * Conservation verdict of the last run(): every emitted update must
+     * be binned exactly once and no bin may have overflowed. A dropped,
+     * replayed, or truncated C-Buffer drain in any shard trips this.
+     */
+    Status conservation() const { return conservation_; }
+
     template <typename IndexOf, typename UpdateOf, typename Apply>
     void
     run(size_t num_updates, PhaseRecorder &rec, IndexOf &&index_of,
@@ -119,6 +136,21 @@ class ParallelPbRunner
         pool_.wait(); // Binning/Accumulate barrier
         rec.end(native);
 
+        // Conservation check at the phase barrier: the multiset handed
+        // to Accumulate must be exactly one tuple per emitted update.
+        const uint64_t binned = tuplesBinned();
+        const uint64_t spilled = overflowTuples();
+        if (binned != num_updates || spilled != 0) {
+            std::ostringstream oss;
+            oss << "parallel PB binned " << binned << " of "
+                << num_updates << " updates (" << spilled
+                << " overflowed)";
+            conservation_ = Status(ErrorCode::kDataLoss, oss.str());
+            warn(conservation_.message());
+        } else {
+            conservation_ = Status::Ok();
+        }
+
         // Accumulate: contiguous bin ranges per thread; the owner of bin
         // b streams all threads' copies of b (Algorithm 2, lines 6-11).
         rec.begin(native, phase::kAccumulate);
@@ -145,6 +177,7 @@ class ParallelPbRunner
     ThreadPool &pool_;
     BinningPlan plan_;
     std::vector<std::unique_ptr<PbBinner<Payload>>> binners_;
+    Status conservation_;
 };
 
 } // namespace cobra

@@ -67,6 +67,10 @@ class PbBinner
     void
     insert(ExecCtx &ctx, uint32_t index, const Payload &payload)
     {
+        // Deliberately hook-free: this is the hottest loop in the
+        // library, and even a predicted null check per tuple is
+        // measurable. All injection points live on the per-line drain
+        // path below (amortized kTuplesPerBuffer times).
         const uint32_t b = plan().binOf(index);
         ctx.instr(2); // shift + buffer address arithmetic
 
@@ -127,6 +131,10 @@ class PbBinner
             ctx.instr(1); // loop increment
             fn(t);
         }
+        // Degraded-mode tail: tuples that spilled past their bin's
+        // planned capacity (never present on sane runs).
+        if (store.hasOverflow()) [[unlikely]]
+            store.forEachOverflowInBin(bin, fn);
         ctx.branch(branch_site::kAccumulateLoop, !tuples.empty());
     }
 
@@ -136,8 +144,31 @@ class PbBinner
     void
     drainBuffer(ExecCtx &ctx, uint32_t b)
     {
-        const uint32_t n = counts[b];
-        Tuple *src = &cbufs[static_cast<size_t>(b) * kTuplesPerBuffer];
+        uint32_t n = counts[b];
+        // Injection points on the (cold) drain path: a tuple of the
+        // drained line can be corrupted, or the drain itself dropped,
+        // replayed, or cut one tuple short.
+        if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+            Tuple &t0 = src_(b)[0];
+            if (fi->fire(FaultSite::kPbCorruptIndex, b))
+                t0.index = fi->corruptIndex(t0.index);
+            if (fi->fire(FaultSite::kPbCorruptPayload, b))
+                fi->corruptBytes(reinterpret_cast<uint8_t *>(&t0) +
+                                     sizeof(t0.index),
+                                 sizeof(Tuple) - sizeof(t0.index));
+            if (fi->fire(FaultSite::kPbDropDrain, b)) {
+                counts[b] = 0;
+                ctx.store(&counts[b], sizeof(uint32_t));
+                return;
+            }
+            if (fi->fire(FaultSite::kPbDuplicateDrain, b)) {
+                Tuple *extra = store.appendRaw(b, n);
+                std::memcpy(extra, src_(b), n * sizeof(Tuple));
+            }
+            if (n > 1 && fi->fire(FaultSite::kPbTruncateDrain, b))
+                --n;
+        }
+        Tuple *src = src_(b);
         Tuple *dst = store.appendRaw(b, n);
         // Native runs drain with real WC non-temporal stores; simulated
         // runs keep memcpy (the ntStore() report below models the NT
@@ -154,6 +185,12 @@ class PbBinner
         ctx.ntStore(dst, n * static_cast<uint32_t>(sizeof(Tuple)));
         counts[b] = 0;
         ctx.store(&counts[b], sizeof(uint32_t));
+    }
+
+    Tuple *
+    src_(uint32_t b)
+    {
+        return &cbufs[static_cast<size_t>(b) * kTuplesPerBuffer];
     }
 
     // Page-aligned (not just line-aligned): both arrays are replayed

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <deque>
+#include <sstream>
 
+#include "src/check/fault_injector.h"
 #include "src/util/bitops.h"
 #include "src/util/error.h"
 
@@ -98,6 +100,7 @@ runEvictionDes(const EvictionDesConfig &cfg,
         uint64_t cur = std::max(ready, engine2_free);
         for (uint32_t idx : tuples) {
             cur += 1;
+            ++res.tuplesIntoLlc;
             uint32_t b = std::min<uint32_t>(idx >> s3,
                                             cfg.numLlcBuffers - 1);
             if (++llc_count[b] == k) {
@@ -114,6 +117,7 @@ runEvictionDes(const EvictionDesConfig &cfg,
         uint64_t cur = std::max(ready, engine1_free);
         for (uint32_t idx : tuples) {
             cur += 1;
+            ++res.tuplesIntoL2;
             uint32_t b = std::min<uint32_t>(idx >> s2,
                                             cfg.numL2Buffers - 1);
             auto &dst = l2_buf[b];
@@ -133,12 +137,24 @@ runEvictionDes(const EvictionDesConfig &cfg,
         return cur;
     };
 
+    FaultInjector *fi = FaultInjector::active();
     for (uint32_t idx : trace) {
         t += cfg.coreCyclesPerTuple;
+        ++res.tuplesIn;
         uint32_t b = std::min<uint32_t>(idx >> s1, cfg.numL1Buffers - 1);
         auto &buf = l1_buf[b];
         buf.push_back(idx);
         if (buf.size() == k) {
+            // Injection points: one full-line push into FIFO1 is lost,
+            // or the same line is served twice.
+            if (fi) [[unlikely]] {
+                if (fi->fire(FaultSite::kDesDropEviction, b)) {
+                    buf.clear();
+                    continue;
+                }
+                if (fi->fire(FaultSite::kDesDuplicateEviction, b))
+                    serve1(t, buf);
+            }
             uint64_t at = fifo1.waitForSlot(t);
             res.coreStallCycles += at - t;
             t = at;
@@ -149,7 +165,42 @@ runEvictionDes(const EvictionDesConfig &cfg,
     }
 
     res.totalCycles = std::max({t, engine1_free, engine2_free});
+    res.tuplesPerLine = k;
+    for (const auto &b : l1_buf)
+        res.l1Residue += b.size();
+    for (const auto &b : l2_buf)
+        res.l2Residue += b.size();
+    for (uint32_t c : llc_count)
+        res.llcResidue += c;
     return res;
+}
+
+Status
+EvictionDesResult::validate() const
+{
+    auto fail = [](const char *law, uint64_t want, uint64_t got) {
+        std::ostringstream oss;
+        oss << "eviction DES conservation violated: " << law
+            << " (expected " << want << ", got " << got << ")";
+        return Status(ErrorCode::kDataLoss, oss.str());
+    };
+    const uint64_t k = tuplesPerLine;
+    if (tuplesIn != k * l1Evictions + l1Residue)
+        return fail("tuplesIn == k*l1Evictions + l1Residue",
+                    tuplesIn, k * l1Evictions + l1Residue);
+    if (tuplesIntoL2 != k * l1Evictions)
+        return fail("tuplesIntoL2 == k*l1Evictions", k * l1Evictions,
+                    tuplesIntoL2);
+    if (tuplesIntoL2 != k * l2Evictions + l2Residue)
+        return fail("tuplesIntoL2 == k*l2Evictions + l2Residue",
+                    tuplesIntoL2, k * l2Evictions + l2Residue);
+    if (tuplesIntoLlc != k * l2Evictions)
+        return fail("tuplesIntoLlc == k*l2Evictions", k * l2Evictions,
+                    tuplesIntoLlc);
+    if (tuplesIntoLlc != k * llcEvictions + llcResidue)
+        return fail("tuplesIntoLlc == k*llcEvictions + llcResidue",
+                    tuplesIntoLlc, k * llcEvictions + llcResidue);
+    return Status::Ok();
 }
 
 } // namespace cobra

@@ -24,6 +24,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/util/error.h"
+
 namespace cobra {
 
 /** Parameters of the tandem-queue model. */
@@ -58,6 +60,18 @@ struct EvictionDesResult
     uint64_t l2Evictions = 0;
     uint64_t llcEvictions = 0;
 
+    // Tuple-conservation bookkeeping: every tuple the core inserted must
+    // either still sit in a C-Buffer at the end of the replay or have
+    // moved down exactly one level per eviction. A dropped or replayed
+    // eviction anywhere in the pipeline breaks one of these identities.
+    uint32_t tuplesPerLine = 0; ///< copied from the config
+    uint64_t tuplesIn = 0;      ///< trace length
+    uint64_t tuplesIntoL2 = 0;  ///< scattered by the L1->L2 engine
+    uint64_t tuplesIntoLlc = 0; ///< scattered by the L2->LLC engine
+    uint64_t l1Residue = 0;     ///< left in L1 C-Buffers at the end
+    uint64_t l2Residue = 0;
+    uint64_t llcResidue = 0;
+
     double
     stallFraction() const
     {
@@ -66,6 +80,13 @@ struct EvictionDesResult
                   static_cast<double>(totalCycles)
             : 0.0;
     }
+
+    /**
+     * Check the tuple-conservation laws of the tandem queue. Returns a
+     * kDataLoss Status naming the first violated identity; the fault-
+     * injection tests prove each DES injection point trips this.
+     */
+    Status validate() const;
 };
 
 /**

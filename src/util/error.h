@@ -1,9 +1,24 @@
 /**
  * @file
- * Error-reporting helpers in the spirit of gem5's logging.hh.
+ * Error taxonomy: recoverable errors vs internal invariants.
  *
- * panicIf() is for internal invariant violations (bugs in this library);
- * fatalIf() is for user errors (bad configuration, invalid arguments).
+ * Two failure classes, two mechanisms:
+ *
+ *  - panic / COBRA_PANIC_IF — internal invariant violations (bugs in
+ *    this library). Aborts: state is untrusted, nothing sensible can be
+ *    recovered. Reserved for conditions no input can legitimately cause.
+ *
+ *  - Error / Status / COBRA_THROW_IF / COBRA_FATAL_IF — user and
+ *    environment errors (bad configuration, invalid arguments, corrupt
+ *    or truncated input files). These *throw* a typed cobra::Error so
+ *    library callers can recover; only executables (bench/, examples/)
+ *    translate an uncaught Error into process exit. Subsystems that
+ *    prefer error-return over exceptions wrap the throwing API into
+ *    Status-returning variants (see src/graph/io.h).
+ *
+ * COBRA_FATAL_IF predates the taxonomy and is kept as shorthand for
+ * COBRA_THROW_IF(cond, ErrorCode::kInvalidArgument, msg): every one of
+ * its call sites guards a caller-supplied argument or configuration.
  */
 
 #ifndef COBRA_UTIL_ERROR_H
@@ -12,9 +27,94 @@
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace cobra {
+
+/** Classification of recoverable errors (inspired by absl::Status). */
+enum class ErrorCode
+{
+    kOk = 0,
+    kInvalidArgument,    ///< bad user-supplied argument or configuration
+    kFailedPrecondition, ///< operation ordering / object state misuse
+    kIoError,            ///< the OS refused an open/read/write
+    kCorruptFile,        ///< file exists but its contents are malformed
+    kOutOfRange,         ///< an index or endpoint exceeds its namespace
+    kCapacityExceeded,   ///< a sized structure received more than planned
+    kDataLoss,           ///< conservation check failed: tuples went missing
+    kUnimplemented,      ///< technique not supported by this kernel
+    kInternal,           ///< escaped invariant (should have been a panic)
+};
+
+inline const char *
+to_string(ErrorCode c)
+{
+    switch (c) {
+      case ErrorCode::kOk: return "ok";
+      case ErrorCode::kInvalidArgument: return "invalid-argument";
+      case ErrorCode::kFailedPrecondition: return "failed-precondition";
+      case ErrorCode::kIoError: return "io-error";
+      case ErrorCode::kCorruptFile: return "corrupt-file";
+      case ErrorCode::kOutOfRange: return "out-of-range";
+      case ErrorCode::kCapacityExceeded: return "capacity-exceeded";
+      case ErrorCode::kDataLoss: return "data-loss";
+      case ErrorCode::kUnimplemented: return "unimplemented";
+      case ErrorCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+/** Recoverable error thrown at subsystem boundaries. */
+class Error : public std::runtime_error
+{
+  public:
+    Error(ErrorCode code, const std::string &msg)
+        : std::runtime_error(std::string(to_string(code)) + ": " + msg),
+          code_(code)
+    {
+    }
+
+    ErrorCode code() const { return code_; }
+
+  private:
+    ErrorCode code_;
+};
+
+/** Error-return alternative to Error for non-throwing boundaries. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(ErrorCode code, std::string msg)
+        : code_(code), msg_(std::move(msg))
+    {
+    }
+
+    static Status Ok() { return Status{}; }
+
+    static Status
+    FromError(const Error &e)
+    {
+        return Status(e.code(), e.what());
+    }
+
+    bool ok() const { return code_ == ErrorCode::kOk; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return msg_; }
+
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "ok";
+        return std::string(to_string(code_)) + ": " + msg_;
+    }
+
+  private:
+    ErrorCode code_ = ErrorCode::kOk;
+    std::string msg_;
+};
 
 /** Terminate with an internal-bug diagnostic. Never returns. */
 [[noreturn]] inline void
@@ -24,12 +124,17 @@ panic(const std::string &msg, const char *file, int line)
     std::abort();
 }
 
-/** Terminate with a user-error diagnostic. Never returns. */
+/**
+ * Report a user error. Throws a recoverable cobra::Error — library code
+ * never terminates the process; executables catch at main().
+ */
 [[noreturn]] inline void
-fatal(const std::string &msg, const char *file, int line)
+fatal(const std::string &msg, const char *file, int line,
+      ErrorCode code = ErrorCode::kInvalidArgument)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
-    std::exit(1);
+    std::ostringstream oss;
+    oss << msg << " (" << file << ":" << line << ")";
+    throw Error(code, oss.str());
 }
 
 /** Print a warning and continue. */
@@ -50,13 +155,17 @@ warn(const std::string &msg)
         }                                                                    \
     } while (0)
 
-#define COBRA_FATAL_IF(cond, msg)                                            \
+/** Throw a typed, recoverable cobra::Error when @p cond holds. */
+#define COBRA_THROW_IF(cond, code, msg)                                      \
     do {                                                                     \
         if (cond) {                                                          \
             std::ostringstream oss_;                                         \
             oss_ << msg;                                                     \
-            ::cobra::fatal(oss_.str(), __FILE__, __LINE__);                  \
+            ::cobra::fatal(oss_.str(), __FILE__, __LINE__, (code));          \
         }                                                                    \
     } while (0)
+
+#define COBRA_FATAL_IF(cond, msg)                                            \
+    COBRA_THROW_IF(cond, ::cobra::ErrorCode::kInvalidArgument, msg)
 
 #endif // COBRA_UTIL_ERROR_H

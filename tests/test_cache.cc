@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/mem/cache.h"
+#include "src/util/error.h"
 
 namespace cobra {
 namespace {
@@ -174,7 +175,7 @@ TEST(Cache, RejectsBadGeometry)
 {
     CacheConfig c = tinyCache();
     c.ways = 0;
-    EXPECT_EXIT(Cache cache(c), ::testing::ExitedWithCode(1), "");
+    EXPECT_THROW(Cache cache(c), Error);
 }
 
 class CacheParamTest

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "src/core/cobra_binner.h"
+#include "src/util/error.h"
 #include "src/core/isa.h"
 #include "src/util/rng.h"
 
@@ -301,8 +302,7 @@ TEST(CobraComm, RequiresReducer)
     ExecCtx ctx;
     CobraConfig cfg;
     cfg.coalesceAtLlc = true;
-    EXPECT_EXIT((CobraBinner<uint32_t>(ctx, cfg, 100, nullptr)),
-                ::testing::ExitedWithCode(1), "reducer");
+    EXPECT_THROW((CobraBinner<uint32_t>(ctx, cfg, 100, nullptr)), Error);
 }
 
 TEST(CobraBinner, TinyFifoCausesStalls)
@@ -393,13 +393,19 @@ TEST(CobraBinner, ShallowHierarchyWastesBandwidth)
     EXPECT_GE(w2, w3);
 }
 
-TEST(CobraBinner, InvalidDepthFatal)
+TEST(CobraBinner, InvalidDepthThrows)
 {
     ExecCtx ctx;
     CobraConfig cfg;
     cfg.hierarchyDepth = 4;
-    EXPECT_EXIT((CobraBinner<uint32_t>(ctx, cfg, 100)),
-                ::testing::ExitedWithCode(1), "hierarchyDepth");
+    try {
+        CobraBinner<uint32_t> binner(ctx, cfg, 100);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("hierarchyDepth"),
+                  std::string::npos);
+    }
 }
 
 TEST(CobraBinner, ContextSwitchEvictionWastesBandwidth)

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Mutation tests for the fault-injection subsystem: every FaultInjector
+ * site, planted into a real kernel run (or the eviction DES), must be
+ * flagged by the DifferentialOracle (or the DES conservation laws).
+ * These tests are what make the checkers trustworthy — an oracle that
+ * has never caught a planted fault proves nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/check/differential_oracle.h"
+#include "src/check/fault_injector.h"
+#include "src/graph/generators.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/pb/parallel_pb.h"
+#include "src/sim/eviction_des.h"
+#include "src/util/error.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+namespace {
+
+struct Fixture
+{
+    NodeId n = 1 << 10;
+    EdgeList el;
+
+    Fixture() { el = generateRmat(n, 4 * n, 33); }
+};
+
+Fixture &
+fix()
+{
+    static Fixture f;
+    return f;
+}
+
+/**
+ * One row of the mutation matrix: run @p kernel under @p tech with
+ * @p site armed and require the oracle to (a) observe the fault firing
+ * and (b) report a divergence with provenance.
+ */
+void
+expectCaught(Kernel &kernel, Technique tech, FaultSite site,
+             uint32_t pb_bins = 64)
+{
+    Runner runner;
+    DifferentialOracle oracle(runner);
+    RunOptions opts;
+    opts.pbBins = pb_bins;
+
+    FaultInjector fi(site);
+    OracleReport rep;
+    {
+        FaultInjector::Scope scope(fi);
+        rep = oracle.check(kernel, tech, opts);
+    }
+    EXPECT_GE(fi.fires(), 1u)
+        << to_string(site) << ": injection point never reached";
+    EXPECT_FALSE(rep.passed)
+        << to_string(site) << ": oracle missed the planted fault";
+    ASSERT_TRUE(rep.divergence.has_value());
+    EXPECT_NE(rep.injection.find(to_string(site)), std::string::npos)
+        << "report lacks injection provenance: " << rep.toString();
+    // Non-baseline runs localize the divergent element to a bin.
+    EXPECT_TRUE(rep.binKnown) << rep.toString();
+    EXPECT_GE(rep.divergence->element, rep.binFirstIndex);
+    EXPECT_LE(rep.divergence->element, rep.binLastIndex);
+
+    // The same kernel, uninjected, must verify clean again — the fault
+    // was planted by the injector, not latent in the pipeline.
+    OracleReport clean = oracle.check(kernel, tech, opts);
+    EXPECT_TRUE(clean.passed)
+        << to_string(site) << ": pipeline dirty without injection: "
+        << clean.toString();
+}
+
+// ---- software-PB injection points ----
+
+TEST(FaultMatrix, PbCorruptIndexCaught)
+{
+    // DegreeCount for index corruption: a flipped index misdirects an
+    // increment (always caught by the exact compare) and can never
+    // index out of bounds, unlike cursor-based kernels.
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::PbSw, FaultSite::kPbCorruptIndex);
+}
+
+TEST(FaultMatrix, PbCorruptPayloadCaught)
+{
+    NeighborPopulateKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::PbSw, FaultSite::kPbCorruptPayload);
+}
+
+TEST(FaultMatrix, PbDropDrainCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::PbSw, FaultSite::kPbDropDrain);
+}
+
+TEST(FaultMatrix, PbDuplicateDrainCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::PbSw, FaultSite::kPbDuplicateDrain);
+}
+
+TEST(FaultMatrix, PbTruncateDrainCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::PbSw, FaultSite::kPbTruncateDrain);
+}
+
+TEST(FaultMatrix, BinOffsetSkewCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::PbSw, FaultSite::kBinOffsetSkew);
+}
+
+// ---- COBRA injection points ----
+
+TEST(FaultMatrix, CobraCorruptIndexCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::Cobra, FaultSite::kCobraCorruptIndex);
+}
+
+TEST(FaultMatrix, CobraCorruptPayloadCaught)
+{
+    NeighborPopulateKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::Cobra, FaultSite::kCobraCorruptPayload);
+}
+
+TEST(FaultMatrix, CobraDropEvictionCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::Cobra, FaultSite::kCobraDropEviction);
+}
+
+TEST(FaultMatrix, CobraDuplicateEvictionCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::Cobra, FaultSite::kCobraDuplicateEviction);
+}
+
+TEST(FaultMatrix, CobraTruncateSpillCaught)
+{
+    DegreeCountKernel k(fix().n, &fix().el);
+    expectCaught(k, Technique::Cobra, FaultSite::kCobraTruncateSpill);
+}
+
+// ---- eviction-DES injection points (conservation-law oracle) ----
+
+std::vector<uint32_t>
+desTrace(size_t n)
+{
+    Rng rng(77);
+    std::vector<uint32_t> trace(n);
+    for (auto &x : trace)
+        x = static_cast<uint32_t>(rng.below(1 << 20));
+    return trace;
+}
+
+TEST(FaultMatrix, DesCleanRunConserves)
+{
+    EvictionDesConfig cfg;
+    EvictionDesResult res = runEvictionDes(cfg, desTrace(50000));
+    EXPECT_TRUE(res.validate().ok()) << res.validate().toString();
+}
+
+TEST(FaultMatrix, DesDropEvictionCaught)
+{
+    EvictionDesConfig cfg;
+    FaultInjector fi(FaultSite::kDesDropEviction);
+    EvictionDesResult res;
+    {
+        FaultInjector::Scope scope(fi);
+        res = runEvictionDes(cfg, desTrace(50000));
+    }
+    EXPECT_GE(fi.fires(), 1u);
+    Status st = res.validate();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::kDataLoss);
+    EXPECT_NE(st.toString().find("conservation"), std::string::npos);
+}
+
+TEST(FaultMatrix, DesDuplicateEvictionCaught)
+{
+    EvictionDesConfig cfg;
+    FaultInjector fi(FaultSite::kDesDuplicateEviction);
+    EvictionDesResult res;
+    {
+        FaultInjector::Scope scope(fi);
+        res = runEvictionDes(cfg, desTrace(50000));
+    }
+    EXPECT_GE(fi.fires(), 1u);
+    EXPECT_FALSE(res.validate().ok());
+    EXPECT_EQ(res.validate().code(), ErrorCode::kDataLoss);
+}
+
+// ---- parallel-PB conservation check at the phase barrier ----
+
+TEST(FaultMatrix, ParallelPbConservationTripsOnDroppedDrain)
+{
+    ThreadPool pool(4);
+    const uint64_t indices = 1 << 12;
+    const size_t updates = 40000;
+    BinningPlan plan = BinningPlan::forMaxBins(indices, 64);
+    std::vector<uint64_t> sums(indices, 0);
+    Rng rng(5);
+    std::vector<uint32_t> stream(updates);
+    for (auto &x : stream)
+        x = static_cast<uint32_t>(rng.below(indices));
+
+    ParallelPbRunner<NoPayload> runner(pool, plan);
+    PhaseRecorder rec;
+    FaultInjector fi(FaultSite::kPbDropDrain);
+    {
+        FaultInjector::Scope scope(fi);
+        runner.run(
+            updates, rec, [&](size_t i) { return stream[i]; },
+            [&](size_t i) {
+                return std::pair<uint32_t, NoPayload>(stream[i],
+                                                      NoPayload{});
+            },
+            [&](const BinTuple<NoPayload> &t) { ++sums[t.index]; });
+    }
+    EXPECT_GE(fi.fires(), 1u);
+    Status st = runner.conservation();
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::kDataLoss);
+    EXPECT_LT(runner.tuplesBinned(), updates);
+}
+
+TEST(FaultMatrix, ParallelPbConservationCleanWithoutInjection)
+{
+    ThreadPool pool(4);
+    const uint64_t indices = 1 << 12;
+    const size_t updates = 40000;
+    BinningPlan plan = BinningPlan::forMaxBins(indices, 64);
+    std::vector<uint64_t> sums(indices, 0);
+    Rng rng(6);
+    std::vector<uint32_t> stream(updates);
+    for (auto &x : stream)
+        x = static_cast<uint32_t>(rng.below(indices));
+
+    ParallelPbRunner<NoPayload> runner(pool, plan);
+    PhaseRecorder rec;
+    runner.run(
+        updates, rec, [&](size_t i) { return stream[i]; },
+        [&](size_t i) {
+            return std::pair<uint32_t, NoPayload>(stream[i], NoPayload{});
+        },
+        [&](const BinTuple<NoPayload> &t) { ++sums[t.index]; });
+    EXPECT_TRUE(runner.conservation().ok());
+    EXPECT_EQ(runner.tuplesBinned(), updates);
+    EXPECT_EQ(runner.overflowTuples(), 0u);
+}
+
+// ---- injector mechanics ----
+
+TEST(FaultInjectorTest, DisarmedByDefault)
+{
+    EXPECT_EQ(FaultInjector::active(), nullptr);
+}
+
+TEST(FaultInjectorTest, ScopeArmsAndDisarms)
+{
+    FaultInjector fi(FaultSite::kPbDropDrain);
+    {
+        FaultInjector::Scope scope(fi);
+        EXPECT_EQ(FaultInjector::active(), &fi);
+    }
+    EXPECT_EQ(FaultInjector::active(), nullptr);
+}
+
+TEST(FaultInjectorTest, FiresExactlyOnceAtTheNthOpportunity)
+{
+    FaultInjector fi(FaultSite::kPbDropDrain, 3);
+    EXPECT_FALSE(fi.fire(FaultSite::kPbDropDrain, 0));
+    EXPECT_FALSE(fi.fire(FaultSite::kPbTruncateDrain, 0)); // wrong site
+    EXPECT_FALSE(fi.fire(FaultSite::kPbDropDrain, 1));
+    EXPECT_TRUE(fi.fire(FaultSite::kPbDropDrain, 2));
+    EXPECT_FALSE(fi.fire(FaultSite::kPbDropDrain, 3)); // only the Nth
+    EXPECT_EQ(fi.fires(), 1u);
+    EXPECT_EQ(fi.opportunities(), 4u);
+    ASSERT_EQ(fi.records().size(), 1u);
+    EXPECT_EQ(fi.records()[0].opportunity, 3u);
+    EXPECT_EQ(fi.records()[0].bin, 2u);
+    EXPECT_NE(fi.provenance().find("pb-drop-drain"), std::string::npos);
+}
+
+TEST(FaultInjectorTest, RejectsNullSite)
+{
+    EXPECT_THROW(FaultInjector fi(FaultSite::kNone), Error);
+}
+
+TEST(FaultInjectorTest, SiteNamesRoundTrip)
+{
+    for (FaultSite s : allFaultSites()) {
+        auto parsed = faultSiteFromName(to_string(s));
+        ASSERT_TRUE(parsed.has_value()) << to_string(s);
+        EXPECT_EQ(*parsed, s);
+    }
+    EXPECT_FALSE(faultSiteFromName("no-such-site").has_value());
+}
+
+} // namespace
+} // namespace cobra

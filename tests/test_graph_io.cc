@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "src/graph/generators.h"
+#include "src/util/error.h"
 #include "src/graph/io.h"
 
 namespace cobra {
@@ -63,15 +64,54 @@ TEST_F(GraphIoTest, TextSkipsCommentsAndBlankLines)
     EXPECT_EQ(el[1], (Edge{2, 3}));
 }
 
-TEST_F(GraphIoTest, TextMalformedLineFatal)
+TEST_F(GraphIoTest, SelfLoopsAndDuplicateEdgesAreData)
+{
+    // Self-loops and duplicate edges are valid update streams (a vertex
+    // may update itself; multigraph edges repeat) — loaders must
+    // preserve them verbatim, not "clean" them.
+    EdgeList el{{5, 5}, {0, 1}, {0, 1}, {5, 5}};
+    NodeId n = 0;
+
+    std::string text = tempPath("loops.el");
+    saveEdgeListText(text, el);
+    EXPECT_EQ(loadEdgeListText(text, &n), el);
+
+    std::string bin = tempPath("loops.bel");
+    saveEdgeListBinary(bin, 6, el);
+    EXPECT_EQ(loadEdgeListBinary(bin, &n), el);
+    EXPECT_EQ(n, 6u);
+}
+
+TEST_F(GraphIoTest, TextMalformedLineThrows)
 {
     std::string path = tempPath("bad.el");
     {
         std::ofstream out(path);
         out << "0 not_a_number\n";
     }
-    EXPECT_EXIT(loadEdgeListText(path, nullptr),
-                ::testing::ExitedWithCode(1), "malformed");
+    try {
+        loadEdgeListText(path, nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCorruptFile);
+        EXPECT_NE(std::string(e.what()).find("malformed"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(GraphIoTest, TextHugeVertexIdThrows)
+{
+    std::string path = tempPath("huge.el");
+    {
+        std::ofstream out(path);
+        out << "0 99999999999\n"; // > 2^32
+    }
+    try {
+        loadEdgeListText(path, nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kOutOfRange);
+    }
 }
 
 TEST_F(GraphIoTest, BinaryRoundTrip)
@@ -92,11 +132,17 @@ TEST_F(GraphIoTest, BinaryRejectsWrongMagic)
         std::ofstream out(path, std::ios::binary);
         out << "this is not a cobra file at all............";
     }
-    EXPECT_EXIT(loadEdgeListBinary(path, nullptr),
-                ::testing::ExitedWithCode(1), "not a cobra");
+    try {
+        loadEdgeListBinary(path, nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCorruptFile);
+        EXPECT_NE(std::string(e.what()).find("not a cobra"),
+                  std::string::npos);
+    }
 }
 
-TEST_F(GraphIoTest, BinaryTruncatedFatal)
+TEST_F(GraphIoTest, BinaryTruncatedThrows)
 {
     EdgeList el = generateUniform(64, 100, 5);
     std::string path = tempPath("trunc.bel");
@@ -110,8 +156,87 @@ TEST_F(GraphIoTest, BinaryTruncatedFatal)
         out.write(data.data(),
                   static_cast<std::streamsize>(data.size() / 2));
     }
-    EXPECT_EXIT(loadEdgeListBinary(path, nullptr),
-                ::testing::ExitedWithCode(1), "truncated");
+    try {
+        loadEdgeListBinary(path, nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCorruptFile);
+        EXPECT_NE(std::string(e.what()).find("truncated"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(GraphIoTest, BinaryOversizedThrows)
+{
+    EdgeList el = generateUniform(64, 100, 5);
+    std::string path = tempPath("oversized.bel");
+    saveEdgeListBinary(path, 64, el);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::app);
+        out << "trailing garbage";
+    }
+    try {
+        loadEdgeListBinary(path, nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCorruptFile);
+        EXPECT_NE(std::string(e.what()).find("oversized"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(GraphIoTest, BinaryOutOfRangeEndpointThrows)
+{
+    // Edge (0, 70) but only 64 nodes declared.
+    EdgeList el{Edge{0, 70}};
+    std::string path = tempPath("oob.bel");
+    saveEdgeListBinary(path, 64, el);
+    try {
+        loadEdgeListBinary(path, nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kOutOfRange);
+    }
+}
+
+TEST_F(GraphIoTest, BinaryZeroNodesWithEdgesThrows)
+{
+    // Hand-build a header declaring edges over an empty vertex set.
+    std::string path = tempPath("zeronodes.bel");
+    {
+        std::ofstream out(path, std::ios::binary);
+        uint64_t magic = 0x434F425241424531ULL, n = 0, m = 1;
+        out.write(reinterpret_cast<const char *>(&magic), 8);
+        out.write(reinterpret_cast<const char *>(&n), 8);
+        out.write(reinterpret_cast<const char *>(&m), 8);
+        uint64_t edge = 0;
+        out.write(reinterpret_cast<const char *>(&edge), 8);
+    }
+    EXPECT_THROW(loadEdgeListBinary(path, nullptr), Error);
+}
+
+TEST_F(GraphIoTest, BinaryHugeEdgeCountRejectedBeforeAllocating)
+{
+    // Corrupt header declaring ~2^61 edges in a 32-byte file: must be
+    // rejected by the size check, not by a bad_alloc (or worse, an
+    // overflowing count * sizeof(Edge) wrapping to something small).
+    std::string path = tempPath("hugecount.bel");
+    {
+        std::ofstream out(path, std::ios::binary);
+        uint64_t magic = 0x434F425241424531ULL, n = 4;
+        uint64_t m = uint64_t{1} << 61;
+        out.write(reinterpret_cast<const char *>(&magic), 8);
+        out.write(reinterpret_cast<const char *>(&n), 8);
+        out.write(reinterpret_cast<const char *>(&m), 8);
+        uint64_t pad = 0;
+        out.write(reinterpret_cast<const char *>(&pad), 8);
+    }
+    try {
+        loadEdgeListBinary(path, nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCorruptFile);
+    }
 }
 
 TEST_F(GraphIoTest, CsrRoundTrip)
@@ -134,12 +259,88 @@ TEST_F(GraphIoTest, CsrEmptyGraph)
     EXPECT_EQ(back.numEdges(), 0u);
 }
 
-TEST_F(GraphIoTest, MissingFileFatal)
+TEST_F(GraphIoTest, CsrInconsistentOffsetsThrows)
 {
-    EXPECT_EXIT(loadEdgeListText("/nonexistent/xyz.el", nullptr),
-                ::testing::ExitedWithCode(1), "cannot open");
-    EXPECT_EXIT(loadCsrBinary("/nonexistent/xyz.csr"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    // offsets = {0, 3, 1}: decreasing, with offsets.back() == m == 1.
+    std::string path = tempPath("badoffsets.csr");
+    {
+        std::ofstream out(path, std::ios::binary);
+        uint64_t magic = 0x434F425241435231ULL, n = 2, m = 1;
+        out.write(reinterpret_cast<const char *>(&magic), 8);
+        out.write(reinterpret_cast<const char *>(&n), 8);
+        out.write(reinterpret_cast<const char *>(&m), 8);
+        uint64_t offsets[3] = {0, 3, 1};
+        out.write(reinterpret_cast<const char *>(offsets), 24);
+        uint32_t neigh = 0;
+        out.write(reinterpret_cast<const char *>(&neigh), 4);
+    }
+    try {
+        loadCsrBinary(path);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCorruptFile);
+        EXPECT_NE(std::string(e.what()).find("decrease"),
+                  std::string::npos);
+    }
+}
+
+TEST_F(GraphIoTest, CsrOutOfRangeNeighborThrows)
+{
+    // One edge whose neighbor id (7) exceeds the declared 2 nodes.
+    std::string path = tempPath("oobneigh.csr");
+    {
+        std::ofstream out(path, std::ios::binary);
+        uint64_t magic = 0x434F425241435231ULL, n = 2, m = 1;
+        out.write(reinterpret_cast<const char *>(&magic), 8);
+        out.write(reinterpret_cast<const char *>(&n), 8);
+        out.write(reinterpret_cast<const char *>(&m), 8);
+        uint64_t offsets[3] = {0, 1, 1};
+        out.write(reinterpret_cast<const char *>(offsets), 24);
+        uint32_t neigh = 7;
+        out.write(reinterpret_cast<const char *>(&neigh), 4);
+    }
+    try {
+        loadCsrBinary(path);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kOutOfRange);
+    }
+}
+
+TEST_F(GraphIoTest, MissingFileThrows)
+{
+    try {
+        loadEdgeListText("/nonexistent/xyz.el", nullptr);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kIoError);
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(loadCsrBinary("/nonexistent/xyz.csr"), Error);
+}
+
+TEST_F(GraphIoTest, TryLoadReportsStatusInsteadOfThrowing)
+{
+    EdgeList el;
+    NodeId n = 0;
+    Status st = tryLoadEdgeListBinary("/nonexistent/xyz.bel", &el, &n);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::kIoError);
+    EXPECT_NE(st.toString().find("cannot open"), std::string::npos);
+
+    CsrGraph g;
+    EXPECT_EQ(tryLoadCsrBinary("/nonexistent/xyz.csr", &g).code(),
+              ErrorCode::kIoError);
+
+    // Happy path round-trips through the Status form too.
+    EdgeList orig = generateUniform(32, 64, 9);
+    std::string path = tempPath("try.bel");
+    saveEdgeListBinary(path, 32, orig);
+    Status ok = tryLoadEdgeListBinary(path, &el, &n);
+    EXPECT_TRUE(ok.ok());
+    EXPECT_EQ(el, orig);
+    EXPECT_EQ(n, 32u);
 }
 
 } // namespace

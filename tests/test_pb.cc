@@ -9,6 +9,7 @@
 #include <map>
 
 #include "src/pb/pb_binner.h"
+#include "src/util/error.h"
 #include "src/util/rng.h"
 
 namespace cobra {
@@ -70,15 +71,41 @@ TEST(BinStorage, CountFinalizeAppendRead)
     EXPECT_EQ(st.totalTuples(), 3u);
 }
 
-TEST(BinStorage, OverflowPanics)
+TEST(BinStorage, OverflowSpillsInsteadOfPanicking)
 {
     ExecCtx ctx;
     BinningPlan plan = BinningPlan::forMaxBins(16, 2);
     BinStorage<NoPayload> st(plan);
     st.countInsert(ctx, 3);
     st.finalizeInit(ctx);
-    st.appendRaw(0, 1);
-    EXPECT_DEATH(st.appendRaw(0, 1), "overflow");
+    st.appendRaw(0, 1)->index = 3;
+    EXPECT_FALSE(st.hasOverflow());
+
+    // A second append to the single-slot bin spills to the overflow
+    // region instead of aborting; the tuples stay reachable.
+    st.appendRaw(0, 1)->index = 5;
+    EXPECT_TRUE(st.hasOverflow());
+    EXPECT_EQ(st.overflowTuples(), 1u);
+    EXPECT_EQ(st.totalTuples(), 2u);
+
+    std::vector<uint32_t> bin0;
+    st.forEachOverflowInBin(0, [&](const BinTuple<NoPayload> &t) {
+        bin0.push_back(t.index);
+    });
+    ASSERT_EQ(bin0.size(), 1u);
+    EXPECT_EQ(bin0[0], 5u);
+
+    // Overflow is bin-tagged: the other bin's overflow view is empty.
+    size_t bin1_count = 0;
+    st.forEachOverflowInBin(1, [&](const BinTuple<NoPayload> &) {
+        ++bin1_count;
+    });
+    EXPECT_EQ(bin1_count, 0u);
+
+    // resetCursors clears the spill region for the next replay.
+    st.resetCursors();
+    EXPECT_FALSE(st.hasOverflow());
+    EXPECT_EQ(st.overflowTuples(), 0u);
 }
 
 TEST(BinStorage, ResetCursorsAllowsRerun)

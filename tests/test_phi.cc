@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/core/phi.h"
+#include "src/util/error.h"
 #include "src/util/rng.h"
 
 namespace cobra {
@@ -117,8 +118,7 @@ TEST(Phi, RequiresReducer)
 {
     ExecCtx ctx;
     BinningPlan plan = BinningPlan::forMaxBins(100, 4);
-    EXPECT_EXIT((PhiModel<uint32_t>(ctx, plan, nullptr)),
-                ::testing::ExitedWithCode(1), "commutativity");
+    EXPECT_THROW((PhiModel<uint32_t>(ctx, plan, nullptr)), Error);
 }
 
 } // namespace

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the error taxonomy: ErrorCode, cobra::Error (recoverable
+ * exception), cobra::Status (error-return), and the throwing macros.
+ * Library code must be catchable; only mains may terminate.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/util/error.h"
+
+namespace cobra {
+namespace {
+
+TEST(ErrorCodeTest, NamesAreStable)
+{
+    EXPECT_STREQ(to_string(ErrorCode::kOk), "ok");
+    EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument),
+                 "invalid-argument");
+    EXPECT_STREQ(to_string(ErrorCode::kFailedPrecondition),
+                 "failed-precondition");
+    EXPECT_STREQ(to_string(ErrorCode::kIoError), "io-error");
+    EXPECT_STREQ(to_string(ErrorCode::kCorruptFile), "corrupt-file");
+    EXPECT_STREQ(to_string(ErrorCode::kOutOfRange), "out-of-range");
+    EXPECT_STREQ(to_string(ErrorCode::kCapacityExceeded),
+                 "capacity-exceeded");
+    EXPECT_STREQ(to_string(ErrorCode::kDataLoss), "data-loss");
+    EXPECT_STREQ(to_string(ErrorCode::kUnimplemented), "unimplemented");
+    EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+}
+
+TEST(ErrorTest, CarriesCodeAndMessage)
+{
+    Error e(ErrorCode::kCorruptFile, "bad header");
+    EXPECT_EQ(e.code(), ErrorCode::kCorruptFile);
+    EXPECT_NE(std::string(e.what()).find("corrupt-file"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bad header"),
+              std::string::npos);
+}
+
+TEST(ErrorTest, IsARuntimeError)
+{
+    // Callers that only know std::exception still get the full message.
+    try {
+        throw Error(ErrorCode::kIoError, "disk gone");
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("disk gone"),
+                  std::string::npos);
+    }
+}
+
+TEST(StatusTest, OkByDefault)
+{
+    Status st;
+    EXPECT_TRUE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::kOk);
+    EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, CarriesErrorState)
+{
+    Status st(ErrorCode::kDataLoss, "lost a drain");
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::kDataLoss);
+    EXPECT_EQ(st.message(), "lost a drain");
+    EXPECT_NE(st.toString().find("data-loss"), std::string::npos);
+    EXPECT_NE(st.toString().find("lost a drain"), std::string::npos);
+}
+
+TEST(StatusTest, FromErrorRoundTrip)
+{
+    Error e(ErrorCode::kOutOfRange, "vertex 9 of 4");
+    Status st = Status::FromError(e);
+    EXPECT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), ErrorCode::kOutOfRange);
+    EXPECT_NE(st.message().find("vertex 9 of 4"), std::string::npos);
+}
+
+TEST(ThrowMacros, ThrowIfCarriesTheGivenCode)
+{
+    try {
+        COBRA_THROW_IF(1 + 1 == 2, ErrorCode::kCapacityExceeded,
+                       "bin " << 7 << " full");
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCapacityExceeded);
+        EXPECT_NE(std::string(e.what()).find("bin 7 full"),
+                  std::string::npos);
+    }
+}
+
+TEST(ThrowMacros, ThrowIfPassesWhenFalse)
+{
+    EXPECT_NO_THROW(
+        COBRA_THROW_IF(false, ErrorCode::kInternal, "never"));
+}
+
+TEST(ThrowMacros, FatalIfIsInvalidArgument)
+{
+    // COBRA_FATAL_IF marks caller-contract violations: recoverable,
+    // classified kInvalidArgument (COBRA_PANIC_IF still aborts and is
+    // reserved for internal invariants).
+    try {
+        COBRA_FATAL_IF(true, "negative bin count");
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+    }
+}
+
+} // namespace
+} // namespace cobra

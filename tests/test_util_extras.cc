@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "src/pb/auto_tune.h"
+#include "src/util/error.h"
 #include "src/sim/trace.h"
 #include "src/util/json.h"
 #include "src/util/parallel_sort.h"
@@ -176,8 +177,13 @@ TEST_F(TraceTest, RejectsGarbage)
         std::ofstream out(path, std::ios::binary);
         out << "garbage garbage garbage garbage";
     }
-    EXPECT_EXIT(loadTrace(path), ::testing::ExitedWithCode(1),
-                "not a cobra trace");
+    try {
+        loadTrace(path);
+        FAIL() << "expected cobra::Error";
+    } catch (const Error &e) {
+        EXPECT_NE(std::string(e.what()).find("not a cobra trace"),
+                  std::string::npos);
+    }
 }
 
 } // namespace
