@@ -15,6 +15,15 @@
  * bin-partitioned Accumulate. The trailing benchmark argument is the
  * pool's thread count (a host-thread sweep, reported in real time since
  * the work happens on pool workers).
+ *
+ * The engine-captured *Parallel benchmarks A/B the native Binning
+ * engines (src/pb/engine_config.h): PR 1's flat scalar loop vs the
+ * software C-Buffer engines (write-combining, WC + SIMD batch binning,
+ * two-level hierarchical) plus the cache-topology auto-tuned choice.
+ * Every PB benchmark exports per-phase wall-clock counters (init_s /
+ * binning_s / accumulate_s, averaged per iteration) so the recorded
+ * JSON carries the paper's Table-I-style phase breakdown — the engines
+ * specifically target Binning-phase time.
  */
 
 #include <benchmark/benchmark.h>
@@ -22,10 +31,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 
 #include "src/graph/generators.h"
 #include "src/kernels/degree_count.h"
 #include "src/kernels/neighbor_populate.h"
+#include "src/pb/auto_tune.h"
+#include "src/pb/simd_binning.h"
 #include "src/sim/phase_recorder.h"
 #include "src/util/thread_pool.h"
 
@@ -58,6 +70,32 @@ input(int64_t n)
     return *slot;
 }
 
+/** Accumulates one iteration's phase wall-clock into the run totals. */
+struct PhaseSeconds
+{
+    double init = 0, binning = 0, accumulate = 0;
+
+    void
+    add(const PhaseRecorder &rec)
+    {
+        init += rec.phase(phase::kInit).seconds;
+        binning += rec.phase(phase::kBinning).seconds;
+        accumulate += rec.phase(phase::kAccumulate).seconds;
+    }
+
+    /** Export as avg-per-iteration counters in the JSON output. */
+    void
+    report(benchmark::State &state) const
+    {
+        using benchmark::Counter;
+        state.counters["init_s"] = Counter(init, Counter::kAvgIterations);
+        state.counters["binning_s"] =
+            Counter(binning, Counter::kAvgIterations);
+        state.counters["accumulate_s"] =
+            Counter(accumulate, Counter::kAvgIterations);
+    }
+};
+
 void
 BM_DegreeCountBaseline(benchmark::State &state)
 {
@@ -79,26 +117,59 @@ BM_DegreeCountPb(benchmark::State &state)
     NativeInput &in = input(state.range(0));
     DegreeCountKernel k(in.nodes, &in.edges);
     ExecCtx ctx;
+    PhaseSeconds ps;
     for (auto _ : state) {
         PhaseRecorder rec;
         k.runPb(ctx, rec, static_cast<uint32_t>(state.range(1)));
         benchmark::DoNotOptimize(k.degrees().data());
+        ps.add(rec);
     }
+    ps.report(state);
     state.SetItemsProcessed(state.iterations() *
                             static_cast<int64_t>(in.edges.size()));
 }
 
 void
-BM_DegreeCountPbParallel(benchmark::State &state)
+BM_DegreeCountPbParallel(benchmark::State &state,
+                         const PbEngineConfig &engine)
 {
     NativeInput &in = input(state.range(0));
     DegreeCountKernel k(in.nodes, &in.edges);
     ThreadPool pool(static_cast<size_t>(state.range(2)));
+    PhaseSeconds ps;
     for (auto _ : state) {
         PhaseRecorder rec;
-        k.runPbParallel(pool, rec, static_cast<uint32_t>(state.range(1)));
+        k.runPbParallel(pool, rec, static_cast<uint32_t>(state.range(1)),
+                        engine);
         benchmark::DoNotOptimize(k.degrees().data());
+        ps.add(rec);
     }
+    ps.report(state);
+    state.SetLabel(std::string(to_string(engine.kind)) + "/batch=" +
+                   activeBinBatchName());
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
+/** The auto-tuner's pick for this host (engine kind + bin counts). */
+void
+BM_DegreeCountPbParallelAuto(benchmark::State &state)
+{
+    NativeInput &in = input(state.range(0));
+    DegreeCountKernel k(in.nodes, &in.edges);
+    ThreadPool pool(static_cast<size_t>(state.range(1)));
+    const PbEnginePlan ep = autoTunePbEngine(in.nodes);
+    PhaseSeconds ps;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        k.runPbParallel(pool, rec, ep.plan.numBins, ep.engine);
+        benchmark::DoNotOptimize(k.degrees().data());
+        ps.add(rec);
+    }
+    ps.report(state);
+    state.counters["bins"] = ep.plan.numBins;
+    state.SetLabel(std::string("auto:") + to_string(ep.engine.kind) +
+                   (ep.budget.fromHost ? "/sysfs" : "/fallback"));
     state.SetItemsProcessed(state.iterations() *
                             static_cast<int64_t>(in.edges.size()));
 }
@@ -123,51 +194,101 @@ BM_NeighborPopulatePb(benchmark::State &state)
     NativeInput &in = input(state.range(0));
     NeighborPopulateKernel k(in.nodes, &in.edges);
     ExecCtx ctx;
+    PhaseSeconds ps;
     for (auto _ : state) {
         PhaseRecorder rec;
         k.runPb(ctx, rec, static_cast<uint32_t>(state.range(1)));
+        ps.add(rec);
     }
+    ps.report(state);
     state.SetItemsProcessed(state.iterations() *
                             static_cast<int64_t>(in.edges.size()));
 }
 
 void
-BM_NeighborPopulatePbParallel(benchmark::State &state)
+BM_NeighborPopulatePbParallel(benchmark::State &state,
+                              const PbEngineConfig &engine)
 {
     NativeInput &in = input(state.range(0));
     NeighborPopulateKernel k(in.nodes, &in.edges);
     ThreadPool pool(static_cast<size_t>(state.range(2)));
+    PhaseSeconds ps;
     for (auto _ : state) {
         PhaseRecorder rec;
-        k.runPbParallel(pool, rec, static_cast<uint32_t>(state.range(1)));
+        k.runPbParallel(pool, rec, static_cast<uint32_t>(state.range(1)),
+                        engine);
+        ps.add(rec);
     }
+    ps.report(state);
+    state.SetLabel(std::string(to_string(engine.kind)) + "/batch=" +
+                   activeBinBatchName());
     state.SetItemsProcessed(state.iterations() *
                             static_cast<int64_t>(in.edges.size()));
 }
+
+constexpr PbEngineConfig kScalarEng{PbEngineKind::kScalar, 0, 1, false};
+constexpr PbEngineConfig kWcEng{PbEngineKind::kWriteCombine, 0, 1, false};
+constexpr PbEngineConfig kWcSimdEng{PbEngineKind::kWriteCombineSimd, 0, 1,
+                                    false};
+constexpr PbEngineConfig kHierEng{PbEngineKind::kHierarchical, 0, 1,
+                                  false};
 
 BENCHMARK(BM_DegreeCountBaseline)->Arg(1 << 18)->Arg(1 << 21);
 BENCHMARK(BM_DegreeCountPb)
     ->Args({1 << 18, 512})
     ->Args({1 << 21, 512})
     ->Args({1 << 21, 4096});
-// Host-thread sweep: {nodes, max_bins, pool threads}. Real time, since
-// the benchmark thread mostly waits on the pool.
-BENCHMARK(BM_DegreeCountPbParallel)
+
+// Engine A/B at {nodes, max_bins, pool threads}. Real time, since the
+// benchmark thread mostly waits on the pool. The 4096-bin points are
+// where the flat C-Buffer set outgrows the upper caches (4096 * 68B >
+// L2): WC+SIMD attacks the miss cost, the hierarchical engine removes
+// it. The scalar 512-bin thread sweep is PR 1's configuration, kept
+// for cross-PR comparability.
+BENCHMARK_CAPTURE(BM_DegreeCountPbParallel, scalar, kScalarEng)
     ->Args({1 << 21, 512, 1})
     ->Args({1 << 21, 512, 2})
     ->Args({1 << 21, 512, 4})
     ->Args({1 << 21, 512, 8})
+    ->Args({1 << 21, 4096, 1})
+    ->Args({1 << 22, 16384, 1})
     ->UseRealTime();
+BENCHMARK_CAPTURE(BM_DegreeCountPbParallel, wc, kWcEng)
+    ->Args({1 << 21, 4096, 1})
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_DegreeCountPbParallel, wc_simd, kWcSimdEng)
+    ->Args({1 << 21, 4096, 1})
+    ->Args({1 << 22, 16384, 1})
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_DegreeCountPbParallel, hier, kHierEng)
+    ->Args({1 << 21, 4096, 1})
+    ->Args({1 << 22, 16384, 1})
+    ->UseRealTime();
+BENCHMARK(BM_DegreeCountPbParallelAuto)
+    ->Args({1 << 21, 1})
+    ->Args({1 << 22, 1})
+    ->UseRealTime();
+
 BENCHMARK(BM_NeighborPopulateBaseline)->Arg(1 << 18)->Arg(1 << 21);
 BENCHMARK(BM_NeighborPopulatePb)
     ->Args({1 << 18, 512})
     ->Args({1 << 21, 512})
     ->Args({1 << 21, 4096});
-BENCHMARK(BM_NeighborPopulatePbParallel)
+BENCHMARK_CAPTURE(BM_NeighborPopulatePbParallel, scalar, kScalarEng)
     ->Args({1 << 21, 512, 1})
     ->Args({1 << 21, 512, 2})
     ->Args({1 << 21, 512, 4})
     ->Args({1 << 21, 512, 8})
+    ->Args({1 << 21, 4096, 1})
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_NeighborPopulatePbParallel, wc, kWcEng)
+    ->Args({1 << 21, 4096, 1})
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_NeighborPopulatePbParallel, wc_simd, kWcSimdEng)
+    ->Args({1 << 21, 4096, 1})
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_NeighborPopulatePbParallel, hier, kHierEng)
+    ->Args({1 << 21, 4096, 1})
     ->UseRealTime();
 
 } // namespace

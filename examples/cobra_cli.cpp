@@ -44,7 +44,9 @@
 #include "src/kernels/pagerank.h"
 #include "src/kernels/radii.h"
 #include "src/pb/auto_tune.h"
+#include "src/pb/engine_config.h"
 #include "src/sim/trace.h"
+#include "src/util/thread_pool.h"
 #include "src/util/json.h"
 #include "src/util/table.h"
 #include "src/util/timer.h"
@@ -62,6 +64,8 @@ struct Options
     NodeId nodes = 1 << 20;
     uint64_t edges = 4ull << 20;
     uint32_t bins = 2048;
+    std::string engine;     ///< native Binning engine (parallel runtime)
+    size_t threads = 0;     ///< pool threads for --engine (0 = hardware)
     bool native = false;
     bool stats = false;
     bool json = false;       ///< machine-readable output
@@ -80,7 +84,8 @@ usage(const char *argv0)
            "       [--input kron|urnd|road | --graph-file path]\n"
            "       [--technique baseline|pb|ideal|cobra|comm|phi]\n"
            "       [--nodes N] [--edges M] [--bins B|--auto-bins]\n"
-           "       [--native] [--stats] [--json]\n"
+           "       [--native] [--engine scalar|wc|wc-simd|hier]\n"
+           "       [--threads T] [--stats] [--json]\n"
            "       [--dump-trace out.trc]\n"
            "       [--check] [--inject SITE[:N[:SEED]]]\n"
            "(--inject help lists the fault sites)\n";
@@ -154,6 +159,11 @@ parse(int argc, char **argv)
         } else if (a == "--bins") {
             o.bins = static_cast<uint32_t>(
                 std::atoll(need(++i).c_str()));
+        } else if (a == "--engine") {
+            o.engine = need(++i);
+        } else if (a == "--threads") {
+            o.threads = static_cast<size_t>(
+                std::atoll(need(++i).c_str()));
         } else if (a == "--native") {
             o.native = true;
         } else if (a == "--stats") {
@@ -178,6 +188,28 @@ int
 runCli(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+
+    // Boundary validation: a non-power-of-two bin count would silently
+    // measure a different (rounded) configuration than requested.
+    if (Status s = validatePbBinCount(o.bins); !s.ok()) {
+        std::cerr << "error: --bins " << o.bins << ": " << s.message()
+                  << "\n";
+        return 2;
+    }
+    std::optional<PbEngineKind> engine_kind;
+    if (!o.engine.empty()) {
+        engine_kind = engineKindFromName(o.engine);
+        if (!engine_kind) {
+            std::cerr << "error: unknown --engine '" << o.engine
+                      << "' (scalar|wc|wc-simd|hier)\n";
+            return 2;
+        }
+        if (!o.native || o.technique != "pb") {
+            std::cerr << "error: --engine selects the native parallel "
+                         "PB runtime (use --native --technique pb)\n";
+            return 2;
+        }
+    }
 
     // Armed (but not yet active) fault injector, if requested.
     std::unique_ptr<FaultInjector> fi;
@@ -256,7 +288,15 @@ runCli(int argc, char **argv)
                 scope.emplace(*fi);
             if (o.technique == "baseline")
                 kernel->runBaseline(ctx, rec);
-            else if (o.technique == "pb")
+            else if (o.technique == "pb" && engine_kind) {
+                // Host-parallel runtime with an explicit Binning engine
+                // — pairs with --check/--inject so the differential
+                // oracle covers every engine's drain path.
+                PbEngineConfig ec;
+                ec.kind = *engine_kind;
+                ThreadPool pool(o.threads);
+                kernel->runPbParallel(pool, rec, o.bins, ec);
+            } else if (o.technique == "pb")
                 kernel->runPb(ctx, rec, o.bins);
             else if (o.technique == "phi")
                 kernel->runPhi(ctx, rec, o.bins);

@@ -1,16 +1,31 @@
 #!/usr/bin/env bash
 # Run the native PB benchmarks (wall-clock, including the threaded
-# ParallelPbRunner sweep) and record the trajectory point at the repo
-# root as BENCH_native_pb.json.
+# ParallelPbRunner sweep and the Binning-engine A/B) and record the
+# trajectory point at the repo root as BENCH_native_pb.json.
+#
+# An optional build-dir argument selects which build to measure
+# (default: build/). Pass a -DCOBRA_NATIVE_ARCH=ON tree (e.g.
+# build-arch/, as scripts/tier1.sh lays out) to A/B the AVX2
+# batch-binning path; the stock build measures the portable scalar
+# batch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ ! -x build/bench/bench_native_pb ]; then
-    cmake -B build -S .
-    cmake --build build -j "$(nproc)" --target bench_native_pb
+BUILD_DIR=${1:-build}
+if [ ! -x "$BUILD_DIR/bench/bench_native_pb" ]; then
+    cmake -B "$BUILD_DIR" -S .
+    cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_native_pb
 fi
 
-./build/bench/bench_native_pb \
+# Keep the previous trajectory point: engine A/B results are only
+# meaningful against what the last PR measured on this host.
+if [ -f BENCH_native_pb.json ]; then
+    mkdir -p bench/archive
+    mv BENCH_native_pb.json \
+        "bench/archive/BENCH_native_pb.$(date +%Y%m%d-%H%M%S).json"
+fi
+
+"./$BUILD_DIR/bench/bench_native_pb" \
     --benchmark_format=json \
     --benchmark_out=BENCH_native_pb.json \
     --benchmark_out_format=json

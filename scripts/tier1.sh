@@ -3,6 +3,12 @@
 #
 #   scripts/tier1.sh             # normal Release build in build/
 #   scripts/tier1.sh --sanitize  # ASan+UBSan build in build-asan/
+#
+# After the requested suite passes, hosts with AVX2 also build and run
+# the suite with -DCOBRA_NATIVE_ARCH=ON (build-arch/), so the SIMD
+# binning path gets the same test coverage as the portable build. The
+# portable build always runs first: the scalar batch path must pass on
+# its own, not just as the fallback inside an AVX2 build.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +19,18 @@ if [[ "${1:-}" == "--sanitize" ]]; then
     CMAKE_ARGS+=(-DCOBRA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
 fi
 
-cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
-cmake --build "$BUILD_DIR" -j "$(nproc)"
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"
+run_suite() {
+    local dir=$1
+    shift
+    cmake -B "$dir" -S . "$@"
+    cmake --build "$dir" -j "$(nproc)"
+    (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+}
+
+run_suite "$BUILD_DIR" "${CMAKE_ARGS[@]}"
+
+if grep -q avx2 /proc/cpuinfo 2>/dev/null; then
+    run_suite "${BUILD_DIR}-arch" "${CMAKE_ARGS[@]}" -DCOBRA_NATIVE_ARCH=ON
+else
+    echo "tier1: host lacks AVX2; skipping COBRA_NATIVE_ARCH pass"
+fi

@@ -76,11 +76,12 @@ DegreeCountKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec,
 
 void
 DegreeCountKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
-                                 uint32_t max_bins)
+                                 uint32_t max_bins,
+                                 const PbEngineConfig &engine)
 {
     resetOutput();
     BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
-    ParallelPbRunner<NoPayload> runner(pool, plan);
+    ParallelPbRunner<NoPayload> runner(pool, plan, engine);
     const EdgeList &el = *edges;
     runner.run(
         el.size(), rec, [&el](size_t i) { return el[i].src; },

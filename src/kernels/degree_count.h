@@ -37,7 +37,8 @@ class DegreeCountKernel : public Kernel
     void runPb(ExecCtx &ctx, PhaseRecorder &rec,
                uint32_t max_bins) override;
     void runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
-                       uint32_t max_bins) override;
+                       uint32_t max_bins,
+                       const PbEngineConfig &engine = {}) override;
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     void runPhi(ExecCtx &ctx, PhaseRecorder &rec,

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "src/core/cobra_config.h"
+#include "src/pb/engine_config.h"
 #include "src/sim/exec_ctx.h"
 #include "src/sim/phase_recorder.h"
 
@@ -87,10 +88,13 @@ class Kernel
     /**
      * Native host-parallel software PB on @p pool (no simulation):
      * per-thread binners over contiguous update shards, bin-partitioned
-     * Accumulate (src/pb/parallel_pb.h). Kernels opt in by overriding.
+     * Accumulate (src/pb/parallel_pb.h). @p engine selects the Binning
+     * engine (flat scalar, write-combining, WC+SIMD, hierarchical); all
+     * engines are output-equivalent. Kernels opt in by overriding.
      */
     virtual void
-    runPbParallel(ThreadPool &, PhaseRecorder &, uint32_t)
+    runPbParallel(ThreadPool &, PhaseRecorder &, uint32_t,
+                  const PbEngineConfig & = {})
     {
         COBRA_THROW_IF(true, ErrorCode::kUnimplemented,
                        name() << ": no host-parallel PB runtime");

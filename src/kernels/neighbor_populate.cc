@@ -85,11 +85,12 @@ NeighborPopulateKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec,
 
 void
 NeighborPopulateKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
-                                      uint32_t max_bins)
+                                      uint32_t max_bins,
+                                      const PbEngineConfig &engine)
 {
     resetOutput();
     BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
-    ParallelPbRunner<NodeId> runner(pool, plan);
+    ParallelPbRunner<NodeId> runner(pool, plan, engine);
     const EdgeList &el = *edges;
     runner.run(
         el.size(), rec, [&el](size_t i) { return el[i].src; },

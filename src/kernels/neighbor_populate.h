@@ -38,7 +38,8 @@ class NeighborPopulateKernel : public Kernel
     void runPb(ExecCtx &ctx, PhaseRecorder &rec,
                uint32_t max_bins) override;
     void runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
-                       uint32_t max_bins) override;
+                       uint32_t max_bins,
+                       const PbEngineConfig &engine = {}) override;
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     bool verify() const override;

@@ -18,8 +18,12 @@
 #ifndef COBRA_PB_AUTO_TUNE_H
 #define COBRA_PB_AUTO_TUNE_H
 
+#include <algorithm>
+
 #include "src/mem/hierarchy.h"
 #include "src/pb/bin_range.h"
+#include "src/pb/engine_config.h"
+#include "src/util/cpu_features.h"
 
 namespace cobra {
 
@@ -54,6 +58,106 @@ autoTunePlan(uint64_t num_indices,
 {
     return BinningPlan::forMaxBins(num_indices,
                                    autoTunePbBins(num_indices, h));
+}
+
+/**
+ * Cache capacities the *native* engines should tune against: the host's
+ * real topology when sysfs exposes it, the benchmark-context
+ * HierarchyConfig otherwise (containers and stripped sysfs roots fall
+ * back to the same machine model the simulator uses, so tuning is
+ * deterministic either way).
+ */
+struct CacheBudget
+{
+    uint64_t l1dBytes = 0;
+    uint64_t l2Bytes = 0;
+    uint64_t llcBytes = 0;
+    bool fromHost = false; ///< true: sysfs; false: HierarchyConfig
+};
+
+inline CacheBudget
+hostCacheBudget(const HierarchyConfig &fallback = HierarchyConfig{})
+{
+    const HostCacheGeometry &g = hostCacheGeometry();
+    if (g.detected)
+        return CacheBudget{g.l1dBytes, g.l2Bytes, g.llcBytes, true};
+    return CacheBudget{fallback.l1.sizeBytes, fallback.l2.sizeBytes,
+                       fallback.llc.sizeBytes, false};
+}
+
+/** A fully tuned native Binning configuration. */
+struct PbEnginePlan
+{
+    BinningPlan plan;
+    PbEngineConfig engine;
+    CacheBudget budget; ///< capacities the choice was made against
+};
+
+/**
+ * Pick engine kind, WC depth, level count, and per-level bin counts for
+ * a native run over @p num_indices — the software analogue of COBRA's
+ * per-cache-level provisioning (reserved ways sized per level, paper
+ * Section V-B):
+ *
+ *  - Desired *final* bin count comes from the Accumulate side: the bin
+ *    range should cover at most ~half the L1d of indexed data (4B per
+ *    element assumed — payload-independent, like the paper's sweeps),
+ *    clamped below by the flat heuristic's floor of 16. Callers that
+ *    already swept (or a CLI --bins override) pass @p requested_bins.
+ *  - If one flat level of C-Buffers at that bin count fits in half the
+ *    L2, use the flat WC engine (+ SIMD batch binning) and spend any
+ *    leftover budget on WC depth — deeper staging halves drain
+ *    frequency.
+ *  - Otherwise go hierarchical: children-per-coarse-bin sized so the
+ *    refine pass's C-Buffer set sits in half the L1d, then widened until
+ *    the coarse level's own WC working set fits the L2 budget.
+ */
+inline PbEnginePlan
+autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins = 0,
+                 const HierarchyConfig &fallback = HierarchyConfig{})
+{
+    COBRA_FATAL_IF(num_indices == 0, "empty index namespace");
+    const CacheBudget cb = hostCacheBudget(fallback);
+
+    uint32_t want_bins;
+    if (requested_bins != 0) {
+        want_bins = requested_bins;
+    } else {
+        const uint64_t target_range =
+            std::max<uint64_t>(16, cb.l1dBytes / 2 / sizeof(uint32_t));
+        uint64_t bins = ceilPow2(divCeil(num_indices, target_range));
+        bins = std::clamp<uint64_t>(bins, 16, uint64_t{1} << 20);
+        bins = std::min<uint64_t>(bins, ceilPow2(num_indices));
+        want_bins = static_cast<uint32_t>(bins);
+    }
+
+    PbEnginePlan out;
+    out.plan = BinningPlan::forMaxBins(num_indices, want_bins);
+    out.budget = cb;
+
+    const uint64_t flat_budget = cb.l2Bytes / 2;
+    const uint64_t nb = out.plan.numBins;
+    if (nb * kPbBytesPerBin <= flat_budget) {
+        out.engine.kind = PbEngineKind::kWriteCombineSimd;
+        while (out.engine.wcLines < 4 &&
+               nb * (2 * out.engine.wcLines * kLineSize +
+                     sizeof(uint32_t)) <=
+                   flat_budget)
+            out.engine.wcLines *= 2;
+    } else {
+        out.engine.kind = PbEngineKind::kHierarchical;
+        // log2(children per coarse bin): refine C-Buffers in half-L1d...
+        uint32_t k = floorLog2(
+            std::max<uint64_t>(2, cb.l1dBytes / 2 / kLineSize));
+        // ...widened until the coarse WC working set fits the L2 budget.
+        while (k < 31 &&
+               divCeil(nb, uint64_t{1} << k) * kPbBytesPerBin >
+                   flat_budget)
+            ++k;
+        out.engine.coarseBins =
+            static_cast<uint32_t>(divCeil(nb, uint64_t{1} << k));
+    }
+    return out;
 }
 
 } // namespace cobra

@@ -14,11 +14,32 @@
 #define COBRA_PB_BIN_RANGE_H
 
 #include <cstdint>
+#include <string>
 
 #include "src/util/bitops.h"
 #include "src/util/error.h"
 
 namespace cobra {
+
+/**
+ * Validate a user-supplied PB bin count (CLI --bins, config files).
+ * Bin counts must be nonzero powers of two: the per-level bin range is
+ * a power of two (paper Section V-A), so any other request silently
+ * rounds — better to reject it at the boundary than to measure a
+ * different configuration than the one asked for.
+ */
+inline Status
+validatePbBinCount(uint32_t bins)
+{
+    if (bins == 0)
+        return Status(ErrorCode::kInvalidArgument,
+                      "bin count must be positive");
+    if (!isPow2(static_cast<uint64_t>(bins)))
+        return Status(ErrorCode::kInvalidArgument,
+                      "bin count must be a power of two (got " +
+                          std::to_string(bins) + ")");
+    return Status::Ok();
+}
 
 /** A power-of-two partition of the index namespace. */
 struct BinningPlan

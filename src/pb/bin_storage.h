@@ -40,8 +40,16 @@ class BinStorage
   public:
     using Tuple = BinTuple<Payload>;
 
-    explicit BinStorage(const BinningPlan &plan_)
-        : plan(plan_), counts(plan_.numBins)
+    /**
+     * @param align_bins pad every bin's start offset to a cache-line
+     * boundary. The native write-combining engines need this: a full
+     * C-Buffer drains as aligned 64B non-temporal bursts, which is only
+     * legal when the destination cursor is line-aligned — guaranteed
+     * when every bin starts on a line and advances one full line per
+     * drain. Simulated/scalar storage keeps the paper's packed layout.
+     */
+    explicit BinStorage(const BinningPlan &plan_, bool align_bins = false)
+        : plan(plan_), alignBins(align_bins), counts(plan_.numBins)
     {
     }
 
@@ -93,6 +101,7 @@ class BinStorage
             // counted inserts and rebuild the cursors in place.
             uint64_t run = 0;
             for (uint32_t b = 0; b < numBins(); ++b) {
+                run = padStart(run);
                 COBRA_PANIC_IF(starts[b] != run,
                                "preallocate/init mismatch at bin " << b);
                 run += counts[b];
@@ -155,6 +164,15 @@ class BinStorage
     /** Address of the BinOffset cursor (for instrumentation). */
     const uint64_t *cursorAddr(uint32_t b) const { return &cursors[b]; }
 
+    /**
+     * Per-bin tuple counts as established by the Init counting pass.
+     * Valid once all countInsert calls have happened (the hierarchical
+     * engine derives its coarse-level layout from these at
+     * finalizeInit, instead of paying a second counter array in the
+     * Init hot loop).
+     */
+    const uint32_t *initCounts() const { return counts.data(); }
+
     uint64_t
     totalTuples() const
     {
@@ -216,6 +234,17 @@ class BinStorage
         return overflowData.data() + off;
     }
 
+    /** Next legal bin start at/after @p run (identity when unaligned). */
+    uint64_t
+    padStart(uint64_t run) const
+    {
+        if (!alignBins)
+            return run;
+        constexpr uint64_t kTuplesPerLine = kLineSize / sizeof(Tuple);
+        return (run + kTuplesPerLine - 1) / kTuplesPerLine *
+            kTuplesPerLine;
+    }
+
     /** Build starts/cursors/data from @p final_counts (numBins values). */
     void
     layOut(const uint32_t *final_counts)
@@ -224,6 +253,7 @@ class BinStorage
         cursors = AlignedArray<uint64_t, kPageSize>(numBins());
         uint64_t run = 0;
         for (uint32_t b = 0; b < numBins(); ++b) {
+            run = padStart(run);
             starts[b] = cursors[b] = run;
             run += final_counts[b];
         }
@@ -236,6 +266,7 @@ class BinStorage
     // behavior under the hierarchy's page renaming) is independent of
     // the host allocator. See kPageSize in src/mem/types.h.
     BinningPlan plan;
+    bool alignBins = false; ///< line-align bin starts (WC engines)
     AlignedArray<uint32_t, kPageSize> counts; ///< 4B counters (compact)
     AlignedArray<uint64_t, kPageSize> starts; ///< per-bin offsets (+ total)
     AlignedArray<uint64_t, kPageSize> cursors; ///< BinOffset array

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Native PB Binning-engine selection.
+ *
+ * PR 1's ParallelPbRunner binned with one flat scalar loop — the exact
+ * software baseline whose per-tuple overhead and bin-count compromise
+ * the paper's hardware (COBRA's C-Buffer hierarchy) exists to remove.
+ * This header names the software analogues the native runtime now
+ * offers, so kernels, benchmarks, and the CLI can A/B them:
+ *
+ *  - kScalar           PR 1 reference: tuple-at-a-time binning through
+ *                      PbBinner (also the instrumented/simulated path).
+ *  - kWriteCombine     64B-aligned per-bin staging lines drained with
+ *                      aligned non-temporal bursts (software C-Buffer).
+ *  - kWriteCombineSimd kWriteCombine plus batch-of-8 bin-index
+ *                      computation (AVX2 when compiled+detected, scalar
+ *                      otherwise) and staged prefetch of the target
+ *                      C-Buffer lines.
+ *  - kHierarchical     two-level binning: a coarse partition whose WC
+ *                      working set stays cache-resident, then an
+ *                      in-cache refine into the final bins — the
+ *                      software escape from the bin-count compromise
+ *                      for large index spaces (paper Section V-A's
+ *                      per-level power-of-two bin ranges).
+ *
+ * Kept dependency-free so src/kernels/kernel.h can expose an engine
+ * parameter without dragging the engines themselves into every kernel.
+ */
+
+#ifndef COBRA_PB_ENGINE_CONFIG_H
+#define COBRA_PB_ENGINE_CONFIG_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace cobra {
+
+/** Which native Binning engine ParallelPbRunner uses. */
+enum class PbEngineKind : uint8_t
+{
+    kScalar = 0,
+    kWriteCombine,
+    kWriteCombineSimd,
+    kHierarchical,
+};
+
+inline const char *
+to_string(PbEngineKind k)
+{
+    switch (k) {
+      case PbEngineKind::kScalar: return "scalar";
+      case PbEngineKind::kWriteCombine: return "wc";
+      case PbEngineKind::kWriteCombineSimd: return "wc-simd";
+      case PbEngineKind::kHierarchical: return "hier";
+    }
+    return "unknown";
+}
+
+inline std::optional<PbEngineKind>
+engineKindFromName(std::string_view name)
+{
+    for (PbEngineKind k :
+         {PbEngineKind::kScalar, PbEngineKind::kWriteCombine,
+          PbEngineKind::kWriteCombineSimd, PbEngineKind::kHierarchical})
+        if (name == to_string(k))
+            return k;
+    return std::nullopt;
+}
+
+/** Engine choice plus its tunables (auto-tuned in src/pb/auto_tune.h). */
+struct PbEngineConfig
+{
+    PbEngineKind kind = PbEngineKind::kScalar;
+
+    /**
+     * Hierarchical only: level-1 (coarse) bin target; 0 lets the engine
+     * pick a balanced split. The engine rounds the implied per-level bin
+     * range to a power of two (paper Section V-A).
+     */
+    uint32_t coarseBins = 0;
+
+    /**
+     * WC depth: staging lines per bin (drained wholesale when full).
+     * Depth 1 = one 64B C-Buffer per bin; deeper buffers halve drain
+     * frequency at the cost of a proportionally larger working set.
+     */
+    uint32_t wcLines = 1;
+
+    /**
+     * Testing hook: pin batch bin-index computation to the portable
+     * scalar implementation even when an AVX2 build detects AVX2, so
+     * the fallback path stays exercised on SIMD-capable hosts.
+     */
+    bool forceScalarBatch = false;
+};
+
+} // namespace cobra
+
+#endif // COBRA_PB_ENGINE_CONFIG_H

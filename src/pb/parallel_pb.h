@@ -6,7 +6,7 @@
  * Parallel PB needs no synchronization inside either hot phase:
  *
  *  - Binning: the update stream is sharded contiguously, one shard per
- *    pool thread, and every thread owns a private PbBinner (bins +
+ *    pool thread, and every thread owns a private binner (bins +
  *    C-Buffers), so threads never write shared state. C-Buffer drains use
  *    real non-temporal stores (see stream_copy.h) followed by one fence
  *    at the phase barrier.
@@ -14,6 +14,13 @@
  *    covers a disjoint index range, so the thread that owns bin b applies
  *    tuples from *every* thread's copy of bin b without racing any other
  *    thread — the apply callback may freely mutate the indexed data.
+ *
+ * The Binning engine is selectable per run (PbEngineConfig): the
+ * instruction-faithful scalar PbBinner (also the simulator's model), or
+ * one of the software C-Buffer engines of wc_engine.h (write-combining,
+ * write-combining + SIMD batch binning, two-level hierarchical). All
+ * engines produce identical per-bin tuple sequences, so kernels and the
+ * differential oracle are engine-agnostic.
  *
  * The phase barrier between Binning and Accumulate is the pool's wait();
  * the PhaseRecorder brackets give the same Init/Binning/Accumulate
@@ -28,7 +35,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/pb/engine_config.h"
 #include "src/pb/pb_binner.h"
+#include "src/pb/wc_engine.h"
 #include "src/sim/phase_recorder.h"
 #include "src/util/thread_pool.h"
 
@@ -51,35 +60,23 @@ class ParallelPbRunner
   public:
     using Tuple = BinTuple<Payload>;
 
-    ParallelPbRunner(ThreadPool &pool, const BinningPlan &plan)
-        : pool_(pool), plan_(plan)
+    ParallelPbRunner(ThreadPool &pool, const BinningPlan &plan,
+                     const PbEngineConfig &engine = {})
+        : pool_(pool), plan_(plan), engine_(engine)
     {
     }
 
     const BinningPlan &plan() const { return plan_; }
+    const PbEngineConfig &engine() const { return engine_; }
 
     /** Shards (== per-thread binners) used by the last run(). */
-    size_t shards() const { return binners_.size(); }
+    size_t shards() const { return shards_; }
 
     /** Tuples binned across all shards in the last run(). */
-    uint64_t
-    tuplesBinned() const
-    {
-        uint64_t n = 0;
-        for (const auto &b : binners_)
-            n += b->tuplesBinned();
-        return n;
-    }
+    uint64_t tuplesBinned() const { return binned_; }
 
     /** Tuples that spilled past their planned bin in the last run(). */
-    uint64_t
-    overflowTuples() const
-    {
-        uint64_t n = 0;
-        for (const auto &b : binners_)
-            n += b->storage().overflowTuples();
-        return n;
-    }
+    uint64_t overflowTuples() const { return overflow_; }
 
     /**
      * Conservation verdict of the last run(): every emitted update must
@@ -93,26 +90,65 @@ class ParallelPbRunner
     run(size_t num_updates, PhaseRecorder &rec, IndexOf &&index_of,
         UpdateOf &&update_of, Apply &&apply)
     {
+        switch (engine_.kind) {
+        case PbEngineKind::kScalar:
+            runImpl<PbBinner<Payload>>(num_updates, rec, index_of,
+                                       update_of, apply);
+            break;
+        case PbEngineKind::kWriteCombine:
+        case PbEngineKind::kWriteCombineSimd:
+            runImpl<WcBinner<Payload>>(num_updates, rec, index_of,
+                                       update_of, apply);
+            break;
+        case PbEngineKind::kHierarchical:
+            runImpl<HierarchicalBinner<Payload>>(num_updates, rec,
+                                                 index_of, update_of,
+                                                 apply);
+            break;
+        }
+    }
+
+  private:
+    template <typename Binner>
+    std::unique_ptr<Binner>
+    makeBinner() const
+    {
+        if constexpr (std::is_same_v<Binner, PbBinner<Payload>>)
+            return std::make_unique<Binner>(plan_);
+        else
+            return std::make_unique<Binner>(plan_, engine_);
+    }
+
+    template <typename Binner, typename IndexOf, typename UpdateOf,
+              typename Apply>
+    void
+    runImpl(size_t num_updates, PhaseRecorder &rec, IndexOf &&index_of,
+            UpdateOf &&update_of, Apply &&apply)
+    {
         ExecCtx native; // uninstrumented: full host speed
         const size_t nshards =
             std::max<size_t>(1, std::min(pool_.numThreads(), num_updates));
         const size_t chunk = (num_updates + nshards - 1) / nshards;
 
+        // Binners live only for the duration of one run; the runner
+        // caches the cross-run-visible stats at the phase barriers so
+        // accessors stay valid after the storage is released.
+        std::vector<std::unique_ptr<Binner>> binners(nshards);
+
         // Init: per-thread counting of its own shard, then per-binner
         // prefix sums — each thread sizes exactly the bins it will fill.
         rec.begin(native, phase::kInit);
-        binners_.clear();
-        binners_.resize(nshards);
         for (size_t t = 0; t < nshards; ++t) {
-            pool_.enqueue([this, t, chunk, num_updates, &index_of] {
+            pool_.enqueue([this, t, chunk, num_updates, &binners,
+                           &index_of] {
                 ExecCtx ctx;
-                auto bn = std::make_unique<PbBinner<Payload>>(plan_);
+                auto bn = makeBinner<Binner>();
                 const size_t begin = t * chunk;
                 const size_t end = std::min(num_updates, begin + chunk);
                 for (size_t i = begin; i < end; ++i)
                     bn->initCount(ctx, index_of(i));
                 bn->finalizeInit(ctx);
-                binners_[t] = std::move(bn);
+                binners[t] = std::move(bn);
             });
         }
         pool_.wait();
@@ -121,9 +157,9 @@ class ParallelPbRunner
         // Binning: synchronization-free, per-thread private binners.
         rec.begin(native, phase::kBinning);
         for (size_t t = 0; t < nshards; ++t) {
-            pool_.enqueue([this, t, chunk, num_updates, &update_of] {
+            pool_.enqueue([t, chunk, num_updates, &binners, &update_of] {
                 ExecCtx ctx;
-                PbBinner<Payload> &bn = *binners_[t];
+                Binner &bn = *binners[t];
                 const size_t begin = t * chunk;
                 const size_t end = std::min(num_updates, begin + chunk);
                 for (size_t i = begin; i < end; ++i) {
@@ -138,12 +174,17 @@ class ParallelPbRunner
 
         // Conservation check at the phase barrier: the multiset handed
         // to Accumulate must be exactly one tuple per emitted update.
-        const uint64_t binned = tuplesBinned();
-        const uint64_t spilled = overflowTuples();
-        if (binned != num_updates || spilled != 0) {
+        shards_ = nshards;
+        binned_ = 0;
+        overflow_ = 0;
+        for (const auto &bn : binners) {
+            binned_ += bn->tuplesBinned();
+            overflow_ += bn->storage().overflowTuples();
+        }
+        if (binned_ != num_updates || overflow_ != 0) {
             std::ostringstream oss;
-            oss << "parallel PB binned " << binned << " of "
-                << num_updates << " updates (" << spilled
+            oss << "parallel PB binned " << binned_ << " of "
+                << num_updates << " updates (" << overflow_
                 << " overflowed)";
             conservation_ = Status(ErrorCode::kDataLoss, oss.str());
             warn(conservation_.message());
@@ -159,12 +200,12 @@ class ParallelPbRunner
             1, std::min(pool_.numThreads(), nbins));
         const size_t bchunk = (nbins + bshards - 1) / bshards;
         for (size_t s = 0; s < bshards; ++s) {
-            pool_.enqueue([this, s, bchunk, nbins, &apply] {
+            pool_.enqueue([s, bchunk, nbins, &binners, &apply] {
                 ExecCtx ctx;
                 const size_t begin = s * bchunk;
                 const size_t end = std::min(nbins, begin + bchunk);
                 for (size_t b = begin; b < end; ++b)
-                    for (auto &bn : binners_)
+                    for (auto &bn : binners)
                         bn->forEachInBin(ctx, static_cast<uint32_t>(b),
                                          apply);
             });
@@ -173,10 +214,12 @@ class ParallelPbRunner
         rec.end(native);
     }
 
-  private:
     ThreadPool &pool_;
     BinningPlan plan_;
-    std::vector<std::unique_ptr<PbBinner<Payload>>> binners_;
+    PbEngineConfig engine_;
+    size_t shards_ = 0;
+    uint64_t binned_ = 0;
+    uint64_t overflow_ = 0;
     Status conservation_;
 };
 

@@ -1,0 +1,37 @@
+#include "src/pb/simd_binning.h"
+
+#include "src/util/cpu_features.h"
+
+namespace cobra {
+
+void
+binBatchScalar(const uint32_t *indices, size_t n, uint32_t range_shift,
+               uint32_t num_bins, uint32_t *bins_out)
+{
+    const uint32_t cap = num_bins - 1;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t b = indices[i] >> range_shift;
+        bins_out[i] = b < cap ? b : cap;
+    }
+}
+
+BinBatchFn
+activeBinBatchFn()
+{
+    static const BinBatchFn fn = [] {
+#if defined(COBRA_NATIVE_ARCH)
+        if (hostCpuFeatures().avx2)
+            return &binBatchAvx2;
+#endif
+        return &binBatchScalar;
+    }();
+    return fn;
+}
+
+const char *
+activeBinBatchName()
+{
+    return activeBinBatchFn() == &binBatchScalar ? "scalar" : "avx2";
+}
+
+} // namespace cobra

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Batch bin-index computation with runtime ISA dispatch.
+ *
+ * Binning a tuple is a shift plus a clamp (paper Section V-A's
+ * power-of-two bin ranges make it so); the per-tuple cost the paper
+ * complains about is the *surrounding* scalar loop. Computing the bin
+ * indices of a whole batch at once amortizes that loop, lets a vector
+ * unit do 8 shifts/clamps per instruction, and — just as importantly —
+ * gives the engine all 8 target bins before any scatter happens, so it
+ * can prefetch the C-Buffer lines and overlap their cache misses.
+ *
+ * The AVX2 implementation lives in its own translation unit
+ * (simd_binning_avx2.cc), compiled with -mavx2 only under the
+ * COBRA_NATIVE_ARCH build option; selection happens once at startup via
+ * cpuHasAvx2, so a single binary is correct on any host and non-x86
+ * builds use the scalar path with no further ifdefs.
+ */
+
+#ifndef COBRA_PB_SIMD_BINNING_H
+#define COBRA_PB_SIMD_BINNING_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cobra {
+
+/** Engine-side batch width (ragged tails 0..kBinBatch-1 are legal). */
+inline constexpr size_t kBinBatch = 8;
+
+/**
+ * Compute bins_out[i] = min(indices[i] >> range_shift, num_bins - 1)
+ * for i in [0, n). n may be any size (not just kBinBatch).
+ */
+using BinBatchFn = void (*)(const uint32_t *indices, size_t n,
+                            uint32_t range_shift, uint32_t num_bins,
+                            uint32_t *bins_out);
+
+/** Portable reference implementation (always available). */
+void binBatchScalar(const uint32_t *indices, size_t n,
+                    uint32_t range_shift, uint32_t num_bins,
+                    uint32_t *bins_out);
+
+/**
+ * AVX2 implementation; defined only in COBRA_NATIVE_ARCH builds (the
+ * declaration is harmless elsewhere). Never call directly — it faults
+ * on hosts without AVX2; go through activeBinBatchFn().
+ */
+void binBatchAvx2(const uint32_t *indices, size_t n, uint32_t range_shift,
+                  uint32_t num_bins, uint32_t *bins_out);
+
+/**
+ * The implementation this host should use, chosen once at first call:
+ * AVX2 iff it was compiled in (COBRA_NATIVE_ARCH) and the CPU reports
+ * it, scalar otherwise.
+ */
+BinBatchFn activeBinBatchFn();
+
+/** "avx2" or "scalar" — for bench labels and logs. */
+const char *activeBinBatchName();
+
+} // namespace cobra
+
+#endif // COBRA_PB_SIMD_BINNING_H

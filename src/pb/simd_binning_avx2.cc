@@ -1,0 +1,40 @@
+/**
+ * @file
+ * AVX2 batch binning: 8 bin indices per iteration via variable-count
+ * vector shift + unsigned min (the clamp of BinningPlan::binOf).
+ *
+ * This translation unit is the only one in the library compiled with
+ * -mavx2 (gated by the COBRA_NATIVE_ARCH CMake option), so the rest of
+ * the binary stays runnable on any x86-64; callers reach this code only
+ * through the runtime dispatch in simd_binning.cc.
+ */
+
+#include "src/pb/simd_binning.h"
+
+#include <immintrin.h>
+
+namespace cobra {
+
+void
+binBatchAvx2(const uint32_t *indices, size_t n, uint32_t range_shift,
+             uint32_t num_bins, uint32_t *bins_out)
+{
+    const __m128i shift =
+        _mm_cvtsi32_si128(static_cast<int>(range_shift));
+    const __m256i cap =
+        _mm256_set1_epi32(static_cast<int>(num_bins - 1));
+    size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(indices + i));
+        v = _mm256_srl_epi32(v, shift);
+        v = _mm256_min_epu32(v, cap);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(bins_out + i),
+                            v);
+    }
+    if (i < n)
+        binBatchScalar(indices + i, n - i, range_shift, num_bins,
+                       bins_out + i);
+}
+
+} // namespace cobra

@@ -75,6 +75,27 @@ struct IdxValPayload
 
 static_assert(sizeof(BinTuple<IdxValPayload>) == 16);
 
+inline bool
+operator==(const IdxValPayload &a, const IdxValPayload &b)
+{
+    return a.other == b.other && a.lo == b.lo && a.hi == b.hi;
+}
+
+/**
+ * Tuple equality, uniform across the payload-free specialization (used
+ * by the binning-engine equivalence tests, which compare whole per-bin
+ * tuple sequences across engines).
+ */
+template <typename Payload>
+inline bool
+operator==(const BinTuple<Payload> &a, const BinTuple<Payload> &b)
+{
+    if constexpr (std::is_same_v<Payload, NoPayload>)
+        return a.index == b.index;
+    else
+        return a.index == b.index && a.payload == b.payload;
+}
+
 /** Construct a tuple uniformly for any payload type. */
 template <typename Payload>
 inline BinTuple<Payload>

@@ -1,0 +1,515 @@
+/**
+ * @file
+ * Software C-Buffers: native write-combining / SIMD / hierarchical
+ * Binning engines for the host-parallel PB runtime.
+ *
+ * COBRA removes two software-PB costs in hardware (paper Sections III-C,
+ * IV): the per-tuple instruction/branch overhead of C-Buffer
+ * bookkeeping, and the bin-count compromise (few big bins starve
+ * Accumulate locality; many small bins thrash the Binning working set).
+ * These engines are the closest software can get to each mechanism:
+ *
+ *  - WcBinner ("wc"): one 64B-aligned staging line per bin (wcLines
+ *    deep), drained only as full aligned non-temporal bursts
+ *    (streamLine64) into line-aligned bins — the software analogue of a
+ *    C-Buffer evicting a complete line. Partial lines exist only at the
+ *    end-of-phase flush.
+ *
+ *  - WcBinner ("wc-simd"): additionally gathers tuples into a batch of
+ *    8, computes all 8 bin indices at once (AVX2 via runtime dispatch,
+ *    portable scalar otherwise — src/pb/simd_binning.h), and prefetches
+ *    the 8 target staging lines before scattering, overlapping the
+ *    cache misses that dominate large-bin-count Binning.
+ *
+ *  - HierarchicalBinner ("hier"): two power-of-two bin levels (paper
+ *    Section V-A): a coarse partition whose WC working set stays
+ *    upper-cache-resident, then a streaming in-cache refine of each
+ *    coarse run into the final bins. This escapes the bin-count
+ *    compromise for index spaces where a flat binner would need more
+ *    C-Buffers than the caches can hold.
+ *
+ * All engines preserve intra-bin tuple order (the paper's generality
+ * claim: non-commutative kernels like Neighbor-Populate must see bins
+ * as order-preserving queues), produce bit-identical per-bin sequences
+ * to the flat scalar PbBinner (tests/test_wc_binning.cc pins this), and
+ * thread the same FaultInjector drain sites so the differential oracle
+ * and conservation checks of PR 2 cover the new hot path.
+ *
+ * These classes are native-only: they accept an ExecCtx purely for
+ * interface compatibility with PbBinner and never report through it —
+ * the simulated pipeline keeps using PbBinner, whose counted costs are
+ * the paper's software-PB baseline.
+ */
+
+#ifndef COBRA_PB_WC_ENGINE_H
+#define COBRA_PB_WC_ENGINE_H
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/pb/bin_storage.h"
+#include "src/pb/engine_config.h"
+#include "src/pb/simd_binning.h"
+#include "src/util/aligned_array.h"
+#include "src/util/stream_copy.h"
+
+namespace cobra {
+
+namespace wc_detail {
+
+/**
+ * Stream @p n tuples from a staging buffer to @p dst: full-line aligned
+ * NT bursts when geometry allows, streamCopy otherwise (ragged flush
+ * tails, or cursors knocked off alignment by an injected fault).
+ */
+template <typename Tuple>
+inline void
+streamTuples(Tuple *dst, const Tuple *src, uint32_t n)
+{
+    const size_t bytes = static_cast<size_t>(n) * sizeof(Tuple);
+    if (bytes % kLineSize == 0 &&
+        (reinterpret_cast<uintptr_t>(dst) & (kLineSize - 1)) == 0) {
+        auto *d = reinterpret_cast<unsigned char *>(dst);
+        auto *s = reinterpret_cast<const unsigned char *>(src);
+        for (size_t off = 0; off < bytes; off += kLineSize)
+            streamLine64(d + off, s + off);
+    } else {
+        streamCopy(dst, src, bytes);
+    }
+}
+
+/**
+ * The PbBinner drain-path injection sites, verbatim, so PR 2's mutation
+ * matrix covers the WC engines too. Returns the (possibly truncated)
+ * tuple count to actually drain; ~0u means the drain was dropped.
+ */
+template <typename Tuple, typename Payload>
+inline uint32_t
+injectDrainFaults(BinStorage<Payload> &store, uint32_t b, Tuple *src,
+                  uint32_t n)
+{
+    if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+        Tuple &t0 = src[0];
+        if (fi->fire(FaultSite::kPbCorruptIndex, b))
+            t0.index = fi->corruptIndex(t0.index);
+        if (fi->fire(FaultSite::kPbCorruptPayload, b))
+            fi->corruptBytes(reinterpret_cast<uint8_t *>(&t0) +
+                                 sizeof(t0.index),
+                             sizeof(Tuple) - sizeof(t0.index));
+        if (fi->fire(FaultSite::kPbDropDrain, b))
+            return ~0u;
+        if (fi->fire(FaultSite::kPbDuplicateDrain, b)) {
+            Tuple *extra = store.appendRaw(b, n);
+            std::memcpy(extra, src, n * sizeof(Tuple));
+        }
+        if (n > 1 && fi->fire(FaultSite::kPbTruncateDrain, b))
+            --n;
+    }
+    return n;
+}
+
+/** Accumulate-phase streaming, shared by both native engines. */
+template <typename Payload, typename Fn>
+inline void
+forEachInBinNative(const BinStorage<Payload> &store, uint32_t bin,
+                   Fn &&fn)
+{
+    using Tuple = BinTuple<Payload>;
+    auto tuples = store.bin(bin);
+    constexpr size_t kTuplesPerLine = kLineSize / sizeof(Tuple);
+    constexpr size_t kPrefetchAhead = 4 * kTuplesPerLine;
+    const size_t n = tuples.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i % kTuplesPerLine == 0 && i + kPrefetchAhead < n)
+            __builtin_prefetch(&tuples[i + kPrefetchAhead], 0, 0);
+        fn(tuples[i]);
+    }
+    if (store.hasOverflow()) [[unlikely]]
+        store.forEachOverflowInBin(bin, fn);
+}
+
+} // namespace wc_detail
+
+/**
+ * Flat write-combining binner (engine kinds kWriteCombine and
+ * kWriteCombineSimd). Drop-in replacement for PbBinner inside
+ * ParallelPbRunner — same phase methods, same BinStorage conservation
+ * accounting — minus the per-tuple ExecCtx bookkeeping.
+ */
+template <typename Payload>
+class WcBinner
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+    static constexpr uint32_t kTuplesPerLine =
+        kLineSize / static_cast<uint32_t>(sizeof(Tuple));
+
+    WcBinner(const BinningPlan &plan, const PbEngineConfig &cfg)
+        : store(plan, /*align_bins=*/true),
+          bufTuples(cfg.wcLines * kTuplesPerLine),
+          batch(cfg.kind == PbEngineKind::kWriteCombineSimd),
+          batchFn(cfg.forceScalarBatch ? &binBatchScalar
+                                       : activeBinBatchFn()),
+          bufs(alignedAlloc<Tuple>(static_cast<size_t>(plan.numBins) *
+                                   bufTuples)),
+          counts(plan.numBins)
+    {
+        COBRA_FATAL_IF(cfg.wcLines == 0 || cfg.wcLines > 8,
+                       "WC depth must be 1..8 staging lines");
+    }
+
+    BinStorage<Payload> &storage() { return store; }
+    const BinningPlan &plan() const { return store.binningPlan(); }
+    uint32_t numBins() const { return store.numBins(); }
+    uint64_t tuplesBinned() const { return store.totalTuples(); }
+
+    /** Bytes of staging + counter state (the Binning working set). */
+    uint64_t
+    cbufFootprintBytes() const
+    {
+        return static_cast<uint64_t>(numBins()) *
+            (static_cast<uint64_t>(bufTuples) * sizeof(Tuple) +
+             sizeof(uint32_t));
+    }
+
+    void initCount(ExecCtx &ctx, uint32_t index)
+    {
+        store.countInsert(ctx, index);
+    }
+
+    void finalizeInit(ExecCtx &ctx) { store.finalizeInit(ctx); }
+
+    void
+    insert(ExecCtx &, uint32_t index, const Payload &payload)
+    {
+        if (batch) {
+            pendingIdx[pendingN] = index;
+            pendingTup[pendingN] = makeTuple<Payload>(index, payload);
+            if (++pendingN == kBinBatch)
+                drainBatch();
+            return;
+        }
+        insertOne(plan().binOf(index), makeTuple<Payload>(index, payload));
+    }
+
+    void
+    flush(ExecCtx &)
+    {
+        if (batch && pendingN != 0)
+            drainBatch(); // ragged tail (< kBinBatch tuples)
+        for (uint32_t b = 0; b < numBins(); ++b)
+            if (counts[b] != 0)
+                drain(b, counts[b]);
+        streamFence(); // NT drains precede the Binning/Accumulate barrier
+    }
+
+    template <typename Fn>
+    void
+    forEachInBin(ExecCtx &, uint32_t bin, Fn &&fn)
+    {
+        wc_detail::forEachInBinNative(store, bin, fn);
+    }
+
+  private:
+    void
+    insertOne(uint32_t b, const Tuple &t)
+    {
+        uint32_t &cnt = counts[b];
+        Tuple *buf = bufs.get() + static_cast<size_t>(b) * bufTuples;
+        buf[cnt] = t;
+        if (++cnt == bufTuples)
+            drain(b, bufTuples);
+    }
+
+    /**
+     * Scatter the pending batch: all bin indices first (one vector op
+     * under AVX2), then prefetch every target staging line, then store —
+     * the misses of up to kBinBatch staging lines overlap instead of
+     * serializing through one scalar dependence chain.
+     */
+    void
+    drainBatch()
+    {
+        uint32_t bins[kBinBatch];
+        batchFn(pendingIdx, pendingN, plan().rangeShift, numBins(), bins);
+        for (uint32_t i = 0; i < pendingN; ++i)
+            __builtin_prefetch(
+                bufs.get() + static_cast<size_t>(bins[i]) * bufTuples, 1,
+                3);
+        for (uint32_t i = 0; i < pendingN; ++i)
+            insertOne(bins[i], pendingTup[i]);
+        pendingN = 0;
+    }
+
+    void
+    drain(uint32_t b, uint32_t n)
+    {
+        Tuple *src = bufs.get() + static_cast<size_t>(b) * bufTuples;
+        n = wc_detail::injectDrainFaults(store, b, src, n);
+        if (n == ~0u) [[unlikely]] { // injected drop
+            counts[b] = 0;
+            return;
+        }
+        Tuple *dst = store.appendRaw(b, n);
+        wc_detail::streamTuples(dst, src, n);
+        counts[b] = 0;
+    }
+
+    BinStorage<Payload> store;
+    const uint32_t bufTuples; ///< staging tuples per bin (wcLines deep)
+    const bool batch;         ///< kWriteCombineSimd: batch + prefetch
+    const BinBatchFn batchFn;
+    AlignedBuffer<Tuple> bufs;         ///< numBins aligned staging buffers
+    AlignedArray<uint32_t, kPageSize> counts; ///< staging occupancy
+    uint32_t pendingN = 0;
+    uint32_t pendingIdx[kBinBatch];
+    Tuple pendingTup[kBinBatch];
+};
+
+/**
+ * Two-level hierarchical binner (engine kind kHierarchical).
+ *
+ * Level 1 scatters the update stream into coarse bins (each covering
+ * 2^k final bins) through WC staging lines — with few coarse bins the
+ * staging working set stays upper-cache-resident no matter how large
+ * the final bin count is. flush() then refines each coarse run in
+ * order: tuples stream back sequentially (prefetcher-friendly) and
+ * scatter through a tiny per-coarse-bin set of child C-Buffers into the
+ * final line-aligned bins. Both passes preserve arrival order, so final
+ * bins are byte-identical to flat binning.
+ *
+ * The refine (second) pass is charged to the Binning phase — exactly
+ * the extra binning work the paper's hierarchy trades for Accumulate
+ * locality, so the per-phase benchmark counters expose the tradeoff.
+ *
+ * Fault-injection sites live on the final-level drain path (the one
+ * that feeds Accumulate), keeping opportunity semantics comparable to
+ * the flat engines.
+ */
+template <typename Payload>
+class HierarchicalBinner
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+    static constexpr uint32_t kTuplesPerLine =
+        kLineSize / static_cast<uint32_t>(sizeof(Tuple));
+
+    HierarchicalBinner(const BinningPlan &plan, const PbEngineConfig &cfg)
+        : store(plan, /*align_bins=*/true),
+          bufTuples(cfg.wcLines * kTuplesPerLine),
+          batchFn(cfg.forceScalarBatch ? &binBatchScalar
+                                       : activeBinBatchFn())
+    {
+        COBRA_FATAL_IF(cfg.wcLines == 0 || cfg.wcLines > 8,
+                       "WC depth must be 1..8 staging lines");
+        const uint32_t nb = plan.numBins;
+        if (nb <= 1) {
+            childShift = 0;
+        } else if (cfg.coarseBins == 0) {
+            // Balanced split: ~sqrt(numBins) coarse bins, sqrt children.
+            childShift = std::max<uint32_t>(1, ceilLog2(nb) / 2);
+        } else {
+            uint32_t target =
+                std::min<uint32_t>(std::max<uint32_t>(cfg.coarseBins, 1),
+                                   nb);
+            childShift = std::max<uint32_t>(
+                1, ceilLog2(ceilPow2(divCeil(nb, target))));
+        }
+        coarseBins =
+            static_cast<uint32_t>(divCeil(nb, uint64_t{1} << childShift));
+        coarseShiftTotal = plan.rangeShift + childShift;
+
+        coarseBufs = alignedAlloc<Tuple>(
+            static_cast<size_t>(coarseBins) * bufTuples);
+        coarseBufCnt =
+            AlignedArray<uint32_t, kPageSize>(coarseBins);
+        childBufs = alignedAlloc<Tuple>(
+            (size_t{1} << childShift) * kTuplesPerLine);
+        childCnt.assign(size_t{1} << childShift, 0);
+    }
+
+    BinStorage<Payload> &storage() { return store; }
+    const BinningPlan &plan() const { return store.binningPlan(); }
+    uint32_t numBins() const { return store.numBins(); }
+    uint64_t tuplesBinned() const { return store.totalTuples(); }
+
+    /** Level-1 (coarse) bin count actually used. */
+    uint32_t numCoarseBins() const { return coarseBins; }
+    /** Final bins per coarse bin == 1 << childShift (last may be short). */
+    uint32_t childrenPerCoarse() const { return 1u << childShift; }
+
+    void initCount(ExecCtx &ctx, uint32_t index)
+    {
+        store.countInsert(ctx, index);
+    }
+
+    void
+    finalizeInit(ExecCtx &ctx)
+    {
+        store.finalizeInit(ctx);
+        // Coarse layout falls out of the final counts (one Init pass
+        // feeds both levels): coarseCount[c] = sum of its children.
+        const uint32_t *fc = store.initCounts();
+        const uint32_t nb = numBins();
+        coarseStarts.assign(static_cast<size_t>(coarseBins) + 1, 0);
+        coarseCursors.assign(coarseBins, 0);
+        uint64_t run = 0;
+        for (uint32_t c = 0; c < coarseBins; ++c) {
+            run = divCeil(run, kTuplesPerLine) * kTuplesPerLine;
+            coarseStarts[c] = coarseCursors[c] = run;
+            const uint32_t first = c << childShift;
+            const uint32_t last = std::min(nb, first + (1u << childShift));
+            for (uint32_t b = first; b < last; ++b)
+                run += fc[b];
+        }
+        coarseStarts[coarseBins] = run;
+        coarseData = alignedAlloc<Tuple>(run);
+    }
+
+    /**
+     * Level-1 insert: batch bin computation against the *coarse* shift,
+     * then WC-scatter into the coarse runs.
+     */
+    void
+    insert(ExecCtx &, uint32_t index, const Payload &payload)
+    {
+        pendingIdx[pendingN] = index;
+        pendingTup[pendingN] = makeTuple<Payload>(index, payload);
+        if (++pendingN == kBinBatch)
+            drainBatch();
+    }
+
+    void
+    flush(ExecCtx &)
+    {
+        if (pendingN != 0)
+            drainBatch();
+        for (uint32_t c = 0; c < coarseBins; ++c)
+            if (coarseBufCnt[c] != 0)
+                coarseDrain(c, coarseBufCnt[c]);
+        // Our own refine reads the coarse runs back: order the weakly-
+        // ordered NT stores before the loads.
+        streamFence();
+        refine();
+        streamFence(); // final drains precede the phase barrier
+    }
+
+    template <typename Fn>
+    void
+    forEachInBin(ExecCtx &, uint32_t bin, Fn &&fn)
+    {
+        wc_detail::forEachInBinNative(store, bin, fn);
+    }
+
+  private:
+    void
+    drainBatch()
+    {
+        uint32_t bins[kBinBatch];
+        // min(index >> coarseShiftTotal, coarseBins-1): the coarse level
+        // is just another power-of-two binning plan.
+        batchFn(pendingIdx, pendingN, coarseShiftTotal, coarseBins, bins);
+        for (uint32_t i = 0; i < pendingN; ++i)
+            __builtin_prefetch(coarseBufs.get() +
+                                   static_cast<size_t>(bins[i]) *
+                                       bufTuples,
+                               1, 3);
+        for (uint32_t i = 0; i < pendingN; ++i) {
+            const uint32_t c = bins[i];
+            uint32_t &cnt = coarseBufCnt[c];
+            Tuple *buf =
+                coarseBufs.get() + static_cast<size_t>(c) * bufTuples;
+            buf[cnt] = pendingTup[i];
+            if (++cnt == bufTuples)
+                coarseDrain(c, bufTuples);
+        }
+        pendingN = 0;
+    }
+
+    void
+    coarseDrain(uint32_t c, uint32_t n)
+    {
+        const uint64_t pos = coarseCursors[c];
+        COBRA_PANIC_IF(pos + n > coarseStarts[c + 1],
+                       "coarse bin " << c << " overflow (Init undercount)");
+        wc_detail::streamTuples(coarseData.get() + pos,
+                                coarseBufs.get() +
+                                    static_cast<size_t>(c) * bufTuples,
+                                n);
+        coarseCursors[c] = pos + n;
+        coarseBufCnt[c] = 0;
+    }
+
+    void
+    refine()
+    {
+        constexpr size_t kPrefetchAhead = 4 * kTuplesPerLine;
+        const uint32_t nb = numBins();
+        for (uint32_t c = 0; c < coarseBins; ++c) {
+            const uint32_t firstChild = c << childShift;
+            const uint32_t nchild =
+                std::min(1u << childShift, nb - firstChild);
+            std::fill_n(childCnt.begin(), nchild, 0u);
+            const Tuple *src = coarseData.get() + coarseStarts[c];
+            const size_t n = coarseCursors[c] - coarseStarts[c];
+            for (size_t i = 0; i < n; ++i) {
+                if (i % kTuplesPerLine == 0 && i + kPrefetchAhead < n)
+                    __builtin_prefetch(src + i + kPrefetchAhead, 0, 0);
+                const Tuple t = src[i];
+                const uint32_t local =
+                    plan().binOf(t.index) - firstChild;
+                COBRA_PANIC_IF(local >= nchild,
+                               "refine: tuple escaped its coarse bin");
+                uint32_t &cnt = childCnt[local];
+                Tuple *buf = childBufs.get() +
+                    static_cast<size_t>(local) * kTuplesPerLine;
+                buf[cnt] = t;
+                if (++cnt == kTuplesPerLine)
+                    finalDrain(firstChild + local, local, kTuplesPerLine);
+            }
+            for (uint32_t local = 0; local < nchild; ++local)
+                if (childCnt[local] != 0)
+                    finalDrain(firstChild + local, local, childCnt[local]);
+        }
+    }
+
+    void
+    finalDrain(uint32_t b, uint32_t local, uint32_t n)
+    {
+        Tuple *src =
+            childBufs.get() + static_cast<size_t>(local) * kTuplesPerLine;
+        n = wc_detail::injectDrainFaults(store, b, src, n);
+        if (n == ~0u) [[unlikely]] { // injected drop
+            childCnt[local] = 0;
+            return;
+        }
+        Tuple *dst = store.appendRaw(b, n);
+        wc_detail::streamTuples(dst, src, n);
+        childCnt[local] = 0;
+    }
+
+    BinStorage<Payload> store; ///< final (level-2) bins, line-aligned
+    const uint32_t bufTuples;  ///< coarse staging depth per bin
+    const BinBatchFn batchFn;
+    uint32_t childShift = 0;       ///< log2(final bins per coarse bin)
+    uint32_t coarseBins = 0;       ///< level-1 bin count
+    uint32_t coarseShiftTotal = 0; ///< index -> coarse bin shift
+
+    // Level-1 runs: line-aligned starts so coarse drains burst too.
+    std::vector<uint64_t> coarseStarts; ///< coarseBins + 1 (padded)
+    std::vector<uint64_t> coarseCursors;
+    AlignedBuffer<Tuple> coarseData;
+
+    AlignedBuffer<Tuple> coarseBufs; ///< coarse WC staging lines
+    AlignedArray<uint32_t, kPageSize> coarseBufCnt;
+    AlignedBuffer<Tuple> childBufs; ///< refine C-Buffers (one line each)
+    std::vector<uint32_t> childCnt;
+
+    uint32_t pendingN = 0;
+    uint32_t pendingIdx[kBinBatch];
+    Tuple pendingTup[kBinBatch];
+};
+
+} // namespace cobra
+
+#endif // COBRA_PB_WC_ENGINE_H

@@ -14,6 +14,9 @@
 #include <cstddef>
 #include <memory>
 #include <new>
+#include <type_traits>
+
+#include "src/util/error.h"
 
 namespace cobra {
 
@@ -21,6 +24,15 @@ namespace cobra {
 template <typename T, size_t Align = 64>
 class AlignedArray
 {
+    // The native PB engines drain C-Buffers with aligned non-temporal
+    // bursts (_mm_stream_si128 over full 64B lines), so anything below
+    // cacheline alignment is a silent correctness/perf trap.
+    static_assert(Align >= 64 && (Align & (Align - 1)) == 0,
+                  "AlignedArray alignment must be a power of two >= the "
+                  "64B cache line");
+    static_assert(Align % alignof(T) == 0,
+                  "alignment must satisfy the element type");
+
   public:
     AlignedArray() = default;
 
@@ -79,6 +91,47 @@ class AlignedArray
     T *data_ = nullptr;
     size_t size_ = 0;
 };
+
+/** Deleter matching alignedAlloc (operator delete needs the alignment). */
+struct AlignedDeleter
+{
+    size_t align = 64;
+
+    void
+    operator()(void *p) const
+    {
+        ::operator delete(p, std::align_val_t{align});
+    }
+};
+
+/** Owning pointer to an alignedAlloc'd buffer of T. */
+template <typename T>
+using AlignedBuffer = std::unique_ptr<T[], AlignedDeleter>;
+
+/**
+ * Raw @p Align-aligned storage for @p n elements of trivial T —
+ * *uninitialized*, unlike AlignedArray, which value-initializes. This is
+ * the allocator for write-combining staging buffers: they are written
+ * before they are read by construction, and zero-filling hundreds of KB
+ * of per-thread staging lines on every run would be pure overhead.
+ */
+template <typename T>
+AlignedBuffer<T>
+alignedAlloc(size_t n, size_t align = 64)
+{
+    static_assert(std::is_trivially_destructible_v<T> &&
+                      std::is_trivially_copyable_v<T>,
+                  "alignedAlloc is for raw staging storage only");
+    COBRA_FATAL_IF(align < 64 || (align & (align - 1)) != 0 ||
+                       align % alignof(T) != 0,
+                   "alignedAlloc needs a power-of-two alignment >= 64 "
+                   "compatible with the element type");
+    if (n == 0)
+        return AlignedBuffer<T>(nullptr, AlignedDeleter{align});
+    T *p = static_cast<T *>(
+        ::operator new(n * sizeof(T), std::align_val_t{align}));
+    return AlignedBuffer<T>(p, AlignedDeleter{align});
+}
 
 } // namespace cobra
 

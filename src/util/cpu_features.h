@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Host CPU capability and cache-topology probes for the native PB
+ * runtime.
+ *
+ * Two consumers:
+ *
+ *  - SIMD dispatch (src/pb/simd_binning.cc): the AVX2 batch-binning
+ *    translation unit is compiled only under COBRA_NATIVE_ARCH and
+ *    selected at startup iff the host actually executes AVX2 — so one
+ *    binary stays correct on every x86-64 host, and non-x86 builds fall
+ *    back to the portable scalar path with zero preprocessor spread.
+ *
+ *  - The PB auto-tuner (src/pb/auto_tune.h): C-Buffer working-set
+ *    budgets come from the *host's* cache geometry when measurable
+ *    (sysfs), and from the simulated Table II machine's HierarchyConfig
+ *    otherwise, so native wall-clock runs and simulated runs are each
+ *    tuned for the machine they actually execute on.
+ *
+ * Everything here is a cold-path, cached-once probe: no hot code reads
+ * sysfs or re-executes CPUID.
+ */
+
+#ifndef COBRA_UTIL_CPU_FEATURES_H
+#define COBRA_UTIL_CPU_FEATURES_H
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+namespace cobra {
+
+/** ISA extensions the native engines can dispatch on. */
+struct HostCpuFeatures
+{
+    bool avx2 = false;
+};
+
+/** Probe once, cache for the process lifetime. */
+inline const HostCpuFeatures &
+hostCpuFeatures()
+{
+    static const HostCpuFeatures f = [] {
+        HostCpuFeatures r;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+        r.avx2 = __builtin_cpu_supports("avx2");
+#endif
+        return r;
+    }();
+    return f;
+}
+
+/**
+ * Data-cache geometry of the executing host. `detected` says whether
+ * the numbers came from the machine (sysfs) or are all-zero placeholders
+ * the caller must replace with fallback values (the auto-tuner uses the
+ * simulated machine's HierarchyConfig, keeping behavior deterministic on
+ * hosts that hide their topology, e.g. some containers).
+ */
+struct HostCacheGeometry
+{
+    uint64_t l1dBytes = 0;
+    uint64_t l2Bytes = 0;
+    uint64_t llcBytes = 0;
+    bool detected = false;
+};
+
+namespace detail {
+
+/** Parse a sysfs cache size string ("32K", "8192K", "2M"). 0 on junk. */
+inline uint64_t
+parseCacheSize(const std::string &s)
+{
+    if (s.empty())
+        return 0;
+    char *end = nullptr;
+    uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str())
+        return 0;
+    if (*end == 'K' || *end == 'k')
+        v *= 1024;
+    else if (*end == 'M' || *end == 'm')
+        v *= 1024 * 1024;
+    else if (*end == 'G' || *end == 'g')
+        v *= 1024ull * 1024 * 1024;
+    return v;
+}
+
+inline std::string
+readSysfsLine(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (in)
+        std::getline(in, line);
+    return line;
+}
+
+} // namespace detail
+
+/**
+ * Probe /sys/devices/system/cpu/cpu0/cache. Returns detected == false
+ * (all zero sizes) when the topology is absent or unreadable; partial
+ * topologies keep whatever levels were found and report detected only
+ * if at least L1D plus one outer level materialized.
+ */
+inline HostCacheGeometry
+detectHostCacheGeometry()
+{
+    HostCacheGeometry g;
+    const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+    for (int i = 0; i < 8; ++i) {
+        const std::string dir = base + std::to_string(i) + "/";
+        std::string level = detail::readSysfsLine(dir + "level");
+        if (level.empty())
+            break;
+        std::string type = detail::readSysfsLine(dir + "type");
+        if (type == "Instruction")
+            continue;
+        uint64_t size = detail::parseCacheSize(
+            detail::readSysfsLine(dir + "size"));
+        if (size == 0)
+            continue;
+        if (level == "1")
+            g.l1dBytes = size;
+        else if (level == "2")
+            g.l2Bytes = size;
+        else if (size > g.llcBytes)
+            g.llcBytes = size; // outermost (largest) level wins
+    }
+    // Single-level-of-cache hosts: treat L2 as the LLC and vice versa so
+    // both budgets stay meaningful.
+    if (g.llcBytes == 0)
+        g.llcBytes = g.l2Bytes;
+    if (g.l2Bytes == 0)
+        g.l2Bytes = g.llcBytes;
+    g.detected = g.l1dBytes != 0 && g.l2Bytes != 0 && g.llcBytes != 0;
+    if (!g.detected)
+        g = HostCacheGeometry{};
+    return g;
+}
+
+/** Cached-once geometry of this host (the probe never changes). */
+inline const HostCacheGeometry &
+hostCacheGeometry()
+{
+    static const HostCacheGeometry g = detectHostCacheGeometry();
+    return g;
+}
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_CPU_FEATURES_H

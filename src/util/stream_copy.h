@@ -73,6 +73,29 @@ streamCopy(void *dst, const void *src, size_t bytes)
 }
 
 /**
+ * Stream exactly one 64B cache line from @p src to @p dst as four
+ * aligned non-temporal 16B stores — the drain instruction sequence of a
+ * full write-combining buffer (software C-Buffer). Unlike streamCopy
+ * there is no head/tail handling and no per-call alignment probing: both
+ * pointers MUST be 16B-aligned (the WC engines guarantee 64B on both
+ * sides), which is what makes this the cheapest possible drain.
+ */
+inline void
+streamLine64(void *dst, const void *src)
+{
+#if defined(__SSE2__)
+    auto *d = reinterpret_cast<__m128i *>(dst);
+    auto *s = reinterpret_cast<const __m128i *>(src);
+    _mm_stream_si128(d + 0, _mm_load_si128(s + 0));
+    _mm_stream_si128(d + 1, _mm_load_si128(s + 1));
+    _mm_stream_si128(d + 2, _mm_load_si128(s + 2));
+    _mm_stream_si128(d + 3, _mm_load_si128(s + 3));
+#else
+    std::memcpy(dst, src, 64);
+#endif
+}
+
+/**
  * Order all prior non-temporal stores before subsequent operations. Must
  * run before bins written with streamCopy are handed to another thread
  * (the Binning-to-Accumulate barrier); WC stores are weakly ordered.

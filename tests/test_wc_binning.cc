@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Equivalence and property tests for the native Binning engines
+ * (src/pb/wc_engine.h) against the flat scalar PbBinner reference.
+ *
+ * The load-bearing property: every engine must hand Accumulate the
+ * *identical per-bin tuple sequence* as flat scalar binning — not just
+ * the same multiset. Order matters because non-commutative kernels
+ * (Neighbor-Populate) consume bins as order-preserving queues, and PR
+ * 2's determinism guarantees are stated over sequences. The property
+ * is checked for random streams across payload sizes (4/8/16B tuples),
+ * every engine variant (WC depths, SIMD batch on/off via the
+ * forced-scalar hook, hierarchical splits including non-power-of-two
+ * targets), and every ragged batch tail size 0..kBinBatch-1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+#include <vector>
+
+#include "src/graph/generators.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/pb/auto_tune.h"
+#include "src/pb/parallel_pb.h"
+#include "src/pb/pb_binner.h"
+#include "src/pb/simd_binning.h"
+#include "src/pb/wc_engine.h"
+#include "src/util/cpu_features.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+namespace {
+
+template <typename Payload>
+Payload
+randomPayload(std::mt19937 &rng)
+{
+    if constexpr (std::is_same_v<Payload, NoPayload>) {
+        return NoPayload{};
+    } else if constexpr (std::is_same_v<Payload, IdxValPayload>) {
+        return IdxValPayload::make(rng(), static_cast<double>(rng()));
+    } else {
+        return static_cast<Payload>(rng());
+    }
+}
+
+template <typename Payload>
+std::vector<BinTuple<Payload>>
+randomStream(uint64_t num_indices, size_t n, uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<uint32_t> idx(
+        0, static_cast<uint32_t>(num_indices - 1));
+    std::vector<BinTuple<Payload>> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(
+            makeTuple<Payload>(idx(rng), randomPayload<Payload>(rng)));
+    return out;
+}
+
+template <typename Payload>
+Payload
+payloadOf(const BinTuple<Payload> &t)
+{
+    if constexpr (std::is_same_v<Payload, NoPayload>)
+        return NoPayload{};
+    else
+        return t.payload;
+}
+
+/** Run one engine over the stream; collect the per-bin sequences. */
+template <typename Binner, typename Payload>
+std::vector<std::vector<BinTuple<Payload>>>
+binWith(Binner &&bn, const BinningPlan &plan,
+        const std::vector<BinTuple<Payload>> &stream)
+{
+    ExecCtx ctx;
+    for (const auto &t : stream)
+        bn.initCount(ctx, t.index);
+    bn.finalizeInit(ctx);
+    for (const auto &t : stream)
+        bn.insert(ctx, t.index, payloadOf(t));
+    bn.flush(ctx);
+    EXPECT_EQ(bn.tuplesBinned(), stream.size());
+    std::vector<std::vector<BinTuple<Payload>>> out(plan.numBins);
+    for (uint32_t b = 0; b < plan.numBins; ++b)
+        bn.forEachInBin(ctx, b, [&](const BinTuple<Payload> &t) {
+            out[b].push_back(t);
+        });
+    return out;
+}
+
+/** The engine-variant matrix every property run is checked against. */
+std::vector<PbEngineConfig>
+engineMatrix()
+{
+    std::vector<PbEngineConfig> m;
+    m.push_back({PbEngineKind::kWriteCombine, 0, 1, false});
+    m.push_back({PbEngineKind::kWriteCombine, 0, 2, false});
+    m.push_back({PbEngineKind::kWriteCombineSimd, 0, 1, false});
+    // Forced-scalar batch: keeps the portable batch path exercised even
+    // when an AVX2 build on an AVX2 host would dispatch the SIMD one.
+    m.push_back({PbEngineKind::kWriteCombineSimd, 0, 2, true});
+    m.push_back({PbEngineKind::kHierarchical, 0, 1, false});
+    m.push_back({PbEngineKind::kHierarchical, 4, 2, false});
+    m.push_back({PbEngineKind::kHierarchical, 3, 1, true}); // non-pow2
+    return m;
+}
+
+std::string
+describe(const PbEngineConfig &c)
+{
+    std::ostringstream oss;
+    oss << to_string(c.kind) << " wcLines=" << c.wcLines << " coarse="
+        << c.coarseBins << (c.forceScalarBatch ? " scalar-batch" : "");
+    return oss.str();
+}
+
+template <typename Payload>
+void
+checkAllEngines(uint64_t num_indices, uint32_t max_bins, size_t n,
+                uint32_t seed)
+{
+    const BinningPlan plan = BinningPlan::forMaxBins(num_indices, max_bins);
+    const auto stream = randomStream<Payload>(num_indices, n, seed);
+    const auto ref =
+        binWith(PbBinner<Payload>(plan), plan, stream);
+    for (const PbEngineConfig &cfg : engineMatrix()) {
+        auto got = cfg.kind == PbEngineKind::kHierarchical
+            ? binWith(HierarchicalBinner<Payload>(plan, cfg), plan,
+                      stream)
+            : binWith(WcBinner<Payload>(plan, cfg), plan, stream);
+        ASSERT_EQ(got.size(), ref.size());
+        for (uint32_t b = 0; b < plan.numBins; ++b)
+            EXPECT_TRUE(got[b] == ref[b])
+                << describe(cfg) << ": bin " << b
+                << " sequence diverges from flat scalar (n=" << n
+                << ", bins=" << plan.numBins << ")";
+    }
+}
+
+// ---- order-sensitive equivalence across payload sizes ----
+
+TEST(WcBinning, MatchesScalarReference4ByteTuples)
+{
+    checkAllEngines<NoPayload>(1 << 14, 64, 20000, 1);
+}
+
+TEST(WcBinning, MatchesScalarReference8ByteTuples)
+{
+    checkAllEngines<uint32_t>(1 << 14, 64, 20000, 2);
+}
+
+TEST(WcBinning, MatchesScalarReference16ByteTuples)
+{
+    checkAllEngines<IdxValPayload>(1 << 13, 32, 12000, 3);
+}
+
+// Every ragged batch-tail size: the SIMD/batch engines stage kBinBatch
+// tuples at a time, so stream lengths of every residue mod kBinBatch
+// must flush correctly (including the empty stream).
+TEST(WcBinning, RaggedTailsAllResidues)
+{
+    for (uint32_t tail = 0; tail < kBinBatch; ++tail) {
+        checkAllEngines<NoPayload>(1 << 10, 16, tail, 100 + tail);
+        checkAllEngines<uint32_t>(1 << 10, 16, 1000 + tail, 200 + tail);
+    }
+}
+
+// Plans whose bin count is not a power of two (forMaxBins produces
+// them freely): the hierarchical engine's short last coarse bin and the
+// clamp-to-last-bin path must agree with the scalar reference.
+TEST(WcBinning, NonPowerOfTwoBinCount)
+{
+    const BinningPlan plan = BinningPlan::forMaxBins(100000, 48);
+    ASSERT_FALSE(isPow2(plan.numBins));
+    checkAllEngines<uint32_t>(100000, 48, 30000, 4);
+}
+
+TEST(WcBinning, DegenerateSingleBin)
+{
+    checkAllEngines<NoPayload>(7, 1, 500, 5);
+}
+
+// ---- engines under the host-parallel runner + kernels ----
+
+template <typename KernelT>
+void
+checkKernelAllEngines(NodeId nodes)
+{
+    EdgeList el = generateUniform(nodes, 8ull * nodes, 99);
+    ThreadPool pool(4);
+    for (PbEngineKind kind :
+         {PbEngineKind::kScalar, PbEngineKind::kWriteCombine,
+          PbEngineKind::kWriteCombineSimd, PbEngineKind::kHierarchical}) {
+        KernelT k(nodes, &el);
+        PhaseRecorder rec;
+        PbEngineConfig cfg;
+        cfg.kind = kind;
+        k.runPbParallel(pool, rec, 64, cfg);
+        EXPECT_TRUE(k.verify()) << "engine " << to_string(kind);
+        EXPECT_FALSE(k.firstDivergence().has_value())
+            << "engine " << to_string(kind);
+    }
+}
+
+TEST(WcBinning, DegreeCountVerifiesUnderEveryEngine)
+{
+    checkKernelAllEngines<DegreeCountKernel>(1 << 12);
+}
+
+TEST(WcBinning, NeighborPopulateVerifiesUnderEveryEngine)
+{
+    checkKernelAllEngines<NeighborPopulateKernel>(1 << 12);
+}
+
+// ---- fault sites stay live on the new drain paths ----
+
+TEST(WcBinning, ConservationTripsOnDroppedDrainPerEngine)
+{
+    ThreadPool pool(2);
+    const uint64_t indices = 1 << 12;
+    const size_t updates = 40000;
+    BinningPlan plan = BinningPlan::forMaxBins(indices, 64);
+    std::mt19937 rng(7);
+    std::vector<uint32_t> stream(updates);
+    for (auto &x : stream)
+        x = rng() % indices;
+    std::vector<uint64_t> sums(indices, 0);
+
+    for (PbEngineKind kind :
+         {PbEngineKind::kWriteCombine, PbEngineKind::kWriteCombineSimd,
+          PbEngineKind::kHierarchical}) {
+        PbEngineConfig cfg;
+        cfg.kind = kind;
+        ParallelPbRunner<NoPayload> runner(pool, plan, cfg);
+        PhaseRecorder rec;
+        FaultInjector fi(FaultSite::kPbDropDrain);
+        {
+            FaultInjector::Scope scope(fi);
+            runner.run(
+                updates, rec, [&](size_t i) { return stream[i]; },
+                [&](size_t i) {
+                    return std::pair<uint32_t, NoPayload>(stream[i],
+                                                          NoPayload{});
+                },
+                [&](const BinTuple<NoPayload> &t) { ++sums[t.index]; });
+        }
+        EXPECT_GE(fi.fires(), 1u) << to_string(kind);
+        EXPECT_FALSE(runner.conservation().ok()) << to_string(kind);
+        EXPECT_LT(runner.tuplesBinned(), updates) << to_string(kind);
+    }
+}
+
+// ---- batch binning dispatch ----
+
+TEST(WcBinning, ActiveBatchFnAgreesWithScalar)
+{
+    std::mt19937 rng(11);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{8},
+                     size_t{9}, size_t{64}, size_t{100}}) {
+        std::vector<uint32_t> idx(n), a(n, 0xdead), b(n, 0xbeef);
+        for (auto &x : idx)
+            x = rng();
+        binBatchScalar(idx.data(), n, 7, 300, a.data());
+        activeBinBatchFn()(idx.data(), n, 7, 300, b.data());
+        EXPECT_EQ(a, b) << "n=" << n << " fn=" << activeBinBatchName();
+    }
+#if !defined(COBRA_NATIVE_ARCH)
+    // Portable build: dispatch must land on the scalar path.
+    EXPECT_STREQ(activeBinBatchName(), "scalar");
+#endif
+}
+
+// ---- supporting utilities ----
+
+TEST(WcBinning, AlignedAllocAlignmentAndEmpty)
+{
+    auto p = alignedAlloc<uint32_t>(33);
+    ASSERT_NE(p.get(), nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p.get()) % 64, 0u);
+    auto q = alignedAlloc<uint64_t>(5, 4096);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(q.get()) % 4096, 0u);
+    EXPECT_EQ(alignedAlloc<uint32_t>(0).get(), nullptr);
+}
+
+TEST(WcBinning, ValidatePbBinCount)
+{
+    EXPECT_TRUE(validatePbBinCount(1).ok());
+    EXPECT_TRUE(validatePbBinCount(2048).ok());
+    EXPECT_FALSE(validatePbBinCount(0).ok());
+    EXPECT_EQ(validatePbBinCount(0).code(), ErrorCode::kInvalidArgument);
+    EXPECT_FALSE(validatePbBinCount(3).ok());
+    EXPECT_FALSE(validatePbBinCount(2047).ok());
+}
+
+TEST(WcBinning, AutoTunerPicksSaneEngines)
+{
+    for (uint64_t n : {uint64_t{1} << 10, uint64_t{1} << 20,
+                       uint64_t{1} << 26}) {
+        PbEnginePlan ep = autoTunePbEngine(n);
+        EXPECT_GT(ep.plan.numBins, 0u);
+        EXPECT_LE(ep.plan.numBins, uint64_t{1} << 20);
+        EXPECT_GE(ep.engine.wcLines, 1u);
+        EXPECT_LE(ep.engine.wcLines, 4u);
+        EXPECT_NE(ep.engine.kind, PbEngineKind::kScalar);
+        if (ep.engine.kind == PbEngineKind::kHierarchical) {
+            EXPECT_GT(ep.engine.coarseBins, 0u);
+            EXPECT_LT(ep.engine.coarseBins, ep.plan.numBins);
+        }
+        EXPECT_GT(ep.budget.l1dBytes, 0u);
+        EXPECT_GT(ep.budget.l2Bytes, 0u);
+        EXPECT_GT(ep.budget.llcBytes, 0u);
+    }
+    // Explicit bin request is honored as the forMaxBins ceiling.
+    PbEnginePlan ep = autoTunePbEngine(1 << 20, 256);
+    EXPECT_LE(ep.plan.numBins, 256u);
+}
+
+TEST(WcBinning, HostCacheGeometryConsistentWhenDetected)
+{
+    const HostCacheGeometry &g = hostCacheGeometry();
+    if (!g.detected)
+        GTEST_SKIP() << "sysfs cache topology not exposed here";
+    EXPECT_GT(g.l1dBytes, 0u);
+    EXPECT_GE(g.l2Bytes, g.l1dBytes);
+    EXPECT_GE(g.llcBytes, g.l2Bytes);
+}
+
+} // namespace
+} // namespace cobra
