@@ -22,9 +22,18 @@
  *                      arm a fault at the named injection point for the
  *                      run; pair with --check to watch the oracle
  *                      localize it (see --inject help for site names)
+ *
+ * Observability (src/obs):
+ *   --trace OUT.json   record a chrome://tracing file of the run (load
+ *                      it at chrome://tracing or ui.perfetto.dev): sim
+ *                      phases, per-thread ParallelPbRunner shard spans,
+ *                      WC drain events
+ *   --metrics OUT.json dump the run's MetricsRegistry (counters /
+ *                      gauges / histograms) as JSON
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -35,6 +44,8 @@
 
 #include "src/graph/generators.h"
 #include "src/graph/io.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/graph/stats.h"
 #include "src/harness/experiment.h"
 #include "src/harness/inputs.h"
@@ -73,6 +84,8 @@ struct Options
     std::string dumpTrace;   ///< write the update-index trace here
     bool check = false;      ///< run under the differential oracle
     std::string inject;      ///< fault spec: SITE[:N[:SEED]]
+    std::string traceOut;    ///< chrome-tracing span output path
+    std::string metricsOut;  ///< MetricsRegistry JSON output path
 };
 
 [[noreturn]] void
@@ -88,6 +101,7 @@ usage(const char *argv0)
            "       [--threads T] [--stats] [--json]\n"
            "       [--dump-trace out.trc]\n"
            "       [--check] [--inject SITE[:N[:SEED]]]\n"
+           "       [--trace out.json] [--metrics out.json]\n"
            "(--inject help lists the fault sites)\n";
     std::exit(2);
 }
@@ -141,6 +155,8 @@ parse(int argc, char **argv)
         {"--graph-file", &o.graphFile},
         {"--technique", &o.technique},
         {"--dump-trace", &o.dumpTrace},
+        {"--trace", &o.traceOut},
+        {"--metrics", &o.metricsOut},
     };
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -215,6 +231,47 @@ runCli(int argc, char **argv)
     std::unique_ptr<FaultInjector> fi;
     if (!o.inject.empty())
         fi = makeInjector(o.inject);
+
+    // Observability: install a registry/session for the whole run when
+    // requested; the guard writes the output files on every exit path
+    // (after the scopes below have uninstalled).
+    MetricsRegistry metrics;
+    TraceSession trace;
+    struct ObsFlush
+    {
+        const Options &o;
+        MetricsRegistry &metrics;
+        TraceSession &trace;
+        ~ObsFlush()
+        {
+            if (!o.traceOut.empty()) {
+                if (Status s = trace.writeFile(o.traceOut); !s.ok())
+                    warn("trace not written: " + s.toString());
+                else
+                    std::cout << "wrote " << trace.numEvents()
+                              << "-event trace to " << o.traceOut
+                              << " (load at chrome://tracing)\n";
+            }
+            if (!o.metricsOut.empty()) {
+                std::ofstream os(o.metricsOut);
+                if (!os) {
+                    warn("metrics not written: cannot open " +
+                         o.metricsOut);
+                } else {
+                    metrics.writeJson(os);
+                    os << "\n";
+                    std::cout << "wrote metrics to " << o.metricsOut
+                              << "\n";
+                }
+            }
+        }
+    } obs_flush{o, metrics, trace};
+    std::optional<MetricsRegistry::Scope> metrics_scope;
+    std::optional<TraceSession::Scope> trace_scope;
+    if (!o.metricsOut.empty())
+        metrics_scope.emplace(metrics);
+    if (!o.traceOut.empty())
+        trace_scope.emplace(trace);
 
     // --- input ---
     std::unique_ptr<GraphInput> g;

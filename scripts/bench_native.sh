@@ -3,15 +3,38 @@
 # ParallelPbRunner sweep and the Binning-engine A/B) and record the
 # trajectory point at the repo root as BENCH_native_pb.json.
 #
+#   scripts/bench_native.sh [BUILD_DIR] [--repeats N]
+#
 # An optional build-dir argument selects which build to measure
 # (default: build/). Pass a -DCOBRA_NATIVE_ARCH=ON tree (e.g.
 # build-arch/, as scripts/tier1.sh lays out) to A/B the AVX2
 # batch-binning path; the stock build measures the portable scalar
 # batch.
+#
+# --repeats N repeats every benchmark N times (google-benchmark
+# repetitions) so the JSON additionally carries mean/median/stddev
+# aggregate rows — the defense against quoting a single noisy sample.
+# Each row also always carries <phase>_med_s / <phase>_min_s computed
+# across the iterations *within* one repetition.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BUILD_DIR=${1:-build}
+BUILD_DIR=build
+REPEATS=1
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --repeats)
+        [[ $# -ge 2 ]] || { echo "bench_native: --repeats needs a value" >&2; exit 2; }
+        REPEATS=$2
+        shift 2
+        ;;
+    *)
+        BUILD_DIR=$1
+        shift
+        ;;
+    esac
+done
+
 if [ ! -x "$BUILD_DIR/bench/bench_native_pb" ]; then
     cmake -B "$BUILD_DIR" -S .
     cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_native_pb
@@ -27,5 +50,6 @@ fi
 
 "./$BUILD_DIR/bench/bench_native_pb" \
     --benchmark_format=json \
+    --benchmark_repetitions="$REPEATS" \
     --benchmark_out=BENCH_native_pb.json \
     --benchmark_out_format=json

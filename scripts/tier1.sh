@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite.
 #
-#   scripts/tier1.sh             # normal Release build in build/
-#   scripts/tier1.sh --sanitize  # ASan+UBSan build in build-asan/
+#   scripts/tier1.sh                    # normal Release build in build/
+#   scripts/tier1.sh --sanitize         # ASan+UBSan build in build-asan/
+#   scripts/tier1.sh --labels unit      # only ctest tests labeled unit
+#   scripts/tier1.sh --labels 'property|e2e'   # ctest -L regex
 #
 # After the requested suite passes, hosts with AVX2 also build and run
 # the suite with -DCOBRA_NATIVE_ARCH=ON (build-arch/), so the SIMD
@@ -14,17 +16,32 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 CMAKE_ARGS=()
-if [[ "${1:-}" == "--sanitize" ]]; then
-    BUILD_DIR=build-asan
-    CMAKE_ARGS+=(-DCOBRA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
-fi
+CTEST_ARGS=()
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --sanitize)
+        BUILD_DIR=build-asan
+        CMAKE_ARGS+=(-DCOBRA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+        shift
+        ;;
+    --labels)
+        [[ $# -ge 2 ]] || { echo "tier1: --labels needs a value" >&2; exit 2; }
+        CTEST_ARGS+=(-L "$2")
+        shift 2
+        ;;
+    *)
+        echo "tier1: unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+done
 
 run_suite() {
     local dir=$1
     shift
     cmake -B "$dir" -S . "$@"
     cmake --build "$dir" -j "$(nproc)"
-    (cd "$dir" && ctest --output-on-failure -j "$(nproc)")
+    (cd "$dir" && ctest --output-on-failure -j "$(nproc)" "${CTEST_ARGS[@]}")
 }
 
 run_suite "$BUILD_DIR" "${CMAKE_ARGS[@]}"

@@ -1,0 +1,183 @@
+#include "src/obs/hw_counters.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace cobra {
+
+#if defined(__linux__)
+
+namespace {
+
+int
+perfEventOpen(struct perf_event_attr *attr)
+{
+    // pid=0, cpu=-1: this thread on any CPU; inherit covers children.
+    return static_cast<int>(
+        syscall(__NR_perf_event_open, attr, 0, -1, -1, 0));
+}
+
+int
+openHwEvent(uint32_t type, uint64_t config)
+{
+    struct perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.size = sizeof(attr);
+    attr.type = type;
+    attr.config = config;
+    attr.disabled = 1;
+    attr.inherit = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return perfEventOpen(&attr);
+}
+
+constexpr uint64_t
+cacheConfig(uint64_t cache, uint64_t op, uint64_t result)
+{
+    return cache | (op << 8) | (result << 16);
+}
+
+} // namespace
+
+Status
+HwCounters::open()
+{
+    if (opened_)
+        return status_;
+    opened_ = true;
+
+    struct EventSpec
+    {
+        uint32_t type;
+        uint64_t config;
+    };
+    const EventSpec specs[kNumEvents] = {
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+        {PERF_TYPE_HW_CACHE,
+         cacheConfig(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+        {PERF_TYPE_HW_CACHE,
+         cacheConfig(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                     PERF_COUNT_HW_CACHE_RESULT_MISS)},
+        {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    };
+
+    int first_errno = 0;
+    int live = 0;
+    for (int i = 0; i < kNumEvents; ++i) {
+        fds_[i] = openHwEvent(specs[i].type, specs[i].config);
+        if (fds_[i] >= 0)
+            ++live;
+        else if (first_errno == 0)
+            first_errno = errno;
+    }
+
+    if (live == 0) {
+        // A wholesale denial (seccomp ENOSYS, perf_event_paranoid
+        // EACCES/EPERM) is an environment limitation, not an IO bug.
+        ErrorCode code = (first_errno == ENOSYS || first_errno == EACCES ||
+                          first_errno == EPERM)
+            ? ErrorCode::kUnimplemented
+            : ErrorCode::kIoError;
+        status_ = Status(code,
+                         std::string("perf_event_open unavailable: ") +
+                             std::strerror(first_errno));
+        return status_;
+    }
+    available_ = true;
+    status_ = Status::Ok();
+    return status_;
+}
+
+HwCounters::~HwCounters()
+{
+    for (int fd : fds_)
+        if (fd >= 0)
+            ::close(fd);
+}
+
+void
+HwCounters::reset()
+{
+    for (int fd : fds_)
+        if (fd >= 0)
+            ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+}
+
+void
+HwCounters::start()
+{
+    for (int fd : fds_)
+        if (fd >= 0)
+            ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+}
+
+void
+HwCounters::stop()
+{
+    for (int fd : fds_)
+        if (fd >= 0)
+            ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+HwSample
+HwCounters::read() const
+{
+    HwSample s;
+    if (!available_)
+        return s;
+    auto readOne = [&](int idx, uint64_t *out, bool *has) {
+        if (fds_[idx] < 0)
+            return;
+        uint64_t v = 0;
+        if (::read(fds_[idx], &v, sizeof(v)) == sizeof(v)) {
+            *out = v;
+            *has = true;
+        }
+    };
+    readOne(kCycles, &s.cycles, &s.hasCycles);
+    readOne(kInstructions, &s.instructions, &s.hasInstructions);
+    readOne(kL1dMisses, &s.l1dMisses, &s.hasL1dMisses);
+    readOne(kLlcMisses, &s.llcMisses, &s.hasLlcMisses);
+    readOne(kBranchMisses, &s.branchMisses, &s.hasBranchMisses);
+    s.available = s.hasCycles || s.hasInstructions || s.hasL1dMisses ||
+        s.hasLlcMisses || s.hasBranchMisses;
+    return s;
+}
+
+#else // !__linux__
+
+Status
+HwCounters::open()
+{
+    if (opened_)
+        return status_;
+    opened_ = true;
+    status_ = Status(ErrorCode::kUnimplemented,
+                     "perf_event_open requires Linux");
+    return status_;
+}
+
+HwCounters::~HwCounters() = default;
+void HwCounters::reset() {}
+void HwCounters::start() {}
+void HwCounters::stop() {}
+
+HwSample
+HwCounters::read() const
+{
+    return HwSample{};
+}
+
+#endif
+
+} // namespace cobra

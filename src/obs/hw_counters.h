@@ -1,0 +1,121 @@
+/**
+ * @file
+ * HwCounters: a perf_event_open wrapper for real microarchitectural
+ * evidence (cycles, instructions, L1d misses, LLC misses, branch
+ * misses).
+ *
+ * The original propagation-blocking work quantifies binning overhead in
+ * per-phase hardware counters; wall-clock deltas alone cannot attribute
+ * a Binning speedup to locality rather than, say, fewer instructions.
+ * This wrapper gives the native benchmarks and the CLI that evidence on
+ * hosts that allow it.
+ *
+ * Availability is *not* assumed: containers commonly deny the syscall
+ * (seccomp / perf_event_paranoid) and non-Linux hosts lack it entirely.
+ * open() reports a Status instead of throwing, each event degrades
+ * individually (a host may expose instructions but not LLC misses), and
+ * every consumer must handle available() == false — tier-1 tests never
+ * depend on the syscall succeeding.
+ *
+ * Counters are opened with inherit=1, so threads spawned *after* open()
+ * (e.g. a ThreadPool constructed afterwards) are aggregated into the
+ * same counts. Open the counters before the pool when measuring
+ * parallel phases.
+ */
+
+#ifndef COBRA_OBS_HW_COUNTERS_H
+#define COBRA_OBS_HW_COUNTERS_H
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** One reading of the counter group; per-event availability flags. */
+struct HwSample
+{
+    bool available = false; ///< at least one event is live
+    bool hasCycles = false;
+    bool hasInstructions = false;
+    bool hasL1dMisses = false;
+    bool hasLlcMisses = false;
+    bool hasBranchMisses = false;
+    uint64_t cycles = 0;
+    uint64_t instructions = 0;
+    uint64_t l1dMisses = 0;
+    uint64_t llcMisses = 0;
+    uint64_t branchMisses = 0;
+
+    HwSample
+    operator-(const HwSample &o) const
+    {
+        HwSample d = *this;
+        d.cycles -= o.cycles;
+        d.instructions -= o.instructions;
+        d.l1dMisses -= o.l1dMisses;
+        d.llcMisses -= o.llcMisses;
+        d.branchMisses -= o.branchMisses;
+        return d;
+    }
+};
+
+/** Owns the perf event fds; movable-nothing, create one per measurement. */
+class HwCounters
+{
+  public:
+    HwCounters() = default;
+    ~HwCounters();
+    HwCounters(const HwCounters &) = delete;
+    HwCounters &operator=(const HwCounters &) = delete;
+
+    /**
+     * Open the event set (idempotent). Ok when at least one event
+     * opened; otherwise a Status naming why (kUnimplemented off-Linux
+     * or when the syscall is denied wholesale, kIoError on other
+     * per-event failures).
+     */
+    Status open();
+
+    /** True after a successful open(). */
+    bool available() const { return available_; }
+
+    /** The open() verdict (Ok before open() is ever called). */
+    const Status &status() const { return status_; }
+
+    /** Reset all counters to zero (no-op when unavailable). */
+    void reset();
+
+    /** Enable / disable counting (no-ops when unavailable). */
+    void start();
+    void stop();
+
+    /**
+     * Running totals since the last reset(). Counts accumulate across
+     * start()/stop() pairs, so successive reads are monotonic while
+     * counting is enabled. All-zero, available=false sample when the
+     * counters could not be opened.
+     */
+    HwSample read() const;
+
+  private:
+    enum EventIdx
+    {
+        kCycles = 0,
+        kInstructions,
+        kL1dMisses,
+        kLlcMisses,
+        kBranchMisses,
+        kNumEvents
+    };
+
+    int fds_[kNumEvents] = {-1, -1, -1, -1, -1};
+    bool opened_ = false;
+    bool available_ = false;
+    Status status_;
+};
+
+} // namespace cobra
+
+#endif // COBRA_OBS_HW_COUNTERS_H

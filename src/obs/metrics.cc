@@ -1,0 +1,149 @@
+#include "src/obs/metrics.h"
+
+#include <atomic>
+
+#include "src/util/json.h"
+
+namespace cobra {
+
+namespace {
+std::atomic<MetricsRegistry *> g_active{nullptr};
+std::atomic<size_t> g_next_shard{0};
+} // namespace
+
+size_t
+metricsShardIndex()
+{
+    thread_local size_t slot =
+        g_next_shard.fetch_add(1, std::memory_order_relaxed);
+    return slot;
+}
+
+MetricsCounter *
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<MetricsCounter>();
+    return slot.get();
+}
+
+MetricsGauge *
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<MetricsGauge>();
+    return slot.get();
+}
+
+MetricsHistogram *
+MetricsRegistry::histogram(const std::string &name, size_t num_buckets,
+                           uint64_t bucket_width)
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<MetricsHistogram>(num_buckets,
+                                                  bucket_width);
+    return slot.get();
+}
+
+std::vector<std::string>
+MetricsRegistry::counterNames() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &[name, c] : counters_)
+        names.push_back(name);
+    return names;
+}
+
+uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->value();
+}
+
+int64_t
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second->value();
+}
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, c] : counters_)
+        w.kv(name, c->value());
+    w.end();
+    w.key("gauges").beginObject();
+    for (const auto &[name, g] : gauges_)
+        w.kv(name, static_cast<int64_t>(g->value()));
+    w.end();
+    w.key("histograms").beginObject();
+    for (const auto &[name, h] : histograms_) {
+        w.key(name).beginObject()
+            .kv("count", h->count())
+            .kv("mean", h->mean())
+            .kv("max", h->max())
+            .kv("p50", h->percentile(0.50))
+            .kv("p90", h->percentile(0.90))
+            .kv("p99", h->percentile(0.99))
+            .kv("bucket_width", h->bucketWidth())
+            .end();
+    }
+    w.end();
+    w.end();
+}
+
+MetricsRegistry *
+MetricsRegistry::active()
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+MetricsRegistry::Scope::Scope(MetricsRegistry &r)
+    : prev_(g_active.exchange(&r, std::memory_order_acq_rel))
+{
+}
+
+MetricsRegistry::Scope::~Scope()
+{
+    g_active.store(prev_, std::memory_order_release);
+}
+
+MetricsCounter *
+metricsCounter(const std::string &name)
+{
+    MetricsRegistry *r = MetricsRegistry::active();
+    return r ? r->counter(name) : nullptr;
+}
+
+MetricsGauge *
+metricsGauge(const std::string &name)
+{
+    MetricsRegistry *r = MetricsRegistry::active();
+    return r ? r->gauge(name) : nullptr;
+}
+
+MetricsHistogram *
+metricsHistogram(const std::string &name, size_t num_buckets,
+                 uint64_t bucket_width)
+{
+    MetricsRegistry *r = MetricsRegistry::active();
+    return r ? r->histogram(name, num_buckets, bucket_width) : nullptr;
+}
+
+} // namespace cobra

@@ -1,0 +1,151 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <fstream>
+
+#include "src/util/json.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+
+namespace {
+std::atomic<TraceSession *> g_active{nullptr};
+} // namespace
+
+TraceSession::TraceSession() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t
+TraceSession::nowUs() const
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+uint32_t
+TraceSession::currentTid()
+{
+    int w = ThreadPool::currentWorkerId();
+    return w < 0 ? 0u : static_cast<uint32_t>(w) + 1u;
+}
+
+void
+TraceSession::complete(std::string name, std::string cat, uint64_t ts_us,
+                       uint64_t dur_us,
+                       std::vector<std::pair<std::string, uint64_t>> args)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = std::move(cat);
+    e.ph = 'X';
+    e.ts = ts_us;
+    e.dur = dur_us;
+    e.tid = currentTid();
+    e.args = std::move(args);
+    std::lock_guard<std::mutex> lk(mtx_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::instant(std::string name, std::string cat,
+                      std::vector<std::pair<std::string, uint64_t>> args)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = std::move(cat);
+    e.ph = 'i';
+    e.ts = nowUs();
+    e.tid = currentTid();
+    e.args = std::move(args);
+    std::lock_guard<std::mutex> lk(mtx_);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSession::counter(std::string name, uint64_t value)
+{
+    TraceEvent e;
+    e.name = std::move(name);
+    e.cat = "counter";
+    e.ph = 'C';
+    e.ts = nowUs();
+    e.tid = currentTid();
+    e.args.emplace_back("value", value);
+    std::lock_guard<std::mutex> lk(mtx_);
+    events_.push_back(std::move(e));
+}
+
+size_t
+TraceSession::numEvents() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return events_.size();
+}
+
+std::vector<TraceEvent>
+TraceSession::events() const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    return events_;
+}
+
+void
+TraceSession::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lk(mtx_);
+    JsonWriter w(os);
+    w.beginObject();
+    w.key("traceEvents").beginArray();
+    for (const TraceEvent &e : events_) {
+        w.beginObject()
+            .kv("name", e.name)
+            .kv("cat", e.cat)
+            .kv("ph", std::string(1, e.ph))
+            .kv("ts", e.ts);
+        if (e.ph == 'X')
+            w.kv("dur", e.dur);
+        w.kv("pid", uint64_t{1}).kv("tid", uint64_t{e.tid});
+        w.key("args").beginObject();
+        for (const auto &[k, v] : e.args)
+            w.kv(k, v);
+        w.end();
+        w.end();
+    }
+    w.end();
+    w.kv("displayTimeUnit", "ms");
+    w.end();
+}
+
+Status
+TraceSession::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return Status(ErrorCode::kIoError,
+                      "cannot open trace output file: " + path);
+    writeJson(os);
+    os << "\n";
+    if (!os)
+        return Status(ErrorCode::kIoError,
+                      "short write to trace output file: " + path);
+    return Status::Ok();
+}
+
+TraceSession *
+TraceSession::active()
+{
+    return g_active.load(std::memory_order_acquire);
+}
+
+TraceSession::Scope::Scope(TraceSession &s)
+    : prev_(g_active.exchange(&s, std::memory_order_acq_rel))
+{
+}
+
+TraceSession::Scope::~Scope()
+{
+    g_active.store(prev_, std::memory_order_release);
+}
+
+} // namespace cobra

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * TraceSession: chrome://tracing-format span emission.
+ *
+ * The paper's phase structure (Init / Binning / Accumulate, Table I and
+ * Fig 11) is temporal; a JSON trace viewable in chrome://tracing (or
+ * https://ui.perfetto.dev) makes the per-thread shape of a run visible:
+ * which worker ran which Binning shard, how long each phase barrier
+ * waited, where WC drain bursts cluster.
+ *
+ * Enablement mirrors MetricsRegistry (and the fault injector): install
+ * a session with TraceSession::Scope; instrumentation sites check
+ * TraceSession::active() — a single null test when tracing is off.
+ * Spans are recorded only at phase/shard granularity, never per tuple,
+ * so the mutex-guarded event list is off every hot path.
+ *
+ * Event timeline ids: tid 0 is the calling (main) thread; pool workers
+ * report ThreadPool::currentWorkerId() + 1, so a trace of an N-thread
+ * run shows N+1 rows whose ids match the emitting workers.
+ *
+ * Output format (the chrome-tracing "JSON Object Format"):
+ *   {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":us,"dur":us,
+ *                    "pid":1,"tid":T,"args":{...}}, ...]}
+ */
+
+#ifndef COBRA_OBS_TRACE_H
+#define COBRA_OBS_TRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** One recorded trace event (complete span, instant, or counter). */
+struct TraceEvent
+{
+    std::string name;
+    std::string cat;
+    char ph = 'X';   ///< 'X' complete, 'i' instant, 'C' counter
+    uint64_t ts = 0; ///< microseconds since session start
+    uint64_t dur = 0;
+    uint32_t tid = 0;
+    std::vector<std::pair<std::string, uint64_t>> args;
+};
+
+/** Collects trace events for one run and serializes them as JSON. */
+class TraceSession
+{
+  public:
+    TraceSession();
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+    /** Microseconds since this session was constructed. */
+    uint64_t nowUs() const;
+
+    /** Trace timeline id of the calling thread (0 = main, 1+N = worker N). */
+    static uint32_t currentTid();
+
+    void complete(std::string name, std::string cat, uint64_t ts_us,
+                  uint64_t dur_us,
+                  std::vector<std::pair<std::string, uint64_t>> args = {});
+    void instant(std::string name, std::string cat,
+                 std::vector<std::pair<std::string, uint64_t>> args = {});
+    void counter(std::string name, uint64_t value);
+
+    size_t numEvents() const;
+    std::vector<TraceEvent> events() const; ///< snapshot copy
+
+    void writeJson(std::ostream &os) const;
+    Status writeFile(const std::string &path) const;
+
+    /** The installed session, or nullptr when tracing is disabled. */
+    static TraceSession *active();
+
+    /** Installs a session for a dynamic scope (restores the previous). */
+    class Scope
+    {
+      public:
+        explicit Scope(TraceSession &s);
+        ~Scope();
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        TraceSession *prev_;
+    };
+
+  private:
+    std::chrono::steady_clock::time_point epoch_;
+    mutable std::mutex mtx_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * RAII complete-span: records the start time on construction and emits
+ * one 'X' event on destruction. A no-op (one null check) when no
+ * session is active at construction time.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name, const char *cat = "phase")
+        : session_(TraceSession::active()), name_(name), cat_(cat),
+          start_(session_ ? session_->nowUs() : 0)
+    {
+    }
+
+    /** Attach a numeric argument (shown in the viewer's detail pane). */
+    void
+    arg(const char *key, uint64_t value)
+    {
+        if (session_)
+            args_.emplace_back(key, value);
+    }
+
+    ~TraceSpan()
+    {
+        if (session_)
+            session_->complete(name_, cat_, start_,
+                               session_->nowUs() - start_,
+                               std::move(args_));
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    TraceSession *session_;
+    const char *name_;
+    const char *cat_;
+    uint64_t start_;
+    std::vector<std::pair<std::string, uint64_t>> args_;
+};
+
+} // namespace cobra
+
+#endif // COBRA_OBS_TRACE_H

@@ -35,6 +35,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pb/engine_config.h"
 #include "src/pb/pb_binner.h"
 #include "src/pb/wc_engine.h"
@@ -90,6 +92,13 @@ class ParallelPbRunner
     run(size_t num_updates, PhaseRecorder &rec, IndexOf &&index_of,
         UpdateOf &&update_of, Apply &&apply)
     {
+        // One umbrella span per run (main thread); the per-phase spans
+        // come from the PhaseRecorder brackets and the per-thread
+        // shard spans from inside the pool tasks below.
+        TraceSpan span("pb.run", "pb");
+        span.arg("engine", static_cast<uint64_t>(engine_.kind));
+        span.arg("bins", plan_.numBins);
+        span.arg("updates", num_updates);
         switch (engine_.kind) {
         case PbEngineKind::kScalar:
             runImpl<PbBinner<Payload>>(num_updates, rec, index_of,
@@ -141,6 +150,8 @@ class ParallelPbRunner
         for (size_t t = 0; t < nshards; ++t) {
             pool_.enqueue([this, t, chunk, num_updates, &binners,
                            &index_of] {
+                TraceSpan sp("init", "pb");
+                sp.arg("shard", t);
                 ExecCtx ctx;
                 auto bn = makeBinner<Binner>();
                 const size_t begin = t * chunk;
@@ -158,6 +169,8 @@ class ParallelPbRunner
         rec.begin(native, phase::kBinning);
         for (size_t t = 0; t < nshards; ++t) {
             pool_.enqueue([t, chunk, num_updates, &binners, &update_of] {
+                TraceSpan sp("binning", "pb");
+                sp.arg("shard", t);
                 ExecCtx ctx;
                 Binner &bn = *binners[t];
                 const size_t begin = t * chunk;
@@ -167,6 +180,7 @@ class ParallelPbRunner
                     bn.insert(ctx, u.first, u.second);
                 }
                 bn.flush(ctx); // fences the NT drains
+                sp.arg("tuples", end - begin);
             });
         }
         pool_.wait(); // Binning/Accumulate barrier
@@ -180,6 +194,13 @@ class ParallelPbRunner
         for (const auto &bn : binners) {
             binned_ += bn->tuplesBinned();
             overflow_ += bn->storage().overflowTuples();
+        }
+        if (MetricsRegistry *reg = MetricsRegistry::active()) {
+            reg->counter("pb.parallel.runs")->inc();
+            reg->counter("pb.parallel.tuples_binned")->add(binned_);
+            reg->counter("pb.parallel.overflow_tuples")->add(overflow_);
+            reg->gauge("pb.parallel.shards")
+                ->set(static_cast<int64_t>(nshards));
         }
         if (binned_ != num_updates || overflow_ != 0) {
             std::ostringstream oss;
@@ -201,6 +222,8 @@ class ParallelPbRunner
         const size_t bchunk = (nbins + bshards - 1) / bshards;
         for (size_t s = 0; s < bshards; ++s) {
             pool_.enqueue([s, bchunk, nbins, &binners, &apply] {
+                TraceSpan sp("accumulate", "pb");
+                sp.arg("shard", s);
                 ExecCtx ctx;
                 const size_t begin = s * bchunk;
                 const size_t end = std::min(nbins, begin + bchunk);
@@ -208,6 +231,7 @@ class ParallelPbRunner
                     for (auto &bn : binners)
                         bn->forEachInBin(ctx, static_cast<uint32_t>(b),
                                          apply);
+                sp.arg("bins", end - begin);
             });
         }
         pool_.wait();

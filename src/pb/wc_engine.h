@@ -47,6 +47,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/pb/bin_storage.h"
 #include "src/pb/engine_config.h"
 #include "src/pb/simd_binning.h"
@@ -128,6 +130,25 @@ forEachInBinNative(const BinStorage<Payload> &store, uint32_t bin,
         store.forEachOverflowInBin(bin, fn);
 }
 
+/**
+ * Publish one shard's drain-burst tallies at flush time (cold path —
+ * once per Binning phase per thread). Hot drain loops only bump plain
+ * local members; nothing else runs when observability is disabled.
+ */
+inline void
+reportDrains(const char *engine, uint64_t bursts, uint64_t tuples)
+{
+    if (MetricsRegistry *reg = MetricsRegistry::active()) {
+        reg->counter(std::string("pb.") + engine + ".drain_bursts")
+            ->add(bursts);
+        reg->counter(std::string("pb.") + engine + ".drain_tuples")
+            ->add(tuples);
+    }
+    if (TraceSession *ts = TraceSession::active())
+        ts->instant(std::string(engine) + ".drain", "pb",
+                    {{"bursts", bursts}, {"tuples", tuples}});
+}
+
 } // namespace wc_detail
 
 /**
@@ -201,6 +222,7 @@ class WcBinner
             if (counts[b] != 0)
                 drain(b, counts[b]);
         streamFence(); // NT drains precede the Binning/Accumulate barrier
+        wc_detail::reportDrains("wc", drainBursts, tuplesBinned());
     }
 
     template <typename Fn>
@@ -244,6 +266,7 @@ class WcBinner
     void
     drain(uint32_t b, uint32_t n)
     {
+        ++drainBursts;
         Tuple *src = bufs.get() + static_cast<size_t>(b) * bufTuples;
         n = wc_detail::injectDrainFaults(store, b, src, n);
         if (n == ~0u) [[unlikely]] { // injected drop
@@ -261,6 +284,7 @@ class WcBinner
     const BinBatchFn batchFn;
     AlignedBuffer<Tuple> bufs;         ///< numBins aligned staging buffers
     AlignedArray<uint32_t, kPageSize> counts; ///< staging occupancy
+    uint64_t drainBursts = 0; ///< NT drain bursts (reported at flush)
     uint32_t pendingN = 0;
     uint32_t pendingIdx[kBinBatch];
     Tuple pendingTup[kBinBatch];
@@ -392,6 +416,12 @@ class HierarchicalBinner
         streamFence();
         refine();
         streamFence(); // final drains precede the phase barrier
+        // Every tuple crosses both levels, so each pass drained the
+        // full shard's tuple count.
+        wc_detail::reportDrains("hier.coarse", coarseDrains,
+                                tuplesBinned());
+        wc_detail::reportDrains("hier.final", finalDrains,
+                                tuplesBinned());
     }
 
     template <typename Fn>
@@ -429,6 +459,7 @@ class HierarchicalBinner
     void
     coarseDrain(uint32_t c, uint32_t n)
     {
+        ++coarseDrains;
         const uint64_t pos = coarseCursors[c];
         COBRA_PANIC_IF(pos + n > coarseStarts[c + 1],
                        "coarse bin " << c << " overflow (Init undercount)");
@@ -476,6 +507,7 @@ class HierarchicalBinner
     void
     finalDrain(uint32_t b, uint32_t local, uint32_t n)
     {
+        ++finalDrains;
         Tuple *src =
             childBufs.get() + static_cast<size_t>(local) * kTuplesPerLine;
         n = wc_detail::injectDrainFaults(store, b, src, n);
@@ -504,6 +536,9 @@ class HierarchicalBinner
     AlignedArray<uint32_t, kPageSize> coarseBufCnt;
     AlignedBuffer<Tuple> childBufs; ///< refine C-Buffers (one line each)
     std::vector<uint32_t> childCnt;
+
+    uint64_t coarseDrains = 0; ///< level-1 drain bursts
+    uint64_t finalDrains = 0;  ///< final-level drain bursts
 
     uint32_t pendingN = 0;
     uint32_t pendingIdx[kBinBatch];

@@ -7,6 +7,17 @@
  * Fig 14 aggregates traffic across Binning+Accumulate. Kernels bracket
  * their phases with begin()/end(); the recorder snapshots the simulated
  * counters (and a wall clock, for native runs) and stores deltas.
+ *
+ * Observability: each begin()/end() bracket also
+ *  - emits one chrome-tracing complete span (cat "phase") when a
+ *    TraceSession is active,
+ *  - records the phase duration into the active MetricsRegistry
+ *    (histogram "phase.us" + counter "phase.<name>.count"),
+ *  - samples an attached HwCounters group (attachHw) so PhaseStats
+ *    carries real per-phase hardware counters next to the simulated
+ *    ones. All three are branch-on-null: a recorder with no session /
+ *    registry / counters attached costs nothing beyond the existing
+ *    snapshot.
  */
 
 #ifndef COBRA_SIM_PHASE_RECORDER_H
@@ -15,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/hw_counters.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/exec_ctx.h"
 #include "src/util/error.h"
 #include "src/util/timer.h"
@@ -38,9 +52,19 @@ struct PhaseStats
     uint64_t dramLines = 0;
     uint64_t dramWastedBytes = 0;
 
+    /** Real per-phase hardware counters (attachHw; else all zero). */
+    bool hwAvailable = false;
+    HwSample hw;
+
     PhaseStats &
     operator+=(const PhaseStats &o)
     {
+        hwAvailable = hwAvailable || o.hwAvailable;
+        hw.cycles += o.hw.cycles;
+        hw.instructions += o.hw.instructions;
+        hw.l1dMisses += o.hw.l1dMisses;
+        hw.llcMisses += o.hw.llcMisses;
+        hw.branchMisses += o.hw.branchMisses;
         cycles += o.cycles;
         seconds += o.seconds;
         instructions += o.instructions;
@@ -77,6 +101,15 @@ struct PhaseStats
 class PhaseRecorder
 {
   public:
+    /**
+     * Sample @p counters (an opened HwCounters group) at every phase
+     * bracket: each recorded PhaseStats then carries the hardware-
+     * counter deltas of its phase. The recorder neither opens nor
+     * starts the group — the owner controls the measurement window.
+     * Pass nullptr to detach.
+     */
+    void attachHw(HwCounters *counters) { hwc = counters; }
+
     void
     begin(ExecCtx &ctx, const std::string &phase)
     {
@@ -85,6 +118,10 @@ class PhaseRecorder
         current = PhaseStats{};
         current.name = phase;
         mark = snapshot(ctx);
+        if (hwc && hwc->available())
+            hwMark = hwc->read();
+        if (TraceSession *ts = TraceSession::active())
+            traceStartUs = ts->nowUs();
         timer.reset();
     }
 
@@ -107,6 +144,18 @@ class PhaseRecorder
         current.dramLines = now.dramLines - mark.dramLines;
         current.dramWastedBytes = now.dramWastedBytes -
             mark.dramWastedBytes;
+        if (hwc && hwc->available()) {
+            current.hw = hwc->read() - hwMark;
+            current.hwAvailable = true;
+        }
+        if (TraceSession *ts = TraceSession::active())
+            ts->complete(current.name, "phase", traceStartUs,
+                         ts->nowUs() - traceStartUs);
+        if (MetricsRegistry *reg = MetricsRegistry::active()) {
+            reg->counter("phase." + current.name + ".count")->inc();
+            reg->histogram("phase.us", 64, 1000)
+                ->record(static_cast<uint64_t>(current.seconds * 1e6));
+        }
         phases.push_back(current);
     }
 
@@ -161,6 +210,9 @@ class PhaseRecorder
     std::vector<PhaseStats> phases;
     PhaseStats current;
     PhaseStats mark;
+    HwCounters *hwc = nullptr;
+    HwSample hwMark;
+    uint64_t traceStartUs = 0;
     Timer timer;
     bool open = false;
 };

@@ -1,8 +1,15 @@
 /**
  * @file
- * Minimal JSON writer for machine-readable experiment output
- * (cobra_cli --json and ad-hoc tooling). Write-only, streaming, with
- * correct string escaping; no parsing.
+ * Minimal JSON support for machine-readable experiment output.
+ *
+ * JsonWriter: streaming write-only emitter with correct string escaping
+ * (cobra_cli --json, metrics/trace export, ad-hoc tooling).
+ *
+ * JsonValue / parseJson: a small recursive-descent reader, added so the
+ * observability tests can validate their own emitters (golden-schema
+ * tests parse the chrome-tracing and benchmark JSON this repo writes).
+ * It accepts standard JSON; numbers are held as double, which is exact
+ * for the integer ranges our emitters produce (< 2^53).
  */
 
 #ifndef COBRA_UTIL_JSON_H
@@ -11,6 +18,9 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -174,6 +184,334 @@ class JsonWriter
     std::vector<Scope> stack;
     bool pendingValue = false;
 };
+
+/** Parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        kNull,
+        kBool,
+        kNumber,
+        kString,
+        kArray,
+        kObject,
+    };
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::kNull; }
+    bool isBool() const { return type_ == Type::kBool; }
+    bool isNumber() const { return type_ == Type::kNumber; }
+    bool isString() const { return type_ == Type::kString; }
+    bool isArray() const { return type_ == Type::kArray; }
+    bool isObject() const { return type_ == Type::kObject; }
+
+    bool asBool() const { return b_; }
+    double asDouble() const { return num_; }
+    int64_t asInt() const { return static_cast<int64_t>(num_); }
+    uint64_t asUint() const { return static_cast<uint64_t>(num_); }
+    const std::string &asString() const { return str_; }
+    const std::vector<JsonValue> &items() const { return arr_; }
+    const std::map<std::string, JsonValue> &members() const { return obj_; }
+
+    bool has(const std::string &key) const { return obj_.count(key) != 0; }
+
+    /** Object member lookup; a shared null value when absent. */
+    const JsonValue &
+    operator[](const std::string &key) const
+    {
+        auto it = obj_.find(key);
+        return it == obj_.end() ? nullValue() : it->second;
+    }
+
+    /** Array element; a shared null value when out of range. */
+    const JsonValue &
+    at(size_t i) const
+    {
+        return i < arr_.size() ? arr_[i] : nullValue();
+    }
+
+    size_t
+    size() const
+    {
+        return type_ == Type::kArray ? arr_.size() : obj_.size();
+    }
+
+    static const JsonValue &
+    nullValue()
+    {
+        static const JsonValue v;
+        return v;
+    }
+
+    // Construction is the parser's business, but kept public so tests
+    // can build expected values directly.
+    Type type_ = Type::kNull;
+    bool b_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::map<std::string, JsonValue> obj_;
+};
+
+namespace json_detail {
+
+/** Recursive-descent parser over [p, end); Status-returning. */
+class Parser
+{
+  public:
+    Parser(const char *p, const char *end) : p_(p), end_(end) {}
+
+    Status
+    parse(JsonValue *out)
+    {
+        Status s = value(out);
+        if (!s.ok())
+            return s;
+        skipWs();
+        if (p_ != end_)
+            return err("trailing characters after JSON value");
+        return Status::Ok();
+    }
+
+  private:
+    Status
+    err(const std::string &msg) const
+    {
+        return Status(ErrorCode::kCorruptFile,
+                      "json parse error at byte " +
+                          std::to_string(consumed_) + ": " + msg);
+    }
+
+    void
+    skipWs()
+    {
+        while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                              *p_ == '\r'))
+            advance();
+    }
+
+    void
+    advance()
+    {
+        ++p_;
+        ++consumed_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (p_ != end_ && *p_ == c) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    Status
+    literal(const char *word, JsonValue *out, JsonValue v)
+    {
+        for (const char *w = word; *w; ++w)
+            if (!consume(*w))
+                return err(std::string("expected '") + word + "'");
+        *out = std::move(v);
+        return Status::Ok();
+    }
+
+    Status
+    value(JsonValue *out)
+    {
+        skipWs();
+        if (p_ == end_)
+            return err("unexpected end of input");
+        switch (*p_) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"': {
+              out->type_ = JsonValue::Type::kString;
+              return string(&out->str_);
+          }
+          case 't': {
+              JsonValue v;
+              v.type_ = JsonValue::Type::kBool;
+              v.b_ = true;
+              return literal("true", out, std::move(v));
+          }
+          case 'f': {
+              JsonValue v;
+              v.type_ = JsonValue::Type::kBool;
+              return literal("false", out, std::move(v));
+          }
+          case 'n': return literal("null", out, JsonValue{});
+          default: return number(out);
+        }
+    }
+
+    Status
+    object(JsonValue *out)
+    {
+        advance(); // '{'
+        out->type_ = JsonValue::Type::kObject;
+        skipWs();
+        if (consume('}'))
+            return Status::Ok();
+        for (;;) {
+            skipWs();
+            if (p_ == end_ || *p_ != '"')
+                return err("expected object key string");
+            std::string key;
+            if (Status s = string(&key); !s.ok())
+                return s;
+            skipWs();
+            if (!consume(':'))
+                return err("expected ':' after object key");
+            JsonValue v;
+            if (Status s = value(&v); !s.ok())
+                return s;
+            out->obj_.emplace(std::move(key), std::move(v));
+            skipWs();
+            if (consume('}'))
+                return Status::Ok();
+            if (!consume(','))
+                return err("expected ',' or '}' in object");
+        }
+    }
+
+    Status
+    array(JsonValue *out)
+    {
+        advance(); // '['
+        out->type_ = JsonValue::Type::kArray;
+        skipWs();
+        if (consume(']'))
+            return Status::Ok();
+        for (;;) {
+            JsonValue v;
+            if (Status s = value(&v); !s.ok())
+                return s;
+            out->arr_.push_back(std::move(v));
+            skipWs();
+            if (consume(']'))
+                return Status::Ok();
+            if (!consume(','))
+                return err("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    string(std::string *out)
+    {
+        advance(); // '"'
+        out->clear();
+        while (p_ != end_) {
+            char c = *p_;
+            advance();
+            if (c == '"')
+                return Status::Ok();
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (p_ == end_)
+                break;
+            char e = *p_;
+            advance();
+            switch (e) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                  unsigned cp = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      if (p_ == end_)
+                          return err("truncated \\u escape");
+                      char h = *p_;
+                      advance();
+                      cp <<= 4;
+                      if (h >= '0' && h <= '9')
+                          cp |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          cp |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          cp |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return err("bad hex digit in \\u escape");
+                  }
+                  // Our emitters only produce \u00XX control escapes;
+                  // other code points degrade to UTF-8 of the BMP value.
+                  if (cp < 0x80) {
+                      out->push_back(static_cast<char>(cp));
+                  } else if (cp < 0x800) {
+                      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+                      out->push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  } else {
+                      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+                      out->push_back(
+                          static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+                      out->push_back(
+                          static_cast<char>(0x80 | (cp & 0x3F)));
+                  }
+                  break;
+              }
+              default: return err("unknown escape sequence");
+            }
+        }
+        return err("unterminated string");
+    }
+
+    Status
+    number(JsonValue *out)
+    {
+        const char *start = p_;
+        if (p_ != end_ && (*p_ == '-' || *p_ == '+'))
+            advance();
+        bool any = false;
+        auto digits = [&] {
+            while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+                advance();
+                any = true;
+            }
+        };
+        digits();
+        if (p_ != end_ && *p_ == '.') {
+            advance();
+            digits();
+        }
+        if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+            advance();
+            if (p_ != end_ && (*p_ == '-' || *p_ == '+'))
+                advance();
+            digits();
+        }
+        if (!any)
+            return err("invalid number");
+        out->type_ = JsonValue::Type::kNumber;
+        out->num_ = std::strtod(std::string(start, p_).c_str(), nullptr);
+        return Status::Ok();
+    }
+
+    const char *p_;
+    const char *end_;
+    size_t consumed_ = 0;
+};
+
+} // namespace json_detail
+
+/** Parse a complete JSON document. */
+inline Status
+parseJson(const std::string &text, JsonValue *out)
+{
+    *out = JsonValue{};
+    json_detail::Parser p(text.data(), text.data() + text.size());
+    return p.parse(out);
+}
 
 } // namespace cobra
 

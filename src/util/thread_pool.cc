@@ -4,13 +4,24 @@
 
 namespace cobra {
 
+namespace {
+// -1 on threads that are not pool workers (including the pool's owner).
+thread_local int tl_worker_id = -1;
+} // namespace
+
+int
+ThreadPool::currentWorkerId()
+{
+    return tl_worker_id;
+}
+
 ThreadPool::ThreadPool(size_t num_threads)
 {
     size_t n = num_threads != 0 ? num_threads
                                 : std::max(1u, std::thread::hardware_concurrency());
     workers.reserve(n);
     for (size_t i = 0; i < n; ++i)
-        workers.emplace_back([this] { workerLoop(); });
+        workers.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -70,8 +81,9 @@ ThreadPool::parallelFor(size_t n,
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(size_t worker_id)
 {
+    tl_worker_id = static_cast<int>(worker_id);
     for (;;) {
         std::function<void()> task;
         {

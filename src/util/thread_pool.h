@@ -45,6 +45,14 @@ class ThreadPool
 
     size_t numThreads() const { return workers.size(); }
 
+    /**
+     * Index of the pool worker executing the caller, or -1 off-pool
+     * (e.g. on the thread that owns the pool). Stable for the worker's
+     * lifetime; used by the observability layer to attribute trace
+     * spans to the emitting worker.
+     */
+    static int currentWorkerId();
+
     /** Enqueue a task; returns immediately. */
     void enqueue(std::function<void()> task);
 
@@ -64,7 +72,7 @@ class ThreadPool
                      const std::function<void(size_t, size_t, size_t)> &fn);
 
   private:
-    void workerLoop();
+    void workerLoop(size_t worker_id);
 
     std::vector<std::thread> workers;
     std::queue<std::function<void()>> tasks;

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bench-smoke: runs the real bench_native_pb binary on its tiny smoke
+ * configuration and validates the emitted JSON schema with the repo's
+ * own parser — per-phase sum/median/min fields, sample counts, and the
+ * hardware-counter fields (or the explicit hw_unavailable marker).
+ * This is the seam the paper-facing result tables are generated from;
+ * a schema drift here silently breaks every downstream script.
+ *
+ * The binary path arrives via the COBRA_BENCH_BIN environment variable
+ * (set by the CTest registration); the test skips when unset so the
+ * bare gtest binary still runs standalone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace cobra {
+namespace {
+
+const char *kPhases[] = {"init", "binning", "accumulate"};
+
+void
+expectPhaseFields(const JsonValue &b)
+{
+    for (const char *p : kPhases) {
+        std::string name = p;
+        ASSERT_TRUE(b.has(name + "_s")) << name;
+        ASSERT_TRUE(b.has(name + "_med_s")) << name;
+        ASSERT_TRUE(b.has(name + "_min_s")) << name;
+        EXPECT_TRUE(b[name + "_s"].isNumber());
+        EXPECT_TRUE(b[name + "_med_s"].isNumber());
+        EXPECT_TRUE(b[name + "_min_s"].isNumber());
+        // min <= median: both are per-iteration statistics.
+        EXPECT_LE(b[name + "_min_s"].asDouble(),
+                  b[name + "_med_s"].asDouble() + 1e-12)
+            << name;
+        EXPECT_GE(b[name + "_med_s"].asDouble(), 0.0) << name;
+    }
+    ASSERT_TRUE(b.has("phase_samples"));
+    EXPECT_GE(b["phase_samples"].asDouble(), 1.0);
+}
+
+void
+expectHwFields(const JsonValue &b)
+{
+    if (b.has("hw_unavailable")) {
+        // The explicit marker: perf_event_open denied on this host.
+        EXPECT_EQ(b["hw_unavailable"].asDouble(), 1.0);
+        return;
+    }
+    for (const char *f : {"hw_cycles", "hw_instr", "hw_l1d_miss",
+                          "hw_llc_miss", "hw_branch_miss",
+                          "hw_binning_instr", "hw_binning_llc_miss"}) {
+        ASSERT_TRUE(b.has(f)) << f;
+        EXPECT_TRUE(b[f].isNumber()) << f;
+    }
+    EXPECT_GT(b["hw_instr"].asDouble(), 0.0);
+}
+
+TEST(BenchSmoke, TinyRunEmitsValidPhaseAndHwSchema)
+{
+    const char *bin = std::getenv("COBRA_BENCH_BIN");
+    if (bin == nullptr || bin[0] == '\0')
+        GTEST_SKIP() << "COBRA_BENCH_BIN not set (run via ctest)";
+
+    std::string out = ::testing::TempDir() + "cobra_bench_smoke.json";
+    // The 2^14-node points exist precisely for this test: small enough
+    // for a sub-second run, exercising both the sequential PB path and
+    // the threaded wc-engine path.
+    std::string cmd = std::string("\"") + bin + "\"" +
+        " --benchmark_filter=/16384/" +
+        " --benchmark_min_time=0.01" +
+        " --benchmark_out_format=json" +
+        " --benchmark_out=" + out + " > /dev/null 2>&1";
+    int rc = std::system(cmd.c_str());
+    ASSERT_EQ(rc, 0) << cmd;
+
+    std::ifstream in(out);
+    ASSERT_TRUE(in.good()) << out;
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::remove(out.c_str());
+
+    JsonValue v;
+    Status st = parseJson(ss.str(), &v);
+    ASSERT_TRUE(st.ok()) << st.message();
+    ASSERT_TRUE(v.isObject());
+    ASSERT_TRUE(v.has("benchmarks"));
+    const JsonValue &benches = v["benchmarks"];
+    ASSERT_TRUE(benches.isArray());
+    // Both smoke points must have matched the filter.
+    ASSERT_GE(benches.size(), 2u) << ss.str();
+
+    bool sawSequential = false, sawParallel = false;
+    for (const JsonValue &b : benches.items()) {
+        ASSERT_TRUE(b.has("name"));
+        const std::string &name = b["name"].asString();
+        expectPhaseFields(b);
+        expectHwFields(b);
+        if (name.find("BM_DegreeCountPb/") == 0)
+            sawSequential = true;
+        if (name.find("BM_DegreeCountPbParallel/wc/") == 0)
+            sawParallel = true;
+    }
+    EXPECT_TRUE(sawSequential);
+    EXPECT_TRUE(sawParallel);
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Property tests for the MetricsRegistry: concurrent counter exactness,
+ * histogram percentiles against a sorted-vector oracle, and the
+ * branch-on-null disabled discipline (no active registry => null
+ * handles, nothing recorded, nothing paid).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+namespace {
+
+// ---- disabled discipline ----
+
+TEST(MetricsDisabled, NoActiveRegistryByDefault)
+{
+    EXPECT_EQ(MetricsRegistry::active(), nullptr);
+    EXPECT_EQ(metricsCounter("anything"), nullptr);
+    EXPECT_EQ(metricsGauge("anything"), nullptr);
+    EXPECT_EQ(metricsHistogram("anything"), nullptr);
+}
+
+TEST(MetricsDisabled, LookupsCreateNothing)
+{
+    // Null handles mean no instrument is ever created behind the
+    // caller's back: install a registry afterwards and confirm it is
+    // empty even though lookups ran while it was not active.
+    metricsCounter("ghost");
+    MetricsRegistry reg;
+    {
+        MetricsRegistry::Scope scope(reg);
+        EXPECT_EQ(reg.counterValue("ghost"), 0u);
+        EXPECT_TRUE(reg.counterNames().empty());
+    }
+}
+
+TEST(MetricsScope, InstallsAndRestores)
+{
+    MetricsRegistry outer, inner;
+    EXPECT_EQ(MetricsRegistry::active(), nullptr);
+    {
+        MetricsRegistry::Scope s1(outer);
+        EXPECT_EQ(MetricsRegistry::active(), &outer);
+        {
+            MetricsRegistry::Scope s2(inner);
+            EXPECT_EQ(MetricsRegistry::active(), &inner);
+        }
+        EXPECT_EQ(MetricsRegistry::active(), &outer);
+    }
+    EXPECT_EQ(MetricsRegistry::active(), nullptr);
+}
+
+// ---- counters ----
+
+TEST(MetricsCounterTest, ConcurrentIncrementsSumExactly)
+{
+    // The sharded relaxed-atomic design must lose no increments: N
+    // threads each add K times; the value() sum is exactly N * K.
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    constexpr int kThreads = 8;
+    constexpr uint64_t kPerThread = 100000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([] {
+            MetricsCounter *c = metricsCounter("test.concurrent");
+            ASSERT_NE(c, nullptr);
+            for (uint64_t i = 0; i < kPerThread; ++i)
+                c->inc();
+        });
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(reg.counterValue("test.concurrent"), kThreads * kPerThread);
+}
+
+TEST(MetricsCounterTest, ConcurrentWeightedAddsSumExactly)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    constexpr int kThreads = 6;
+    constexpr uint64_t kAdds = 5000;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t)
+        ts.emplace_back([t] {
+            MetricsCounter *c = metricsCounter("test.weighted");
+            for (uint64_t i = 0; i < kAdds; ++i)
+                c->add(static_cast<uint64_t>(t) + 1);
+        });
+    for (auto &t : ts)
+        t.join();
+    // sum over t of (t+1) * kAdds = kAdds * kThreads*(kThreads+1)/2
+    EXPECT_EQ(reg.counterValue("test.weighted"),
+              kAdds * kThreads * (kThreads + 1) / 2);
+}
+
+TEST(MetricsCounterTest, PoolWorkersShareOneCounter)
+{
+    // Same property through the repo's own ThreadPool (the actual
+    // concurrent writer in ParallelPbRunner).
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    ThreadPool pool(4);
+    constexpr size_t kTasks = 64;
+    constexpr uint64_t kPerTask = 10000;
+    for (size_t i = 0; i < kTasks; ++i)
+        pool.enqueue([] {
+            MetricsCounter *c = metricsCounter("test.pool");
+            for (uint64_t j = 0; j < kPerTask; ++j)
+                c->inc();
+        });
+    pool.wait();
+    EXPECT_EQ(reg.counterValue("test.pool"), kTasks * kPerTask);
+}
+
+TEST(MetricsCounterTest, HandleIsStableAcrossLookups)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    MetricsCounter *a = metricsCounter("stable");
+    MetricsCounter *b = metricsCounter("stable");
+    EXPECT_EQ(a, b);
+    // Creating other instruments must not invalidate the handle.
+    for (int i = 0; i < 100; ++i)
+        metricsCounter("other." + std::to_string(i));
+    a->add(3);
+    EXPECT_EQ(reg.counterValue("stable"), 3u);
+}
+
+TEST(MetricsGaugeTest, SetAndAdd)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    MetricsGauge *g = metricsGauge("g");
+    g->set(42);
+    EXPECT_EQ(reg.gaugeValue("g"), 42);
+    g->add(-50);
+    EXPECT_EQ(reg.gaugeValue("g"), -8);
+    EXPECT_EQ(reg.gaugeValue("missing"), 0);
+}
+
+// ---- histogram vs sorted-vector oracle ----
+
+/**
+ * Histogram::percentile(frac) returns the inclusive upper edge of the
+ * first bucket at which the cumulative count reaches frac * total. For
+ * in-range samples that value is exactly derivable from the sorted
+ * sample vector: take the target-th smallest sample (target =
+ * floor(frac * n)) and report its bucket's upper edge.
+ */
+uint64_t
+oraclePercentile(std::vector<uint64_t> sorted, double frac,
+                 uint64_t width)
+{
+    std::sort(sorted.begin(), sorted.end());
+    uint64_t target =
+        static_cast<uint64_t>(frac * static_cast<double>(sorted.size()));
+    if (target == 0)
+        return width - 1; // cumulative >= 0 already in the first bucket
+    uint64_t sample = sorted[target - 1];
+    return (sample / width + 1) * width - 1;
+}
+
+TEST(MetricsHistogramTest, PercentilesMatchSortedVectorOracle)
+{
+    constexpr size_t kBuckets = 64;
+    constexpr uint64_t kWidth = 100;
+    Rng rng(97);
+    for (int round = 0; round < 5; ++round) {
+        MetricsRegistry reg;
+        MetricsRegistry::Scope scope(reg);
+        MetricsHistogram *h = metricsHistogram("lat", kBuckets, kWidth);
+        ASSERT_NE(h, nullptr);
+        std::vector<uint64_t> samples(2000 + 137 * round);
+        for (auto &s : samples) {
+            s = rng.below(kBuckets * kWidth); // in-range: no overflow bucket
+            h->record(s);
+        }
+        EXPECT_EQ(h->count(), samples.size());
+        for (double frac : {0.10, 0.25, 0.50, 0.90, 0.99})
+            EXPECT_EQ(h->percentile(frac),
+                      oraclePercentile(samples, frac, kWidth))
+                << "round " << round << " frac " << frac;
+        uint64_t max = *std::max_element(samples.begin(), samples.end());
+        EXPECT_EQ(h->max(), max);
+        double mean = 0;
+        for (uint64_t s : samples)
+            mean += static_cast<double>(s);
+        mean /= static_cast<double>(samples.size());
+        EXPECT_NEAR(h->mean(), mean, 1e-6);
+    }
+}
+
+TEST(MetricsHistogramTest, GeometryFixedAtCreation)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    MetricsHistogram *h = metricsHistogram("fixed", 8, 10);
+    // Later lookups ignore the geometry args and return the original.
+    MetricsHistogram *again = metricsHistogram("fixed", 999, 999);
+    EXPECT_EQ(h, again);
+    EXPECT_EQ(h->bucketWidth(), 10u);
+}
+
+// ---- export ----
+
+TEST(MetricsExport, WriteJsonRoundTripsThroughParser)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    metricsCounter("c.one")->add(7);
+    metricsGauge("g.one")->set(-3);
+    MetricsHistogram *h = metricsHistogram("h.one", 4, 10);
+    h->record(5);
+    h->record(25);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    JsonValue v;
+    ASSERT_TRUE(parseJson(os.str(), &v).ok()) << os.str();
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v["counters"]["c.one"].asUint(), 7u);
+    EXPECT_EQ(v["gauges"]["g.one"].asInt(), -3);
+    const JsonValue &hv = v["histograms"]["h.one"];
+    ASSERT_TRUE(hv.isObject());
+    EXPECT_EQ(hv["count"].asUint(), 2u);
+    EXPECT_EQ(hv["max"].asUint(), 25u);
+    EXPECT_EQ(hv["bucket_width"].asUint(), 10u);
+    EXPECT_TRUE(hv.has("p50"));
+    EXPECT_TRUE(hv.has("p90"));
+    EXPECT_TRUE(hv.has("p99"));
+}
+
+TEST(MetricsExport, CounterNamesSorted)
+{
+    MetricsRegistry reg;
+    MetricsRegistry::Scope scope(reg);
+    metricsCounter("z");
+    metricsCounter("a");
+    metricsCounter("m");
+    std::vector<std::string> names = reg.counterNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+} // namespace
+} // namespace cobra

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Golden-schema tests for TraceSession: the emitted chrome-tracing JSON
+ * must parse with the repo's own util/json.h reader, every event must
+ * be well-formed, same-thread spans must nest or be disjoint, and a
+ * ParallelPbRunner run must produce exactly one Binning and one
+ * Accumulate shard span per pool thread, on a worker timeline id.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/kernels/kernel.h"
+#include "src/obs/trace.h"
+#include "src/pb/parallel_pb.h"
+#include "src/sim/phase_recorder.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+namespace {
+
+JsonValue
+parseSession(const TraceSession &ts)
+{
+    std::ostringstream os;
+    ts.writeJson(os);
+    JsonValue v;
+    Status s = parseJson(os.str(), &v);
+    EXPECT_TRUE(s.ok()) << s.message() << "\n" << os.str();
+    return v;
+}
+
+// Every event must carry the chrome-tracing required keys with the
+// right types; 'X' events additionally carry "dur".
+void
+expectWellFormed(const JsonValue &trace)
+{
+    ASSERT_TRUE(trace.isObject());
+    const JsonValue &events = trace["traceEvents"];
+    ASSERT_TRUE(events.isArray());
+    for (const JsonValue &e : events.items()) {
+        ASSERT_TRUE(e.isObject());
+        EXPECT_TRUE(e["name"].isString());
+        EXPECT_TRUE(e["cat"].isString());
+        ASSERT_TRUE(e["ph"].isString());
+        const std::string &ph = e["ph"].asString();
+        EXPECT_TRUE(ph == "X" || ph == "i" || ph == "C") << ph;
+        EXPECT_TRUE(e["ts"].isNumber());
+        EXPECT_TRUE(e["pid"].isNumber());
+        EXPECT_TRUE(e["tid"].isNumber());
+        if (ph == "X") {
+            EXPECT_TRUE(e["dur"].isNumber());
+        }
+    }
+}
+
+TEST(TraceDisabled, NoActiveSessionByDefault)
+{
+    EXPECT_EQ(TraceSession::active(), nullptr);
+    // A span constructed with no session is inert.
+    {
+        TraceSpan sp("orphan", "test");
+        sp.arg("k", 1);
+    }
+    TraceSession ts;
+    EXPECT_EQ(ts.numEvents(), 0u);
+}
+
+TEST(TraceScope, InstallsAndRestores)
+{
+    TraceSession outer, inner;
+    {
+        TraceSession::Scope s1(outer);
+        EXPECT_EQ(TraceSession::active(), &outer);
+        {
+            TraceSession::Scope s2(inner);
+            EXPECT_EQ(TraceSession::active(), &inner);
+        }
+        EXPECT_EQ(TraceSession::active(), &outer);
+    }
+    EXPECT_EQ(TraceSession::active(), nullptr);
+}
+
+TEST(TraceSchema, EmptySessionIsValidJson)
+{
+    TraceSession ts;
+    JsonValue v = parseSession(ts);
+    expectWellFormed(v);
+    EXPECT_EQ(v["traceEvents"].size(), 0u);
+}
+
+TEST(TraceSchema, EventKindsRoundTrip)
+{
+    TraceSession ts;
+    ts.complete("span \"quoted\"", "test", 10, 5, {{"tuples", 42}});
+    ts.instant("marker", "test");
+    ts.counter("inflight", 7);
+    JsonValue v = parseSession(ts);
+    expectWellFormed(v);
+    const JsonValue &events = v["traceEvents"];
+    ASSERT_EQ(events.size(), 3u);
+    // Escaped name must survive the writer->parser round trip.
+    EXPECT_EQ(events.at(0)["name"].asString(), "span \"quoted\"");
+    EXPECT_EQ(events.at(0)["ph"].asString(), "X");
+    EXPECT_EQ(events.at(0)["ts"].asUint(), 10u);
+    EXPECT_EQ(events.at(0)["dur"].asUint(), 5u);
+    EXPECT_EQ(events.at(0)["args"]["tuples"].asUint(), 42u);
+    EXPECT_EQ(events.at(1)["ph"].asString(), "i");
+    EXPECT_EQ(events.at(2)["ph"].asString(), "C");
+}
+
+TEST(TraceSchema, SpanRaiiEmitsOneCompleteEvent)
+{
+    TraceSession ts;
+    {
+        TraceSession::Scope scope(ts);
+        TraceSpan sp("work", "test");
+        sp.arg("n", 3);
+    }
+    std::vector<TraceEvent> evs = ts.events();
+    ASSERT_EQ(evs.size(), 1u);
+    EXPECT_EQ(evs[0].name, "work");
+    EXPECT_EQ(evs[0].ph, 'X');
+    EXPECT_EQ(evs[0].tid, 0u); // main thread
+    ASSERT_EQ(evs[0].args.size(), 1u);
+    EXPECT_EQ(evs[0].args[0].first, "n");
+}
+
+TEST(TraceTid, MainIsZeroWorkersArePlusOne)
+{
+    EXPECT_EQ(TraceSession::currentTid(), 0u);
+    ThreadPool pool(3);
+    std::mutex mtx;
+    std::set<uint32_t> tids;
+    for (int i = 0; i < 32; ++i)
+        pool.enqueue([&] {
+            uint32_t tid = TraceSession::currentTid();
+            std::lock_guard<std::mutex> lk(mtx);
+            tids.insert(tid);
+        });
+    pool.wait();
+    // Every worker tid is in [1, numThreads]; 0 is reserved for main.
+    for (uint32_t tid : tids) {
+        EXPECT_GE(tid, 1u);
+        EXPECT_LE(tid, 3u);
+    }
+}
+
+TEST(TraceNesting, SameThreadSpansNestOrAreDisjoint)
+{
+    TraceSession ts;
+    {
+        TraceSession::Scope scope(ts);
+        {
+            TraceSpan outer("outer", "test");
+            TraceSpan inner("inner", "test");
+        }
+        TraceSpan after("after", "test");
+    }
+    // Group by tid; within a tid any two 'X' intervals must nest or be
+    // disjoint (chrome://tracing renders overlap as corruption).
+    std::map<uint32_t, std::vector<TraceEvent>> byTid;
+    for (const TraceEvent &e : ts.events())
+        if (e.ph == 'X')
+            byTid[e.tid].push_back(e);
+    for (const auto &[tid, evs] : byTid) {
+        for (size_t i = 0; i < evs.size(); ++i) {
+            for (size_t j = i + 1; j < evs.size(); ++j) {
+                uint64_t a0 = evs[i].ts, a1 = evs[i].ts + evs[i].dur;
+                uint64_t b0 = evs[j].ts, b1 = evs[j].ts + evs[j].dur;
+                bool disjoint = a1 <= b0 || b1 <= a0;
+                bool nested = (a0 <= b0 && b1 <= a1) ||
+                    (b0 <= a0 && a1 <= b1);
+                EXPECT_TRUE(disjoint || nested)
+                    << evs[i].name << " vs " << evs[j].name << " on tid "
+                    << tid;
+            }
+        }
+    }
+}
+
+// ---- the ParallelPbRunner golden shape ----
+
+TEST(TraceParallelPb, OneBinningAndOneAccumulateSpanPerThread)
+{
+    constexpr size_t kThreads = 4;
+    const uint64_t indices = 1 << 12;
+    const size_t updates = 200000; // >> threads so nshards == threads
+    ThreadPool pool(kThreads);
+    BinningPlan plan = BinningPlan::forMaxBins(indices, 64);
+    Rng rng(11);
+    std::vector<uint32_t> stream(updates);
+    for (auto &x : stream)
+        x = static_cast<uint32_t>(rng.below(indices));
+    std::vector<uint64_t> sums(indices, 0);
+
+    TraceSession ts;
+    ParallelPbRunner<NoPayload> runner(pool, plan);
+    PhaseRecorder rec;
+    {
+        TraceSession::Scope scope(ts);
+        runner.run(
+            updates, rec, [&](size_t i) { return stream[i]; },
+            [&](size_t i) {
+                return std::pair<uint32_t, NoPayload>(stream[i],
+                                                      NoPayload{});
+            },
+            [&](const BinTuple<NoPayload> &t) { ++sums[t.index]; });
+    }
+    ASSERT_TRUE(runner.conservation().ok());
+    ASSERT_EQ(runner.shards(), kThreads);
+
+    JsonValue v = parseSession(ts);
+    expectWellFormed(v);
+
+    std::vector<TraceEvent> binning, accumulate, phases, umbrella;
+    for (const TraceEvent &e : ts.events()) {
+        if (e.name == "binning" && e.cat == "pb")
+            binning.push_back(e);
+        else if (e.name == "accumulate" && e.cat == "pb")
+            accumulate.push_back(e);
+        else if (e.cat == "phase")
+            phases.push_back(e);
+        else if (e.name == "pb.run")
+            umbrella.push_back(e);
+    }
+
+    // Exactly one Binning and one Accumulate shard span per pool
+    // thread (shards == threads when updates >> threads and bins >=
+    // threads), each on a worker timeline id and with distinct shard
+    // args covering 0..threads-1.
+    ASSERT_EQ(binning.size(), kThreads);
+    ASSERT_EQ(accumulate.size(), kThreads);
+    for (const std::vector<TraceEvent> *group : {&binning, &accumulate}) {
+        std::set<uint64_t> shards;
+        for (const TraceEvent &e : *group) {
+            EXPECT_GE(e.tid, 1u);
+            EXPECT_LE(e.tid, kThreads);
+            for (const auto &[k, val] : e.args)
+                if (k == "shard")
+                    shards.insert(val);
+        }
+        std::set<uint64_t> want;
+        for (uint64_t s = 0; s < kThreads; ++s)
+            want.insert(s);
+        EXPECT_EQ(shards, want);
+    }
+
+    // The PhaseRecorder contributes the three phase spans on the main
+    // thread, and the umbrella pb.run span covers all of them.
+    ASSERT_EQ(phases.size(), 3u);
+    for (const TraceEvent &e : phases)
+        EXPECT_EQ(e.tid, 0u);
+    ASSERT_EQ(umbrella.size(), 1u);
+    for (const TraceEvent &e : phases) {
+        EXPECT_GE(e.ts, umbrella[0].ts);
+        EXPECT_LE(e.ts + e.dur, umbrella[0].ts + umbrella[0].dur);
+    }
+    // Each binning shard span lies inside the binning phase bracket.
+    const TraceEvent *binPhase = nullptr;
+    for (const TraceEvent &e : phases)
+        if (e.name == phase::kBinning)
+            binPhase = &e;
+    ASSERT_NE(binPhase, nullptr);
+    for (const TraceEvent &e : binning) {
+        EXPECT_GE(e.ts, binPhase->ts);
+        EXPECT_LE(e.ts + e.dur, binPhase->ts + binPhase->dur);
+    }
+}
+
+TEST(TraceWriteFile, BadPathReturnsIoError)
+{
+    TraceSession ts;
+    Status s = ts.writeFile("/nonexistent-dir/trace.json");
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::kIoError);
+}
+
+TEST(TraceWriteFile, GoodPathRoundTrips)
+{
+    TraceSession ts;
+    ts.complete("a", "t", 0, 1);
+    std::string path = ::testing::TempDir() + "cobra_trace_test.json";
+    ASSERT_TRUE(ts.writeFile(path).ok());
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    JsonValue v;
+    ASSERT_TRUE(parseJson(ss.str(), &v).ok());
+    expectWellFormed(v);
+    EXPECT_EQ(v["traceEvents"].size(), 1u);
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace cobra
