@@ -30,6 +30,17 @@
  *                      WC drain events
  *   --metrics OUT.json dump the run's MetricsRegistry (counters /
  *                      gauges / histograms) as JSON
+ *
+ * Resilience (src/resilience; native --technique pb --engine runs):
+ *   --deadline-ms D    watchdog deadline per attempt; a stalled run is
+ *                      cancelled and surfaces as deadline-exceeded
+ *   --retries R        retry a failed attempt up to R times, degrading
+ *                      the engine ladder (wc-simd -> wc -> scalar ->
+ *                      serial reference) and re-certifying against the
+ *                      oracle each time
+ *   --mem-budget-mb M  cap PB working memory; an over-budget plan fails
+ *                      as resource-exhausted and retries shrunk
+ * Any of the three enables the RunSupervisor on that path.
  */
 
 #include <cstdlib>
@@ -56,6 +67,7 @@
 #include "src/kernels/radii.h"
 #include "src/pb/auto_tune.h"
 #include "src/pb/engine_config.h"
+#include "src/resilience/run_supervisor.h"
 #include "src/sim/trace.h"
 #include "src/util/thread_pool.h"
 #include "src/util/json.h"
@@ -86,6 +98,15 @@ struct Options
     std::string inject;      ///< fault spec: SITE[:N[:SEED]]
     std::string traceOut;    ///< chrome-tracing span output path
     std::string metricsOut;  ///< MetricsRegistry JSON output path
+    uint64_t deadlineMs = 0; ///< watchdog deadline per attempt (0 = off)
+    int64_t retries = -1;    ///< max retries after first attempt (-1 = off)
+    uint64_t memBudgetMb = 0; ///< PB memory budget (0 = unlimited)
+
+    bool
+    supervised() const
+    {
+        return deadlineMs != 0 || retries >= 0 || memBudgetMb != 0;
+    }
 };
 
 [[noreturn]] void
@@ -102,7 +123,9 @@ usage(const char *argv0)
            "       [--dump-trace out.trc]\n"
            "       [--check] [--inject SITE[:N[:SEED]]]\n"
            "       [--trace out.json] [--metrics out.json]\n"
-           "(--inject help lists the fault sites)\n";
+           "       [--deadline-ms D] [--retries R] [--mem-budget-mb M]\n"
+           "(--inject help lists the fault sites; --deadline-ms/--retries/"
+           "--mem-budget-mb supervise native pb+engine runs)\n";
     std::exit(2);
 }
 
@@ -192,6 +215,14 @@ parse(int argc, char **argv)
             o.check = true;
         } else if (a == "--inject") {
             o.inject = need(++i);
+        } else if (a == "--deadline-ms") {
+            o.deadlineMs = static_cast<uint64_t>(
+                std::atoll(need(++i).c_str()));
+        } else if (a == "--retries") {
+            o.retries = std::atoll(need(++i).c_str());
+        } else if (a == "--mem-budget-mb") {
+            o.memBudgetMb = static_cast<uint64_t>(
+                std::atoll(need(++i).c_str()));
         } else {
             std::cerr << "unknown flag: " << a << "\n";
             usage(argv[0]);
@@ -225,6 +256,13 @@ runCli(int argc, char **argv)
                          "PB runtime (use --native --technique pb)\n";
             return 2;
         }
+    }
+    if (o.supervised() && (!o.native || o.technique != "pb" ||
+                           !engine_kind)) {
+        std::cerr << "error: --deadline-ms/--retries/--mem-budget-mb "
+                     "supervise the native parallel PB runtime (use "
+                     "--native --technique pb --engine ...)\n";
+        return 2;
     }
 
     // Armed (but not yet active) fault injector, if requested.
@@ -338,6 +376,7 @@ runCli(int argc, char **argv)
     if (o.native) {
         ExecCtx ctx;
         PhaseRecorder rec;
+        std::optional<SupervisorReport> sup_report;
         Timer t;
         {
             std::optional<FaultInjector::Scope> scope;
@@ -352,7 +391,23 @@ runCli(int argc, char **argv)
                 PbEngineConfig ec;
                 ec.kind = *engine_kind;
                 ThreadPool pool(o.threads);
-                kernel->runPbParallel(pool, rec, o.bins, ec);
+                if (o.supervised()) {
+                    // Resilient mode: deadline + retry-with-degradation
+                    // + memory budget around the same runtime. Failures
+                    // come back as a report, not an exception.
+                    SupervisorConfig sc;
+                    sc.deadline =
+                        std::chrono::milliseconds(o.deadlineMs);
+                    if (o.retries >= 0)
+                        sc.retry.maxAttempts =
+                            static_cast<uint32_t>(o.retries) + 1;
+                    sc.memBudgetBytes = o.memBudgetMb << 20;
+                    RunSupervisor sup(sc);
+                    sup_report = sup.runPbParallel(*kernel, pool, rec,
+                                                   o.bins, ec);
+                } else {
+                    kernel->runPbParallel(pool, rec, o.bins, ec);
+                }
             } else if (o.technique == "pb")
                 kernel->runPb(ctx, rec, o.bins);
             else if (o.technique == "phi")
@@ -366,6 +421,21 @@ runCli(int argc, char **argv)
         std::cout << o.kernel << "/" << o.technique << " on "
                   << g->name << ": " << t.millis() << " ms, "
                   << (kernel->verify() ? "verified" : "WRONG!") << "\n";
+        // Greppable per-phase wall-clock line (scripts/bench_native.sh
+        // uses the binning= field for its supervisor A/B smoke check).
+        std::cout << "phase_seconds init="
+                  << rec.phase(phase::kInit).seconds
+                  << " binning=" << rec.phase(phase::kBinning).seconds
+                  << " accumulate="
+                  << rec.phase(phase::kAccumulate).seconds
+                  << " compute=" << rec.phase(phase::kCompute).seconds
+                  << "\n";
+        if (sup_report) {
+            std::cout << "supervisor: " << sup_report->toString()
+                      << "\n";
+            if (!sup_report->ok)
+                return 1;
+        }
         if (o.check) {
             // Element-level report (the Runner-based oracle drives
             // simulated runs; natively we ask the kernel directly).

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * libFuzzer harness for the graph loaders (src/graph/io.h).
+ *
+ * The three tryLoad* entry points promise a Status for any file content
+ * — bad magic, truncated payloads, header/payload inconsistencies, and
+ * out-of-range endpoints must all come back as kCorruptFile/kOutOfRange,
+ * never as a crash or an unbounded allocation. The loaders take paths,
+ * so each input is staged through one tmpfs-backed file per process.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <unistd.h>
+
+#include "src/graph/io.h"
+
+namespace {
+
+// One scratch file per process, reused across inputs (libFuzzer is
+// single-threaded per process). tmpfs first, /tmp as fallback.
+std::string
+scratchPath()
+{
+    static std::string path = [] {
+        const char *dir =
+            ::access("/dev/shm", W_OK) == 0 ? "/dev/shm" : "/tmp";
+        return std::string(dir) + "/cobra_fuzz_graph_io." +
+            std::to_string(::getpid());
+    }();
+    return path;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    const std::string path = scratchPath();
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return 0;
+    if (size != 0)
+        std::fwrite(data, 1, size, f);
+    std::fclose(f);
+
+    cobra::EdgeList el;
+    cobra::NodeId n = 0;
+    (void)cobra::tryLoadEdgeListText(path, &el, &n);
+    el.clear();
+    (void)cobra::tryLoadEdgeListBinary(path, &el, &n);
+    cobra::CsrGraph g;
+    (void)cobra::tryLoadCsrBinary(path, &g);
+    return 0;
+}

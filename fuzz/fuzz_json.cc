@@ -1,0 +1,26 @@
+/**
+ * @file
+ * libFuzzer harness for parseJson (src/util/json.h).
+ *
+ * The parser is recursive-descent over untrusted bytes (golden-schema
+ * tests feed it files this repo wrote, but the CLI can be pointed at
+ * anything). Any input must produce a Status — never a crash, hang, or
+ * sanitizer report. This harness found the unbounded-recursion stack
+ * overflow on deep "[[[[..." nesting that Parser::kMaxDepth now caps;
+ * the minimized crasher lives in tests/fuzz_corpus/json/.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.h"
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    std::string text(reinterpret_cast<const char *>(data), size);
+    cobra::JsonValue v;
+    (void)cobra::parseJson(text, &v);
+    return 0;
+}

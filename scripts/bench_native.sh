@@ -4,6 +4,7 @@
 # trajectory point at the repo root as BENCH_native_pb.json.
 #
 #   scripts/bench_native.sh [BUILD_DIR] [--repeats N]
+#   scripts/bench_native.sh --supervisor-smoke [BUILD_DIR] [--repeats N]
 #
 # An optional build-dir argument selects which build to measure
 # (default: build/). Pass a -DCOBRA_NATIVE_ARCH=ON tree (e.g.
@@ -16,11 +17,21 @@
 # aggregate rows — the defense against quoting a single noisy sample.
 # Each row also always carries <phase>_med_s / <phase>_min_s computed
 # across the iterations *within* one repetition.
+#
+# --supervisor-smoke instead runs a quick interleaved A/B of cobra_cli
+# on the wc 2^21-update / 4096-bin anchor point: supervisor disabled
+# vs. enabled-but-idle (huge deadline, retries armed, nothing fails).
+# It compares the Binning-phase medians (the phase every resilience
+# checkpoint sits on) and fails when the idle-supervisor overhead
+# exceeds the noise gate — the cheap guard that the cold-path
+# checkpoint discipline stays out of the hot loops. Repeats default to
+# 9 in this mode; the runs interleave off/on so drift hits both arms.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 REPEATS=1
+SUP_SMOKE=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
     --repeats)
@@ -28,12 +39,52 @@ while [[ $# -gt 0 ]]; do
         REPEATS=$2
         shift 2
         ;;
+    --supervisor-smoke)
+        SUP_SMOKE=1
+        REPEATS=9
+        shift
+        ;;
     *)
         BUILD_DIR=$1
         shift
         ;;
     esac
 done
+
+if [ "$SUP_SMOKE" = 1 ]; then
+    CLI="$BUILD_DIR/examples/cobra_cli"
+    if [ ! -x "$CLI" ]; then
+        cmake -B "$BUILD_DIR" -S .
+        cmake --build "$BUILD_DIR" -j "$(nproc)" --target cobra_cli
+    fi
+    # The 2^21-update wc anchor (urnd 2^19 nodes, 4x updates, 4096 bins)
+    # — same shape as the bench_native_pb engine A/B point.
+    POINT=(--kernel degree --input urnd --nodes $((1 << 19))
+           --edges $((1 << 21)) --technique pb --native --engine wc
+           --bins 4096)
+    binning_s() { # run once, print the Binning seconds
+        "./$CLI" "$@" | sed -n 's/.*phase_seconds [^B]*binning=\([^ ]*\).*/\1/p'
+    }
+    off=() on=()
+    for i in $(seq "$REPEATS"); do
+        off+=("$(binning_s "${POINT[@]}")")
+        on+=("$(binning_s "${POINT[@]}" --deadline-ms 600000 --retries 3)")
+    done
+    python3 - "$REPEATS" "${off[@]}" "${on[@]}" <<'EOF'
+import statistics, sys
+n = int(sys.argv[1])
+vals = [float(v) for v in sys.argv[2:]]
+off, on = statistics.median(vals[:n]), statistics.median(vals[n:])
+delta = (on - off) / off * 100.0
+print(f"supervisor A/B smoke ({n} interleaved reps): "
+      f"binning median off={off * 1e3:.3f} ms on={on * 1e3:.3f} ms "
+      f"delta={delta:+.1f}%")
+# Noise gate: medians of interleaved reps on a quiet host sit well
+# inside this; a hot-loop checkpoint regression blows far past it.
+sys.exit(0 if delta <= 10.0 else 1)
+EOF
+    exit $?
+fi
 
 if [ ! -x "$BUILD_DIR/bench/bench_native_pb" ]; then
     cmake -B "$BUILD_DIR" -S .

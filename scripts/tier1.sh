@@ -3,6 +3,7 @@
 #
 #   scripts/tier1.sh                    # normal Release build in build/
 #   scripts/tier1.sh --sanitize         # ASan+UBSan build in build-asan/
+#   scripts/tier1.sh --tsan             # ThreadSanitizer build in build-tsan/
 #   scripts/tier1.sh --labels unit      # only ctest tests labeled unit
 #   scripts/tier1.sh --labels 'property|e2e'   # ctest -L regex
 #
@@ -22,6 +23,11 @@ while [[ $# -gt 0 ]]; do
     --sanitize)
         BUILD_DIR=build-asan
         CMAKE_ARGS+=(-DCOBRA_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
+        shift
+        ;;
+    --tsan)
+        BUILD_DIR=build-tsan
+        CMAKE_ARGS+=(-DCOBRA_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo)
         shift
         ;;
     --labels)

@@ -27,6 +27,18 @@
  *                                        tuple
  *   DesDropEviction / DesDuplicateEviction — same, inside the standalone
  *                                        eviction-buffer DES
+ *   PbStallInit / PbStallBinning / PbStallAccumulate — one phase wedges:
+ *                                        the site blocks until the active
+ *                                        CancelToken cancels it (or a
+ *                                        bounded cap expires so a broken
+ *                                        watchdog can never hang the
+ *                                        suite). Exists to prove the
+ *                                        resilience layer's watchdog
+ *                                        turns a stall into a typed
+ *                                        kDeadlineExceeded, not a hang.
+ *   PbDelayDrain                       — one drain runs slow (a bounded
+ *                                        sleep), but finishes: a healthy
+ *                                        deadline must tolerate it.
  *
  * Usage: construct with a site, the 1-based opportunity ordinal to fire
  * at, and a seed; activate with a FaultInjector::Scope. Disabled (the
@@ -42,6 +54,7 @@
 #define COBRA_CHECK_FAULT_INJECTOR_H
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstring>
 #include <mutex>
@@ -49,8 +62,10 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "src/resilience/cancel.h"
 #include "src/util/error.h"
 #include "src/util/rng.h"
 
@@ -73,6 +88,10 @@ enum class FaultSite : uint32_t
     kCobraTruncateSpill,
     kDesDropEviction,
     kDesDuplicateEviction,
+    kPbStallInit,
+    kPbStallBinning,
+    kPbStallAccumulate,
+    kPbDelayDrain,
 };
 
 inline const char *
@@ -95,6 +114,10 @@ to_string(FaultSite s)
       case FaultSite::kDesDropEviction: return "des-drop-eviction";
       case FaultSite::kDesDuplicateEviction:
         return "des-duplicate-eviction";
+      case FaultSite::kPbStallInit: return "pb-stall-init";
+      case FaultSite::kPbStallBinning: return "pb-stall-binning";
+      case FaultSite::kPbStallAccumulate: return "pb-stall-accumulate";
+      case FaultSite::kPbDelayDrain: return "pb-delay-drain";
     }
     return "unknown";
 }
@@ -110,7 +133,9 @@ allFaultSites()
             FaultSite::kCobraDropEviction,
             FaultSite::kCobraDuplicateEviction,
             FaultSite::kCobraTruncateSpill,  FaultSite::kDesDropEviction,
-            FaultSite::kDesDuplicateEviction};
+            FaultSite::kDesDuplicateEviction,
+            FaultSite::kPbStallInit,         FaultSite::kPbStallBinning,
+            FaultSite::kPbStallAccumulate,   FaultSite::kPbDelayDrain};
 }
 
 inline std::optional<FaultSite>
@@ -220,6 +245,46 @@ class FaultInjector
     /** Cursor skew applied by the BinOffsetSkew site. */
     uint64_t skewAmount() const { return 1; }
 
+    /**
+     * Behavior of a fired kPbStall* site: block until the active
+     * CancelToken is cancelled (normally by the Watchdog's deadline),
+     * then throw through cancellationPoint() so the stalled phase
+     * surfaces as the canceller's typed error. Two backstops keep this
+     * testable even when the resilience layer is broken or absent: the
+     * wait is capped at stallCapMs, and with neither cancellation nor
+     * a broken watchdog the site simply resumes — a stall can degrade
+     * into a long delay, but it can never hang the suite.
+     */
+    void
+    stall()
+    {
+        const auto start = std::chrono::steady_clock::now();
+        const auto cap = std::chrono::milliseconds(
+            stallCapMs_.load(std::memory_order_relaxed));
+        appendDetail("stalled awaiting cancellation");
+        while (std::chrono::steady_clock::now() - start < cap) {
+            if (CancelToken *t = CancelToken::active();
+                t && t->cancelled())
+                break;
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        cancellationPoint(); // throws iff something cancelled the run
+    }
+
+    /** Behavior of a fired kPbDelayDrain site: finite slowdown. */
+    void
+    delay()
+    {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            delayMs_.load(std::memory_order_relaxed)));
+    }
+
+    /** Backstop for stall(): max wait when nothing ever cancels. */
+    void setStallCapMs(uint64_t ms) { stallCapMs_.store(ms); }
+
+    /** Duration of the kPbDelayDrain slowdown. */
+    void setDelayMs(uint64_t ms) { delayMs_.store(ms); }
+
     uint64_t
     opportunities() const
     {
@@ -274,6 +339,8 @@ class FaultInjector
     FaultSite site_;
     uint64_t fireAt_;
     Rng rng_;
+    std::atomic<uint64_t> stallCapMs_{10000};
+    std::atomic<uint64_t> delayMs_{25};
     std::atomic<uint64_t> opportunities_{0};
     std::atomic<uint64_t> fires_{0};
     mutable std::mutex mu_;

@@ -27,6 +27,9 @@ void
 DegreeCountKernel::resetOutput()
 {
     deg.assign(nodes, 0);
+    // Health reflects the *most recent* run: any technique starts clean.
+    pbHealth = Status::Ok();
+    pbOverflow = 0;
 }
 
 void
@@ -91,6 +94,8 @@ DegreeCountKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
         // Bin-partitioned Accumulate: deg[t.index] is touched only by
         // the thread owning t.index's bin, so a plain increment is safe.
         [this](const BinTuple<NoPayload> &t) { ++deg[t.index]; });
+    pbHealth = runner.conservation();
+    pbOverflow = runner.overflowTuples();
 }
 
 void

@@ -45,6 +45,8 @@ class DegreeCountKernel : public Kernel
                 uint32_t max_bins) override;
     bool verify() const override;
     std::optional<Divergence> firstDivergence() const override;
+    Status lastRunHealth() const override { return pbHealth; }
+    uint64_t lastOverflowTuples() const override { return pbOverflow; }
 
     const std::vector<uint32_t> &degrees() const { return deg; }
 
@@ -55,6 +57,8 @@ class DegreeCountKernel : public Kernel
     const EdgeList *edges;
     std::vector<uint32_t> deg;
     std::vector<uint32_t> ref;
+    Status pbHealth;        ///< conservation of the last parallel PB run
+    uint64_t pbOverflow = 0;
 };
 
 } // namespace cobra

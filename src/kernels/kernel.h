@@ -21,6 +21,7 @@
 #include "src/pb/engine_config.h"
 #include "src/sim/exec_ctx.h"
 #include "src/sim/phase_recorder.h"
+#include "src/util/error.h"
 
 namespace cobra {
 
@@ -99,6 +100,22 @@ class Kernel
         COBRA_THROW_IF(true, ErrorCode::kUnimplemented,
                        name() << ": no host-parallel PB runtime");
     }
+
+    /**
+     * Conservation verdict of the most recent run: kDataLoss when the
+     * parallel PB runtime binned a different number of tuples than it
+     * emitted (or any bin overflowed); Ok for techniques without a
+     * conservation check. The RunSupervisor consults this before the
+     * element-level oracle so silent tuple loss fails an attempt even
+     * when the damage happens to cancel out.
+     */
+    virtual Status lastRunHealth() const { return Status::Ok(); }
+
+    /**
+     * Tuples that spilled past their Init-planned bin in the most recent
+     * run (0 when sane, and always 0 for non-PB techniques).
+     */
+    virtual uint64_t lastOverflowTuples() const { return 0; }
 
     /** COBRA (COBRA-COMM when cfg.coalesceAtLlc and commutative()). */
     virtual void runCobra(ExecCtx &ctx, PhaseRecorder &rec,

@@ -24,6 +24,9 @@ NeighborPopulateKernel::resetOutput()
 {
     cursor.assign(baseOffsets.begin(), baseOffsets.end() - 1);
     neighs.assign(edges->size(), 0);
+    // Health reflects the *most recent* run: any technique starts clean.
+    pbHealth = Status::Ok();
+    pbOverflow = 0;
 }
 
 void
@@ -104,6 +107,8 @@ NeighborPopulateKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
             EdgeOffset pos = cursor[t.index]++;
             neighs[pos] = t.payload;
         });
+    pbHealth = runner.conservation();
+    pbOverflow = runner.overflowTuples();
 }
 
 void

@@ -44,6 +44,8 @@ class NeighborPopulateKernel : public Kernel
                   const CobraConfig &cfg) override;
     bool verify() const override;
     std::optional<Divergence> firstDivergence() const override;
+    Status lastRunHealth() const override { return pbHealth; }
+    uint64_t lastOverflowTuples() const override { return pbOverflow; }
 
     /** The produced CSR (valid after any run). */
     CsrGraph result() const;
@@ -59,6 +61,8 @@ class NeighborPopulateKernel : public Kernel
     std::vector<EdgeOffset> cursor;      ///< mutated copy (Algorithm 1)
     std::vector<NodeId> neighs;
     CsrGraph refSorted; ///< canonical reference CSR
+    Status pbHealth;    ///< conservation of the last parallel PB run
+    uint64_t pbOverflow = 0;
 };
 
 } // namespace cobra

@@ -96,6 +96,13 @@ class BinStorage
     finalizeInit(ExecCtx &ctx)
     {
         COBRA_PANIC_IF(finalized, "finalizeInit called twice");
+        // Cancellation checkpoint + stall site: once per Init per
+        // binner (cold), and right before the layout allocation so a
+        // cancelled run never pays for bin memory it will not use.
+        cancellationPoint();
+        if (auto *fi = FaultInjector::active(); fi) [[unlikely]]
+            if (fi->fire(FaultSite::kPbStallInit, 0))
+                fi->stall();
         if (preallocated) {
             // Allocation-free replay: verify the prescan against the
             // counted inserts and rebuild the cursors in place.

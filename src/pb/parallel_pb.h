@@ -40,6 +40,7 @@
 #include "src/pb/engine_config.h"
 #include "src/pb/pb_binner.h"
 #include "src/pb/wc_engine.h"
+#include "src/resilience/cancel.h"
 #include "src/sim/phase_recorder.h"
 #include "src/util/thread_pool.h"
 
@@ -61,6 +62,15 @@ class ParallelPbRunner
 {
   public:
     using Tuple = BinTuple<Payload>;
+
+    /**
+     * Tuples processed between cancellation checkpoints inside the Init
+     * and Binning shard loops. Large enough that the disarmed check
+     * (one null load per block) vanishes against thousands of tuple
+     * inserts; small enough that a Watchdog-tripped run unwinds within
+     * tens of microseconds of work, not a whole shard.
+     */
+    static constexpr size_t kCancelBlockTuples = 8192;
 
     ParallelPbRunner(ThreadPool &pool, const BinningPlan &plan,
                      const PbEngineConfig &engine = {})
@@ -152,12 +162,19 @@ class ParallelPbRunner
                            &index_of] {
                 TraceSpan sp("init", "pb");
                 sp.arg("shard", t);
+                cancellationPoint(); // queued tasks drop out fast
                 ExecCtx ctx;
                 auto bn = makeBinner<Binner>();
                 const size_t begin = t * chunk;
                 const size_t end = std::min(num_updates, begin + chunk);
-                for (size_t i = begin; i < end; ++i)
-                    bn->initCount(ctx, index_of(i));
+                for (size_t blk = begin; blk < end;
+                     blk += kCancelBlockTuples) {
+                    const size_t bend =
+                        std::min(end, blk + kCancelBlockTuples);
+                    for (size_t i = blk; i < bend; ++i)
+                        bn->initCount(ctx, index_of(i));
+                    cancellationPoint();
+                }
                 bn->finalizeInit(ctx);
                 binners[t] = std::move(bn);
             });
@@ -171,13 +188,23 @@ class ParallelPbRunner
             pool_.enqueue([t, chunk, num_updates, &binners, &update_of] {
                 TraceSpan sp("binning", "pb");
                 sp.arg("shard", t);
+                cancellationPoint();
                 ExecCtx ctx;
                 Binner &bn = *binners[t];
                 const size_t begin = t * chunk;
                 const size_t end = std::min(num_updates, begin + chunk);
-                for (size_t i = begin; i < end; ++i) {
-                    std::pair<uint32_t, Payload> u = update_of(i);
-                    bn.insert(ctx, u.first, u.second);
+                // Hot insert loop untouched: the checkpoint runs once
+                // per kCancelBlockTuples block (plus once per C-Buffer
+                // drain inside the engines).
+                for (size_t blk = begin; blk < end;
+                     blk += kCancelBlockTuples) {
+                    const size_t bend =
+                        std::min(end, blk + kCancelBlockTuples);
+                    for (size_t i = blk; i < bend; ++i) {
+                        std::pair<uint32_t, Payload> u = update_of(i);
+                        bn.insert(ctx, u.first, u.second);
+                    }
+                    cancellationPoint();
                 }
                 bn.flush(ctx); // fences the NT drains
                 sp.arg("tuples", end - begin);
@@ -224,6 +251,7 @@ class ParallelPbRunner
             pool_.enqueue([s, bchunk, nbins, &binners, &apply] {
                 TraceSpan sp("accumulate", "pb");
                 sp.arg("shard", s);
+                cancellationPoint(); // + one per bin inside forEachInBin
                 ExecCtx ctx;
                 const size_t begin = s * bchunk;
                 const size_t end = std::min(nbins, begin + bchunk);

@@ -115,6 +115,11 @@ class PbBinner
     void
     forEachInBin(ExecCtx &ctx, uint32_t bin, Fn &&fn)
     {
+        // Per-bin (not per-tuple) cancellation checkpoint + stall site.
+        cancellationPoint();
+        if (auto *fi = FaultInjector::active(); fi) [[unlikely]]
+            if (fi->fire(FaultSite::kPbStallAccumulate, bin))
+                fi->stall();
         auto tuples = store.bin(bin);
         // Native fast path: the tuple stream defeats no prefetcher, but
         // the bins live in DRAM after NT-store drains, so fetching a few
@@ -145,10 +150,18 @@ class PbBinner
     drainBuffer(ExecCtx &ctx, uint32_t b)
     {
         uint32_t n = counts[b];
+        // Per-drain (amortized kTuplesPerBuffer times) checkpoint: a
+        // cancelled Binning phase unwinds at its next drain.
+        cancellationPoint();
         // Injection points on the (cold) drain path: a tuple of the
         // drained line can be corrupted, or the drain itself dropped,
-        // replayed, or cut one tuple short.
+        // replayed, or cut one tuple short — or the drain stalls /
+        // runs slow (the resilience layer's adversary).
         if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+            if (fi->fire(FaultSite::kPbStallBinning, b))
+                fi->stall();
+            if (fi->fire(FaultSite::kPbDelayDrain, b))
+                fi->delay();
             Tuple &t0 = src_(b)[0];
             if (fi->fire(FaultSite::kPbCorruptIndex, b))
                 t0.index = fi->corruptIndex(t0.index);

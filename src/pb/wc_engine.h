@@ -90,7 +90,15 @@ inline uint32_t
 injectDrainFaults(BinStorage<Payload> &store, uint32_t b, Tuple *src,
                   uint32_t n)
 {
+    // Per-drain cancellation checkpoint, shared by the WC and
+    // hierarchical final-drain paths (same cold-path discipline as the
+    // fault hooks themselves).
+    cancellationPoint();
     if (auto *fi = FaultInjector::active(); fi) [[unlikely]] {
+        if (fi->fire(FaultSite::kPbStallBinning, b))
+            fi->stall();
+        if (fi->fire(FaultSite::kPbDelayDrain, b))
+            fi->delay();
         Tuple &t0 = src[0];
         if (fi->fire(FaultSite::kPbCorruptIndex, b))
             t0.index = fi->corruptIndex(t0.index);
@@ -117,6 +125,12 @@ forEachInBinNative(const BinStorage<Payload> &store, uint32_t bin,
                    Fn &&fn)
 {
     using Tuple = BinTuple<Payload>;
+    // Per-bin cancellation checkpoint + stall site (cold relative to
+    // the tuple stream below).
+    cancellationPoint();
+    if (auto *fi = FaultInjector::active(); fi) [[unlikely]]
+        if (fi->fire(FaultSite::kPbStallAccumulate, bin))
+            fi->stall();
     auto tuples = store.bin(bin);
     constexpr size_t kTuplesPerLine = kLineSize / sizeof(Tuple);
     constexpr size_t kPrefetchAhead = 4 * kTuplesPerLine;

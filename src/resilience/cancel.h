@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Cooperative cancellation for the native PB runtime.
+ *
+ * A stalled shard must surface as a typed error, never as a hang — but
+ * the hot insert loop cannot afford a per-tuple check. The contract
+ * mirrors the fault injector's (src/check/fault_injector.h): a
+ * CancelToken is installed for a dynamic scope, and *cold* paths only
+ * (drains, flushes, shard-block and bin boundaries) call
+ * cancellationPoint(), which disarmed is a single well-predicted
+ * null-pointer check.
+ *
+ * Cancellation is one-shot and sticky: the first cancel(code, reason)
+ * wins, later ones are ignored. Checkpoints convert the flag into a
+ * thrown cobra::Error carrying the canceller's code (kDeadlineExceeded
+ * from the Watchdog, kCancelled for explicit requests), which the
+ * ThreadPool propagates out of wait() like any task failure.
+ *
+ * Deadline is a plain steady_clock wrapper; the Watchdog
+ * (src/resilience/watchdog.h) is what turns an expired deadline into a
+ * cancel() without the cancellee's cooperation beyond its checkpoints.
+ *
+ * Header-only on purpose, same as the fault injector: the checkpoints
+ * live in template headers across src/pb and must not drag in a library
+ * dependency.
+ */
+
+#ifndef COBRA_RESILIENCE_CANCEL_H
+#define COBRA_RESILIENCE_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** One run's sticky cancellation flag (thread-safe). */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** The checkpoints consult; null means cancellation disabled. */
+    static CancelToken *
+    active()
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /** RAII activation: checkpoints see the token only inside the scope. */
+    class Scope
+    {
+      public:
+        explicit Scope(CancelToken &t) { active_.store(&t); }
+        ~Scope() { active_.store(nullptr); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+    };
+
+    /**
+     * Request cancellation. First caller wins (code/reason are sticky);
+     * callable from any thread, including the Watchdog's.
+     */
+    void
+    cancel(ErrorCode code, const std::string &reason)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (cancelled_.load(std::memory_order_relaxed))
+                return;
+            code_ = code;
+            reason_ = reason;
+        }
+        cancelled_.store(true, std::memory_order_release);
+    }
+
+    bool
+    cancelled() const
+    {
+        return cancelled_.load(std::memory_order_acquire);
+    }
+
+    /** Why (valid only after cancelled() returned true). */
+    Status
+    status() const
+    {
+        if (!cancelled())
+            return Status::Ok();
+        std::lock_guard<std::mutex> lk(mu_);
+        return Status(code_, reason_);
+    }
+
+    /** Convert the flag into the typed error checkpoints throw. */
+    void
+    throwIfCancelled() const
+    {
+        if (cancelled()) [[unlikely]] {
+            Status s = status();
+            throw Error(s.code(), s.message());
+        }
+    }
+
+  private:
+    std::atomic<bool> cancelled_{false};
+    mutable std::mutex mu_;
+    ErrorCode code_ = ErrorCode::kCancelled;
+    std::string reason_;
+
+    inline static std::atomic<CancelToken *> active_{nullptr};
+};
+
+/**
+ * Cold-path checkpoint: throws the canceller's Error when the active
+ * token (if any) was tripped. Disarmed this is one null check — the
+ * same cost discipline as the fault-injector hooks, and it is placed on
+ * the same cold paths (drain/flush/finalizeInit, shard-block and bin
+ * boundaries), never in the per-tuple insert loop.
+ */
+inline void
+cancellationPoint()
+{
+    if (CancelToken *t = CancelToken::active(); t) [[unlikely]]
+        t->throwIfCancelled();
+}
+
+/** A point in steady time a run must finish by. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    Deadline() = default; // never expires
+    explicit Deadline(Clock::time_point at) : at_(at), armed_(true) {}
+
+    static Deadline
+    after(std::chrono::milliseconds d)
+    {
+        return Deadline(Clock::now() + d);
+    }
+
+    bool armed() const { return armed_; }
+
+    bool
+    expired() const
+    {
+        return armed_ && Clock::now() >= at_;
+    }
+
+    /** Time left (clamped at zero); an unarmed deadline reports hours. */
+    std::chrono::milliseconds
+    remaining() const
+    {
+        if (!armed_)
+            return std::chrono::hours(24 * 365);
+        auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            at_ - Clock::now());
+        return left.count() < 0 ? std::chrono::milliseconds(0) : left;
+    }
+
+    Clock::time_point at() const { return at_; }
+
+  private:
+    Clock::time_point at_{};
+    bool armed_ = false;
+};
+
+} // namespace cobra
+
+#endif // COBRA_RESILIENCE_CANCEL_H

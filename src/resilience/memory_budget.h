@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Per-run memory budget for the native PB runtime.
+ *
+ * A production run must not OOM the host because a plan was oversized:
+ * with a MemoryBudget installed (same dynamic-scope pattern as the
+ * fault injector and CancelToken), every aligned allocation the PB
+ * engines make — BinStorage layouts, WC staging lines, hierarchical
+ * coarse runs — is charged against the budget *before* the memory is
+ * requested, and an over-budget charge throws a recoverable
+ * ErrorCode::kResourceExhausted instead of letting operator new fail or
+ * the OOM killer fire. The RunSupervisor catches that error and retries
+ * with a degraded plan (shallower WC lines, coarser bins, simpler
+ * engine) whose footprint fits.
+ *
+ * Charging sits in alignedAlloc / AlignedArray (src/util/
+ * aligned_array.h), which every PB allocation already goes through, so
+ * no engine needs budget-specific code. Disabled (no active budget) the
+ * hook is a single null check per *allocation* — allocations are rare
+ * and phase-boundary-only, so this is far colder than even the drain
+ * paths.
+ *
+ * Lifetime: a release is credited to the budget that was charged, via
+ * the pointer the allocation hook captured. The budget must therefore
+ * outlive every allocation charged against it; the RunSupervisor
+ * guarantees this by scoping binner lifetimes inside the budget scope.
+ *
+ * Header-only: depends only on the error taxonomy, so the bottom-layer
+ * allocator header can include it without a cycle.
+ */
+
+#ifndef COBRA_RESILIENCE_MEMORY_BUDGET_H
+#define COBRA_RESILIENCE_MEMORY_BUDGET_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** Byte quota shared by all allocations inside one scope. */
+class MemoryBudget
+{
+  public:
+    /** @param limit_bytes 0 means unlimited (track but never refuse). */
+    explicit MemoryBudget(uint64_t limit_bytes) : limit_(limit_bytes) {}
+
+    MemoryBudget(const MemoryBudget &) = delete;
+    MemoryBudget &operator=(const MemoryBudget &) = delete;
+
+    /** The allocation hooks consult; null means budgeting disabled. */
+    static MemoryBudget *
+    active()
+    {
+        return active_.load(std::memory_order_relaxed);
+    }
+
+    /** RAII activation, same shape as FaultInjector::Scope. */
+    class Scope
+    {
+      public:
+        explicit Scope(MemoryBudget &b) { active_.store(&b); }
+        ~Scope() { active_.store(nullptr); }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+    };
+
+    uint64_t limitBytes() const { return limit_; }
+
+    uint64_t
+    usedBytes() const
+    {
+        return used_.load(std::memory_order_relaxed);
+    }
+
+    /** High-water mark of usedBytes() over the budget's lifetime. */
+    uint64_t
+    peakBytes() const
+    {
+        return peak_.load(std::memory_order_relaxed);
+    }
+
+    /** Charges refused over the budget's lifetime. */
+    uint64_t
+    refusals() const
+    {
+        return refusals_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Reserve @p bytes, or throw kResourceExhausted (leaving usage
+     * unchanged) when the reservation would exceed the limit. Thread-
+     * safe: per-thread binners allocate concurrently during Init.
+     */
+    void
+    charge(uint64_t bytes)
+    {
+        uint64_t prev = used_.fetch_add(bytes, std::memory_order_relaxed);
+        uint64_t now = prev + bytes;
+        if (limit_ != 0 && now > limit_) {
+            used_.fetch_sub(bytes, std::memory_order_relaxed);
+            refusals_.fetch_add(1, std::memory_order_relaxed);
+            throw Error(ErrorCode::kResourceExhausted,
+                        "memory budget exhausted: requested " +
+                            std::to_string(bytes) + " B with " +
+                            std::to_string(prev) + " of " +
+                            std::to_string(limit_) + " B already in use");
+        }
+        // Racy max update: good enough for a telemetry high-water mark.
+        uint64_t peak = peak_.load(std::memory_order_relaxed);
+        while (now > peak &&
+               !peak_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
+        }
+    }
+
+    /** Return @p bytes to the budget (paired with a successful charge). */
+    void
+    release(uint64_t bytes)
+    {
+        used_.fetch_sub(bytes, std::memory_order_relaxed);
+    }
+
+  private:
+    const uint64_t limit_;
+    std::atomic<uint64_t> used_{0};
+    std::atomic<uint64_t> peak_{0};
+    std::atomic<uint64_t> refusals_{0};
+
+    inline static std::atomic<MemoryBudget *> active_{nullptr};
+};
+
+/**
+ * Charge @p bytes against the active budget (if any) and return the
+ * budget charged, so the owner can credit the release to the same
+ * budget even if the scope has moved on by free time.
+ */
+inline MemoryBudget *
+chargeActiveBudget(uint64_t bytes)
+{
+    MemoryBudget *b = MemoryBudget::active();
+    if (b) [[unlikely]]
+        b->charge(bytes);
+    return b;
+}
+
+} // namespace cobra
+
+#endif // COBRA_RESILIENCE_MEMORY_BUDGET_H

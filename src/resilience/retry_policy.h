@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff and seeded jitter.
+ *
+ * The RunSupervisor consults a RetryPolicy twice per failed attempt:
+ * is the error class recoverable at all, and how long to back off
+ * before the next attempt. Backoff doubles per attempt from baseDelay
+ * up to maxDelay, with a seeded ±jitterFrac fuzz so a fleet of
+ * supervisors recovering from a shared incident does not retry in
+ * lockstep. Jitter uses the repo's deterministic Rng — same seed, same
+ * schedule — so tests of the supervisor remain reproducible.
+ *
+ * Recoverability is a property of the *code*, not the message:
+ *
+ *   recoverable:   kDeadlineExceeded (stall tripped the watchdog),
+ *                  kCancelled, kDataLoss (conservation/oracle failure —
+ *                  a re-run with a clean engine can converge),
+ *                  kCapacityExceeded, kResourceExhausted (a degraded
+ *                  plan may fit), kIoError (transient environment)
+ *   unrecoverable: kInvalidArgument, kFailedPrecondition, kCorruptFile,
+ *                  kOutOfRange, kUnimplemented, kInternal — retrying
+ *                  the same bad input cannot help.
+ */
+
+#ifndef COBRA_RESILIENCE_RETRY_POLICY_H
+#define COBRA_RESILIENCE_RETRY_POLICY_H
+
+#include <chrono>
+#include <cstdint>
+
+#include "src/util/error.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+
+/** Attempt/backoff schedule for one supervised run. */
+struct RetryPolicy
+{
+    /** Total attempts (first try included). 1 disables retries. */
+    uint32_t maxAttempts = 4;
+
+    /** Backoff before attempt 2; doubles per further attempt. */
+    std::chrono::milliseconds baseDelay{0};
+
+    /** Backoff ceiling. */
+    std::chrono::milliseconds maxDelay{2000};
+
+    /** Fraction of the delay randomized away (0 .. 1). */
+    double jitterFrac = 0.2;
+
+    /** Jitter seed (deterministic schedule for a fixed seed). */
+    uint64_t seed = 0x5eedbacc0ffULL;
+
+    /** Whether a failure with @p code is worth another attempt. */
+    static bool
+    isRetryable(ErrorCode code)
+    {
+        switch (code) {
+          case ErrorCode::kDeadlineExceeded:
+          case ErrorCode::kCancelled:
+          case ErrorCode::kDataLoss:
+          case ErrorCode::kCapacityExceeded:
+          case ErrorCode::kResourceExhausted:
+          case ErrorCode::kIoError:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /**
+     * Backoff before @p attempt (2-based: the delay preceding attempt
+     * 2 is delayFor(2)). Exponential from baseDelay, capped at
+     * maxDelay, then jittered by ±jitterFrac using @p rng.
+     */
+    std::chrono::milliseconds
+    delayFor(uint32_t attempt, Rng &rng) const
+    {
+        if (baseDelay.count() <= 0 || attempt < 2)
+            return std::chrono::milliseconds(0);
+        uint64_t d = static_cast<uint64_t>(baseDelay.count());
+        for (uint32_t i = 2; i < attempt && d < static_cast<uint64_t>(
+                                                    maxDelay.count());
+             ++i)
+            d *= 2;
+        d = std::min<uint64_t>(d, static_cast<uint64_t>(maxDelay.count()));
+        if (jitterFrac > 0.0) {
+            uint64_t spread =
+                static_cast<uint64_t>(static_cast<double>(d) * jitterFrac);
+            if (spread > 0)
+                d = d - spread + rng.below(2 * spread + 1);
+        }
+        return std::chrono::milliseconds(static_cast<int64_t>(d));
+    }
+};
+
+} // namespace cobra
+
+#endif // COBRA_RESILIENCE_RETRY_POLICY_H

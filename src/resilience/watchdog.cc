@@ -1,0 +1,85 @@
+#include "src/resilience/watchdog.h"
+
+#include <sstream>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace cobra {
+
+Watchdog::Watchdog(CancelToken &token)
+    : token_(token), thread_([this] { loop(); })
+{
+}
+
+Watchdog::~Watchdog()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+}
+
+void
+Watchdog::arm(std::chrono::milliseconds timeout, std::string what)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        deadlineAt_ = std::chrono::steady_clock::now() + timeout;
+        timeout_ = timeout;
+        what_ = std::move(what);
+        ++generation_;
+        armed_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+Watchdog::disarm()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        armed_ = false;
+        ++generation_;
+    }
+    cv_.notify_all();
+}
+
+void
+Watchdog::loop()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [this] { return stop_ || armed_; });
+        if (stop_)
+            return;
+        const uint64_t gen = generation_;
+        const auto at = deadlineAt_;
+        // Wakes early on disarm/re-arm/stop (generation change); a
+        // plain timeout with the generation intact means a real trip.
+        if (cv_.wait_until(lk, at, [this, gen] {
+                return stop_ || generation_ != gen;
+            })) {
+            if (stop_)
+                return;
+            continue;
+        }
+        armed_ = false;
+        std::ostringstream oss;
+        oss << what_ << " exceeded its " << timeout_.count()
+            << " ms deadline";
+        const std::string reason = oss.str();
+        lk.unlock();
+        token_.cancel(ErrorCode::kDeadlineExceeded, reason);
+        trips_.fetch_add(1, std::memory_order_relaxed);
+        if (MetricsRegistry *reg = MetricsRegistry::active())
+            reg->counter("watchdog.trips")->inc();
+        if (TraceSession *ts = TraceSession::active())
+            ts->instant("watchdog.trip", "resilience");
+        lk.lock();
+    }
+}
+
+} // namespace cobra

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Watchdog: turns an expired per-run deadline into cooperative
+ * cancellation.
+ *
+ * The native runtime's failure mode for a stalled shard is a hang —
+ * ThreadPool::wait() blocks forever because the shard never finishes.
+ * The Watchdog owns one background thread; arm() gives it a deadline,
+ * and if disarm() does not happen first, the thread trips the run's
+ * CancelToken with ErrorCode::kDeadlineExceeded. The stalled shard (and
+ * every other shard) then throws at its next cancellation checkpoint,
+ * the pool's wait() rethrows, and the caller sees a typed, recoverable
+ * error instead of a hang.
+ *
+ * The watchdog can only cancel *cooperatively*: code with no
+ * checkpoints (the serial-reference fallback rung, a shard wedged in a
+ * syscall) will still run to completion — the deadline bounds detection
+ * latency for code that honors the checkpoint discipline, which all
+ * four PB Binning engines and the parallel runner do.
+ *
+ * arm()/disarm() pairs may be reused across attempts; each arm bumps a
+ * generation so a stale timeout from a previous attempt can never trip
+ * the current one. Trips are counted on the watchdog and published as
+ * the "watchdog.trips" metric + a trace instant when observability is
+ * installed.
+ */
+
+#ifndef COBRA_RESILIENCE_WATCHDOG_H
+#define COBRA_RESILIENCE_WATCHDOG_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/resilience/cancel.h"
+
+namespace cobra {
+
+/** One deadline-enforcing background thread bound to a CancelToken. */
+class Watchdog
+{
+  public:
+    explicit Watchdog(CancelToken &token);
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /**
+     * Start (or restart) the countdown: cancel the token with
+     * kDeadlineExceeded if disarm() is not called within @p timeout.
+     * @p what names the guarded work for the cancellation reason.
+     */
+    void arm(std::chrono::milliseconds timeout, std::string what);
+
+    /** Stop the countdown (idempotent; a no-op after a trip). */
+    void disarm();
+
+    /** Deadlines that expired and cancelled the token. */
+    uint64_t
+    trips() const
+    {
+        return trips_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void loop();
+
+    CancelToken &token_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::chrono::steady_clock::time_point deadlineAt_{};
+    std::chrono::milliseconds timeout_{0};
+    std::string what_;
+    uint64_t generation_ = 0;
+    bool armed_ = false;
+    bool stop_ = false;
+
+    std::atomic<uint64_t> trips_{0};
+    std::thread thread_; ///< started last: loop() reads the fields above
+};
+
+} // namespace cobra
+
+#endif // COBRA_RESILIENCE_WATCHDOG_H

@@ -185,6 +185,15 @@ class PhaseRecorder
 
     void clear() { phases.clear(); }
 
+    /**
+     * Discard a phase left open when an exception unwound mid-bracket
+     * (a cancelled/failed run never reaches its end()); no-op when no
+     * phase is open. The partial measurement is dropped, not recorded.
+     * The RunSupervisor calls this between attempts so the recorder
+     * can be reused across retries.
+     */
+    void abandonOpenPhase() { open = false; }
+
   private:
     static PhaseStats
     snapshot(ExecCtx &ctx)

@@ -6,6 +6,13 @@
  * a buffer straddling two lines would defeat the bulk-transfer trick and
  * would distort the cache model. std::vector gives no alignment
  * guarantee beyond alignof(T), so this wrapper over-aligns its storage.
+ *
+ * Both allocators here are also the PB runtime's memory-budget choke
+ * point: every bin layout, staging buffer, and coarse run goes through
+ * them, so charging the active MemoryBudget (src/resilience/
+ * memory_budget.h) right before each allocation turns an over-budget
+ * plan into a recoverable kResourceExhausted instead of an OOM. With no
+ * budget installed the hook is one null check per allocation.
  */
 
 #ifndef COBRA_UTIL_ALIGNED_ARRAY_H
@@ -16,6 +23,7 @@
 #include <new>
 #include <type_traits>
 
+#include "src/resilience/memory_budget.h"
 #include "src/util/error.h"
 
 namespace cobra {
@@ -39,6 +47,7 @@ class AlignedArray
     explicit AlignedArray(size_t n) : size_(n)
     {
         if (n) {
+            budget_ = chargeActiveBudget(n * sizeof(T));
             data_ = static_cast<T *>(
                 ::operator new(n * sizeof(T), std::align_val_t{Align}));
             for (size_t i = 0; i < n; ++i)
@@ -52,10 +61,11 @@ class AlignedArray
     AlignedArray &operator=(const AlignedArray &) = delete;
 
     AlignedArray(AlignedArray &&o) noexcept
-        : data_(o.data_), size_(o.size_)
+        : data_(o.data_), size_(o.size_), budget_(o.budget_)
     {
         o.data_ = nullptr;
         o.size_ = 0;
+        o.budget_ = nullptr;
     }
 
     AlignedArray &
@@ -65,8 +75,10 @@ class AlignedArray
             release();
             data_ = o.data_;
             size_ = o.size_;
+            budget_ = o.budget_;
             o.data_ = nullptr;
             o.size_ = 0;
+            o.budget_ = nullptr;
         }
         return *this;
     }
@@ -85,22 +97,31 @@ class AlignedArray
             for (size_t i = 0; i < size_; ++i)
                 data_[i].~T();
             ::operator delete(data_, std::align_val_t{Align});
+            // Credit the budget that was charged at allocation time
+            // (which must outlive the allocation; see memory_budget.h).
+            if (budget_) [[unlikely]]
+                budget_->release(size_ * sizeof(T));
         }
     }
 
     T *data_ = nullptr;
     size_t size_ = 0;
+    MemoryBudget *budget_ = nullptr; ///< charged at construction, if any
 };
 
 /** Deleter matching alignedAlloc (operator delete needs the alignment). */
 struct AlignedDeleter
 {
     size_t align = 64;
+    MemoryBudget *budget = nullptr; ///< budget charged for this block
+    uint64_t bytes = 0;             ///< charge to return on free
 
     void
     operator()(void *p) const
     {
         ::operator delete(p, std::align_val_t{align});
+        if (budget) [[unlikely]]
+            budget->release(bytes);
     }
 };
 
@@ -128,9 +149,11 @@ alignedAlloc(size_t n, size_t align = 64)
                    "compatible with the element type");
     if (n == 0)
         return AlignedBuffer<T>(nullptr, AlignedDeleter{align});
+    MemoryBudget *budget = chargeActiveBudget(n * sizeof(T));
     T *p = static_cast<T *>(
         ::operator new(n * sizeof(T), std::align_val_t{align}));
-    return AlignedBuffer<T>(p, AlignedDeleter{align});
+    return AlignedBuffer<T>(p, AlignedDeleter{align, budget,
+                                              n * sizeof(T)});
 }
 
 } // namespace cobra

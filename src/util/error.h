@@ -45,6 +45,9 @@ enum class ErrorCode
     kDataLoss,           ///< conservation check failed: tuples went missing
     kUnimplemented,      ///< technique not supported by this kernel
     kInternal,           ///< escaped invariant (should have been a panic)
+    kDeadlineExceeded,   ///< the run's watchdog deadline expired
+    kCancelled,          ///< cooperative cancellation was requested
+    kResourceExhausted,  ///< a MemoryBudget (or similar quota) ran out
 };
 
 inline const char *
@@ -61,6 +64,9 @@ to_string(ErrorCode c)
       case ErrorCode::kDataLoss: return "data-loss";
       case ErrorCode::kUnimplemented: return "unimplemented";
       case ErrorCode::kInternal: return "internal";
+      case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+      case ErrorCode::kCancelled: return "cancelled";
+      case ErrorCode::kResourceExhausted: return "resource-exhausted";
     }
     return "unknown";
 }
@@ -93,10 +99,19 @@ class Status
 
     static Status Ok() { return Status{}; }
 
+    /**
+     * Demote a thrown Error. Error::what() embeds "<code-name>: ", and
+     * Status::toString() re-prepends it, so the prefix is stripped here
+     * to keep round-tripped messages from stuttering the code twice.
+     */
     static Status
     FromError(const Error &e)
     {
-        return Status(e.code(), e.what());
+        std::string msg = e.what();
+        const std::string prefix = std::string(to_string(e.code())) + ": ";
+        if (msg.compare(0, prefix.size(), prefix) == 0)
+            msg.erase(0, prefix.size());
+        return Status(e.code(), std::move(msg));
     }
 
     bool ok() const { return code_ == ErrorCode::kOk; }

@@ -261,6 +261,15 @@ namespace json_detail {
 class Parser
 {
   public:
+    /**
+     * Maximum container nesting depth. The parser recurses once per
+     * nested array/object, so depth must be bounded or adversarial
+     * input like "[[[[..." overflows the call stack (found by fuzzing;
+     * see fuzz/fuzz_json.cc). 128 is far beyond anything our emitters
+     * produce while keeping worst-case stack use in the tens of KB.
+     */
+    static constexpr int kMaxDepth = 128;
+
     Parser(const char *p, const char *end) : p_(p), end_(end) {}
 
     Status
@@ -326,8 +335,16 @@ class Parser
         if (p_ == end_)
             return err("unexpected end of input");
         switch (*p_) {
-          case '{': return object(out);
-          case '[': return array(out);
+          case '{':
+              if (depth_ >= kMaxDepth)
+                  return err("nesting deeper than " +
+                             std::to_string(kMaxDepth) + " levels");
+              return object(out);
+          case '[':
+              if (depth_ >= kMaxDepth)
+                  return err("nesting deeper than " +
+                             std::to_string(kMaxDepth) + " levels");
+              return array(out);
           case '"': {
               out->type_ = JsonValue::Type::kString;
               return string(&out->str_);
@@ -352,6 +369,12 @@ class Parser
     object(JsonValue *out)
     {
         advance(); // '{'
+        ++depth_;
+        struct DepthGuard
+        {
+            int &d;
+            ~DepthGuard() { --d; }
+        } guard{depth_};
         out->type_ = JsonValue::Type::kObject;
         skipWs();
         if (consume('}'))
@@ -382,6 +405,12 @@ class Parser
     array(JsonValue *out)
     {
         advance(); // '['
+        ++depth_;
+        struct DepthGuard
+        {
+            int &d;
+            ~DepthGuard() { --d; }
+        } guard{depth_};
         out->type_ = JsonValue::Type::kArray;
         skipWs();
         if (consume(']'))
@@ -500,6 +529,7 @@ class Parser
     const char *p_;
     const char *end_;
     size_t consumed_ = 0;
+    int depth_ = 0; ///< current container nesting (bounded by kMaxDepth)
 };
 
 } // namespace json_detail

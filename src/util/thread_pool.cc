@@ -1,12 +1,40 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "src/resilience/cancel.h"
+#include "src/util/error.h"
 
 namespace cobra {
 
 namespace {
 // -1 on threads that are not pool workers (including the pool's owner).
 thread_local int tl_worker_id = -1;
+
+std::string
+describeException(const std::exception_ptr &p)
+{
+    try {
+        std::rethrow_exception(p);
+    } catch (const std::exception &e) {
+        return e.what();
+    } catch (...) {
+        return "non-std exception";
+    }
+}
+
+// Error::what() is "<code-name>: <msg>"; recover <msg> so re-wrapping an
+// aggregated Error does not stutter the code prefix.
+std::string
+stripCodePrefix(const Error &e)
+{
+    std::string msg = e.what();
+    const std::string prefix = std::string(to_string(e.code())) + ": ";
+    if (msg.compare(0, prefix.size(), prefix) == 0)
+        msg.erase(0, prefix.size());
+    return msg;
+}
 } // namespace
 
 int
@@ -49,15 +77,42 @@ ThreadPool::enqueue(std::function<void()> task)
 void
 ThreadPool::wait()
 {
-    std::exception_ptr err;
+    std::vector<std::exception_ptr> errs;
     {
         std::unique_lock<std::mutex> lk(mtx);
         cvDone.wait(lk, [this] { return inFlight == 0; });
-        err = firstError;
-        firstError = nullptr;
+        errs.swap(taskErrors);
     }
-    if (err)
-        std::rethrow_exception(err);
+    if (errs.empty())
+        return;
+    if (errs.size() == 1)
+        std::rethrow_exception(errs.front());
+
+    // Several tasks failed before the barrier: summarize the secondary
+    // failures onto the primary so none is silently dropped. Only a
+    // cobra::Error can carry the suffix; anything else is rethrown
+    // unchanged and the extras go to warn().
+    constexpr size_t kMaxSecondaryMessages = 3;
+    std::string suffix = " (+" + std::to_string(errs.size() - 1) +
+        " more task failure(s): ";
+    const size_t shown =
+        std::min(errs.size() - 1, kMaxSecondaryMessages);
+    for (size_t i = 0; i < shown; ++i) {
+        if (i != 0)
+            suffix += "; ";
+        suffix += describeException(errs[i + 1]);
+    }
+    if (errs.size() - 1 > shown)
+        suffix += "; ...";
+    suffix += ")";
+    try {
+        std::rethrow_exception(errs.front());
+    } catch (const Error &e) {
+        throw Error(e.code(), stripCodePrefix(e) + suffix);
+    } catch (...) {
+        warn("thread pool dropped secondary task failures" + suffix);
+        throw;
+    }
 }
 
 void
@@ -94,12 +149,28 @@ ThreadPool::workerLoop(size_t worker_id)
             task = std::move(tasks.front());
             tasks.pop();
         }
-        try {
-            task();
-        } catch (...) {
+        // Cancellation-aware dispatch: once the run is cancelled, queued
+        // tasks are skipped instead of started, so a tripped watchdog
+        // drains the queue in microseconds rather than executing every
+        // remaining shard to completion. The skip is recorded as the
+        // barrier's failure only when no task captured a real exception
+        // first (the cancellation cause usually throws from a running
+        // task's checkpoint anyway).
+        CancelToken *tok = CancelToken::active();
+        if (tok && tok->cancelled()) {
+            const Status s = tok->status();
             std::unique_lock<std::mutex> lk(mtx);
-            if (!firstError)
-                firstError = std::current_exception();
+            if (taskErrors.empty())
+                taskErrors.push_back(std::make_exception_ptr(
+                    Error(s.code(), s.message() +
+                              " [queued task skipped]")));
+        } else {
+            try {
+                task();
+            } catch (...) {
+                std::unique_lock<std::mutex> lk(mtx);
+                taskErrors.push_back(std::current_exception());
+            }
         }
         {
             std::unique_lock<std::mutex> lk(mtx);

@@ -13,9 +13,18 @@
  *    Per-core state is private, so the simulation is bit-identical for any
  *    host thread count (see DESIGN.md Section 5).
  *
- * A task that throws does not take the process down: the pool captures the
- * first exception and rethrows it from wait() (and therefore from
- * parallelFor), after every in-flight task has finished.
+ * A task that throws does not take the process down: the pool captures
+ * every task exception and rethrows from wait() (and therefore from
+ * parallelFor), after every in-flight task has finished. A single failure
+ * is rethrown as-is; when several tasks failed in one wait() window the
+ * first is rethrown with a summary of the others appended, so concurrent
+ * secondary failures are never silently dropped.
+ *
+ * The pool is also cancellation-aware: once the run's active CancelToken
+ * (src/resilience/cancel.h) is cancelled, workers stop *starting* queued
+ * tasks — each skipped task completes immediately and the cancellation
+ * Status surfaces from wait() if no task exception was captured first.
+ * Tasks already running unwind at their own cancellation checkpoints.
  */
 
 #ifndef COBRA_UTIL_THREAD_POOL_H
@@ -57,9 +66,12 @@ class ThreadPool
     void enqueue(std::function<void()> task);
 
     /**
-     * Block until every enqueued task has finished. If any task threw, the
-     * first captured exception is rethrown here (and cleared, so the pool
-     * stays usable).
+     * Block until every enqueued task has finished. If any task threw,
+     * rethrows here (and clears the captured set, so the pool stays
+     * usable): one failure is rethrown unchanged; multiple failures
+     * rethrow the first with "(+N more task failure(s): ...)" appended
+     * when it is a cobra::Error (foreign exception types are rethrown
+     * as-is and the secondary messages go to warn()).
      */
     void wait();
 
@@ -79,7 +91,7 @@ class ThreadPool
     std::mutex mtx;
     std::condition_variable cvTask;
     std::condition_variable cvDone;
-    std::exception_ptr firstError;
+    std::vector<std::exception_ptr> taskErrors;
     size_t inFlight = 0;
     bool stopping = false;
 };

@@ -1,0 +1,4 @@
+# comment
+0 1
+1 2
+2 0

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Replay of the checked-in fuzz corpus (tests/fuzz_corpus/) in the
+ * plain test suite.
+ *
+ * The libFuzzer harnesses (fuzz/) need clang; this replay does not, so
+ * every past crasher stays a regression test on any toolchain and in
+ * every sanitizer pass. Contract under test: the JSON parser and the
+ * graph tryLoad* loaders return a Status for arbitrary bytes — no
+ * crash, no hang, no sanitizer report.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/io.h"
+#include "src/util/json.h"
+
+namespace fs = std::filesystem;
+using namespace cobra;
+
+namespace {
+
+fs::path
+corpusDir()
+{
+    const char *dir = std::getenv("COBRA_FUZZ_CORPUS_DIR");
+    // Fallback for running the binary by hand from the repo root.
+    return fs::path(dir ? dir : "tests/fuzz_corpus");
+}
+
+std::string
+slurp(const fs::path &p)
+{
+    std::ifstream is(p, std::ios::binary);
+    std::ostringstream oss;
+    oss << is.rdbuf();
+    return oss.str();
+}
+
+std::vector<fs::path>
+corpusFiles(const char *sub)
+{
+    std::vector<fs::path> files;
+    for (const auto &e : fs::directory_iterator(corpusDir() / sub))
+        if (e.is_regular_file())
+            files.push_back(e.path());
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace
+
+TEST(FuzzCorpus, CorpusIsPresent)
+{
+    ASSERT_TRUE(fs::exists(corpusDir() / "json"))
+        << "corpus dir not found: " << corpusDir()
+        << " (set COBRA_FUZZ_CORPUS_DIR)";
+    EXPECT_FALSE(corpusFiles("json").empty());
+    EXPECT_FALSE(corpusFiles("graph").empty());
+}
+
+// Every corpus input — valid, malformed, or a past crasher — must come
+// back as a Status, never a crash. This is the same loop the libFuzzer
+// harness fuzz_json.cc runs.
+TEST(FuzzCorpus, JsonReplayNeverCrashes)
+{
+    for (const fs::path &p : corpusFiles("json")) {
+        SCOPED_TRACE(p.filename().string());
+        JsonValue v;
+        (void)parseJson(slurp(p), &v);
+    }
+}
+
+// Regression for the fuzzer-found stack overflow: deep "[[[[..." /
+// "{"k":{"k":..." nesting recursed once per level with no bound. Now it
+// must be rejected at Parser::kMaxDepth with a parse error.
+TEST(FuzzCorpus, DeepNestingIsRejectedNotCrashing)
+{
+    for (const char *name : {"crash_deep_array_nesting.json",
+                             "crash_deep_object_nesting.json"}) {
+        SCOPED_TRACE(name);
+        const fs::path p = corpusDir() / "json" / name;
+        ASSERT_TRUE(fs::exists(p));
+        JsonValue v;
+        Status s = parseJson(slurp(p), &v);
+        EXPECT_EQ(s.code(), ErrorCode::kCorruptFile);
+        EXPECT_NE(s.message().find("nesting"), std::string::npos)
+            << s.message();
+    }
+}
+
+TEST(FuzzCorpus, DepthCapBoundary)
+{
+    // Exactly kMaxDepth nested arrays parse; one more is rejected.
+    const int d = json_detail::Parser::kMaxDepth;
+    std::string ok_doc(static_cast<size_t>(d), '[');
+    ok_doc += std::string(static_cast<size_t>(d), ']');
+    JsonValue v;
+    EXPECT_TRUE(parseJson(ok_doc, &v).ok());
+    std::string deep_doc = "[" + ok_doc + "]";
+    EXPECT_FALSE(parseJson(deep_doc, &v).ok());
+}
+
+TEST(FuzzCorpus, ValidSeedsStillParse)
+{
+    JsonValue v;
+    ASSERT_TRUE(
+        parseJson(slurp(corpusDir() / "json" / "valid_metrics.json"), &v)
+            .ok());
+    EXPECT_EQ(v["kernel"].asString(), "np");
+    EXPECT_EQ(v["bins"].asUint(), 4096u);
+    EXPECT_TRUE(v["phases"].at(0)["name"].isString());
+}
+
+// The graph corpus runs through all three loaders exactly as
+// fuzz_graph_io.cc does: any file content yields a Status.
+TEST(FuzzCorpus, GraphReplayNeverCrashes)
+{
+    for (const fs::path &p : corpusFiles("graph")) {
+        SCOPED_TRACE(p.filename().string());
+        EdgeList el;
+        NodeId n = 0;
+        (void)tryLoadEdgeListText(p.string(), &el, &n);
+        el.clear();
+        (void)tryLoadEdgeListBinary(p.string(), &el, &n);
+        CsrGraph g;
+        (void)tryLoadCsrBinary(p.string(), &g);
+    }
+}
+
+TEST(FuzzCorpus, GraphValidSeedsStillLoad)
+{
+    EdgeList el;
+    NodeId n = 0;
+    ASSERT_TRUE(
+        tryLoadEdgeListText((corpusDir() / "graph" / "tiny.el").string(),
+                            &el, &n)
+            .ok());
+    EXPECT_EQ(el.size(), 3u);
+    EXPECT_EQ(n, 3u);
+    el.clear();
+    ASSERT_TRUE(tryLoadEdgeListBinary(
+                    (corpusDir() / "graph" / "tiny.bel").string(), &el, &n)
+                    .ok());
+    EXPECT_EQ(el.size(), 2u);
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(FuzzCorpus, GraphMalformedSeedsAreRejected)
+{
+    EdgeList el;
+    NodeId n = 0;
+    EXPECT_FALSE(
+        tryLoadEdgeListBinary(
+            (corpusDir() / "graph" / "bad_magic.bel").string(), &el, &n)
+            .ok());
+    EXPECT_FALSE(
+        tryLoadEdgeListBinary(
+            (corpusDir() / "graph" / "truncated_payload.bel").string(),
+            &el, &n)
+            .ok());
+    EXPECT_FALSE(
+        tryLoadEdgeListBinary(
+            (corpusDir() / "graph" / "absurd_edge_count.bel").string(),
+            &el, &n)
+            .ok());
+    CsrGraph g;
+    EXPECT_FALSE(
+        tryLoadCsrBinary(
+            (corpusDir() / "graph" / "bad_neighbor.csr").string(), &g)
+            .ok());
+}

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Unit tests for the resilience primitives (src/resilience/): cancel
+ * token + checkpoints, deadlines, retry policy, memory budget (including
+ * its AlignedArray charging hook), and the watchdog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/resilience/cancel.h"
+#include "src/resilience/memory_budget.h"
+#include "src/resilience/retry_policy.h"
+#include "src/resilience/watchdog.h"
+#include "src/util/aligned_array.h"
+#include "src/util/rng.h"
+
+namespace cobra {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------------- cancel
+
+TEST(CancelToken, DisarmedCheckpointIsANoOp)
+{
+    ASSERT_EQ(CancelToken::active(), nullptr);
+    EXPECT_NO_THROW(cancellationPoint());
+}
+
+TEST(CancelToken, ScopeInstallsAndUninstalls)
+{
+    CancelToken t;
+    {
+        CancelToken::Scope scope(t);
+        EXPECT_EQ(CancelToken::active(), &t);
+        EXPECT_NO_THROW(cancellationPoint()); // installed but not tripped
+    }
+    EXPECT_EQ(CancelToken::active(), nullptr);
+}
+
+TEST(CancelToken, CancelTripsCheckpointWithCodeAndReason)
+{
+    CancelToken t;
+    CancelToken::Scope scope(t);
+    t.cancel(ErrorCode::kDeadlineExceeded, "shard 3 stalled");
+    EXPECT_TRUE(t.cancelled());
+    try {
+        cancellationPoint();
+        FAIL() << "checkpoint did not throw";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+        EXPECT_NE(std::string(e.what()).find("shard 3 stalled"),
+                  std::string::npos);
+    }
+}
+
+TEST(CancelToken, FirstCancellerWins)
+{
+    CancelToken t;
+    t.cancel(ErrorCode::kCancelled, "first");
+    t.cancel(ErrorCode::kDeadlineExceeded, "second");
+    Status s = t.status();
+    EXPECT_EQ(s.code(), ErrorCode::kCancelled);
+    EXPECT_EQ(s.message(), "first");
+}
+
+TEST(CancelToken, StatusOkBeforeCancellation)
+{
+    CancelToken t;
+    EXPECT_FALSE(t.cancelled());
+    EXPECT_TRUE(t.status().ok());
+}
+
+TEST(CancelToken, CancelVisibleAcrossThreads)
+{
+    CancelToken t;
+    CancelToken::Scope scope(t);
+    std::atomic<bool> observed{false};
+    std::thread waiter([&] {
+        while (!CancelToken::active()->cancelled())
+            std::this_thread::sleep_for(100us);
+        observed = true;
+    });
+    t.cancel(ErrorCode::kCancelled, "cross-thread");
+    waiter.join();
+    EXPECT_TRUE(observed.load());
+}
+
+// -------------------------------------------------------------- deadline
+
+TEST(Deadline, DefaultNeverExpires)
+{
+    Deadline d;
+    EXPECT_FALSE(d.armed());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remaining(), 1h);
+}
+
+TEST(Deadline, AfterZeroExpiresImmediately)
+{
+    Deadline d = Deadline::after(0ms);
+    EXPECT_TRUE(d.armed());
+    EXPECT_TRUE(d.expired());
+    EXPECT_EQ(d.remaining(), 0ms);
+}
+
+TEST(Deadline, FutureDeadlineHasRemaining)
+{
+    Deadline d = Deadline::after(1h);
+    EXPECT_TRUE(d.armed());
+    EXPECT_FALSE(d.expired());
+    EXPECT_GT(d.remaining(), 59min);
+}
+
+// ---------------------------------------------------------- retry policy
+
+TEST(RetryPolicy, RecoverabilityByCode)
+{
+    for (ErrorCode c :
+         {ErrorCode::kDeadlineExceeded, ErrorCode::kCancelled,
+          ErrorCode::kDataLoss, ErrorCode::kCapacityExceeded,
+          ErrorCode::kResourceExhausted, ErrorCode::kIoError})
+        EXPECT_TRUE(RetryPolicy::isRetryable(c)) << to_string(c);
+    for (ErrorCode c :
+         {ErrorCode::kInvalidArgument, ErrorCode::kFailedPrecondition,
+          ErrorCode::kCorruptFile, ErrorCode::kOutOfRange,
+          ErrorCode::kUnimplemented, ErrorCode::kInternal})
+        EXPECT_FALSE(RetryPolicy::isRetryable(c)) << to_string(c);
+}
+
+TEST(RetryPolicy, ZeroBaseDelayMeansNoBackoff)
+{
+    RetryPolicy p; // baseDelay == 0
+    Rng rng(1);
+    EXPECT_EQ(p.delayFor(2, rng), 0ms);
+    EXPECT_EQ(p.delayFor(5, rng), 0ms);
+}
+
+TEST(RetryPolicy, ExponentialGrowthCappedAtMax)
+{
+    RetryPolicy p;
+    p.baseDelay = 10ms;
+    p.maxDelay = 50ms;
+    p.jitterFrac = 0.0;
+    Rng rng(1);
+    EXPECT_EQ(p.delayFor(1, rng), 0ms); // no delay before the first try
+    EXPECT_EQ(p.delayFor(2, rng), 10ms);
+    EXPECT_EQ(p.delayFor(3, rng), 20ms);
+    EXPECT_EQ(p.delayFor(4, rng), 40ms);
+    EXPECT_EQ(p.delayFor(5, rng), 50ms); // capped
+    EXPECT_EQ(p.delayFor(9, rng), 50ms);
+}
+
+TEST(RetryPolicy, JitterIsBoundedAndDeterministic)
+{
+    RetryPolicy p;
+    p.baseDelay = 100ms;
+    p.maxDelay = 1000ms;
+    p.jitterFrac = 0.2;
+    Rng a(42), b(42);
+    for (uint32_t attempt = 2; attempt <= 5; ++attempt) {
+        auto da = p.delayFor(attempt, a);
+        auto db = p.delayFor(attempt, b);
+        EXPECT_EQ(da, db) << "same seed, same schedule";
+        RetryPolicy plain = p;
+        plain.jitterFrac = 0.0;
+        Rng c(0);
+        auto base = plain.delayFor(attempt, c);
+        EXPECT_GE(da, base - base * 2 / 10);
+        EXPECT_LE(da, base + base * 2 / 10);
+    }
+}
+
+// --------------------------------------------------------- memory budget
+
+TEST(MemoryBudget, TracksChargesAndReleases)
+{
+    MemoryBudget b(1000);
+    b.charge(400);
+    b.charge(500);
+    EXPECT_EQ(b.usedBytes(), 900u);
+    EXPECT_EQ(b.peakBytes(), 900u);
+    b.release(500);
+    EXPECT_EQ(b.usedBytes(), 400u);
+    EXPECT_EQ(b.peakBytes(), 900u); // high-water mark sticks
+    EXPECT_EQ(b.refusals(), 0u);
+}
+
+TEST(MemoryBudget, OverBudgetChargeThrowsAndRollsBack)
+{
+    MemoryBudget b(1000);
+    b.charge(900);
+    try {
+        b.charge(200);
+        FAIL() << "over-budget charge did not throw";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kResourceExhausted);
+    }
+    EXPECT_EQ(b.usedBytes(), 900u); // refused charge left no residue
+    EXPECT_EQ(b.refusals(), 1u);
+    EXPECT_NO_THROW(b.charge(100)); // exactly at the limit is fine
+    EXPECT_EQ(b.usedBytes(), 1000u);
+}
+
+TEST(MemoryBudget, ZeroLimitTracksButNeverRefuses)
+{
+    MemoryBudget b(0);
+    EXPECT_NO_THROW(b.charge(1ull << 40));
+    EXPECT_EQ(b.usedBytes(), 1ull << 40);
+    EXPECT_EQ(b.refusals(), 0u);
+}
+
+TEST(MemoryBudget, ChargeActiveBudgetWithoutScopeIsFree)
+{
+    ASSERT_EQ(MemoryBudget::active(), nullptr);
+    EXPECT_EQ(chargeActiveBudget(1 << 20), nullptr);
+}
+
+TEST(MemoryBudget, AlignedArrayChargesActiveBudget)
+{
+    MemoryBudget b(1 << 20);
+    {
+        MemoryBudget::Scope scope(b);
+        AlignedArray<uint64_t, 64> arr(1024); // 8 KiB
+        EXPECT_EQ(b.usedBytes(), 1024 * sizeof(uint64_t));
+    }
+    // Scope gone but the array was destroyed inside it; either way the
+    // release must have been credited to the charged budget.
+    EXPECT_EQ(b.usedBytes(), 0u);
+    EXPECT_EQ(b.peakBytes(), 1024 * sizeof(uint64_t));
+}
+
+TEST(MemoryBudget, AlignedArrayReleaseOutlivesScope)
+{
+    MemoryBudget b(1 << 20);
+    std::optional<AlignedArray<uint32_t, 64>> arr;
+    {
+        MemoryBudget::Scope scope(b);
+        arr.emplace(256);
+        EXPECT_EQ(b.usedBytes(), 1024u);
+    }
+    arr.reset(); // freed after the scope ended: still credited to b
+    EXPECT_EQ(b.usedBytes(), 0u);
+}
+
+TEST(MemoryBudget, OversizedAlignedArrayThrowsResourceExhausted)
+{
+    MemoryBudget b(1024);
+    MemoryBudget::Scope scope(b);
+    EXPECT_THROW(AlignedArray<uint64_t>(1 << 20), Error);
+    EXPECT_EQ(b.usedBytes(), 0u);
+    EXPECT_EQ(b.refusals(), 1u);
+}
+
+TEST(MemoryBudget, AlignedAllocChargesAndReleases)
+{
+    MemoryBudget b(1 << 20);
+    MemoryBudget::Scope scope(b);
+    {
+        auto buf = alignedAlloc<uint64_t>(512);
+        EXPECT_EQ(b.usedBytes(), 512 * sizeof(uint64_t));
+        (void)buf;
+    }
+    EXPECT_EQ(b.usedBytes(), 0u);
+}
+
+// --------------------------------------------------------------- watchdog
+
+TEST(Watchdog, TripsExpiredDeadlineAndCancelsToken)
+{
+    CancelToken token;
+    Watchdog wd(token);
+    wd.arm(20ms, "unit-test stall");
+    // Wait well past the deadline (generous for loaded CI hosts). Poll
+    // trips() — it is bumped *after* the cancel, so once it reads 1 the
+    // token state is settled too.
+    for (int i = 0; i < 500 && wd.trips() == 0; ++i)
+        std::this_thread::sleep_for(10ms);
+    ASSERT_TRUE(token.cancelled());
+    Status s = token.status();
+    EXPECT_EQ(s.code(), ErrorCode::kDeadlineExceeded);
+    EXPECT_NE(s.message().find("unit-test stall"), std::string::npos);
+    EXPECT_NE(s.message().find("20 ms"), std::string::npos);
+    EXPECT_EQ(wd.trips(), 1u);
+    wd.disarm(); // no-op after a trip
+    EXPECT_EQ(wd.trips(), 1u);
+}
+
+TEST(Watchdog, DisarmBeforeDeadlinePreventsTrip)
+{
+    CancelToken token;
+    Watchdog wd(token);
+    wd.arm(10min, "should never fire");
+    wd.disarm();
+    std::this_thread::sleep_for(20ms);
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(wd.trips(), 0u);
+}
+
+TEST(Watchdog, RearmBumpsGenerationSoStaleDeadlineCannotTrip)
+{
+    CancelToken token;
+    Watchdog wd(token);
+    wd.arm(30ms, "first");
+    wd.disarm();
+    wd.arm(10min, "second"); // re-armed far in the future
+    std::this_thread::sleep_for(100ms); // past the *first* deadline
+    EXPECT_FALSE(token.cancelled())
+        << "stale deadline from the first arm tripped the second";
+    wd.disarm();
+}
+
+TEST(Watchdog, DestructorJoinsWhileArmed)
+{
+    CancelToken token;
+    {
+        Watchdog wd(token);
+        wd.arm(10min, "armed at destruction");
+    } // must not hang or crash
+    EXPECT_FALSE(token.cancelled());
+}
+
+} // namespace
+} // namespace cobra

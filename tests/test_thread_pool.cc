@@ -8,7 +8,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
+#include "src/resilience/cancel.h"
+#include "src/util/error.h"
 #include "src/util/thread_pool.h"
 
 namespace cobra {
@@ -113,6 +116,90 @@ TEST(ThreadPool, ParallelForPropagatesException)
                                           throw std::runtime_error("shard");
                                   }),
                  std::runtime_error);
+}
+
+TEST(ThreadPool, SingleTypedErrorRethrownVerbatim)
+{
+    ThreadPool pool(2);
+    pool.enqueue([] {
+        throw Error(ErrorCode::kCapacityExceeded, "bin 7 over plan");
+    });
+    try {
+        pool.wait();
+        FAIL() << "wait did not rethrow";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kCapacityExceeded);
+        // Exactly one failure: no aggregation suffix appended.
+        EXPECT_EQ(std::string(e.what()).find("more task failure"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(ThreadPool, MultipleFailuresAggregateIntoOneError)
+{
+    // A cancelled run makes *every* shard throw at its next checkpoint;
+    // wait() must keep the first error's code but note the rest instead
+    // of silently dropping them.
+    ThreadPool pool(4);
+    for (int i = 0; i < 8; ++i)
+        pool.enqueue([i] {
+            throw Error(ErrorCode::kDeadlineExceeded,
+                        "shard " + std::to_string(i) + " cancelled");
+        });
+    try {
+        pool.wait();
+        FAIL() << "wait did not rethrow";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+        const std::string what = e.what();
+        EXPECT_NE(what.find("more task failure"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("7 more"), std::string::npos) << what;
+    }
+    // Aggregation consumed every capture; the pool is clean again.
+    pool.enqueue([] {});
+    EXPECT_NO_THROW(pool.wait());
+}
+
+TEST(ThreadPool, NoDeadlockWhenThrowerPrecedesQueuedTasks)
+{
+    // Single worker: the throwing task is followed by queued work that
+    // only this worker can run. A pool that tore down its worker on the
+    // first exception would deadlock in wait() here.
+    ThreadPool pool(1);
+    std::atomic<int> done{0};
+    pool.enqueue([] {
+        throw Error(ErrorCode::kDataLoss, "first task fails");
+    });
+    for (int i = 0; i < 50; ++i)
+        pool.enqueue([&done] { ++done; });
+    EXPECT_THROW(pool.wait(), Error);
+    EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, CancelledTokenSkipsQueuedTasks)
+{
+    // With the run's CancelToken already tripped, workers must skip
+    // queued tasks instead of running them: cancellation would
+    // otherwise only take effect at each task's *internal* checkpoints.
+    ThreadPool pool(2);
+    CancelToken token;
+    CancelToken::Scope scope(token);
+    token.cancel(ErrorCode::kDeadlineExceeded, "pre-cancelled run");
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 16; ++i)
+        pool.enqueue([&ran] { ++ran; });
+    try {
+        pool.wait();
+        FAIL() << "wait did not surface the cancellation";
+    } catch (const Error &e) {
+        EXPECT_EQ(e.code(), ErrorCode::kDeadlineExceeded);
+        EXPECT_NE(std::string(e.what()).find("queued task skipped"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_EQ(ran.load(), 0) << "cancelled pool still ran queued tasks";
 }
 
 TEST(ThreadPool, ReusableAcrossWaves)
