@@ -87,6 +87,42 @@ input(int64_t n)
 }
 
 /**
+ * Skew-sweep inputs: same 4x-updates shape as NativeInput, but with a
+ * power-law source distribution of the given exponent (alpha_x100 = 0
+ * is the uniform control arm, generated identically to input()).
+ */
+struct SkewInput
+{
+    NodeId nodes;
+    EdgeList edges;
+
+    SkewInput(NodeId n, int64_t alpha_x100) : nodes(n)
+    {
+        if (alpha_x100 == 0)
+            edges = generateUniform(n, 4ull * n, 123);
+        else
+            edges = generateZipf(n, 4ull * n,
+                                 static_cast<double>(alpha_x100) / 100.0,
+                                 123);
+    }
+};
+
+SkewInput &
+skewInput(int64_t n, int64_t alpha_x100)
+{
+    static std::mutex mtx;
+    static std::map<std::pair<int64_t, int64_t>,
+                    std::unique_ptr<SkewInput>>
+        cache;
+    std::lock_guard<std::mutex> lk(mtx);
+    auto &slot = cache[{n, alpha_x100}];
+    if (!slot)
+        slot = std::make_unique<SkewInput>(static_cast<NodeId>(n),
+                                           alpha_x100);
+    return *slot;
+}
+
+/**
  * Collects every iteration's per-phase wall-clock so the exported JSON
  * carries distribution shape (mean / median / min), not just a mean
  * that hides run-to-run variance.
@@ -296,6 +332,45 @@ BM_DegreeCountPbParallelAuto(benchmark::State &state)
                             static_cast<int64_t>(in.edges.size()));
 }
 
+/**
+ * Skew sweep: static contiguous Accumulate vs the skew-adaptive
+ * scheduler (hot-bin splitting + work stealing), uniform control vs
+ * power-law alpha in {0.6, 0.8, 1.0}. Args: {nodes, max_bins, pool
+ * threads, alpha_x100}. On uniform inputs the two arms should tie
+ * (the adaptive path degenerates to balanced chunks); as alpha grows,
+ * the static split's accumulate_med_s is bounded by the fattest bin
+ * while the adaptive arm levels it across workers.
+ */
+void
+BM_DegreeCountPbParallelSkewSweep(benchmark::State &state, bool adaptive)
+{
+    SkewInput &in = skewInput(state.range(0), state.range(3));
+    DegreeCountKernel k(in.nodes, &in.edges);
+    HwPerf hw;
+    ThreadPool pool(static_cast<size_t>(state.range(2)));
+    PbEngineConfig eng;
+    eng.kind = PbEngineKind::kWriteCombine;
+    eng.skewAdaptive = adaptive;
+    PhaseSeconds ps;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        hw.beginIter(rec);
+        k.runPbParallel(pool, rec, static_cast<uint32_t>(state.range(1)),
+                        eng);
+        hw.endIter(rec);
+        benchmark::DoNotOptimize(k.degrees().data());
+        ps.add(rec);
+    }
+    ps.report(state);
+    hw.report(state);
+    state.counters["alpha_x100"] =
+        static_cast<double>(state.range(3));
+    state.SetLabel(std::string(adaptive ? "adaptive" : "static") +
+                   "/alpha=" + std::to_string(state.range(3)));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
 void
 BM_NeighborPopulateBaseline(benchmark::State &state)
 {
@@ -402,6 +477,27 @@ BENCHMARK(BM_DegreeCountPbParallelAuto)
     ->Args({1 << 21, 1})
     ->Args({1 << 22, 1})
     ->UseRealTime();
+
+// Skew sweep at the 2^21-update anchor (2^19 nodes, 4x updates, 4096
+// bins): uniform control (alpha_x100=0) plus power-law 0.6/0.8/1.0,
+// each with the static and the adaptive scheduler, single-threaded and
+// with a 4-worker pool (stealing only matters with someone to steal
+// from; the 1-thread arm measures pure scheduler overhead).
+#define COBRA_SKEW_SWEEP_ARGS                                           \
+    ->Args({1 << 19, 4096, 1, 0})                                       \
+        ->Args({1 << 19, 4096, 4, 0})                                   \
+        ->Args({1 << 19, 4096, 1, 60})                                  \
+        ->Args({1 << 19, 4096, 4, 60})                                  \
+        ->Args({1 << 19, 4096, 1, 80})                                  \
+        ->Args({1 << 19, 4096, 4, 80})                                  \
+        ->Args({1 << 19, 4096, 1, 100})                                 \
+        ->Args({1 << 19, 4096, 4, 100})                                 \
+        ->UseRealTime()
+BENCHMARK_CAPTURE(BM_DegreeCountPbParallelSkewSweep, static_sched,
+                  false) COBRA_SKEW_SWEEP_ARGS;
+BENCHMARK_CAPTURE(BM_DegreeCountPbParallelSkewSweep, adaptive_sched,
+                  true) COBRA_SKEW_SWEEP_ARGS;
+#undef COBRA_SKEW_SWEEP_ARGS
 
 BENCHMARK(BM_NeighborPopulateBaseline)->Arg(1 << 18)->Arg(1 << 21);
 BENCHMARK(BM_NeighborPopulatePb)

@@ -35,9 +35,9 @@
  *   --deadline-ms D    watchdog deadline per attempt; a stalled run is
  *                      cancelled and surfaces as deadline-exceeded
  *   --retries R        retry a failed attempt up to R times, degrading
- *                      the engine ladder (wc-simd -> wc -> scalar ->
- *                      serial reference) and re-certifying against the
- *                      oracle each time
+ *                      the engine ladder (hier -> two_pass -> wc ->
+ *                      scalar -> serial reference; wc-simd -> wc) and
+ *                      re-certifying against the oracle each time
  *   --mem-budget-mb M  cap PB working memory; an over-budget plan fails
  *                      as resource-exhausted and retries shrunk
  * Any of the three enables the RunSupervisor on that path.
@@ -89,6 +89,12 @@ struct Options
     uint32_t bins = 2048;
     std::string engine;     ///< native Binning engine (parallel runtime)
     size_t threads = 0;     ///< pool threads for --engine (0 = hardware)
+    long long threadsRaw = 0; ///< as typed, pre-validation
+    bool threadsSet = false;  ///< --threads was given explicitly
+    bool skewAdaptive = false; ///< skew-adaptive Accumulate scheduler
+    uint32_t skewTopK = 8;     ///< heavy-hitter depth / max split bins
+    double hotFactor = 8.0;    ///< hot-bin threshold (x mean occupancy)
+    bool numaPin = false;      ///< NUMA-pin pool workers (multi-socket)
     bool native = false;
     bool stats = false;
     bool json = false;       ///< machine-readable output
@@ -118,8 +124,10 @@ usage(const char *argv0)
            "       [--input kron|urnd|road | --graph-file path]\n"
            "       [--technique baseline|pb|ideal|cobra|comm|phi]\n"
            "       [--nodes N] [--edges M] [--bins B|--auto-bins]\n"
-           "       [--native] [--engine scalar|wc|wc-simd|hier]\n"
+           "       [--native] [--engine scalar|wc|wc-simd|hier|two_pass]\n"
            "       [--threads T] [--stats] [--json]\n"
+           "       [--skew-adaptive] [--skew-topk K] [--hot-factor F]\n"
+           "       [--numa-pin]\n"
            "       [--dump-trace out.trc]\n"
            "       [--check] [--inject SITE[:N[:SEED]]]\n"
            "       [--trace out.json] [--metrics out.json]\n"
@@ -201,8 +209,17 @@ parse(int argc, char **argv)
         } else if (a == "--engine") {
             o.engine = need(++i);
         } else if (a == "--threads") {
-            o.threads = static_cast<size_t>(
+            o.threadsRaw = std::atoll(need(++i).c_str());
+            o.threadsSet = true;
+        } else if (a == "--skew-adaptive") {
+            o.skewAdaptive = true;
+        } else if (a == "--skew-topk") {
+            o.skewTopK = static_cast<uint32_t>(
                 std::atoll(need(++i).c_str()));
+        } else if (a == "--hot-factor") {
+            o.hotFactor = std::atof(need(++i).c_str());
+        } else if (a == "--numa-pin") {
+            o.numaPin = true;
         } else if (a == "--native") {
             o.native = true;
         } else if (a == "--stats") {
@@ -243,12 +260,22 @@ runCli(int argc, char **argv)
                   << "\n";
         return 2;
     }
+    // Same boundary contract as --bins: an explicit 0, negative, or
+    // absurd --threads is a typo to reject, not a value to reinterpret.
+    if (o.threadsSet) {
+        if (Status s = validateThreadCount(o.threadsRaw); !s.ok()) {
+            std::cerr << "error: --threads " << o.threadsRaw << ": "
+                      << s.message() << "\n";
+            return 2;
+        }
+        o.threads = static_cast<size_t>(o.threadsRaw);
+    }
     std::optional<PbEngineKind> engine_kind;
     if (!o.engine.empty()) {
         engine_kind = engineKindFromName(o.engine);
         if (!engine_kind) {
             std::cerr << "error: unknown --engine '" << o.engine
-                      << "' (scalar|wc|wc-simd|hier)\n";
+                      << "' (scalar|wc|wc-simd|hier|two_pass)\n";
             return 2;
         }
         if (!o.native || o.technique != "pb") {
@@ -390,7 +417,10 @@ runCli(int argc, char **argv)
                 // oracle covers every engine's drain path.
                 PbEngineConfig ec;
                 ec.kind = *engine_kind;
-                ThreadPool pool(o.threads);
+                ec.skewAdaptive = o.skewAdaptive;
+                ec.skewTopK = o.skewTopK;
+                ec.hotFactor = o.hotFactor;
+                ThreadPool pool(o.threads, o.numaPin);
                 if (o.supervised()) {
                     // Resilient mode: deadline + retry-with-degradation
                     // + memory budget around the same runtime. Failures

@@ -29,6 +29,16 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Wall-clock numbers from a busy host are noise, not data. Sample the
+# 1-minute load average up front: warn loudly when another workload is
+# already running, and stamp the sample into the archived JSON context
+# so a suspicious trajectory point can be triaged after the fact.
+LOAD1=$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)
+if awk -v l="$LOAD1" 'BEGIN { exit !(l > 1.0) }'; then
+    echo "bench_native: WARNING: 1-min loadavg is $LOAD1 (> 1.0);" \
+         "host is busy — wall-clock medians will be noisy" >&2
+fi
+
 BUILD_DIR=build
 REPEATS=1
 SUP_SMOKE=0
@@ -104,3 +114,19 @@ fi
     --benchmark_repetitions="$REPEATS" \
     --benchmark_out=BENCH_native_pb.json \
     --benchmark_out_format=json
+
+# Stamp the load sample (and a busy-host flag) into the result context.
+python3 - "$LOAD1" <<'EOF'
+import json, sys
+
+load1 = float(sys.argv[1])
+path = "BENCH_native_pb.json"
+with open(path) as f:
+    doc = json.load(f)
+ctx = doc.setdefault("context", {})
+ctx["load_avg_1min_at_start"] = load1
+ctx["host_busy_at_start"] = load1 > 1.0
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+EOF

@@ -6,6 +6,13 @@
 #   scripts/tier1.sh --tsan             # ThreadSanitizer build in build-tsan/
 #   scripts/tier1.sh --labels unit      # only ctest tests labeled unit
 #   scripts/tier1.sh --labels 'property|e2e'   # ctest -L regex
+#   scripts/tier1.sh --tsan --labels skew      # work-stealing suites
+#                                              # under ThreadSanitizer
+#
+# Label taxonomy lives in tests/CMakeLists.txt; `skew` marks the
+# skew-adaptive scheduling / StealQueue / two-pass native suites, which
+# are the ones worth re-running under --tsan after touching the
+# Accumulate scheduler.
 #
 # After the requested suite passes, hosts with AVX2 also build and run
 # the suite with -DCOBRA_NATIVE_ARCH=ON (build-arch/), so the SIMD

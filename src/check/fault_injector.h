@@ -39,6 +39,13 @@
  *   PbDelayDrain                       — one drain runs slow (a bounded
  *                                        sleep), but finishes: a healthy
  *                                        deadline must tolerate it.
+ *   PbStealStarve                      — an Accumulate worker repeatedly
+ *                                        loses steal races (bounded
+ *                                        yielding before its claim), so
+ *                                        the steal queue's forward-
+ *                                        progress guarantee is testable:
+ *                                        the run must complete, not
+ *                                        merely not-hang.
  *
  * Usage: construct with a site, the 1-based opportunity ordinal to fire
  * at, and a seed; activate with a FaultInjector::Scope. Disabled (the
@@ -92,6 +99,7 @@ enum class FaultSite : uint32_t
     kPbStallBinning,
     kPbStallAccumulate,
     kPbDelayDrain,
+    kPbStealStarve,
 };
 
 inline const char *
@@ -118,6 +126,7 @@ to_string(FaultSite s)
       case FaultSite::kPbStallBinning: return "pb-stall-binning";
       case FaultSite::kPbStallAccumulate: return "pb-stall-accumulate";
       case FaultSite::kPbDelayDrain: return "pb-delay-drain";
+      case FaultSite::kPbStealStarve: return "pb-steal-starve";
     }
     return "unknown";
 }
@@ -135,7 +144,8 @@ allFaultSites()
             FaultSite::kCobraTruncateSpill,  FaultSite::kDesDropEviction,
             FaultSite::kDesDuplicateEviction,
             FaultSite::kPbStallInit,         FaultSite::kPbStallBinning,
-            FaultSite::kPbStallAccumulate,   FaultSite::kPbDelayDrain};
+            FaultSite::kPbStallAccumulate,   FaultSite::kPbDelayDrain,
+            FaultSite::kPbStealStarve};
 }
 
 inline std::optional<FaultSite>
@@ -279,11 +289,32 @@ class FaultInjector
             delayMs_.load(std::memory_order_relaxed)));
     }
 
+    /**
+     * Behavior of a fired kPbStealStarve site: the claiming worker
+     * "loses" a bounded number of steal races — it yields instead of
+     * claiming, while other workers keep draining the queue. Strictly
+     * finite (the site models contention, not a wedge) and
+     * cancellation-aware, so even a cancelled run unwinds promptly.
+     */
+    void
+    loseRaces()
+    {
+        const uint64_t n = loseCount_.load(std::memory_order_relaxed);
+        appendDetail("lost " + std::to_string(n) + " steal races");
+        for (uint64_t i = 0; i < n; ++i) {
+            cancellationPoint();
+            std::this_thread::yield();
+        }
+    }
+
     /** Backstop for stall(): max wait when nothing ever cancels. */
     void setStallCapMs(uint64_t ms) { stallCapMs_.store(ms); }
 
     /** Duration of the kPbDelayDrain slowdown. */
     void setDelayMs(uint64_t ms) { delayMs_.store(ms); }
+
+    /** Races lost by a fired kPbStealStarve site. */
+    void setLoseCount(uint64_t n) { loseCount_.store(n); }
 
     uint64_t
     opportunities() const
@@ -341,6 +372,7 @@ class FaultInjector
     Rng rng_;
     std::atomic<uint64_t> stallCapMs_{10000};
     std::atomic<uint64_t> delayMs_{25};
+    std::atomic<uint64_t> loseCount_{256};
     std::atomic<uint64_t> opportunities_{0};
     std::atomic<uint64_t> fires_{0};
     mutable std::mutex mu_;

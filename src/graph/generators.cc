@@ -1,6 +1,7 @@
 #include "src/graph/generators.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "src/util/bitops.h"
@@ -104,6 +105,44 @@ shuffleEdgeOrder(EdgeList &el, uint64_t seed)
     Rng rng(seed);
     for (size_t i = el.size(); i > 1; --i)
         std::swap(el[i - 1], el[rng.below(i)]);
+}
+
+EdgeList
+generateZipf(NodeId num_nodes, uint64_t num_edges, double alpha,
+             uint64_t seed)
+{
+    COBRA_FATAL_IF(num_nodes == 0, "empty graph");
+    COBRA_FATAL_IF(alpha < 0.0, "zipf alpha must be >= 0");
+    // Cumulative rank weights w_r = 1/(r+1)^alpha; one binary search
+    // per edge inverts the CDF. alpha = 0 gives equal weights (uniform).
+    std::vector<double> cum(num_nodes);
+    double total = 0.0;
+    for (NodeId r = 0; r < num_nodes; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r) + 1.0, alpha);
+        cum[r] = total;
+    }
+    // Rank -> vertex bijection: multiply by a constant coprime to the
+    // namespace size. Keeps each rank's probability mass intact while
+    // scattering the heavy ranks across the bin space.
+    uint64_t mult = 2654435761ull % num_nodes; // Knuth's multiplier
+    if (mult == 0)
+        mult = 1;
+    while (std::gcd(mult, static_cast<uint64_t>(num_nodes)) != 1)
+        ++mult;
+    Rng rng(seed);
+    EdgeList el;
+    el.reserve(num_edges);
+    for (uint64_t i = 0; i < num_edges; ++i) {
+        const double u = rng.uniform() * total;
+        const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+        const uint64_t rank = static_cast<uint64_t>(
+            std::min<ptrdiff_t>(it - cum.begin(), num_nodes - 1));
+        const NodeId src =
+            static_cast<NodeId>((rank * mult) % num_nodes);
+        const NodeId dst = static_cast<NodeId>(rng.below(num_nodes));
+        el.push_back(Edge{src, dst});
+    }
+    return el;
 }
 
 std::vector<uint32_t>

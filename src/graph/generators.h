@@ -57,6 +57,19 @@ void shuffleEdgeOrder(EdgeList &el, uint64_t seed = 5);
 std::vector<uint32_t> generateKeys(uint64_t num_keys, uint32_t max_key,
                                    uint64_t seed = 1);
 
+/**
+ * Zipf-skewed update stream: edge *sources* (the index stream PB bins)
+ * follow a Zipf(alpha) rank distribution — rank r drawn with probability
+ * proportional to 1/r^alpha — and destinations are uniform. alpha = 0
+ * degenerates to uniform; 0.6/0.8/1.0 span mild to heavy power-law
+ * skew (web/social graph territory). Ranks are scattered over the
+ * vertex namespace with a fixed bijection (odd-multiplier hash) so the
+ * hot vertices land in *different* PB bins rather than all in bin 0 —
+ * without it, Zipf skew and bin-range locality would be conflated.
+ */
+EdgeList generateZipf(NodeId num_nodes, uint64_t num_edges, double alpha,
+                      uint64_t seed = 1);
+
 } // namespace cobra
 
 #endif // COBRA_GRAPH_GENERATORS_H

@@ -86,14 +86,22 @@ DegreeCountKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
     BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
     ParallelPbRunner<NoPayload> runner(pool, plan, engine);
     const EdgeList &el = *edges;
-    runner.run(
+    // Degree counting is a commutative sum, so it also supplies the
+    // privatized-reduction ops: under skewAdaptive a hot bin's tuples
+    // may be counted into per-sub-range uint32_t slots and folded back
+    // with += in fixed order (identical totals, any schedule).
+    runner.run<uint32_t>(
         el.size(), rec, [&el](size_t i) { return el[i].src; },
         [&el](size_t i) {
             return std::pair<uint32_t, NoPayload>(el[i].src, NoPayload{});
         },
         // Bin-partitioned Accumulate: deg[t.index] is touched only by
         // the thread owning t.index's bin, so a plain increment is safe.
-        [this](const BinTuple<NoPayload> &t) { ++deg[t.index]; });
+        [this](const BinTuple<NoPayload> &t) { ++deg[t.index]; },
+        [](const BinTuple<NoPayload> &, uint32_t &slot) { ++slot; },
+        [this](uint32_t index, const uint32_t &slot) {
+            deg[index] += slot;
+        });
     pbHealth = runner.conservation();
     pbOverflow = runner.overflowTuples();
 }

@@ -111,13 +111,22 @@ struct PbEnginePlan
  *  - Otherwise go hierarchical: children-per-coarse-bin sized so the
  *    refine pass's C-Buffer set sits in half the L1d, then widened until
  *    the coarse level's own WC working set fits the L2 budget.
+ *  - Past even the LLC: when one flat level of C-Buffers at the final
+ *    bin count would overflow half the *last-level* cache, no single-
+ *    movement engine keeps its working set resident anywhere — fall
+ *    back to the two-pass radix partitioner (kTwoPass), whose per-pass
+ *    buffer sets are tiny by construction at the cost of moving every
+ *    tuple twice (partitioning literature [54], [65]).
+ *
+ * The CacheBudget overload makes the decision rules unit-testable
+ * against synthetic geometries; the convenience overload probes the
+ * host (sysfs, HierarchyConfig fallback) and delegates.
  */
 inline PbEnginePlan
-autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins = 0,
-                 const HierarchyConfig &fallback = HierarchyConfig{})
+autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins,
+                 const CacheBudget &cb)
 {
     COBRA_FATAL_IF(num_indices == 0, "empty index namespace");
-    const CacheBudget cb = hostCacheBudget(fallback);
 
     uint32_t want_bins;
     if (requested_bins != 0) {
@@ -136,6 +145,7 @@ autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins = 0,
     out.budget = cb;
 
     const uint64_t flat_budget = cb.l2Bytes / 2;
+    const uint64_t llc_budget = std::max(cb.llcBytes / 2, flat_budget);
     const uint64_t nb = out.plan.numBins;
     if (nb * kPbBytesPerBin <= flat_budget) {
         out.engine.kind = PbEngineKind::kWriteCombineSimd;
@@ -144,7 +154,7 @@ autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins = 0,
                      sizeof(uint32_t)) <=
                    flat_budget)
             out.engine.wcLines *= 2;
-    } else {
+    } else if (nb * kPbBytesPerBin <= llc_budget) {
         out.engine.kind = PbEngineKind::kHierarchical;
         // log2(children per coarse bin): refine C-Buffers in half-L1d...
         uint32_t k = floorLog2(
@@ -156,8 +166,26 @@ autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins = 0,
             ++k;
         out.engine.coarseBins =
             static_cast<uint32_t>(divCeil(nb, uint64_t{1} << k));
+    } else {
+        // Fan-out past the LLC: two-pass radix. Coarse fan-out = the
+        // largest power of two whose buffer set is L2-resident, so pass
+        // 1 behaves like the flat WC case; pass 2 then refines one
+        // coarse bin's fine set at a time (cache-resident by locality).
+        out.engine.kind = PbEngineKind::kTwoPass;
+        uint64_t coarse = floorPow2(
+            std::max<uint64_t>(16, flat_budget / kPbBytesPerBin));
+        coarse = std::clamp<uint64_t>(coarse, 16, nb);
+        out.engine.coarseBins = static_cast<uint32_t>(coarse);
     }
     return out;
+}
+
+inline PbEnginePlan
+autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins = 0,
+                 const HierarchyConfig &fallback = HierarchyConfig{})
+{
+    return autoTunePbEngine(num_indices, requested_bins,
+                            hostCacheBudget(fallback));
 }
 
 } // namespace cobra

@@ -22,6 +22,18 @@
  *                      software escape from the bin-count compromise
  *                      for large index spaces (paper Section V-A's
  *                      per-level power-of-two bin ranges).
+ *  - kTwoPass          two-pass radix partitioning (two_pass_binner.h,
+ *                      promoted from simulator-comparison code): pass 1
+ *                      scatters into coarse bins, pass 2 re-partitions
+ *                      each coarse bin into its fine bins. Every tuple
+ *                      moves twice, but each pass runs with a tiny,
+ *                      cache-resident buffer set — the fallback when
+ *                      the requested fan-out exceeds even the LLC
+ *                      budget (partitioning literature [54], [65]).
+ *
+ * Orthogonal to the engine choice, the skew* knobs below enable the
+ * skew-adaptive Accumulate scheduler (skew sketch + hot-bin splitting +
+ * work-stealing; see src/pb/skew_sketch.h and parallel_pb.h).
  *
  * Kept dependency-free so src/kernels/kernel.h can expose an engine
  * parameter without dragging the engines themselves into every kernel.
@@ -43,6 +55,7 @@ enum class PbEngineKind : uint8_t
     kWriteCombine,
     kWriteCombineSimd,
     kHierarchical,
+    kTwoPass,
 };
 
 inline const char *
@@ -53,6 +66,7 @@ to_string(PbEngineKind k)
       case PbEngineKind::kWriteCombine: return "wc";
       case PbEngineKind::kWriteCombineSimd: return "wc-simd";
       case PbEngineKind::kHierarchical: return "hier";
+      case PbEngineKind::kTwoPass: return "two_pass";
     }
     return "unknown";
 }
@@ -62,7 +76,8 @@ engineKindFromName(std::string_view name)
 {
     for (PbEngineKind k :
          {PbEngineKind::kScalar, PbEngineKind::kWriteCombine,
-          PbEngineKind::kWriteCombineSimd, PbEngineKind::kHierarchical})
+          PbEngineKind::kWriteCombineSimd, PbEngineKind::kHierarchical,
+          PbEngineKind::kTwoPass})
         if (name == to_string(k))
             return k;
     return std::nullopt;
@@ -74,9 +89,9 @@ struct PbEngineConfig
     PbEngineKind kind = PbEngineKind::kScalar;
 
     /**
-     * Hierarchical only: level-1 (coarse) bin target; 0 lets the engine
-     * pick a balanced split. The engine rounds the implied per-level bin
-     * range to a power of two (paper Section V-A).
+     * Hierarchical/two-pass only: level-1 (coarse) bin target; 0 lets
+     * the engine pick a balanced split. The engine rounds the implied
+     * per-level bin range to a power of two (paper Section V-A).
      */
     uint32_t coarseBins = 0;
 
@@ -93,6 +108,38 @@ struct PbEngineConfig
      * the fallback path stays exercised on SIMD-capable hosts.
      */
     bool forceScalarBatch = false;
+
+    /**
+     * Skew-adaptive Accumulate: measure bin-occupancy skew at the
+     * Init barrier (SkewSketch, free — the counts already exist) and
+     * replace the static contiguous bin split with a stolen work-queue
+     * of occupancy-balanced bin chunks. Off by default: the static
+     * split is the paper's layout and the right answer for uniform
+     * streams.
+     */
+    bool skewAdaptive = false;
+
+    /**
+     * Heavy-hitter depth of the sketch == most bins the scheduler may
+     * split into privatized sub-ranges per run.
+     */
+    uint32_t skewTopK = 8;
+
+    /**
+     * A bin is "hot" (eligible for splitting) when its tuple count
+     * exceeds hotFactor * mean. Below that, stealing whole bin chunks
+     * already levels the finish line.
+     */
+    double hotFactor = 8.0;
+
+    /**
+     * Sub-ranges a hot bin is split into. Fixed (not derived from the
+     * pool size) so the split points — and therefore the privatized
+     * partial results and their fixed-order merge — are identical for
+     * every host thread count: determinism is schedule-independent by
+     * construction.
+     */
+    uint32_t hotSubRanges = 4;
 };
 
 } // namespace cobra

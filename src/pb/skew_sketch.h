@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Online skew sketch of one PB run's bin occupancy.
+ *
+ * The paper's evaluation bins roughly-uniform update streams, but real
+ * irregular workloads are power-law: a handful of hot destination bins
+ * hold most of the tuples, and a static contiguous bin split leaves
+ * every Accumulate thread idle behind the one that owns the fattest
+ * bin. The Init phase already counts every future tuple per bin
+ * (BinStorage::initCounts), so skew is measurable for free at the
+ * Init/Binning barrier — no extra work in any hot loop.
+ *
+ * The sketch reduces the per-bin histogram to what the Accumulate
+ * scheduler (src/pb/parallel_pb.h) needs:
+ *
+ *  - mean/max tuples per bin and the max/mean imbalance factor (1.0 =
+ *    perfectly even; the straggler bound of the static split is
+ *    proportional to it);
+ *  - a Gini coefficient of the bin-occupancy distribution (0 = uniform,
+ *    -> 1 = one bin holds everything), computed exactly from the sorted
+ *    histogram in O(bins log bins) cold-path time;
+ *  - the top-K heaviest bins, the candidates for hot-bin splitting.
+ *
+ * Published via MetricsRegistry (pb.skew.*) so archived bench runs and
+ * the CLI's --metrics output carry the measured skew next to the phase
+ * times it explains.
+ */
+
+#ifndef COBRA_PB_SKEW_SKETCH_H
+#define COBRA_PB_SKEW_SKETCH_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace cobra {
+
+/** One bin's entry in the heavy-hitter estimate. */
+struct HeavyBin
+{
+    uint32_t bin = 0;
+    uint64_t tuples = 0;
+};
+
+/** Occupancy-skew summary of one run's per-bin tuple counts. */
+struct SkewSketch
+{
+    uint64_t totalTuples = 0;
+    uint32_t numBins = 0;
+    double meanTuples = 0.0;  ///< totalTuples / numBins
+    uint64_t maxTuples = 0;   ///< fattest bin
+    double imbalance = 1.0;   ///< max / mean (1.0 when uniform or empty)
+    double gini = 0.0;        ///< 0 uniform .. ->1 single hot bin
+    std::vector<HeavyBin> topK; ///< heaviest first
+
+    /**
+     * Build from the per-bin totals of one run. @p top_k bounds the
+     * heavy-hitter list (and therefore how many bins the scheduler may
+     * split); 0 keeps only the aggregate statistics.
+     */
+    static SkewSketch
+    fromCounts(const std::vector<uint64_t> &counts, uint32_t top_k = 8)
+    {
+        SkewSketch s;
+        s.numBins = static_cast<uint32_t>(counts.size());
+        if (counts.empty())
+            return s;
+        for (uint64_t c : counts)
+            s.totalTuples += c;
+        s.meanTuples =
+            static_cast<double>(s.totalTuples) / s.numBins;
+        s.maxTuples = *std::max_element(counts.begin(), counts.end());
+        s.imbalance = s.totalTuples == 0
+            ? 1.0
+            : static_cast<double>(s.maxTuples) / s.meanTuples;
+
+        // Exact Gini from the sorted histogram:
+        //   G = (2 * sum_i i*x_(i) / (n * sum x)) - (n + 1) / n
+        // with x_(i) ascending, i 1-based. 0 for uniform occupancy,
+        // (n-1)/n when a single bin holds every tuple.
+        if (s.totalTuples != 0 && s.numBins > 1) {
+            std::vector<uint64_t> sorted(counts);
+            std::sort(sorted.begin(), sorted.end());
+            double weighted = 0.0;
+            for (size_t i = 0; i < sorted.size(); ++i)
+                weighted += static_cast<double>(i + 1) *
+                    static_cast<double>(sorted[i]);
+            const double n = static_cast<double>(s.numBins);
+            const double total = static_cast<double>(s.totalTuples);
+            s.gini = 2.0 * weighted / (n * total) - (n + 1.0) / n;
+            s.gini = std::clamp(s.gini, 0.0, 1.0);
+        }
+
+        // Top-K heavy bins via partial sort of (count, bin) pairs.
+        if (top_k != 0) {
+            std::vector<HeavyBin> all(counts.size());
+            for (uint32_t b = 0; b < counts.size(); ++b)
+                all[b] = HeavyBin{b, counts[b]};
+            const size_t k =
+                std::min<size_t>(top_k, all.size());
+            std::partial_sort(all.begin(), all.begin() + k, all.end(),
+                              [](const HeavyBin &a, const HeavyBin &b) {
+                                  return a.tuples != b.tuples
+                                      ? a.tuples > b.tuples
+                                      : a.bin < b.bin;
+                              });
+            all.resize(k);
+            s.topK = std::move(all);
+        }
+        return s;
+    }
+
+    /** Is @p tuples a hot bin under threshold factor @p hot_factor? */
+    bool
+    isHot(uint64_t tuples, double hot_factor) const
+    {
+        return meanTuples > 0.0 &&
+            static_cast<double>(tuples) > hot_factor * meanTuples;
+    }
+
+    /**
+     * Publish to the active MetricsRegistry (no-op when none). Gauges
+     * carry the dimensionless ratios scaled by 1000 (the registry is
+     * integer-valued).
+     */
+    void
+    publish() const
+    {
+        MetricsRegistry *reg = MetricsRegistry::active();
+        if (!reg)
+            return;
+        reg->gauge("pb.skew.gini_x1000")
+            ->set(static_cast<int64_t>(gini * 1000.0));
+        reg->gauge("pb.skew.imbalance_x1000")
+            ->set(static_cast<int64_t>(imbalance * 1000.0));
+        reg->gauge("pb.skew.max_bin_tuples")
+            ->set(static_cast<int64_t>(maxTuples));
+        if (!topK.empty())
+            reg->gauge("pb.skew.top_bin")
+                ->set(static_cast<int64_t>(topK.front().bin));
+    }
+};
+
+} // namespace cobra
+
+#endif // COBRA_PB_SKEW_SKETCH_H

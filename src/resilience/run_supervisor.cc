@@ -65,6 +65,14 @@ RunSupervisor::degrade(PbEngineConfig &engine, uint32_t &bins,
         engine.kind = PbEngineKind::kWriteCombine;
         return true;
       case PbEngineKind::kHierarchical:
+        // Same large-fan-out regime, different mechanism: if the
+        // hierarchy itself misbehaved, two-pass radix still reaches the
+        // full fine fan-out with tiny per-pass buffer sets before we
+        // surrender bin count by dropping to flat WC.
+        engine.kind = PbEngineKind::kTwoPass;
+        engine.coarseBins = 0; // re-derive the classic sqrt split
+        return true;
+      case PbEngineKind::kTwoPass:
         engine.kind = PbEngineKind::kWriteCombine;
         return true;
       case PbEngineKind::kWriteCombine:

@@ -99,16 +99,19 @@ readSysfsLine(const std::string &path)
 } // namespace detail
 
 /**
- * Probe /sys/devices/system/cpu/cpu0/cache. Returns detected == false
- * (all zero sizes) when the topology is absent or unreadable; partial
- * topologies keep whatever levels were found and report detected only
- * if at least L1D plus one outer level materialized.
+ * Probe a sysfs cache directory (default: cpu0's). Returns detected ==
+ * false (all zero sizes) when the topology is absent or unreadable;
+ * partial topologies keep whatever levels were found and report detected
+ * only if at least L1D plus one outer level materialized. @p cache_dir
+ * is parameterizable so tests can point the probe at fixture trees
+ * (missing files, garbage sizes) without touching the real sysfs.
  */
 inline HostCacheGeometry
-detectHostCacheGeometry()
+detectHostCacheGeometry(
+    const std::string &cache_dir = "/sys/devices/system/cpu/cpu0/cache")
 {
     HostCacheGeometry g;
-    const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+    const std::string base = cache_dir + "/index";
     for (int i = 0; i < 8; ++i) {
         const std::string dir = base + std::to_string(i) + "/";
         std::string level = detail::readSysfsLine(dir + "level");

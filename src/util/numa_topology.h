@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Host NUMA-topology probe for the native PB runtime.
+ *
+ * PB's Accumulate phase is bandwidth-bound on the bin arrays, and on a
+ * multi-socket host a bin region is cheapest to stream from the socket
+ * whose memory first-touched it. Two consumers:
+ *
+ *  - ThreadPool (src/util/thread_pool.h): optional per-socket worker
+ *    pinning, so the worker that first-touches a shard's bin storage
+ *    (Init's layOut) and the workers that later stream it share a node;
+ *  - the skew-adaptive Accumulate scheduler (src/pb/parallel_pb.h):
+ *    its steal order prefers same-node victims, so cross-socket steals
+ *    happen only once a whole socket has run dry.
+ *
+ * Like the cache-geometry probe (cpu_features.h) this is a cold-path,
+ *  cached-once sysfs read, and like it the probe degrades gracefully:
+ * hosts that hide /sys/devices/system/node (containers, non-Linux)
+ * report one node holding every CPU, which makes every consumer a
+ * no-op — exactly the current single-socket behavior.
+ */
+
+#ifndef COBRA_UTIL_NUMA_TOPOLOGY_H
+#define COBRA_UTIL_NUMA_TOPOLOGY_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cobra {
+
+/**
+ * NUMA nodes of the executing host. `detected` says whether the layout
+ * came from sysfs; when false there is exactly one synthetic node and
+ * nodeCpus[0] is empty (meaning "all CPUs, unpinned").
+ */
+struct NumaTopology
+{
+    std::vector<std::vector<int>> nodeCpus; ///< CPU ids per node
+    bool detected = false;
+
+    size_t numNodes() const { return nodeCpus.size(); }
+
+    /** Node owning @p cpu; 0 when unknown (single-node fallback). */
+    int
+    nodeOfCpu(int cpu) const
+    {
+        for (size_t n = 0; n < nodeCpus.size(); ++n)
+            for (int c : nodeCpus[n])
+                if (c == cpu)
+                    return static_cast<int>(n);
+        return 0;
+    }
+};
+
+namespace detail {
+
+/** Parse a sysfs cpulist ("0-3,8,10-11"). Empty vector on junk. */
+inline std::vector<int>
+parseCpuList(const std::string &s)
+{
+    std::vector<int> cpus;
+    size_t i = 0;
+    while (i < s.size()) {
+        char *end = nullptr;
+        long lo = std::strtol(s.c_str() + i, &end, 10);
+        if (end == s.c_str() + i || lo < 0)
+            return {}; // junk: caller falls back to one node
+        long hi = lo;
+        i = static_cast<size_t>(end - s.c_str());
+        if (i < s.size() && s[i] == '-') {
+            hi = std::strtol(s.c_str() + i + 1, &end, 10);
+            if (end == s.c_str() + i + 1 || hi < lo)
+                return {};
+            i = static_cast<size_t>(end - s.c_str());
+        }
+        for (long c = lo; c <= hi; ++c)
+            cpus.push_back(static_cast<int>(c));
+        if (i < s.size()) {
+            if (s[i] != ',')
+                return {};
+            ++i;
+        }
+    }
+    return cpus;
+}
+
+} // namespace detail
+
+/**
+ * Probe @p base (default: the real sysfs node directory). The base-dir
+ * parameter exists for tests: a temp dir with synthetic node&lt;N&gt;/cpulist
+ * entries exercises the multi-node paths on single-socket hosts, and a
+ * missing/garbage dir must produce the single-node fallback without
+ * throwing.
+ */
+inline NumaTopology
+detectNumaTopology(const std::string &base = "/sys/devices/system/node")
+{
+    NumaTopology t;
+    for (int n = 0; n < 64; ++n) {
+        std::ifstream in(base + "/node" + std::to_string(n) + "/cpulist");
+        if (!in)
+            break;
+        std::string line;
+        std::getline(in, line);
+        std::vector<int> cpus = detail::parseCpuList(line);
+        if (cpus.empty()) {
+            // Garbage entry (or a memory-only node): a layout we cannot
+            // trust end to end is not a layout we should pin against.
+            t.nodeCpus.clear();
+            break;
+        }
+        t.nodeCpus.push_back(std::move(cpus));
+    }
+    if (t.nodeCpus.empty())
+        t.nodeCpus.emplace_back(); // single synthetic node, unpinned
+    else
+        t.detected = true;
+    return t;
+}
+
+/** Cached-once topology of this host (the probe never changes). */
+inline const NumaTopology &
+hostNumaTopology()
+{
+    static const NumaTopology t = detectNumaTopology();
+    return t;
+}
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_NUMA_TOPOLOGY_H

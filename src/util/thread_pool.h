@@ -39,20 +39,65 @@
 #include <thread>
 #include <vector>
 
+#include "src/util/error.h"
+
 namespace cobra {
+
+/**
+ * CLI-boundary guard for a user-supplied worker count (the pool itself
+ * treats 0 as "hardware"; an *explicit* 0, negative, or absurd request
+ * is a typo the run should reject, not silently reinterpret — same
+ * contract as validatePbBinCount in src/pb/bin_range.h).
+ */
+inline Status
+validateThreadCount(long long threads)
+{
+    constexpr long long kMaxThreads = 4096;
+    if (threads <= 0)
+        return Status(ErrorCode::kInvalidArgument,
+                      "thread count must be positive");
+    if (threads > kMaxThreads)
+        return Status(ErrorCode::kInvalidArgument,
+                      "thread count " + std::to_string(threads) +
+                          " exceeds the sanity cap of " +
+                          std::to_string(kMaxThreads));
+    return Status::Ok();
+}
 
 /** Fixed-size worker pool. Tasks are void() callables. */
 class ThreadPool
 {
   public:
-    /** @param num_threads 0 means hardware_concurrency (at least 1). */
-    explicit ThreadPool(size_t num_threads = 0);
+    /**
+     * @param num_threads 0 means hardware_concurrency (at least 1).
+     * @param numa_pin distribute workers round-robin across the host's
+     *        NUMA nodes and pin each to its node's CPU set, so a
+     *        worker's first-touched pages (per-thread bin storage) stay
+     *        on the socket that later streams them. A no-op on
+     *        single-node hosts or when sysfs hides the topology — the
+     *        pool degrades to the unpinned layout.
+     */
+    explicit ThreadPool(size_t num_threads = 0, bool numa_pin = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
     size_t numThreads() const { return workers.size(); }
+
+    /**
+     * NUMA node worker @p w was assigned to (0 when unpinned — every
+     * consumer then sees one node, which disables cross-node steal
+     * ordering without a special case).
+     */
+    int
+    workerNode(size_t w) const
+    {
+        return w < workerNodes.size() ? workerNodes[w] : 0;
+    }
+
+    /** Per-worker node assignment (for StealQueue victim ordering). */
+    const std::vector<int> &nodeMap() const { return workerNodes; }
 
     /**
      * Index of the pool worker executing the caller, or -1 off-pool
@@ -87,6 +132,7 @@ class ThreadPool
     void workerLoop(size_t worker_id);
 
     std::vector<std::thread> workers;
+    std::vector<int> workerNodes; ///< NUMA node per worker (empty = node 0)
     std::queue<std::function<void()>> tasks;
     std::mutex mtx;
     std::condition_variable cvTask;

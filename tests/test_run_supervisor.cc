@@ -60,6 +60,7 @@ const PbEngineKind kAllEngines[] = {
     PbEngineKind::kWriteCombine,
     PbEngineKind::kWriteCombineSimd,
     PbEngineKind::kHierarchical,
+    PbEngineKind::kTwoPass,
 };
 
 TEST(RunSupervisor, IdleSupervisorRunsOnce)
@@ -217,6 +218,13 @@ TEST(RunSupervisor, OverflowingPlanRecoversUnderEveryEngine)
 
         SupervisorReport rep = sup.runPbParallel(k, pool, rec, 64, ec);
         EXPECT_TRUE(rep.ok) << rep.toString();
+        // Under two_pass the skew lands in the *coarse* store (first
+        // finalizeInit of the single shard); the overlapping cursor
+        // duplicates a tuple during the pass-2 replay, so conservation
+        // breaks there just like a direct fine-store spill — every
+        // engine takes the same retry-and-certify path. (Both two_pass
+        // stores are exercised per-opportunity in
+        // test_two_pass_native.cc.)
         ASSERT_GE(rep.attempts.size(), 2u) << rep.toString();
         EXPECT_GT(rep.attempts[0].overflowTuples, 0u) << rep.toString();
         EXPECT_EQ(rep.attempts.back().overflowTuples, 0u);

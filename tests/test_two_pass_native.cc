@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Native two-pass engine suite (label: skew): --engine two_pass as a
+ * first-class ParallelPbRunner engine — round-trip correctness, the
+ * full recoverable-fault matrix under the RunSupervisor (including a
+ * fault targeted at the *pass-2* drain path), its rung in the
+ * degradation ladder, the auto-tuner's LLC fan-out rule that selects
+ * it, and the cache-geometry probe's sysfs fixture behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/check/fault_injector.h"
+#include "src/graph/generators.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/pb/auto_tune.h"
+#include "src/pb/parallel_pb.h"
+#include "src/resilience/run_supervisor.h"
+#include "src/sim/phase_recorder.h"
+#include "src/util/cpu_features.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+namespace {
+
+using namespace std::chrono_literals;
+
+constexpr NodeId kNodes = 1 << 12;
+
+const EdgeList &
+edges()
+{
+    static EdgeList el = generateUniform(kNodes, 4 * kNodes, 7);
+    return el;
+}
+
+SupervisorConfig
+testConfig(uint32_t max_attempts)
+{
+    SupervisorConfig cfg;
+    cfg.retry.maxAttempts = max_attempts;
+    cfg.retry.baseDelay = 0ms;
+    return cfg;
+}
+
+PbEngineConfig
+twoPass(uint32_t coarse = 0)
+{
+    PbEngineConfig ec;
+    ec.kind = PbEngineKind::kTwoPass;
+    ec.coarseBins = coarse;
+    return ec;
+}
+
+TEST(TwoPassNative, NameRoundTrip)
+{
+    EXPECT_STREQ(to_string(PbEngineKind::kTwoPass), "two_pass");
+    auto k = engineKindFromName("two_pass");
+    ASSERT_TRUE(k.has_value());
+    EXPECT_EQ(*k, PbEngineKind::kTwoPass);
+}
+
+// Round-trip correctness as a runner engine, for a commutative and a
+// non-commutative kernel, across thread counts and coarse fan-outs.
+TEST(TwoPassNative, KernelsVerifyAcrossThreadsAndCoarseBins)
+{
+    for (size_t threads : {1u, 4u}) {
+        for (uint32_t coarse : {0u, 16u}) {
+            SCOPED_TRACE("threads=" + std::to_string(threads) +
+                         " coarse=" + std::to_string(coarse));
+            ThreadPool pool(threads);
+            PhaseRecorder rec;
+
+            DegreeCountKernel dk(kNodes, &edges());
+            dk.runPbParallel(pool, rec, 256, twoPass(coarse));
+            EXPECT_TRUE(dk.lastRunHealth().ok())
+                << dk.lastRunHealth().toString();
+            EXPECT_EQ(dk.lastOverflowTuples(), 0u);
+            EXPECT_TRUE(dk.verify());
+
+            NeighborPopulateKernel nk(kNodes, &edges());
+            nk.runPbParallel(pool, rec, 256, twoPass(coarse));
+            EXPECT_TRUE(nk.lastRunHealth().ok());
+            EXPECT_TRUE(nk.verify());
+        }
+    }
+}
+
+// Every recoverable drain-mutation site, under the supervisor, with
+// the two_pass engine: the first drain (a pass-1 coarse drain) is
+// poisoned, the attempt fails retryably (bad oracle diff or broken
+// conservation), and the retry steps the ladder two_pass -> wc and
+// certifies. (kBinOffsetSkew is covered separately below — its outcome
+// depends on WHICH store the skew lands in, so it needs deterministic
+// single-shard targeting.)
+TEST(TwoPassNative, RecoverableFaultMatrixConvergesCertified)
+{
+    const FaultSite sites[] = {
+        FaultSite::kPbCorruptIndex,
+        FaultSite::kPbCorruptPayload,
+        FaultSite::kPbDropDrain,
+        FaultSite::kPbDuplicateDrain,
+        FaultSite::kPbTruncateDrain,
+    };
+    ThreadPool pool(2);
+    for (FaultSite site : sites) {
+        SCOPED_TRACE(to_string(site));
+        FaultInjector fi(site);
+        FaultInjector::Scope fscope(fi);
+
+        std::unique_ptr<Kernel> k;
+        if (site == FaultSite::kPbCorruptPayload)
+            k = std::make_unique<NeighborPopulateKernel>(kNodes,
+                                                         &edges());
+        else
+            k = std::make_unique<DegreeCountKernel>(kNodes, &edges());
+        PhaseRecorder rec;
+        RunSupervisor sup(testConfig(4));
+
+        SupervisorReport rep =
+            sup.runPbParallel(*k, pool, rec, 256, twoPass());
+        EXPECT_TRUE(rep.ok) << rep.toString();
+        EXPECT_EQ(fi.fires(), 1u) << "site never reached";
+        ASSERT_EQ(rep.attempts.size(), 2u) << rep.toString();
+        EXPECT_FALSE(rep.attempts[0].outcome.ok());
+        EXPECT_EQ(rep.attempts[1].engine.kind,
+                  PbEngineKind::kWriteCombine);
+        EXPECT_TRUE(k->verify());
+    }
+}
+
+// Bin-offset skew can land in either of the binner's two stores; with
+// ONE shard the opportunity order inside finalizeInit is fixed (coarse
+// first, fine second), so both paths are targetable deterministically.
+//  - Opportunity 1 (coarse store): the overlapping cursor makes the
+//    pass-2 replay re-read a tuple, so conservation catches a
+//    duplicate (binned > expected).
+//  - Opportunity 2 (fine store): pass 2 writes into skewed fine
+//    offsets and conservation catches the spill directly.
+// Either way the attempt fails retryably and the supervisor degrades
+// two_pass -> wc to certify.
+TEST(TwoPassNative, BinOffsetSkewOnEitherStoreRetriesCertified)
+{
+    ThreadPool pool(1);
+    for (uint64_t fire_at : {1u, 2u}) {
+        SCOPED_TRACE("fire_at=" + std::to_string(fire_at));
+        FaultInjector fi(FaultSite::kBinOffsetSkew, fire_at);
+        FaultInjector::Scope fscope(fi);
+
+        DegreeCountKernel k(kNodes, &edges());
+        PhaseRecorder rec;
+        RunSupervisor sup(testConfig(4));
+        SupervisorReport rep =
+            sup.runPbParallel(k, pool, rec, 256, twoPass());
+        EXPECT_TRUE(rep.ok) << rep.toString();
+        EXPECT_EQ(fi.fires(), 1u);
+        ASSERT_EQ(rep.attempts.size(), 2u) << rep.toString();
+        EXPECT_EQ(rep.attempts[0].outcome.code(), ErrorCode::kDataLoss)
+            << rep.attempts[0].outcome.toString();
+        EXPECT_EQ(rep.attempts[1].engine.kind,
+                  PbEngineKind::kWriteCombine);
+        EXPECT_TRUE(k.verify());
+    }
+}
+
+// Target the PASS-2 drain path specifically: with one worker the drain
+// opportunities are deterministic and the LAST one is a fine-bin flush
+// drain (coarse drains all precede pass 2 within a shard). A counting
+// run finds the total; re-arming at exactly that ordinal drops a fine
+// drain, which must surface as a conservation failure and retry clean.
+TEST(TwoPassNative, DroppedPassTwoDrainIsCaughtByConservation)
+{
+    ThreadPool pool(1);
+    uint64_t total_opportunities = 0;
+    {
+        FaultInjector counter(FaultSite::kPbDropDrain, ~0ull);
+        FaultInjector::Scope scope(counter);
+        DegreeCountKernel k(kNodes, &edges());
+        PhaseRecorder rec;
+        k.runPbParallel(pool, rec, 256, twoPass());
+        ASSERT_TRUE(k.verify());
+        total_opportunities = counter.opportunities();
+        ASSERT_GT(total_opportunities, 0u);
+    }
+
+    FaultInjector fi(FaultSite::kPbDropDrain, total_opportunities);
+    FaultInjector::Scope scope(fi);
+    DegreeCountKernel k(kNodes, &edges());
+    PhaseRecorder rec;
+    RunSupervisor sup(testConfig(4));
+    SupervisorReport rep =
+        sup.runPbParallel(k, pool, rec, 256, twoPass());
+    EXPECT_TRUE(rep.ok) << rep.toString();
+    EXPECT_EQ(fi.fires(), 1u);
+    ASSERT_GE(rep.attempts.size(), 2u) << rep.toString();
+    EXPECT_EQ(rep.attempts[0].outcome.code(), ErrorCode::kDataLoss)
+        << rep.attempts[0].outcome.toString();
+    EXPECT_TRUE(k.verify());
+}
+
+// Ladder shape: a deadline failure on the hierarchical engine steps to
+// two_pass (same fan-out regime, different mechanism) before flat WC.
+TEST(TwoPassNative, HierarchicalDegradesToTwoPassFirst)
+{
+    ThreadPool pool(2);
+    FaultInjector fi(FaultSite::kPbStallBinning);
+    fi.setStallCapMs(3000);
+    FaultInjector::Scope fscope(fi);
+
+    DegreeCountKernel k(kNodes, &edges());
+    PhaseRecorder rec;
+    SupervisorConfig cfg = testConfig(3);
+    cfg.deadline = 400ms;
+    RunSupervisor sup(cfg);
+    PbEngineConfig ec;
+    ec.kind = PbEngineKind::kHierarchical;
+
+    SupervisorReport rep = sup.runPbParallel(k, pool, rec, 64, ec);
+    EXPECT_TRUE(rep.ok) << rep.toString();
+    ASSERT_EQ(rep.attempts.size(), 2u) << rep.toString();
+    EXPECT_EQ(rep.attempts[0].engine.kind, PbEngineKind::kHierarchical);
+    EXPECT_EQ(rep.attempts[1].engine.kind, PbEngineKind::kTwoPass);
+    EXPECT_EQ(rep.finalEngine.kind, PbEngineKind::kTwoPass);
+    EXPECT_TRUE(k.verify());
+}
+
+// ------------------------------------------------------------ auto-tune
+
+// The decision rules against synthetic geometries (CacheBudget
+// overload): small fan-out -> flat WC+SIMD; past half-L2 ->
+// hierarchical; past half-LLC -> two-pass with an L2-resident coarse
+// fan-out.
+TEST(TwoPassNative, AutoTunerSelectsTwoPassPastLlcBudget)
+{
+    const CacheBudget cb{32 << 10, 1 << 20, 8 << 20, true};
+    constexpr uint64_t n = 1 << 20;
+
+    PbEnginePlan flat = autoTunePbEngine(n, 1 << 10, cb);
+    EXPECT_EQ(flat.engine.kind, PbEngineKind::kWriteCombineSimd);
+
+    PbEnginePlan hier = autoTunePbEngine(n, 1 << 14, cb);
+    EXPECT_EQ(hier.engine.kind, PbEngineKind::kHierarchical);
+    EXPECT_GT(hier.engine.coarseBins, 0u);
+
+    PbEnginePlan two = autoTunePbEngine(n, 1 << 17, cb);
+    EXPECT_EQ(two.engine.kind, PbEngineKind::kTwoPass);
+    // Coarse fan-out: largest pow2 with an L2-resident buffer set
+    // (flat_budget / bytes-per-bin = 512K/68 -> 4096), clamped to nb.
+    EXPECT_EQ(two.engine.coarseBins, 4096u);
+    EXPECT_LE(two.engine.coarseBins, two.plan.numBins);
+
+    // The selected two_pass plan actually runs and verifies.
+    ThreadPool pool(2);
+    DegreeCountKernel k(kNodes, &edges());
+    PhaseRecorder rec;
+    PbEngineConfig ec = two.engine;
+    k.runPbParallel(pool, rec, 256, ec);
+    EXPECT_TRUE(k.verify());
+}
+
+TEST(TwoPassNative, AutoTunerWorksFromHierarchyConfigFallback)
+{
+    // The no-sysfs path: a budget derived from the simulated machine's
+    // HierarchyConfig (what hostCacheBudget returns when detection
+    // fails) must drive the tuner without throwing and pick a real
+    // engine for a large namespace.
+    HierarchyConfig h;
+    const CacheBudget cb{h.l1.sizeBytes, h.l2.sizeBytes,
+                         h.llc.sizeBytes, false};
+    PbEnginePlan p = autoTunePbEngine(1 << 22, 0, cb);
+    EXPECT_GT(p.plan.numBins, 0u);
+    EXPECT_FALSE(p.budget.fromHost);
+    // And the convenience overload (whatever this host reports) also
+    // returns something sane end to end.
+    PbEnginePlan host = autoTunePbEngine(1 << 22);
+    EXPECT_GT(host.plan.numBins, 0u);
+}
+
+// ----------------------------------------------- cache-geometry fixture
+
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/cobra_cache_XXXXXX";
+        COBRA_FATAL_IF(::mkdtemp(tmpl) == nullptr, "mkdtemp failed");
+        path_ = tmpl;
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+void
+writeIndex(const std::string &base, int idx, const std::string &level,
+           const std::string &type, const std::string &size)
+{
+    const std::string dir = base + "/index" + std::to_string(idx);
+    std::filesystem::create_directories(dir);
+    std::ofstream(dir + "/level") << level << "\n";
+    std::ofstream(dir + "/type") << type << "\n";
+    std::ofstream(dir + "/size") << size << "\n";
+}
+
+TEST(CacheGeometry, FixtureTopologyIsDetected)
+{
+    TempDir d;
+    writeIndex(d.path(), 0, "1", "Data", "32K");
+    writeIndex(d.path(), 1, "1", "Instruction", "32K");
+    writeIndex(d.path(), 2, "2", "Unified", "1024K");
+    writeIndex(d.path(), 3, "3", "Unified", "8M");
+    HostCacheGeometry g = detectHostCacheGeometry(d.path());
+    EXPECT_TRUE(g.detected);
+    EXPECT_EQ(g.l1dBytes, 32u << 10);
+    EXPECT_EQ(g.l2Bytes, 1u << 20);
+    EXPECT_EQ(g.llcBytes, 8u << 20);
+}
+
+TEST(CacheGeometry, MissingSysfsFallsBackUndetectedWithoutThrowing)
+{
+    HostCacheGeometry g =
+        detectHostCacheGeometry("/nonexistent/cobra/cache");
+    EXPECT_FALSE(g.detected);
+    EXPECT_EQ(g.l1dBytes, 0u);
+    EXPECT_EQ(g.l2Bytes, 0u);
+    EXPECT_EQ(g.llcBytes, 0u);
+}
+
+TEST(CacheGeometry, GarbageSizesFallBackUndetectedWithoutThrowing)
+{
+    TempDir d;
+    writeIndex(d.path(), 0, "1", "Data", "banana");
+    writeIndex(d.path(), 1, "2", "Unified", "");
+    HostCacheGeometry g = detectHostCacheGeometry(d.path());
+    EXPECT_FALSE(g.detected);
+}
+
+TEST(CacheGeometry, PartialTopologyNeedsL1AndOuterLevel)
+{
+    // L1-only: not enough to trust (no outer budget).
+    TempDir d;
+    writeIndex(d.path(), 0, "1", "Data", "32K");
+    HostCacheGeometry only_l1 = detectHostCacheGeometry(d.path());
+    EXPECT_FALSE(only_l1.detected);
+
+    // L1 + L3 but no L2: L2 budget borrows the LLC size.
+    TempDir d2;
+    writeIndex(d2.path(), 0, "1", "Data", "32K");
+    writeIndex(d2.path(), 1, "3", "Unified", "4M");
+    HostCacheGeometry no_l2 = detectHostCacheGeometry(d2.path());
+    EXPECT_TRUE(no_l2.detected);
+    EXPECT_EQ(no_l2.l2Bytes, 4u << 20);
+    EXPECT_EQ(no_l2.llcBytes, 4u << 20);
+}
+
+} // namespace
+} // namespace cobra
