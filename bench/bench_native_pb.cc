@@ -89,7 +89,9 @@ input(int64_t n)
 /**
  * Skew-sweep inputs: same 4x-updates shape as NativeInput, but with a
  * power-law source distribution of the given exponent (alpha_x100 = 0
- * is the uniform control arm, generated identically to input()).
+ * is the uniform control arm, generated identically to input();
+ * alpha_x100 < 0 selects the RMAT recursive-marginal stream — the
+ * Kronecker-shaped skew arm, Graph500 parameters).
  */
 struct SkewInput
 {
@@ -98,7 +100,9 @@ struct SkewInput
 
     SkewInput(NodeId n, int64_t alpha_x100) : nodes(n)
     {
-        if (alpha_x100 == 0)
+        if (alpha_x100 < 0)
+            edges = generateRmatStream(n, 4ull * n, 123);
+        else if (alpha_x100 == 0)
             edges = generateUniform(n, 4ull * n, 123);
         else
             edges = generateZipf(n, 4ull * n,
@@ -366,7 +370,9 @@ BM_DegreeCountPbParallelSkewSweep(benchmark::State &state, bool adaptive)
     state.counters["alpha_x100"] =
         static_cast<double>(state.range(3));
     state.SetLabel(std::string(adaptive ? "adaptive" : "static") +
-                   "/alpha=" + std::to_string(state.range(3)));
+                   (state.range(3) < 0
+                        ? std::string("/rmat")
+                        : "/alpha=" + std::to_string(state.range(3))));
     state.SetItemsProcessed(state.iterations() *
                             static_cast<int64_t>(in.edges.size()));
 }
@@ -479,7 +485,8 @@ BENCHMARK(BM_DegreeCountPbParallelAuto)
     ->UseRealTime();
 
 // Skew sweep at the 2^21-update anchor (2^19 nodes, 4x updates, 4096
-// bins): uniform control (alpha_x100=0) plus power-law 0.6/0.8/1.0,
+// bins): uniform control (alpha_x100=0), power-law 0.6/0.8/1.0, and
+// the RMAT recursive-marginal arm (alpha_x100=-1, Graph500 shape),
 // each with the static and the adaptive scheduler, single-threaded and
 // with a 4-worker pool (stealing only matters with someone to steal
 // from; the 1-thread arm measures pure scheduler overhead).
@@ -492,6 +499,8 @@ BENCHMARK(BM_DegreeCountPbParallelAuto)
         ->Args({1 << 19, 4096, 4, 80})                                  \
         ->Args({1 << 19, 4096, 1, 100})                                 \
         ->Args({1 << 19, 4096, 4, 100})                                 \
+        ->Args({1 << 19, 4096, 1, -1})                                  \
+        ->Args({1 << 19, 4096, 4, -1})                                  \
         ->UseRealTime()
 BENCHMARK_CAPTURE(BM_DegreeCountPbParallelSkewSweep, static_sched,
                   false) COBRA_SKEW_SWEEP_ARGS;

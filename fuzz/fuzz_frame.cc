@@ -1,0 +1,51 @@
+/**
+ * @file
+ * libFuzzer harness for the batch-server wire-frame parsers.
+ *
+ * Input format: byte 0 selects the decoder (even = request, odd =
+ * response); the rest is the frame body. Contract under test:
+ *
+ *  - arbitrary bytes always come back as a Status — no crash, hang,
+ *    over-allocation, or sanitizer report, no matter what the header
+ *    claims about lengths or counts;
+ *  - anything the decoder accepts re-encodes and decodes again
+ *    (accepted frames are canonical — encode cannot throw on a
+ *    decoder-validated frame, and the round trip is lossless).
+ *
+ * Corpus seeds live in tests/fuzz_corpus/frame/ and are replayed by
+ * tests/test_fuzz_corpus.cc on every toolchain.
+ */
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/server/frame.h"
+
+using namespace cobra;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    if (size == 0)
+        return 0;
+    const uint8_t *body = data + 1;
+    const size_t len = size - 1;
+    if (data[0] & 1) {
+        ResponseFrame resp;
+        if (decodeResponse(body, len, &resp).ok()) {
+            const std::vector<uint8_t> buf = encodeResponse(resp);
+            ResponseFrame again;
+            if (!decodeResponse(buf.data(), buf.size(), &again).ok())
+                __builtin_trap();
+        }
+    } else {
+        RequestFrame req;
+        if (decodeRequest(body, len, &req).ok()) {
+            const std::vector<uint8_t> buf = encodeRequest(req);
+            RequestFrame again;
+            if (!decodeRequest(buf.data(), buf.size(), &again).ok())
+                __builtin_trap();
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Overload/chaos soak: hammer a live cobra_server with mixed traffic
+# and verify the lifecycle books close exactly.
+#
+#   scripts/soak.sh                 # default: 2 min of mixed load
+#   scripts/soak.sh --seconds 600   # longer soak
+#   scripts/soak.sh --build-dir build-tsan   # soak the TSan binaries
+#
+# What it does:
+#   1. builds (or reuses) the requested build dir;
+#   2. starts cobra_server on a scratch socket with deliberately tight
+#      admission caps, so a healthy run *must* shed;
+#   3. loops cobra_client workers over the traffic mix the in-process
+#      chaos test uses — valid degree/np batches, deadline-doomed
+#      stall-injected requests, oversized reservations — until the
+#      budget expires;
+#   4. SIGTERMs the server and checks its exit status: cobra_server
+#      exits nonzero if conservation (admitted == completed + failed +
+#      shed) was violated, which is the soak's pass/fail signal.
+#
+# The in-process equivalent (no sockets, runs in every ctest pass) is
+# tests/test_server.cc's ChaosSoak; this script is the out-of-process
+# version with real frames, real connections, and real signals.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SECONDS_BUDGET=120
+BUILD_DIR=build
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+    --seconds)
+        [[ $# -ge 2 ]] || { echo "soak: --seconds needs a value" >&2; exit 2; }
+        SECONDS_BUDGET=$2
+        shift 2
+        ;;
+    --build-dir)
+        [[ $# -ge 2 ]] || { echo "soak: --build-dir needs a value" >&2; exit 2; }
+        BUILD_DIR=$2
+        shift 2
+        ;;
+    *)
+        echo "soak: unknown argument: $1" >&2
+        exit 2
+        ;;
+    esac
+done
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+    --target cobra_server_bin cobra_client >/dev/null
+
+SOCK=$(mktemp -u /tmp/cobra-soak-XXXXXX.sock)
+SERVER_BIN=$(find "$BUILD_DIR" -name cobra_server -type f | head -1)
+CLIENT_BIN=$(find "$BUILD_DIR" -name cobra_client -type f | head -1)
+[[ -x $SERVER_BIN && -x $CLIENT_BIN ]] ||
+    { echo "soak: binaries not found under $BUILD_DIR" >&2; exit 1; }
+
+# Tight caps: 8 outstanding globally, 4 per tenant, 512 MiB per-tenant
+# reservation budget — the mixed load below must overflow all three.
+"$SERVER_BIN" --socket "$SOCK" --dispatchers 3 \
+    --max-outstanding 8 --max-outstanding-tenant 4 \
+    --tenant-budget-mb 512 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 50); do
+    [[ -S $SOCK ]] && break
+    sleep 0.1
+done
+[[ -S $SOCK ]] || { echo "soak: server never bound $SOCK" >&2; exit 1; }
+
+echo "soak: $SECONDS_BUDGET s of mixed load against $SOCK"
+END=$((SECONDS + SECONDS_BUDGET))
+ROUND=0
+while (( SECONDS < END )); do
+    ROUND=$((ROUND + 1))
+    # Valid load from three tenants, two kernels, enough concurrency
+    # to overflow the 8-slot admission window.
+    "$CLIENT_BIN" --socket "$SOCK" --tenant 1 --kernel degree \
+        --requests 12 --threads 4 --updates 200000 --indices 65536 \
+        --retries 0 >/dev/null || true
+    "$CLIENT_BIN" --socket "$SOCK" --tenant 2 --kernel np \
+        --dist zipf:1.2 --requests 6 --threads 2 \
+        --updates 100000 --indices 32768 --retries 0 >/dev/null || true
+    # Deadline-doomed: an injected stall the 150 ms deadline must cut.
+    "$CLIENT_BIN" --socket "$SOCK" --tenant 3 \
+        --requests 2 --threads 2 --updates 4096 --indices 4096 \
+        --deadline-ms 150 --inject pb-stall-binning \
+        --retries 0 >/dev/null || true
+    # Quota-buster: a reservation far past the 512 MiB tenant budget.
+    "$CLIENT_BIN" --socket "$SOCK" --tenant 3 \
+        --requests 1 --updates 64 --indices 200000000 \
+        --retries 0 >/dev/null || true
+done
+echo "soak: $ROUND rounds complete; draining server"
+
+kill -TERM "$SERVER_PID"
+if wait "$SERVER_PID"; then
+    echo "soak: PASS (conservation exact; see server summary above)"
+else
+    echo "soak: FAIL (server reported a conservation violation)" >&2
+    exit 1
+fi

@@ -8,11 +8,18 @@
 #   scripts/tier1.sh --labels 'property|e2e'   # ctest -L regex
 #   scripts/tier1.sh --tsan --labels skew      # work-stealing suites
 #                                              # under ThreadSanitizer
+#   scripts/tier1.sh --tsan --labels server    # batch-server lifecycle
+#                                              # (admission, shedding,
+#                                              # chaos) under TSan
 #
 # Label taxonomy lives in tests/CMakeLists.txt; `skew` marks the
 # skew-adaptive scheduling / StealQueue / two-pass native suites, which
 # are the ones worth re-running under --tsan after touching the
-# Accumulate scheduler.
+# Accumulate scheduler, and `server` marks the batch-server suites
+# (concurrent supervised runs on a shared pool), worth the same
+# treatment after touching dispatch, admission, or shutdown paths.
+# Both ride in every plain and sanitizer pass too — the labels are a
+# focus knob, not an opt-in.
 #
 # After the requested suite passes, hosts with AVX2 also build and run
 # the suite with -DCOBRA_NATIVE_ARCH=ON (build-arch/), so the SIMD

@@ -186,20 +186,38 @@ class FaultInjector
     }
 
     /** The injector hooks consult; null means injection disabled. */
+    static FaultInjector *active() { return active_; }
+
+    /**
+     * Swap the calling thread's active injector, returning the previous
+     * one (the ThreadPool's task-scope installer; use Scope elsewhere).
+     */
     static FaultInjector *
-    active()
+    exchangeActive(FaultInjector *fi)
     {
-        return active_.load(std::memory_order_relaxed);
+        FaultInjector *prev = active_;
+        active_ = fi;
+        return prev;
     }
 
-    /** RAII activation: hooks see the injector only inside the scope. */
+    /**
+     * RAII activation: hooks see the injector only inside the scope.
+     * Per-thread with save/restore nesting (same contract as
+     * CancelToken::Scope): the batch server arms a *per-request*
+     * injector around each supervised run, so a chaos request's planted
+     * fault can never corrupt a concurrent tenant's run. Pool tasks
+     * inherit the submitting thread's injector at enqueue time.
+     */
     class Scope
     {
       public:
-        explicit Scope(FaultInjector &fi) { active_.store(&fi); }
-        ~Scope() { active_.store(nullptr); }
+        explicit Scope(FaultInjector &fi) : prev_(exchangeActive(&fi)) {}
+        ~Scope() { active_ = prev_; }
         Scope(const Scope &) = delete;
         Scope &operator=(const Scope &) = delete;
+
+      private:
+        FaultInjector *prev_;
     };
 
     FaultSite site() const { return site_; }
@@ -378,7 +396,7 @@ class FaultInjector
     mutable std::mutex mu_;
     std::vector<FaultRecord> records_;
 
-    inline static std::atomic<FaultInjector *> active_{nullptr};
+    inline static thread_local FaultInjector *active_ = nullptr;
 };
 
 } // namespace cobra

@@ -145,6 +145,45 @@ generateZipf(NodeId num_nodes, uint64_t num_edges, double alpha,
     return el;
 }
 
+EdgeList
+generateRmatStream(NodeId num_nodes, uint64_t num_edges, uint64_t seed,
+                   double a, double b, double c)
+{
+    COBRA_FATAL_IF(num_nodes == 0, "empty graph");
+    COBRA_FATAL_IF(a + b + c >= 1.0, "RMAT probabilities must sum < 1");
+    const uint32_t levels = ceilLog2(num_nodes);
+    // Source marginal of the quadrant draw: a bit of s is set when the
+    // draw lands in the bottom half, P = c + d.
+    const double d = 1.0 - a - b - c;
+    // Same scatter bijection as generateZipf (see the comment there).
+    uint64_t mult = 2654435761ull % num_nodes;
+    if (mult == 0)
+        mult = 1;
+    while (std::gcd(mult, static_cast<uint64_t>(num_nodes)) != 1)
+        ++mult;
+    Rng rng(seed);
+    EdgeList el;
+    el.reserve(num_edges);
+    while (el.size() < num_edges) {
+        NodeId s = 0;
+        for (uint32_t l = 0; l < levels; ++l) {
+            // Per-level noise as in generateRmat, so the marginal stays
+            // smoother than pure Kronecker.
+            const double pc = (c + d) + 0.05 * (rng.uniform() - 0.5);
+            s <<= 1;
+            if (rng.uniform() < pc)
+                s |= 1;
+        }
+        if (s >= num_nodes)
+            continue; // rejection keeps the marginal shape intact
+        const NodeId src = static_cast<NodeId>(
+            (static_cast<uint64_t>(s) * mult) % num_nodes);
+        const NodeId dst = static_cast<NodeId>(rng.below(num_nodes));
+        el.push_back(Edge{src, dst});
+    }
+    return el;
+}
+
 std::vector<uint32_t>
 generateKeys(uint64_t num_keys, uint32_t max_key, uint64_t seed)
 {

@@ -70,6 +70,21 @@ std::vector<uint32_t> generateKeys(uint64_t num_keys, uint32_t max_key,
 EdgeList generateZipf(NodeId num_nodes, uint64_t num_edges, double alpha,
                       uint64_t seed = 1);
 
+/**
+ * RMAT-skewed update stream: edge *sources* follow the RMAT recursive
+ * quadrant marginal (Graph500 a=0.57, b=c=0.19 defaults — the
+ * Kronecker power-law-with-communities shape), destinations are
+ * uniform. The RMAT analog of generateZipf for the skew sweep: where
+ * Zipf gives a clean rank law, RMAT gives the clustered bit-prefix
+ * skew real Graph500 streams have. Sources go through the same fixed
+ * coprime-multiplier bijection, because RMAT's heavy vertices cluster
+ * at low ids and would otherwise all land in PB bin 0 — conflating
+ * stream skew with bin-range locality.
+ */
+EdgeList generateRmatStream(NodeId num_nodes, uint64_t num_edges,
+                            uint64_t seed = 1, double a = 0.57,
+                            double b = 0.19, double c = 0.19);
+
 } // namespace cobra
 
 #endif // COBRA_GRAPH_GENERATORS_H

@@ -16,6 +16,15 @@
  * from the Watchdog, kCancelled for explicit requests), which the
  * ThreadPool propagates out of wait() like any task failure.
  *
+ * The active token is per *thread* (with save/restore nesting), not per
+ * process: the batch server runs many supervised executions
+ * concurrently, each with its own token, and a request's cancellation
+ * must never leak into a neighbour tenant's run. Pool tasks inherit the
+ * submitting thread's token at enqueue time (the ThreadPool snapshots
+ * the execution scope and installs it around the task body), so the
+ * historical single-run behaviour — install on the run thread, observed
+ * by every shard — is unchanged.
+ *
  * Deadline is a plain steady_clock wrapper; the Watchdog
  * (src/resilience/watchdog.h) is what turns an expired deadline into a
  * cancel() without the cancellee's cooperation beyond its checkpoints.
@@ -46,20 +55,34 @@ class CancelToken
     CancelToken &operator=(const CancelToken &) = delete;
 
     /** The checkpoints consult; null means cancellation disabled. */
+    static CancelToken *active() { return active_; }
+
+    /**
+     * Swap the calling thread's active token, returning the previous
+     * one. The ThreadPool uses this to install a task's inherited token
+     * on the worker for the task's duration; everyone else should use
+     * the RAII Scope.
+     */
     static CancelToken *
-    active()
+    exchangeActive(CancelToken *t)
     {
-        return active_.load(std::memory_order_relaxed);
+        CancelToken *prev = active_;
+        active_ = t;
+        return prev;
     }
 
-    /** RAII activation: checkpoints see the token only inside the scope. */
+    /** RAII activation: checkpoints see the token only inside the scope
+     * (on this thread; nests by restoring the previous token). */
     class Scope
     {
       public:
-        explicit Scope(CancelToken &t) { active_.store(&t); }
-        ~Scope() { active_.store(nullptr); }
+        explicit Scope(CancelToken &t) : prev_(exchangeActive(&t)) {}
+        ~Scope() { active_ = prev_; }
         Scope(const Scope &) = delete;
         Scope &operator=(const Scope &) = delete;
+
+      private:
+        CancelToken *prev_;
     };
 
     /**
@@ -111,7 +134,7 @@ class CancelToken
     ErrorCode code_ = ErrorCode::kCancelled;
     std::string reason_;
 
-    inline static std::atomic<CancelToken *> active_{nullptr};
+    inline static thread_local CancelToken *active_ = nullptr;
 };
 
 /**

@@ -51,20 +51,35 @@ class MemoryBudget
     MemoryBudget &operator=(const MemoryBudget &) = delete;
 
     /** The allocation hooks consult; null means budgeting disabled. */
+    static MemoryBudget *active() { return active_; }
+
+    /**
+     * Swap the calling thread's active budget, returning the previous
+     * one (the ThreadPool's task-scope installer; use Scope elsewhere).
+     */
     static MemoryBudget *
-    active()
+    exchangeActive(MemoryBudget *b)
     {
-        return active_.load(std::memory_order_relaxed);
+        MemoryBudget *prev = active_;
+        active_ = b;
+        return prev;
     }
 
-    /** RAII activation, same shape as FaultInjector::Scope. */
+    /**
+     * RAII activation, same shape as CancelToken::Scope: per-thread with
+     * save/restore nesting, so concurrent supervised runs each charge
+     * their own budget and a tenant's quota never throttles a neighbour.
+     */
     class Scope
     {
       public:
-        explicit Scope(MemoryBudget &b) { active_.store(&b); }
-        ~Scope() { active_.store(nullptr); }
+        explicit Scope(MemoryBudget &b) : prev_(exchangeActive(&b)) {}
+        ~Scope() { active_ = prev_; }
         Scope(const Scope &) = delete;
         Scope &operator=(const Scope &) = delete;
+
+      private:
+        MemoryBudget *prev_;
     };
 
     uint64_t limitBytes() const { return limit_; }
@@ -129,7 +144,7 @@ class MemoryBudget
     std::atomic<uint64_t> peak_{0};
     std::atomic<uint64_t> refusals_{0};
 
-    inline static std::atomic<MemoryBudget *> active_{nullptr};
+    inline static thread_local MemoryBudget *active_ = nullptr;
 };
 
 /**

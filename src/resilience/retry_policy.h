@@ -16,7 +16,9 @@
  *                  kCancelled, kDataLoss (conservation/oracle failure —
  *                  a re-run with a clean engine can converge),
  *                  kCapacityExceeded, kResourceExhausted (a degraded
- *                  plan may fit), kIoError (transient environment)
+ *                  plan may fit), kIoError (transient environment),
+ *                  kUnavailable (server overloaded: the batch-server
+ *                  client backs off and resubmits)
  *   unrecoverable: kInvalidArgument, kFailedPrecondition, kCorruptFile,
  *                  kOutOfRange, kUnimplemented, kInternal — retrying
  *                  the same bad input cannot help.
@@ -62,6 +64,7 @@ struct RetryPolicy
           case ErrorCode::kCapacityExceeded:
           case ErrorCode::kResourceExhausted:
           case ErrorCode::kIoError:
+          case ErrorCode::kUnavailable:
             return true;
           default:
             return false;

@@ -100,6 +100,28 @@ RunSupervisor::runPbParallel(Kernel &kernel, ThreadPool &pool,
 
     const uint32_t max_attempts = std::max(1u, cfg_.retry.maxAttempts);
     for (uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        // The overall (client) deadline bounds the whole ladder: clamp
+        // this attempt's watchdog to the remaining budget, and stop
+        // retrying entirely once the budget is spent — a degraded rung
+        // the client will never wait for is wasted work.
+        std::chrono::milliseconds attempt_deadline = cfg_.deadline;
+        if (cfg_.overallDeadline) {
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    *cfg_.overallDeadline -
+                    std::chrono::steady_clock::now());
+            if (remaining.count() <= 0) {
+                report.finalStatus = Status(
+                    ErrorCode::kDeadlineExceeded,
+                    kernel.name() +
+                        ": overall deadline expired before attempt " +
+                        std::to_string(attempt));
+                break;
+            }
+            attempt_deadline = attempt_deadline.count() > 0
+                                   ? std::min(attempt_deadline, remaining)
+                                   : remaining;
+        }
         // Phase brackets of abandoned attempts are dropped: after the
         // loop the recorder holds exactly the final attempt's phases.
         if (attempt > 1)
@@ -131,10 +153,10 @@ RunSupervisor::runPbParallel(Kernel &kernel, ThreadPool &pool,
                 budget_scope.emplace(*budget);
             }
             Watchdog wd(token);
-            if (cfg_.deadline.count() > 0) {
+            if (attempt_deadline.count() > 0) {
                 std::ostringstream what;
                 what << kernel.name() << " supervised attempt " << attempt;
-                wd.arm(cfg_.deadline, what.str());
+                wd.arm(attempt_deadline, what.str());
             }
             try {
                 if (baseline) {
@@ -200,6 +222,17 @@ RunSupervisor::runPbParallel(Kernel &kernel, ThreadPool &pool,
         if (reg)
             reg->counter("resilience.retries")->inc();
         auto delay = cfg_.retry.delayFor(attempt + 1, jitter);
+        if (cfg_.overallDeadline) {
+            // Never sleep past the overall deadline: clamp so the next
+            // iteration's budget check fires promptly instead of the
+            // backoff itself blowing the client's contract.
+            const auto remaining =
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    *cfg_.overallDeadline -
+                    std::chrono::steady_clock::now());
+            delay = std::min(delay, std::max(remaining,
+                                             std::chrono::milliseconds(0)));
+        }
         if (delay.count() > 0)
             std::this_thread::sleep_for(delay);
     }

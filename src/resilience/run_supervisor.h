@@ -40,6 +40,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -58,6 +59,20 @@ struct SupervisorConfig
 {
     /** Per-attempt watchdog deadline; 0 disables the watchdog. */
     std::chrono::milliseconds deadline{0};
+
+    /**
+     * Absolute wall-clock bound across the *whole* run — every attempt
+     * plus the backoff sleeps between them. This is the client-facing
+     * contract the batch server propagates from a request deadline:
+     * each attempt's watchdog is clamped to the remaining overall
+     * budget (so a stalled shard surfaces as kDeadlineExceeded before
+     * the client gives up, and the degradation ladder keeps running
+     * only while time remains), backoff never overshoots it, and once
+     * it expires between attempts the run fails kDeadlineExceeded
+     * without another try. Unset = unbounded (the historical CLI
+     * behaviour).
+     */
+    std::optional<std::chrono::steady_clock::time_point> overallDeadline;
 
     /** Attempt/backoff schedule. */
     RetryPolicy retry;

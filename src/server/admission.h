@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Admission control for the batch server: reject-before-enqueue.
+ *
+ * An overloaded service has exactly one good failure mode — a fast,
+ * typed "no" at the front door. Everything the AdmissionController
+ * does serves that: a request is charged against every limit it could
+ * later violate *before* it is allowed into a queue, so the queues
+ * stay bounded by construction, memory the admitted work will need is
+ * reserved up front, and an over-capacity client learns immediately
+ * (kUnavailable for transient pressure it should back off and retry;
+ * kResourceExhausted when its own quota is the problem) instead of
+ * timing out behind a queue it was never going to clear.
+ *
+ * Limits enforced, in check order (cheapest first):
+ *
+ *  - global outstanding cap:  queued + running, across all tenants;
+ *  - per-tenant outstanding cap: one tenant cannot own the whole queue
+ *    (the WRR dispatcher then guarantees the others' drain rate);
+ *  - global + per-tenant memory budgets: the request's *estimated*
+ *    peak footprint (estimateRequestCostBytes) is charged against two
+ *    MemoryBudget instances — the same primitive the supervised run
+ *    later charges its real allocations against, so the estimate is a
+ *    reservation, not a guess: the run's own budget is set to exactly
+ *    the reserved amount and the degradation ladder shrinks the plan
+ *    if the estimate was tight.
+ *
+ * Accounting is exact: every successful tryAdmit() is balanced by
+ * exactly one release() when the request reaches a terminal state
+ * (completed, failed, or shed), which the chaos test closes the books
+ * on.
+ */
+
+#ifndef COBRA_SERVER_ADMISSION_H
+#define COBRA_SERVER_ADMISSION_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/resilience/memory_budget.h"
+#include "src/server/frame.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** Front-door limits. 0 means "unlimited" for every field. */
+struct AdmissionConfig
+{
+    /** Queued + running, across all tenants. */
+    uint32_t maxOutstandingGlobal = 64;
+
+    /** Queued + running, per tenant. */
+    uint32_t maxOutstandingPerTenant = 16;
+
+    /** Reserved-footprint cap across all tenants (bytes). */
+    uint64_t globalBudgetBytes = 0;
+
+    /** Reserved-footprint cap per tenant (bytes). */
+    uint64_t tenantBudgetBytes = 0;
+};
+
+/**
+ * Upper bound on the peak budget-charged footprint of one request's
+ * supervised run: payload staging plus the widest engine's bin
+ * storage and WC lines across @p pool_threads workers, plus slack for
+ * coarse-pass buffers. Deliberately generous — an admitted request
+ * must not routinely trip its own reservation — but proportional to
+ * the request, so one huge frame cannot reserve a sliver and then
+ * blow the heap.
+ */
+uint64_t estimateRequestCostBytes(const RequestFrame &req,
+                                  size_t pool_threads);
+
+/** Decision + bookkeeping for one request's admission lifecycle. */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(AdmissionConfig cfg);
+
+    /**
+     * Try to admit a request reserving @p cost_bytes. Ok() admits (the
+     * caller *must* later call release() exactly once with the same
+     * tenant and cost); otherwise:
+     *  - kUnavailable: an outstanding cap or the global budget is
+     *    full — transient, client should back off and retry;
+     *  - kResourceExhausted: the tenant's own budget is full — the
+     *    tenant is the pressure, backing off elsewhere won't help.
+     */
+    Status tryAdmit(uint64_t tenant, uint64_t cost_bytes);
+
+    /** The request reached a terminal state; returns its reservation. */
+    void release(uint64_t tenant, uint64_t cost_bytes);
+
+    /** Queued-or-running request count (for tests / introspection). */
+    uint32_t outstanding() const;
+
+    /** Reserved bytes currently charged to the global budget. */
+    uint64_t reservedBytes() const { return global_budget_.usedBytes(); }
+
+  private:
+    const AdmissionConfig cfg_;
+    MemoryBudget global_budget_;
+
+    mutable std::mutex mtx_;
+    uint32_t outstanding_global_ = 0;
+    std::map<uint64_t, uint32_t> outstanding_tenant_;
+    std::map<uint64_t, std::unique_ptr<MemoryBudget>> tenant_budgets_;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SERVER_ADMISSION_H

@@ -1,0 +1,334 @@
+#include "src/server/batch_server.h"
+
+#include <optional>
+#include <utility>
+
+#include "src/check/fault_injector.h"
+#include "src/graph/types.h"
+#include "src/kernels/degree_count.h"
+#include "src/kernels/neighbor_populate.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/resilience/run_supervisor.h"
+#include "src/sim/phase_recorder.h"
+#include "src/util/timer.h"
+
+namespace cobra {
+
+namespace {
+
+uint64_t
+microsSince(std::chrono::steady_clock::time_point t0)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+void
+bumpGlobal(const char *what)
+{
+    if (MetricsRegistry *reg = MetricsRegistry::active())
+        reg->counter(std::string("server.") + what)->inc();
+}
+
+} // namespace
+
+BatchServer::BatchServer(ServerConfig cfg, ThreadPool &pool)
+    : cfg_(std::move(cfg)), pool_(pool), admission_(cfg_.admission),
+      queues_(cfg_.tenantWeights)
+{
+    const size_t n = std::max<size_t>(1, cfg_.dispatchThreads);
+    dispatchers_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+}
+
+BatchServer::~BatchServer()
+{
+    stop();
+}
+
+void
+BatchServer::stop()
+{
+    if (stopped_.exchange(true))
+        return;
+    {
+        // Exclusive gate: after this block no submit() can still be
+        // between its stopping check and its push.
+        std::unique_lock<std::shared_mutex> lk(gate_);
+        stopping_.store(true, std::memory_order_release);
+    }
+    queues_.close();
+    for (auto &d : dispatchers_)
+        d.join();
+    // Shed anything a racing submit pushed after the dispatchers had
+    // already drained and exited — a promise must never dangle.
+    std::unique_ptr<Job> job;
+    uint64_t tenant = 0;
+    while (queues_.pop(&job, &tenant)) {
+        ResponseFrame resp;
+        resp.code = ErrorCode::kUnavailable;
+        resp.message = "server shut down before the request ran";
+        finish(std::move(job), std::move(resp));
+    }
+}
+
+void
+BatchServer::bumpTenant(uint64_t tenant, const char *what)
+{
+    if (!cfg_.perTenantMetrics)
+        return;
+    if (MetricsRegistry *reg = MetricsRegistry::active())
+        reg->counter("server.tenant." + std::to_string(tenant) + "." +
+                     what)
+            ->inc();
+}
+
+std::future<ResponseFrame>
+BatchServer::submit(RequestFrame req)
+{
+    received_.fetch_add(1, std::memory_order_relaxed);
+    bumpGlobal("received");
+
+    ResponseFrame reject;
+    reject.tenantId = req.tenantId;
+    reject.requestId = req.requestId;
+
+    // Typed fast-fail paths: a promise resolved before the caller even
+    // sees the future. Nothing below the admission check runs for
+    // these — that is the backpressure contract.
+    auto rejectNow = [&](ErrorCode code,
+                         std::string msg) -> std::future<ResponseFrame> {
+        reject.code = code;
+        reject.message = std::move(msg);
+        std::promise<ResponseFrame> p;
+        p.set_value(std::move(reject));
+        return p.get_future();
+    };
+
+    std::shared_lock<std::shared_mutex> gate(gate_);
+    if (stopping_.load(std::memory_order_acquire)) {
+        rejectedOverload_.fetch_add(1, std::memory_order_relaxed);
+        bumpGlobal("rejected");
+        return rejectNow(ErrorCode::kUnavailable,
+                         "server is shutting down");
+    }
+    if (Status s = validateRequest(req); !s.ok()) {
+        rejectedInvalid_.fetch_add(1, std::memory_order_relaxed);
+        bumpGlobal("rejected");
+        bumpTenant(req.tenantId, "rejected");
+        return rejectNow(s.code(), s.message());
+    }
+
+    const uint64_t cost =
+        estimateRequestCostBytes(req, pool_.numThreads());
+    if (Status s = admission_.tryAdmit(req.tenantId, cost); !s.ok()) {
+        if (s.code() == ErrorCode::kResourceExhausted)
+            rejectedQuota_.fetch_add(1, std::memory_order_relaxed);
+        else
+            rejectedOverload_.fetch_add(1, std::memory_order_relaxed);
+        bumpGlobal("rejected");
+        bumpTenant(req.tenantId, "rejected");
+        return rejectNow(s.code(), s.message());
+    }
+
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    bumpGlobal("admitted");
+    bumpTenant(req.tenantId, "admitted");
+
+    auto job = std::make_unique<Job>();
+    job->req = std::move(req);
+    job->costBytes = cost;
+    if (job->req.deadlineMs != 0)
+        job->deadline = Deadline::after(
+            std::chrono::milliseconds(job->req.deadlineMs));
+    job->admittedAt = std::chrono::steady_clock::now();
+    std::future<ResponseFrame> fut = job->promise.get_future();
+    const uint64_t tenant = job->req.tenantId;
+    queues_.push(tenant, std::move(job));
+    if (MetricsRegistry *reg = MetricsRegistry::active())
+        reg->gauge("server.queue_depth")
+            ->set(static_cast<int64_t>(queues_.size()));
+    return fut;
+}
+
+void
+BatchServer::finish(std::unique_ptr<Job> job, ResponseFrame resp)
+{
+    resp.tenantId = job->req.tenantId;
+    resp.requestId = job->req.requestId;
+    if (resp.queueMicros == 0)
+        resp.queueMicros = microsSince(job->admittedAt);
+
+    const uint64_t tenant = job->req.tenantId;
+    if (resp.code == ErrorCode::kOk) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        bumpGlobal("completed");
+        bumpTenant(tenant, "completed");
+    } else if (resp.attempts == 0) {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        bumpGlobal("shed");
+        bumpTenant(tenant, "shed");
+    } else {
+        failed_.fetch_add(1, std::memory_order_relaxed);
+        bumpGlobal("failed");
+        bumpTenant(tenant, "failed");
+    }
+    if (resp.code == ErrorCode::kDeadlineExceeded) {
+        deadlineExceeded_.fetch_add(1, std::memory_order_relaxed);
+        bumpGlobal("deadline_exceeded");
+    }
+    admission_.release(tenant, job->costBytes);
+    job->promise.set_value(std::move(resp));
+}
+
+ResponseFrame
+BatchServer::execute(Job &job)
+{
+    const RequestFrame &req = job.req;
+    ResponseFrame resp;
+    resp.queueMicros = microsSince(job.admittedAt);
+
+    TraceSpan sp("server.request", "server");
+    sp.arg("tenant", req.tenantId);
+    sp.arg("request", req.requestId);
+    sp.arg("kernel", static_cast<uint64_t>(req.kernel));
+    sp.arg("updates", req.numUpdates());
+
+    // Rebuild the edgelist the kernels consume from the flat payload
+    // (already bounds-checked against numIndices at validation).
+    EdgeList edges;
+    edges.reserve(req.numUpdates());
+    for (size_t i = 0; i + 1 < req.payload.size(); i += 2)
+        edges.push_back(Edge{req.payload[i], req.payload[i + 1]});
+
+    std::unique_ptr<DegreeCountKernel> degree;
+    std::unique_ptr<NeighborPopulateKernel> np;
+    Kernel *kernel = nullptr;
+    const NodeId nodes = static_cast<NodeId>(req.numIndices);
+    if (req.kernel == ServerKernel::kDegreeCount) {
+        degree = std::make_unique<DegreeCountKernel>(nodes, &edges);
+        kernel = degree.get();
+    } else {
+        np = std::make_unique<NeighborPopulateKernel>(nodes, &edges);
+        kernel = np.get();
+    }
+
+    SupervisorConfig sc;
+    sc.deadline = cfg_.defaultAttemptDeadline;
+    if (job.deadline.armed())
+        sc.overallDeadline = job.deadline.at();
+    sc.retry.maxAttempts = std::max(1u, cfg_.retryAttempts);
+    // Deterministic per-request jitter: retries of the same request
+    // back off identically on replay, different requests decorrelate.
+    sc.retry.seed = req.requestId ^ req.tenantId;
+    sc.memBudgetBytes = job.costBytes;
+    sc.allowBaselineFallback = cfg_.allowBaselineFallback;
+    sc.minBins = cfg_.minBins;
+
+    PbEngineConfig ecfg;
+    ecfg.kind = req.engine;
+    ecfg.wcLines = req.wcLines;
+    ecfg.skewAdaptive = req.skewAdaptive;
+
+    // The request's own slice of the shared pool: shards, failures,
+    // and cancellation all scoped to this group, so concurrent
+    // requests interleave on the workers without sharing a barrier.
+    ThreadPool::Group group(pool_);
+    ThreadPool::Group::Scope group_scope(group);
+
+    // Request-carried chaos plan, scoped to this dispatcher thread and
+    // inherited only by this request's tasks.
+    std::optional<FaultInjector> injector;
+    std::optional<FaultInjector::Scope> injector_scope;
+    if (req.injectSite != 0) {
+        injector.emplace(static_cast<FaultSite>(req.injectSite),
+                         req.injectFireAt == 0 ? 1 : req.injectFireAt,
+                         req.injectSeed);
+        injector_scope.emplace(*injector);
+    }
+
+    PhaseRecorder rec;
+    RunSupervisor sup(sc);
+    Timer t;
+    SupervisorReport rep =
+        sup.runPbParallel(*kernel, pool_, rec, req.bins, ecfg);
+    resp.serverMicros = static_cast<uint64_t>(t.seconds() * 1e6);
+
+    resp.code = rep.ok ? ErrorCode::kOk : rep.finalStatus.code();
+    if (!rep.ok)
+        resp.message = rep.finalStatus.message();
+    resp.attempts = static_cast<uint32_t>(rep.attempts.size());
+    resp.retries = rep.retries;
+    resp.degradations = rep.degradations;
+    resp.usedBaseline = rep.usedBaseline;
+    resp.finalEngine = rep.finalEngine.kind;
+    resp.finalBins = rep.finalBins;
+
+    if (rep.ok) {
+        if (degree) {
+            const auto &d = degree->degrees();
+            resp.resultChecksum = fnv1a(d.data(), d.size());
+        } else {
+            // Fingerprint the degree sequence of the produced CSR:
+            // deterministic across engines (adjacency interleaving is
+            // not), and the oracle already certified full equality.
+            CsrGraph g = np->result();
+            std::vector<uint32_t> degs(g.numNodes());
+            for (NodeId v = 0; v < g.numNodes(); ++v)
+                degs[v] = static_cast<uint32_t>(g.degree(v));
+            resp.resultChecksum = fnv1a(degs.data(), degs.size());
+        }
+    }
+    return resp;
+}
+
+void
+BatchServer::dispatchLoop()
+{
+    std::unique_ptr<Job> job;
+    uint64_t tenant = 0;
+    while (queues_.pop(&job, &tenant)) {
+        ResponseFrame resp;
+        if (stopping_.load(std::memory_order_acquire)) {
+            // Graceful shutdown: the backlog is shed with the same
+            // typed fast-fail an admission reject gets, never dropped.
+            resp.code = ErrorCode::kUnavailable;
+            resp.message = "server shut down before the request ran";
+        } else if (job->deadline.armed() && job->deadline.expired()) {
+            // Doomed work is shed at dispatch, not run to certain
+            // failure: the client has already given up.
+            resp.code = ErrorCode::kDeadlineExceeded;
+            resp.message = "deadline expired while queued";
+        } else {
+            resp = execute(*job);
+        }
+        finish(std::move(job), std::move(resp));
+        if (MetricsRegistry *reg = MetricsRegistry::active())
+            reg->gauge("server.queue_depth")
+                ->set(static_cast<int64_t>(queues_.size()));
+    }
+}
+
+ServerStats
+BatchServer::stats() const
+{
+    ServerStats s;
+    s.received = received_.load(std::memory_order_relaxed);
+    s.rejectedInvalid = rejectedInvalid_.load(std::memory_order_relaxed);
+    s.rejectedOverload =
+        rejectedOverload_.load(std::memory_order_relaxed);
+    s.rejectedQuota = rejectedQuota_.load(std::memory_order_relaxed);
+    s.admitted = admitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.failed = failed_.load(std::memory_order_relaxed);
+    s.shed = shed_.load(std::memory_order_relaxed);
+    s.deadlineExceeded =
+        deadlineExceeded_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace cobra

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * BatchServer: the long-lived multi-tenant service in front of the
+ * supervised PB runtime.
+ *
+ * Request lifecycle (DESIGN.md section 13's state machine):
+ *
+ *   received -> (validate, admit) -> admitted -> queued -> running
+ *                     |    |                        |         |
+ *                     v    v                        v         v
+ *                 invalid  rejected              shed     {completed,
+ *                (typed)   (typed, fast)                   failed}
+ *
+ * Everything before "admitted" is synchronous inside submit(): a
+ * malformed or over-capacity request costs the caller one validation
+ * pass and an O(1) admission check — it never touches a queue, a
+ * worker, or the allocator. Everything after is asynchronous: the
+ * returned future resolves when the request reaches a terminal state,
+ * and *every* admitted request reaches one (the chaos test's
+ * conservation invariant: admitted == completed + failed + shed).
+ *
+ * Execution: dispatcher threads pop requests in WRR order and drive
+ * each through its own RunSupervisor on the *shared* ThreadPool —
+ * concurrency between tenants comes from ThreadPool::Group (each
+ * request's shards, failures, and cancellation are scoped to its own
+ * group) rather than from per-request pools. A request's deadline
+ * rides the whole pipeline: expired while queued -> shed without
+ * running; running -> SupervisorConfig::overallDeadline clamps every
+ * attempt's watchdog and stops the retry ladder when the budget is
+ * spent. A request-carried fault plan (RequestFrame::injectSite) is
+ * installed as a FaultInjector scoped to that request's dispatcher
+ * thread and inherited only by that request's pool tasks — one
+ * tenant's chaos never perturbs a neighbour.
+ *
+ * Results are oracle-certified before being reported ok (the
+ * supervisor re-verifies every attempt against the kernel's serial
+ * reference), and the response carries an FNV-1a fingerprint of the
+ * output so clients can cross-check replicas.
+ */
+
+#ifndef COBRA_SERVER_BATCH_SERVER_H
+#define COBRA_SERVER_BATCH_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "src/resilience/cancel.h"
+#include "src/server/admission.h"
+#include "src/server/frame.h"
+#include "src/server/tenant_queue.h"
+#include "src/util/error.h"
+#include "src/util/thread_pool.h"
+
+namespace cobra {
+
+/** Server-wide knobs. */
+struct ServerConfig
+{
+    /** Concurrent supervised runs (dispatcher threads). */
+    size_t dispatchThreads = 2;
+
+    AdmissionConfig admission;
+
+    /** WRR weights per tenant id; unlisted tenants weigh 1. */
+    std::map<uint64_t, uint32_t> tenantWeights;
+
+    /**
+     * Per-attempt watchdog for requests that carry no deadline of
+     * their own (a server must never run unbounded work for a client
+     * that asked for none). 0 disables.
+     */
+    std::chrono::milliseconds defaultAttemptDeadline{30000};
+
+    /** Supervisor retry ladder length per request. */
+    uint32_t retryAttempts = 3;
+
+    /** Floor for the supervisor's bin-halving degradation. */
+    uint32_t minBins = 16;
+
+    /** Allow the serial-reference last rung. */
+    bool allowBaselineFallback = true;
+
+    /** Emit per-tenant metrics (server.tenant.<id>.*). */
+    bool perTenantMetrics = true;
+};
+
+/** Exact lifecycle accounting (all monotonic; see conservation note). */
+struct ServerStats
+{
+    uint64_t received = 0;
+    uint64_t rejectedInvalid = 0;  ///< failed validation; never admitted
+    uint64_t rejectedOverload = 0; ///< kUnavailable at admission
+    uint64_t rejectedQuota = 0;    ///< kResourceExhausted at admission
+    uint64_t admitted = 0;
+    uint64_t completed = 0; ///< ran, oracle-certified ok
+    uint64_t failed = 0;    ///< ran, terminal failure
+    uint64_t shed = 0;      ///< admitted but never ran
+    uint64_t deadlineExceeded = 0; ///< terminal code was kDeadlineExceeded
+
+    /** admitted == completed + failed + shed once the server drained. */
+    bool
+    conserved() const
+    {
+        return admitted == completed + failed + shed &&
+               received == admitted + rejectedInvalid + rejectedOverload +
+                               rejectedQuota;
+    }
+};
+
+/** The in-process server core (the socket layer wraps this). */
+class BatchServer
+{
+  public:
+    /**
+     * @param pool shared kernel pool; the server does not own it, and
+     *        other subsystems may keep using it concurrently.
+     */
+    BatchServer(ServerConfig cfg, ThreadPool &pool);
+
+    /** Sheds whatever is still queued, then joins the dispatchers. */
+    ~BatchServer();
+
+    BatchServer(const BatchServer &) = delete;
+    BatchServer &operator=(const BatchServer &) = delete;
+
+    /**
+     * Submit one request. Never throws and never blocks on kernel
+     * work: validation + admission happen inline (a rejected request
+     * returns an already-resolved future with the typed code), then
+     * the request waits its WRR turn. The future always resolves.
+     */
+    std::future<ResponseFrame> submit(RequestFrame req);
+
+    /** submit() + wait — the convenience path for tests and the CLI. */
+    ResponseFrame
+    call(RequestFrame req)
+    {
+        return submit(std::move(req)).get();
+    }
+
+    /**
+     * Stop accepting (submit answers kUnavailable), shed the backlog,
+     * finish in-flight runs, join dispatchers. Idempotent; the dtor
+     * calls it.
+     */
+    void stop();
+
+    ServerStats stats() const;
+
+    size_t queueDepth() const { return queues_.size(); }
+
+  private:
+    struct Job
+    {
+        RequestFrame req;
+        uint64_t costBytes = 0;
+        Deadline deadline; ///< armed iff req.deadlineMs != 0
+        std::chrono::steady_clock::time_point admittedAt;
+        std::promise<ResponseFrame> promise;
+    };
+
+    void dispatchLoop();
+
+    /** Terminal bookkeeping shared by every path out of the queue. */
+    void finish(std::unique_ptr<Job> job, ResponseFrame resp);
+
+    /** Run the supervised kernel for @p job (the "running" state). */
+    ResponseFrame execute(Job &job);
+
+    void bumpTenant(uint64_t tenant, const char *what);
+
+    const ServerConfig cfg_;
+    ThreadPool &pool_;
+    AdmissionController admission_;
+    TenantQueues<std::unique_ptr<Job>> queues_;
+    std::vector<std::thread> dispatchers_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+
+    /**
+     * Shutdown gate: submit() holds it shared across its
+     * check-stopping -> push window; stop() takes it exclusive to
+     * flip stopping_, so no submit can slip a job into the queue
+     * after stop() has drained it — every future resolves.
+     */
+    std::shared_mutex gate_;
+
+    std::atomic<uint64_t> received_{0}, rejectedInvalid_{0},
+        rejectedOverload_{0}, rejectedQuota_{0}, admitted_{0},
+        completed_{0}, failed_{0}, shed_{0}, deadlineExceeded_{0};
+};
+
+} // namespace cobra
+
+#endif // COBRA_SERVER_BATCH_SERVER_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Wire frames for the batch server: one request = one supervised PB
+ * run; one response = the serialized outcome of that run.
+ *
+ * The protocol is deliberately minimal — length-prefixed binary frames
+ * over a local socket (src/server/wire_socket.h) or handed directly to
+ * BatchServer::submit() in process. What it is *not* minimal about is
+ * validation: a frame crosses a trust boundary (any local process can
+ * connect), so decodeRequest() applies the same hostile-input
+ * discipline as the graph readers in src/graph/io.cc — every length is
+ * range-checked before it sizes an allocation, every arithmetic step
+ * that could overflow is checked in 64-bit, every enum is checked
+ * against its legal range, and every payload index is checked against
+ * the request's own index namespace. A malformed frame becomes a typed
+ * Status (never a throw, never UB) so the server can answer it with an
+ * error response and move on; the fuzz harness in fuzz/fuzz_frame.cc
+ * holds the decoder to that contract.
+ *
+ * Layout notes: all integers are little-endian, fixed-width, at fixed
+ * offsets (no varints), serialized byte-by-byte so the encoder/decoder
+ * pair is endian- and alignment-agnostic. ErrorCode and PbEngineKind
+ * raw values ride the wire; both ends must be built from the same
+ * source revision, which is the deployment model for a localhost batch
+ * sidecar (the version field exists to reject anything else loudly).
+ */
+
+#ifndef COBRA_SERVER_FRAME_H
+#define COBRA_SERVER_FRAME_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/pb/engine_config.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** Which kernel a request asks the server to run. Only kernels with a
+ * host-parallel PB runtime are servable (IntSort et al. are not). */
+enum class ServerKernel : uint8_t
+{
+    kDegreeCount = 1,      ///< payload: (src, dst) pairs, degrees out
+    kNeighborPopulate = 2, ///< payload: (src, dst) pairs, CSR out
+};
+
+inline const char *
+to_string(ServerKernel k)
+{
+    switch (k) {
+      case ServerKernel::kDegreeCount: return "degree";
+      case ServerKernel::kNeighborPopulate: return "np";
+    }
+    return "unknown";
+}
+
+inline std::optional<ServerKernel>
+serverKernelFromName(std::string_view name)
+{
+    for (ServerKernel k :
+         {ServerKernel::kDegreeCount, ServerKernel::kNeighborPopulate})
+        if (name == to_string(k))
+            return k;
+    return std::nullopt;
+}
+
+// Frame limits. kMaxFrameBytes bounds what a reader will ever buffer
+// for one frame (enforced again by the socket layer before the decoder
+// even sees the bytes); the rest bound individual fields so a hostile
+// header cannot size a pathological run.
+inline constexpr uint32_t kRequestMagic = 0x51524243u;  // "CBRQ"
+inline constexpr uint32_t kResponseMagic = 0x53524243u; // "CBRS"
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr uint64_t kMaxFrameBytes = 64ull << 20;
+inline constexpr size_t kRequestHeaderBytes = 76;
+inline constexpr size_t kResponseHeaderBytes = 76;
+inline constexpr uint64_t kMaxPayloadWords =
+    (kMaxFrameBytes - kRequestHeaderBytes) / 4;
+inline constexpr uint64_t kMaxRequestIndices = 1ull << 31;
+inline constexpr uint32_t kMaxRequestBins = 1u << 26;
+inline constexpr uint32_t kMaxWcLines = 64;
+inline constexpr uint32_t kMaxDeadlineMs = 10 * 60 * 1000;
+inline constexpr uint32_t kMaxMsgBytes = 4096;
+
+/** One client request: which kernel to run, how, and on what data. */
+struct RequestFrame
+{
+    uint64_t tenantId = 0;
+    uint64_t requestId = 0; ///< client-chosen echo token
+    ServerKernel kernel = ServerKernel::kDegreeCount;
+    PbEngineKind engine = PbEngineKind::kScalar;
+    bool skewAdaptive = false;
+    uint32_t bins = 1024;
+    uint32_t wcLines = 1;
+    uint32_t deadlineMs = 0; ///< whole-request budget; 0 = none
+
+    // Optional per-request chaos plan (see src/check/fault_injector.h):
+    // site 0 = none. Scoped to this request's run only.
+    uint32_t injectSite = 0;
+    uint64_t injectFireAt = 0;
+    uint64_t injectSeed = 0;
+
+    uint64_t numIndices = 0; ///< index namespace (node count)
+
+    /** (src, dst) pairs, flattened; every word < numIndices. */
+    std::vector<uint32_t> payload;
+
+    uint64_t numUpdates() const { return payload.size() / 2; }
+};
+
+/** One server response: the request's lifecycle outcome. */
+struct ResponseFrame
+{
+    uint64_t tenantId = 0;
+    uint64_t requestId = 0;
+    ErrorCode code = ErrorCode::kOk;
+
+    // Supervisor telemetry (zero when the request never ran).
+    uint32_t attempts = 0;
+    uint32_t retries = 0;
+    uint32_t degradations = 0;
+    bool usedBaseline = false;
+    PbEngineKind finalEngine = PbEngineKind::kScalar;
+    uint32_t finalBins = 0;
+
+    uint64_t resultChecksum = 0; ///< FNV-1a of the output; 0 on failure
+    uint64_t serverMicros = 0;   ///< run wall time on the dispatcher
+    uint64_t queueMicros = 0;    ///< admitted -> dispatched latency
+    std::string message;         ///< failure detail (bounded)
+};
+
+/** FNV-1a over a word array — the response's result fingerprint. */
+uint64_t fnv1a(const uint32_t *words, size_t n);
+
+/**
+ * Semantic validation shared by the decoder and the in-process submit
+ * path: enum ranges, power-of-two bins, field caps, payload shape, and
+ * the O(n) index-bounds scan. Returns the first violation.
+ */
+Status validateRequest(const RequestFrame &req);
+
+/** Exact encoded size of @p req (header + payload). */
+uint64_t encodedRequestBytes(const RequestFrame &req);
+
+/**
+ * Serialize @p req. Throws Error(kInvalidArgument) when the frame
+ * fails validateRequest() — an encoder must never emit a frame its
+ * own decoder would reject.
+ */
+std::vector<uint8_t> encodeRequest(const RequestFrame &req);
+
+/**
+ * Parse and fully validate a request frame. Never throws; on any
+ * violation returns a typed Status and leaves @p out unspecified.
+ */
+Status decodeRequest(const uint8_t *data, size_t len, RequestFrame *out);
+
+/** Serialize @p resp (message silently truncated to kMaxMsgBytes). */
+std::vector<uint8_t> encodeResponse(const ResponseFrame &resp);
+
+/** Parse and validate a response frame. Never throws. */
+Status decodeResponse(const uint8_t *data, size_t len,
+                      ResponseFrame *out);
+
+} // namespace cobra
+
+#endif // COBRA_SERVER_FRAME_H

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Per-tenant bounded-by-admission queues with weighted round-robin
+ * dispatch order.
+ *
+ * The dispatcher's fairness property lives here: each tenant owns a
+ * FIFO, and pop() serves tenants in weighted round-robin order —
+ * tenant i gets up to weight_i dequeues per round while it has work.
+ * A tenant that floods its queue (the admission controller caps how
+ * far) therefore delays only itself: a light tenant's next request is
+ * at most one round away, never behind the heavy tenant's backlog.
+ * This is the queueing-side complement of admission control — caps
+ * bound how much work waits, WRR bounds *whose* work waits.
+ *
+ * Depth is NOT enforced here: every push() was already admitted (and
+ * counted) by the AdmissionController, so the queue trusts its caller
+ * and never refuses. Templated on the work item so the WRR order is
+ * unit-testable with plain values.
+ *
+ * close() wakes every blocked pop() but does not discard items:
+ * pop() keeps returning queued work after close so the shutdown path
+ * can shed each remaining request with a typed response instead of
+ * silently dropping promises. pop() returns false only when closed
+ * *and* drained.
+ */
+
+#ifndef COBRA_SERVER_TENANT_QUEUE_H
+#define COBRA_SERVER_TENANT_QUEUE_H
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace cobra {
+
+/** Multi-tenant FIFO set with WRR pop order. */
+template <typename T> class TenantQueues
+{
+  public:
+    /** @param weights per-tenant WRR weight; absent tenants get 1. */
+    explicit TenantQueues(std::map<uint64_t, uint32_t> weights = {})
+        : weights_(std::move(weights))
+    {
+    }
+
+    /** Enqueue @p item for @p tenant (never refuses; see file docs). */
+    void
+    push(uint64_t tenant, T item)
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            Entry &e = entry(tenant);
+            e.q.push_back(std::move(item));
+            ++total_;
+        }
+        cv_.notify_one();
+    }
+
+    /**
+     * Dequeue the next item in WRR order into @p out (and its owner
+     * into @p tenant). Blocks while open and empty; returns false when
+     * closed and drained.
+     */
+    bool
+    pop(T *out, uint64_t *tenant)
+    {
+        std::unique_lock<std::mutex> lk(mtx_);
+        cv_.wait(lk, [this] { return total_ != 0 || closed_; });
+        if (total_ == 0)
+            return false;
+        // Sweep 1 spends the round's remaining credits; if only
+        // credit-exhausted (or empty) queues remain, start a new
+        // round and sweep again — with total_ != 0 the second sweep
+        // always finds an item.
+        for (int sweep = 0; sweep < 2; ++sweep) {
+            for (size_t i = 0; i < order_.size(); ++i) {
+                const size_t idx = (cursor_ + i) % order_.size();
+                Entry &e = entries_.at(order_[idx]);
+                if (e.q.empty() || e.credit == 0)
+                    continue;
+                *out = std::move(e.q.front());
+                e.q.pop_front();
+                *tenant = order_[idx];
+                --e.credit;
+                --total_;
+                // Stay on this tenant while it has credit; else hand
+                // the cursor to the next one.
+                cursor_ = e.credit == 0 ? (idx + 1) % order_.size() : idx;
+                return true;
+            }
+            for (auto &kv : entries_)
+                kv.second.credit = kv.second.weight;
+        }
+        return false; // unreachable: total_ != 0 guarantees sweep 2 hits
+    }
+
+    /** Wake all poppers; pop() drains the backlog then returns false. */
+    void
+    close()
+    {
+        {
+            std::lock_guard<std::mutex> lk(mtx_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> lk(mtx_);
+        return total_;
+    }
+
+  private:
+    struct Entry
+    {
+        std::deque<T> q;
+        uint32_t weight = 1;
+        uint32_t credit = 1;
+    };
+
+    Entry &
+    entry(uint64_t tenant)
+    {
+        auto it = entries_.find(tenant);
+        if (it == entries_.end()) {
+            Entry e;
+            auto w = weights_.find(tenant);
+            e.weight = std::max<uint32_t>(
+                1, w == weights_.end() ? 1 : w->second);
+            e.credit = e.weight;
+            it = entries_.emplace(tenant, std::move(e)).first;
+            order_.push_back(tenant);
+        }
+        return it->second;
+    }
+
+    const std::map<uint64_t, uint32_t> weights_;
+
+    mutable std::mutex mtx_;
+    std::condition_variable cv_;
+    std::map<uint64_t, Entry> entries_;
+    std::vector<uint64_t> order_; ///< tenants in first-seen order
+    size_t cursor_ = 0;
+    size_t total_ = 0;
+    bool closed_ = false;
+};
+
+} // namespace cobra
+
+#endif // COBRA_SERVER_TENANT_QUEUE_H

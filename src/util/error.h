@@ -48,6 +48,7 @@ enum class ErrorCode
     kDeadlineExceeded,   ///< the run's watchdog deadline expired
     kCancelled,          ///< cooperative cancellation was requested
     kResourceExhausted,  ///< a MemoryBudget (or similar quota) ran out
+    kUnavailable,        ///< service overloaded or shutting down; retry later
 };
 
 inline const char *
@@ -67,6 +68,7 @@ to_string(ErrorCode c)
       case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
       case ErrorCode::kCancelled: return "cancelled";
       case ErrorCode::kResourceExhausted: return "resource-exhausted";
+      case ErrorCode::kUnavailable: return "unavailable";
     }
     return "unknown";
 }

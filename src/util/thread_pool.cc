@@ -8,7 +8,9 @@
 #include <sched.h>
 #endif
 
+#include "src/check/fault_injector.h"
 #include "src/resilience/cancel.h"
+#include "src/resilience/memory_budget.h"
 #include "src/util/error.h"
 #include "src/util/numa_topology.h"
 
@@ -17,6 +19,11 @@ namespace cobra {
 namespace {
 // -1 on threads that are not pool workers (including the pool's owner).
 thread_local int tl_worker_id = -1;
+
+// The group enqueue()/wait() route to on this thread (Group::Scope).
+// Null means "the pool's implicit default group" — the single-client
+// behaviour every pre-server call site relies on.
+thread_local ThreadPool::Group *tl_current_group = nullptr;
 
 std::string
 describeException(const std::exception_ptr &p)
@@ -41,12 +48,61 @@ stripCodePrefix(const Error &e)
         msg.erase(0, prefix.size());
     return msg;
 }
+
+/**
+ * RAII installer for a task's inherited execution scope: the worker
+ * temporarily becomes the submitting thread as far as the per-thread
+ * active CancelToken / MemoryBudget / FaultInjector pointers are
+ * concerned, then restores its own (always null between tasks, but
+ * restoring unconditionally keeps the invariant local).
+ */
+class TaskScopeInstaller
+{
+  public:
+    TaskScopeInstaller(CancelToken *t, MemoryBudget *b, FaultInjector *f)
+        : prevToken_(CancelToken::exchangeActive(t)),
+          prevBudget_(MemoryBudget::exchangeActive(b)),
+          prevInjector_(FaultInjector::exchangeActive(f))
+    {
+    }
+
+    ~TaskScopeInstaller()
+    {
+        FaultInjector::exchangeActive(prevInjector_);
+        MemoryBudget::exchangeActive(prevBudget_);
+        CancelToken::exchangeActive(prevToken_);
+    }
+
+    TaskScopeInstaller(const TaskScopeInstaller &) = delete;
+    TaskScopeInstaller &operator=(const TaskScopeInstaller &) = delete;
+
+  private:
+    CancelToken *prevToken_;
+    MemoryBudget *prevBudget_;
+    FaultInjector *prevInjector_;
+};
+
 } // namespace
 
 int
 ThreadPool::currentWorkerId()
 {
     return tl_worker_id;
+}
+
+ThreadPool::Group::Scope::Scope(Group &g) : prev_(tl_current_group)
+{
+    tl_current_group = &g;
+}
+
+ThreadPool::Group::Scope::~Scope()
+{
+    tl_current_group = prev_;
+}
+
+ThreadPool::Group::~Group()
+{
+    pool_.drainGroup(*this);
 }
 
 namespace {
@@ -109,13 +165,28 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+ThreadPool::Group &
+ThreadPool::currentGroup()
+{
+    // A scope installed for *another* pool's group must not capture this
+    // pool's tasks (a dispatcher thread may drive a request group on the
+    // shared kernel pool while also using a private utility pool).
+    Group *g = tl_current_group;
+    if (g && &g->pool_ == this)
+        return *g;
+    return defaultGroup_;
+}
+
 void
 ThreadPool::enqueue(std::function<void()> task)
 {
+    Group &g = currentGroup();
+    Pending p{std::move(task), &g, CancelToken::active(),
+              MemoryBudget::active(), FaultInjector::active()};
     {
         std::unique_lock<std::mutex> lk(mtx);
-        tasks.push(std::move(task));
-        ++inFlight;
+        tasks.push(std::move(p));
+        ++g.inFlight;
     }
     cvTask.notify_one();
 }
@@ -123,11 +194,12 @@ ThreadPool::enqueue(std::function<void()> task)
 void
 ThreadPool::wait()
 {
+    Group &g = currentGroup();
     std::vector<std::exception_ptr> errs;
     {
         std::unique_lock<std::mutex> lk(mtx);
-        cvDone.wait(lk, [this] { return inFlight == 0; });
-        errs.swap(taskErrors);
+        cvDone.wait(lk, [&g] { return g.inFlight == 0; });
+        errs.swap(g.errors);
     }
     if (errs.empty())
         return;
@@ -162,6 +234,22 @@ ThreadPool::wait()
 }
 
 void
+ThreadPool::drainGroup(Group &g)
+{
+    std::vector<std::exception_ptr> errs;
+    {
+        std::unique_lock<std::mutex> lk(mtx);
+        cvDone.wait(lk, [&g] { return g.inFlight == 0; });
+        errs.swap(g.errors);
+    }
+    // The dtor path must not throw; an abandoned group's failures were
+    // either already surfaced by a wait() or belong to an unwinding
+    // owner who has a primary failure of their own.
+    for (const std::exception_ptr &e : errs)
+        warn("task group discarded failure: " + describeException(e));
+}
+
+void
 ThreadPool::parallelFor(size_t n,
                         const std::function<void(size_t, size_t, size_t)> &fn)
 {
@@ -186,7 +274,7 @@ ThreadPool::workerLoop(size_t worker_id)
 {
     tl_worker_id = static_cast<int>(worker_id);
     for (;;) {
-        std::function<void()> task;
+        Pending task;
         {
             std::unique_lock<std::mutex> lk(mtx);
             cvTask.wait(lk, [this] { return stopping || !tasks.empty(); });
@@ -195,32 +283,40 @@ ThreadPool::workerLoop(size_t worker_id)
             task = std::move(tasks.front());
             tasks.pop();
         }
-        // Cancellation-aware dispatch: once the run is cancelled, queued
-        // tasks are skipped instead of started, so a tripped watchdog
-        // drains the queue in microseconds rather than executing every
-        // remaining shard to completion. The skip is recorded as the
-        // barrier's failure only when no task captured a real exception
-        // first (the cancellation cause usually throws from a running
-        // task's checkpoint anyway).
-        CancelToken *tok = CancelToken::active();
-        if (tok && tok->cancelled()) {
-            const Status s = tok->status();
+        // Cancellation-aware dispatch: once the task's run is cancelled,
+        // its queued tasks are skipped instead of started, so a tripped
+        // watchdog drains that run's share of the queue in microseconds
+        // rather than executing every remaining shard to completion.
+        // The skip is recorded as the group's failure only when no task
+        // captured a real exception first (the cancellation cause
+        // usually throws from a running task's checkpoint anyway).
+        // Scoped per task: a neighbour run's tasks are never skipped.
+        if (task.token && task.token->cancelled()) {
+            const Status s = task.token->status();
             std::unique_lock<std::mutex> lk(mtx);
-            if (taskErrors.empty())
-                taskErrors.push_back(std::make_exception_ptr(
+            if (task.group->errors.empty())
+                task.group->errors.push_back(std::make_exception_ptr(
                     Error(s.code(), s.message() +
                               " [queued task skipped]")));
         } else {
+            // Become the submitting thread for the task's duration: the
+            // run's token/budget/injector and its group (so nested
+            // enqueues join the same group).
+            TaskScopeInstaller scopes(task.token, task.budget,
+                                      task.injector);
+            Group *prev_group = tl_current_group;
+            tl_current_group = task.group;
             try {
-                task();
+                task.fn();
             } catch (...) {
                 std::unique_lock<std::mutex> lk(mtx);
-                taskErrors.push_back(std::current_exception());
+                task.group->errors.push_back(std::current_exception());
             }
+            tl_current_group = prev_group;
         }
         {
             std::unique_lock<std::mutex> lk(mtx);
-            if (--inFlight == 0)
+            if (--task.group->inFlight == 0)
                 cvDone.notify_all();
         }
     }

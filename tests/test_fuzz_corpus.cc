@@ -5,9 +5,9 @@
  *
  * The libFuzzer harnesses (fuzz/) need clang; this replay does not, so
  * every past crasher stays a regression test on any toolchain and in
- * every sanitizer pass. Contract under test: the JSON parser and the
- * graph tryLoad* loaders return a Status for arbitrary bytes — no
- * crash, no hang, no sanitizer report.
+ * every sanitizer pass. Contract under test: the JSON parser, the
+ * graph tryLoad* loaders, and the server wire-frame decoders return a
+ * Status for arbitrary bytes — no crash, no hang, no sanitizer report.
  */
 
 #include <filesystem>
@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "src/graph/io.h"
+#include "src/server/frame.h"
 #include "src/util/json.h"
 
 namespace fs = std::filesystem;
@@ -63,6 +64,7 @@ TEST(FuzzCorpus, CorpusIsPresent)
         << " (set COBRA_FUZZ_CORPUS_DIR)";
     EXPECT_FALSE(corpusFiles("json").empty());
     EXPECT_FALSE(corpusFiles("graph").empty());
+    EXPECT_FALSE(corpusFiles("frame").empty());
 }
 
 // Every corpus input — valid, malformed, or a past crasher — must come
@@ -150,6 +152,95 @@ TEST(FuzzCorpus, GraphValidSeedsStillLoad)
                     .ok());
     EXPECT_EQ(el.size(), 2u);
     EXPECT_EQ(n, 3u);
+}
+
+// The frame corpus runs through the wire decoders exactly as
+// fuzz_frame.cc does: byte 0 selects the decoder, the rest is the
+// frame; whatever decodes must re-encode and decode again losslessly.
+TEST(FuzzCorpus, FrameReplayNeverCrashes)
+{
+    for (const fs::path &p : corpusFiles("frame")) {
+        SCOPED_TRACE(p.filename().string());
+        const std::string raw = slurp(p);
+        if (raw.empty())
+            continue;
+        const uint8_t *body =
+            reinterpret_cast<const uint8_t *>(raw.data()) + 1;
+        const size_t len = raw.size() - 1;
+        if (raw[0] & 1) {
+            ResponseFrame resp;
+            if (decodeResponse(body, len, &resp).ok()) {
+                const std::vector<uint8_t> buf = encodeResponse(resp);
+                ResponseFrame again;
+                EXPECT_TRUE(
+                    decodeResponse(buf.data(), buf.size(), &again).ok());
+            }
+        } else {
+            RequestFrame req;
+            if (decodeRequest(body, len, &req).ok()) {
+                const std::vector<uint8_t> buf = encodeRequest(req);
+                RequestFrame again;
+                EXPECT_TRUE(
+                    decodeRequest(buf.data(), buf.size(), &again).ok());
+            }
+        }
+    }
+}
+
+TEST(FuzzCorpus, FrameValidSeedsStillDecode)
+{
+    const std::string raw =
+        slurp(corpusDir() / "frame" / "valid_request.bin");
+    ASSERT_GT(raw.size(), 1u);
+    RequestFrame req;
+    ASSERT_TRUE(
+        decodeRequest(reinterpret_cast<const uint8_t *>(raw.data()) + 1,
+                      raw.size() - 1, &req)
+            .ok());
+    EXPECT_EQ(req.kernel, ServerKernel::kDegreeCount);
+    EXPECT_EQ(req.bins, 256u);
+    EXPECT_EQ(req.numIndices, 16u);
+    EXPECT_EQ(req.payload.size(), 4u);
+
+    const std::string rraw =
+        slurp(corpusDir() / "frame" / "valid_response.bin");
+    ASSERT_GT(rraw.size(), 1u);
+    ResponseFrame resp;
+    ASSERT_TRUE(decodeResponse(
+                    reinterpret_cast<const uint8_t *>(rraw.data()) + 1,
+                    rraw.size() - 1, &resp)
+                    .ok());
+    EXPECT_EQ(resp.code, ErrorCode::kOk);
+    EXPECT_EQ(resp.message, "ok");
+}
+
+TEST(FuzzCorpus, FrameMalformedSeedsAreRejected)
+{
+    for (const char *name :
+         {"bad_magic.bin", "truncated_payload.bin",
+          "lying_payload_words.bin", "oob_payload_index.bin",
+          "nonpow2_bins.bin", "unknown_flags.bin"}) {
+        SCOPED_TRACE(name);
+        const std::string raw = slurp(corpusDir() / "frame" / name);
+        ASSERT_GT(raw.size(), 1u);
+        RequestFrame req;
+        EXPECT_FALSE(decodeRequest(
+                         reinterpret_cast<const uint8_t *>(raw.data()) + 1,
+                         raw.size() - 1, &req)
+                         .ok());
+    }
+    for (const char *name : {"resp_bad_code.bin", "resp_lying_msglen.bin",
+                             "resp_truncated.bin"}) {
+        SCOPED_TRACE(name);
+        const std::string raw = slurp(corpusDir() / "frame" / name);
+        ASSERT_GT(raw.size(), 1u);
+        ResponseFrame resp;
+        EXPECT_FALSE(
+            decodeResponse(
+                reinterpret_cast<const uint8_t *>(raw.data()) + 1,
+                raw.size() - 1, &resp)
+                .ok());
+    }
 }
 
 TEST(FuzzCorpus, GraphMalformedSeedsAreRejected)

@@ -77,17 +77,50 @@ TEST(CancelToken, StatusOkBeforeCancellation)
 
 TEST(CancelToken, CancelVisibleAcrossThreads)
 {
+    // The token object is shared across threads (the Watchdog holds a
+    // reference); cancel() on one thread must be observed on another.
     CancelToken t;
-    CancelToken::Scope scope(t);
     std::atomic<bool> observed{false};
     std::thread waiter([&] {
-        while (!CancelToken::active()->cancelled())
+        while (!t.cancelled())
             std::this_thread::sleep_for(100us);
         observed = true;
     });
     t.cancel(ErrorCode::kCancelled, "cross-thread");
     waiter.join();
     EXPECT_TRUE(observed.load());
+}
+
+TEST(CancelToken, ScopeIsPerThread)
+{
+    // The *active scope* is per thread: installing a token on this
+    // thread must not leak into an unrelated thread (concurrent
+    // supervised runs each install their own), and pool tasks inherit
+    // the submitter's token explicitly via ThreadPool::enqueue.
+    CancelToken t;
+    CancelToken::Scope scope(t);
+    ASSERT_EQ(CancelToken::active(), &t);
+    CancelToken *seen = &t;
+    std::thread other([&] { seen = CancelToken::active(); });
+    other.join();
+    EXPECT_EQ(seen, nullptr)
+        << "a raw thread must not observe another thread's scope";
+}
+
+TEST(CancelToken, ScopeNestsWithRestore)
+{
+    CancelToken outer, inner;
+    EXPECT_EQ(CancelToken::active(), nullptr);
+    {
+        CancelToken::Scope s1(outer);
+        EXPECT_EQ(CancelToken::active(), &outer);
+        {
+            CancelToken::Scope s2(inner);
+            EXPECT_EQ(CancelToken::active(), &inner);
+        }
+        EXPECT_EQ(CancelToken::active(), &outer);
+    }
+    EXPECT_EQ(CancelToken::active(), nullptr);
 }
 
 // -------------------------------------------------------------- deadline
