@@ -1,18 +1,30 @@
 /**
  * @file
  * Paper Figure 14: commutativity specialization — DRAM traffic (14a)
- * and L1 misses (14b) under PB-SW, PHI, COBRA, COBRA-COMM, for the
- * commutative Degree-Count kernel across input classes, plus the
- * non-commutative Neighbor-Populate (where PHI and COBRA-COMM are
- * inapplicable).
+ * and L1 misses (14b) under PB-SW, PHI, COBRA, COBRA-COMM, and the
+ * CCache-style commutative-coalescing baseline (Balaji & Lucia), for
+ * the commutative Degree-Count kernel across input classes, plus the
+ * non-commutative Neighbor-Populate (where PHI, COBRA-COMM, and
+ * CCACHE are inapplicable).
  *
  * Expected shapes: on skewed inputs PHI ~= COBRA-COMM < COBRA on DRAM
  * traffic (coalescing pays); on low-reuse inputs all converge; COBRA
  * variants beat PHI on L1 misses thanks to the optimal Accumulate bin
- * count.
+ * count. CCACHE sits between: its private coalescing buffer absorbs
+ * hot-index reuse without any binning pass, but every buffer miss is
+ * still an uncoalesced irregular RMW.
+ *
+ * The trailing coalescing-effectiveness table quantifies the CCACHE
+ * mechanism directly: of the update stream, how many updates combined
+ * inside the buffer versus reached memory as RMWs — the uncoalesced
+ * PHI apply stream sends *every* update to memory, so the coalesced
+ * fraction is exactly the update-traffic reduction. Each row asserts
+ * the conservation law updates == coalesced + to-memory.
  */
 
 #include "bench/bench_common.h"
+
+#include "src/core/ccache.h"
 
 using namespace cobra;
 
@@ -23,10 +35,14 @@ main()
     Runner runner;
     printMachineBanner(runner);
 
-    Table ta("Figure 14a: DRAM traffic (Mlines, Binning+Accumulate)");
-    ta.header({"Kernel@Input", "PB-SW", "PHI", "COBRA", "COBRA-COMM"});
-    Table tb("Figure 14b: L1 misses (M, Binning+Accumulate)");
-    tb.header({"Kernel@Input", "PB-SW", "PHI", "COBRA", "COBRA-COMM"});
+    Table ta("Figure 14a: DRAM traffic (Mlines, Binning+Accumulate; "
+             "CCACHE is single-phase: whole-run)");
+    ta.header({"Kernel@Input", "PB-SW", "PHI", "COBRA", "COBRA-COMM",
+               "CCACHE"});
+    Table tb("Figure 14b: L1 misses (M, Binning+Accumulate; CCACHE "
+             "whole-run)");
+    tb.header({"Kernel@Input", "PB-SW", "PHI", "COBRA", "COBRA-COMM",
+               "CCACHE"});
 
     auto ladder = Workbench::binLadder();
     auto add = [&](const std::string &label, Kernel &k, bool comm) {
@@ -47,18 +63,29 @@ main()
                                   1e6,
                               3);
         };
+        // CCache runs as one Compute bracket (no Binning/Accumulate
+        // split exists for it), so its column reports run totals.
+        auto fmt_lines_total = [](const RunResult &r) {
+            return Table::num(r.total.dramLines / 1e6, 3);
+        };
+        auto fmt_l1_total = [](const RunResult &r) {
+            return Table::num(r.total.l1Misses / 1e6, 3);
+        };
         if (comm) {
             RunResult phi = runner.run(k, Technique::Phi, o);
             RunResult cc = runner.run(k, Technique::CobraComm, o);
+            RunResult cch = runner.run(k, Technique::CCache, o);
             ta.row({label, fmt_lines(pb), fmt_lines(phi),
-                    fmt_lines(cobra), fmt_lines(cc)});
+                    fmt_lines(cobra), fmt_lines(cc),
+                    fmt_lines_total(cch)});
             tb.row({label, fmt_l1(pb), fmt_l1(phi), fmt_l1(cobra),
-                    fmt_l1(cc)});
+                    fmt_l1(cc), fmt_l1_total(cch)});
         } else {
             ta.row({label, fmt_lines(pb), "n/a (non-comm)",
-                    fmt_lines(cobra), "n/a (non-comm)"});
-            tb.row({label, fmt_l1(pb), "n/a (non-comm)", fmt_l1(cobra),
+                    fmt_lines(cobra), "n/a (non-comm)",
                     "n/a (non-comm)"});
+            tb.row({label, fmt_l1(pb), "n/a (non-comm)", fmt_l1(cobra),
+                    "n/a (non-comm)", "n/a (non-comm)"});
         }
     };
 
@@ -73,10 +100,53 @@ main()
 
     ta.print(std::cout);
     tb.print(std::cout);
+
+    // Coalescing effectiveness: drive the CCacheModel directly with
+    // the degree update stream. An uncoalesced PHI apply stream issues
+    // one memory RMW per update, so coalesced/updates is the fraction
+    // of that traffic the buffer eliminated.
+    Table tc("CCache coalescing effectiveness (degree stream; "
+             "uncoalesced PHI = one RMW per update)");
+    tc.header({"Input", "updates (M)", "coalesced (M)", "to-mem (M)",
+               "reduction vs PHI", "conserved"});
+    for (const std::string gname : {"KRON", "URND", "ROAD"}) {
+        const GraphInput &gi = wb.inputs().graph(gname);
+        ExecCtx ctx;
+        std::vector<uint64_t> deg(gi.nodes, 0);
+        CCacheModel<uint32_t> cc(
+            ctx, +[](uint32_t &dst, const uint32_t &src) { dst += src; },
+            [&deg](ExecCtx &, uint32_t idx, const uint32_t &v) {
+                deg[idx] += v;
+            });
+        for (const Edge &e : gi.edges)
+            cc.update(ctx, e.dst, 1u);
+        cc.flush(ctx);
+        const CCacheModel<uint32_t>::Stats &s = cc.stats();
+        COBRA_FATAL_IF(!cc.conserved(),
+                       "CCache conservation violated: updates != "
+                       "coalesced + toMemory");
+        uint64_t applied = 0;
+        for (uint64_t d : deg)
+            applied += d;
+        COBRA_FATAL_IF(applied != gi.edges.size(),
+                       "CCache dropped or duplicated degree updates");
+        tc.row({gi.name, Table::num(s.updates / 1e6, 3),
+                Table::num(s.coalesced / 1e6, 3),
+                Table::num(s.toMemory / 1e6, 3),
+                Table::num(100.0 * static_cast<double>(s.coalesced) /
+                               static_cast<double>(s.updates),
+                           1) +
+                    "%",
+                "yes"});
+    }
+    tc.print(std::cout);
+
     std::cout << "Paper shapes: COBRA is the only hardware option for "
                  "non-commutative kernels; COBRA-COMM matches PHI's "
                  "traffic by coalescing at the LLC alone; COBRA variants "
                  "win on L1 misses via the optimal Accumulate bin "
-                 "count.\n";
+                 "count. CCACHE coalesces only what fits its private "
+                 "buffer — high reduction on skewed inputs, little on "
+                 "uniform ones.\n";
     return 0;
 }

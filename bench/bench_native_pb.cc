@@ -48,13 +48,18 @@
 #include <string>
 #include <vector>
 
+#include "src/graph/csr.h"
 #include "src/graph/generators.h"
 #include "src/kernels/degree_count.h"
 #include "src/kernels/neighbor_populate.h"
+#include "src/kernels/pagerank.h"
+#include "src/kernels/spmv.h"
 #include "src/obs/hw_counters.h"
 #include "src/pb/auto_tune.h"
 #include "src/pb/simd_binning.h"
 #include "src/sim/phase_recorder.h"
+#include "src/sparse/coo.h"
+#include "src/sparse/reference.h"
 #include "src/util/thread_pool.h"
 
 namespace cobra {
@@ -123,6 +128,104 @@ skewInput(int64_t n, int64_t alpha_x100)
     if (!slot)
         slot = std::make_unique<SkewInput>(static_cast<NodeId>(n),
                                            alpha_x100);
+    return *slot;
+}
+
+/**
+ * Direction-sweep inputs: unlike NativeInput/SkewInput the update count
+ * is an independent axis, because the push/pull heuristic keys on
+ * update density (updates per destination), not just the namespace
+ * size. alpha_x100 = 0 is the uniform arm, > 0 the Zipf arm.
+ */
+struct DirectionInput
+{
+    NodeId nodes;
+    EdgeList edges;
+
+    DirectionInput(NodeId n, uint64_t updates, int64_t alpha_x100)
+        : nodes(n)
+    {
+        if (alpha_x100 == 0)
+            edges = generateUniform(n, updates, 123);
+        else
+            edges = generateZipf(n, updates,
+                                 static_cast<double>(alpha_x100) / 100.0,
+                                 123);
+    }
+};
+
+DirectionInput &
+directionInput(int64_t n, int64_t updates, int64_t alpha_x100)
+{
+    static std::mutex mtx;
+    static std::map<std::tuple<int64_t, int64_t, int64_t>,
+                    std::unique_ptr<DirectionInput>>
+        cache;
+    std::lock_guard<std::mutex> lk(mtx);
+    auto &slot = cache[{n, updates, alpha_x100}];
+    if (!slot)
+        slot = std::make_unique<DirectionInput>(
+            static_cast<NodeId>(n), static_cast<uint64_t>(updates),
+            alpha_x100);
+    return *slot;
+}
+
+/** Cached CSR pair (out + transpose) for the native Pagerank bench. */
+struct PagerankInput
+{
+    CsrGraph out, in;
+
+    explicit PagerankInput(int64_t n)
+    {
+        NativeInput &ni = input(n);
+        out = CsrGraph::build(ni.nodes, ni.edges);
+        in = CsrGraph::buildTranspose(ni.nodes, ni.edges);
+    }
+};
+
+PagerankInput &
+pagerankInput(int64_t n)
+{
+    static std::mutex mtx;
+    static std::map<int64_t, std::unique_ptr<PagerankInput>> cache;
+    std::lock_guard<std::mutex> lk(mtx);
+    auto &slot = cache[n];
+    if (!slot)
+        slot = std::make_unique<PagerankInput>(n);
+    return *slot;
+}
+
+/** Cached CSR matrix + transpose + dense x for the native SpMV bench. */
+struct SpmvInput
+{
+    CsrMatrix a, at;
+    std::vector<double> x;
+
+    explicit SpmvInput(int64_t n)
+    {
+        NativeInput &ni = input(n);
+        CooMatrix coo;
+        coo.numRows = coo.numCols = ni.nodes;
+        for (size_t i = 0; i < ni.edges.size(); ++i)
+            coo.add(ni.edges[i].src, ni.edges[i].dst,
+                    1.0 + static_cast<double>(i % 13) * 0.125);
+        a = CsrMatrix::fromCoo(coo);
+        at = transposeRef(a);
+        x.resize(ni.nodes);
+        for (size_t j = 0; j < x.size(); ++j)
+            x[j] = 0.5 + static_cast<double>(j % 9) * 0.25;
+    }
+};
+
+SpmvInput &
+spmvInput(int64_t n)
+{
+    static std::mutex mtx;
+    static std::map<int64_t, std::unique_ptr<SpmvInput>> cache;
+    std::lock_guard<std::mutex> lk(mtx);
+    auto &slot = cache[n];
+    if (!slot)
+        slot = std::make_unique<SpmvInput>(n);
     return *slot;
 }
 
@@ -377,6 +480,111 @@ BM_DegreeCountPbParallelSkewSweep(benchmark::State &state, bool adaptive)
                             static_cast<int64_t>(in.edges.size()));
 }
 
+/**
+ * Push/pull direction sweep: the same WC engine runs the update stream
+ * with the Accumulate direction forced to push, forced to pull, and
+ * left to the resolvePbDirection heuristic. Args: {nodes, updates,
+ * pool threads, alpha_x100}. Every row exports direction_chosen (0 =
+ * push, 1 = pull) so recorded JSON shows which side the heuristic
+ * picked for each (density, skew) point — the dense LLC-resident
+ * corner should flip to pull, the 2^21-destination sparse corner must
+ * stay push.
+ */
+void
+BM_DegreeCountDirectionSweep(benchmark::State &state, PbDirection dir)
+{
+    DirectionInput &in =
+        directionInput(state.range(0), state.range(1), state.range(3));
+    DegreeCountKernel k(in.nodes, &in.edges);
+    HwPerf hw;
+    ThreadPool pool(static_cast<size_t>(state.range(2)));
+    PbEngineConfig eng;
+    eng.kind = PbEngineKind::kWriteCombine;
+    eng.direction = dir;
+    const uint32_t bins =
+        autoTunePbBins(static_cast<uint64_t>(state.range(0)));
+    PhaseSeconds ps;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        hw.beginIter(rec);
+        k.runPbParallel(pool, rec, bins, eng);
+        hw.endIter(rec);
+        benchmark::DoNotOptimize(k.degrees().data());
+        ps.add(rec);
+    }
+    ps.report(state);
+    hw.report(state);
+    state.counters["alpha_x100"] = static_cast<double>(state.range(3));
+    state.counters["direction_chosen"] = static_cast<double>(
+        static_cast<uint8_t>(k.lastRunDirection()));
+    state.SetLabel(std::string("dir=") + to_string(dir) + "->" +
+                   to_string(k.lastRunDirection()));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.edges.size()));
+}
+
+/** Native parallel Pagerank iteration; args {nodes, pool threads}. */
+void
+BM_PagerankPbParallel(benchmark::State &state, PbDirection dir)
+{
+    PagerankInput &in = pagerankInput(state.range(0));
+    PagerankKernel k(&in.out, &in.in);
+    HwPerf hw;
+    ThreadPool pool(static_cast<size_t>(state.range(1)));
+    PbEngineConfig eng;
+    eng.kind = PbEngineKind::kWriteCombine;
+    eng.direction = dir;
+    const uint32_t bins = autoTunePbBins(in.out.numNodes());
+    PhaseSeconds ps;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        hw.beginIter(rec);
+        k.runPbParallel(pool, rec, bins, eng);
+        hw.endIter(rec);
+        benchmark::DoNotOptimize(k.scores().data());
+        ps.add(rec);
+    }
+    ps.report(state);
+    hw.report(state);
+    state.counters["direction_chosen"] = static_cast<double>(
+        static_cast<uint8_t>(k.lastRunDirection()));
+    state.SetLabel(std::string("dir=") + to_string(dir) + "->" +
+                   to_string(k.lastRunDirection()));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.out.numEdges()));
+}
+
+/** Native parallel SpMV; args {nodes (matrix dim), pool threads}. */
+void
+BM_SpmvPbParallel(benchmark::State &state, PbDirection dir)
+{
+    SpmvInput &in = spmvInput(state.range(0));
+    SpmvKernel k(&in.a, &in.at, &in.x);
+    HwPerf hw;
+    ThreadPool pool(static_cast<size_t>(state.range(1)));
+    PbEngineConfig eng;
+    eng.kind = PbEngineKind::kWriteCombine;
+    eng.direction = dir;
+    const uint32_t bins = autoTunePbBins(in.a.numRows());
+    PhaseSeconds ps;
+    for (auto _ : state) {
+        PhaseRecorder rec;
+        hw.beginIter(rec);
+        k.runPbParallel(pool, rec, bins, eng);
+        hw.endIter(rec);
+        benchmark::DoNotOptimize(k.result().data());
+        ps.add(rec);
+    }
+    ps.report(state);
+    hw.report(state);
+    state.counters["direction_chosen"] = static_cast<double>(
+        static_cast<uint8_t>(k.lastRunDirection()));
+    state.SetLabel(std::string("dir=") + to_string(dir) + "->" +
+                   to_string(k.lastRunDirection()));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<int64_t>(in.a.nnz()));
+}
+
 void
 BM_NeighborPopulateBaseline(benchmark::State &state)
 {
@@ -507,6 +715,42 @@ BENCHMARK_CAPTURE(BM_DegreeCountPbParallelSkewSweep, static_sched,
 BENCHMARK_CAPTURE(BM_DegreeCountPbParallelSkewSweep, adaptive_sched,
                   true) COBRA_SKEW_SWEEP_ARGS;
 #undef COBRA_SKEW_SWEEP_ARGS
+
+// Direction sweep at a fixed 2^21-update stream pushed into 2^14 /
+// 2^18 / 2^21 destinations (density 128x / 8x / 1x), uniform and
+// Zipf-1.0, each with the direction forced both ways plus the
+// heuristic. The 2^14 rows double as the bench-smoke configuration
+// (the /16384/ filter) so the recorded-schema test also validates
+// direction_chosen end to end.
+#define COBRA_DIRECTION_SWEEP_ARGS                                      \
+    ->Args({1 << 14, 1 << 21, 2, 0})                                    \
+        ->Args({1 << 18, 1 << 21, 2, 0})                                \
+        ->Args({1 << 21, 1 << 21, 2, 0})                                \
+        ->Args({1 << 14, 1 << 21, 2, 100})                              \
+        ->Args({1 << 18, 1 << 21, 2, 100})                              \
+        ->Args({1 << 21, 1 << 21, 2, 100})                              \
+        ->UseRealTime()
+BENCHMARK_CAPTURE(BM_DegreeCountDirectionSweep, push, PbDirection::kPush)
+    COBRA_DIRECTION_SWEEP_ARGS;
+BENCHMARK_CAPTURE(BM_DegreeCountDirectionSweep, pull, PbDirection::kPull)
+    COBRA_DIRECTION_SWEEP_ARGS;
+BENCHMARK_CAPTURE(BM_DegreeCountDirectionSweep, auto_dir,
+                  PbDirection::kAuto) COBRA_DIRECTION_SWEEP_ARGS;
+#undef COBRA_DIRECTION_SWEEP_ARGS
+
+// Native Pagerank / SpMV at {nodes, pool threads}; the 2^14 point is
+// the bench-smoke configuration for the served-kernel schema.
+#define COBRA_PR_SPMV_ARGS                                              \
+    ->Args({1 << 14, 2})->Args({1 << 18, 2})->UseRealTime()
+BENCHMARK_CAPTURE(BM_PagerankPbParallel, push, PbDirection::kPush)
+    COBRA_PR_SPMV_ARGS;
+BENCHMARK_CAPTURE(BM_PagerankPbParallel, auto_dir, PbDirection::kAuto)
+    COBRA_PR_SPMV_ARGS;
+BENCHMARK_CAPTURE(BM_SpmvPbParallel, push, PbDirection::kPush)
+    COBRA_PR_SPMV_ARGS;
+BENCHMARK_CAPTURE(BM_SpmvPbParallel, auto_dir, PbDirection::kAuto)
+    COBRA_PR_SPMV_ARGS;
+#undef COBRA_PR_SPMV_ARGS
 
 BENCHMARK(BM_NeighborPopulateBaseline)->Arg(1 << 18)->Arg(1 << 21);
 BENCHMARK(BM_NeighborPopulatePb)

@@ -13,7 +13,14 @@
  *
  * Kernels: degree, np, pagerank, radii, sort
  * Inputs:  kron, urnd, road (generated) or --graph-file <path.el|.bel>
- * Techniques: baseline, pb, ideal, cobra, comm, phi
+ * Techniques: baseline, pb, ideal, cobra, comm, phi, ccache
+ *
+ * Native direction control (with --native --technique pb --engine ...):
+ *   --direction push|pull|auto
+ *                      push = classic Init/Binning/Accumulate; pull =
+ *                      destination-sharded gather Accumulate (no bins);
+ *                      auto = the footprint/density heuristic picks.
+ *                      The run reports which direction actually ran.
  *
  * Robustness harness:
  *   --check            run the differential oracle (element-level
@@ -107,6 +114,7 @@ struct Options
     uint64_t deadlineMs = 0; ///< watchdog deadline per attempt (0 = off)
     int64_t retries = -1;    ///< max retries after first attempt (-1 = off)
     uint64_t memBudgetMb = 0; ///< PB memory budget (0 = unlimited)
+    std::string direction;   ///< native Accumulate direction (push|pull|auto)
 
     bool
     supervised() const
@@ -122,9 +130,10 @@ usage(const char *argv0)
         << "usage: " << argv0
         << " [--kernel degree|np|pagerank|radii|sort]\n"
            "       [--input kron|urnd|road | --graph-file path]\n"
-           "       [--technique baseline|pb|ideal|cobra|comm|phi]\n"
+           "       [--technique baseline|pb|ideal|cobra|comm|phi|ccache]\n"
            "       [--nodes N] [--edges M] [--bins B|--auto-bins]\n"
            "       [--native] [--engine scalar|wc|wc-simd|hier|two_pass]\n"
+           "       [--direction push|pull|auto]\n"
            "       [--threads T] [--stats] [--json]\n"
            "       [--skew-adaptive] [--skew-topk K] [--hot-factor F]\n"
            "       [--numa-pin]\n"
@@ -208,6 +217,8 @@ parse(int argc, char **argv)
                 std::atoll(need(++i).c_str()));
         } else if (a == "--engine") {
             o.engine = need(++i);
+        } else if (a == "--direction") {
+            o.direction = need(++i);
         } else if (a == "--threads") {
             o.threadsRaw = std::atoll(need(++i).c_str());
             o.threadsSet = true;
@@ -281,6 +292,21 @@ runCli(int argc, char **argv)
         if (!o.native || o.technique != "pb") {
             std::cerr << "error: --engine selects the native parallel "
                          "PB runtime (use --native --technique pb)\n";
+            return 2;
+        }
+    }
+    std::optional<PbDirection> direction;
+    if (!o.direction.empty()) {
+        direction = directionFromName(o.direction);
+        if (!direction) {
+            std::cerr << "error: unknown --direction '" << o.direction
+                      << "' (push|pull|auto)\n";
+            return 2;
+        }
+        if (!o.native || o.technique != "pb" || !engine_kind) {
+            std::cerr << "error: --direction selects the native "
+                         "parallel Accumulate direction (use --native "
+                         "--technique pb --engine ...)\n";
             return 2;
         }
     }
@@ -420,6 +446,8 @@ runCli(int argc, char **argv)
                 ec.skewAdaptive = o.skewAdaptive;
                 ec.skewTopK = o.skewTopK;
                 ec.hotFactor = o.hotFactor;
+                if (direction)
+                    ec.direction = *direction;
                 ThreadPool pool(o.threads, o.numaPin);
                 if (o.supervised()) {
                     // Resilient mode: deadline + retry-with-degradation
@@ -460,6 +488,13 @@ runCli(int argc, char **argv)
                   << rec.phase(phase::kAccumulate).seconds
                   << " compute=" << rec.phase(phase::kCompute).seconds
                   << "\n";
+        if (engine_kind)
+            // Greppable: under --direction auto this is the heuristic's
+            // verdict; otherwise it echoes the request.
+            std::cout << "direction requested="
+                      << (direction ? to_string(*direction) : "push")
+                      << " chosen="
+                      << to_string(kernel->lastRunDirection()) << "\n";
         if (sup_report) {
             std::cout << "supervisor: " << sup_report->toString()
                       << "\n";
@@ -490,7 +525,7 @@ runCli(int argc, char **argv)
     std::map<std::string, Technique> tech_names{
         {"baseline", Technique::Baseline}, {"pb", Technique::PbSw},
         {"cobra", Technique::Cobra},       {"comm", Technique::CobraComm},
-        {"phi", Technique::Phi},
+        {"phi", Technique::Phi},           {"ccache", Technique::CCache},
     };
     if (o.technique != "ideal" && !tech_names.count(o.technique))
         usage(argv[0]);

@@ -64,7 +64,8 @@ usage(const char *argv0)
 {
     std::cerr
         << "usage: " << argv0
-        << " [--socket path] [--kernel degree|np] [--tenant ID]\n"
+        << " [--socket path] [--kernel degree|np|pagerank|spmv]"
+           " [--tenant ID]\n"
            "       [--requests R] [--threads C] [--updates N] "
            "[--indices I]\n"
            "       [--dist uniform|zipf:ALPHA|rmat] [--bins B]\n"

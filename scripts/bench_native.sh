@@ -5,6 +5,17 @@
 #
 #   scripts/bench_native.sh [BUILD_DIR] [--repeats N]
 #   scripts/bench_native.sh --supervisor-smoke [BUILD_DIR] [--repeats N]
+#   scripts/bench_native.sh --compare [--threshold PCT]
+#
+# --compare diffs the current trajectory point (BENCH_native_pb.json)
+# against the newest archived one (bench/archive/), per benchmark and
+# per *_med_s phase median — the same medians the recorded JSON schema
+# exports precisely so regressions are judged on distribution centers,
+# not noisy means. A phase that slowed by more than the threshold
+# (default 25%) above a 100us noise floor is a regression: every one is
+# printed and the script exits nonzero. Run it after bench_native.sh
+# (which archives the previous point) to gate a PR on "no native phase
+# got slower".
 #
 # An optional build-dir argument selects which build to measure
 # (default: build/). Pass a -DCOBRA_NATIVE_ARCH=ON tree (e.g.
@@ -42,6 +53,8 @@ fi
 BUILD_DIR=build
 REPEATS=1
 SUP_SMOKE=0
+COMPARE=0
+THRESHOLD=25
 while [[ $# -gt 0 ]]; do
     case "$1" in
     --repeats)
@@ -54,12 +67,97 @@ while [[ $# -gt 0 ]]; do
         REPEATS=9
         shift
         ;;
+    --compare)
+        COMPARE=1
+        shift
+        ;;
+    --threshold)
+        [[ $# -ge 2 ]] || { echo "bench_native: --threshold needs a value" >&2; exit 2; }
+        THRESHOLD=$2
+        shift 2
+        ;;
     *)
         BUILD_DIR=$1
         shift
         ;;
     esac
 done
+
+if [ "$COMPARE" = 1 ]; then
+    if [ ! -f BENCH_native_pb.json ]; then
+        echo "bench_native: --compare: no BENCH_native_pb.json at the" \
+             "repo root (run scripts/bench_native.sh first)" >&2
+        exit 2
+    fi
+    BASELINE=$(ls -1 bench/archive/BENCH_native_pb.*.json 2>/dev/null | sort | tail -n 1 || true)
+    if [ -z "$BASELINE" ]; then
+        echo "bench_native: --compare: no archived baseline in" \
+             "bench/archive/ — nothing to compare against (first run)"
+        exit 0
+    fi
+    python3 - "$BASELINE" BENCH_native_pb.json "$THRESHOLD" <<'EOF'
+import json, sys
+
+base_path, new_path, threshold = sys.argv[1], sys.argv[2], float(sys.argv[3])
+# Phases faster than this are timer noise, not evidence.
+NOISE_FLOOR_S = 100e-6
+
+def med_fields(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for b in doc.get("benchmarks", []):
+        # Skip google-benchmark aggregate rows (mean/median/stddev of
+        # --repeats); the per-repetition *_med_s already is a median.
+        if b.get("run_type") == "aggregate":
+            continue
+        meds = {k: v for k, v in b.items()
+                if k.endswith("_med_s") and isinstance(v, (int, float))}
+        if meds:
+            rows[b["name"]] = meds
+    return rows
+
+base, new = med_fields(base_path), med_fields(new_path)
+shared = sorted(set(base) & set(new))
+if not shared:
+    print(f"bench_native --compare: no common benchmarks between "
+          f"{base_path} and {new_path}")
+    sys.exit(0)
+
+regressions = []
+improvements = 0
+compared = 0
+for name in shared:
+    for field in sorted(set(base[name]) & set(new[name])):
+        old_v, new_v = base[name][field], new[name][field]
+        if old_v < NOISE_FLOOR_S and new_v < NOISE_FLOOR_S:
+            continue
+        compared += 1
+        if old_v <= 0.0:
+            continue
+        delta = (new_v - old_v) / old_v * 100.0
+        if delta > threshold:
+            regressions.append((name, field, old_v, new_v, delta))
+        elif delta < -threshold:
+            improvements += 1
+
+print(f"bench_native --compare: {len(shared)} shared benchmarks, "
+      f"{compared} phase medians above the {NOISE_FLOOR_S * 1e6:.0f}us "
+      f"noise floor, threshold {threshold:.0f}%")
+print(f"  baseline: {base_path}")
+if improvements:
+    print(f"  {improvements} phase medians improved by more than "
+          f"{threshold:.0f}%")
+if regressions:
+    print(f"  {len(regressions)} REGRESSIONS:")
+    for name, field, old_v, new_v, delta in regressions:
+        print(f"    {name} {field}: {old_v * 1e3:.3f} ms -> "
+              f"{new_v * 1e3:.3f} ms ({delta:+.1f}%)")
+    sys.exit(1)
+print("  no phase median regressed past the threshold")
+EOF
+    exit $?
+fi
 
 if [ "$SUP_SMOKE" = 1 ]; then
     CLI="$BUILD_DIR/examples/cobra_cli"

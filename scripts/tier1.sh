@@ -11,14 +11,18 @@
 #   scripts/tier1.sh --tsan --labels server    # batch-server lifecycle
 #                                              # (admission, shedding,
 #                                              # chaos) under TSan
+#   scripts/tier1.sh --tsan --labels duality   # push/pull bit-equality
+#                                              # + pull fault matrix
 #
 # Label taxonomy lives in tests/CMakeLists.txt; `skew` marks the
 # skew-adaptive scheduling / StealQueue / two-pass native suites, which
 # are the ones worth re-running under --tsan after touching the
-# Accumulate scheduler, and `server` marks the batch-server suites
+# Accumulate scheduler, `server` marks the batch-server suites
 # (concurrent supervised runs on a shared pool), worth the same
-# treatment after touching dispatch, admission, or shutdown paths.
-# Both ride in every plain and sanitizer pass too — the labels are a
+# treatment after touching dispatch, admission, or shutdown paths, and
+# `duality` marks the push/pull bit-equality oracle whose pull gather
+# shards would race if the destination sharding were wrong.
+# All ride in every plain and sanitizer pass too — the labels are a
 # focus knob, not an opt-in.
 #
 # After the requested suite passes, hosts with AVX2 also build and run

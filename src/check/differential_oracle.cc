@@ -24,6 +24,7 @@ planForRun(const Kernel &kernel, Technique technique,
         return std::nullopt;
     switch (technique) {
       case Technique::Baseline:
+      case Technique::CCache: // privatized buffer, no bin structure
         return std::nullopt;
       case Technique::PbSw:
       case Technique::Phi:

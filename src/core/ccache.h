@@ -1,0 +1,157 @@
+/**
+ * @file
+ * CCache-style commutative-coalescing baseline (Balaji & Lucia,
+ * "Flexible Support for Fast Parallel Commutative Updates") for the
+ * comparison matrix next to PHI/COBRA/COBRA-COMM (paper Section VII-C
+ * names PHI; ROADMAP item 4 adds this second unimplemented neighbor).
+ *
+ * CCache privatizes commutative data in the core's own cache space: an
+ * update to index i is combined into a per-core coalescing buffer
+ * entry, and only when that entry is evicted does one merged update
+ * reach memory — as a direct irregular read-modify-write, *not* a
+ * binned stream. That is the architectural contrast with PB/COBRA/PHI:
+ * CCache removes update traffic by coalescing but keeps the irregular
+ * access pattern for whatever survives, whereas PB-family designs make
+ * the surviving traffic sequential. Dense, reuse-heavy streams coalesce
+ * almost everything (CCache wins); sparse streams pass through and
+ * degenerate to the baseline's random RMWs.
+ *
+ * Capacity model mirrors PhiModel's conservatism: the buffer occupies
+ * the same *private*-level space COBRA would reserve (L1 + L2 reserved
+ * ways; the LLC is shared, so a per-core CCache does not get it),
+ * eviction is FIFO, and an update costs one instruction (idealized
+ * management, paper footnote 4). Evicted and flushed entries apply
+ * through the caller's applier, which performs the real ctx-accounted
+ * destination RMW — the simulated hierarchy then charges the irregular
+ * misses.
+ *
+ * Conservation: every update is either coalesced into an existing
+ * entry or eventually applied to memory, so after flush()
+ * updates == coalesced + toMemory must hold exactly.
+ */
+
+#ifndef COBRA_CORE_CCACHE_H
+#define COBRA_CORE_CCACHE_H
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "src/core/cobra_config.h"
+#include "src/pb/bin_storage.h"
+
+namespace cobra {
+
+/** Privatized single-level commutative-coalescing buffer model. */
+template <typename Payload>
+class CCacheModel
+{
+  public:
+    using Tuple = BinTuple<Payload>;
+    using Reducer = void (*)(Payload &dst, const Payload &src);
+    /** Applies one merged update to the real destination (ctx-billed). */
+    using Applier =
+        std::function<void(ExecCtx &, uint32_t, const Payload &)>;
+
+    static constexpr uint32_t kTuplesPerLine =
+        kLineSize / static_cast<uint32_t>(sizeof(Tuple));
+
+    struct Stats
+    {
+        uint64_t updates = 0;   ///< update() calls
+        uint64_t coalesced = 0; ///< combined into a live entry
+        uint64_t toMemory = 0;  ///< merged RMWs that reached memory
+    };
+
+    CCacheModel(ExecCtx &ctx, Reducer reducer, Applier applier,
+                const CobraConfig &space = CobraConfig{},
+                const HierarchyConfig &fallback = HierarchyConfig{})
+        : reduce(reducer), apply(std::move(applier))
+    {
+        COBRA_FATAL_IF(reduce == nullptr,
+                       "CCache requires commutativity");
+        COBRA_FATAL_IF(!apply, "CCache requires an applier");
+        const HierarchyConfig &h =
+            ctx.simulated() ? ctx.hierarchy()->config() : fallback;
+        cap = uint64_t{space.l1ReservedWays} * h.l1.numSets() *
+                kTuplesPerLine +
+            uint64_t{space.l2ReservedWays} * h.l2.numSets() *
+                kTuplesPerLine;
+        if (cap == 0)
+            cap = 1; // degenerate config: pass-through behavior
+        table.reserve(cap * 2);
+    }
+
+    const Stats &stats() const { return stat; }
+    uint64_t capacity() const { return cap; }
+
+    /** One update; idealized — a single instruction, like binupdate. */
+    void
+    update(ExecCtx &ctx, uint32_t index, const Payload &payload)
+    {
+        ctx.instr(1);
+        ++stat.updates;
+        auto it = table.find(index);
+        if (it != table.end()) {
+            reduce(it->second, payload);
+            ++stat.coalesced;
+            return;
+        }
+        if (table.size() >= cap)
+            evictOldest(ctx);
+        table.emplace(index, payload);
+        fifo.push_back(index);
+    }
+
+    /** Apply every live entry; the buffer is empty afterwards. */
+    void
+    flush(ExecCtx &ctx)
+    {
+        for (uint32_t idx : fifo) {
+            auto it = table.find(idx);
+            if (it == table.end())
+                continue; // stale FIFO entry
+            ++stat.toMemory;
+            apply(ctx, idx, it->second);
+            table.erase(it);
+        }
+        fifo.clear();
+        table.clear();
+    }
+
+    /** updates == coalesced + toMemory; call after flush(). */
+    bool
+    conserved() const
+    {
+        return stat.updates == stat.coalesced + stat.toMemory;
+    }
+
+  private:
+    void
+    evictOldest(ExecCtx &ctx)
+    {
+        while (!fifo.empty()) {
+            uint32_t victim = fifo.front();
+            fifo.pop_front();
+            auto it = table.find(victim);
+            if (it == table.end())
+                continue; // stale FIFO entry
+            ++stat.toMemory;
+            apply(ctx, victim, it->second);
+            table.erase(it);
+            return;
+        }
+        COBRA_PANIC_IF(true, "CCache eviction from empty buffer");
+    }
+
+    Reducer reduce;
+    Applier apply;
+    std::unordered_map<uint32_t, Payload> table;
+    std::deque<uint32_t> fifo;
+    uint64_t cap = 0;
+    Stats stat;
+};
+
+} // namespace cobra
+
+#endif // COBRA_CORE_CCACHE_H

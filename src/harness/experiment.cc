@@ -40,6 +40,9 @@ Runner::run(Kernel &kernel, Technique technique,
         res.pbBins = opts.pbBins;
         kernel.runPhi(ctx, rec, opts.pbBins);
         break;
+      case Technique::CCache:
+        kernel.runCCache(ctx, rec, opts.cobra);
+        break;
     }
 
     res.init = rec.phase(phase::kInit);

@@ -1,7 +1,9 @@
 #include "src/kernels/degree_count.h"
 
+#include "src/core/ccache.h"
 #include "src/graph/builder.h"
 #include "src/kernels/pipelines.h"
+#include "src/pb/auto_tune.h"
 #include "src/pb/parallel_pb.h"
 
 namespace cobra {
@@ -30,6 +32,16 @@ DegreeCountKernel::resetOutput()
     // Health reflects the *most recent* run: any technique starts clean.
     pbHealth = Status::Ok();
     pbOverflow = 0;
+    pbDirection = PbDirection::kPush;
+}
+
+const CsrGraph &
+DegreeCountKernel::pullView()
+{
+    if (!pullCsr)
+        pullCsr = std::make_unique<CsrGraph>(
+            CsrGraph::build(nodes, *edges));
+    return *pullCsr;
 }
 
 void
@@ -86,6 +98,28 @@ DegreeCountKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
     BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
     ParallelPbRunner<NoPayload> runner(pool, plan, engine);
     const EdgeList &el = *edges;
+    pbDirection = resolvePbDirection(engine.direction, el.size(), nodes,
+                                     hostCacheBudget());
+    if (pbDirection == PbDirection::kPull) {
+        // Pull: gather from the destination-indexed view instead of
+        // binning. Counting a row is exactly summing its stream-order
+        // updates, so the result matches push bit-for-bit.
+        const CsrGraph &view = pullView();
+        runner.runPull(el.size(), rec,
+                       [this, &view](uint64_t lo, uint64_t hi) {
+                           uint64_t applied = 0;
+                           for (uint64_t v = lo; v < hi; ++v) {
+                               const uint32_t d = static_cast<uint32_t>(
+                                   view.degree(static_cast<NodeId>(v)));
+                               deg[v] += d;
+                               applied += d;
+                           }
+                           return applied;
+                       });
+        pbHealth = runner.conservation();
+        pbOverflow = runner.overflowTuples();
+        return;
+    }
     // Degree counting is a commutative sum, so it also supplies the
     // privatized-reduction ops: under skewAdaptive a hot bin's tuples
     // may be counted into per-sub-range uint32_t slots and folded back
@@ -189,6 +223,37 @@ DegreeCountKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec,
             deg[t.index] += t.payload;
             ctx.store(&deg[t.index], 4);
         });
+}
+
+void
+DegreeCountKernel::runCCache(ExecCtx &ctx, PhaseRecorder &rec,
+                             const CobraConfig &cfg)
+{
+    resetOutput();
+    // One pass: updates coalesce in the privatized buffer; evictions
+    // and the final flush apply merged counts as direct irregular RMWs
+    // (CCache keeps the baseline's access pattern for what survives).
+    CCacheModel<uint32_t> cc(
+        ctx, &addCounts,
+        [this](ExecCtx &c, uint32_t index, const uint32_t &count) {
+            c.instr(1);
+            c.load(&deg[index], 4);
+            deg[index] += count;
+            c.store(&deg[index], 4);
+        },
+        cfg);
+    rec.begin(ctx, phase::kCompute);
+    for (const Edge &e : *edges) {
+        ctx.load(&e.src, 4);
+        ctx.instr(1);
+        cc.update(ctx, e.src, 1u);
+    }
+    cc.flush(ctx);
+    rec.end(ctx);
+    if (!cc.conserved())
+        pbHealth = Status(ErrorCode::kDataLoss,
+                          "CCache lost updates: applied + coalesced != "
+                          "emitted");
 }
 
 bool

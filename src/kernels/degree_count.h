@@ -14,8 +14,10 @@
 #ifndef COBRA_KERNELS_DEGREE_COUNT_H
 #define COBRA_KERNELS_DEGREE_COUNT_H
 
+#include <memory>
 #include <vector>
 
+#include "src/graph/csr.h"
 #include "src/graph/types.h"
 #include "src/kernels/kernel.h"
 
@@ -43,15 +45,19 @@ class DegreeCountKernel : public Kernel
                   const CobraConfig &cfg) override;
     void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
                 uint32_t max_bins) override;
+    void runCCache(ExecCtx &ctx, PhaseRecorder &rec,
+                   const CobraConfig &cfg) override;
     bool verify() const override;
     std::optional<Divergence> firstDivergence() const override;
     Status lastRunHealth() const override { return pbHealth; }
     uint64_t lastOverflowTuples() const override { return pbOverflow; }
+    PbDirection lastRunDirection() const override { return pbDirection; }
 
     const std::vector<uint32_t> &degrees() const { return deg; }
 
   private:
     void resetOutput();
+    const CsrGraph &pullView();
 
     NodeId nodes;
     const EdgeList *edges;
@@ -59,6 +65,14 @@ class DegreeCountKernel : public Kernel
     std::vector<uint32_t> ref;
     Status pbHealth;        ///< conservation of the last parallel PB run
     uint64_t pbOverflow = 0;
+    PbDirection pbDirection = PbDirection::kPush;
+    /**
+     * Destination-indexed gather view for pull runs: row u holds the
+     * edges emitted with src u, in stream order (CsrGraph::build is a
+     * stable counting sort). Built on first pull run, reused after —
+     * the pull analogue of pagerank's cached transpose.
+     */
+    std::unique_ptr<CsrGraph> pullCsr;
 };
 
 } // namespace cobra

@@ -11,6 +11,7 @@ to_string(Technique t)
       case Technique::Cobra: return "COBRA";
       case Technique::CobraComm: return "COBRA-COMM";
       case Technique::Phi: return "PHI";
+      case Technique::CCache: return "CCACHE";
     }
     return "?";
 }

@@ -35,6 +35,7 @@ enum class Technique
     Cobra,     ///< COBRA architecture (Sections IV-V)
     CobraComm, ///< COBRA-COMM: LLC coalescing (Section VII-C)
     Phi,       ///< idealized PHI (Section VII-C)
+    CCache,    ///< CCache-style commutative coalescing (Balaji & Lucia)
 };
 
 std::string to_string(Technique t);
@@ -117,6 +118,17 @@ class Kernel
      */
     virtual uint64_t lastOverflowTuples() const { return 0; }
 
+    /**
+     * Direction the most recent runPbParallel actually executed after
+     * kAuto resolution (resolvePbDirection): kPull when the run went
+     * through the binning-free destination-sharded gather, kPush
+     * otherwise. Kernels without a pull path always report kPush.
+     */
+    virtual PbDirection lastRunDirection() const
+    {
+        return PbDirection::kPush;
+    }
+
     /** COBRA (COBRA-COMM when cfg.coalesceAtLlc and commutative()). */
     virtual void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                           const CobraConfig &cfg) = 0;
@@ -128,6 +140,21 @@ class Kernel
         COBRA_THROW_IF(true, ErrorCode::kUnimplemented,
                        name() << ": PHI requires commutative "
                                  "updates (paper Section III-B)");
+    }
+
+    /**
+     * CCache-style commutative coalescing (Balaji & Lucia, "Flexible
+     * Support for Fast Parallel Commutative Updates"): a privatized
+     * per-core buffer combines commutative updates before they reach
+     * memory; evictions apply directly (src/core/ccache.h). Only valid
+     * for commutative kernels.
+     */
+    virtual void
+    runCCache(ExecCtx &, PhaseRecorder &, const CobraConfig &)
+    {
+        COBRA_THROW_IF(true, ErrorCode::kUnimplemented,
+                       name() << ": CCache requires commutative "
+                                 "updates");
     }
 
     /** Check the most recent run's output against the reference. */

@@ -4,6 +4,7 @@
 
 #include "src/graph/builder.h"
 #include "src/kernels/pipelines.h"
+#include "src/pb/auto_tune.h"
 #include "src/pb/parallel_pb.h"
 #include "src/util/prefix_sum.h"
 
@@ -27,6 +28,16 @@ NeighborPopulateKernel::resetOutput()
     // Health reflects the *most recent* run: any technique starts clean.
     pbHealth = Status::Ok();
     pbOverflow = 0;
+    pbDirection = PbDirection::kPush;
+}
+
+const CsrGraph &
+NeighborPopulateKernel::pullView()
+{
+    if (!pullCsr)
+        pullCsr = std::make_unique<CsrGraph>(
+            CsrGraph::build(nodes, *edges));
+    return *pullCsr;
 }
 
 void
@@ -95,6 +106,29 @@ NeighborPopulateKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
     BinningPlan plan = BinningPlan::forMaxBins(nodes, max_bins);
     ParallelPbRunner<NodeId> runner(pool, plan, engine);
     const EdgeList &el = *edges;
+    pbDirection = resolvePbDirection(engine.direction, el.size(), nodes,
+                                     hostCacheBudget());
+    if (pbDirection == PbDirection::kPull) {
+        // Pull: each destination shard copies its rows from the gather
+        // view. Row order is stream order, so the produced adjacency is
+        // byte-identical to the push path's.
+        const CsrGraph &view = pullView();
+        runner.runPull(el.size(), rec,
+                       [this, &view](uint64_t lo, uint64_t hi) {
+                           uint64_t applied = 0;
+                           for (uint64_t v = lo; v < hi; ++v) {
+                               for (NodeId d : view.neighbors(
+                                        static_cast<NodeId>(v))) {
+                                   neighs[cursor[v]++] = d;
+                                   ++applied;
+                               }
+                           }
+                           return applied;
+                       });
+        pbHealth = runner.conservation();
+        pbOverflow = runner.overflowTuples();
+        return;
+    }
     runner.run(
         el.size(), rec, [&el](size_t i) { return el[i].src; },
         [&el](size_t i) {

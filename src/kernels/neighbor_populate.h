@@ -14,6 +14,7 @@
 #ifndef COBRA_KERNELS_NEIGHBOR_POPULATE_H
 #define COBRA_KERNELS_NEIGHBOR_POPULATE_H
 
+#include <memory>
 #include <vector>
 
 #include "src/graph/csr.h"
@@ -46,12 +47,14 @@ class NeighborPopulateKernel : public Kernel
     std::optional<Divergence> firstDivergence() const override;
     Status lastRunHealth() const override { return pbHealth; }
     uint64_t lastOverflowTuples() const override { return pbOverflow; }
+    PbDirection lastRunDirection() const override { return pbDirection; }
 
     /** The produced CSR (valid after any run). */
     CsrGraph result() const;
 
   private:
     void resetOutput();
+    const CsrGraph &pullView();
 
     template <typename Fn> void forEachIndexImpl(ExecCtx &ctx, Fn &&emit);
 
@@ -63,6 +66,13 @@ class NeighborPopulateKernel : public Kernel
     CsrGraph refSorted; ///< canonical reference CSR
     Status pbHealth;    ///< conservation of the last parallel PB run
     uint64_t pbOverflow = 0;
+    PbDirection pbDirection = PbDirection::kPush;
+    /**
+     * Gather view for pull runs: row u = destinations of the edges
+     * emitted with src u, in stream order (CsrGraph::build is stable),
+     * so a pull copy reproduces the push adjacency byte-for-byte.
+     */
+    std::unique_ptr<CsrGraph> pullCsr;
 };
 
 } // namespace cobra

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "src/core/ccache.h"
 #include "src/kernels/pipelines.h"
+#include "src/pb/auto_tune.h"
+#include "src/pb/parallel_pb.h"
 #include "src/tiling/csr_segmenting.h"
 
 namespace cobra {
@@ -56,6 +59,34 @@ PagerankKernel::resetOutput()
 {
     sums.assign(outG->numNodes(), 0.0f);
     next.assign(outG->numNodes(), 0.0f);
+    // Health reflects the *most recent* run: any technique starts clean.
+    pbHealth = Status::Ok();
+    pbOverflow = 0;
+    pbDirection = PbDirection::kPush;
+}
+
+const std::vector<NodeId> &
+PagerankKernel::edgeSources()
+{
+    if (edgeSrc.empty() && outG->numEdges() > 0) {
+        edgeSrc.resize(outG->numEdges());
+        for (NodeId u = 0; u < outG->numNodes(); ++u) {
+            const EdgeOffset begin = outG->offsetsArray()[u];
+            const EdgeOffset end = outG->offsetsArray()[u + 1];
+            for (EdgeOffset i = begin; i < end; ++i)
+                edgeSrc[i] = u;
+        }
+    }
+    return edgeSrc;
+}
+
+const CsrGraph &
+PagerankKernel::pullView()
+{
+    if (!pullCsc)
+        pullCsc = std::make_unique<CsrGraph>(CsrGraph::buildTranspose(
+            outG->numNodes(), toEdgeList(*outG)));
+    return *pullCsc;
 }
 
 void
@@ -147,6 +178,72 @@ PagerankKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
 }
 
 void
+PagerankKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                              uint32_t max_bins,
+                              const PbEngineConfig &engine)
+{
+    resetOutput();
+    ExecCtx native; // uninstrumented: full host speed
+    const NodeId n = outG->numNodes();
+    const uint64_t nupd = outG->numEdges();
+    computeContrib(native);
+    pbDirection =
+        resolvePbDirection(engine.direction, nupd, n, hostCacheBudget());
+    BinningPlan plan = BinningPlan::forMaxBins(n, max_bins);
+    ParallelPbRunner<float> runner(pool, plan, engine);
+    if (pbDirection == PbDirection::kPull) {
+        // Pull: gather contrib over the stable CSC. Each destination's
+        // in-neighbors appear in out-CSR flat order — the same order
+        // the push path drains that destination's bin — so the float
+        // sums are bit-identical to push at any thread count.
+        const CsrGraph &view = pullView();
+        runner.runPull(nupd, rec,
+                       [this, &view](uint64_t lo, uint64_t hi) {
+                           uint64_t applied = 0;
+                           for (uint64_t v = lo; v < hi; ++v) {
+                               float acc = sums[v];
+                               for (NodeId u : view.neighbors(
+                                        static_cast<NodeId>(v)))
+                                   acc += contrib[u];
+                               sums[v] = acc;
+                               applied += view.degree(
+                                   static_cast<NodeId>(v));
+                           }
+                           return applied;
+                       });
+    } else {
+        // Push: the update stream is the out-CSR flat edge array;
+        // update i targets neighborsArray()[i] and carries the source's
+        // contribution. Commutative float sum, so the privatized
+        // sub-range ops enable hot-bin splitting under skewAdaptive.
+        const std::vector<NodeId> &dst = outG->neighborsArray();
+        const std::vector<NodeId> &src = edgeSources();
+        runner.run<float>(
+            nupd, rec, [&dst](size_t i) { return dst[i]; },
+            [this, &dst, &src](size_t i) {
+                return std::pair<uint32_t, float>(dst[i],
+                                                  contrib[src[i]]);
+            },
+            [this](const BinTuple<float> &t) {
+                sums[t.index] += t.payload;
+            },
+            [](const BinTuple<float> &t, float &slot) {
+                slot += t.payload;
+            },
+            [this](uint32_t index, const float &slot) {
+                sums[index] += slot;
+            });
+    }
+    pbHealth = runner.conservation();
+    pbOverflow = runner.overflowTuples();
+    // Same extra Accumulate segment as the sequential runPb: scores
+    // are finalized from the accumulated sums.
+    rec.begin(native, phase::kAccumulate);
+    finalizeScores(native);
+    rec.end(native);
+}
+
+void
 PagerankKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                          const CobraConfig &cfg)
 {
@@ -219,6 +316,43 @@ PagerankKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
     rec.begin(ctx, phase::kAccumulate);
     finalizeScores(ctx);
     rec.end(ctx);
+}
+
+void
+PagerankKernel::runCCache(ExecCtx &ctx, PhaseRecorder &rec,
+                          const CobraConfig &cfg)
+{
+    resetOutput();
+    // One pass: contributions coalesce per destination in the
+    // privatized buffer; evictions apply as direct irregular RMWs on
+    // sums. Coalescing reassociates the float sum — covered by the
+    // float-vs-double verification tolerance, as with PHI/COBRA-COMM.
+    CCacheModel<float> cc(
+        ctx, &addFloats,
+        [this](ExecCtx &c, uint32_t index, const float &p) {
+            c.instr(1);
+            c.load(&sums[index], 4);
+            sums[index] += p;
+            c.store(&sums[index], 4);
+        },
+        cfg);
+    rec.begin(ctx, phase::kCompute);
+    computeContrib(ctx);
+    for (NodeId u = 0; u < outG->numNodes(); ++u) {
+        ctx.load(&outG->offsetsArray()[u], 8);
+        ctx.load(&contrib[u], 4);
+        for (NodeId v : outG->neighbors(u)) {
+            ctx.load(&v, 4);
+            cc.update(ctx, v, contrib[u]);
+        }
+    }
+    cc.flush(ctx);
+    finalizeScores(ctx);
+    rec.end(ctx);
+    if (!cc.conserved())
+        pbHealth = Status(ErrorCode::kDataLoss,
+                          "CCache lost updates: applied + coalesced != "
+                          "emitted");
 }
 
 bool

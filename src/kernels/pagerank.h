@@ -15,6 +15,7 @@
 #ifndef COBRA_KERNELS_PAGERANK_H
 #define COBRA_KERNELS_PAGERANK_H
 
+#include <memory>
 #include <vector>
 
 #include "src/graph/csr.h"
@@ -38,12 +39,20 @@ class PagerankKernel : public Kernel
     void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
     void runPb(ExecCtx &ctx, PhaseRecorder &rec,
                uint32_t max_bins) override;
+    void runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                       uint32_t max_bins,
+                       const PbEngineConfig &engine = {}) override;
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
                 uint32_t max_bins) override;
+    void runCCache(ExecCtx &ctx, PhaseRecorder &rec,
+                   const CobraConfig &cfg) override;
     bool verify() const override;
     std::optional<Divergence> firstDivergence() const override;
+    Status lastRunHealth() const override { return pbHealth; }
+    uint64_t lastOverflowTuples() const override { return pbOverflow; }
+    PbDirection lastRunDirection() const override { return pbDirection; }
 
     const std::vector<float> &scores() const { return next; }
 
@@ -53,6 +62,8 @@ class PagerankKernel : public Kernel
     void computeContrib(ExecCtx &ctx);
     void finalizeScores(ExecCtx &ctx);
     void resetOutput();
+    const std::vector<NodeId> &edgeSources();
+    const CsrGraph &pullView();
 
     const CsrGraph *outG;
     const CsrGraph *inG;
@@ -60,6 +71,19 @@ class PagerankKernel : public Kernel
     std::vector<float> sums;
     std::vector<float> next;
     std::vector<double> refNext; ///< double-precision reference iteration
+    Status pbHealth;       ///< conservation of the last parallel PB run
+    uint64_t pbOverflow = 0;
+    PbDirection pbDirection = PbDirection::kPush;
+    /** Source vertex of the i-th out-CSR flat edge (push update i). */
+    std::vector<NodeId> edgeSrc;
+    /**
+     * Stable CSC for pull runs: buildTranspose over toEdgeList(*outG)
+     * lists each destination's in-neighbors in out-CSR flat order —
+     * exactly the per-destination order the push path applies — so
+     * pull sums are bit-identical to push (the member inG, built from
+     * the raw edge list, does NOT have this property).
+     */
+    std::unique_ptr<CsrGraph> pullCsc;
 };
 
 /**

@@ -2,7 +2,10 @@
 
 #include <cmath>
 
+#include "src/core/ccache.h"
 #include "src/kernels/pipelines.h"
+#include "src/pb/auto_tune.h"
+#include "src/pb/parallel_pb.h"
 #include "src/sparse/reference.h"
 
 namespace cobra {
@@ -25,9 +28,56 @@ SpmvKernel::SpmvKernel(const CsrMatrix *a, const CsrMatrix *at,
 }
 
 void
-SpmvKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+SpmvKernel::resetOutput()
 {
     y.assign(a_->numRows(), 0.0);
+    // Health reflects the *most recent* run: any technique starts clean.
+    pbHealth = Status::Ok();
+    pbOverflow = 0;
+    pbDirection = PbDirection::kPush;
+}
+
+void
+SpmvKernel::buildPushStream()
+{
+    if (!nzCol.empty() || at_->nnz() == 0)
+        return;
+    nzCol.resize(at_->nnz());
+    for (uint32_t c = 0; c < at_->numRows(); ++c)
+        for (uint64_t i = at_->rowStart(c); i < at_->rowEnd(c); ++i)
+            nzCol[i] = c;
+}
+
+void
+SpmvKernel::buildPullView()
+{
+    if (!pullPtr.empty())
+        return;
+    // Stable counting sort of A^T's flat nonzeros by destination row:
+    // per-row entry order is the A^T stream order push applies.
+    const uint32_t rows = a_->numRows();
+    const auto &col_idx = at_->colIdxArray();
+    const auto &vals = at_->valsArray();
+    pullPtr.assign(rows + 1, 0);
+    for (uint32_t r : col_idx)
+        ++pullPtr[r + 1];
+    for (uint32_t r = 0; r < rows; ++r)
+        pullPtr[r + 1] += pullPtr[r];
+    pullCol.resize(at_->nnz());
+    pullVal.resize(at_->nnz());
+    std::vector<uint64_t> cursor(pullPtr.begin(), pullPtr.end() - 1);
+    for (uint32_t c = 0; c < at_->numRows(); ++c)
+        for (uint64_t i = at_->rowStart(c); i < at_->rowEnd(c); ++i) {
+            const uint64_t pos = cursor[col_idx[i]]++;
+            pullCol[pos] = c;
+            pullVal[pos] = vals[i];
+        }
+}
+
+void
+SpmvKernel::runBaseline(ExecCtx &ctx, PhaseRecorder &rec)
+{
+    resetOutput();
     rec.begin(ctx, phase::kCompute);
     const auto &col_idx = a_->colIdxArray();
     const auto &vals = a_->valsArray();
@@ -88,7 +138,7 @@ forEachSpmvIndex(ExecCtx &ctx, const CsrMatrix &at, Emit &&emit)
 void
 SpmvKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
 {
-    y.assign(a_->numRows(), 0.0);
+    resetOutput();
     BinningPlan plan = BinningPlan::forMaxBins(a_->numRows(), max_bins);
     runPbPipeline<double>(
         ctx, rec, plan,
@@ -103,10 +153,70 @@ SpmvKernel::runPb(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
 }
 
 void
+SpmvKernel::runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                          uint32_t max_bins, const PbEngineConfig &engine)
+{
+    resetOutput();
+    const uint32_t rows = a_->numRows();
+    const uint64_t nupd = at_->nnz();
+    pbDirection = resolvePbDirection(engine.direction, nupd, rows,
+                                     hostCacheBudget());
+    BinningPlan plan = BinningPlan::forMaxBins(rows, max_bins);
+    ParallelPbRunner<double> runner(pool, plan, engine);
+    if (pbDirection == PbDirection::kPull) {
+        // Pull: gather each destination row's (column, value) pairs
+        // from the stable re-transpose; products accumulate in the
+        // same order the push path drains that row's bin, so y is
+        // bit-identical to push at any thread count.
+        buildPullView();
+        const std::vector<double> &x = *x_;
+        runner.runPull(
+            nupd, rec, [this, &x](uint64_t lo, uint64_t hi) {
+                uint64_t applied = 0;
+                for (uint64_t r = lo; r < hi; ++r) {
+                    double acc = y[r];
+                    for (uint64_t j = pullPtr[r]; j < pullPtr[r + 1];
+                         ++j)
+                        acc += pullVal[j] * x[pullCol[j]];
+                    y[r] = acc;
+                    applied += pullPtr[r + 1] - pullPtr[r];
+                }
+                return applied;
+            });
+    } else {
+        // Push: the update stream is A^T's flat nonzero array; update
+        // i targets A row colIdx[i] and carries vals[i] * x[column].
+        // Commutative double sum, so the privatized sub-range ops
+        // enable hot-bin splitting under skewAdaptive.
+        buildPushStream();
+        const auto &col_idx = at_->colIdxArray();
+        const auto &vals = at_->valsArray();
+        const std::vector<double> &x = *x_;
+        runner.run<double>(
+            nupd, rec, [&col_idx](size_t i) { return col_idx[i]; },
+            [this, &col_idx, &vals, &x](size_t i) {
+                return std::pair<uint32_t, double>(
+                    col_idx[i], vals[i] * x[nzCol[i]]);
+            },
+            [this](const BinTuple<double> &t) {
+                y[t.index] += t.payload;
+            },
+            [](const BinTuple<double> &t, double &slot) {
+                slot += t.payload;
+            },
+            [this](uint32_t index, const double &slot) {
+                y[index] += slot;
+            });
+    }
+    pbHealth = runner.conservation();
+    pbOverflow = runner.overflowTuples();
+}
+
+void
 SpmvKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                      const CobraConfig &cfg)
 {
-    y.assign(a_->numRows(), 0.0);
+    resetOutput();
     runCobraPipeline<double>(
         ctx, rec, cfg, a_->numRows(),
         cfg.coalesceAtLlc ? &addDoubles : nullptr,
@@ -123,7 +233,7 @@ SpmvKernel::runCobra(ExecCtx &ctx, PhaseRecorder &rec,
 void
 SpmvKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
 {
-    y.assign(a_->numRows(), 0.0);
+    resetOutput();
     BinningPlan plan = BinningPlan::forMaxBins(a_->numRows(), max_bins);
     runPhiPipeline<double>(
         ctx, rec, plan, &addDoubles,
@@ -135,6 +245,34 @@ SpmvKernel::runPhi(ExecCtx &ctx, PhaseRecorder &rec, uint32_t max_bins)
             y[t.index] += t.payload;
             ctx.store(&y[t.index], 8);
         });
+}
+
+void
+SpmvKernel::runCCache(ExecCtx &ctx, PhaseRecorder &rec,
+                      const CobraConfig &cfg)
+{
+    resetOutput();
+    // One pass over A^T: partial products coalesce per destination row
+    // in the privatized buffer; evictions and the final flush apply as
+    // direct irregular RMWs on y.
+    CCacheModel<double> cc(
+        ctx, &addDoubles,
+        [this](ExecCtx &c, uint32_t index, const double &sum) {
+            c.instr(1);
+            c.load(&y[index], 8);
+            y[index] += sum;
+            c.store(&y[index], 8);
+        },
+        cfg);
+    rec.begin(ctx, phase::kCompute);
+    forEachSpmvUpdate(ctx, *at_, *x_,
+                      [&](uint32_t row, double v) { cc.update(ctx, row, v); });
+    cc.flush(ctx);
+    rec.end(ctx);
+    if (!cc.conserved())
+        pbHealth = Status(ErrorCode::kDataLoss,
+                          "CCache lost updates: applied + coalesced != "
+                          "emitted");
 }
 
 bool

@@ -37,21 +37,49 @@ class SpmvKernel : public Kernel
     void runBaseline(ExecCtx &ctx, PhaseRecorder &rec) override;
     void runPb(ExecCtx &ctx, PhaseRecorder &rec,
                uint32_t max_bins) override;
+    void runPbParallel(ThreadPool &pool, PhaseRecorder &rec,
+                       uint32_t max_bins,
+                       const PbEngineConfig &engine = {}) override;
     void runCobra(ExecCtx &ctx, PhaseRecorder &rec,
                   const CobraConfig &cfg) override;
     void runPhi(ExecCtx &ctx, PhaseRecorder &rec,
                 uint32_t max_bins) override;
+    void runCCache(ExecCtx &ctx, PhaseRecorder &rec,
+                   const CobraConfig &cfg) override;
     bool verify() const override;
     std::optional<Divergence> firstDivergence() const override;
+    Status lastRunHealth() const override { return pbHealth; }
+    uint64_t lastOverflowTuples() const override { return pbOverflow; }
+    PbDirection lastRunDirection() const override { return pbDirection; }
 
     const std::vector<double> &result() const { return y; }
 
   private:
+    void resetOutput();
+    void buildPushStream();
+    void buildPullView();
+
     const CsrMatrix *a_;
     const CsrMatrix *at_;
     const std::vector<double> *x_;
     std::vector<double> y;
     std::vector<double> refY;
+    Status pbHealth;       ///< conservation of the last parallel PB run
+    uint64_t pbOverflow = 0;
+    PbDirection pbDirection = PbDirection::kPush;
+    /** A^T row (= A column) of the i-th A^T flat nonzero (push). */
+    std::vector<uint32_t> nzCol;
+    /**
+     * Stable re-transpose of at_ for pull runs: per destination row r
+     * of A, the (column, value) pairs in at_ flat-stream order — the
+     * per-destination order push applies — so pull gathers are
+     * bit-identical to push. a_ itself is NOT usable here: fromCoo
+     * preserves COO entry order within rows, which need not match the
+     * A^T stream order.
+     */
+    std::vector<uint64_t> pullPtr;
+    std::vector<uint32_t> pullCol;
+    std::vector<double> pullVal;
 };
 
 } // namespace cobra

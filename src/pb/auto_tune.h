@@ -188,6 +188,53 @@ autoTunePbEngine(uint64_t num_indices, uint32_t requested_bins = 0,
                             hostCacheBudget(fallback));
 }
 
+/**
+ * Direction heuristic for PbDirection::kAuto (the pull/push trade from
+ * "Specializing Coherence, Consistency, and Push/Pull for GPU Graph
+ * Analytics", PAPERS.md): pull-mode Accumulate skips Init+Binning
+ * entirely, but its gather reads hit the destination array at random —
+ * it only wins when that working set is cache-resident and the stream
+ * is dense enough that the per-destination gather walk amortizes.
+ *
+ *  - LLC residency: destination array (4B/element, payload-independent
+ *    like autoTunePbEngine) within half the LLC, leaving room for the
+ *    streamed source view.
+ *  - Density: >= 4 updates per destination on average. Below that the
+ *    gather walk touches more source-view cachelines per useful update
+ *    than binning would move, so push keeps its bandwidth advantage.
+ *  - Skew: when the caller knows the heavy-hitter mass (SkewSketch
+ *    from a previous attempt, or generator stats), a stream whose top
+ *    bins absorb most updates favors push — binning concentrates the
+ *    hot destinations into cache-resident bins anyway, and pull's
+ *    per-destination sharding load-balances poorly under power laws.
+ *
+ * Explicit push/pull requests pass through untouched.
+ */
+inline PbDirection
+resolvePbDirection(PbDirection requested, uint64_t num_updates,
+                   uint64_t num_indices, const CacheBudget &cb,
+                   double skew_hot_fraction = 0.0)
+{
+    if (requested != PbDirection::kAuto)
+        return requested;
+    if (num_indices == 0 || num_updates == 0)
+        return PbDirection::kPush;
+    const uint64_t dest_bytes = num_indices * sizeof(uint32_t);
+    const bool llc_resident = dest_bytes <= cb.llcBytes / 2;
+    const bool dense = num_updates >= 4 * num_indices;
+    const bool skewed = skew_hot_fraction > 0.5;
+    return (llc_resident && dense && !skewed) ? PbDirection::kPull
+                                              : PbDirection::kPush;
+}
+
+inline PbDirection
+resolvePbDirection(PbDirection requested, uint64_t num_updates,
+                   uint64_t num_indices)
+{
+    return resolvePbDirection(requested, num_updates, num_indices,
+                              hostCacheBudget());
+}
+
 } // namespace cobra
 
 #endif // COBRA_PB_AUTO_TUNE_H

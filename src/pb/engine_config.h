@@ -83,6 +83,49 @@ engineKindFromName(std::string_view name)
     return std::nullopt;
 }
 
+/**
+ * Which way updates travel through Accumulate.
+ *
+ *  - kPush  Init/Binning/Accumulate as in the paper: updates are
+ *           scattered into destination-range bins, then each bin owner
+ *           applies them. Always available; the only option for
+ *           kernels without a destination-indexed gather view.
+ *  - kPull  Accumulate-only: destination ranges are sharded across
+ *           threads and each owner *gathers* its updates from a
+ *           CSC/transposed view of the input. No bins, no binners, no
+ *           Init/Binning phases — the win when the destination working
+ *           set is already cache-resident.
+ *  - kAuto  resolvePbDirection() (src/pb/auto_tune.h) picks per run
+ *           from update density and the LLC budget.
+ */
+enum class PbDirection : uint8_t
+{
+    kPush = 0,
+    kPull,
+    kAuto,
+};
+
+inline const char *
+to_string(PbDirection d)
+{
+    switch (d) {
+      case PbDirection::kPush: return "push";
+      case PbDirection::kPull: return "pull";
+      case PbDirection::kAuto: return "auto";
+    }
+    return "unknown";
+}
+
+inline std::optional<PbDirection>
+directionFromName(std::string_view name)
+{
+    for (PbDirection d : {PbDirection::kPush, PbDirection::kPull,
+                          PbDirection::kAuto})
+        if (name == to_string(d))
+            return d;
+    return std::nullopt;
+}
+
 /** Engine choice plus its tunables (auto-tuned in src/pb/auto_tune.h). */
 struct PbEngineConfig
 {
@@ -140,6 +183,16 @@ struct PbEngineConfig
      * construction.
      */
     uint32_t hotSubRanges = 4;
+
+    /**
+     * Update-propagation direction (appended last so positional
+     * aggregate initializers of the earlier fields keep compiling).
+     * kPull routes runs through ParallelPbRunner::runPull — the
+     * destination-sharded gather that skips Init+Binning entirely —
+     * when the kernel provides a gather view; kernels without one fall
+     * back to push. kAuto defers to resolvePbDirection().
+     */
+    PbDirection direction = PbDirection::kPush;
 };
 
 } // namespace cobra

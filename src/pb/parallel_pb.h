@@ -159,6 +159,124 @@ class ParallelPbRunner
                           apply_priv, merge, /*commutative=*/true);
     }
 
+    /**
+     * Pull-mode Accumulate (PbDirection::kPull): no binners, no Init,
+     * no Binning. Destination ranges are sharded contiguously across
+     * pool threads and each owner *gathers* its updates from the
+     * kernel's destination-indexed view (a CSC/transposed structure or
+     * a filtered stream scan) instead of draining bins. The empty
+     * Init/Binning brackets are recorded anyway so per-phase consumers
+     * (bench JSON, cobra_cli phase lines, SupervisorReport) see the
+     * same three-phase structure with the first two at zero cost —
+     * that zero *is* the measurement.
+     *
+     * pull_range(destBegin, destEnd) must apply every update whose
+     * destination lies in [destBegin, destEnd) in global stream order
+     * and return how many it applied. Because the push path also
+     * applies each destination's updates in stream order (bins are
+     * drained shard 0..n-1, shards are contiguous stream slices), pull
+     * results are bit-identical to push+binning at every thread count.
+     *
+     * Resilience parity with push: cancellation checkpoints every
+     * ~kCancelBlockTuples gathered updates, kPbStallAccumulate /
+     * kPbDropDrain / kBinOffsetSkew fault sites at block granularity
+     * (drop skips a block, skew shifts a block's start by
+     * skewAmount() destinations), and conservation at the barrier —
+     * the applied total must equal the emitted update count.
+     */
+    template <typename PullRange>
+    void
+    runPull(size_t num_updates, PhaseRecorder &rec,
+            PullRange &&pull_range)
+    {
+        ExecCtx native; // uninstrumented: full host speed
+        TraceSpan span("pb.run", "pb");
+        span.arg("engine", static_cast<uint64_t>(engine_.kind));
+        span.arg("bins", plan_.numBins);
+        span.arg("updates", num_updates);
+        span.arg("pull", 1);
+
+        rec.begin(native, phase::kInit);
+        rec.end(native);
+        rec.begin(native, phase::kBinning);
+        rec.end(native);
+
+        const uint64_t nidx = plan_.numIndices;
+        const size_t nshards = std::max<size_t>(
+            1, std::min<uint64_t>(pool_.numThreads(),
+                                  nidx ? nidx : uint64_t{1}));
+        const uint64_t chunk = nidx ? (nidx + nshards - 1) / nshards : 0;
+        // Checkpoint granularity: one block covers ~kCancelBlockTuples
+        // updates at mean density, so a watchdog-tripped run unwinds on
+        // the same time scale as the push loops. nidx <= 2^31 keeps the
+        // product far from overflow.
+        uint64_t block = chunk;
+        if (num_updates > 0 && nidx > 0)
+            block = std::max<uint64_t>(
+                1, std::min(chunk, nidx * kCancelBlockTuples /
+                                       num_updates));
+
+        shards_ = nshards;
+        binned_ = 0;
+        overflow_ = 0;
+        steals_ = 0;
+        sketch_ = SkewSketch{};
+
+        std::atomic<uint64_t> applied{0};
+        rec.begin(native, phase::kAccumulate);
+        for (size_t t = 0; t < nshards; ++t) {
+            pool_.enqueue([this, t, chunk, block, nidx, &applied,
+                           &pull_range] {
+                TraceSpan sp("accumulate.pull", "pb");
+                sp.arg("shard", t);
+                cancellationPoint(); // queued tasks drop out fast
+                const uint64_t begin = t * chunk;
+                const uint64_t end = std::min(nidx, begin + chunk);
+                uint64_t local = 0;
+                for (uint64_t lo = begin; lo < end; lo += block) {
+                    const uint64_t hi = std::min(end, lo + block);
+                    uint64_t alo = lo;
+                    if (auto *fi = FaultInjector::active(); fi)
+                        [[unlikely]] {
+                        const uint32_t blk =
+                            static_cast<uint32_t>(lo / block);
+                        if (fi->fire(FaultSite::kPbStallAccumulate,
+                                     blk))
+                            fi->stall();
+                        if (fi->fire(FaultSite::kPbDropDrain, blk))
+                            continue; // dropped gather block
+                        if (fi->fire(FaultSite::kBinOffsetSkew, blk))
+                            alo = std::min(hi, lo + fi->skewAmount());
+                    }
+                    local += pull_range(alo, hi);
+                    cancellationPoint();
+                }
+                applied.fetch_add(local, std::memory_order_relaxed);
+                sp.arg("indices", end > begin ? end - begin : 0);
+            });
+        }
+        pool_.wait();
+        rec.end(native);
+
+        binned_ = applied.load(std::memory_order_relaxed);
+        if (MetricsRegistry *reg = MetricsRegistry::active()) {
+            reg->counter("pb.parallel.runs")->inc();
+            reg->counter("pb.pull.runs")->inc();
+            reg->counter("pb.parallel.tuples_binned")->add(binned_);
+            reg->gauge("pb.parallel.shards")
+                ->set(static_cast<int64_t>(nshards));
+        }
+        if (binned_ != num_updates) {
+            std::ostringstream oss;
+            oss << "pull accumulate applied " << binned_ << " of "
+                << num_updates << " updates";
+            conservation_ = Status(ErrorCode::kDataLoss, oss.str());
+            warn(conservation_.message());
+        } else {
+            conservation_ = Status::Ok();
+        }
+    }
+
   private:
     template <typename Slot, typename IndexOf, typename UpdateOf,
               typename Apply, typename ApplyPriv, typename Merge>

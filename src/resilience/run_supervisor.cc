@@ -26,14 +26,16 @@ SupervisorReport::toString() const
     if (usedBaseline)
         oss << "serial reference";
     else
-        oss << to_string(finalEngine.kind) << "/" << finalBins << " bins";
+        oss << to_string(finalEngine.kind) << "/" << finalBins << " bins/"
+            << to_string(finalEngine.direction);
     for (const AttemptRecord &a : attempts) {
         oss << "\n  attempt " << a.attempt << " [";
         if (a.baseline)
             oss << "baseline";
         else
             oss << to_string(a.engine.kind) << "/" << a.bins << " bins/"
-                << a.engine.wcLines << " wc-line(s)";
+                << a.engine.wcLines << " wc-line(s)/"
+                << to_string(a.engine.direction);
         oss << "] " << (a.outcome.ok() ? "ok" : a.outcome.toString());
         if (a.overflowTuples != 0)
             oss << " (overflow " << a.overflowTuples << ")";
@@ -57,6 +59,14 @@ RunSupervisor::degrade(PbEngineConfig &engine, uint32_t &bins,
         if (bins > cfg_.minBins) {
             bins = std::max(cfg_.minBins, bins / 2);
             engine.coarseBins = 0; // let hier re-derive a balanced split
+            return true;
+        }
+        if (engine.direction != PbDirection::kPull) {
+            // Once the plan cannot shrink further, flip the direction:
+            // pull Accumulate gathers from the kernel's destination-
+            // indexed view and allocates no bin storage at all, so it
+            // fits where even the smallest push plan does not.
+            engine.direction = PbDirection::kPull;
             return true;
         }
     }

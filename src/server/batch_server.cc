@@ -3,11 +3,17 @@
 #include <optional>
 #include <utility>
 
+#include <cstring>
+
 #include "src/check/fault_injector.h"
 #include "src/graph/types.h"
 #include "src/kernels/degree_count.h"
 #include "src/kernels/neighbor_populate.h"
+#include "src/kernels/pagerank.h"
+#include "src/kernels/spmv.h"
 #include "src/obs/metrics.h"
+#include "src/sparse/coo.h"
+#include "src/sparse/reference.h"
 #include "src/obs/trace.h"
 #include "src/resilience/run_supervisor.h"
 #include "src/sim/phase_recorder.h"
@@ -205,16 +211,51 @@ BatchServer::execute(Job &job)
     for (size_t i = 0; i + 1 < req.payload.size(); i += 2)
         edges.push_back(Edge{req.payload[i], req.payload[i + 1]});
 
+    // Kernel source data must outlive the kernel (the kernels hold raw
+    // pointers), so the graph/matrix storage is declared first.
+    std::optional<CsrGraph> outG, inG;
+    CsrMatrix a, at;
+    std::vector<double> xvec;
     std::unique_ptr<DegreeCountKernel> degree;
     std::unique_ptr<NeighborPopulateKernel> np;
+    std::unique_ptr<PagerankKernel> pagerank;
+    std::unique_ptr<SpmvKernel> spmv;
     Kernel *kernel = nullptr;
     const NodeId nodes = static_cast<NodeId>(req.numIndices);
-    if (req.kernel == ServerKernel::kDegreeCount) {
+    switch (req.kernel) {
+      case ServerKernel::kDegreeCount:
         degree = std::make_unique<DegreeCountKernel>(nodes, &edges);
         kernel = degree.get();
-    } else {
+        break;
+      case ServerKernel::kNeighborPopulate:
         np = std::make_unique<NeighborPopulateKernel>(nodes, &edges);
         kernel = np.get();
+        break;
+      case ServerKernel::kPagerank:
+        outG.emplace(CsrGraph::build(nodes, edges));
+        inG.emplace(CsrGraph::buildTranspose(nodes, edges));
+        pagerank = std::make_unique<PagerankKernel>(&*outG, &*inG);
+        kernel = pagerank.get();
+        break;
+      case ServerKernel::kSpmv: {
+        // The wire carries only the sparsity pattern; values and x are
+        // derived deterministically from positions so both ends can
+        // reproduce the exact matrix without shipping doubles.
+        CooMatrix coo;
+        coo.numRows = nodes;
+        coo.numCols = nodes;
+        for (size_t i = 0; i + 1 < req.payload.size(); i += 2)
+            coo.add(req.payload[i], req.payload[i + 1],
+                    1.0 + static_cast<double>((i / 2) % 13) * 0.125);
+        a = CsrMatrix::fromCoo(coo);
+        at = transposeRef(a);
+        xvec.resize(nodes);
+        for (NodeId j = 0; j < nodes; ++j)
+            xvec[j] = 0.5 + static_cast<double>(j % 9) * 0.25;
+        spmv = std::make_unique<SpmvKernel>(&a, &at, &xvec);
+        kernel = spmv.get();
+        break;
+      }
     }
 
     SupervisorConfig sc;
@@ -272,7 +313,7 @@ BatchServer::execute(Job &job)
         if (degree) {
             const auto &d = degree->degrees();
             resp.resultChecksum = fnv1a(d.data(), d.size());
-        } else {
+        } else if (np) {
             // Fingerprint the degree sequence of the produced CSR:
             // deterministic across engines (adjacency interleaving is
             // not), and the oracle already certified full equality.
@@ -281,6 +322,20 @@ BatchServer::execute(Job &job)
             for (NodeId v = 0; v < g.numNodes(); ++v)
                 degs[v] = static_cast<uint32_t>(g.degree(v));
             resp.resultChecksum = fnv1a(degs.data(), degs.size());
+        } else if (pagerank) {
+            // Bit-pattern fingerprint: push and pull produce
+            // bit-identical floats by construction, so the checksum is
+            // stable across directions and thread counts.
+            const auto &s = pagerank->scores();
+            std::vector<uint32_t> w(s.size());
+            std::memcpy(w.data(), s.data(), s.size() * sizeof(float));
+            resp.resultChecksum = fnv1a(w.data(), w.size());
+        } else if (spmv) {
+            const auto &yv = spmv->result();
+            std::vector<uint32_t> w(yv.size() * 2);
+            std::memcpy(w.data(), yv.data(),
+                        yv.size() * sizeof(double));
+            resp.resultChecksum = fnv1a(w.data(), w.size());
         }
     }
     return resp;

@@ -123,8 +123,10 @@ fnv1a(const uint32_t *words, size_t n)
 Status
 validateRequest(const RequestFrame &req)
 {
-    if (req.kernel != ServerKernel::kDegreeCount &&
-        req.kernel != ServerKernel::kNeighborPopulate)
+    if (static_cast<uint8_t>(req.kernel) <
+            static_cast<uint8_t>(ServerKernel::kDegreeCount) ||
+        static_cast<uint8_t>(req.kernel) >
+            static_cast<uint8_t>(ServerKernel::kSpmv))
         return Status(ErrorCode::kInvalidArgument,
                       "unknown kernel id " +
                           std::to_string(static_cast<unsigned>(req.kernel)));

@@ -45,6 +45,9 @@ enum class ServerKernel : uint8_t
 {
     kDegreeCount = 1,      ///< payload: (src, dst) pairs, degrees out
     kNeighborPopulate = 2, ///< payload: (src, dst) pairs, CSR out
+    kPagerank = 3,         ///< payload: (src, dst) pairs, one PR iter
+    kSpmv = 4,             ///< payload: (row, col) pairs; the server
+                           ///< derives deterministic values and x
 };
 
 inline const char *
@@ -53,6 +56,8 @@ to_string(ServerKernel k)
     switch (k) {
       case ServerKernel::kDegreeCount: return "degree";
       case ServerKernel::kNeighborPopulate: return "np";
+      case ServerKernel::kPagerank: return "pagerank";
+      case ServerKernel::kSpmv: return "spmv";
     }
     return "unknown";
 }
@@ -61,7 +66,8 @@ inline std::optional<ServerKernel>
 serverKernelFromName(std::string_view name)
 {
     for (ServerKernel k :
-         {ServerKernel::kDegreeCount, ServerKernel::kNeighborPopulate})
+         {ServerKernel::kDegreeCount, ServerKernel::kNeighborPopulate,
+          ServerKernel::kPagerank, ServerKernel::kSpmv})
         if (name == to_string(k))
             return k;
     return std::nullopt;

@@ -100,6 +100,8 @@ TEST(BenchSmoke, TinyRunEmitsValidPhaseAndHwSchema)
     ASSERT_GE(benches.size(), 2u) << ss.str();
 
     bool sawSequential = false, sawParallel = false;
+    bool sawDirectionSweep = false, sawAutoPull = false;
+    bool sawPagerank = false, sawSpmv = false;
     for (const JsonValue &b : benches.items()) {
         ASSERT_TRUE(b.has("name"));
         const std::string &name = b["name"].asString();
@@ -109,9 +111,39 @@ TEST(BenchSmoke, TinyRunEmitsValidPhaseAndHwSchema)
             sawSequential = true;
         if (name.find("BM_DegreeCountPbParallel/wc/") == 0)
             sawParallel = true;
+        // Every direction-aware row must carry direction_chosen (0 =
+        // push, 1 = pull): the A/B scripts pivot on it, so a missing
+        // field is a schema break, not a soft degradation.
+        const bool direction_row =
+            name.find("DirectionSweep") != std::string::npos ||
+            name.find("BM_PagerankPbParallel/") == 0 ||
+            name.find("BM_SpmvPbParallel/") == 0;
+        if (direction_row) {
+            ASSERT_TRUE(b.has("direction_chosen")) << name;
+            ASSERT_TRUE(b["direction_chosen"].isNumber()) << name;
+            const double d = b["direction_chosen"].asDouble();
+            EXPECT_TRUE(d == 0.0 || d == 1.0) << name << ": " << d;
+        }
+        if (name.find("DirectionSweep") != std::string::npos) {
+            sawDirectionSweep = true;
+            // The smoke point is the dense LLC-resident anchor (2^21
+            // updates into 2^14 destinations): the heuristic must
+            // resolve auto -> pull there.
+            if (name.find("/auto_dir/") != std::string::npos &&
+                b["direction_chosen"].asDouble() == 1.0)
+                sawAutoPull = true;
+        }
+        if (name.find("BM_PagerankPbParallel/") == 0)
+            sawPagerank = true;
+        if (name.find("BM_SpmvPbParallel/") == 0)
+            sawSpmv = true;
     }
     EXPECT_TRUE(sawSequential);
     EXPECT_TRUE(sawParallel);
+    EXPECT_TRUE(sawDirectionSweep);
+    EXPECT_TRUE(sawAutoPull);
+    EXPECT_TRUE(sawPagerank);
+    EXPECT_TRUE(sawSpmv);
 }
 
 } // namespace

@@ -214,12 +214,49 @@ TEST(FuzzCorpus, FrameValidSeedsStillDecode)
     EXPECT_EQ(resp.message, "ok");
 }
 
+// The served-kernel id space widened to pagerank (3) and spmv (4):
+// both decode as valid requests, while the first id past the range (7
+// here, mirroring bad_kernel.bin's 9) stays a typed reject.
+TEST(FuzzCorpus, FrameServedKernelSeedsDecode)
+{
+    struct Case
+    {
+        const char *file;
+        ServerKernel kernel;
+    };
+    for (const Case &c :
+         {Case{"valid_request_pagerank.bin", ServerKernel::kPagerank},
+          Case{"valid_request_spmv.bin", ServerKernel::kSpmv},
+          Case{"valid_request_spmv_twopass.bin", ServerKernel::kSpmv}}) {
+        SCOPED_TRACE(c.file);
+        const std::string raw = slurp(corpusDir() / "frame" / c.file);
+        ASSERT_GT(raw.size(), 1u);
+        RequestFrame req;
+        ASSERT_TRUE(decodeRequest(
+                        reinterpret_cast<const uint8_t *>(raw.data()) + 1,
+                        raw.size() - 1, &req)
+                        .ok());
+        EXPECT_EQ(req.kernel, c.kernel);
+        EXPECT_EQ(req.numIndices, 16u);
+    }
+    const std::string raw =
+        slurp(corpusDir() / "frame" / "bad_kernel_id7.bin");
+    ASSERT_GT(raw.size(), 1u);
+    RequestFrame req;
+    Status s = decodeRequest(
+        reinterpret_cast<const uint8_t *>(raw.data()) + 1, raw.size() - 1,
+        &req);
+    EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+    EXPECT_NE(s.message().find("unknown kernel id 7"), std::string::npos)
+        << s.message();
+}
+
 TEST(FuzzCorpus, FrameMalformedSeedsAreRejected)
 {
     for (const char *name :
          {"bad_magic.bin", "truncated_payload.bin",
           "lying_payload_words.bin", "oob_payload_index.bin",
-          "nonpow2_bins.bin", "unknown_flags.bin"}) {
+          "nonpow2_bins.bin", "unknown_flags.bin", "bad_kernel_id7.bin"}) {
         SCOPED_TRACE(name);
         const std::string raw = slurp(corpusDir() / "frame" / name);
         ASSERT_GT(raw.size(), 1u);

@@ -234,11 +234,14 @@ TEST(RunSupervisor, OverflowingPlanRecoversUnderEveryEngine)
     }
 }
 
-// An over-tight budget refuses every PB plan (bin storage alone needs
-// numUpdates * sizeof(Tuple) = 128 KiB here); the supervisor must walk
-// the ladder — footprint shrink first, then engine steps — all the way
-// to the serial-reference rung, which needs no binning memory at all.
-TEST(RunSupervisor, TightMemoryBudgetWalksLadderToBaseline)
+// An over-tight budget refuses every *push* PB plan (bin storage alone
+// needs numUpdates * sizeof(Tuple) = 128 KiB here); the supervisor
+// walks the footprint ladder — WC depth, then bin halving to the floor
+// — and then flips the direction: pull Accumulate gathers from the
+// kernel's destination view and allocates no bin storage, so the run
+// recovers on a *parallel* rung instead of surrendering to the serial
+// reference.
+TEST(RunSupervisor, TightMemoryBudgetFlipsDirectionToPull)
 {
     ThreadPool pool(2);
     DegreeCountKernel k(kNodes, &edges());
@@ -249,9 +252,12 @@ TEST(RunSupervisor, TightMemoryBudgetWalksLadderToBaseline)
 
     SupervisorReport rep = sup.runPbParallel(k, pool, rec, 64);
     EXPECT_TRUE(rep.ok) << rep.toString();
-    EXPECT_TRUE(rep.usedBaseline);
+    EXPECT_FALSE(rep.usedBaseline) << rep.toString();
     ASSERT_GE(rep.attempts.size(), 2u);
-    EXPECT_TRUE(rep.attempts.back().baseline);
+    EXPECT_EQ(rep.attempts.back().engine.direction, PbDirection::kPull)
+        << rep.toString();
+    EXPECT_EQ(rep.finalEngine.direction, PbDirection::kPull);
+    EXPECT_EQ(k.lastRunDirection(), PbDirection::kPull);
     for (size_t i = 0; i + 1 < rep.attempts.size(); ++i)
         EXPECT_EQ(rep.attempts[i].outcome.code(),
                   ErrorCode::kResourceExhausted)

@@ -472,6 +472,52 @@ TEST(BatchServer, OverloadRejectsBeforeEnqueueWithTypedFastFail)
     EXPECT_TRUE(st.conserved());
 }
 
+// The served-kernel table now includes the float/double reduction
+// kernels: a pagerank or spmv request runs the same supervised ladder
+// end-to-end and comes back kOk with a result fingerprint.
+TEST(BatchServer, ServesPagerankAndSpmvEndToEnd)
+{
+    ThreadPool pool(2);
+    BatchServer server(ServerConfig{}, pool);
+
+    ResponseFrame pr = server.call(
+        makeRequest(3, 1, 2048, 512, ServerKernel::kPagerank));
+    EXPECT_EQ(pr.code, ErrorCode::kOk) << pr.message;
+    EXPECT_NE(pr.resultChecksum, 0u);
+
+    ResponseFrame sp = server.call(
+        makeRequest(3, 2, 2048, 512, ServerKernel::kSpmv));
+    EXPECT_EQ(sp.code, ErrorCode::kOk) << sp.message;
+    EXPECT_NE(sp.resultChecksum, 0u);
+
+    // Determinism across the wire: replaying the identical request
+    // yields the same bit-pattern fingerprint (push/pull and thread
+    // count do not change the floats).
+    ResponseFrame pr2 = server.call(
+        makeRequest(3, 1, 2048, 512, ServerKernel::kPagerank));
+    EXPECT_EQ(pr2.resultChecksum, pr.resultChecksum);
+
+    server.stop();
+    EXPECT_EQ(server.stats().completed, 3u);
+}
+
+// An id past the served table is a *typed* invalid-argument reject at
+// validation, long before any kernel object exists.
+TEST(BatchServer, UnknownKernelIdIsInvalidArgument)
+{
+    ThreadPool pool(2);
+    BatchServer server(ServerConfig{}, pool);
+    RequestFrame bad = makeRequest(1, 1, 8, 16);
+    bad.kernel = static_cast<ServerKernel>(7);
+    ResponseFrame resp = server.call(std::move(bad));
+    EXPECT_EQ(resp.code, ErrorCode::kInvalidArgument);
+    EXPECT_NE(resp.message.find("unknown kernel id 7"),
+              std::string::npos)
+        << resp.message;
+    server.stop();
+    EXPECT_EQ(server.stats().rejectedInvalid, 1u);
+}
+
 TEST(BatchServer, TenantQuotaRejectIsResourceExhausted)
 {
     ThreadPool pool(2);
