@@ -57,6 +57,8 @@ struct Options
     uint32_t timeoutMs = 30000;
     uint32_t retries = 3;
     uint32_t backoffMs = 20;
+    uint32_t mutate = 0;     ///< kMutate batches to stream (0 = off)
+    uint32_t mutateOps = 256; ///< ops per mutation batch
 };
 
 [[noreturn]] void
@@ -72,7 +74,13 @@ usage(const char *argv0)
            "       [--engine scalar|wc|wc-simd|hier|two_pass]\n"
            "       [--wc-lines L] [--skew-adaptive]\n"
            "       [--deadline-ms D] [--inject SITE[:N[:SEED]]]\n"
-           "       [--timeout-ms T] [--retries R] [--backoff-ms B]\n";
+           "       [--timeout-ms T] [--retries R] [--backoff-ms B]\n"
+           "       [--mutate B] [--mutate-ops M]\n"
+           "\n"
+           "--mutate B streams B edge-mutation batches (kMutate, ~25%\n"
+           "deletes of earlier inserts) into the tenant's mutable\n"
+           "graph, then fetches its snapshot checksum (kSnapshot).\n"
+           "Only degree and pagerank kernels are mutable.\n";
     std::exit(2);
 }
 
@@ -149,6 +157,10 @@ main(int argc, char **argv)
             o.retries = static_cast<uint32_t>(std::stoul(next()));
         else if (a == "--backoff-ms")
             o.backoffMs = static_cast<uint32_t>(std::stoul(next()));
+        else if (a == "--mutate")
+            o.mutate = static_cast<uint32_t>(std::stoul(next()));
+        else if (a == "--mutate-ops")
+            o.mutateOps = static_cast<uint32_t>(std::stoul(next()));
         else
             usage(argv[0]);
     }
@@ -203,6 +215,78 @@ main(int argc, char **argv)
     ccfg.timeout = std::chrono::milliseconds(o.timeoutMs);
     ccfg.retry.maxAttempts = o.retries + 1;
     ccfg.retry.baseDelay = std::chrono::milliseconds(o.backoffMs);
+
+    if (o.mutate > 0) {
+        // Mutation mode: stream batches sequentially (the server
+        // serializes a tenant's batches anyway — order is the whole
+        // point), then fetch the snapshot checksum.
+        if (*kernel != ServerKernel::kDegreeCount &&
+            *kernel != ServerKernel::kPagerank) {
+            std::cerr << "error: --mutate supports only the degree "
+                         "and pagerank kernels\n";
+            return 2;
+        }
+        if (o.mutateOps == 0) {
+            std::cerr << "error: --mutate-ops must be positive\n";
+            return 2;
+        }
+        ServerClient client(ccfg);
+        uint32_t failures = 0;
+        auto report = [&](const RequestFrame &req,
+                          const char *what) -> bool {
+            ResponseFrame resp;
+            Status s = client.call(req, &resp);
+            if (!s.ok()) {
+                ++failures;
+                std::cout << what << " " << req.requestId
+                          << ": no response (" << s.toString()
+                          << ")\n";
+                return false;
+            }
+            if (resp.code != ErrorCode::kOk)
+                ++failures;
+            std::cout << what << " " << req.requestId << ": "
+                      << to_string(resp.code)
+                      << " checksum=" << std::hex
+                      << resp.resultChecksum << std::dec
+                      << " run_us=" << resp.serverMicros;
+            if (!resp.message.empty())
+                std::cout << " [" << resp.message << "]";
+            std::cout << "\n";
+            return resp.code == ErrorCode::kOk;
+        };
+        for (uint32_t b = 0; b < o.mutate; ++b) {
+            RequestFrame req = proto;
+            req.op = RequestOp::kMutate;
+            req.requestId = b + 1;
+            req.payload.clear();
+            // ~25% deletes, each re-deleting an edge inserted one
+            // batch earlier — deterministic, so reruns replay the
+            // same stream.
+            for (uint32_t j = 0; j < o.mutateOps; ++j) {
+                const uint64_t pos =
+                    uint64_t{b} * o.mutateOps + j;
+                if (j % 4 == 3 && pos >= o.mutateOps) {
+                    const Edge &d =
+                        edges[(pos - o.mutateOps) % edges.size()];
+                    req.payload.push_back(d.src | kMutateDeleteBit);
+                    req.payload.push_back(d.dst);
+                } else {
+                    const Edge &e = edges[pos % edges.size()];
+                    req.payload.push_back(e.src);
+                    req.payload.push_back(e.dst);
+                }
+            }
+            report(req, "mutate");
+        }
+        RequestFrame snap = proto;
+        snap.op = RequestOp::kSnapshot;
+        snap.requestId = o.mutate + 1;
+        snap.payload.clear();
+        snap.injectSite = 0;
+        report(snap, "snapshot");
+        return failures == 0 ? 0 : 1;
+    }
 
     std::mutex out_mtx;
     std::map<std::string, uint32_t> outcomes;

@@ -161,6 +161,12 @@ main(int argc, char **argv)
               << " (overload " << st.rejectedOverload << ", quota "
               << st.rejectedQuota << ", invalid " << st.rejectedInvalid
               << "), deadline-exceeded " << st.deadlineExceeded << "\n"
+              << "mutation: batches " << st.mutateBatches << ", ops "
+              << st.mutateOps << " (applied " << st.mutateApplied
+              << ", deduped " << st.mutateDeduped << ", rejected "
+              << st.mutateRejected << "), compactions "
+              << st.compactions << ", recertified "
+              << st.recertifications << "\n"
               << "conservation: "
               << (st.conserved() ? "exact" : "VIOLATED") << "\n";
 

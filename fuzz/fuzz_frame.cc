@@ -12,6 +12,14 @@
  *    (accepted frames are canonical — encode cannot throw on a
  *    decoder-validated frame, and the round trip is lossless).
  *
+ * The request op byte (kRun / kMutate / kSnapshot) and the mutate
+ * delete bit (bit 31 of a src payload word) ride the same decoder, so
+ * the corpus carries mutation shapes too: valid mutate/snapshot
+ * frames, overlapping duplicate edges, a tombstone-before-base delete
+ * (wire-valid, rejected at apply), and the abuse cases — payload on a
+ * snapshot, op ids past kSnapshot, the delete bit on a dst word,
+ * truncated mutate bodies.
+ *
  * Corpus seeds live in tests/fuzz_corpus/frame/ and are replayed by
  * tests/test_fuzz_corpus.cc on every toolchain.
  */

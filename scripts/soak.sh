@@ -5,6 +5,10 @@
 #   scripts/soak.sh                 # default: 2 min of mixed load
 #   scripts/soak.sh --seconds 600   # longer soak
 #   scripts/soak.sh --build-dir build-tsan   # soak the TSan binaries
+#   scripts/soak.sh --mutate        # mutation soak: kMutate/kSnapshot
+#                                   # streams against per-tenant mutable
+#                                   # graphs, gated on the server's
+#                                   # op-conservation identity
 #
 # What it does:
 #   1. builds (or reuses) the requested build dir;
@@ -18,6 +22,13 @@
 #      exits nonzero if conservation (admitted == completed + failed +
 #      shed) was violated, which is the soak's pass/fail signal.
 #
+# With --mutate, the traffic is mutation batches instead: each round
+# streams kMutate frames (~25% deletes) into per-tenant mutable graphs
+# for both mutable kernels, mixes in an injected-fault batch the server
+# must bounce typed, and finishes with a kSnapshot probe. The pass gate
+# is the same server exit status, which now also covers the mutation
+# identity: mutateOps == applied + deduped + rejected.
+#
 # The in-process equivalent (no sockets, runs in every ctest pass) is
 # tests/test_server.cc's ChaosSoak; this script is the out-of-process
 # version with real frames, real connections, and real signals.
@@ -26,6 +37,7 @@ cd "$(dirname "$0")/.."
 
 SECONDS_BUDGET=120
 BUILD_DIR=build
+MUTATE=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
     --seconds)
@@ -37,6 +49,10 @@ while [[ $# -gt 0 ]]; do
         [[ $# -ge 2 ]] || { echo "soak: --build-dir needs a value" >&2; exit 2; }
         BUILD_DIR=$2
         shift 2
+        ;;
+    --mutate)
+        MUTATE=1
+        shift
         ;;
     *)
         echo "soak: unknown argument: $1" >&2
@@ -67,6 +83,41 @@ for _ in $(seq 50); do
     sleep 0.1
 done
 [[ -S $SOCK ]] || { echo "soak: server never bound $SOCK" >&2; exit 1; }
+
+if (( MUTATE )); then
+    echo "soak: $SECONDS_BUDGET s of mutation load against $SOCK"
+    END=$((SECONDS + SECONDS_BUDGET))
+    ROUND=0
+    while (( SECONDS < END )); do
+        ROUND=$((ROUND + 1))
+        # Two mutable tenants, one per mutable kernel. The per-tenant
+        # graph persists across rounds, so later rounds keep deleting
+        # edges earlier rounds inserted (the client's deterministic
+        # ~25%-delete stream) and threshold compactions fire naturally.
+        "$CLIENT_BIN" --socket "$SOCK" --tenant 1 --kernel degree \
+            --indices 16384 --mutate 8 --mutate-ops 2048 \
+            --retries 0 >/dev/null || true
+        "$CLIENT_BIN" --socket "$SOCK" --tenant 2 --kernel pagerank \
+            --dist zipf:1.2 --indices 16384 --mutate 4 \
+            --mutate-ops 1024 --retries 0 >/dev/null || true
+        # Chaos batch: a dropped bin drain the server must bounce as a
+        # typed kDataLoss, booking the whole batch rejected so the op
+        # identity still closes.
+        "$CLIENT_BIN" --socket "$SOCK" --tenant 1 --kernel degree \
+            --indices 16384 --mutate 1 --mutate-ops 512 \
+            --inject pb-drop-drain:2 --retries 0 >/dev/null || true
+    done
+    echo "soak: $ROUND mutation rounds complete; draining server"
+
+    kill -TERM "$SERVER_PID"
+    if wait "$SERVER_PID"; then
+        echo "soak: PASS (lifecycle + mutation-op conservation exact)"
+    else
+        echo "soak: FAIL (server reported a conservation violation)" >&2
+        exit 1
+    fi
+    exit 0
+fi
 
 echo "soak: $SECONDS_BUDGET s of mixed load against $SOCK"
 END=$((SECONDS + SECONDS_BUDGET))

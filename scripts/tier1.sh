@@ -13,6 +13,9 @@
 #                                              # chaos) under TSan
 #   scripts/tier1.sh --tsan --labels duality   # push/pull bit-equality
 #                                              # + pull fault matrix
+#   scripts/tier1.sh --tsan --labels incremental   # incremental-vs-full
+#                                              # certification + mutation
+#                                              # fault matrix
 #
 # Label taxonomy lives in tests/CMakeLists.txt; `skew` marks the
 # skew-adaptive scheduling / StealQueue / two-pass native suites, which
@@ -22,6 +25,12 @@
 # treatment after touching dispatch, admission, or shutdown paths, and
 # `duality` marks the push/pull bit-equality oracle whose pull gather
 # shards would race if the destination sharding were wrong.
+# `incremental` marks the mutable-graph differential suite (incremental
+# recompute certified against full, server kMutate/kSnapshot lifecycle);
+# its PB-binned batch apply shards delta segments across threads, so it
+# earns the same --tsan treatment after touching DynamicGraph or the
+# runner's bin-drain order. `mutation` groups it with the DynamicGraph
+# set-model property sweep (ctest -L mutation runs both).
 # All ride in every plain and sanitizer pass too — the labels are a
 # focus knob, not an opt-in.
 #

@@ -16,8 +16,12 @@
 #ifndef COBRA_CHECK_DIFFERENTIAL_ORACLE_H
 #define COBRA_CHECK_DIFFERENTIAL_ORACLE_H
 
+#include <bit>
+#include <cstdint>
+#include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/harness/experiment.h"
 #include "src/kernels/kernel.h"
@@ -69,6 +73,63 @@ class DifferentialOracle
      */
     OracleReport check(Kernel &kernel, Technique technique,
                        const RunOptions &opts = RunOptions{}) const;
+
+    /**
+     * Element-level diff of two result vectors — the certification
+     * entry point for incremental-vs-full recompute (the mutation
+     * harness compares an incrementally maintained result against the
+     * full recompute on the equivalent static graph). Floats compare
+     * by bit pattern (the incremental paths are constructed to be
+     * bit-identical, and NaN/-0.0 must not slip through ==); integral
+     * types compare by value. A size mismatch diverges at the first
+     * missing element.
+     */
+    template <typename T>
+    static std::optional<Divergence>
+    firstDivergence(const std::vector<T> &actual,
+                    const std::vector<T> &expected,
+                    const std::string &what)
+    {
+        auto equal = [](const T &a, const T &b) {
+            if constexpr (std::is_floating_point_v<T>)
+                return std::memcmp(&a, &b, sizeof(T)) == 0;
+            else
+                return a == b;
+        };
+        auto render = [](const T &v) {
+            if constexpr (std::is_floating_point_v<T>) {
+                uint64_t bits = 0;
+                std::memcpy(&bits, &v, sizeof(T));
+                char buf[64];
+                std::snprintf(buf, sizeof buf, "%.9g (bits 0x%llx)",
+                              static_cast<double>(v),
+                              static_cast<unsigned long long>(bits));
+                return std::string(buf);
+            } else {
+                return std::to_string(v);
+            }
+        };
+        const size_t n = std::min(actual.size(), expected.size());
+        for (size_t i = 0; i < n; ++i) {
+            if (!equal(actual[i], expected[i])) {
+                Divergence d;
+                d.element = i;
+                d.expected = render(expected[i]);
+                d.actual = render(actual[i]);
+                d.detail = what + " at element " + std::to_string(i);
+                return d;
+            }
+        }
+        if (actual.size() != expected.size()) {
+            Divergence d;
+            d.element = n;
+            d.expected = std::to_string(expected.size()) + " elements";
+            d.actual = std::to_string(actual.size()) + " elements";
+            d.detail = what + ": size mismatch";
+            return d;
+        }
+        return std::nullopt;
+    }
 
   private:
     const Runner &runner_;

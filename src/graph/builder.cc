@@ -25,6 +25,23 @@ populateNeighborsRef(const std::vector<EdgeOffset> &offsets,
 }
 
 CsrGraph
+buildSortedDedupRef(NodeId num_nodes, const EdgeList &el)
+{
+    CsrGraph sorted = sortNeighborhoods(CsrGraph::build(num_nodes, el));
+    std::vector<EdgeOffset> offsets(num_nodes + 1, 0);
+    std::vector<NodeId> neighs;
+    neighs.reserve(sorted.neighborsArray().size());
+    for (NodeId v = 0; v < num_nodes; ++v) {
+        const auto row = sorted.neighbors(v);
+        for (size_t i = 0; i < row.size(); ++i)
+            if (i == 0 || row[i] != row[i - 1])
+                neighs.push_back(row[i]);
+        offsets[v + 1] = neighs.size();
+    }
+    return CsrGraph(std::move(offsets), std::move(neighs));
+}
+
+CsrGraph
 sortNeighborhoods(const CsrGraph &g)
 {
     std::vector<NodeId> neighs = g.neighborsArray();

@@ -40,6 +40,14 @@ std::vector<NodeId> populateNeighborsRef(const std::vector<EdgeOffset>
  */
 CsrGraph sortNeighborhoods(const CsrGraph &g);
 
+/**
+ * Trusted serial builder of the *canonical simple-graph* CSR: sorted
+ * neighbor lists with duplicate edges collapsed. This is the unique
+ * byte representation of an edge set, which is what makes it the
+ * reference DynamicGraph::snapshotCsr() must match byte-for-byte.
+ */
+CsrGraph buildSortedDedupRef(NodeId num_nodes, const EdgeList &el);
+
 } // namespace cobra
 
 #endif // COBRA_GRAPH_BUILDER_H

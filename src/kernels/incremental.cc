@@ -1,0 +1,157 @@
+#include "src/kernels/incremental.h"
+
+#include <algorithm>
+
+#include "src/kernels/pagerank.h"
+
+namespace cobra {
+
+namespace {
+
+/** Same expression in the incremental and full paths — bit-equality of
+ * the maintained scores depends on it. */
+float
+contribOf(NodeId n, EdgeOffset outdeg)
+{
+    if (outdeg == 0)
+        return 0.0f;
+    return (1.0f / static_cast<float>(n)) / static_cast<float>(outdeg);
+}
+
+float
+baseScore(NodeId n)
+{
+    return (1.0f - PagerankKernel::kDamping) / static_cast<float>(n);
+}
+
+MutationBatch
+swapEndpoints(const MutationBatch &batch)
+{
+    MutationBatch rev;
+    rev.ops.reserve(batch.ops.size());
+    for (const MutationBatch::Op &op : batch.ops)
+        rev.ops.push_back(MutationBatch::Op{op.dst, op.src, op.remove});
+    return rev;
+}
+
+EdgeList
+swapEndpoints(const EdgeList &el)
+{
+    EdgeList rev;
+    rev.reserve(el.size());
+    for (const Edge &e : el)
+        rev.push_back(Edge{e.dst, e.src});
+    return rev;
+}
+
+} // namespace
+
+IncrementalDegreeCount::IncrementalDegreeCount(const DynamicGraph &g)
+    : deg_(g.numNodes())
+{
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        deg_[v] = g.degree(v);
+}
+
+void
+IncrementalDegreeCount::update(const BatchResult &r, const DynamicGraph &g)
+{
+    for (NodeId u : r.degreeChangedSrcs)
+        deg_[u] = g.degree(u);
+    lastDirty_ = r.degreeChangedSrcs.size();
+}
+
+std::vector<EdgeOffset>
+IncrementalDegreeCount::fullRecompute(const DynamicGraph &g)
+{
+    std::vector<EdgeOffset> deg(g.numNodes());
+    for (NodeId v = 0; v < g.numNodes(); ++v)
+        deg[v] = g.degree(v);
+    return deg;
+}
+
+DeltaPagerank::DeltaPagerank(const DynamicGraph &g)
+    : n_(g.numNodes()), reverse_(g.numNodes(), swapEndpoints(g.toEdgeList())),
+      contrib_(g.numNodes(), 0.0f), scores_(g.numNodes(), 0.0f)
+{
+    for (NodeId u = 0; u < n_; ++u)
+        contrib_[u] = contribOf(n_, g.degree(u));
+    for (NodeId v = 0; v < n_; ++v)
+        rescore(v);
+}
+
+void
+DeltaPagerank::rescore(NodeId v)
+{
+    // Ascending in-neighbor order (the mirror merge emits sorted
+    // unique lists) — the same order fullRecompute() sums in.
+    float sum = 0.0f;
+    for (NodeId u : reverse_.liveNeighbors(v))
+        sum += contrib_[u];
+    scores_[v] = baseScore(n_) + PagerankKernel::kDamping * sum;
+}
+
+Status
+DeltaPagerank::apply(const MutationBatch &batch, const BatchResult &r,
+                     const DynamicGraph &g)
+{
+    // Replay the stream swapped into the in-edge mirror. The mirror
+    // holds the same edge set as the forward graph (endpoints swapped),
+    // so every op must resolve to the same outcome on both sides.
+    BatchResult m = reverse_.applyBatch(swapEndpoints(batch));
+    if (m.inserted != r.inserted || m.removed != r.removed ||
+        m.deduped != r.deduped || m.rejected != r.rejected)
+        return Status(
+            ErrorCode::kInternal,
+            "reverse mirror diverged from forward graph: forward "
+            "ins/rem/dup/rej " +
+                std::to_string(r.inserted) + "/" + std::to_string(r.removed) +
+                "/" + std::to_string(r.deduped) + "/" +
+                std::to_string(r.rejected) + ", mirror " +
+                std::to_string(m.inserted) + "/" + std::to_string(m.removed) +
+                "/" + std::to_string(m.deduped) + "/" +
+                std::to_string(m.rejected));
+
+    for (NodeId u : r.degreeChangedSrcs)
+        contrib_[u] = contribOf(n_, g.degree(u));
+
+    // Dirty frontier: vertices whose in-edge set changed, plus every
+    // current out-neighbor of a source whose contribution changed. A
+    // destination that *lost* its edge from a changed source is already
+    // in affectedDsts (the removal was an applied op).
+    std::vector<NodeId> dirty(r.affectedDsts);
+    for (NodeId u : r.degreeChangedSrcs)
+        for (NodeId v : g.liveNeighbors(u))
+            dirty.push_back(v);
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+    for (NodeId v : dirty)
+        rescore(v);
+    lastDirty_ = dirty.size();
+    return Status::Ok();
+}
+
+std::vector<float>
+DeltaPagerank::fullRecompute(const DynamicGraph &g)
+{
+    const NodeId n = g.numNodes();
+    std::vector<float> contrib(n, 0.0f);
+    for (NodeId u = 0; u < n; ++u)
+        contrib[u] = contribOf(n, g.degree(u));
+
+    // toEdgeList() is sorted by (src, dst); the stable transpose
+    // scatter therefore lists each destination's in-neighbors in
+    // ascending source order — the mirror's merge order.
+    CsrGraph csc = CsrGraph::buildTranspose(n, g.toEdgeList());
+    std::vector<float> scores(n, 0.0f);
+    for (NodeId v = 0; v < n; ++v) {
+        float sum = 0.0f;
+        for (NodeId u : csc.neighbors(v))
+            sum += contrib[u];
+        scores[v] = baseScore(n) + PagerankKernel::kDamping * sum;
+    }
+    return scores;
+}
+
+} // namespace cobra

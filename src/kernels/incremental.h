@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Incremental recompute on top of DynamicGraph (ROADMAP item 2).
+ *
+ * A mutation batch's BatchResult names exactly which vertices changed
+ * (affectedDsts: in-edge sets; degreeChangedSrcs: out-degrees), so a
+ * kernel result maintained alongside the graph only has to touch that
+ * dirty frontier instead of the whole vertex range. Two maintainers:
+ *
+ *  - IncrementalDegreeCount — re-reads the cached live degree of each
+ *    degree-changed source. O(|dirty|) per batch.
+ *
+ *  - DeltaPagerank — one-iteration Pagerank scores (the same iteration
+ *    PagerankKernel simulates). Maintains a *reverse* DynamicGraph
+ *    mirror (every batch applied src/dst-swapped) so a dirty vertex's
+ *    in-neighbors can be enumerated in ascending order — the same
+ *    order fullRecompute() sums in — which makes the incremental
+ *    scores bit-identical to full recompute, not merely close. The
+ *    mutation harness certifies that via
+ *    DifferentialOracle::firstDivergence after every batch.
+ *
+ * Both expose a fullRecompute() that rebuilds the result from a
+ * DynamicGraph snapshot; the pair (incremental state, full recompute)
+ * is the differential oracle for the mutation path.
+ */
+
+#ifndef COBRA_KERNELS_INCREMENTAL_H
+#define COBRA_KERNELS_INCREMENTAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/dynamic_graph.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+/** Maintains per-vertex live out-degrees across mutation batches. */
+class IncrementalDegreeCount
+{
+  public:
+    explicit IncrementalDegreeCount(const DynamicGraph &g);
+
+    /**
+     * Fold one applied batch in: re-read the cached degree of every
+     * source in @p r.degreeChangedSrcs from @p g.
+     */
+    void update(const BatchResult &r, const DynamicGraph &g);
+
+    const std::vector<EdgeOffset> &degrees() const { return deg_; }
+
+    /** Vertices touched by the last update(). */
+    uint64_t lastDirty() const { return lastDirty_; }
+
+    /** Trusted full pass: degree of every vertex of @p g. */
+    static std::vector<EdgeOffset> fullRecompute(const DynamicGraph &g);
+
+  private:
+    std::vector<EdgeOffset> deg_;
+    uint64_t lastDirty_ = 0;
+};
+
+/**
+ * Maintains one-iteration Pagerank scores across mutation batches,
+ * bit-identical to fullRecompute() on the equivalent static graph.
+ */
+class DeltaPagerank
+{
+  public:
+    explicit DeltaPagerank(const DynamicGraph &g);
+
+    /**
+     * Fold one applied batch in. @p batch must be the op stream whose
+     * application to @p g produced @p r; it is replayed src/dst-swapped
+     * into the internal reverse mirror, and the mirror's per-op
+     * accounting must match @p r exactly (a mismatch means the mirror
+     * diverged from the forward graph and returns a typed kInternal —
+     * the incremental state is then untrusted). Rescores only the dirty
+     * frontier: affected destinations plus the current out-neighbors of
+     * degree-changed sources.
+     */
+    Status apply(const MutationBatch &batch, const BatchResult &r,
+                 const DynamicGraph &g);
+
+    const std::vector<float> &scores() const { return scores_; }
+
+    /** Vertices rescored by the last apply(). */
+    uint64_t lastDirty() const { return lastDirty_; }
+
+    /**
+     * Trusted full pass over a snapshot of @p g: contributions from
+     * live out-degrees, then a pull sweep over the stable transpose of
+     * the sorted snapshot edge list (per-destination in-neighbors come
+     * out ascending, matching the mirror's merge order — that shared
+     * summation order is what makes bit-equality achievable).
+     */
+    static std::vector<float> fullRecompute(const DynamicGraph &g);
+
+  private:
+    void rescore(NodeId v);
+
+    NodeId n_ = 0;
+    DynamicGraph reverse_; ///< in-edge mirror of the forward graph
+    std::vector<float> contrib_;
+    std::vector<float> scores_;
+    uint64_t lastDirty_ = 0;
+};
+
+} // namespace cobra
+
+#endif // COBRA_KERNELS_INCREMENTAL_H

@@ -40,14 +40,6 @@ enum class Technique
 
 std::string to_string(Technique t);
 
-/** Canonical phase names. */
-namespace phase {
-inline const std::string kCompute = "compute";       // baseline
-inline const std::string kInit = "init";             // bin sizing
-inline const std::string kBinning = "binning";
-inline const std::string kAccumulate = "accumulate";
-} // namespace phase
-
 /**
  * First point where a kernel's output differs from its serial golden
  * reference (the element-level refinement of verify()).

@@ -5,6 +5,7 @@
 
 #include <cstring>
 
+#include "src/check/differential_oracle.h"
 #include "src/check/fault_injector.h"
 #include "src/graph/types.h"
 #include "src/kernels/degree_count.h"
@@ -191,9 +192,265 @@ BatchServer::finish(std::unique_ptr<Job> job, ResponseFrame resp)
     job->promise.set_value(std::move(resp));
 }
 
+std::shared_ptr<BatchServer::TenantGraph>
+BatchServer::tenantGraph(uint64_t tenant, bool create)
+{
+    std::lock_guard<std::mutex> lk(tenantsMu_);
+    auto it = tenants_.find(tenant);
+    if (it != tenants_.end())
+        return it->second;
+    if (!create)
+        return nullptr;
+    auto state = std::make_shared<TenantGraph>();
+    tenants_.emplace(tenant, state);
+    return state;
+}
+
+ResponseFrame
+BatchServer::executeMutate(Job &job)
+{
+    const RequestFrame &req = job.req;
+    ResponseFrame resp;
+    resp.queueMicros = microsSince(job.admittedAt);
+    resp.attempts = 1;
+    resp.finalEngine = req.engine;
+    resp.finalBins = req.bins;
+
+    TraceSpan sp("server.mutate", "server");
+    sp.arg("tenant", req.tenantId);
+    sp.arg("request", req.requestId);
+    sp.arg("ops", req.numUpdates());
+
+    // Decode the batch: bit 31 of the src word marks a delete.
+    MutationBatch batch;
+    batch.ops.reserve(req.numUpdates());
+    for (size_t i = 0; i + 1 < req.payload.size(); i += 2) {
+        const uint32_t sw = req.payload[i];
+        batch.ops.push_back(MutationBatch::Op{
+            sw & ~kMutateDeleteBit, req.payload[i + 1],
+            (sw & kMutateDeleteBit) != 0});
+    }
+
+    mutateBatches_.fetch_add(1, std::memory_order_relaxed);
+    mutateOps_.fetch_add(batch.size(), std::memory_order_relaxed);
+    // Every early exit below bounced the whole batch before commit:
+    // the ops are booked rejected so the op-level conservation
+    // identity still closes.
+    auto bounce = [&](ErrorCode code, std::string msg) {
+        mutateRejected_.fetch_add(batch.size(),
+                                  std::memory_order_relaxed);
+        resp.code = code;
+        resp.message = std::move(msg);
+        return resp;
+    };
+
+    std::shared_ptr<TenantGraph> state =
+        tenantGraph(req.tenantId, /*create=*/true);
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (state->graph == nullptr) {
+        state->numIndices = req.numIndices;
+        state->graph = std::make_unique<DynamicGraph>(
+            static_cast<NodeId>(req.numIndices));
+        state->degrees =
+            std::make_unique<IncrementalDegreeCount>(*state->graph);
+        state->pagerank =
+            std::make_unique<DeltaPagerank>(*state->graph);
+    } else if (state->numIndices != req.numIndices) {
+        return bounce(ErrorCode::kFailedPrecondition,
+                      "tenant graph has " +
+                          std::to_string(state->numIndices) +
+                          " vertices; request says " +
+                          std::to_string(req.numIndices));
+    }
+
+    // The request's slice of the shared pool + its scoped chaos plan,
+    // mirroring the stateless execute() path.
+    ThreadPool::Group group(pool_);
+    ThreadPool::Group::Scope group_scope(group);
+    std::optional<FaultInjector> injector;
+    std::optional<FaultInjector::Scope> injector_scope;
+    if (req.injectSite != 0) {
+        injector.emplace(static_cast<FaultSite>(req.injectSite),
+                         req.injectFireAt == 0 ? 1 : req.injectFireAt,
+                         req.injectSeed);
+        injector_scope.emplace(*injector);
+    }
+
+    PbEngineConfig ecfg;
+    ecfg.kind = req.engine;
+    ecfg.wcLines = req.wcLines;
+    ecfg.skewAdaptive = req.skewAdaptive;
+
+    PhaseRecorder rec;
+    Timer t;
+
+    // Trial-commit: the batch runs against a copy, so a conservation
+    // failure (injected or real) can never corrupt the served graph.
+    DynamicGraph trial(*state->graph);
+    BatchResult r =
+        trial.applyBatchParallel(pool_, rec, batch, req.bins, ecfg);
+    if (!trial.health().ok())
+        return bounce(trial.health().code(), trial.health().message());
+    if (!r.conserved(batch.size()))
+        return bounce(ErrorCode::kDataLoss,
+                      "batch accounting does not close: " +
+                          std::to_string(batch.size()) +
+                          " submitted != " + std::to_string(r.applied()) +
+                          " applied + " + std::to_string(r.deduped) +
+                          " deduped + " + std::to_string(r.rejected) +
+                          " rejected");
+    if (job.deadline.armed() && job.deadline.expired())
+        return bounce(ErrorCode::kDeadlineExceeded,
+                      "deadline expired while applying the batch; "
+                      "batch not committed");
+
+    // Commit, then fold the batch into the incremental results and
+    // certify each against a full recompute of the new graph.
+    *state->graph = std::move(trial);
+    mutateApplied_.fetch_add(r.applied(), std::memory_order_relaxed);
+    mutateDeduped_.fetch_add(r.deduped, std::memory_order_relaxed);
+    mutateRejected_.fetch_add(r.rejected, std::memory_order_relaxed);
+
+    uint64_t dirty = 0;
+    if (req.kernel == ServerKernel::kDegreeCount) {
+        state->degrees->update(r, *state->graph);
+        dirty = state->degrees->lastDirty();
+        const std::vector<EdgeOffset> full =
+            IncrementalDegreeCount::fullRecompute(*state->graph);
+        if (auto d = DifferentialOracle::firstDivergence(
+                state->degrees->degrees(), full, "incremental degrees")) {
+            // Certification failed: degrade to the trusted full result
+            // (rebuilding the incremental state from the graph) and
+            // say so — never serve an uncertified answer silently.
+            ++resp.degradations;
+            resp.message = "incremental recompute diverged (" +
+                           d->detail + "); served full recompute";
+            state->degrees = std::make_unique<IncrementalDegreeCount>(
+                *state->graph);
+        } else {
+            recertifications_.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::vector<uint32_t> w(state->degrees->degrees().size());
+        for (size_t i = 0; i < w.size(); ++i)
+            w[i] =
+                static_cast<uint32_t>(state->degrees->degrees()[i]);
+        resp.resultChecksum = fnv1a(w.data(), w.size());
+    } else {
+        Status st = state->pagerank->apply(batch, r, *state->graph);
+        dirty = state->pagerank->lastDirty();
+        std::optional<Divergence> d;
+        if (st.ok())
+            d = DifferentialOracle::firstDivergence(
+                state->pagerank->scores(),
+                DeltaPagerank::fullRecompute(*state->graph),
+                "incremental pagerank");
+        if (!st.ok() || d) {
+            ++resp.degradations;
+            resp.message = "incremental recompute diverged (" +
+                           (st.ok() ? d->detail : st.message()) +
+                           "); served full recompute";
+            state->pagerank =
+                std::make_unique<DeltaPagerank>(*state->graph);
+        } else {
+            recertifications_.fetch_add(1, std::memory_order_relaxed);
+        }
+        const auto &s = state->pagerank->scores();
+        std::vector<uint32_t> w(s.size());
+        std::memcpy(w.data(), s.data(), s.size() * sizeof(float));
+        resp.resultChecksum = fnv1a(w.data(), w.size());
+    }
+
+    // Threshold compaction rides the request that crossed the line.
+    // compact() is all-or-nothing: on a (possibly injected) failure
+    // the committed batch stands, the delta segments stay, and the
+    // failure is answered typed.
+    if (state->graph->needsCompaction()) {
+        Status cs = state->graph->compact(pool_, rec, req.bins, ecfg);
+        if (!cs.ok()) {
+            resp.code = cs.code();
+            resp.message = "compaction failed (batch remains "
+                           "committed): " +
+                           cs.message();
+            resp.serverMicros =
+                static_cast<uint64_t>(t.seconds() * 1e6);
+            return resp;
+        }
+        compactions_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    resp.serverMicros = static_cast<uint64_t>(t.seconds() * 1e6);
+    resp.code = ErrorCode::kOk;
+    if (resp.message.empty())
+        resp.message = "applied=" + std::to_string(r.applied()) +
+                       " deduped=" + std::to_string(r.deduped) +
+                       " rejected=" + std::to_string(r.rejected) +
+                       " dirty=" + std::to_string(dirty) +
+                       " edges=" +
+                       std::to_string(state->graph->numEdges());
+    return resp;
+}
+
+ResponseFrame
+BatchServer::executeSnapshot(Job &job)
+{
+    const RequestFrame &req = job.req;
+    ResponseFrame resp;
+    resp.queueMicros = microsSince(job.admittedAt);
+    resp.attempts = 1;
+    resp.finalEngine = req.engine;
+    resp.finalBins = req.bins;
+
+    TraceSpan sp("server.snapshot", "server");
+    sp.arg("tenant", req.tenantId);
+    sp.arg("request", req.requestId);
+
+    std::shared_ptr<TenantGraph> state =
+        tenantGraph(req.tenantId, /*create=*/false);
+    if (state == nullptr) {
+        resp.code = ErrorCode::kFailedPrecondition;
+        resp.message = "tenant has no mutable graph (no kMutate seen)";
+        return resp;
+    }
+    std::lock_guard<std::mutex> lk(state->mu);
+    if (state->numIndices != req.numIndices) {
+        resp.code = ErrorCode::kFailedPrecondition;
+        resp.message = "tenant graph has " +
+                       std::to_string(state->numIndices) +
+                       " vertices; request says " +
+                       std::to_string(req.numIndices);
+        return resp;
+    }
+
+    Timer t;
+    // Fingerprint the full merged structure: the degree sequence
+    // followed by every neighbor id, in snapshot order. Two replicas
+    // that applied the same batches agree on this bit-for-bit.
+    const CsrGraph snap = state->graph->snapshotCsr();
+    std::vector<uint32_t> w;
+    w.reserve(snap.numNodes() + snap.numEdges());
+    for (NodeId v = 0; v < snap.numNodes(); ++v)
+        w.push_back(static_cast<uint32_t>(snap.degree(v)));
+    for (NodeId n : snap.neighborsArray())
+        w.push_back(n);
+    resp.resultChecksum = fnv1a(w.data(), w.size());
+    resp.serverMicros = static_cast<uint64_t>(t.seconds() * 1e6);
+    resp.code = ErrorCode::kOk;
+    resp.message = "edges=" + std::to_string(state->graph->numEdges()) +
+                   " delta=" +
+                   std::to_string(state->graph->deltaEdges()) +
+                   " compactions=" +
+                   std::to_string(state->graph->compactions());
+    return resp;
+}
+
 ResponseFrame
 BatchServer::execute(Job &job)
 {
+    if (job.req.op == RequestOp::kMutate)
+        return executeMutate(job);
+    if (job.req.op == RequestOp::kSnapshot)
+        return executeSnapshot(job);
+
     const RequestFrame &req = job.req;
     ResponseFrame resp;
     resp.queueMicros = microsSince(job.admittedAt);
@@ -383,6 +640,14 @@ BatchServer::stats() const
     s.shed = shed_.load(std::memory_order_relaxed);
     s.deadlineExceeded =
         deadlineExceeded_.load(std::memory_order_relaxed);
+    s.mutateBatches = mutateBatches_.load(std::memory_order_relaxed);
+    s.mutateOps = mutateOps_.load(std::memory_order_relaxed);
+    s.mutateApplied = mutateApplied_.load(std::memory_order_relaxed);
+    s.mutateDeduped = mutateDeduped_.load(std::memory_order_relaxed);
+    s.mutateRejected = mutateRejected_.load(std::memory_order_relaxed);
+    s.compactions = compactions_.load(std::memory_order_relaxed);
+    s.recertifications =
+        recertifications_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -36,6 +36,15 @@
  * supervisor re-verifies every attempt against the kernel's serial
  * reference), and the response carries an FNV-1a fingerprint of the
  * output so clients can cross-check replicas.
+ *
+ * Mutable graphs: a kMutate request addresses a per-tenant
+ * DynamicGraph instead of a one-shot kernel. Batches are applied
+ * trial-commit (the batch runs against a copy; a conservation failure
+ * leaves the served graph untouched and answers typed), the
+ * incrementally maintained degree/Pagerank result is re-certified
+ * against a full recompute after every batch
+ * (DifferentialOracle::firstDivergence), and the op-level books close
+ * under their own conservation identity (ServerStats::conserved).
  */
 
 #ifndef COBRA_SERVER_BATCH_SERVER_H
@@ -47,10 +56,13 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
 
+#include "src/graph/dynamic_graph.h"
+#include "src/kernels/incremental.h"
 #include "src/resilience/cancel.h"
 #include "src/server/admission.h"
 #include "src/server/frame.h"
@@ -104,13 +116,28 @@ struct ServerStats
     uint64_t shed = 0;      ///< admitted but never ran
     uint64_t deadlineExceeded = 0; ///< terminal code was kDeadlineExceeded
 
+    // Mutation-path accounting (kMutate requests). Every op that
+    // reaches a dispatcher is classified exactly once: applied
+    // (changed the edge set), deduped (insert of a live edge),
+    // rejected (delete of a non-live edge, or the whole batch bounced
+    // before commit — precondition, deadline, data-loss).
+    uint64_t mutateBatches = 0; ///< kMutate requests that reached execute
+    uint64_t mutateOps = 0;
+    uint64_t mutateApplied = 0;
+    uint64_t mutateDeduped = 0;
+    uint64_t mutateRejected = 0;
+    uint64_t compactions = 0;   ///< threshold compactions that committed
+    uint64_t recertifications = 0; ///< incremental results certified ok
+
     /** admitted == completed + failed + shed once the server drained. */
     bool
     conserved() const
     {
         return admitted == completed + failed + shed &&
                received == admitted + rejectedInvalid + rejectedOverload +
-                               rejectedQuota;
+                               rejectedQuota &&
+               mutateOps ==
+                   mutateApplied + mutateDeduped + mutateRejected;
     }
 };
 
@@ -166,6 +193,22 @@ class BatchServer
         std::promise<ResponseFrame> promise;
     };
 
+    /**
+     * Per-tenant mutable state for the kMutate/kSnapshot ops: the
+     * graph plus the incrementally maintained kernel results. mu
+     * serializes batches for one tenant (the trial-commit and the
+     * incremental state must see batches in order); different tenants
+     * mutate concurrently on the shared pool.
+     */
+    struct TenantGraph
+    {
+        std::mutex mu;
+        uint64_t numIndices = 0;
+        std::unique_ptr<DynamicGraph> graph;
+        std::unique_ptr<IncrementalDegreeCount> degrees;
+        std::unique_ptr<DeltaPagerank> pagerank;
+    };
+
     void dispatchLoop();
 
     /** Terminal bookkeeping shared by every path out of the queue. */
@@ -173,6 +216,17 @@ class BatchServer
 
     /** Run the supervised kernel for @p job (the "running" state). */
     ResponseFrame execute(Job &job);
+
+    /** kMutate: trial-commit a batch into the tenant's graph, then
+     * incremental recompute certified against full recompute. */
+    ResponseFrame executeMutate(Job &job);
+
+    /** kSnapshot: checksum the tenant's merged CSR. */
+    ResponseFrame executeSnapshot(Job &job);
+
+    /** The tenant's graph state, created on first kMutate. */
+    std::shared_ptr<TenantGraph> tenantGraph(uint64_t tenant,
+                                             bool create);
 
     void bumpTenant(uint64_t tenant, const char *what);
 
@@ -192,9 +246,15 @@ class BatchServer
      */
     std::shared_mutex gate_;
 
+    std::mutex tenantsMu_; ///< guards tenants_ (map shape only)
+    std::map<uint64_t, std::shared_ptr<TenantGraph>> tenants_;
+
     std::atomic<uint64_t> received_{0}, rejectedInvalid_{0},
         rejectedOverload_{0}, rejectedQuota_{0}, admitted_{0},
         completed_{0}, failed_{0}, shed_{0}, deadlineExceeded_{0};
+    std::atomic<uint64_t> mutateBatches_{0}, mutateOps_{0},
+        mutateApplied_{0}, mutateDeduped_{0}, mutateRejected_{0},
+        compactions_{0}, recertifications_{0};
 };
 
 } // namespace cobra

@@ -157,11 +157,37 @@ validateRequest(const RequestFrame &req)
         return Status(ErrorCode::kInvalidArgument,
                       "unknown fault site id " +
                           std::to_string(req.injectSite));
+    if (static_cast<uint8_t>(req.op) >
+        static_cast<uint8_t>(RequestOp::kSnapshot))
+        return Status(ErrorCode::kInvalidArgument,
+                      "unknown request op " +
+                          std::to_string(static_cast<unsigned>(req.op)));
     if (req.numIndices == 0 || req.numIndices > kMaxRequestIndices)
         return Status(ErrorCode::kInvalidArgument,
                       "numIndices " + std::to_string(req.numIndices) +
                           " outside [1, " +
                           std::to_string(kMaxRequestIndices) + "]");
+
+    // Mutable-graph ops are served only for the kernels with an
+    // incremental maintainer (degree counts and Pagerank scores).
+    if (req.op != RequestOp::kRun &&
+        req.kernel != ServerKernel::kDegreeCount &&
+        req.kernel != ServerKernel::kPagerank)
+        return Status(ErrorCode::kInvalidArgument,
+                      std::string(to_string(req.op)) +
+                          " requests support only the degree and "
+                          "pagerank kernels; got " +
+                          to_string(req.kernel));
+
+    if (req.op == RequestOp::kSnapshot) {
+        if (!req.payload.empty())
+            return Status(ErrorCode::kInvalidArgument,
+                          "snapshot requests carry no payload; got " +
+                              std::to_string(req.payload.size()) +
+                              " words");
+        return Status::Ok();
+    }
+
     if (req.payload.empty() || req.payload.size() % 2 != 0)
         return Status(ErrorCode::kInvalidArgument,
                       "payload must be a non-empty sequence of "
@@ -173,14 +199,25 @@ validateRequest(const RequestFrame &req)
                           " words exceeds the frame cap");
     // The index-bounds scan: the kernels index arrays of numIndices
     // entries with these words, so an out-of-range word here is the
-    // difference between a typed reject and a heap overrun.
-    for (size_t i = 0; i < req.payload.size(); ++i)
-        if (req.payload[i] >= req.numIndices)
+    // difference between a typed reject and a heap overrun. For
+    // mutation batches the src word (even position) may carry the
+    // delete bit, which is masked off before the bound check; the dst
+    // word must be a plain vertex id.
+    const bool mutate = req.op == RequestOp::kMutate;
+    for (size_t i = 0; i < req.payload.size(); ++i) {
+        uint32_t w = req.payload[i];
+        if (mutate && i % 2 == 0)
+            w &= ~kMutateDeleteBit;
+        else if (mutate && (w & kMutateDeleteBit) != 0)
+            return Status(ErrorCode::kInvalidArgument,
+                          "payload word " + std::to_string(i) +
+                              " (a dst) carries the delete bit");
+        if (w >= req.numIndices)
             return Status(ErrorCode::kOutOfRange,
                           "payload word " + std::to_string(i) + " (" +
-                              std::to_string(req.payload[i]) +
-                              ") >= numIndices (" +
+                              std::to_string(w) + ") >= numIndices (" +
                               std::to_string(req.numIndices) + ")");
+    }
     return Status::Ok();
 }
 
@@ -208,7 +245,7 @@ encodeRequest(const RequestFrame &req)
     w.u8(static_cast<uint8_t>(req.kernel));
     w.u8(static_cast<uint8_t>(req.engine));
     w.u8(req.skewAdaptive ? 1 : 0);
-    w.u8(0);
+    w.u8(static_cast<uint8_t>(req.op));
     w.u32(req.bins);
     w.u32(req.wcLines);
     w.u32(req.deadlineMs);
@@ -251,8 +288,10 @@ decodeRequest(const uint8_t *data, size_t len, RequestFrame *out)
     if ((flags & ~uint8_t{1}) != 0)
         return malformed("unknown flag bits");
     req.skewAdaptive = (flags & 1) != 0;
-    if (r.u8() != 0)
-        return malformed("nonzero reserved field");
+    const uint8_t op = r.u8();
+    if (op > static_cast<uint8_t>(RequestOp::kSnapshot))
+        return malformed("unknown request op " + std::to_string(op));
+    req.op = static_cast<RequestOp>(op);
     req.bins = r.u32();
     req.wcLines = r.u32();
     req.deadlineMs = r.u32();

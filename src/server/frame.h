@@ -73,6 +73,42 @@ serverKernelFromName(std::string_view name)
     return std::nullopt;
 }
 
+/**
+ * What the request asks the server to do. kRun is the original
+ * stateless one-shot (build a kernel from the payload, run it, discard
+ * it). kMutate and kSnapshot address the per-tenant *mutable* graph:
+ * mutate applies the payload as an edge-mutation batch and returns the
+ * incremental recompute's checksum; snapshot checksums the tenant's
+ * current merged CSR. The op rides the byte that was reserved after
+ * the flags byte, so version-1 frames from older encoders decode as
+ * kRun unchanged.
+ */
+enum class RequestOp : uint8_t
+{
+    kRun = 0,      ///< stateless supervised PB run (original protocol)
+    kMutate = 1,   ///< apply payload as a mutation batch to tenant state
+    kSnapshot = 2, ///< checksum the tenant's merged graph snapshot
+};
+
+inline const char *
+to_string(RequestOp op)
+{
+    switch (op) {
+      case RequestOp::kRun: return "run";
+      case RequestOp::kMutate: return "mutate";
+      case RequestOp::kSnapshot: return "snapshot";
+    }
+    return "unknown";
+}
+
+/**
+ * kMutate payload encoding: still (src, dst) word pairs, but bit 31 of
+ * the *src* word marks the op as a delete. Valid vertex ids fit 31
+ * bits (numIndices is capped at 2^31), so the bit is always free; the
+ * dst word must never carry it.
+ */
+inline constexpr uint32_t kMutateDeleteBit = 0x80000000u;
+
 // Frame limits. kMaxFrameBytes bounds what a reader will ever buffer
 // for one frame (enforced again by the socket layer before the decoder
 // even sees the bytes); the rest bound individual fields so a hostile
@@ -98,6 +134,7 @@ struct RequestFrame
     uint64_t requestId = 0; ///< client-chosen echo token
     ServerKernel kernel = ServerKernel::kDegreeCount;
     PbEngineKind engine = PbEngineKind::kScalar;
+    RequestOp op = RequestOp::kRun;
     bool skewAdaptive = false;
     uint32_t bins = 1024;
     uint32_t wcLines = 1;
@@ -111,7 +148,11 @@ struct RequestFrame
 
     uint64_t numIndices = 0; ///< index namespace (node count)
 
-    /** (src, dst) pairs, flattened; every word < numIndices. */
+    /**
+     * (src, dst) pairs, flattened; every word < numIndices. For
+     * op == kMutate the src word may carry kMutateDeleteBit; for
+     * op == kSnapshot the payload must be empty.
+     */
     std::vector<uint32_t> payload;
 
     uint64_t numUpdates() const { return payload.size() / 2; }

@@ -35,6 +35,18 @@
 
 namespace cobra {
 
+/**
+ * Canonical phase names (paper Table I). They live here — next to the
+ * recorder they label — so phase-bracketing code (ParallelPbRunner,
+ * DynamicGraph) doesn't need the kernel interface header.
+ */
+namespace phase {
+inline const std::string kCompute = "compute";       // baseline
+inline const std::string kInit = "init";             // bin sizing
+inline const std::string kBinning = "binning";
+inline const std::string kAccumulate = "accumulate";
+} // namespace phase
+
 /** Counter deltas over one phase. */
 struct PhaseStats
 {

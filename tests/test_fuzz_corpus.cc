@@ -251,6 +251,53 @@ TEST(FuzzCorpus, FrameServedKernelSeedsDecode)
         << s.message();
 }
 
+// The mutation ops (kMutate, kSnapshot) widened the request frame: the
+// formerly-reserved op byte selects the operation and bit 31 of a
+// mutate src word marks a delete. Valid shapes — including a
+// tombstone-before-any-base delete and overlapping duplicate edges,
+// which are semantic no-ops/rejections but wire-valid — must decode;
+// protocol abuse (payload on a snapshot, op ids past kSnapshot, the
+// delete bit on a dst word, truncated mutate bodies) must come back
+// typed.
+TEST(FuzzCorpus, FrameMutationSeedsDecodeOrReject)
+{
+    struct Case
+    {
+        const char *file;
+        RequestOp op;
+        size_t payloadWords;
+    };
+    for (const Case &c :
+         {Case{"valid_request_mutate.bin", RequestOp::kMutate, 8},
+          Case{"valid_request_snapshot.bin", RequestOp::kSnapshot, 0},
+          Case{"mutate_overlapping.bin", RequestOp::kMutate, 8},
+          Case{"mutate_tombstone_without_base.bin", RequestOp::kMutate,
+               2}}) {
+        SCOPED_TRACE(c.file);
+        const std::string raw = slurp(corpusDir() / "frame" / c.file);
+        ASSERT_GT(raw.size(), 1u);
+        RequestFrame req;
+        ASSERT_TRUE(decodeRequest(
+                        reinterpret_cast<const uint8_t *>(raw.data()) + 1,
+                        raw.size() - 1, &req)
+                        .ok());
+        EXPECT_EQ(req.op, c.op);
+        EXPECT_EQ(req.payload.size(), c.payloadWords);
+    }
+    for (const char *name :
+         {"mutate_truncated.bin", "snapshot_with_payload.bin",
+          "bad_op3.bin", "mutate_delete_bit_on_dst.bin"}) {
+        SCOPED_TRACE(name);
+        const std::string raw = slurp(corpusDir() / "frame" / name);
+        ASSERT_GT(raw.size(), 1u);
+        RequestFrame req;
+        EXPECT_FALSE(decodeRequest(
+                         reinterpret_cast<const uint8_t *>(raw.data()) + 1,
+                         raw.size() - 1, &req)
+                         .ok());
+    }
+}
+
 TEST(FuzzCorpus, FrameMalformedSeedsAreRejected)
 {
     for (const char *name :
