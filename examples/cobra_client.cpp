@@ -59,6 +59,7 @@ struct Options
     uint32_t backoffMs = 20;
     uint32_t mutate = 0;     ///< kMutate batches to stream (0 = off)
     uint32_t mutateOps = 256; ///< ops per mutation batch
+    uint32_t mutateStart = 0; ///< first batch index (crash resume)
 };
 
 [[noreturn]] void
@@ -75,12 +76,17 @@ usage(const char *argv0)
            "       [--wc-lines L] [--skew-adaptive]\n"
            "       [--deadline-ms D] [--inject SITE[:N[:SEED]]]\n"
            "       [--timeout-ms T] [--retries R] [--backoff-ms B]\n"
-           "       [--mutate B] [--mutate-ops M]\n"
+           "       [--mutate B] [--mutate-ops M] [--mutate-start S]\n"
            "\n"
            "--mutate B streams B edge-mutation batches (kMutate, ~25%\n"
            "deletes of earlier inserts) into the tenant's mutable\n"
            "graph, then fetches its snapshot checksum (kSnapshot).\n"
-           "Only degree and pagerank kernels are mutable.\n";
+           "Only degree and pagerank kernels are mutable.\n"
+           "--mutate-start S resumes the deterministic stream at batch\n"
+           "index S (batches [S, S+B)): after a server crash, restart\n"
+           "from the first unacknowledged batch and the stream is\n"
+           "byte-identical to an uninterrupted run — mutation batches\n"
+           "are idempotent server-side, so at-least-once is safe.\n";
     std::exit(2);
 }
 
@@ -161,6 +167,8 @@ main(int argc, char **argv)
             o.mutate = static_cast<uint32_t>(std::stoul(next()));
         else if (a == "--mutate-ops")
             o.mutateOps = static_cast<uint32_t>(std::stoul(next()));
+        else if (a == "--mutate-start")
+            o.mutateStart = static_cast<uint32_t>(std::stoul(next()));
         else
             usage(argv[0]);
     }
@@ -255,7 +263,11 @@ main(int argc, char **argv)
             std::cout << "\n";
             return resp.code == ErrorCode::kOk;
         };
-        for (uint32_t b = 0; b < o.mutate; ++b) {
+        for (uint32_t bi = 0; bi < o.mutate; ++bi) {
+            // The batch index b addresses the deterministic stream;
+            // with --mutate-start it picks up exactly where a crashed
+            // run left off.
+            const uint32_t b = o.mutateStart + bi;
             RequestFrame req = proto;
             req.op = RequestOp::kMutate;
             req.requestId = b + 1;
@@ -281,7 +293,7 @@ main(int argc, char **argv)
         }
         RequestFrame snap = proto;
         snap.op = RequestOp::kSnapshot;
-        snap.requestId = o.mutate + 1;
+        snap.requestId = uint64_t{o.mutateStart} + o.mutate + 1;
         snap.payload.clear();
         snap.injectSite = 0;
         report(snap, "snapshot");

@@ -15,16 +15,28 @@
  *                --max-outstanding 64 --tenant-budget-mb 512
  *
  * SIGINT/SIGTERM drains gracefully: queued requests are shed with
- * kUnavailable, in-flight runs finish, then the process exits. With
- * --metrics the final MetricsRegistry (admission counters, per-tenant
- * lifecycle counts, queue-depth gauge, supervisor metrics) is written
- * as JSON on the way out.
+ * kUnavailable, in-flight runs finish, then — with durability on — a
+ * final checkpoint is written before the process exits. With --metrics
+ * the final MetricsRegistry (admission counters, per-tenant lifecycle
+ * counts, queue-depth gauge, supervisor + durability metrics) is
+ * written as JSON on the way out.
+ *
+ * Durability (DESIGN.md §16): --wal-dir enables write-ahead logging of
+ * every acknowledged mutation batch plus periodic checkpoints, and
+ * startup then runs crash recovery (checkpoint + certified WAL
+ * replay). A recovery that cannot reproduce the acknowledged state
+ * exits nonzero with the typed refusal on stderr — the daemon never
+ * serves state it cannot certify. --fsync-policy picks the
+ * latency/durability trade (always | group:N | none);
+ * --checkpoint-interval S checkpoints every S seconds (0 =
+ * shutdown-only).
  */
 
 #include <csignal>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -58,6 +70,9 @@ struct Options
     uint64_t attemptDeadlineMs = 30000;
     uint32_t retries = 3;
     std::string metricsOut;
+    std::string walDir;       ///< empty = durability disabled
+    std::string fsyncPolicy = "always";
+    uint64_t checkpointIntervalS = 0; ///< 0 = shutdown-only
 };
 
 [[noreturn]] void
@@ -69,7 +84,10 @@ usage(const char *argv0)
                  "[--max-outstanding-tenant N]\n"
                  "       [--global-budget-mb M] [--tenant-budget-mb M]\n"
                  "       [--attempt-deadline-ms D] [--retries R]\n"
-                 "       [--metrics out.json]\n";
+                 "       [--metrics out.json]\n"
+                 "       [--wal-dir dir] [--fsync-policy "
+                 "always|group:N|none]\n"
+                 "       [--checkpoint-interval seconds]\n";
     std::exit(2);
 }
 
@@ -108,6 +126,12 @@ main(int argc, char **argv)
             o.retries = static_cast<uint32_t>(std::stoul(next()));
         else if (a == "--metrics")
             o.metricsOut = next();
+        else if (a == "--wal-dir")
+            o.walDir = next();
+        else if (a == "--fsync-policy")
+            o.fsyncPolicy = next();
+        else if (a == "--checkpoint-interval")
+            o.checkpointIntervalS = std::stoull(next());
         else
             usage(argv[0]);
     }
@@ -131,9 +155,45 @@ main(int argc, char **argv)
     cfg.defaultAttemptDeadline =
         std::chrono::milliseconds(o.attemptDeadlineMs);
     cfg.retryAttempts = o.retries + 1;
+    if (!o.walDir.empty()) {
+        cfg.durability.walDir = o.walDir;
+        auto p = parseFsyncPolicy(o.fsyncPolicy);
+        if (!p) {
+            std::cerr << "error: bad --fsync-policy '" << o.fsyncPolicy
+                      << "' (want always | group:N | none)\n";
+            return 2;
+        }
+        cfg.durability.fsync = *p;
+        cfg.durability.checkpointInterval =
+            std::chrono::seconds(o.checkpointIntervalS);
+    }
 
-    BatchServer server(cfg, pool);
-    SocketServer sock(server, o.socket);
+    // Recovery happens inside the BatchServer constructor; a typed
+    // refusal (corrupt log, fingerprint divergence, lost acked state)
+    // must exit nonzero, never serve.
+    std::unique_ptr<BatchServer> server;
+    try {
+        server = std::make_unique<BatchServer>(cfg, pool);
+    } catch (const Error &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    if (!o.walDir.empty()) {
+        const RecoveryReport &rr = server->recovery();
+        std::cout << "durability: wal-dir " << o.walDir << ", fsync "
+                  << o.fsyncPolicy << ", recovered "
+                  << (rr.checkpointLoaded
+                          ? "checkpoint@lsn " +
+                                std::to_string(rr.checkpointLsn) + " (" +
+                                std::to_string(rr.checkpointTenants) +
+                                " tenants) + "
+                          : std::string())
+                  << rr.replayedBatches << " replayed batches ("
+                  << rr.replayedOps << " ops, " << rr.skippedRecords
+                  << " skipped, torn tail " << rr.tornTailBytes
+                  << " B) in " << rr.durationMicros << " us\n";
+    }
+    SocketServer sock(*server, o.socket);
     if (Status s = sock.start(); !s.ok()) {
         std::cerr << "error: " << s.toString() << "\n";
         return 1;
@@ -149,9 +209,9 @@ main(int argc, char **argv)
 
     std::cout << "draining...\n";
     sock.stop();
-    server.stop();
+    server->stop();
 
-    const ServerStats st = server.stats();
+    const ServerStats st = server->stats();
     std::cout << "received " << st.received << ", admitted "
               << st.admitted << ", completed " << st.completed
               << ", failed " << st.failed << ", shed " << st.shed

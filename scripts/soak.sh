@@ -9,6 +9,12 @@
 #                                   # streams against per-tenant mutable
 #                                   # graphs, gated on the server's
 #                                   # op-conservation identity
+#   scripts/soak.sh --crash         # durability soak: SIGKILL the
+#                                   # server at random points in a
+#                                   # mutation stream, restart on the
+#                                   # same --wal-dir, and require the
+#                                   # recovered state to equal a
+#                                   # no-crash reference bit-for-bit
 #
 # What it does:
 #   1. builds (or reuses) the requested build dir;
@@ -29,6 +35,19 @@
 # is the same server exit status, which now also covers the mutation
 # identity: mutateOps == applied + deduped + rejected.
 #
+# With --crash, the soak becomes the durability acceptance gate: a
+# no-crash reference run records the snapshot checksum of the full
+# deterministic mutation stream, then >= 20 cycles of {restart the
+# server on the same WAL directory, stream batches, SIGKILL at a
+# random 0.2-2.0 s offset} run against --fsync-policy always with
+# background checkpoints enabled. Every batch the client saw
+# acknowledged must survive the kill (the resumed stream picks up at
+# the first unacked index via cobra_client --mutate-start; re-sends of
+# acked-but-unreported batches are absorbed by the server's LSN
+# idempotence). The final recovered snapshot checksum must equal the
+# reference, and the closing SIGTERM drain must report exact
+# conservation — zero lost acknowledged mutations, or the soak fails.
+#
 # The in-process equivalent (no sockets, runs in every ctest pass) is
 # tests/test_server.cc's ChaosSoak; this script is the out-of-process
 # version with real frames, real connections, and real signals.
@@ -38,6 +57,7 @@ cd "$(dirname "$0")/.."
 SECONDS_BUDGET=120
 BUILD_DIR=build
 MUTATE=0
+CRASH=0
 while [[ $# -gt 0 ]]; do
     case "$1" in
     --seconds)
@@ -52,6 +72,10 @@ while [[ $# -gt 0 ]]; do
         ;;
     --mutate)
         MUTATE=1
+        shift
+        ;;
+    --crash)
+        CRASH=1
         shift
         ;;
     *)
@@ -70,6 +94,121 @@ SERVER_BIN=$(find "$BUILD_DIR" -name cobra_server -type f | head -1)
 CLIENT_BIN=$(find "$BUILD_DIR" -name cobra_client -type f | head -1)
 [[ -x $SERVER_BIN && -x $CLIENT_BIN ]] ||
     { echo "soak: binaries not found under $BUILD_DIR" >&2; exit 1; }
+
+if (( CRASH )); then
+    WALDIR=$(mktemp -d /tmp/cobra-soak-wal-XXXXXX)
+    SCRATCH=$(mktemp -d /tmp/cobra-soak-out-XXXXXX)
+    SERVER_PID=
+    trap '[[ -n ${SERVER_PID:-} ]] && kill -9 "$SERVER_PID" 2>/dev/null
+          rm -rf "$WALDIR" "$SCRATCH"' EXIT
+
+    # Sized so the stream outlasts the crash loop: at fsync-always
+    # throughput most of the 20 kills land mid-stream rather than on an
+    # idle recovered server, and the clean finish still has a tail of
+    # batches to drain.
+    TOTAL=2048 # batches in the deterministic stream
+    OPS=2048   # mutation ops per batch
+    CYCLES=20  # SIGKILL/restart cycles (the acceptance floor)
+    # One tenant, one kernel, identical client flags across the
+    # reference, the crash cycles, and the clean finish — the snapshot
+    # checksum only compares if the streams are byte-identical.
+    CFLAGS=(--socket "$SOCK" --tenant 1 --kernel degree
+            --indices 16384 --mutate-ops "$OPS")
+
+    start_server() { # args: extra cobra_server flags
+        rm -f "$SOCK" # a SIGKILLed server leaves a stale socket file
+        "$SERVER_BIN" --socket "$SOCK" --dispatchers 2 "$@" &
+        SERVER_PID=$!
+        for _ in $(seq 100); do
+            [[ -S $SOCK ]] && return 0
+            if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+                wait "$SERVER_PID" && RC=0 || RC=$?
+                echo "soak: server exited $RC before binding" \
+                     "(recovery refused?)" >&2
+                SERVER_PID=
+                return 1
+            fi
+            sleep 0.1
+        done
+        echo "soak: server never bound $SOCK" >&2
+        return 1
+    }
+
+    # Ground truth: the same TOTAL-batch stream against a memory-only
+    # server, no crashes. Recovery must reproduce this checksum.
+    start_server || exit 1
+    REF=$("$CLIENT_BIN" "${CFLAGS[@]}" --mutate "$TOTAL" --retries 2) ||
+        { echo "soak: reference run failed" >&2; exit 1; }
+    REF_SUM=$(sed -n 's/^snapshot [0-9]*: ok checksum=\([0-9a-f]*\).*/\1/p' \
+        <<<"$REF")
+    [[ -n $REF_SUM ]] ||
+        { echo "soak: reference snapshot checksum missing" >&2; exit 1; }
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID" ||
+        { echo "soak: reference server drain failed" >&2; exit 1; }
+    SERVER_PID=
+    echo "soak: reference checksum $REF_SUM over $TOTAL batches"
+
+    # Crash loop. ACKED is the acknowledged-batch frontier: batches
+    # [0, ACKED) were acked before some kill, so the next cycle resumes
+    # the stream at index ACKED. The last batch is held back for the
+    # clean finish so the final pass always has work and a snapshot.
+    ACKED=0
+    for CYCLE in $(seq "$CYCLES"); do
+        start_server --wal-dir "$WALDIR" --fsync-policy always \
+            --checkpoint-interval 1 ||
+            { echo "soak: FAIL (restart refused at cycle $CYCLE)" >&2
+              exit 1; }
+        CLIENT_PID=
+        OUT=$SCRATCH/cycle-$CYCLE.out
+        REMAIN=$((TOTAL - 1 - ACKED))
+        if (( REMAIN > 0 )); then
+            "$CLIENT_BIN" "${CFLAGS[@]}" --mutate-start "$ACKED" \
+                --mutate "$REMAIN" --retries 0 >"$OUT" 2>&1 &
+            CLIENT_PID=$!
+        fi
+        MS=$((200 + RANDOM % 1801)) # SIGKILL offset: 0.2-2.0 s
+        sleep "$(printf '%d.%03d' $((MS / 1000)) $((MS % 1000)))"
+        kill -9 "$SERVER_PID" 2>/dev/null || true
+        wait "$SERVER_PID" 2>/dev/null || true
+        SERVER_PID=
+        if [[ -n $CLIENT_PID ]]; then
+            wait "$CLIENT_PID" || true
+            # "mutate N: ok" acknowledges batch index N-1, so the
+            # highest acked id IS the new frontier.
+            LAST=$(sed -n 's/^mutate \([0-9]*\): ok .*/\1/p' "$OUT" |
+                tail -1)
+            [[ -n ${LAST:-} ]] && ACKED=$LAST
+        fi
+        echo "soak: cycle $CYCLE: SIGKILL after ${MS} ms," \
+             "$ACKED/$TOTAL batches acked"
+    done
+
+    # Clean finish: recover once more, stream the remaining batches,
+    # and compare the recovered snapshot against the reference.
+    start_server --wal-dir "$WALDIR" --fsync-policy always ||
+        { echo "soak: FAIL (final restart refused)" >&2; exit 1; }
+    FIN=$("$CLIENT_BIN" "${CFLAGS[@]}" --mutate-start "$ACKED" \
+        --mutate $((TOTAL - ACKED)) --retries 2) ||
+        { echo "soak: FAIL (clean finish run errored)" >&2; exit 1; }
+    FIN_SUM=$(sed -n 's/^snapshot [0-9]*: ok checksum=\([0-9a-f]*\).*/\1/p' \
+        <<<"$FIN")
+    if [[ $FIN_SUM != "$REF_SUM" ]]; then
+        echo "soak: FAIL (recovered checksum ${FIN_SUM:-<none>} !=" \
+             "reference $REF_SUM — acked mutations were lost)" >&2
+        exit 1
+    fi
+    echo "soak: recovered checksum $FIN_SUM matches no-crash reference"
+    kill -TERM "$SERVER_PID"
+    if wait "$SERVER_PID"; then
+        echo "soak: PASS ($CYCLES SIGKILL cycles, zero acked batches lost)"
+    else
+        echo "soak: FAIL (server reported a conservation violation)" >&2
+        exit 1
+    fi
+    SERVER_PID=
+    exit 0
+fi
 
 # Tight caps: 8 outstanding globally, 4 per tenant, 512 MiB per-tenant
 # reservation budget — the mixed load below must overflow all three.

@@ -16,6 +16,11 @@
 #   scripts/tier1.sh --tsan --labels incremental   # incremental-vs-full
 #                                              # certification + mutation
 #                                              # fault matrix
+#   scripts/tier1.sh --sanitize --labels durability  # WAL/checkpoint/
+#                                              # recovery crash matrices
+#                                              # under ASan+UBSan
+#   scripts/tier1.sh --tsan --labels durability      # same suites under
+#                                              # ThreadSanitizer
 #
 # Label taxonomy lives in tests/CMakeLists.txt; `skew` marks the
 # skew-adaptive scheduling / StealQueue / two-pass native suites, which
@@ -31,6 +36,13 @@
 # earns the same --tsan treatment after touching DynamicGraph or the
 # runner's bin-drain order. `mutation` groups it with the DynamicGraph
 # set-model property sweep (ctest -L mutation runs both).
+# `durability` marks the WAL/checkpoint/recovery certification (torn
+# tails, byte flips, checkpoint atomicity, acked == recovered, plus the
+# real-daemon SIGKILL/restart loop); recovery replays batches through
+# the parallel PB path and the WAL group-fsync batches acks across
+# dispatcher threads, so run it under both --sanitize and --tsan after
+# touching src/durability/ or the server's commit path. The
+# out-of-process durability gate is scripts/soak.sh --crash.
 # All ride in every plain and sanitizer pass too — the labels are a
 # focus knob, not an opt-in.
 #

@@ -46,6 +46,22 @@
  *                                        progress guarantee is testable:
  *                                        the run must complete, not
  *                                        merely not-hang.
+ *   WalTornWrite                       — a WAL append crashes mid-write:
+ *                                        only a prefix of the record
+ *                                        reaches the file (the writer is
+ *                                        poisoned, the batch unacked);
+ *                                        recovery must truncate the torn
+ *                                        tail, never replay it
+ *   WalCrcFlip                         — silent media corruption: the
+ *                                        record is written complete but
+ *                                        its CRC field is flipped; the
+ *                                        reader must reject it typed
+ *   WalFsyncFail                       — the fsync after an append fails;
+ *                                        the append is rolled back and
+ *                                        answered typed, never acked
+ *   CkptRenameFail                     — the checkpoint's atomic rename
+ *                                        fails; the previous checkpoint
+ *                                        must stay valid and loadable
  *
  * Usage: construct with a site, the 1-based opportunity ordinal to fire
  * at, and a seed; activate with a FaultInjector::Scope. Disabled (the
@@ -100,6 +116,10 @@ enum class FaultSite : uint32_t
     kPbStallAccumulate,
     kPbDelayDrain,
     kPbStealStarve,
+    kWalTornWrite,
+    kWalCrcFlip,
+    kWalFsyncFail,
+    kCkptRenameFail,
 };
 
 inline const char *
@@ -127,6 +147,10 @@ to_string(FaultSite s)
       case FaultSite::kPbStallAccumulate: return "pb-stall-accumulate";
       case FaultSite::kPbDelayDrain: return "pb-delay-drain";
       case FaultSite::kPbStealStarve: return "pb-steal-starve";
+      case FaultSite::kWalTornWrite: return "wal-torn-write";
+      case FaultSite::kWalCrcFlip: return "wal-crc-flip";
+      case FaultSite::kWalFsyncFail: return "wal-fsync-fail";
+      case FaultSite::kCkptRenameFail: return "ckpt-rename-fail";
     }
     return "unknown";
 }
@@ -145,7 +169,9 @@ allFaultSites()
             FaultSite::kDesDuplicateEviction,
             FaultSite::kPbStallInit,         FaultSite::kPbStallBinning,
             FaultSite::kPbStallAccumulate,   FaultSite::kPbDelayDrain,
-            FaultSite::kPbStealStarve};
+            FaultSite::kPbStealStarve,       FaultSite::kWalTornWrite,
+            FaultSite::kWalCrcFlip,          FaultSite::kWalFsyncFail,
+            FaultSite::kCkptRenameFail};
 }
 
 inline std::optional<FaultSite>

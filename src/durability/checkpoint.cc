@@ -1,0 +1,396 @@
+#include "src/durability/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/check/fault_injector.h"
+#include "src/durability/crc32c.h"
+#include "src/graph/io.h"
+#include "src/obs/metrics.h"
+
+namespace cobra {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void
+putU32(std::string &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void
+putU64(std::string &buf, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= uint32_t(p[i]) << (8 * i);
+    return v;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+Status
+ioStatus(const std::string &what, const std::string &path)
+{
+    std::ostringstream oss;
+    oss << what << " failed for " << path << ": " << std::strerror(errno);
+    return Status(ErrorCode::kIoError, oss.str());
+}
+
+/** Parse "ckpt-<20-digit-lsn>.ckpt"; nullopt for unrelated files. */
+std::optional<uint64_t>
+parseCheckpointName(const std::string &name)
+{
+    constexpr std::string_view prefix = "ckpt-";
+    constexpr std::string_view suffix = ".ckpt";
+    if (name.size() != prefix.size() + 20 + suffix.size())
+        return std::nullopt;
+    if (name.compare(0, prefix.size(), prefix) != 0)
+        return std::nullopt;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+        0)
+        return std::nullopt;
+    uint64_t lsn = 0;
+    for (size_t i = prefix.size(); i < prefix.size() + 20; ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        lsn = lsn * 10 + uint64_t(c - '0');
+    }
+    return lsn;
+}
+
+Status
+listCheckpoints(const std::string &dir,
+                std::vector<std::pair<uint64_t, std::string>> *out)
+{
+    out->clear();
+    std::error_code ec;
+    if (!fs::exists(dir, ec))
+        return Status::Ok();
+    fs::directory_iterator it(dir, ec);
+    if (ec)
+        return Status(ErrorCode::kIoError,
+                      "cannot list checkpoint directory " + dir + ": " +
+                          ec.message());
+    for (const auto &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (auto lsn = parseCheckpointName(name))
+            out->emplace_back(*lsn, entry.path().string());
+    }
+    std::sort(out->begin(), out->end());
+    return Status::Ok();
+}
+
+/** Full validation of one checkpoint file; throws typed Errors. */
+Checkpoint
+parseCheckpointFile(const std::string &path, uint64_t expected_lsn,
+                    uint64_t budget_bytes)
+{
+    std::ifstream in(path, std::ios::binary);
+    COBRA_THROW_IF(!in, ErrorCode::kIoError,
+                   "cannot open checkpoint " << path);
+    std::vector<uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                               std::istreambuf_iterator<char>()};
+    COBRA_THROW_IF(in.bad(), ErrorCode::kIoError,
+                   "read failed for checkpoint " << path);
+    COBRA_THROW_IF(bytes.size() < kCheckpointHeaderBytes,
+                   ErrorCode::kCorruptFile,
+                   "checkpoint " << path << " is " << bytes.size()
+                                 << " bytes, shorter than the "
+                                 << kCheckpointHeaderBytes
+                                 << "-byte header");
+    COBRA_THROW_IF(getU64(bytes.data()) != kCheckpointMagic,
+                   ErrorCode::kCorruptFile,
+                   "bad checkpoint magic in " << path);
+    COBRA_THROW_IF(getU32(bytes.data() + 8) != kCheckpointVersion,
+                   ErrorCode::kCorruptFile,
+                   "unsupported checkpoint version "
+                       << getU32(bytes.data() + 8) << " in " << path);
+    const uint32_t storedCrc = getU32(bytes.data() + 12);
+    const uint64_t lsn = getU64(bytes.data() + 16);
+    const uint64_t numTenants = getU64(bytes.data() + 24);
+    const uint64_t payloadBytes = getU64(bytes.data() + 32);
+    COBRA_THROW_IF(lsn != expected_lsn, ErrorCode::kCorruptFile,
+                   "checkpoint " << path << " stamps lsn " << lsn
+                                 << " but its name claims "
+                                 << expected_lsn);
+    COBRA_THROW_IF(payloadBytes != bytes.size() - kCheckpointHeaderBytes,
+                   ErrorCode::kCorruptFile,
+                   "checkpoint " << path << " header promises "
+                                 << payloadBytes << " payload bytes but "
+                                 << bytes.size() - kCheckpointHeaderBytes
+                                 << " are present");
+    COBRA_THROW_IF(numTenants > payloadBytes / 32,
+                   ErrorCode::kCorruptFile,
+                   "checkpoint " << path << " claims " << numTenants
+                                 << " tenants, more than its payload "
+                                    "could hold");
+    const uint32_t crc =
+        crc32c(bytes.data() + kCheckpointHeaderBytes, payloadBytes);
+    COBRA_THROW_IF(crc != storedCrc, ErrorCode::kCorruptFile,
+                   "checkpoint " << path << " CRC mismatch: stored 0x"
+                                 << std::hex << storedCrc
+                                 << ", computed 0x" << crc);
+
+    Checkpoint ck;
+    ck.lsn = lsn;
+    const uint8_t *p = bytes.data() + kCheckpointHeaderBytes;
+    uint64_t remaining = payloadBytes;
+    uint64_t csrBudgetLeft = budget_bytes;
+    for (uint64_t t = 0; t < numTenants; ++t) {
+        COBRA_THROW_IF(remaining < 32, ErrorCode::kCorruptFile,
+                       "checkpoint " << path << " truncated inside tenant "
+                                     << t << " header");
+        TenantCheckpoint tc;
+        tc.tenantId = getU64(p);
+        tc.coveredLsn = getU64(p + 8);
+        tc.numIndices = getU64(p + 16);
+        tc.fingerprint = getU64(p + 24);
+        COBRA_THROW_IF(tc.coveredLsn > lsn, ErrorCode::kCorruptFile,
+                       "checkpoint " << path << " tenant " << tc.tenantId
+                                     << " claims coveredLsn "
+                                     << tc.coveredLsn
+                                     << " beyond the capture lsn " << lsn);
+        p += 32;
+        remaining -= 32;
+
+        std::istringstream payload(
+            std::string(reinterpret_cast<const char *>(p), remaining));
+        uint64_t consumed = 0;
+        tc.csr = readCsrStream(payload, path, remaining, &consumed);
+        COBRA_THROW_IF(consumed > remaining, ErrorCode::kInternal,
+                       "CSR block consumed past the checkpoint payload");
+        if (budget_bytes != 0) {
+            // The memory budget is charged after the structural parse so
+            // a too-big-for-recovery checkpoint surfaces as a typed
+            // kResourceExhausted, never masquerading as file corruption.
+            COBRA_THROW_IF(consumed > csrBudgetLeft,
+                           ErrorCode::kResourceExhausted,
+                           "checkpoint " << path
+                                         << " exceeds the recovery memory "
+                                            "budget of "
+                                         << budget_bytes << " bytes");
+            csrBudgetLeft -= consumed;
+        }
+        p += consumed;
+        remaining -= consumed;
+        ck.tenants.push_back(std::move(tc));
+    }
+    COBRA_THROW_IF(remaining != 0, ErrorCode::kCorruptFile,
+                   "checkpoint " << path << " carries " << remaining
+                                 << " trailing bytes after the last "
+                                    "tenant");
+    for (size_t i = 1; i < ck.tenants.size(); ++i)
+        COBRA_THROW_IF(ck.tenants[i - 1].tenantId >= ck.tenants[i].tenantId,
+                       ErrorCode::kCorruptFile,
+                       "checkpoint " << path
+                                     << " tenants are not sorted+unique");
+    return ck;
+}
+
+} // namespace
+
+std::string
+checkpointName(uint64_t lsn)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "ckpt-%020llu.ckpt",
+                  static_cast<unsigned long long>(lsn));
+    return buf;
+}
+
+Status
+writeCheckpoint(const std::string &dir, const Checkpoint &ck,
+                std::string *path_out)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        return Status(ErrorCode::kIoError,
+                      "cannot create checkpoint directory " + dir + ": " +
+                          ec.message());
+
+    std::string payload;
+    for (const TenantCheckpoint &tc : ck.tenants) {
+        if (tc.coveredLsn > ck.lsn)
+            return Status(ErrorCode::kInvalidArgument,
+                          "tenant " + std::to_string(tc.tenantId) +
+                              " coveredLsn exceeds the capture lsn");
+        putU64(payload, tc.tenantId);
+        putU64(payload, tc.coveredLsn);
+        putU64(payload, tc.numIndices);
+        putU64(payload, tc.fingerprint);
+        std::ostringstream block;
+        writeCsrStream(block, tc.csr);
+        payload += block.str();
+    }
+
+    std::string header;
+    putU64(header, kCheckpointMagic);
+    putU32(header, kCheckpointVersion);
+    putU32(header, crc32c(payload.data(), payload.size()));
+    putU64(header, ck.lsn);
+    putU64(header, ck.tenants.size());
+    putU64(header, payload.size());
+
+    const std::string finalPath =
+        (fs::path(dir) / checkpointName(ck.lsn)).string();
+    const std::string tmpPath = finalPath + ".tmp";
+
+    int fd = ::open(tmpPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return ioStatus("open", tmpPath);
+    auto writeAll = [&](const char *data, size_t n) -> bool {
+        size_t done = 0;
+        while (done < n) {
+            ssize_t w = ::write(fd, data + done, n - done);
+            if (w < 0) {
+                if (errno == EINTR)
+                    continue;
+                return false;
+            }
+            done += static_cast<size_t>(w);
+        }
+        return true;
+    };
+    if (!writeAll(header.data(), header.size()) ||
+        !writeAll(payload.data(), payload.size())) {
+        Status st = ioStatus("write", tmpPath);
+        ::close(fd);
+        ::unlink(tmpPath.c_str());
+        return st;
+    }
+    if (::fsync(fd) != 0) {
+        Status st = ioStatus("fsync", tmpPath);
+        ::close(fd);
+        ::unlink(tmpPath.c_str());
+        return st;
+    }
+    ::close(fd);
+
+    // The atomic commit point. An injected rename failure models a
+    // crash here: the tmp file is discarded and the previous checkpoint
+    // remains the authoritative one — exactly what a real crash between
+    // fsync and rename leaves behind.
+    bool renameFailed = false;
+    std::string renameWhy;
+    if (FaultInjector *fi = FaultInjector::active();
+        fi && fi->fire(FaultSite::kCkptRenameFail, 0)) {
+        renameFailed = true;
+        renameWhy = "rename failure injected";
+    } else if (::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
+        renameFailed = true;
+        renameWhy = std::strerror(errno);
+    }
+    if (renameFailed) {
+        ::unlink(tmpPath.c_str());
+        return Status(ErrorCode::kIoError,
+                      "checkpoint rename " + tmpPath + " -> " + finalPath +
+                          " failed (" + renameWhy +
+                          "); previous checkpoint remains authoritative");
+    }
+
+    // Persist the directory entry so the rename survives power loss.
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+
+    if (MetricsCounter *c = metricsCounter("durability.ckpt.writes"))
+        c->inc();
+    if (MetricsCounter *c = metricsCounter("durability.ckpt.bytes"))
+        c->add(header.size() + payload.size());
+    if (path_out)
+        *path_out = finalPath;
+    return Status::Ok();
+}
+
+Status
+loadNewestValidCheckpoint(const std::string &dir, Checkpoint *out,
+                          bool *found, uint64_t budget_bytes,
+                          std::string *path_out)
+{
+    *found = false;
+    std::vector<std::pair<uint64_t, std::string>> ckpts;
+    if (Status st = listCheckpoints(dir, &ckpts); !st.ok())
+        return st;
+    if (ckpts.empty())
+        return Status::Ok();
+
+    std::string firstFailure;
+    for (size_t i = ckpts.size(); i-- > 0;) {
+        try {
+            *out = parseCheckpointFile(ckpts[i].second, ckpts[i].first,
+                                       budget_bytes);
+            *found = true;
+            if (path_out)
+                *path_out = ckpts[i].second;
+            if (i + 1 != ckpts.size())
+                warn("newest checkpoint invalid; fell back to " +
+                     ckpts[i].second + " (" + firstFailure + ")");
+            return Status::Ok();
+        } catch (const Error &e) {
+            if (firstFailure.empty())
+                firstFailure = e.what();
+            // kResourceExhausted means the budget, not the file, is the
+            // problem — an older (likely larger-WAL-suffix) checkpoint
+            // will not help, so refuse outright.
+            if (e.code() == ErrorCode::kResourceExhausted)
+                return Status::FromError(e);
+        }
+    }
+    return Status(ErrorCode::kCorruptFile,
+                  "checkpoints exist in " + dir +
+                      " but none validates; refusing to guess at state "
+                      "(first failure: " + firstFailure + ")");
+}
+
+Status
+pruneCheckpoints(const std::string &dir, size_t keep)
+{
+    std::vector<std::pair<uint64_t, std::string>> ckpts;
+    if (Status st = listCheckpoints(dir, &ckpts); !st.ok())
+        return st;
+    if (ckpts.size() <= keep)
+        return Status::Ok();
+    for (size_t i = 0; i + keep < ckpts.size(); ++i) {
+        std::error_code ec;
+        fs::remove(ckpts[i].second, ec);
+        if (ec)
+            return Status(ErrorCode::kIoError,
+                          "cannot remove stale checkpoint " +
+                              ckpts[i].second + ": " + ec.message());
+    }
+    return Status::Ok();
+}
+
+} // namespace cobra

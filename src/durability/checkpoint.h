@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Checkpoints: durable full-state snapshots that bound WAL replay.
+ *
+ * A checkpoint is the compacted CSR of every tenant's DynamicGraph
+ * (written with the same writeCsrStream() block format the graph IO
+ * layer uses everywhere else) stamped with the LSN it covers. Recovery
+ * loads the newest valid checkpoint and replays only the WAL suffix
+ * past each tenant's coveredLsn, so replay cost is bounded by the
+ * checkpoint interval, not by the server's lifetime.
+ *
+ * File layout (`ckpt-<20-digit-lsn>.ckpt`, little-endian):
+ *
+ *   +0   u64  magic "COBRACK1"
+ *   +8   u32  version
+ *   +12  u32  crc32c over the payload
+ *   +16  u64  lsn        capture LSN (>= every tenant's coveredLsn)
+ *   +24  u64  numTenants
+ *   +32  u64  payloadBytes
+ *   +40  payload: per tenant
+ *          u64 tenantId, u64 coveredLsn, u64 numIndices,
+ *          u64 fingerprint, then a writeCsrStream() block
+ *
+ * Write protocol — crash-atomic by construction: serialize to
+ * `<name>.tmp`, fsync the file, rename() into place, fsync the
+ * directory. A crash (or the injected ckpt-rename-fail fault) at any
+ * point leaves either the complete new checkpoint or the untouched
+ * previous one; there is no state in which a half-written checkpoint
+ * carries the real name. The newest TWO checkpoints are retained and
+ * WAL truncation trails the *older* one, so even "newest checkpoint
+ * corrupt on disk" recovers: the loader falls back to the older
+ * checkpoint and the WAL still reaches back far enough to cover it.
+ */
+
+#ifndef COBRA_DURABILITY_CHECKPOINT_H
+#define COBRA_DURABILITY_CHECKPOINT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/util/error.h"
+
+namespace cobra {
+
+inline constexpr uint64_t kCheckpointMagic = 0x434F425241434B31ull;
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr size_t kCheckpointHeaderBytes = 40;
+
+/** One tenant's durable state inside a checkpoint. */
+struct TenantCheckpoint
+{
+    uint64_t tenantId = 0;
+    uint64_t coveredLsn = 0;   ///< last WAL lsn folded into this CSR
+    uint64_t numIndices = 0;   ///< the tenant's pinned index space
+    uint64_t fingerprint = 0;  ///< snapshotFingerprint() of @p csr
+    CsrGraph csr;
+};
+
+/** A full-server snapshot covering every WAL record with lsn <= lsn. */
+struct Checkpoint
+{
+    uint64_t lsn = 0;
+    std::vector<TenantCheckpoint> tenants;
+};
+
+/** Checkpoint file name for capture LSN @p lsn. */
+std::string checkpointName(uint64_t lsn);
+
+/**
+ * Durably write @p ck into @p dir via the tmp + fsync + rename + dir
+ * fsync protocol. Consults an active FaultInjector at the
+ * ckpt-rename-fail seam (the tmp file is removed and the previous
+ * checkpoint remains authoritative). On success @p path_out (if
+ * non-null) receives the final path.
+ */
+Status writeCheckpoint(const std::string &dir, const Checkpoint &ck,
+                       std::string *path_out = nullptr);
+
+/**
+ * Load the newest checkpoint in @p dir that passes full validation
+ * (magic/version/CRC/structure), falling back to older ones — a
+ * corrupt newest checkpoint is survivable by design. Returns Ok with
+ * *found=false when the directory holds no checkpoints at all;
+ * kCorruptFile when checkpoints exist but none validates (refusing to
+ * guess is the only safe answer). @p budget_bytes bounds the CSR bytes
+ * a checkpoint may ask recovery to materialize (0 = unbounded).
+ */
+Status loadNewestValidCheckpoint(const std::string &dir, Checkpoint *out,
+                                 bool *found, uint64_t budget_bytes = 0,
+                                 std::string *path_out = nullptr);
+
+/** Delete all but the newest @p keep checkpoints in @p dir. */
+Status pruneCheckpoints(const std::string &dir, size_t keep);
+
+} // namespace cobra
+
+#endif // COBRA_DURABILITY_CHECKPOINT_H

@@ -1,0 +1,48 @@
+#include "src/durability/crc32c.h"
+
+#include <array>
+
+namespace cobra {
+
+namespace {
+
+std::array<uint32_t, 256>
+buildTable()
+{
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1u) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+        t[i] = c;
+    }
+    return t;
+}
+
+const std::array<uint32_t, 256> &
+table()
+{
+    static const std::array<uint32_t, 256> t = buildTable();
+    return t;
+}
+
+} // namespace
+
+uint32_t
+crc32cExtend(uint32_t crc, const void *data, size_t n)
+{
+    const auto &t = table();
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32c(const void *data, size_t n)
+{
+    return crc32cExtend(0, data, n);
+}
+
+} // namespace cobra

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) — the WAL and checkpoint integrity check.
+ *
+ * Software slice-by-one implementation over a lazily built 256-entry
+ * table: the durability layer hashes whole records on an fsync-bound
+ * path, so a few bytes/cycle is far from the bottleneck and the
+ * portable version keeps the subsystem free of ISA gates. The
+ * polynomial (0x1EDC6F41, reflected 0x82F63B78) is the iSCSI/ext4
+ * choice rather than zlib's CRC32, so a file hashed by an external
+ * `crc32c` tool cross-checks directly.
+ */
+
+#ifndef COBRA_DURABILITY_CRC32C_H
+#define COBRA_DURABILITY_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cobra {
+
+/** CRC32C of @p n bytes, seeded for one-shot use. */
+uint32_t crc32c(const void *data, size_t n);
+
+/** Incremental form: feed @p crc the previous return value (start
+ * from 0) to extend a running checksum across buffers. */
+uint32_t crc32cExtend(uint32_t crc, const void *data, size_t n);
+
+} // namespace cobra
+
+#endif // COBRA_DURABILITY_CRC32C_H

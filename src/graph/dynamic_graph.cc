@@ -5,6 +5,7 @@
 
 #include "src/check/fault_injector.h"
 #include "src/graph/builder.h"
+#include "src/util/fnv.h"
 #include "src/pb/bin_range.h"
 #include "src/pb/parallel_pb.h"
 
@@ -20,6 +21,25 @@ DynamicGraph::DynamicGraph(NodeId num_nodes, const EdgeList &base)
     : nodes_(num_nodes), delta_(num_nodes), degree_(num_nodes, 0)
 {
     base_ = buildSortedDedupRef(num_nodes, base);
+    for (NodeId v = 0; v < nodes_; ++v)
+        degree_[v] = base_.degree(v);
+    liveEdges_ = base_.numEdges();
+}
+
+DynamicGraph::DynamicGraph(CsrGraph base)
+    : nodes_(base.numNodes()), delta_(base.numNodes()),
+      degree_(base.numNodes(), 0)
+{
+    for (NodeId v = 0; v < nodes_; ++v) {
+        const auto row = base.neighbors(v);
+        for (size_t i = 1; i < row.size(); ++i)
+            COBRA_THROW_IF(row[i - 1] >= row[i], ErrorCode::kCorruptFile,
+                           "adopted CSR row " << v
+                               << " is not sorted+unique at position "
+                               << i << " — refusing a base snapshot "
+                                  "that breaks the merge invariants");
+    }
+    base_ = std::move(base);
     for (NodeId v = 0; v < nodes_; ++v)
         degree_[v] = base_.degree(v);
     liveEdges_ = base_.numEdges();
@@ -257,6 +277,23 @@ DynamicGraph::snapshotCsr() const
         for (NodeId dst : liveNeighbors(v))
             neighs.push_back(dst);
     return CsrGraph(std::move(offsets), std::move(neighs));
+}
+
+uint64_t
+DynamicGraph::snapshotFingerprint() const
+{
+    // Degree sequence first, then every neighbor in snapshot order —
+    // exactly the word stream kSnapshot hashes, without materializing
+    // the offsets array.
+    std::vector<uint32_t> w;
+    w.reserve(static_cast<size_t>(nodes_) +
+              static_cast<size_t>(liveEdges_));
+    for (NodeId v = 0; v < nodes_; ++v)
+        w.push_back(static_cast<uint32_t>(degree_[v]));
+    for (NodeId v = 0; v < nodes_; ++v)
+        for (NodeId dst : liveNeighbors(v))
+            w.push_back(dst);
+    return fnv1a(w.data(), w.size());
 }
 
 EdgeList

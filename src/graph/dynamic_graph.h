@@ -121,6 +121,15 @@ class DynamicGraph
      * deduplicated CSR of @p base (multi-edges collapse). */
     DynamicGraph(NodeId num_nodes, const EdgeList &base);
 
+    /**
+     * Adopt @p base as the graph (empty deltas) — the durability
+     * layer's checkpoint-restore path. The CSR must already be sorted
+     * and unique per row (snapshotCsr() output always is); anything
+     * else throws kCorruptFile rather than seeding a graph whose
+     * merge invariants are silently broken.
+     */
+    explicit DynamicGraph(CsrGraph base);
+
     NodeId numNodes() const { return nodes_; }
 
     /** Live edges (base minus tombstones plus delta inserts). */
@@ -162,6 +171,16 @@ class DynamicGraph
      * multiset (the property test pins this).
      */
     CsrGraph snapshotCsr() const;
+
+    /**
+     * FNV-1a over the merged snapshot's degree sequence followed by
+     * its neighbor array — the same fingerprint kSnapshot serves
+     * (ResponseFrame::resultChecksum) and the WAL stamps into every
+     * record as the expected post-batch state. Deterministic across
+     * thread counts and invariant under compaction, so a recovered
+     * replica can be compared bit-for-bit against the no-crash run.
+     */
+    uint64_t snapshotFingerprint() const;
 
     /** Live edges flattened in snapshot order (sorted by src, dst). */
     EdgeList toEdgeList() const;

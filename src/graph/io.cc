@@ -185,39 +185,28 @@ saveEdgeListBinary(const std::string &path, NodeId num_nodes,
 }
 
 CsrGraph
-loadCsrBinary(const std::string &path)
+readCsrStream(std::istream &is, const std::string &path,
+              uint64_t budget_bytes, uint64_t *consumed)
 {
-    std::ifstream in(path, std::ios::binary);
-    COBRA_THROW_IF(!in, ErrorCode::kIoError, "cannot open " << path);
-    const uint64_t bytes = streamSize(in);
-    COBRA_THROW_IF(bytes < kHeaderBytes, ErrorCode::kCorruptFile,
-                   path << ": too small for a cobra binary CSR");
-    COBRA_THROW_IF(readPod<uint64_t>(in, path) != kCsrMagic,
+    COBRA_THROW_IF(budget_bytes < 2 * sizeof(uint64_t),
                    ErrorCode::kCorruptFile,
-                   path << ": not a cobra binary CSR");
-    const uint64_t n = readPod<uint64_t>(in, path);
-    const uint64_t m = readPod<uint64_t>(in, path);
+                   path << ": truncated CSR block header");
+    const uint64_t n = readPod<uint64_t>(is, path);
+    const uint64_t m = readPod<uint64_t>(is, path);
     COBRA_THROW_IF(n > uint64_t{1} + ~NodeId{0}, ErrorCode::kCorruptFile,
                    path << ": numNodes " << n << " exceeds 32-bit ids");
-    const uint64_t payload = bytes - kHeaderBytes;
+    const uint64_t payload = budget_bytes - 2 * sizeof(uint64_t);
     checkPayloadFits(path, "offset", n + 1, sizeof(EdgeOffset), payload);
     const uint64_t offset_bytes = (n + 1) * sizeof(EdgeOffset);
     checkPayloadFits(path, "neighbor", m, sizeof(NodeId),
                      payload - offset_bytes);
-    COBRA_THROW_IF(bytes != kHeaderBytes + offset_bytes +
-                                m * sizeof(NodeId),
-                   ErrorCode::kCorruptFile,
-                   path << ": oversized file (" << bytes
-                        << " bytes, header declares "
-                        << kHeaderBytes + offset_bytes + m * sizeof(NodeId)
-                        << ")");
     std::vector<EdgeOffset> offsets(n + 1);
     std::vector<NodeId> neighs(m);
-    in.read(reinterpret_cast<char *>(offsets.data()),
+    is.read(reinterpret_cast<char *>(offsets.data()),
             static_cast<std::streamsize>(offset_bytes));
-    in.read(reinterpret_cast<char *>(neighs.data()),
+    is.read(reinterpret_cast<char *>(neighs.data()),
             static_cast<std::streamsize>(m * sizeof(NodeId)));
-    COBRA_THROW_IF(!in, ErrorCode::kCorruptFile,
+    COBRA_THROW_IF(!is, ErrorCode::kCorruptFile,
                    path << ": truncated CSR data");
     COBRA_THROW_IF(offsets.front() != 0, ErrorCode::kCorruptFile,
                    path << ": inconsistent CSR (offsets[0] != 0)");
@@ -232,7 +221,45 @@ loadCsrBinary(const std::string &path)
         COBRA_THROW_IF(neighs[i] >= n, ErrorCode::kOutOfRange,
                        path << ": neighbor " << i << " (" << neighs[i]
                             << ") outside declared " << n << " nodes");
+    if (consumed)
+        *consumed = 2 * sizeof(uint64_t) + offset_bytes +
+                    m * sizeof(NodeId);
     return CsrGraph(std::move(offsets), std::move(neighs));
+}
+
+void
+writeCsrStream(std::ostream &os, const CsrGraph &g)
+{
+    writePod(os, static_cast<uint64_t>(g.numNodes()));
+    writePod(os, static_cast<uint64_t>(g.numEdges()));
+    os.write(reinterpret_cast<const char *>(g.offsetsArray().data()),
+             static_cast<std::streamsize>((g.numNodes() + 1) *
+                                          sizeof(EdgeOffset)));
+    os.write(reinterpret_cast<const char *>(g.neighborsArray().data()),
+             static_cast<std::streamsize>(g.numEdges() *
+                                          sizeof(NodeId)));
+}
+
+CsrGraph
+loadCsrBinary(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    COBRA_THROW_IF(!in, ErrorCode::kIoError, "cannot open " << path);
+    const uint64_t bytes = streamSize(in);
+    COBRA_THROW_IF(bytes < kHeaderBytes, ErrorCode::kCorruptFile,
+                   path << ": too small for a cobra binary CSR");
+    COBRA_THROW_IF(readPod<uint64_t>(in, path) != kCsrMagic,
+                   ErrorCode::kCorruptFile,
+                   path << ": not a cobra binary CSR");
+    uint64_t consumed = 0;
+    CsrGraph g = readCsrStream(in, path, bytes - sizeof(uint64_t),
+                               &consumed);
+    COBRA_THROW_IF(bytes != sizeof(uint64_t) + consumed,
+                   ErrorCode::kCorruptFile,
+                   path << ": oversized file (" << bytes
+                        << " bytes, header declares "
+                        << sizeof(uint64_t) + consumed << ")");
+    return g;
 }
 
 void
@@ -242,14 +269,7 @@ saveCsrBinary(const std::string &path, const CsrGraph &g)
     COBRA_THROW_IF(!out, ErrorCode::kIoError,
                    "cannot open " << path << " for writing");
     writePod(out, kCsrMagic);
-    writePod(out, static_cast<uint64_t>(g.numNodes()));
-    writePod(out, static_cast<uint64_t>(g.numEdges()));
-    out.write(reinterpret_cast<const char *>(g.offsetsArray().data()),
-              static_cast<std::streamsize>((g.numNodes() + 1) *
-                                           sizeof(EdgeOffset)));
-    out.write(reinterpret_cast<const char *>(g.neighborsArray().data()),
-              static_cast<std::streamsize>(g.numEdges() *
-                                           sizeof(NodeId)));
+    writeCsrStream(out, g);
     COBRA_THROW_IF(!out, ErrorCode::kIoError,
                    "write to " << path << " failed");
 }

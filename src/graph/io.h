@@ -8,6 +8,7 @@
 #ifndef COBRA_GRAPH_IO_H
 #define COBRA_GRAPH_IO_H
 
+#include <iosfwd>
 #include <string>
 
 #include "src/graph/csr.h"
@@ -40,6 +41,27 @@ void saveEdgeListBinary(const std::string &path, NodeId num_nodes,
  */
 CsrGraph loadCsrBinary(const std::string &path);
 void saveCsrBinary(const std::string &path, const CsrGraph &g);
+
+/**
+ * Stream-level CSR block (no file magic): {numNodes u64, numEdges
+ * u64}, then numNodes+1 u64 offsets, then numEdges u32 neighbors.
+ * saveCsrBinary/loadCsrBinary wrap one block with the file magic; the
+ * durability checkpoint (src/durability/checkpoint.cc) embeds one
+ * block per tenant, so the hardened CSR reader below is the single
+ * parser for both containers.
+ */
+void writeCsrStream(std::ostream &os, const CsrGraph &g);
+
+/**
+ * Read and fully validate one CSR block from @p is. @p budget_bytes
+ * bounds what the declared counts may claim (the bytes remaining in
+ * the enclosing file), so a corrupt header cannot size a pathological
+ * allocation. Throws the error model below; on success @p consumed
+ * (if non-null) receives the block's exact byte size.
+ */
+CsrGraph readCsrStream(std::istream &is, const std::string &path,
+                       uint64_t budget_bytes,
+                       uint64_t *consumed = nullptr);
 
 /**
  * Error model: the loaders above throw cobra::Error —

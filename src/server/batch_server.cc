@@ -7,6 +7,7 @@
 
 #include "src/check/differential_oracle.h"
 #include "src/check/fault_injector.h"
+#include "src/durability/checkpoint.h"
 #include "src/graph/types.h"
 #include "src/kernels/degree_count.h"
 #include "src/kernels/neighbor_populate.h"
@@ -16,6 +17,7 @@
 #include "src/sparse/coo.h"
 #include "src/sparse/reference.h"
 #include "src/obs/trace.h"
+#include "src/resilience/memory_budget.h"
 #include "src/resilience/run_supervisor.h"
 #include "src/sim/phase_recorder.h"
 #include "src/util/timer.h"
@@ -46,6 +48,17 @@ BatchServer::BatchServer(ServerConfig cfg, ThreadPool &pool)
     : cfg_(std::move(cfg)), pool_(pool), admission_(cfg_.admission),
       queues_(cfg_.tenantWeights)
 {
+    if (cfg_.durability.enabled()) {
+        // Recovery runs to completion (or throws its typed refusal)
+        // before the first dispatcher exists: no request can observe a
+        // half-recovered graph.
+        recover();
+        wal_ = std::make_unique<WalWriter>(
+            cfg_.durability.walDir, cfg_.durability.fsync,
+            nextLsn_.load(std::memory_order_relaxed) + 1);
+        if (cfg_.durability.checkpointInterval.count() > 0)
+            ckptThread_ = std::thread([this] { checkpointLoop(); });
+    }
     const size_t n = std::max<size_t>(1, cfg_.dispatchThreads);
     dispatchers_.reserve(n);
     for (size_t i = 0; i < n; ++i)
@@ -80,6 +93,30 @@ BatchServer::stop()
         resp.code = ErrorCode::kUnavailable;
         resp.message = "server shut down before the request ran";
         finish(std::move(job), std::move(resp));
+    }
+
+    // Durability epilogue (dispatchers are gone, so the graphs are
+    // quiescent): stop the checkpoint timer, write the final
+    // checkpoint — unless the config models a crash, or the WAL is
+    // poisoned and the graphs may be ahead of what was acknowledged —
+    // then close the log.
+    if (ckptThread_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lk(ckptCvMu_);
+            ckptStop_ = true;
+        }
+        ckptCv_.notify_all();
+        ckptThread_.join();
+    }
+    if (wal_) {
+        if (cfg_.durability.checkpointOnShutdown && !wal_->poisoned()) {
+            if (Status st = checkpointNow(); !st.ok())
+                warn("shutdown checkpoint failed (WAL remains "
+                     "authoritative): " +
+                     st.toString());
+        }
+        std::lock_guard<std::mutex> wl(walMu_);
+        wal_->close();
     }
 }
 
@@ -304,9 +341,42 @@ BatchServer::executeMutate(Job &job)
                       "deadline expired while applying the batch; "
                       "batch not committed");
 
+    // Durability point: the batch becomes acknowledgeable only once
+    // its WAL record — the original wire frame stamped with the
+    // post-commit fingerprint — is appended (and fsynced per policy).
+    // Any failure here bounces the whole batch typed and UNcommitted:
+    // the served graph, the incremental results, and the client all
+    // agree the batch never happened. walMu_ makes lsn assignment and
+    // the append one atomic step, so on-disk order is lsn order.
+    uint64_t walLsn = 0;
+    if (wal_) {
+        WalRecord wrec;
+        wrec.postFingerprint = trial.snapshotFingerprint();
+        wrec.postLiveEdges = trial.numEdges();
+        try {
+            wrec.payload = encodeRequest(req);
+        } catch (const Error &e) {
+            return bounce(e.code(),
+                          std::string("durability encode failed; batch "
+                                      "not committed: ") +
+                              e.what());
+        }
+        std::lock_guard<std::mutex> wl(walMu_);
+        wrec.lsn = nextLsn_.load(std::memory_order_relaxed) + 1;
+        if (Status ws = wal_->append(wrec); !ws.ok())
+            return bounce(ws.code(),
+                          "durability append failed; batch not "
+                          "committed: " +
+                              ws.message());
+        nextLsn_.store(wrec.lsn, std::memory_order_relaxed);
+        walLsn = wrec.lsn;
+    }
+
     // Commit, then fold the batch into the incremental results and
     // certify each against a full recompute of the new graph.
     *state->graph = std::move(trial);
+    if (walLsn != 0)
+        state->lastLsn = walLsn;
     mutateApplied_.fetch_add(r.applied(), std::memory_order_relaxed);
     mutateDeduped_.fetch_add(r.deduped, std::memory_order_relaxed);
     mutateRejected_.fetch_add(r.rejected, std::memory_order_relaxed);
@@ -622,6 +692,348 @@ BatchServer::dispatchLoop()
         if (MetricsRegistry *reg = MetricsRegistry::active())
             reg->gauge("server.queue_depth")
                 ->set(static_cast<int64_t>(queues_.size()));
+    }
+}
+
+void
+BatchServer::recover()
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    recovery_.ran = true;
+    const DurabilityConfig &dc = cfg_.durability;
+
+    Deadline dl;
+    if (dc.recoveryDeadline.count() > 0)
+        dl = Deadline::after(dc.recoveryDeadline);
+    MemoryBudget budget(dc.recoveryBudgetBytes);
+
+    // 1. Newest valid checkpoint (with fallback to the older retained
+    // one). A directory with checkpoints but no valid one is a typed
+    // refusal, not a silent cold start.
+    Checkpoint ck;
+    bool haveCkpt = false;
+    std::string ckptPath;
+    if (Status st = loadNewestValidCheckpoint(
+            dc.walDir, &ck, &haveCkpt, dc.recoveryBudgetBytes, &ckptPath);
+        !st.ok())
+        throw Error(st.code(), "recovery refused: " + st.message());
+
+    uint64_t minCover = 0, maxCover = 0;
+    if (haveCkpt) {
+        recovery_.checkpointLoaded = true;
+        recovery_.checkpointLsn = ck.lsn;
+        recovery_.checkpointTenants = ck.tenants.size();
+        minCover = ck.lsn;
+        for (TenantCheckpoint &tc : ck.tenants) {
+            minCover = std::min(minCover, tc.coveredLsn);
+            maxCover = std::max(maxCover, tc.coveredLsn);
+            budget.charge(tc.csr.numEdges() * sizeof(NodeId) +
+                          (tc.csr.numNodes() + 1) * sizeof(EdgeOffset));
+            auto state = tenantGraph(tc.tenantId, /*create=*/true);
+            state->numIndices = tc.numIndices;
+            if (tc.csr.numNodes() != tc.numIndices)
+                throw Error(ErrorCode::kCorruptFile,
+                            "recovery refused: checkpoint tenant " +
+                                std::to_string(tc.tenantId) + " CSR has " +
+                                std::to_string(tc.csr.numNodes()) +
+                                " nodes but claims " +
+                                std::to_string(tc.numIndices) +
+                                " indices");
+            // DynamicGraph(CsrGraph) re-verifies the merge invariants;
+            // then the fingerprint ties the adopted graph to what the
+            // checkpointing server actually held.
+            state->graph =
+                std::make_unique<DynamicGraph>(std::move(tc.csr));
+            const uint64_t fp = state->graph->snapshotFingerprint();
+            if (fp != tc.fingerprint)
+                throw Error(ErrorCode::kDataLoss,
+                            "recovery refused: checkpoint tenant " +
+                                std::to_string(tc.tenantId) +
+                                " fingerprint mismatch (stored " +
+                                std::to_string(tc.fingerprint) +
+                                ", recovered " + std::to_string(fp) +
+                                ")");
+            state->lastLsn = tc.coveredLsn;
+        }
+    }
+
+    // 2. The WAL, full-file verified. repair_torn_tail=true: the torn
+    // bytes a crash left are physically truncated so the reopened
+    // writer continues from a clean prefix.
+    WalReadResult rr;
+    if (Status st = readWal(dc.walDir, &rr, /*repair_torn_tail=*/true);
+        !st.ok())
+        throw Error(st.code(), "recovery refused: " + st.message());
+    recovery_.walRecords = rr.records.size();
+    recovery_.tornTailBytes = rr.tornTailBytes;
+
+    // 3. Continuity: replay needs every record past the oldest
+    // per-tenant cover. A WAL that starts later than that lost
+    // acknowledged state — refuse, never serve a gap.
+    const uint64_t firstNeeded = minCover + 1;
+    if (!rr.records.empty() && rr.records.front().lsn > firstNeeded)
+        throw Error(ErrorCode::kDataLoss,
+                    "recovery refused: WAL starts at lsn " +
+                        std::to_string(rr.records.front().lsn) +
+                        " but replay needs lsn " +
+                        std::to_string(firstNeeded) +
+                        " — acknowledged mutations are unrecoverable");
+
+    nextLsn_.store(std::max(
+        maxCover, rr.records.empty() ? 0 : rr.records.back().lsn));
+
+    // 4. Replay the uncovered suffix through the normal PB-binned
+    // mutation path, certifying every record against its logged
+    // post-state stamps. A shadow incremental-degree state per tenant
+    // is updated on every record and certified once at the end against
+    // a trusted full recompute (DifferentialOracle) — the same
+    // incremental-vs-full discipline the live mutate path applies.
+    std::map<uint64_t, std::unique_ptr<IncrementalDegreeCount>> shadow;
+    {
+        std::lock_guard<std::mutex> lk(tenantsMu_);
+        for (auto &[tenant, state] : tenants_)
+            if (state->graph)
+                shadow[tenant] = std::make_unique<IncrementalDegreeCount>(
+                    *state->graph);
+    }
+    PhaseRecorder rec;
+    for (WalRecord &wrec : rr.records) {
+        if (dl.armed() && dl.expired())
+            throw Error(ErrorCode::kDeadlineExceeded,
+                        "recovery refused: replay deadline expired at "
+                        "lsn " +
+                            std::to_string(wrec.lsn));
+        budget.charge(wrec.payload.size());
+
+        RequestFrame rreq;
+        if (Status st = decodeRequest(wrec.payload.data(),
+                                      wrec.payload.size(), &rreq);
+            !st.ok())
+            throw Error(ErrorCode::kCorruptFile,
+                        "recovery refused: WAL record at lsn " +
+                            std::to_string(wrec.lsn) +
+                            " does not decode as a request frame: " +
+                            st.message());
+        if (rreq.op != RequestOp::kMutate)
+            throw Error(ErrorCode::kCorruptFile,
+                        "recovery refused: WAL record at lsn " +
+                            std::to_string(wrec.lsn) +
+                            " is not a kMutate frame");
+
+        auto state = tenantGraph(rreq.tenantId, /*create=*/true);
+        if (state->graph == nullptr) {
+            state->numIndices = rreq.numIndices;
+            state->graph = std::make_unique<DynamicGraph>(
+                static_cast<NodeId>(rreq.numIndices));
+            shadow[rreq.tenantId] =
+                std::make_unique<IncrementalDegreeCount>(*state->graph);
+        } else if (state->numIndices != rreq.numIndices) {
+            throw Error(ErrorCode::kDataLoss,
+                        "recovery refused: WAL record at lsn " +
+                            std::to_string(wrec.lsn) + " addresses " +
+                            std::to_string(rreq.numIndices) +
+                            " indices but tenant " +
+                            std::to_string(rreq.tenantId) + " has " +
+                            std::to_string(state->numIndices));
+        }
+        if (wrec.lsn <= state->lastLsn) {
+            // Already folded into the checkpoint.
+            ++recovery_.skippedRecords;
+            continue;
+        }
+
+        MutationBatch batch;
+        batch.ops.reserve(rreq.numUpdates());
+        for (size_t i = 0; i + 1 < rreq.payload.size(); i += 2) {
+            const uint32_t sw = rreq.payload[i];
+            batch.ops.push_back(MutationBatch::Op{
+                sw & ~kMutateDeleteBit, rreq.payload[i + 1],
+                (sw & kMutateDeleteBit) != 0});
+        }
+
+        PbEngineConfig ecfg;
+        ecfg.kind = rreq.engine;
+        ecfg.wcLines = rreq.wcLines;
+        ecfg.skewAdaptive = rreq.skewAdaptive;
+        BatchResult r = state->graph->applyBatchParallel(
+            pool_, rec, batch, rreq.bins, ecfg);
+        if (!state->graph->health().ok())
+            throw Error(ErrorCode::kDataLoss,
+                        "recovery refused: replay of lsn " +
+                            std::to_string(wrec.lsn) +
+                            " failed conservation: " +
+                            state->graph->health().message());
+        if (!r.conserved(batch.size()))
+            throw Error(ErrorCode::kDataLoss,
+                        "recovery refused: replay of lsn " +
+                            std::to_string(wrec.lsn) +
+                            " does not close its op accounting");
+
+        // The record's own certification: the replayed graph must
+        // reproduce exactly the state the original server fingerprinted
+        // before acknowledging this batch.
+        if (state->graph->numEdges() != wrec.postLiveEdges ||
+            state->graph->snapshotFingerprint() != wrec.postFingerprint)
+            throw Error(ErrorCode::kDataLoss,
+                        "recovery refused: replayed state diverges from "
+                        "the acknowledged state at lsn " +
+                            std::to_string(wrec.lsn) +
+                            " — refusing to serve it");
+
+        if (auto it = shadow.find(rreq.tenantId); it != shadow.end())
+            it->second->update(r, *state->graph);
+        state->lastLsn = wrec.lsn;
+        ++recovery_.replayedBatches;
+        recovery_.replayedOps += batch.size();
+    }
+
+    // 5. End-to-end differential certification of the replay path
+    // itself, then fresh serving-side incremental state.
+    {
+        std::lock_guard<std::mutex> lk(tenantsMu_);
+        for (auto &[tenant, state] : tenants_) {
+            if (!state->graph)
+                continue;
+            if (auto it = shadow.find(tenant); it != shadow.end()) {
+                if (auto d = DifferentialOracle::firstDivergence(
+                        it->second->degrees(),
+                        IncrementalDegreeCount::fullRecompute(
+                            *state->graph),
+                        "recovery shadow degrees"))
+                    throw Error(ErrorCode::kDataLoss,
+                                "recovery refused: incremental replay "
+                                "diverged from full recompute for "
+                                "tenant " +
+                                    std::to_string(tenant) + ": " +
+                                    d->detail);
+            }
+            state->degrees = std::make_unique<IncrementalDegreeCount>(
+                *state->graph);
+            state->pagerank =
+                std::make_unique<DeltaPagerank>(*state->graph);
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> ck_lk(ckptMu_);
+        prevCheckpointCover_ = minCover;
+    }
+
+    recovery_.durationMicros = microsSince(t0);
+    if (MetricsCounter *c =
+            metricsCounter("durability.recovery.replayed_batches"))
+        c->add(recovery_.replayedBatches);
+    if (MetricsCounter *c =
+            metricsCounter("durability.recovery.skipped_records"))
+        c->add(recovery_.skippedRecords);
+    if (MetricsGauge *g =
+            metricsGauge("durability.recovery.duration_micros"))
+        g->set(static_cast<int64_t>(recovery_.durationMicros));
+}
+
+Status
+BatchServer::checkpointNow()
+{
+    if (!cfg_.durability.enabled())
+        return Status(ErrorCode::kFailedPrecondition,
+                      "durability is disabled (no --wal-dir)");
+    std::lock_guard<std::mutex> ck_lk(ckptMu_);
+    TraceSpan sp("server.checkpoint", "server");
+
+    Checkpoint ck;
+    ck.lsn = nextLsn_.load(std::memory_order_relaxed);
+
+    std::vector<std::pair<uint64_t, std::shared_ptr<TenantGraph>>> snap;
+    {
+        std::lock_guard<std::mutex> lk(tenantsMu_);
+        for (auto &kv : tenants_)
+            snap.emplace_back(kv.first, kv.second);
+    }
+    for (auto &[tenant, state] : snap) {
+        // Copy under the tenant lock (mutations hold it across WAL
+        // append + commit, so graph and lastLsn are consistent); the
+        // expensive snapshot/fingerprint run on the copy, unlocked.
+        std::unique_ptr<DynamicGraph> copy;
+        uint64_t covered = 0, indices = 0;
+        {
+            std::lock_guard<std::mutex> lk(state->mu);
+            if (!state->graph)
+                continue;
+            copy = std::make_unique<DynamicGraph>(*state->graph);
+            covered = state->lastLsn;
+            indices = state->numIndices;
+        }
+        TenantCheckpoint tc;
+        tc.tenantId = tenant;
+        tc.coveredLsn = covered;
+        tc.numIndices = indices;
+        tc.csr = copy->snapshotCsr();
+        tc.fingerprint = copy->snapshotFingerprint();
+        // Concurrent mutations may have advanced past the lsn frontier
+        // read above; the capture lsn only needs to dominate every
+        // per-tenant cover.
+        ck.lsn = std::max(ck.lsn, covered);
+        ck.tenants.push_back(std::move(tc));
+    }
+
+    std::string path;
+    if (Status st = writeCheckpoint(cfg_.durability.walDir, ck, &path);
+        !st.ok())
+        return st;
+
+    // Rotate so the pre-checkpoint segments become fully covered and
+    // deletable once the NEXT checkpoint lands.
+    {
+        std::lock_guard<std::mutex> wl(walMu_);
+        if (wal_) {
+            if (Status st = wal_->rotate(
+                    nextLsn_.load(std::memory_order_relaxed) + 1);
+                !st.ok())
+                return Status(st.code(),
+                              "checkpoint written but WAL rotation "
+                              "failed: " +
+                                  st.message());
+        }
+    }
+
+    uint64_t cover = ck.lsn;
+    for (const TenantCheckpoint &tc : ck.tenants)
+        cover = std::min(cover, tc.coveredLsn);
+    if (Status st = pruneCheckpoints(cfg_.durability.walDir, 2); !st.ok())
+        return st;
+    // Truncate only what the PREVIOUS retained checkpoint covers: if
+    // the one just written turns out corrupt on disk, the older
+    // checkpoint + the retained WAL suffix still reconstruct everything.
+    if (Status st =
+            truncateWalBehind(cfg_.durability.walDir, prevCheckpointCover_);
+        !st.ok())
+        return st;
+    prevCheckpointCover_ = cover;
+
+    if (MetricsGauge *g = metricsGauge("durability.ckpt.cover_lsn"))
+        g->set(static_cast<int64_t>(ck.lsn));
+    return Status::Ok();
+}
+
+void
+BatchServer::checkpointLoop()
+{
+    std::unique_lock<std::mutex> lk(ckptCvMu_);
+    while (!ckptStop_) {
+        ckptCv_.wait_for(lk, cfg_.durability.checkpointInterval,
+                         [this] { return ckptStop_; });
+        if (ckptStop_)
+            break;
+        lk.unlock();
+        if (Status st = checkpointNow(); !st.ok()) {
+            warn("background checkpoint failed (WAL remains "
+                 "authoritative): " +
+                 st.toString());
+            if (MetricsCounter *c =
+                    metricsCounter("durability.ckpt.failures"))
+                c->inc();
+        }
+        lk.lock();
     }
 }
 

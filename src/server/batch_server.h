@@ -52,6 +52,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
@@ -61,6 +62,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/durability/durability.h"
 #include "src/graph/dynamic_graph.h"
 #include "src/kernels/incremental.h"
 #include "src/resilience/cancel.h"
@@ -101,6 +103,18 @@ struct ServerConfig
 
     /** Emit per-tenant metrics (server.tenant.<id>.*). */
     bool perTenantMetrics = true;
+
+    /**
+     * Durability layer (DESIGN.md §16). With walDir set, every kMutate
+     * batch is WAL-logged before its commit is acknowledged, the
+     * tenant graphs are periodically checkpointed, and the constructor
+     * runs crash recovery: newest valid checkpoint + WAL-suffix replay,
+     * certified record-by-record against the logged fingerprints. A
+     * recovery that cannot reproduce the acknowledged state *throws* a
+     * typed Error from the constructor — the server refuses to start
+     * rather than serve divergent state.
+     */
+    DurabilityConfig durability;
 };
 
 /** Exact lifecycle accounting (all monotonic; see conservation note). */
@@ -183,6 +197,22 @@ class BatchServer
 
     size_t queueDepth() const { return queues_.size(); }
 
+    /** What startup recovery found/replayed (ran=false when durability
+     * is disabled). */
+    const RecoveryReport &recovery() const { return recovery_; }
+
+    /**
+     * Write a checkpoint of every tenant graph now: capture the LSN
+     * frontier, copy each graph under its own mutex, write tmp + fsync
+     * + rename, rotate the WAL, prune to the newest two checkpoints,
+     * and truncate WAL segments the *previous* retained checkpoint
+     * already covers (so even a corrupt newest checkpoint leaves the
+     * older one + WAL sufficient). Typed error when durability is
+     * disabled or the write fails; in-flight mutations are unaffected
+     * either way.
+     */
+    Status checkpointNow();
+
   private:
     struct Job
     {
@@ -207,6 +237,10 @@ class BatchServer
         std::unique_ptr<DynamicGraph> graph;
         std::unique_ptr<IncrementalDegreeCount> degrees;
         std::unique_ptr<DeltaPagerank> pagerank;
+
+        /** LSN of the last WAL record folded into graph (0 = none).
+         * Guarded by mu; recovery skips records at or below it. */
+        uint64_t lastLsn = 0;
     };
 
     void dispatchLoop();
@@ -229,6 +263,13 @@ class BatchServer
                                              bool create);
 
     void bumpTenant(uint64_t tenant, const char *what);
+
+    /** Startup recovery (ctor-only): load the newest valid checkpoint,
+     * replay + certify the WAL suffix. Throws typed Error on refusal. */
+    void recover();
+
+    /** Background checkpoint timer (checkpointInterval > 0). */
+    void checkpointLoop();
 
     const ServerConfig cfg_;
     ThreadPool &pool_;
@@ -255,6 +296,23 @@ class BatchServer
     std::atomic<uint64_t> mutateBatches_{0}, mutateOps_{0},
         mutateApplied_{0}, mutateDeduped_{0}, mutateRejected_{0},
         compactions_{0}, recertifications_{0};
+
+    // Durability state (all unused when cfg_.durability is disabled).
+    // walMu_ makes LSN assignment and the file append one atomic step,
+    // so the on-disk record order IS the lsn order.
+    std::unique_ptr<WalWriter> wal_;
+    std::mutex walMu_;
+    std::atomic<uint64_t> nextLsn_{0}; ///< last assigned lsn
+    RecoveryReport recovery_;
+
+    std::mutex ckptMu_; ///< serializes whole checkpoints
+    /** minCover of the previous retained checkpoint: the WAL
+     * truncation frontier (guarded by ckptMu_). */
+    uint64_t prevCheckpointCover_ = 0;
+    std::thread ckptThread_;
+    std::mutex ckptCvMu_;
+    std::condition_variable ckptCv_;
+    bool ckptStop_ = false; ///< guarded by ckptCvMu_
 };
 
 } // namespace cobra

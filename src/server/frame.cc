@@ -106,20 +106,6 @@ malformed(const std::string &what)
 
 } // namespace
 
-uint64_t
-fnv1a(const uint32_t *words, size_t n)
-{
-    uint64_t h = 1469598103934665603ull;
-    for (size_t i = 0; i < n; ++i) {
-        uint32_t w = words[i];
-        for (int b = 0; b < 4; ++b) {
-            h ^= (w >> (8 * b)) & 0xffu;
-            h *= 1099511628211ull;
-        }
-    }
-    return h;
-}
-
 Status
 validateRequest(const RequestFrame &req)
 {
@@ -153,7 +139,7 @@ validateRequest(const RequestFrame &req)
                           " ms exceeds the cap of " +
                           std::to_string(kMaxDeadlineMs) + " ms");
     if (req.injectSite >
-        static_cast<uint32_t>(FaultSite::kPbStealStarve))
+        static_cast<uint32_t>(FaultSite::kCkptRenameFail))
         return Status(ErrorCode::kInvalidArgument,
                       "unknown fault site id " +
                           std::to_string(req.injectSite));

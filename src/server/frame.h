@@ -36,6 +36,7 @@
 
 #include "src/pb/engine_config.h"
 #include "src/util/error.h"
+#include "src/util/fnv.h"
 
 namespace cobra {
 
@@ -179,8 +180,8 @@ struct ResponseFrame
     std::string message;         ///< failure detail (bounded)
 };
 
-/** FNV-1a over a word array — the response's result fingerprint. */
-uint64_t fnv1a(const uint32_t *words, size_t n);
+// fnv1a (the response's result fingerprint) now lives in
+// src/util/fnv.h so the graph and durability layers can share it.
 
 /**
  * Semantic validation shared by the decoder and the in-process submit

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * FNV-1a over 32-bit word arrays — the result fingerprint shared by
+ * the wire protocol (ResponseFrame::resultChecksum), the mutable
+ * graph's snapshot fingerprint, and the durability layer's WAL
+ * post-state stamps. One definition so the three always agree: a
+ * recovered graph is certified by comparing this hash against the
+ * value the no-crash server computed.
+ */
+
+#ifndef COBRA_UTIL_FNV_H
+#define COBRA_UTIL_FNV_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cobra {
+
+/** FNV-1a over @p n little-endian 32-bit words, byte at a time. */
+inline uint64_t
+fnv1a(const uint32_t *words, size_t n)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t w = words[i];
+        for (int b = 0; b < 4; ++b) {
+            h ^= (w >> (8 * b)) & 0xffu;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+} // namespace cobra
+
+#endif // COBRA_UTIL_FNV_H

@@ -10,6 +10,7 @@
  * Status for arbitrary bytes — no crash, no hang, no sanitizer report.
  */
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/durability/wal.h"
 #include "src/graph/io.h"
 #include "src/server/frame.h"
 #include "src/util/json.h"
@@ -65,6 +67,7 @@ TEST(FuzzCorpus, CorpusIsPresent)
     EXPECT_FALSE(corpusFiles("json").empty());
     EXPECT_FALSE(corpusFiles("graph").empty());
     EXPECT_FALSE(corpusFiles("frame").empty());
+    EXPECT_FALSE(corpusFiles("wal").empty());
 }
 
 // Every corpus input — valid, malformed, or a past crasher — must come
@@ -324,6 +327,69 @@ TEST(FuzzCorpus, FrameMalformedSeedsAreRejected)
                 reinterpret_cast<const uint8_t *>(raw.data()) + 1,
                 raw.size() - 1, &resp)
                 .ok());
+    }
+}
+
+// The WAL corpus runs through the record parser exactly as fuzz_wal.cc
+// does: the file is a segment byte stream; records decode front-to-back
+// until the first rejection, and whatever decodes must re-encode
+// byte-identically (accepted records are canonical).
+TEST(FuzzCorpus, WalReplayNeverCrashes)
+{
+    for (const fs::path &p : corpusFiles("wal")) {
+        SCOPED_TRACE(p.filename().string());
+        const std::string raw = slurp(p);
+        const uint8_t *data = reinterpret_cast<const uint8_t *>(raw.data());
+        size_t off = 0;
+        while (off < raw.size()) {
+            WalRecord rec;
+            size_t consumed = 0;
+            if (!decodeWalRecord(data + off, raw.size() - off, &rec,
+                                 &consumed)
+                     .ok())
+                break;
+            ASSERT_GE(consumed, kWalHeaderBytes);
+            ASSERT_LE(consumed, raw.size() - off);
+            const std::vector<uint8_t> buf = encodeWalRecord(rec);
+            ASSERT_EQ(buf.size(), consumed);
+            EXPECT_EQ(0, std::memcmp(buf.data(), data + off, consumed));
+            off += consumed;
+        }
+    }
+}
+
+TEST(FuzzCorpus, WalValidSeedsStillDecode)
+{
+    const std::string raw =
+        slurp(corpusDir() / "wal" / "valid_record.bin");
+    ASSERT_GE(raw.size(), kWalHeaderBytes);
+    WalRecord rec;
+    size_t consumed = 0;
+    ASSERT_TRUE(decodeWalRecord(
+                    reinterpret_cast<const uint8_t *>(raw.data()),
+                    raw.size(), &rec, &consumed)
+                    .ok());
+    EXPECT_EQ(rec.lsn, 1u);
+    EXPECT_EQ(rec.postLiveEdges, 12u);
+    EXPECT_EQ(rec.payload.size(), 48u);
+    EXPECT_EQ(consumed, raw.size());
+}
+
+TEST(FuzzCorpus, WalMalformedSeedsAreRejected)
+{
+    for (const char *name :
+         {"torn_header.bin", "torn_payload.bin", "crc_flip.bin",
+          "payload_rot.bin", "bad_magic.bin", "bad_version.bin",
+          "nonzero_flags.bin", "lying_payload_len.bin"}) {
+        SCOPED_TRACE(name);
+        const std::string raw = slurp(corpusDir() / "wal" / name);
+        ASSERT_FALSE(raw.empty());
+        WalRecord rec;
+        size_t consumed = 0;
+        Status s = decodeWalRecord(
+            reinterpret_cast<const uint8_t *>(raw.data()), raw.size(),
+            &rec, &consumed);
+        EXPECT_EQ(s.code(), ErrorCode::kCorruptFile) << s.toString();
     }
 }
 
